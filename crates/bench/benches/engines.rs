@@ -1,0 +1,41 @@
+//! Criterion end-to-end benchmark of all five engines at a reduced
+//! measured scale (the Figure 5 comparison, measured).
+
+use ara_engine::{
+    Engine, GpuBasicEngine, GpuOptimizedEngine, MultiGpuEngine, MulticoreEngine, SequentialEngine,
+};
+use ara_workload::{Scenario, ScenarioShape};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn benches(c: &mut Criterion) {
+    let shape = ScenarioShape {
+        num_trials: 2_000,
+        events_per_trial: 100.0,
+        catalogue_size: 100_000,
+        num_elts: 15,
+        records_per_elt: 1_500,
+        num_layers: 1,
+        elts_per_layer: (15, 15),
+    };
+    let inputs = Scenario::new(shape, 17).build().expect("valid scenario");
+
+    let engines: Vec<Box<dyn Engine>> = vec![
+        Box::new(SequentialEngine::<f64>::new()),
+        Box::new(MulticoreEngine::<f64>::new(8)),
+        Box::new(GpuBasicEngine::new()),
+        Box::new(GpuOptimizedEngine::<f32>::new()),
+        Box::new(MultiGpuEngine::<f32>::new(4)),
+    ];
+    let mut group = c.benchmark_group("engines");
+    group.sample_size(10);
+    for engine in &engines {
+        group.bench_function(engine.name(), |b| {
+            b.iter(|| black_box(engine.analyse(&inputs).expect("valid inputs")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(engines, benches);
+criterion_main!(engines);

@@ -1,0 +1,120 @@
+//! Criterion microbenchmark of the algorithm's four steps in isolation
+//! (feeding Figure 6's activity split): event fetch, loss lookup,
+//! financial terms, layer terms.
+
+use ara_core::{
+    apply_aggregate_stepwise, xl_clamp, DirectAccessTable, FinancialTerms, LayerTerms, LossLookup,
+    PreparedLayer,
+};
+use ara_workload::{Scenario, ScenarioShape};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn benches(c: &mut Criterion) {
+    let shape = ScenarioShape {
+        num_trials: 500,
+        events_per_trial: 100.0,
+        catalogue_size: 100_000,
+        num_elts: 15,
+        records_per_elt: 1_500,
+        num_layers: 1,
+        elts_per_layer: (15, 15),
+    };
+    let inputs = Scenario::new(shape, 3).build().expect("valid scenario");
+    let layer = &inputs.layers[0];
+    let prepared = PreparedLayer::<f64>::prepare(&inputs, layer).expect("prepares");
+
+    // Step 0 — fetch: stream every trial's events.
+    c.bench_function("steps/fetch-events", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for trial in inputs.yet.trials() {
+                for &e in trial.events {
+                    acc = acc.wrapping_add(e.0 as u64);
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    // Step 1 — lookup: every event against every ELT of the layer.
+    c.bench_function("steps/loss-lookup", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for trial in inputs.yet.trials() {
+                for &e in trial.events {
+                    for lookup in prepared.lookups() {
+                        acc += lookup.loss(e);
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    // Step 2 — financial terms on a pre-fetched loss stream.
+    let losses: Vec<f64> = {
+        let table: &DirectAccessTable<f64> = &prepared.lookups()[0];
+        inputs
+            .yet
+            .trials()
+            .flat_map(|t| t.events.iter().map(|&e| table.loss(e)).collect::<Vec<_>>())
+            .collect()
+    };
+    let fin = FinancialTerms {
+        fx_rate: 1.2,
+        retention: 1e5,
+        limit: 1e8,
+        share: 0.8,
+    };
+    c.bench_function("steps/financial-terms", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &l in &losses {
+                acc += fin.apply(l);
+            }
+            black_box(acc)
+        })
+    });
+
+    // Step 3 — occurrence + aggregate layer terms per trial.
+    let layer_terms = LayerTerms {
+        occ_retention: 1e5,
+        occ_limit: 1e7,
+        agg_retention: 5e5,
+        agg_limit: 5e7,
+    };
+    let trial_losses: Vec<Vec<f64>> = inputs
+        .yet
+        .trials()
+        .map(|t| {
+            t.events
+                .iter()
+                .map(|&e| prepared.lookups()[0].loss(e))
+                .collect()
+        })
+        .collect();
+    c.bench_function("steps/layer-terms", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            let mut buf = Vec::new();
+            for losses in &trial_losses {
+                buf.clear();
+                buf.extend(
+                    losses
+                        .iter()
+                        .map(|&l| xl_clamp(l, layer_terms.occ_retention, layer_terms.occ_limit)),
+                );
+                acc += apply_aggregate_stepwise(&layer_terms, &mut buf);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group! {
+    name = kernel_steps;
+    config = Criterion::default().sample_size(20);
+    targets = benches
+}
+criterion_main!(kernel_steps);

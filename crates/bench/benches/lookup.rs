@@ -1,0 +1,69 @@
+//! Criterion microbenchmark for the §III lookup-structure study (the
+//! companion of the `table_ds` binary): time per random lookup for each
+//! ELT representation.
+
+use ara_core::{
+    BlockDeltaLookup, CuckooHashTable, DirectAccessTable, EventId, LossLookup, PagedDirectTable,
+    SortedLookup, StdHashLookup,
+};
+use ara_workload::{EltGenerator, EventCatalogue};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const CATALOGUE: u32 = 200_000;
+const RECORDS: usize = 2_000;
+const BATCH: usize = 10_000;
+
+fn queries() -> Vec<EventId> {
+    let mut rng = StdRng::seed_from_u64(77);
+    (0..BATCH)
+        .map(|_| EventId(rng.gen_range(0..CATALOGUE)))
+        .collect()
+}
+
+fn bench_structure<L: LossLookup<f64>>(c: &mut Criterion, name: &str, table: &L) {
+    let qs = queries();
+    c.bench_function(&format!("lookup/{name}"), |b| {
+        b.iter_batched(
+            || qs.clone(),
+            |qs| {
+                let mut acc = 0.0;
+                for q in qs {
+                    acc += table.loss(q);
+                }
+                black_box(acc)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    let catalogue = EventCatalogue::uniform(CATALOGUE, 100.0);
+    let elt = EltGenerator::new(&catalogue, RECORDS, 5)
+        .generate_one(0)
+        .expect("valid ELT");
+    let direct = DirectAccessTable::<f64>::from_elt(&elt, CATALOGUE).expect("fits");
+    let sorted = SortedLookup::<f64>::from_elt(&elt);
+    let hash = StdHashLookup::<f64>::from_elt(&elt);
+    let cuckoo = CuckooHashTable::<f64>::from_elt(&elt).expect("builds");
+
+    let paged = PagedDirectTable::<f64>::from_elt(&elt, CATALOGUE).expect("fits");
+    let delta = BlockDeltaLookup::<f64>::from_elt(&elt);
+
+    bench_structure(c, "direct-access", &direct);
+    bench_structure(c, "binary-search", &sorted);
+    bench_structure(c, "std-hashmap", &hash);
+    bench_structure(c, "cuckoo-hash", &cuckoo);
+    bench_structure(c, "paged-direct", &paged);
+    bench_structure(c, "block-delta", &delta);
+}
+
+criterion_group! {
+    name = lookup;
+    config = Criterion::default().sample_size(20);
+    targets = benches
+}
+criterion_main!(lookup);

@@ -1,0 +1,82 @@
+//! Figure 1a: number of cores vs execution time on the multi-core CPU.
+//!
+//! Paper reference points (1 M trials × 1 000 events, 1 layer × 15
+//! ELTs on an i7-2600): 337.47 s sequential; speedups 1.5× at 2 cores,
+//! 2.2× at 4, 2.6× at 8 — saturating because the random ELT lookups are
+//! memory-bandwidth-bound.
+
+use ara_bench::report::{secs, speedup};
+use ara_bench::{bench_inputs, measure, measured_label, paper_shape, Table, MEASURED_SCALE_NOTE};
+use ara_engine::{Engine, MulticoreEngine, SequentialEngine};
+
+fn main() {
+    let shape = paper_shape();
+    let inputs = bench_inputs(2024);
+
+    let seq_model = SequentialEngine::<f64>::new().model(&shape).total_seconds;
+    let (_, seq_measured) = measure(|| {
+        SequentialEngine::<f64>::new()
+            .analyse(&inputs)
+            .expect("valid inputs")
+    });
+
+    let mut table = Table::new(
+        "Figure 1a — cores vs execution time (multi-core CPU)",
+        &[
+            "cores",
+            "modeled i7-2600",
+            "modeled speedup",
+            "paper speedup",
+            &measured_label(),
+            "measured speedup",
+        ],
+    );
+    let paper = [(1, 1.0), (2, 1.5), (4, 2.2), (8, 2.6)];
+    for n in 1..=8u32 {
+        let modeled = if n == 1 {
+            seq_model
+        } else {
+            MulticoreEngine::<f64>::new(n as usize)
+                .model(&shape)
+                .total_seconds
+        };
+        let measured = if n == 1 {
+            seq_measured
+        } else {
+            measure(|| {
+                MulticoreEngine::<f64>::new(n as usize)
+                    .analyse(&inputs)
+                    .expect("valid inputs")
+            })
+            .1
+        };
+        let paper_s = paper
+            .iter()
+            .find(|&&(c, _)| c == n)
+            .map(|&(_, s)| speedup(s))
+            .unwrap_or_else(|| "-".to_string());
+        table.row(&[
+            n.to_string(),
+            secs(modeled),
+            speedup(seq_model / modeled),
+            paper_s,
+            if measured.is_nan() {
+                "-".into()
+            } else {
+                secs(measured)
+            },
+            if measured.is_nan() {
+                "-".into()
+            } else {
+                speedup(seq_measured / measured)
+            },
+        ]);
+    }
+    table.print();
+    println!("{MEASURED_SCALE_NOTE}");
+    println!(
+        "paper: 337.47 s sequential -> 123.5 s at 8 threads; modeled: {} -> {}",
+        secs(seq_model),
+        secs(MulticoreEngine::<f64>::new(8).model(&shape).total_seconds)
+    );
+}

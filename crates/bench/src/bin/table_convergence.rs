@@ -1,0 +1,62 @@
+//! Extension study: Monte Carlo convergence — why the paper runs one
+//! million trials.
+//!
+//! "A typical YET may comprise thousands to millions of trials": this
+//! binary quantifies what each order of magnitude buys. For growing
+//! trial counts it runs the full analysis and reports the AAL and
+//! 250-year PML with bootstrap confidence intervals; the tail metric's
+//! interval shrinks like 1/√n but from a far wider start — the deep
+//! tail is why a million trials (and hence GPU speed for real-time
+//! pricing) is needed.
+
+use ara_bench::report::secs;
+use ara_bench::{measure, measured_label, Table};
+use ara_engine::{Engine, GpuOptimizedEngine};
+use ara_metrics::{aal_ci, pml_ci};
+use ara_workload::{Scenario, ScenarioShape};
+
+fn main() {
+    let mut table = Table::new(
+        "Monte Carlo convergence — metric confidence vs trial count (95% bootstrap CIs)",
+        &[
+            "trials",
+            "AAL",
+            "AAL rel. half-width",
+            "PML250",
+            "PML250 rel. half-width",
+            "analysis time",
+        ],
+    );
+    for &trials in &[1_000usize, 4_000, 16_000, 64_000] {
+        let shape = ScenarioShape {
+            num_trials: trials,
+            events_per_trial: 50.0,
+            catalogue_size: 100_000,
+            num_elts: 10,
+            records_per_elt: 1_500,
+            num_layers: 1,
+            elts_per_layer: (10, 10),
+        };
+        let inputs = Scenario::new(shape, 11)
+            .build_unlimited_single_layer()
+            .expect("valid scenario");
+        let engine = GpuOptimizedEngine::<f32>::new();
+        let (out, elapsed) = measure(|| engine.analyse(&inputs).expect("valid inputs"));
+        let losses = out.portfolio.layer_ylt(0).year_losses().to_vec();
+        let aal = aal_ci(&losses, 300, 0.95, 42);
+        let pml = pml_ci(&losses, 250.0, 300, 0.95, 42);
+        table.row(&[
+            trials.to_string(),
+            format!("{:.3e}", aal.estimate),
+            format!("{:.2}%", 100.0 * aal.relative_half_width()),
+            format!("{:.3e}", pml.estimate),
+            format!("{:.2}%", 100.0 * pml.relative_half_width()),
+            secs(elapsed),
+        ]);
+    }
+    table.print();
+    println!("({})", measured_label());
+    println!("reading: the AAL stabilises quickly, but the 250-year PML needs orders of");
+    println!("magnitude more trials for the same relative precision — the reason production");
+    println!("aggregate analysis runs 1M trials and the paper needs GPUs to do it in seconds.");
+}

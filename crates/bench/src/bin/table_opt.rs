@@ -1,0 +1,123 @@
+//! §IV-B: the GPU optimisation ablation.
+//!
+//! Paper reference: the four optimisations — chunking, loop unrolling,
+//! reduced precision (double→float), and migrating data to the kernel
+//! registry — together take the C2075 kernel from 38.47 s down to
+//! 20.63 s (≈1.9×). The paper reports only the combined effect; this
+//! table adds a leave-one-out ablation from the performance model.
+
+use ara_bench::report::{secs, speedup};
+use ara_bench::{bench_inputs, measure, measured_label, paper_shape, Table, MEASURED_SCALE_NOTE};
+use ara_engine::{Engine, GpuBasicEngine, GpuOptimizedEngine, OptFlags};
+
+fn main() {
+    let shape = paper_shape();
+    let inputs = bench_inputs(2024);
+
+    let basic = GpuBasicEngine::new().model(&shape).total_seconds;
+    let full = GpuOptimizedEngine::<f32>::new().model(&shape).total_seconds;
+
+    let mut table = Table::new(
+        "GPU optimisation ablation (Tesla C2075, modeled at paper scale)",
+        &["configuration", "modeled", "vs basic", "vs optimised"],
+    );
+    table.row(&[
+        "basic kernel (f64, global memory)".into(),
+        secs(basic),
+        speedup(1.0),
+        format!("{:.2}x slower", basic / full),
+    ]);
+    let ablations = [
+        (
+            "without chunking",
+            OptFlags {
+                chunking: false,
+                ..OptFlags::all()
+            },
+        ),
+        (
+            "without loop unrolling",
+            OptFlags {
+                unrolling: false,
+                ..OptFlags::all()
+            },
+        ),
+        (
+            "without reduced precision",
+            OptFlags {
+                reduced_precision: false,
+                ..OptFlags::all()
+            },
+        ),
+        (
+            "without register migration",
+            OptFlags {
+                registers: false,
+                ..OptFlags::all()
+            },
+        ),
+    ];
+    for (name, flags) in ablations {
+        let t = GpuOptimizedEngine::<f32>::new()
+            .with_flags(flags)
+            .model(&shape)
+            .total_seconds;
+        table.row(&[
+            name.to_string(),
+            secs(t),
+            speedup(basic / t),
+            format!("{:.2}x slower", t / full),
+        ]);
+    }
+    table.row(&[
+        "fully optimised kernel".into(),
+        secs(full),
+        speedup(basic / full),
+        "1.00x".into(),
+    ]);
+    table.print();
+
+    // Measured: the two functional kernels really differ (per-event
+    // global intermediates vs chunked register accumulation), and the
+    // f32/f64 code paths really differ.
+    let (_, t_basic) = measure(|| {
+        GpuBasicEngine::new()
+            .analyse(&inputs)
+            .expect("valid inputs")
+    });
+    let (_, t_opt64) = measure(|| {
+        GpuOptimizedEngine::<f64>::new()
+            .analyse(&inputs)
+            .expect("valid inputs")
+    });
+    let (_, t_opt32) = measure(|| {
+        GpuOptimizedEngine::<f32>::new()
+            .analyse(&inputs)
+            .expect("valid inputs")
+    });
+    let mut measured = Table::new(
+        format!("Functional kernels, {}", measured_label()),
+        &["kernel", "measured", "vs basic"],
+    );
+    measured.row(&[
+        "basic (per-event arrays, f64)".into(),
+        secs(t_basic),
+        speedup(1.0),
+    ]);
+    measured.row(&[
+        "chunked (register accumulation, f64)".into(),
+        secs(t_opt64),
+        speedup(t_basic / t_opt64),
+    ]);
+    measured.row(&[
+        "chunked (register accumulation, f32)".into(),
+        secs(t_opt32),
+        speedup(t_basic / t_opt32),
+    ]);
+    measured.print();
+    println!("{MEASURED_SCALE_NOTE}");
+    println!("paper: 38.47 s -> 20.63 s (~1.9x) from the four optimisations combined.");
+    println!("note: the optimisations interact — the chunked kernel runs at low occupancy");
+    println!("(shared memory bound), so removing the unrolling/register MLP that compensates");
+    println!("costs more than any single optimisation contributes on its own.");
+}

@@ -1,0 +1,92 @@
+//! Extension study: the cost of secondary uncertainty (paper future
+//! work, Section VI).
+//!
+//! The point-loss kernel reads one loss per `(ELT, event)`; the
+//! uncertain kernel reads a four-column loss distribution and evaluates
+//! a normal quantile + `exp` per draw. On a lookup-bound device the
+//! extra scattered columns dominate: the model predicts roughly a 4×
+//! cost, which this binary quantifies alongside measured functional
+//! runs.
+
+use ara_bench::report::{secs, speedup};
+use ara_bench::{measure, measured_label, paper_shape, small_inputs, Table, MEASURED_SCALE_NOTE};
+use ara_engine::{
+    analyse_uncertain_gpu, analyse_uncertain_sequential, uncertain_kernel_profile, Engine,
+    GpuOptimizedEngine, MultiGpuEngine, UncertainLayerInputs,
+};
+use simt_sim::model::timing::estimate_kernel;
+use simt_sim::{DeviceSpec, Precision};
+
+fn main() {
+    let shape = paper_shape();
+    let dev = DeviceSpec::tesla_m2090();
+
+    // Modeled: point vs uncertain kernels on one M2090 and on four.
+    let point_single = MultiGpuEngine::<f32>::new(1).model(&shape).total_seconds;
+    let point_four = MultiGpuEngine::<f32>::new(4).model(&shape).total_seconds;
+    let unc_profile = uncertain_kernel_profile(&shape, Precision::F32);
+    let unc_single = estimate_kernel(&dev, &unc_profile, shape.trials as usize, 32).total_seconds;
+    let unc_four = estimate_kernel(&dev, &unc_profile, shape.trials as usize / 4, 32).total_seconds;
+
+    let mut table = Table::new(
+        "Secondary uncertainty — modeled cost at paper scale (Tesla M2090)",
+        &["kernel", "1 GPU", "4 GPUs", "vs point"],
+    );
+    table.row(&[
+        "point losses (paper's kernel)".into(),
+        secs(point_single),
+        secs(point_four),
+        speedup(1.0),
+    ]);
+    table.row(&[
+        "secondary uncertainty (capped log-normal)".into(),
+        secs(unc_single),
+        secs(unc_four),
+        format!("{:.2}x slower", unc_single / point_single),
+    ]);
+    table.print();
+
+    // Measured: functional engines at small scale.
+    let point_inputs = small_inputs(777);
+    let unc = UncertainLayerInputs::from_point_inputs(&point_inputs, 0, 0.8, 10.0, 99)
+        .expect("valid point inputs");
+
+    let (_, t_point) = measure(|| {
+        GpuOptimizedEngine::<f32>::new()
+            .analyse(&point_inputs)
+            .expect("valid inputs")
+    });
+    let (seq_ylt, t_seq) =
+        measure(|| analyse_uncertain_sequential::<f64>(&unc).expect("valid inputs"));
+    let (gpu_ylt, t_gpu) =
+        measure(|| analyse_uncertain_gpu::<f32>(&unc, 4, 32).expect("valid inputs"));
+
+    let mut measured = Table::new(
+        format!("Functional uncertain engines, {}", measured_label()),
+        &["engine", "measured", "vs point kernel"],
+    );
+    measured.row(&[
+        "point chunked kernel (f32)".into(),
+        secs(t_point),
+        speedup(1.0),
+    ]);
+    measured.row(&[
+        "uncertain sequential (f64)".into(),
+        secs(t_seq),
+        format!("{:.2}x slower", t_seq / t_point),
+    ]);
+    measured.row(&[
+        "uncertain chunked kernel, 4 devices (f32)".into(),
+        secs(t_gpu),
+        format!("{:.2}x slower", t_gpu / t_point),
+    ]);
+    measured.print();
+
+    let drift = seq_ylt.max_rel_diff(&gpu_ylt).expect("equal trial counts");
+    println!("{MEASURED_SCALE_NOTE}");
+    println!(
+        "functional check: f32 4-device uncertain YLT vs f64 sequential, max rel diff {drift:.2e}"
+    );
+    println!("takeaway: on a lookup-bound device the distribution columns (4 scattered reads");
+    println!("instead of 1) set the price of secondary uncertainty; the quantile math is ~free.");
+}

@@ -1,0 +1,39 @@
+//! # ara-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation section; each
+//! regenerates the corresponding rows/series. Because the paper's
+//! hardware (i7-2600, Tesla C2075, 4× Tesla M2090) is not available,
+//! every experiment reports two columns where applicable:
+//!
+//! * **modeled @ paper scale** — the `simt-sim` performance model on the
+//!   paper's device presets at the paper's workload (1 M trials × 1 000
+//!   events × 15 ELTs), next to the paper's published number;
+//! * **measured @ bench scale** — real wall-clock time of the actual
+//!   engines on this machine at the 1/1000-work [`bench
+//!   scale`](ara_workload::ScenarioShape::bench).
+//!
+//! Binaries (run with `cargo run --release -p ara-bench --bin <name>`):
+//!
+//! | binary | paper artefact |
+//! |---|---|
+//! | `seq_scaling` | §IV-A: sequential time linear in each shape axis |
+//! | `fig1a` | Figure 1a: cores vs time on the multi-core CPU |
+//! | `fig1b` | Figure 1b: total threads vs time (oversubscription) |
+//! | `fig2` | Figure 2: threads/block vs time, basic GPU |
+//! | `fig3` | Figure 3: number of GPUs vs time + efficiency |
+//! | `fig4` | Figure 4: threads/block vs time on four GPUs |
+//! | `fig5` | Figure 5: total time, all five implementations |
+//! | `fig6` | Figure 6: % time per activity per platform |
+//! | `table_opt` | §IV-B: GPU optimisation ablation (38.47 s → 20.63 s) |
+//! | `table_ds` | §III: ELT lookup data-structure comparison |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod report;
+pub mod runner;
+
+pub use report::{bytes, pct, secs, speedup, Table};
+pub use runner::{
+    bench_inputs, measure, measured_label, paper_shape, small_inputs, MEASURED_SCALE_NOTE,
+};

@@ -1,0 +1,149 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// A fixed-width text table with a title, headers and rows.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    ///
+    /// # Panics
+    /// Panics on column-count mismatch.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                s.push_str(&format!("{cell:>w$}", w = w));
+            }
+            s.push('\n');
+            s
+        };
+        out.push_str(&line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+        }
+        out
+    }
+
+    /// Render and print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Format seconds with three significant decimals (e.g. `4.350 s`).
+pub fn secs(v: f64) -> String {
+    if v.is_infinite() {
+        "infeasible".to_string()
+    } else if v >= 100.0 {
+        format!("{v:.1} s")
+    } else if v >= 1.0 {
+        format!("{v:.2} s")
+    } else {
+        format!("{:.2} ms", v * 1e3)
+    }
+}
+
+/// Format a ratio as `12.3x`.
+pub fn speedup(v: f64) -> String {
+    format!("{v:.1}x")
+}
+
+/// Format a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}%")
+}
+
+/// Format a byte count in a human unit.
+pub fn bytes(v: usize) -> String {
+    const UNITS: [&str; 4] = ["B", "KiB", "MiB", "GiB"];
+    let mut v = v as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    format!("{v:.1} {}", UNITS[unit])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["long-name".into(), "22".into()]);
+        let r = t.render();
+        assert!(r.contains("== demo =="));
+        assert!(r.contains("long-name"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        // Both data lines end-align the value column.
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_mismatch_panics() {
+        Table::new("t", &["a", "b"]).row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(4.35), "4.35 s");
+        assert_eq!(secs(337.47), "337.5 s");
+        assert_eq!(secs(0.0213), "21.30 ms");
+        assert_eq!(secs(f64::INFINITY), "infeasible");
+        assert_eq!(speedup(77.57), "77.6x");
+        assert_eq!(pct(97.54), "97.5%");
+        assert_eq!(bytes(120 << 20), "120.0 MiB");
+        assert_eq!(bytes(512), "512.0 B");
+    }
+}

@@ -1,0 +1,82 @@
+//! Shared plumbing for the experiment binaries.
+
+use ara_core::Inputs;
+use ara_workload::{Scenario, ScenarioShape};
+use simt_sim::model::cpu::AraShape;
+use std::time::Instant;
+
+/// The footnote every binary prints under its measured columns.
+pub const MEASURED_SCALE_NOTE: &str =
+    "measured columns: real wall time of the Rust engines on this machine at \
+     bench scale (10k trials x 100 events); modeled columns: simt-sim \
+     performance model on the paper's hardware at paper scale (1M x 1000).";
+
+/// The paper's workload shape for the models.
+pub fn paper_shape() -> AraShape {
+    AraShape::paper()
+}
+
+/// The measured-scale workload: a single 15-ELT layer like the paper's,
+/// at 1/1000 of the lookup volume so each engine runs in seconds.
+pub fn bench_inputs(seed: u64) -> Inputs {
+    Scenario::new(ScenarioShape::bench(), seed)
+        .build()
+        .expect("bench scenario generates valid inputs")
+}
+
+/// A smaller measured workload for the slower sweeps.
+pub fn small_inputs(seed: u64) -> Inputs {
+    let shape = ScenarioShape {
+        num_trials: 2_000,
+        events_per_trial: 100.0,
+        catalogue_size: 200_000,
+        num_elts: 15,
+        records_per_elt: 2_000,
+        num_layers: 1,
+        elts_per_layer: (15, 15),
+    };
+    Scenario::new(shape, seed)
+        .build()
+        .expect("small scenario generates valid inputs")
+}
+
+/// Wall-clock a closure, returning `(result, seconds)`.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Label for measured columns including the host's core count.
+pub fn measured_label() -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    format!("measured ({cores}-core host)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_inputs_have_paper_like_shape() {
+        let inputs = bench_inputs(1);
+        assert_eq!(inputs.yet.num_trials(), 10_000);
+        assert_eq!(inputs.layers.len(), 1);
+        assert_eq!(inputs.layers[0].num_elts(), 15);
+    }
+
+    #[test]
+    fn measure_returns_result_and_time() {
+        let (v, secs) = measure(|| 40 + 2);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn small_inputs_are_smaller() {
+        let s = small_inputs(1);
+        assert_eq!(s.yet.num_trials(), 2_000);
+    }
+}

@@ -1,0 +1,415 @@
+//! Minimal `--flag value` argument parsing for the `ara` binary.
+
+use std::fmt;
+
+/// Which engine to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Sequential reference (implementation i).
+    Sequential,
+    /// Multi-core rayon engine (implementation ii).
+    Multicore,
+    /// Basic GPU kernel (implementation iii).
+    GpuBasic,
+    /// Optimised GPU kernel (implementation iv).
+    GpuOptimised,
+    /// Multi-GPU (implementation v).
+    MultiGpu,
+}
+
+impl EngineKind {
+    /// Parse from the `--engine` value.
+    pub fn parse(s: &str) -> Result<Self, ArgError> {
+        match s {
+            "sequential" | "seq" => Ok(EngineKind::Sequential),
+            "multicore" | "cpu" => Ok(EngineKind::Multicore),
+            "gpu-basic" => Ok(EngineKind::GpuBasic),
+            "gpu-optimised" | "gpu-optimized" | "gpu" => Ok(EngineKind::GpuOptimised),
+            "multi-gpu" => Ok(EngineKind::MultiGpu),
+            other => Err(ArgError::BadValue("--engine", other.to_string())),
+        }
+    }
+
+    /// All engine names, for help text.
+    pub const NAMES: &'static str =
+        "sequential | multicore | gpu-basic | gpu-optimised | multi-gpu";
+}
+
+/// Snapshot layout choice for `ara generate`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Layout {
+    /// Column-major (`ARA\x01`): whole-table reads.
+    #[default]
+    Columnar,
+    /// Trial-major (`ARA\x02`): streamable out-of-core.
+    Interleaved,
+}
+
+impl Layout {
+    /// Parse from the `--layout` value.
+    pub fn parse(s: &str) -> Result<Self, ArgError> {
+        match s {
+            "columnar" | "column" => Ok(Layout::Columnar),
+            "interleaved" | "stream" | "trial-major" => Ok(Layout::Interleaved),
+            other => Err(ArgError::BadValue("--layout", other.to_string())),
+        }
+    }
+}
+
+/// Options of `ara generate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateOpts {
+    /// Trials in the YET.
+    pub trials: usize,
+    /// Mean events per trial.
+    pub events: f64,
+    /// ELTs in the pool (every layer covers all of them).
+    pub elts: usize,
+    /// Non-zero records per ELT.
+    pub records: usize,
+    /// Catalogue size.
+    pub catalogue: u32,
+    /// Number of layers.
+    pub layers: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Output snapshot path.
+    pub out: String,
+    /// On-disk layout.
+    pub layout: Layout,
+}
+
+/// Options of `ara analyse` / `ara metrics` / `ara model`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOpts {
+    /// Input snapshot path (`analyse`/`metrics`).
+    pub input: String,
+    /// Engine selection.
+    pub engine: EngineKind,
+    /// Worker threads (multicore) / devices (multi-gpu).
+    pub devices: usize,
+    /// Layer index for `metrics`.
+    pub layer: usize,
+    /// Seasonal bins for `seasonal`.
+    pub bins: usize,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            input: String::new(),
+            engine: EngineKind::Sequential,
+            devices: 4,
+            layer: 0,
+            bins: 12,
+        }
+    }
+}
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `ara generate …` — build a synthetic book and snapshot it.
+    Generate(GenerateOpts),
+    /// `ara analyse …` — run an engine over a snapshot.
+    Analyse(RunOpts),
+    /// `ara metrics …` — risk metrics of one layer of a snapshot.
+    Metrics(RunOpts),
+    /// `ara model …` — paper-scale modeled timing of an engine.
+    Model(RunOpts),
+    /// `ara stream …` — out-of-core analysis of a trial-major snapshot.
+    Stream(RunOpts),
+    /// `ara seasonal …` — seasonal occurrence/loss attribution.
+    Seasonal(RunOpts),
+    /// `ara help`.
+    Help,
+}
+
+/// Argument-parsing failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// Unknown flag for the subcommand.
+    UnknownFlag(String),
+    /// Flag present without a value.
+    MissingValue(&'static str),
+    /// Value failed to parse.
+    BadValue(&'static str, String),
+    /// A required flag is absent.
+    MissingFlag(&'static str),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "missing subcommand; try `ara help`"),
+            ArgError::UnknownCommand(c) => write!(f, "unknown subcommand `{c}`; try `ara help`"),
+            ArgError::UnknownFlag(x) => write!(f, "unknown flag `{x}`"),
+            ArgError::MissingValue(x) => write!(f, "flag `{x}` needs a value"),
+            ArgError::BadValue(x, v) => write!(f, "bad value `{v}` for `{x}`"),
+            ArgError::MissingFlag(x) => write!(f, "required flag `{x}` missing"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// The help text.
+pub const HELP: &str = "\
+ara — aggregate risk analysis (Bahl et al., ICPP 2013 reproduction)
+
+USAGE:
+  ara generate --out <path> [--trials N] [--events N] [--elts N]
+               [--records N] [--catalogue N] [--layers N] [--seed N]
+  ara analyse  --input <path> [--engine E] [--devices N]
+  ara metrics  --input <path> [--layer N]
+  ara stream   --input <path.stream> [--layer N]
+  ara seasonal --input <path> [--layer N] [--bins N]
+  ara model    [--engine E] [--devices N]
+  ara help
+
+LAYOUTS (generate --layout): columnar (default) | interleaved (streamable)
+
+ENGINES: sequential | multicore | gpu-basic | gpu-optimised | multi-gpu
+";
+
+struct Flags<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Flags<'a> {
+    fn parse(args: &'a [String]) -> Result<Self, ArgError> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            if !flag.starts_with("--") {
+                return Err(ArgError::UnknownFlag(flag.to_string()));
+            }
+            let value = args.get(i + 1).ok_or(ArgError::MissingValue("flag"))?;
+            pairs.push((flag, value.as_str()));
+            i += 2;
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, name: &'static str) -> Option<&str> {
+        self.pairs.iter().find(|(f, _)| *f == name).map(|(_, v)| *v)
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &'static str, default: T) -> Result<T, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError::BadValue(name, v.to_string())),
+        }
+    }
+
+    fn ensure_known(&self, known: &[&str]) -> Result<(), ArgError> {
+        for (f, _) in &self.pairs {
+            if !known.contains(f) {
+                return Err(ArgError::UnknownFlag(f.to_string()));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parse a full argument vector (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
+    let Some(cmd) = args.first() else {
+        return Err(ArgError::MissingCommand);
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "generate" => {
+            let flags = Flags::parse(rest)?;
+            flags.ensure_known(&[
+                "--trials",
+                "--events",
+                "--elts",
+                "--records",
+                "--catalogue",
+                "--layers",
+                "--seed",
+                "--out",
+                "--layout",
+            ])?;
+            let out = flags
+                .get("--out")
+                .ok_or(ArgError::MissingFlag("--out"))?
+                .to_string();
+            Ok(Command::Generate(GenerateOpts {
+                trials: flags.num("--trials", 10_000)?,
+                events: flags.num("--events", 100.0)?,
+                elts: flags.num("--elts", 15)?,
+                records: flags.num("--records", 2_000)?,
+                catalogue: flags.num("--catalogue", 200_000)?,
+                layers: flags.num("--layers", 1)?,
+                seed: flags.num("--seed", 42)?,
+                out,
+                layout: match flags.get("--layout") {
+                    None => Layout::Columnar,
+                    Some(v) => Layout::parse(v)?,
+                },
+            }))
+        }
+        "analyse" | "analyze" | "metrics" | "model" | "stream" | "seasonal" => {
+            let flags = Flags::parse(rest)?;
+            flags.ensure_known(&["--input", "--engine", "--devices", "--layer", "--bins"])?;
+            let mut opts = RunOpts::default();
+            if let Some(i) = flags.get("--input") {
+                opts.input = i.to_string();
+            }
+            if let Some(e) = flags.get("--engine") {
+                opts.engine = EngineKind::parse(e)?;
+            }
+            opts.devices = flags.num("--devices", opts.devices)?;
+            opts.layer = flags.num("--layer", opts.layer)?;
+            opts.bins = flags.num("--bins", opts.bins)?;
+            if cmd != "model" && opts.input.is_empty() {
+                return Err(ArgError::MissingFlag("--input"));
+            }
+            Ok(match cmd.as_str() {
+                "analyse" | "analyze" => Command::Analyse(opts),
+                "metrics" => Command::Metrics(opts),
+                "stream" => Command::Stream(opts),
+                "seasonal" => Command::Seasonal(opts),
+                _ => Command::Model(opts),
+            })
+        }
+        other => Err(ArgError::UnknownCommand(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_generate_with_defaults() {
+        let cmd = parse_args(&v(&["generate", "--out", "x.ara"])).unwrap();
+        match cmd {
+            Command::Generate(g) => {
+                assert_eq!(g.out, "x.ara");
+                assert_eq!(g.trials, 10_000);
+                assert_eq!(g.elts, 15);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_generate_overrides() {
+        let cmd = parse_args(&v(&[
+            "generate", "--out", "x", "--trials", "500", "--events", "25.5", "--seed", "7",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Generate(g) => {
+                assert_eq!(g.trials, 500);
+                assert_eq!(g.events, 25.5);
+                assert_eq!(g.seed, 7);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn generate_requires_out() {
+        assert_eq!(
+            parse_args(&v(&["generate"])).unwrap_err(),
+            ArgError::MissingFlag("--out")
+        );
+    }
+
+    #[test]
+    fn parse_analyse() {
+        let cmd = parse_args(&v(&[
+            "analyse",
+            "--input",
+            "b.ara",
+            "--engine",
+            "multi-gpu",
+            "--devices",
+            "2",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Analyse(o) => {
+                assert_eq!(o.engine, EngineKind::MultiGpu);
+                assert_eq!(o.devices, 2);
+                assert_eq!(o.input, "b.ara");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn analyse_requires_input() {
+        assert!(matches!(
+            parse_args(&v(&["analyse", "--engine", "seq"])),
+            Err(ArgError::MissingFlag("--input"))
+        ));
+    }
+
+    #[test]
+    fn model_needs_no_input() {
+        let cmd = parse_args(&v(&["model", "--engine", "gpu"])).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Model(RunOpts {
+                engine: EngineKind::GpuOptimised,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn engine_aliases() {
+        assert_eq!(EngineKind::parse("seq").unwrap(), EngineKind::Sequential);
+        assert_eq!(EngineKind::parse("cpu").unwrap(), EngineKind::Multicore);
+        assert_eq!(
+            EngineKind::parse("gpu-optimized").unwrap(),
+            EngineKind::GpuOptimised
+        );
+        assert!(EngineKind::parse("tpu").is_err());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert_eq!(parse_args(&[]).unwrap_err(), ArgError::MissingCommand);
+        assert!(matches!(
+            parse_args(&v(&["frobnicate"])),
+            Err(ArgError::UnknownCommand(_))
+        ));
+        assert!(matches!(
+            parse_args(&v(&["analyse", "--input", "x", "--wat", "1"])),
+            Err(ArgError::UnknownFlag(_))
+        ));
+        assert!(matches!(
+            parse_args(&v(&["analyse", "--input"])),
+            Err(ArgError::MissingValue(_))
+        ));
+        assert!(matches!(
+            parse_args(&v(&["analyse", "--input", "x", "--devices", "two"])),
+            Err(ArgError::BadValue("--devices", _))
+        ));
+    }
+
+    #[test]
+    fn help_variants() {
+        for h in ["help", "--help", "-h"] {
+            assert_eq!(parse_args(&v(&[h])).unwrap(), Command::Help);
+        }
+    }
+}

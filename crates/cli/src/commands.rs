@@ -1,0 +1,421 @@
+//! The `ara` subcommand implementations.
+//!
+//! Each command returns its report as a `String` so the binary stays a
+//! thin printing shell and the behaviour is unit-testable.
+
+use crate::args::{EngineKind, GenerateOpts, Layout, RunOpts};
+use ara_core::io::SnapshotError;
+use ara_core::Inputs;
+use ara_engine::{
+    Engine, GpuBasicEngine, GpuOptimizedEngine, MultiGpuEngine, MulticoreEngine, SequentialEngine,
+};
+use ara_metrics::{EpCurve, RiskSummary};
+use ara_workload::{Scenario, ScenarioShape};
+use std::fmt;
+
+/// Failures of a CLI command.
+#[derive(Debug)]
+pub enum CliError {
+    /// Workload generation / validation failure.
+    Ara(ara_core::AraError),
+    /// Snapshot read/write failure.
+    Snapshot(SnapshotError),
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Semantically invalid request (e.g. layer index out of range).
+    Invalid(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Ara(e) => write!(f, "{e}"),
+            CliError::Snapshot(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "{e}"),
+            CliError::Invalid(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ara_core::AraError> for CliError {
+    fn from(e: ara_core::AraError) -> Self {
+        CliError::Ara(e)
+    }
+}
+impl From<SnapshotError> for CliError {
+    fn from(e: SnapshotError) -> Self {
+        CliError::Snapshot(e)
+    }
+}
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Build the engine an option set asks for.
+pub fn build_engine(opts: &RunOpts) -> Box<dyn Engine> {
+    match opts.engine {
+        EngineKind::Sequential => Box::new(SequentialEngine::<f64>::new()),
+        EngineKind::Multicore => Box::new(MulticoreEngine::<f64>::new(opts.devices.max(1))),
+        EngineKind::GpuBasic => Box::new(GpuBasicEngine::new()),
+        EngineKind::GpuOptimised => Box::new(GpuOptimizedEngine::<f32>::new()),
+        EngineKind::MultiGpu => Box::new(MultiGpuEngine::<f32>::new(opts.devices.max(1))),
+    }
+}
+
+/// `ara generate`: build a synthetic book and write the snapshot.
+pub fn run_generate(opts: &GenerateOpts) -> Result<String, CliError> {
+    let shape = ScenarioShape {
+        num_trials: opts.trials,
+        events_per_trial: opts.events,
+        catalogue_size: opts.catalogue,
+        num_elts: opts.elts,
+        records_per_elt: opts.records,
+        num_layers: opts.layers,
+        elts_per_layer: (opts.elts.min(3), opts.elts),
+    };
+    let inputs = Scenario::new(shape, opts.seed).build()?;
+    let mut file = std::io::BufWriter::new(std::fs::File::create(&opts.out)?);
+    match opts.layout {
+        Layout::Columnar => ara_core::io::write_inputs(&mut file, &inputs)?,
+        Layout::Interleaved => ara_core::io::write_inputs_interleaved(&mut file, &inputs)?,
+    }
+    use std::io::Write;
+    file.flush()?;
+    Ok(format!(
+        "wrote {}: {} trials x ~{:.0} events, {} ELTs, {} layers ({} lookups per full analysis)",
+        opts.out,
+        inputs.yet.num_trials(),
+        inputs.yet.mean_events_per_trial(),
+        inputs.elts.len(),
+        inputs.layers.len(),
+        inputs.total_lookups(),
+    ))
+}
+
+fn load(path: &str) -> Result<Inputs, CliError> {
+    let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
+    Ok(ara_core::io::read_inputs(&mut file)?)
+}
+
+/// `ara analyse`: run the selected engine over a snapshot.
+pub fn run_analyse(opts: &RunOpts) -> Result<String, CliError> {
+    let inputs = load(&opts.input)?;
+    let engine = build_engine(opts);
+    let out = engine.analyse(&inputs)?;
+    let mut report = format!(
+        "{}: analysed {} trials x {} layers in {:.1} ms ({:.1} ms preprocessing)\n",
+        engine.name(),
+        inputs.yet.num_trials(),
+        inputs.layers.len(),
+        out.wall.as_secs_f64() * 1e3,
+        out.prepare.as_secs_f64() * 1e3,
+    );
+    for (i, id) in out.portfolio.layer_ids().iter().enumerate() {
+        let ylt = out.portfolio.layer_ylt(i);
+        report.push_str(&format!(
+            "  layer {:>3}: AAL {:>16.2}  max year loss {:>16.2}  P(attach) {:.3}\n",
+            id.0,
+            ylt.mean(),
+            ylt.max(),
+            ylt.attachment_probability(),
+        ));
+    }
+    Ok(report)
+}
+
+/// `ara metrics`: the risk metrics of one layer.
+pub fn run_metrics(opts: &RunOpts) -> Result<String, CliError> {
+    let inputs = load(&opts.input)?;
+    let engine = SequentialEngine::<f64>::new();
+    let out = engine.analyse(&inputs)?;
+    if opts.layer >= out.portfolio.num_layers() {
+        return Err(CliError::Invalid(format!(
+            "layer {} out of range (portfolio has {})",
+            opts.layer,
+            out.portfolio.num_layers()
+        )));
+    }
+    let ylt = out.portfolio.layer_ylt(opts.layer);
+    let s = RiskSummary::from_ylt(ylt).ok_or_else(|| CliError::Invalid("empty YLT".to_string()))?;
+    let mut report = format!(
+        "layer {} over {} trials:\n  AAL      {:>16.2}\n  stddev   {:>16.2}\n  VaR99    {:>16.2}\n  TVaR99   {:>16.2}\n  PML250   {:>16.2}\n  P(attach) {:>15.3}\n",
+        opts.layer,
+        ylt.num_trials(),
+        s.aal,
+        s.stddev,
+        s.var_99,
+        s.tvar_99,
+        s.pml_250,
+        s.attachment_probability,
+    );
+    if let Some(curve) = EpCurve::aep(ylt) {
+        report.push_str("  AEP curve:\n");
+        for p in curve.points_at(&[10.0, 25.0, 50.0, 100.0, 250.0]) {
+            report.push_str(&format!(
+                "    {:>6.0}-yr loss {:>16.2}\n",
+                p.return_period(),
+                p.loss
+            ));
+        }
+    }
+    Ok(report)
+}
+
+/// `ara model`: the paper-scale modeled timing of an engine.
+pub fn run_model(opts: &RunOpts) -> Result<String, CliError> {
+    let engine = build_engine(opts);
+    let m = engine.model(&simt_sim::model::cpu::AraShape::paper());
+    let (fetch, lookup, financial, layer) = m.breakdown.percentages();
+    Ok(format!(
+        "{} on {}: {:.2} s modeled at paper scale (1M trials x 1000 events, 15 ELTs)\n  fetch {:.1}% | lookup {:.1}% | financial {:.1}% | layer terms {:.1}%\n",
+        engine.name(),
+        m.platform,
+        m.total_seconds,
+        fetch,
+        lookup,
+        financial,
+        layer,
+    ))
+}
+
+/// `ara stream`: out-of-core analysis of a trial-major snapshot. The
+/// YET is never materialised — trials stream from disk one at a time
+/// through the sequential reference kernel.
+pub fn run_stream(opts: &RunOpts) -> Result<String, CliError> {
+    use ara_core::io::YetStreamReader;
+    use ara_core::PreparedLayer;
+
+    // Pass 1: skim the stream to reach the trailing ELT/layer sections
+    // (their size is negligible next to the YET).
+    let file = std::io::BufReader::new(std::fs::File::open(&opts.input)?);
+    let mut reader = YetStreamReader::open(file)?;
+    let catalogue = reader.catalogue_size();
+    let num_trials = reader.num_trials();
+    while reader.next_trial()?.is_some() {}
+    let (elts, layers) = reader.finish_inputs()?;
+    let layer = layers
+        .get(opts.layer)
+        .ok_or_else(|| CliError::Invalid(format!("layer {} out of range", opts.layer)))?;
+
+    // Preprocess the dense tables, then pass 2: stream the analysis.
+    let lookups: Result<Vec<_>, _> = layer
+        .elt_indices
+        .iter()
+        .map(|&i| ara_core::DirectAccessTable::<f64>::from_elt(&elts[i], catalogue))
+        .collect();
+    let fin = layer
+        .elt_indices
+        .iter()
+        .map(|&i| *elts[i].terms())
+        .collect();
+    let prepared = PreparedLayer::from_parts(lookups?, fin, layer.terms);
+
+    let file = std::io::BufReader::new(std::fs::File::open(&opts.input)?);
+    let mut reader = YetStreamReader::open(file)?;
+    let start = std::time::Instant::now();
+    let ylt = ara_core::io::analyse_layer_streamed(&mut reader, &prepared)?;
+    let elapsed = start.elapsed().as_secs_f64();
+    Ok(format!(
+        "streamed {} trials out-of-core in {:.1} ms
+  layer {}: AAL {:.2}  max year loss {:.2}  P(attach) {:.3}
+",
+        num_trials,
+        elapsed * 1e3,
+        layer.id.0,
+        ylt.mean(),
+        ylt.max(),
+        ylt.attachment_probability(),
+    ))
+}
+
+/// `ara seasonal`: occurrence and paid-loss attribution by position in
+/// the contractual year.
+pub fn run_seasonal(opts: &RunOpts) -> Result<String, CliError> {
+    use ara_core::PreparedLayer;
+    use ara_metrics::seasonality::seasonal_profile;
+
+    let inputs = load(&opts.input)?;
+    let layer = inputs
+        .layers
+        .get(opts.layer)
+        .ok_or_else(|| CliError::Invalid(format!("layer {} out of range", opts.layer)))?;
+    let prepared = PreparedLayer::<f64>::prepare(&inputs, layer)?;
+    let profile = seasonal_profile(&inputs.yet, &prepared, opts.bins.max(1));
+    let shares = profile.loss_shares();
+    let mut report = format!(
+        "seasonal profile of layer {} over {} bins (occurrences | paid-loss share):
+",
+        layer.id.0,
+        profile.num_bins()
+    );
+    for (b, (&occ, &share)) in profile.occurrences.iter().zip(&shares).enumerate() {
+        let bar = "#".repeat((share * 100.0 / 2.0).round() as usize);
+        report.push_str(&format!(
+            "  bin {b:>3}: {occ:>8} occurrences  {:>5.1}%  {bar}
+",
+            share * 100.0
+        ));
+    }
+    report.push_str(&format!(
+        "peak bin: {}
+",
+        profile.peak_bin()
+    ));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("ara-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn small_generate(out: &str) -> GenerateOpts {
+        GenerateOpts {
+            trials: 300,
+            events: 12.0,
+            elts: 5,
+            records: 100,
+            catalogue: 3_000,
+            layers: 2,
+            seed: 9,
+            out: out.to_string(),
+            layout: Layout::Columnar,
+        }
+    }
+
+    #[test]
+    fn generate_then_analyse_round_trip() {
+        let path = tmp("book1.ara");
+        let msg = run_generate(&small_generate(&path)).unwrap();
+        assert!(msg.contains("300 trials"));
+        let report = run_analyse(&RunOpts {
+            input: path,
+            engine: EngineKind::MultiGpu,
+            devices: 2,
+            ..RunOpts::default()
+        })
+        .unwrap();
+        assert!(report.contains("multi-gpu"));
+        assert!(report.contains("layer"));
+    }
+
+    #[test]
+    fn engines_agree_through_the_cli_path() {
+        let path = tmp("book2.ara");
+        run_generate(&small_generate(&path)).unwrap();
+        let inputs = load(&path).unwrap();
+        let seq = SequentialEngine::<f64>::new().analyse(&inputs).unwrap();
+        let gpu = GpuBasicEngine::new().analyse(&inputs).unwrap();
+        assert_eq!(
+            seq.portfolio.layer_ylt(0).year_losses(),
+            gpu.portfolio.layer_ylt(0).year_losses()
+        );
+    }
+
+    #[test]
+    fn metrics_reports_summary() {
+        let path = tmp("book3.ara");
+        run_generate(&small_generate(&path)).unwrap();
+        let report = run_metrics(&RunOpts {
+            input: path.clone(),
+            layer: 1,
+            ..RunOpts::default()
+        })
+        .unwrap();
+        assert!(report.contains("AAL"));
+        assert!(report.contains("TVaR99"));
+        assert!(report.contains("AEP curve"));
+        // Out-of-range layer errors cleanly.
+        let err = run_metrics(&RunOpts {
+            input: path,
+            layer: 9,
+            ..RunOpts::default()
+        });
+        assert!(matches!(err, Err(CliError::Invalid(_))));
+    }
+
+    #[test]
+    fn model_reports_paper_scale() {
+        let report = run_model(&RunOpts {
+            engine: EngineKind::MultiGpu,
+            devices: 4,
+            ..RunOpts::default()
+        })
+        .unwrap();
+        assert!(report.contains("multi-gpu"));
+        assert!(report.contains("lookup"));
+    }
+
+    #[test]
+    fn stream_round_trip_matches_in_memory() {
+        let path = tmp("book-stream.ara");
+        let mut opts = small_generate(&path);
+        opts.layout = Layout::Interleaved;
+        run_generate(&opts).unwrap();
+        let report = run_stream(&RunOpts {
+            input: path,
+            ..RunOpts::default()
+        })
+        .unwrap();
+        assert!(report.contains("streamed 300 trials"));
+        assert!(report.contains("AAL"));
+    }
+
+    #[test]
+    fn stream_rejects_columnar_snapshots() {
+        let path = tmp("book-col.ara");
+        run_generate(&small_generate(&path)).unwrap();
+        let err = run_stream(&RunOpts {
+            input: path,
+            ..RunOpts::default()
+        });
+        assert!(matches!(err, Err(CliError::Snapshot(_))));
+    }
+
+    #[test]
+    fn seasonal_report_shows_bins() {
+        let path = tmp("book-seasonal.ara");
+        run_generate(&small_generate(&path)).unwrap();
+        let report = run_seasonal(&RunOpts {
+            input: path,
+            bins: 6,
+            ..RunOpts::default()
+        })
+        .unwrap();
+        let bin_lines = report
+            .lines()
+            .filter(|l| l.trim_start().starts_with("bin "))
+            .count();
+        assert_eq!(bin_lines, 6, "one line per bin");
+        assert!(report.contains("peak bin"));
+    }
+
+    #[test]
+    fn analyse_missing_file_is_io_error() {
+        let err = run_analyse(&RunOpts {
+            input: tmp("does-not-exist.ara"),
+            ..RunOpts::default()
+        });
+        assert!(matches!(err, Err(CliError::Io(_))));
+    }
+
+    #[test]
+    fn analyse_rejects_garbage_snapshot() {
+        let path = tmp("garbage.ara");
+        std::fs::write(&path, b"not a snapshot at all").unwrap();
+        let err = run_analyse(&RunOpts {
+            input: path,
+            ..RunOpts::default()
+        });
+        assert!(matches!(err, Err(CliError::Snapshot(_))));
+    }
+}

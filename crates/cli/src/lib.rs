@@ -1,0 +1,25 @@
+//! # ara-cli — command-line aggregate risk analysis
+//!
+//! A small operational front-end over the workspace:
+//!
+//! ```text
+//! ara generate --trials 10000 --events 100 --elts 15 --out book.ara
+//! ara analyse  --input book.ara --engine multi-gpu --devices 4
+//! ara metrics  --input book.ara --layer 0
+//! ara model    --engine multi-gpu --devices 4
+//! ```
+//!
+//! The argument parser is deliberately tiny and dependency-free; all the
+//! work happens in the library crates. Everything here is testable: the
+//! commands take parsed options and return strings.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_args, ArgError, Command, EngineKind, GenerateOpts, Layout, RunOpts};
+pub use commands::{
+    run_analyse, run_generate, run_metrics, run_model, run_seasonal, run_stream, CliError,
+};

@@ -1,0 +1,40 @@
+//! The `ara` binary: thin shell over [`ara_cli`].
+
+use ara_cli::{
+    parse_args, run_analyse, run_generate, run_metrics, run_model, run_seasonal, run_stream,
+    Command,
+};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command {
+        Command::Help => {
+            println!("{}", ara_cli::args::HELP);
+            return ExitCode::SUCCESS;
+        }
+        Command::Generate(opts) => run_generate(&opts),
+        Command::Analyse(opts) => run_analyse(&opts),
+        Command::Metrics(opts) => run_metrics(&opts),
+        Command::Model(opts) => run_model(&opts),
+        Command::Stream(opts) => run_stream(&opts),
+        Command::Seasonal(opts) => run_seasonal(&opts),
+    };
+    match result {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,641 @@
+//! The sequential reference implementation of Algorithm 1.
+//!
+//! This module follows the paper's pseudocode faithfully: for each layer
+//! and each trial, (1) look up every event's loss in each covered ELT,
+//! (2) apply the ELT's financial terms and accumulate across ELTs,
+//! (3) apply occurrence terms per event, (4) apply aggregate terms over
+//! the running cumulative loss. Every engine in `ara-engine` is checked
+//! against this implementation.
+
+use crate::elt::EventLossTable;
+use crate::error::AraError;
+use crate::event::EventId;
+use crate::layer::{apply_aggregate_stepwise, Layer, LayerTerms};
+use crate::lookup::{DirectAccessTable, LossLookup};
+use crate::real::Real;
+use crate::yet::{TrialView, YearEventTable};
+use crate::ylt::YearLossTable;
+
+/// The three inputs of aggregate risk analysis (paper, Section II): the
+/// YET, the collection of ELTs, and the layers.
+#[derive(Debug, Clone)]
+pub struct Inputs {
+    /// Pre-simulated Year Event Table.
+    pub yet: YearEventTable,
+    /// All Event Loss Tables referenced by the layers.
+    pub elts: Vec<EventLossTable>,
+    /// The reinsurance layers to analyse.
+    pub layers: Vec<Layer>,
+}
+
+impl Inputs {
+    /// Validate cross-references: every layer covers at least one ELT and
+    /// only existing ones; all ELT events fit the YET's catalogue.
+    pub fn validate(&self) -> Result<(), AraError> {
+        for (li, layer) in self.layers.iter().enumerate() {
+            if layer.elt_indices.is_empty() {
+                return Err(AraError::EmptyLayer { layer: li });
+            }
+            for &ei in &layer.elt_indices {
+                if ei >= self.elts.len() {
+                    return Err(AraError::UnknownElt { layer: li, elt: ei });
+                }
+            }
+            layer.terms.validate()?;
+        }
+        let cat = self.yet.catalogue_size();
+        for elt in &self.elts {
+            if let Some(max) = elt.max_event() {
+                if max.0 >= cat {
+                    return Err(AraError::EventOutOfCatalogue {
+                        event: max.0,
+                        catalogue_size: cat,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of ELT lookups the full analysis performs:
+    /// `sum over layers of (elts_per_layer * total_events_in_yet)` —
+    /// the "15 billion events" quantity of Section III.
+    pub fn total_lookups(&self) -> u128 {
+        let events = self.yet.total_events() as u128;
+        self.layers
+            .iter()
+            .map(|l| l.num_elts() as u128 * events)
+            .sum()
+    }
+}
+
+/// A layer after the preprocessing stage: its ELTs expanded into lookup
+/// structures and its terms captured at precision `R`.
+///
+/// The paper's preprocessing stage ("data is loaded into local memory")
+/// corresponds to building this structure; its direct-access form is what
+/// the engines treat as device global memory.
+#[derive(Debug, Clone)]
+pub struct PreparedLayer<R: Real, L: LossLookup<R> = DirectAccessTable<R>> {
+    lookups: Vec<L>,
+    fin_terms: Vec<(R, R, R, R)>,
+    terms: LayerTerms,
+}
+
+impl<R: Real> PreparedLayer<R, DirectAccessTable<R>> {
+    /// Prepare `layer` from `inputs`, expanding each covered ELT into a
+    /// direct access table over the YET's catalogue.
+    pub fn prepare(inputs: &Inputs, layer: &Layer) -> Result<Self, AraError> {
+        let cat = inputs.yet.catalogue_size();
+        let mut lookups = Vec::with_capacity(layer.num_elts());
+        let mut fin_terms = Vec::with_capacity(layer.num_elts());
+        for &ei in &layer.elt_indices {
+            let elt = inputs.elts.get(ei).ok_or(AraError::UnknownElt {
+                layer: layer.id.0 as usize,
+                elt: ei,
+            })?;
+            lookups.push(DirectAccessTable::from_elt(elt, cat)?);
+            fin_terms.push(elt.terms().as_tuple::<R>());
+        }
+        Ok(PreparedLayer {
+            lookups,
+            fin_terms,
+            terms: layer.terms,
+        })
+    }
+}
+
+impl<R: Real, L: LossLookup<R>> PreparedLayer<R, L> {
+    /// Assemble from explicit lookup structures (one per covered ELT, in
+    /// layer order) and matching financial terms.
+    pub fn from_parts(
+        lookups: Vec<L>,
+        fin_terms: Vec<crate::financial::FinancialTerms>,
+        terms: LayerTerms,
+    ) -> Self {
+        assert_eq!(
+            lookups.len(),
+            fin_terms.len(),
+            "one financial-terms tuple per lookup"
+        );
+        let fin_terms = fin_terms.iter().map(|t| t.as_tuple::<R>()).collect();
+        PreparedLayer {
+            lookups,
+            fin_terms,
+            terms,
+        }
+    }
+
+    /// The lookup structures, one per covered ELT.
+    #[inline]
+    pub fn lookups(&self) -> &[L] {
+        &self.lookups
+    }
+
+    /// Financial terms per covered ELT as `(fx, retention, limit, share)`.
+    #[inline]
+    pub fn financial_terms(&self) -> &[(R, R, R, R)] {
+        &self.fin_terms
+    }
+
+    /// The layer terms.
+    #[inline]
+    pub fn terms(&self) -> &LayerTerms {
+        &self.terms
+    }
+
+    /// Number of covered ELTs.
+    #[inline]
+    pub fn num_elts(&self) -> usize {
+        self.lookups.len()
+    }
+
+    /// Resident bytes of all lookup structures — the paper's
+    /// "15 × 2,000,000 event-loss pairs generated in memory".
+    pub fn memory_bytes(&self) -> usize {
+        self.lookups.iter().map(|l| l.memory_bytes()).sum()
+    }
+}
+
+/// Reusable per-trial scratch buffer, so the hot loop performs no
+/// allocation (workhorse-collection pattern).
+#[derive(Debug, Default, Clone)]
+pub struct TrialWorkspace<R> {
+    combined: Vec<R>,
+}
+
+impl<R: Real> TrialWorkspace<R> {
+    /// Fresh empty workspace.
+    pub fn new() -> Self {
+        TrialWorkspace {
+            combined: Vec::new(),
+        }
+    }
+
+    /// Workspace pre-sized for trials of up to `max_events` occurrences.
+    pub fn with_capacity(max_events: usize) -> Self {
+        TrialWorkspace {
+            combined: Vec::with_capacity(max_events),
+        }
+    }
+
+    #[inline]
+    fn reset(&mut self, len: usize) -> &mut [R] {
+        self.combined.clear();
+        self.combined.resize(len, R::ZERO);
+        &mut self.combined
+    }
+}
+
+/// Result of analysing one trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialResult<R> {
+    /// The trial's year loss `l_r` net of all terms.
+    pub year_loss: R,
+    /// The largest single occurrence loss net of occurrence terms.
+    pub max_occ_loss: R,
+}
+
+/// Analyse one trial under a prepared layer — Algorithm 1 lines 4–29,
+/// structured exactly as the paper's four steps.
+pub fn analyse_trial<R: Real, L: LossLookup<R>>(
+    prepared: &PreparedLayer<R, L>,
+    trial: TrialView<'_>,
+    workspace: &mut TrialWorkspace<R>,
+) -> TrialResult<R> {
+    let combined = workspace.reset(trial.len());
+
+    // Steps 1 & 2 (lines 4–13): for each covered ELT, look up each
+    // event's loss, apply the ELT's financial terms, and accumulate the
+    // net losses across ELTs into a single combined loss per occurrence.
+    for (lookup, &(fx, ret, lim, share)) in prepared.lookups.iter().zip(&prepared.fin_terms) {
+        for (d, &event) in trial.events.iter().enumerate() {
+            let ground_up = lookup.loss(event);
+            let net = share * crate::real::xl_clamp(ground_up * fx, ret, lim);
+            combined[d] += net;
+        }
+    }
+
+    // Step 3 (lines 15–17): occurrence terms per combined event loss.
+    let mut max_occ = R::ZERO;
+    for l in combined.iter_mut() {
+        *l = prepared.terms.apply_occurrence(*l);
+        max_occ = max_occ.max(*l);
+    }
+
+    // Step 4 (lines 18–29): aggregate terms over the running cumulative
+    // loss, yielding the trial's year loss.
+    let year_loss = apply_aggregate_stepwise(&prepared.terms, combined);
+
+    TrialResult {
+        year_loss,
+        max_occ_loss: max_occ,
+    }
+}
+
+/// Analyse one trial and attribute the year loss back to the individual
+/// occurrences that consumed it.
+///
+/// The marginal payouts are exactly Algorithm 1's lines 24–26 output
+/// (the per-event differences of the clamped cumulative loss) — the
+/// quantities reinstatement accounting and seasonal attribution need.
+/// Appends `(timestamp, marginal payout)` pairs to `attribution` in
+/// event order and returns the trial result.
+pub fn analyse_trial_attributed<R: Real, L: LossLookup<R>>(
+    prepared: &PreparedLayer<R, L>,
+    trial: TrialView<'_>,
+    workspace: &mut TrialWorkspace<R>,
+    attribution: &mut Vec<(crate::Timestamp, R)>,
+) -> TrialResult<R> {
+    let combined = workspace.reset(trial.len());
+    for (lookup, &(fx, ret, lim, share)) in prepared.lookups.iter().zip(&prepared.fin_terms) {
+        for (d, &event) in trial.events.iter().enumerate() {
+            let ground_up = lookup.loss(event);
+            combined[d] += share * crate::real::xl_clamp(ground_up * fx, ret, lim);
+        }
+    }
+    let mut max_occ = R::ZERO;
+    for l in combined.iter_mut() {
+        *l = prepared.terms.apply_occurrence(*l);
+        max_occ = max_occ.max(*l);
+    }
+    let year_loss = apply_aggregate_stepwise(&prepared.terms, combined);
+    attribution.extend(trial.times.iter().copied().zip(combined.iter().copied()));
+    TrialResult {
+        year_loss,
+        max_occ_loss: max_occ,
+    }
+}
+
+/// Analyse every trial of `yet` under a prepared layer, sequentially —
+/// implementation (i) of the paper.
+///
+/// Records the per-trial maximum occurrence loss so OEP curves can be
+/// derived alongside AEP.
+pub fn analyse_layer<R: Real, L: LossLookup<R>>(
+    prepared: &PreparedLayer<R, L>,
+    yet: &YearEventTable,
+) -> YearLossTable {
+    let n = yet.num_trials();
+    let mut year_loss = Vec::with_capacity(n);
+    let mut max_occ = Vec::with_capacity(n);
+    let mut ws = TrialWorkspace::with_capacity(yet.max_events_per_trial());
+    for trial in yet.trials() {
+        let r = analyse_trial(prepared, trial, &mut ws);
+        year_loss.push(r.year_loss.to_f64());
+        max_occ.push(r.max_occ_loss.to_f64());
+    }
+    YearLossTable::with_max_occurrence(year_loss, max_occ)
+        .expect("columns built together have equal length")
+}
+
+/// Analyse a single trial given raw occurrence data — convenience for
+/// tests and doc examples.
+pub fn analyse_single<R: Real>(
+    inputs: &Inputs,
+    layer: &Layer,
+    trial_index: usize,
+) -> Result<TrialResult<R>, AraError> {
+    let prepared = PreparedLayer::<R>::prepare(inputs, layer)?;
+    let mut ws = TrialWorkspace::new();
+    Ok(analyse_trial(
+        &prepared,
+        inputs.yet.trial(trial_index),
+        &mut ws,
+    ))
+}
+
+/// Reference lookup directly against the sorted ELTs — used in tests to
+/// cross-check prepared direct-access tables.
+pub fn reference_event_loss(elts: &[&EventLossTable], event: EventId) -> f64 {
+    elts.iter().map(|e| e.terms().apply(e.loss(event))).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elt::EventLoss;
+    use crate::financial::FinancialTerms;
+    use crate::layer::LayerTerms;
+    use crate::yet::YearEventTableBuilder;
+
+    fn elt(pairs: &[(u32, f64)], terms: FinancialTerms) -> EventLossTable {
+        EventLossTable::new(
+            pairs
+                .iter()
+                .map(|&(e, l)| EventLoss {
+                    event: EventId(e),
+                    loss: l,
+                })
+                .collect(),
+            terms,
+        )
+        .unwrap()
+    }
+
+    fn occ(e: u32, t: f32) -> crate::event::EventOccurrence {
+        crate::event::EventOccurrence::new(e, t)
+    }
+
+    /// Two ELTs, two trials, hand-computed expectations.
+    fn fixture() -> (Inputs, Layer) {
+        let mut b = YearEventTableBuilder::new(10);
+        b.push_trial(&[occ(1, 0.1), occ(2, 0.2), occ(3, 0.3)])
+            .unwrap();
+        b.push_trial(&[occ(4, 0.5)]).unwrap();
+        let yet = b.build();
+        let elts = vec![
+            elt(&[(1, 100.0), (3, 300.0)], FinancialTerms::identity()),
+            elt(&[(2, 50.0), (3, 10.0)], FinancialTerms::identity()),
+        ];
+        let layer = Layer::new(
+            0,
+            vec![0, 1],
+            LayerTerms {
+                occ_retention: 20.0,
+                occ_limit: 200.0,
+                agg_retention: 50.0,
+                agg_limit: 300.0,
+            },
+        );
+        (
+            Inputs {
+                yet,
+                elts,
+                layers: vec![layer.clone()],
+            },
+            layer,
+        )
+    }
+
+    #[test]
+    fn hand_computed_trial() {
+        let (inputs, layer) = fixture();
+        // Trial 0 combined: e1=100, e2=50, e3=310.
+        // Occurrence (ret 20, lim 200): 80, 30, 200.
+        // Cumulative: 80, 110, 310. Aggregate (ret 50, lim 300): 30, 60, 260.
+        // Year loss = 260.
+        let r = analyse_single::<f64>(&inputs, &layer, 0).unwrap();
+        assert_eq!(r.year_loss, 260.0);
+        assert_eq!(r.max_occ_loss, 200.0);
+    }
+
+    #[test]
+    fn trial_with_no_covered_events_has_zero_loss() {
+        let (inputs, layer) = fixture();
+        // Trial 1's only event (4) appears in no ELT.
+        let r = analyse_single::<f64>(&inputs, &layer, 1).unwrap();
+        assert_eq!(r.year_loss, 0.0);
+        assert_eq!(r.max_occ_loss, 0.0);
+    }
+
+    #[test]
+    fn analyse_layer_produces_full_ylt() {
+        let (inputs, layer) = fixture();
+        let prepared = PreparedLayer::<f64>::prepare(&inputs, &layer).unwrap();
+        let ylt = analyse_layer(&prepared, &inputs.yet);
+        assert_eq!(ylt.num_trials(), 2);
+        assert_eq!(ylt.year_losses(), &[260.0, 0.0]);
+        assert_eq!(ylt.max_occurrence_losses(), Some(&[200.0, 0.0][..]));
+    }
+
+    #[test]
+    fn financial_terms_are_applied_per_elt() {
+        let mut b = YearEventTableBuilder::new(10);
+        b.push_trial(&[occ(1, 0.1)]).unwrap();
+        let yet = b.build();
+        let elts = vec![
+            elt(
+                &[(1, 100.0)],
+                FinancialTerms {
+                    fx_rate: 2.0,
+                    retention: 50.0,
+                    limit: 1000.0,
+                    share: 0.5,
+                },
+            ),
+            elt(
+                &[(1, 100.0)],
+                FinancialTerms {
+                    fx_rate: 1.0,
+                    retention: 0.0,
+                    limit: 30.0,
+                    share: 1.0,
+                },
+            ),
+        ];
+        let layer = Layer::new(0, vec![0, 1], LayerTerms::unlimited());
+        let inputs = Inputs {
+            yet,
+            elts,
+            layers: vec![layer.clone()],
+        };
+        // ELT0: 0.5 * min(max(200 - 50, 0), 1000) = 75.
+        // ELT1: min(100, 30) = 30. Combined = 105.
+        let r = analyse_single::<f64>(&inputs, &layer, 0).unwrap();
+        assert_eq!(r.year_loss, 105.0);
+    }
+
+    #[test]
+    fn prepared_layer_accessors() {
+        let (inputs, layer) = fixture();
+        let prepared = PreparedLayer::<f64>::prepare(&inputs, &layer).unwrap();
+        assert_eq!(prepared.num_elts(), 2);
+        assert_eq!(prepared.lookups().len(), 2);
+        assert_eq!(prepared.financial_terms().len(), 2);
+        // Two dense tables over a 10-event catalogue of f64.
+        assert_eq!(prepared.memory_bytes(), 2 * 10 * 8);
+        assert_eq!(prepared.terms().occ_limit, 200.0);
+    }
+
+    #[test]
+    fn validate_catches_bad_layers() {
+        let (mut inputs, _) = fixture();
+        assert!(inputs.validate().is_ok());
+        inputs.layers[0].elt_indices = vec![];
+        assert_eq!(
+            inputs.validate().unwrap_err(),
+            AraError::EmptyLayer { layer: 0 }
+        );
+        inputs.layers[0].elt_indices = vec![9];
+        assert_eq!(
+            inputs.validate().unwrap_err(),
+            AraError::UnknownElt { layer: 0, elt: 9 }
+        );
+    }
+
+    #[test]
+    fn validate_catches_catalogue_overflow() {
+        let (mut inputs, _) = fixture();
+        inputs
+            .elts
+            .push(elt(&[(500, 1.0)], FinancialTerms::identity()));
+        assert_eq!(
+            inputs.validate().unwrap_err(),
+            AraError::EventOutOfCatalogue {
+                event: 500,
+                catalogue_size: 10
+            }
+        );
+    }
+
+    #[test]
+    fn total_lookups_counts_layer_elt_event_product() {
+        let (inputs, _) = fixture();
+        // 1 layer × 2 ELTs × 4 total events.
+        assert_eq!(inputs.total_lookups(), 8);
+    }
+
+    #[test]
+    fn f32_analysis_close_to_f64() {
+        let (inputs, layer) = fixture();
+        let r64 = analyse_single::<f64>(&inputs, &layer, 0).unwrap();
+        let r32 = analyse_single::<f32>(&inputs, &layer, 0).unwrap();
+        assert!((r64.year_loss - r32.year_loss as f64).abs() < 1e-3);
+    }
+
+    #[test]
+    fn reference_event_loss_sums_across_elts() {
+        let (inputs, _) = fixture();
+        let refs: Vec<&EventLossTable> = inputs.elts.iter().collect();
+        assert_eq!(reference_event_loss(&refs, EventId(3)), 310.0);
+        assert_eq!(reference_event_loss(&refs, EventId(7)), 0.0);
+    }
+
+    mod properties {
+        use super::*;
+        use crate::lookup::{CuckooHashTable, SortedLookup, StdHashLookup};
+        use proptest::prelude::*;
+
+        #[derive(Debug, Clone)]
+        struct Scenario {
+            yet_trials: Vec<Vec<u32>>,
+            elts: Vec<Vec<(u32, f64)>>,
+            terms: LayerTerms,
+        }
+
+        fn scenario() -> impl Strategy<Value = Scenario> {
+            let trial = prop::collection::vec(0u32..50, 0..20);
+            let trials = prop::collection::vec(trial, 1..8);
+            let elt_pairs = prop::collection::btree_map(0u32..50, 0.0..1000.0f64, 0..30)
+                .prop_map(|m| m.into_iter().collect::<Vec<_>>());
+            let elts = prop::collection::vec(elt_pairs, 1..4);
+            let term = prop_oneof![Just(0.0f64), 0.0..500.0f64];
+            let limit = prop_oneof![Just(f64::INFINITY), 0.0..500.0f64];
+            (trials, elts, term.clone(), limit.clone(), term, limit).prop_map(
+                |(yet_trials, elts, or, ol, ar, al)| Scenario {
+                    yet_trials,
+                    elts,
+                    terms: LayerTerms {
+                        occ_retention: or,
+                        occ_limit: ol,
+                        agg_retention: ar,
+                        agg_limit: al,
+                    },
+                },
+            )
+        }
+
+        fn build(s: &Scenario) -> (Inputs, Layer) {
+            let mut b = YearEventTableBuilder::new(50);
+            for t in &s.yet_trials {
+                let occs: Vec<_> = t
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &e)| occ(e, i as f32 / 32.0))
+                    .collect();
+                b.push_trial(&occs).unwrap();
+            }
+            let yet = b.build();
+            let elts: Vec<_> = s
+                .elts
+                .iter()
+                .map(|pairs| elt(pairs, FinancialTerms::identity()))
+                .collect();
+            let layer = Layer::new(0, (0..elts.len()).collect(), s.terms);
+            (
+                Inputs {
+                    yet,
+                    elts,
+                    layers: vec![layer.clone()],
+                },
+                layer,
+            )
+        }
+
+        proptest! {
+            /// Every lookup structure must produce the identical YLT: the
+            /// algorithm is parametric in the lookup strategy (Section
+            /// III's choice is about speed, not semantics).
+            #[test]
+            fn all_lookup_structures_agree(s in scenario()) {
+                let (inputs, layer) = build(&s);
+                let fin: Vec<_> =
+                    layer.elt_indices.iter().map(|&i| *inputs.elts[i].terms()).collect();
+
+                let direct = PreparedLayer::<f64>::prepare(&inputs, &layer).unwrap();
+                let ylt_direct = analyse_layer(&direct, &inputs.yet);
+
+                let sorted = PreparedLayer::from_parts(
+                    layer.elt_indices.iter()
+                        .map(|&i| SortedLookup::<f64>::from_elt(&inputs.elts[i]))
+                        .collect(),
+                    fin.clone(),
+                    layer.terms,
+                );
+                let ylt_sorted = analyse_layer(&sorted, &inputs.yet);
+
+                let hashed = PreparedLayer::from_parts(
+                    layer.elt_indices.iter()
+                        .map(|&i| StdHashLookup::<f64>::from_elt(&inputs.elts[i]))
+                        .collect(),
+                    fin.clone(),
+                    layer.terms,
+                );
+                let ylt_hashed = analyse_layer(&hashed, &inputs.yet);
+
+                let cuckoo = PreparedLayer::from_parts(
+                    layer.elt_indices.iter()
+                        .map(|&i| CuckooHashTable::<f64>::from_elt(&inputs.elts[i]).unwrap())
+                        .collect(),
+                    fin,
+                    layer.terms,
+                );
+                let ylt_cuckoo = analyse_layer(&cuckoo, &inputs.yet);
+
+                prop_assert_eq!(ylt_direct.year_losses(), ylt_sorted.year_losses());
+                prop_assert_eq!(ylt_direct.year_losses(), ylt_hashed.year_losses());
+                prop_assert_eq!(ylt_direct.year_losses(), ylt_cuckoo.year_losses());
+            }
+
+            /// Year losses respect the aggregate limit and non-negativity,
+            /// and max-occurrence losses respect the occurrence limit.
+            #[test]
+            fn outputs_respect_bounds(s in scenario()) {
+                let (inputs, layer) = build(&s);
+                let prepared = PreparedLayer::<f64>::prepare(&inputs, &layer).unwrap();
+                let ylt = analyse_layer(&prepared, &inputs.yet);
+                for &l in ylt.year_losses() {
+                    prop_assert!(l >= 0.0);
+                    prop_assert!(l <= s.terms.agg_limit + 1e-9);
+                }
+                for &m in ylt.max_occurrence_losses().unwrap() {
+                    prop_assert!(m >= 0.0);
+                    prop_assert!(m <= s.terms.occ_limit + 1e-9);
+                }
+            }
+
+            /// f32 analysis tracks f64 within single-precision tolerance.
+            #[test]
+            fn f32_tracks_f64(s in scenario()) {
+                let (inputs, layer) = build(&s);
+                let p64 = PreparedLayer::<f64>::prepare(&inputs, &layer).unwrap();
+                let p32 = PreparedLayer::<f32>::prepare(&inputs, &layer).unwrap();
+                let y64 = analyse_layer(&p64, &inputs.yet);
+                let y32 = analyse_layer(&p32, &inputs.yet);
+                let rel = y64.max_rel_diff(&y32).unwrap();
+                prop_assert!(rel < 1e-4, "relative diff {rel} too large");
+            }
+        }
+    }
+}

@@ -1,0 +1,458 @@
+//! Compressed in-memory ELT representations — the paper's future work.
+//!
+//! "Future work will aim to investigate the use of compressed
+//! representations of data in memory" (paper, Section VI). The direct
+//! access table burns `catalogue_size × sizeof(loss)` bytes per ELT for
+//! one-access lookups; the structures here trade a small, bounded number
+//! of extra accesses for order-of-magnitude memory reductions:
+//!
+//! * [`PagedDirectTable`] — a two-level direct table: the catalogue is
+//!   split into fixed pages and only pages containing at least one
+//!   non-zero loss are materialised. Lookups cost exactly **two**
+//!   dependent accesses (page index, then slot). Because real ELT
+//!   footprints are geographically clustered, most pages are empty and
+//!   the dense pages cover the footprint tightly.
+//! * [`BlockDeltaLookup`] — a delta-compressed sorted representation:
+//!   event ids are split into fixed-size blocks; each block stores its
+//!   first id uncompressed plus byte-wide deltas. Lookup = binary search
+//!   over block heads + a bounded in-block scan; memory approaches five
+//!   bytes per record plus the loss column.
+//!
+//! Both implement [`LossLookup`], so every engine can run on them
+//! unchanged — which is precisely how the trade-off should be evaluated.
+
+use crate::elt::EventLossTable;
+use crate::error::AraError;
+use crate::event::EventId;
+use crate::lookup::LossLookup;
+use crate::real::Real;
+
+/// Slots per page of a [`PagedDirectTable`].
+///
+/// 4096 slots × 4 B ≈ one large page of `f32` losses; small enough that
+/// a clustered 20 k-record footprint materialises only a few hundred
+/// pages out of a 2 M-event catalogue.
+pub const PAGE_SLOTS: usize = 4096;
+
+/// Two-level paged direct access table: one access to the page
+/// directory, one to the slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PagedDirectTable<R> {
+    /// `directory[page]` is the index into `pages`, or `u32::MAX` for an
+    /// all-zero page.
+    directory: Vec<u32>,
+    /// Dense pages, each exactly [`PAGE_SLOTS`] slots.
+    pages: Vec<R>,
+    catalogue_size: usize,
+    non_zero: usize,
+}
+
+const EMPTY_PAGE: u32 = u32::MAX;
+
+impl<R: Real> PagedDirectTable<R> {
+    /// Build from an ELT over a catalogue of `catalogue_size` events.
+    pub fn from_elt(elt: &EventLossTable, catalogue_size: u32) -> Result<Self, AraError> {
+        let n = catalogue_size as usize;
+        let num_pages = n.div_ceil(PAGE_SLOTS);
+        let mut directory = vec![EMPTY_PAGE; num_pages];
+        let mut pages: Vec<R> = Vec::new();
+        for r in elt.records() {
+            if r.event.0 >= catalogue_size {
+                return Err(AraError::EventOutOfCatalogue {
+                    event: r.event.0,
+                    catalogue_size,
+                });
+            }
+            let page = r.event.index() / PAGE_SLOTS;
+            if directory[page] == EMPTY_PAGE {
+                directory[page] = (pages.len() / PAGE_SLOTS) as u32;
+                pages.resize(pages.len() + PAGE_SLOTS, R::ZERO);
+            }
+            let base = directory[page] as usize * PAGE_SLOTS;
+            pages[base + r.event.index() % PAGE_SLOTS] = R::from_f64(r.loss);
+        }
+        Ok(PagedDirectTable {
+            directory,
+            pages,
+            catalogue_size: n,
+            non_zero: elt.len(),
+        })
+    }
+
+    /// Number of materialised (non-empty) pages.
+    pub fn materialised_pages(&self) -> usize {
+        self.pages.len() / PAGE_SLOTS
+    }
+
+    /// Total pages the catalogue spans.
+    pub fn total_pages(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Number of non-zero records.
+    pub fn non_zero(&self) -> usize {
+        self.non_zero
+    }
+
+    /// Memory saved versus the flat [`crate::DirectAccessTable`] of the
+    /// same catalogue, as a ratio (> 1 means smaller).
+    pub fn compression_ratio(&self) -> f64 {
+        let flat = self.catalogue_size * R::BYTES;
+        flat as f64 / self.memory_bytes() as f64
+    }
+}
+
+impl<R: Real> LossLookup<R> for PagedDirectTable<R> {
+    #[inline]
+    fn loss(&self, event: EventId) -> R {
+        let i = event.index();
+        if i >= self.catalogue_size {
+            return R::ZERO;
+        }
+        let page = self.directory[i / PAGE_SLOTS];
+        if page == EMPTY_PAGE {
+            return R::ZERO;
+        }
+        self.pages[page as usize * PAGE_SLOTS + i % PAGE_SLOTS]
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.directory.len() * std::mem::size_of::<u32>() + self.pages.len() * R::BYTES
+    }
+
+    fn strategy_name(&self) -> &'static str {
+        "paged-direct"
+    }
+
+    fn accesses_per_lookup(&self) -> f64 {
+        2.0
+    }
+}
+
+/// Records per block of a [`BlockDeltaLookup`].
+const BLOCK: usize = 64;
+
+/// Delta-compressed sorted lookup: block heads + byte deltas.
+///
+/// Blocks whose internal gaps exceed 255 fall back to storing the raw
+/// ids for that block (escape mechanism), so construction never fails.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockDeltaLookup<R> {
+    /// First event id of each block (sorted).
+    heads: Vec<u32>,
+    /// Per-block encoding: offset into `deltas` (compressed blocks) or
+    /// into `raw` (escaped blocks), tagged by the high bit.
+    offsets: Vec<u32>,
+    /// Byte deltas between consecutive ids within a compressed block.
+    deltas: Vec<u8>,
+    /// Raw ids of escaped blocks.
+    raw: Vec<u32>,
+    /// Losses in record order.
+    losses: Vec<R>,
+    len: usize,
+}
+
+const ESCAPE_TAG: u32 = 1 << 31;
+
+impl<R: Real> BlockDeltaLookup<R> {
+    /// Build from an ELT (records already sorted, unique).
+    pub fn from_elt(elt: &EventLossTable) -> Self {
+        let ids: Vec<u32> = elt.records().iter().map(|r| r.event.0).collect();
+        let losses: Vec<R> = elt.records().iter().map(|r| R::from_f64(r.loss)).collect();
+        let mut heads = Vec::new();
+        let mut offsets = Vec::new();
+        let mut deltas = Vec::new();
+        let mut raw = Vec::new();
+        for block in ids.chunks(BLOCK) {
+            heads.push(block[0]);
+            let compressible = block.windows(2).all(|w| w[1] - w[0] <= u8::MAX as u32);
+            if compressible {
+                offsets.push(deltas.len() as u32);
+                for w in block.windows(2) {
+                    deltas.push((w[1] - w[0]) as u8);
+                }
+            } else {
+                offsets.push(raw.len() as u32 | ESCAPE_TAG);
+                raw.extend_from_slice(&block[1..]);
+            }
+        }
+        BlockDeltaLookup {
+            heads,
+            offsets,
+            deltas,
+            raw,
+            losses,
+            len: ids.len(),
+        }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Fraction of blocks stored as byte deltas (vs raw escapes).
+    pub fn compressed_fraction(&self) -> f64 {
+        if self.offsets.is_empty() {
+            return 1.0;
+        }
+        let escaped = self
+            .offsets
+            .iter()
+            .filter(|&&o| o & ESCAPE_TAG != 0)
+            .count();
+        1.0 - escaped as f64 / self.offsets.len() as f64
+    }
+
+    /// Length of block `b` (the tail block may be short).
+    #[inline]
+    fn block_len(&self, b: usize) -> usize {
+        let start = b * BLOCK;
+        (self.len - start).min(BLOCK)
+    }
+}
+
+impl<R: Real> LossLookup<R> for BlockDeltaLookup<R> {
+    fn loss(&self, event: EventId) -> R {
+        let id = event.0;
+        if self.heads.is_empty() || id < self.heads[0] {
+            return R::ZERO;
+        }
+        // Find the block whose head is the last <= id.
+        let b = self.heads.partition_point(|&h| h <= id) - 1;
+        let blen = self.block_len(b);
+        let base = b * BLOCK;
+        let offset = self.offsets[b];
+        if offset & ESCAPE_TAG != 0 {
+            let raw_start = (offset & !ESCAPE_TAG) as usize;
+            if self.heads[b] == id {
+                return self.losses[base];
+            }
+            let slice = &self.raw[raw_start..raw_start + blen - 1];
+            match slice.binary_search(&id) {
+                Ok(i) => self.losses[base + 1 + i],
+                Err(_) => R::ZERO,
+            }
+        } else {
+            let mut current = self.heads[b];
+            if current == id {
+                return self.losses[base];
+            }
+            let dstart = offset as usize;
+            for i in 0..blen - 1 {
+                current += self.deltas[dstart + i] as u32;
+                if current == id {
+                    return self.losses[base + 1 + i];
+                }
+                if current > id {
+                    return R::ZERO;
+                }
+            }
+            R::ZERO
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.heads.len() * 4
+            + self.offsets.len() * 4
+            + self.deltas.len()
+            + self.raw.len() * 4
+            + self.losses.len() * R::BYTES
+    }
+
+    fn strategy_name(&self) -> &'static str {
+        "block-delta"
+    }
+
+    fn accesses_per_lookup(&self) -> f64 {
+        // Binary search over block heads + ~half a block of byte-dense
+        // scanning (a few cache lines).
+        (self.heads.len().max(2) as f64).log2() + 3.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elt::EventLoss;
+    use crate::financial::FinancialTerms;
+
+    fn elt(pairs: &[(u32, f64)]) -> EventLossTable {
+        EventLossTable::new(
+            pairs
+                .iter()
+                .map(|&(e, l)| EventLoss {
+                    event: EventId(e),
+                    loss: l,
+                })
+                .collect(),
+            FinancialTerms::identity(),
+        )
+        .unwrap()
+    }
+
+    fn clustered_elt(n: usize, anchor: u32, stride: u32) -> EventLossTable {
+        elt(&(0..n)
+            .map(|i| (anchor + i as u32 * stride, (i + 1) as f64))
+            .collect::<Vec<_>>())
+    }
+
+    fn check_agreement<L: LossLookup<f64>>(lookup: &L, reference: &EventLossTable, cat: u32) {
+        for id in 0..cat + 16 {
+            assert_eq!(
+                lookup.loss(EventId(id)),
+                reference.loss(EventId(id)),
+                "{} disagrees at {id}",
+                lookup.strategy_name()
+            );
+        }
+    }
+
+    #[test]
+    fn paged_agrees_with_reference() {
+        let e = clustered_elt(100, 5000, 7);
+        let p = PagedDirectTable::<f64>::from_elt(&e, 20_000).unwrap();
+        check_agreement(&p, &e, 20_000);
+    }
+
+    #[test]
+    fn paged_materialises_only_touched_pages() {
+        // 100 records at stride 7 from 5000: ids 5000..5693 — one or two
+        // 4096-slot pages out of 489.
+        let e = clustered_elt(100, 5000, 7);
+        let p = PagedDirectTable::<f64>::from_elt(&e, 2_000_000).unwrap();
+        assert_eq!(p.total_pages(), 489);
+        assert!(
+            p.materialised_pages() <= 2,
+            "{} pages",
+            p.materialised_pages()
+        );
+        assert!(
+            p.compression_ratio() > 100.0,
+            "ratio {}",
+            p.compression_ratio()
+        );
+        assert_eq!(p.non_zero(), 100);
+    }
+
+    #[test]
+    fn paged_empty_elt() {
+        let e = elt(&[]);
+        let p = PagedDirectTable::<f64>::from_elt(&e, 10_000).unwrap();
+        assert_eq!(p.materialised_pages(), 0);
+        assert_eq!(p.loss(EventId(5)), 0.0);
+    }
+
+    #[test]
+    fn paged_rejects_out_of_catalogue() {
+        let e = elt(&[(100, 1.0)]);
+        assert!(PagedDirectTable::<f64>::from_elt(&e, 100).is_err());
+    }
+
+    #[test]
+    fn paged_handles_page_boundaries() {
+        let boundary = PAGE_SLOTS as u32;
+        let e = elt(&[(boundary - 1, 1.0), (boundary, 2.0), (boundary + 1, 3.0)]);
+        let p = PagedDirectTable::<f64>::from_elt(&e, 3 * boundary).unwrap();
+        assert_eq!(p.loss(EventId(boundary - 1)), 1.0);
+        assert_eq!(p.loss(EventId(boundary)), 2.0);
+        assert_eq!(p.loss(EventId(boundary + 1)), 3.0);
+        assert_eq!(p.materialised_pages(), 2);
+    }
+
+    #[test]
+    fn block_delta_agrees_with_reference_dense() {
+        let e = clustered_elt(300, 1000, 3);
+        let d = BlockDeltaLookup::<f64>::from_elt(&e);
+        check_agreement(&d, &e, 3000);
+        assert_eq!(d.len(), 300);
+        assert_eq!(d.compressed_fraction(), 1.0);
+    }
+
+    #[test]
+    fn block_delta_escapes_wide_gaps() {
+        // Gaps of 10_000 exceed a byte delta: every block escapes to raw.
+        let e = clustered_elt(200, 0, 10_000);
+        let d = BlockDeltaLookup::<f64>::from_elt(&e);
+        assert_eq!(d.compressed_fraction(), 0.0);
+        check_agreement(&d, &e, 50_000);
+        // Spot-check the far end too (check_agreement only covers a
+        // prefix of the id range).
+        assert_eq!(d.loss(EventId(199 * 10_000)), 200.0);
+        assert_eq!(d.loss(EventId(199 * 10_000 - 1)), 0.0);
+    }
+
+    #[test]
+    fn block_delta_mixed_blocks() {
+        // First block dense (compressible), second block sparse (escaped).
+        let mut pairs: Vec<(u32, f64)> = (0..BLOCK as u32).map(|i| (i, i as f64 + 1.0)).collect();
+        pairs.extend((0..BLOCK as u32).map(|i| (1_000_000 + i * 5_000, 500.0 + i as f64)));
+        let e = elt(&pairs);
+        let d = BlockDeltaLookup::<f64>::from_elt(&e);
+        assert!((d.compressed_fraction() - 0.5).abs() < 1e-12);
+        for &(id, loss) in &pairs {
+            assert_eq!(d.loss(EventId(id)), loss);
+        }
+        assert_eq!(d.loss(EventId(999_999)), 0.0);
+        assert_eq!(d.loss(EventId(1_000_001)), 0.0);
+    }
+
+    #[test]
+    fn block_delta_empty_and_below_range() {
+        let d = BlockDeltaLookup::<f64>::from_elt(&elt(&[]));
+        assert!(d.is_empty());
+        assert_eq!(d.loss(EventId(0)), 0.0);
+        let d = BlockDeltaLookup::<f64>::from_elt(&elt(&[(100, 1.0)]));
+        assert_eq!(d.loss(EventId(99)), 0.0);
+        assert_eq!(d.loss(EventId(100)), 1.0);
+        assert_eq!(d.loss(EventId(101)), 0.0);
+    }
+
+    #[test]
+    fn block_delta_is_much_smaller_than_direct() {
+        let e = clustered_elt(20_000, 100_000, 9);
+        let d = BlockDeltaLookup::<f64>::from_elt(&e);
+        let direct_bytes = 2_000_000 * 8;
+        assert!(
+            d.memory_bytes() * 10 < direct_bytes,
+            "delta {} vs direct {direct_bytes}",
+            d.memory_bytes()
+        );
+        // ~ (8 B loss + ~1.3 B id) per record.
+        assert!(d.memory_bytes() < 20_000 * 12);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Both compressed structures agree with the reference ELT on
+            /// arbitrary footprints, including at block/page boundaries.
+            #[test]
+            fn compressed_structures_agree(
+                pairs in prop::collection::btree_map(0u32..100_000, 0.1..1e9f64, 0..400),
+                probes in prop::collection::vec(0u32..100_016, 0..200),
+            ) {
+                let e = elt(&pairs.iter().map(|(&k, &v)| (k, v)).collect::<Vec<_>>());
+                let p = PagedDirectTable::<f64>::from_elt(&e, 100_016).unwrap();
+                let d = BlockDeltaLookup::<f64>::from_elt(&e);
+                for id in probes {
+                    let want = e.loss(EventId(id));
+                    prop_assert_eq!(p.loss(EventId(id)), want, "paged at {}", id);
+                    prop_assert_eq!(d.loss(EventId(id)), want, "delta at {}", id);
+                }
+                // Every stored record must be found exactly.
+                for (&k, &v) in &pairs {
+                    prop_assert_eq!(p.loss(EventId(k)), v);
+                    prop_assert_eq!(d.loss(EventId(k)), v);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Event Loss Tables (ELTs).
+//!
+//! An ELT records, for one exposure set, the loss each catalogue event
+//! would cause: a sparse dictionary from event id to loss, plus the
+//! [`FinancialTerms`] metadata applied to each individual event loss
+//! (paper, Section II). A typical aggregate analysis involves ~10,000 ELTs
+//! of 10,000–30,000 records against a catalogue of millions of events —
+//! hence the lookup-structure study in [`crate::lookup`].
+
+use crate::error::AraError;
+use crate::event::EventId;
+use crate::financial::FinancialTerms;
+use serde::{Deserialize, Serialize};
+
+/// One ELT record: `EL_i = {E_i, l_i}`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EventLoss {
+    /// The catalogue event.
+    pub event: EventId,
+    /// Ground-up loss caused by the event against this exposure set.
+    pub loss: f64,
+}
+
+/// An Event Loss Table: sorted sparse records plus financial terms.
+///
+/// Records are kept sorted by event id with no duplicates; this is the
+/// canonical interchange form from which every lookup structure in
+/// [`crate::lookup`] is built.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventLossTable {
+    records: Vec<EventLoss>,
+    terms: FinancialTerms,
+}
+
+impl EventLossTable {
+    /// Build from records, sorting by event id and validating losses.
+    ///
+    /// Returns an error on duplicate event ids or negative / non-finite
+    /// losses.
+    pub fn new(mut records: Vec<EventLoss>, terms: FinancialTerms) -> Result<Self, AraError> {
+        terms.validate()?;
+        for r in &records {
+            if !r.loss.is_finite() || r.loss < 0.0 {
+                return Err(AraError::InvalidValue { what: "event loss" });
+            }
+        }
+        records.sort_unstable_by_key(|r| r.event);
+        for pair in records.windows(2) {
+            if pair[0].event == pair[1].event {
+                return Err(AraError::DuplicateEvent {
+                    event: pair[0].event.0,
+                });
+            }
+        }
+        Ok(EventLossTable { records, terms })
+    }
+
+    /// Number of (non-zero) records.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the table holds no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The sorted records.
+    #[inline]
+    pub fn records(&self) -> &[EventLoss] {
+        &self.records
+    }
+
+    /// The financial terms applied to each individual event loss.
+    #[inline]
+    pub fn terms(&self) -> &FinancialTerms {
+        &self.terms
+    }
+
+    /// The largest event id present, if any.
+    pub fn max_event(&self) -> Option<EventId> {
+        self.records.last().map(|r| r.event)
+    }
+
+    /// Ground-up loss for `event`, or 0.0 if the event causes no loss to
+    /// this exposure set (binary search over the sorted records).
+    pub fn loss(&self, event: EventId) -> f64 {
+        match self.records.binary_search_by_key(&event, |r| r.event) {
+            Ok(i) => self.records[i].loss,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sum of all recorded ground-up losses (useful for validation).
+    pub fn total_ground_up_loss(&self) -> f64 {
+        self.records.iter().map(|r| r.loss).sum()
+    }
+
+    /// Density of the table relative to a catalogue of `catalogue_size`
+    /// events: fraction of events with a non-zero loss.
+    pub fn density(&self, catalogue_size: u32) -> f64 {
+        if catalogue_size == 0 {
+            0.0
+        } else {
+            self.len() as f64 / catalogue_size as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(e: u32, l: f64) -> EventLoss {
+        EventLoss {
+            event: EventId(e),
+            loss: l,
+        }
+    }
+
+    fn table() -> EventLossTable {
+        EventLossTable::new(
+            vec![rec(5, 50.0), rec(1, 10.0), rec(9, 90.0)],
+            FinancialTerms::identity(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn records_are_sorted_on_construction() {
+        let t = table();
+        let ids: Vec<u32> = t.records().iter().map(|r| r.event.0).collect();
+        assert_eq!(ids, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn lookup_hits_and_misses() {
+        let t = table();
+        assert_eq!(t.loss(EventId(1)), 10.0);
+        assert_eq!(t.loss(EventId(5)), 50.0);
+        assert_eq!(t.loss(EventId(9)), 90.0);
+        assert_eq!(t.loss(EventId(0)), 0.0);
+        assert_eq!(t.loss(EventId(7)), 0.0);
+        assert_eq!(t.loss(EventId(1000)), 0.0);
+    }
+
+    #[test]
+    fn duplicate_events_rejected() {
+        let err = EventLossTable::new(vec![rec(3, 1.0), rec(3, 2.0)], FinancialTerms::identity())
+            .unwrap_err();
+        assert_eq!(err, AraError::DuplicateEvent { event: 3 });
+    }
+
+    #[test]
+    fn negative_loss_rejected() {
+        let err = EventLossTable::new(vec![rec(3, -1.0)], FinancialTerms::identity()).unwrap_err();
+        assert_eq!(err, AraError::InvalidValue { what: "event loss" });
+    }
+
+    #[test]
+    fn nan_loss_rejected() {
+        assert!(EventLossTable::new(vec![rec(3, f64::NAN)], FinancialTerms::identity()).is_err());
+    }
+
+    #[test]
+    fn invalid_terms_rejected() {
+        let mut terms = FinancialTerms::identity();
+        terms.share = 2.0;
+        assert!(EventLossTable::new(vec![rec(1, 1.0)], terms).is_err());
+    }
+
+    #[test]
+    fn empty_table_is_fine() {
+        let t = EventLossTable::new(vec![], FinancialTerms::identity()).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.max_event(), None);
+        assert_eq!(t.loss(EventId(0)), 0.0);
+        assert_eq!(t.total_ground_up_loss(), 0.0);
+    }
+
+    #[test]
+    fn aggregates_and_density() {
+        let t = table();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.max_event(), Some(EventId(9)));
+        assert_eq!(t.total_ground_up_loss(), 150.0);
+        assert_eq!(t.density(10), 0.3);
+        assert_eq!(t.density(0), 0.0);
+    }
+}

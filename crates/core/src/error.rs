@@ -1,0 +1,112 @@
+//! Error type shared across the aggregate-risk crates.
+
+use std::fmt;
+
+/// Errors raised while building or validating aggregate-risk inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AraError {
+    /// An event id is outside the global catalogue.
+    EventOutOfCatalogue {
+        /// The offending event id.
+        event: u32,
+        /// The size of the catalogue it must fit in.
+        catalogue_size: u32,
+    },
+    /// Trial events were not sorted by ascending timestamp.
+    UnsortedTrial {
+        /// Index of the trial in the YET.
+        trial: usize,
+    },
+    /// A layer references an ELT index that does not exist.
+    UnknownElt {
+        /// Index of the layer.
+        layer: usize,
+        /// The missing ELT index.
+        elt: usize,
+    },
+    /// A layer covers no ELTs.
+    EmptyLayer {
+        /// Index of the layer.
+        layer: usize,
+    },
+    /// A loss or term value is negative or non-finite.
+    InvalidValue {
+        /// Description of the field that failed validation.
+        what: &'static str,
+    },
+    /// A duplicate event id was inserted into an ELT.
+    DuplicateEvent {
+        /// The duplicated event id.
+        event: u32,
+    },
+    /// A hash-table insertion could not complete (cuckoo cycle after rehash
+    /// attempts).
+    HashTableFull,
+    /// Two structures that must agree on trial count do not.
+    TrialCountMismatch {
+        /// Expected number of trials.
+        expected: usize,
+        /// Actual number of trials.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for AraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AraError::EventOutOfCatalogue {
+                event,
+                catalogue_size,
+            } => write!(
+                f,
+                "event id {event} is outside the catalogue of {catalogue_size} events"
+            ),
+            AraError::UnsortedTrial { trial } => {
+                write!(f, "trial {trial} is not sorted by ascending timestamp")
+            }
+            AraError::UnknownElt { layer, elt } => {
+                write!(f, "layer {layer} references unknown ELT index {elt}")
+            }
+            AraError::EmptyLayer { layer } => write!(f, "layer {layer} covers no ELTs"),
+            AraError::InvalidValue { what } => {
+                write!(f, "invalid value: {what} must be finite and non-negative")
+            }
+            AraError::DuplicateEvent { event } => {
+                write!(f, "duplicate event id {event} in event loss table")
+            }
+            AraError::HashTableFull => write!(f, "cuckoo hash table insertion failed"),
+            AraError::TrialCountMismatch { expected, actual } => {
+                write!(f, "trial count mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AraError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = AraError::EventOutOfCatalogue {
+            event: 7,
+            catalogue_size: 5,
+        };
+        assert!(e.to_string().contains("7"));
+        assert!(e.to_string().contains("5"));
+        let e = AraError::TrialCountMismatch {
+            expected: 10,
+            actual: 9,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("9"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(AraError::HashTableFull);
+        assert!(e.to_string().contains("cuckoo"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Event identifiers and occurrences.
+//!
+//! The unit of simulation is the *event occurrence*: a catastrophe event
+//! from a global stochastic catalogue happening at a point in time inside a
+//! contractual year. A trial in the [`crate::YearEventTable`] is a
+//! time-ordered sequence of occurrences.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a stochastic event in the global catalogue.
+///
+/// Catalogues are dense: ids run from `0` to `catalogue_size - 1`. The
+/// paper's example catalogue has 2,000,000 events, so a `u32` is ample and
+/// keeps the hot arrays half the size of `usize` indices.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[repr(transparent)]
+pub struct EventId(pub u32);
+
+impl EventId {
+    /// The id as a `usize` index into catalogue-sized arrays.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for EventId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        EventId(v)
+    }
+}
+
+/// Time of an occurrence within the contractual year, as a fraction in
+/// `[0, 1)`.
+///
+/// Aggregate terms are order-dependent (Algorithm 1, lines 18–26), so the
+/// timestamp's only algorithmic role is to define the event ordering within
+/// a trial; a year-fraction keeps the representation compact (`f32`) while
+/// still supporting seasonality analysis.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[repr(transparent)]
+pub struct Timestamp(pub f32);
+
+impl Timestamp {
+    /// Construct from a day-of-year (0-based) assuming a 365-day year.
+    #[inline]
+    pub fn from_day(day: u32) -> Self {
+        Timestamp(day as f32 / 365.0)
+    }
+
+    /// The year fraction.
+    #[inline]
+    pub fn year_fraction(self) -> f32 {
+        self.0
+    }
+
+    /// True if the timestamp lies in the canonical `[0, 1)` range.
+    #[inline]
+    pub fn is_canonical(self) -> bool {
+        self.0.is_finite() && (0.0..1.0).contains(&self.0)
+    }
+}
+
+/// One event occurrence inside a trial: the `(E_{i,k}, t_{i,k})` tuple of
+/// the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EventOccurrence {
+    /// Which catalogue event occurred.
+    pub event: EventId,
+    /// When in the contractual year it occurred.
+    pub time: Timestamp,
+}
+
+impl EventOccurrence {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(event: u32, time: f32) -> Self {
+        EventOccurrence {
+            event: EventId(event),
+            time: Timestamp(time),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_id_is_four_bytes() {
+        assert_eq!(std::mem::size_of::<EventId>(), 4);
+        assert_eq!(std::mem::size_of::<Timestamp>(), 4);
+        assert_eq!(std::mem::size_of::<EventOccurrence>(), 8);
+    }
+
+    #[test]
+    fn event_id_index_round_trip() {
+        let e = EventId(1234);
+        assert_eq!(e.index(), 1234usize);
+        assert_eq!(EventId::from(1234u32), e);
+    }
+
+    #[test]
+    fn timestamp_from_day() {
+        assert_eq!(Timestamp::from_day(0).year_fraction(), 0.0);
+        let mid = Timestamp::from_day(182);
+        assert!((mid.year_fraction() - 0.49863014).abs() < 1e-6);
+        assert!(mid.is_canonical());
+    }
+
+    #[test]
+    fn timestamp_canonical_range() {
+        assert!(Timestamp(0.0).is_canonical());
+        assert!(Timestamp(0.999).is_canonical());
+        assert!(!Timestamp(1.0).is_canonical());
+        assert!(!Timestamp(-0.1).is_canonical());
+        assert!(!Timestamp(f32::NAN).is_canonical());
+    }
+
+    #[test]
+    fn occurrence_constructor() {
+        let o = EventOccurrence::new(42, 0.25);
+        assert_eq!(o.event, EventId(42));
+        assert_eq!(o.time, Timestamp(0.25));
+    }
+}

@@ -1,0 +1,196 @@
+//! Per-ELT financial terms.
+//!
+//! Each Event Loss Table carries metadata — "information about currency
+//! exchange rates and terms that are applied at the level of each
+//! individual event loss" (paper, Section II), the tuple
+//! `I = (I_1, I_2, …)`. We model the standard set used for such event-level
+//! terms in catastrophe reinsurance: a currency conversion rate, an
+//! event-level retention (deductible) and limit forming an excess-of-loss
+//! band, and a participation share.
+
+use crate::real::{xl_clamp, Real};
+use serde::{Deserialize, Serialize};
+
+/// Financial terms applied to every individual event loss of one ELT
+/// (Algorithm 1, line 9: `ApplyFinancialTerms(I)`).
+///
+/// The net-of-terms loss for a ground-up loss `l` is
+/// `share * min(max(l * fx_rate - retention, 0), limit)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FinancialTerms {
+    /// Currency exchange rate applied to the recorded loss.
+    pub fx_rate: f64,
+    /// Event-level retention (deductible) of the cedant.
+    pub retention: f64,
+    /// Event-level limit (coverage ceiling) in excess of the retention.
+    pub limit: f64,
+    /// Participation share of the reinsurer, in `[0, 1]`.
+    pub share: f64,
+}
+
+impl FinancialTerms {
+    /// Pass-through terms: no currency conversion, no band, full share.
+    pub fn identity() -> Self {
+        FinancialTerms {
+            fx_rate: 1.0,
+            retention: 0.0,
+            limit: f64::INFINITY,
+            share: 1.0,
+        }
+    }
+
+    /// True if applying these terms is the identity function on losses.
+    pub fn is_identity(&self) -> bool {
+        self.fx_rate == 1.0
+            && self.retention == 0.0
+            && self.limit == f64::INFINITY
+            && self.share == 1.0
+    }
+
+    /// Apply the terms to a ground-up loss at precision `R`.
+    #[inline(always)]
+    pub fn apply<R: Real>(&self, loss: R) -> R {
+        let fx = R::from_f64(self.fx_rate);
+        let ret = R::from_f64(self.retention);
+        let lim = R::from_f64(self.limit);
+        let share = R::from_f64(self.share);
+        share * xl_clamp(loss * fx, ret, lim)
+    }
+
+    /// Validate that all fields are finite (limit may be `+inf`) and
+    /// non-negative, with `share <= 1`.
+    pub fn validate(&self) -> Result<(), crate::AraError> {
+        let bad = |what| Err(crate::AraError::InvalidValue { what });
+        if !self.fx_rate.is_finite() || self.fx_rate < 0.0 {
+            return bad("financial fx_rate");
+        }
+        if !self.retention.is_finite() || self.retention < 0.0 {
+            return bad("financial retention");
+        }
+        if self.limit.is_nan() || self.limit < 0.0 {
+            return bad("financial limit");
+        }
+        if !self.share.is_finite() || !(0.0..=1.0).contains(&self.share) {
+            return bad("financial share");
+        }
+        Ok(())
+    }
+
+    /// The four terms as an `R`-precision tuple `(fx, retention, limit,
+    /// share)` — the form the GPU engines stage into constant memory.
+    #[inline]
+    pub fn as_tuple<R: Real>(&self) -> (R, R, R, R) {
+        (
+            R::from_f64(self.fx_rate),
+            R::from_f64(self.retention),
+            R::from_f64(self.limit),
+            R::from_f64(self.share),
+        )
+    }
+}
+
+impl Default for FinancialTerms {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_identity() {
+        let t = FinancialTerms::identity();
+        assert!(t.is_identity());
+        assert_eq!(t.apply(123.456f64), 123.456);
+        assert_eq!(t.apply(0.0f64), 0.0);
+    }
+
+    #[test]
+    fn default_is_identity() {
+        assert!(FinancialTerms::default().is_identity());
+    }
+
+    #[test]
+    fn fx_conversion_applies_first() {
+        let t = FinancialTerms {
+            fx_rate: 2.0,
+            retention: 10.0,
+            limit: 100.0,
+            share: 1.0,
+        };
+        // 30 * 2 = 60; 60 - 10 = 50.
+        assert_eq!(t.apply(30.0f64), 50.0);
+    }
+
+    #[test]
+    fn share_scales_the_clamped_loss() {
+        let t = FinancialTerms {
+            fx_rate: 1.0,
+            retention: 0.0,
+            limit: 100.0,
+            share: 0.25,
+        };
+        assert_eq!(t.apply(80.0f64), 20.0);
+        // Limit binds before the share is applied.
+        assert_eq!(t.apply(400.0f64), 25.0);
+    }
+
+    #[test]
+    fn retention_below_zeroes_out() {
+        let t = FinancialTerms {
+            fx_rate: 1.0,
+            retention: 50.0,
+            limit: 100.0,
+            share: 1.0,
+        };
+        assert_eq!(t.apply(49.0f64), 0.0);
+    }
+
+    #[test]
+    fn f32_path_agrees_with_f64_on_representable_values() {
+        let t = FinancialTerms {
+            fx_rate: 1.5,
+            retention: 8.0,
+            limit: 64.0,
+            share: 0.5,
+        };
+        for loss in [0.0, 4.0, 16.0, 128.0] {
+            assert_eq!(t.apply(loss as f32) as f64, t.apply(loss));
+        }
+    }
+
+    #[test]
+    fn infinite_limit_is_valid() {
+        assert!(FinancialTerms::identity().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        let mut t = FinancialTerms::identity();
+        t.fx_rate = -1.0;
+        assert!(t.validate().is_err());
+        let mut t = FinancialTerms::identity();
+        t.retention = f64::NAN;
+        assert!(t.validate().is_err());
+        let mut t = FinancialTerms::identity();
+        t.share = 1.5;
+        assert!(t.validate().is_err());
+        let mut t = FinancialTerms::identity();
+        t.limit = -5.0;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn as_tuple_matches_fields() {
+        let t = FinancialTerms {
+            fx_rate: 2.0,
+            retention: 3.0,
+            limit: 4.0,
+            share: 0.5,
+        };
+        assert_eq!(t.as_tuple::<f64>(), (2.0, 3.0, 4.0, 0.5));
+        assert_eq!(t.as_tuple::<f32>(), (2.0f32, 3.0, 4.0, 0.5));
+    }
+}

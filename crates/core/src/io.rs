@@ -1,0 +1,838 @@
+//! Binary snapshots of analysis inputs.
+//!
+//! A production YET is pre-simulated once and reused across thousands of
+//! pricing runs, so it lives on disk. This module defines a compact
+//! little-endian container for [`Inputs`] (YET + ELTs + layers) with a
+//! magic header and version, written and read through any
+//! `std::io::Write`/`Read`. All values round-trip exactly (losses and
+//! terms are stored as raw IEEE-754 bits, so infinite limits survive).
+//!
+//! Layout (version 1):
+//!
+//! ```text
+//! "ARA\x01" | catalogue_size u32 | num_trials u64
+//! offsets  (num_trials+1) × u32
+//! events   total_events   × u32
+//! times    total_events   × f32
+//! num_elts u32
+//!   per ELT: fx,ret,lim,share f64 ×4 | num_records u32 | (event u32, loss f64)…
+//! num_layers u32
+//!   per layer: id u32 | occR,occL,aggR,aggL f64 ×4 | num_elts u32 | indices u32…
+//! ```
+
+use crate::analysis::Inputs;
+use crate::elt::{EventLoss, EventLossTable};
+use crate::error::AraError;
+use crate::event::{EventId, EventOccurrence};
+use crate::financial::FinancialTerms;
+use crate::layer::{Layer, LayerTerms};
+use crate::yet::YearEventTableBuilder;
+use std::io::{Read, Write};
+
+/// Magic bytes + version of the column-major snapshot format.
+const MAGIC: [u8; 4] = *b"ARA\x01";
+/// Magic bytes + version of the trial-major (streamable) format.
+const MAGIC_INTERLEAVED: [u8; 4] = *b"ARA\x02";
+
+/// Errors raised while reading or writing snapshots.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The stream does not start with the expected magic/version.
+    BadMagic,
+    /// Structurally invalid content (truncation, counts out of range).
+    Corrupt(&'static str),
+    /// Decoded data fails domain validation.
+    Invalid(AraError),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not an ARA snapshot (bad magic or version)"),
+            SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+            SnapshotError::Invalid(e) => write!(f, "snapshot decodes to invalid inputs: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            SnapshotError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<AraError> for SnapshotError {
+    fn from(e: AraError) -> Self {
+        SnapshotError::Invalid(e)
+    }
+}
+
+// --- primitive codecs -----------------------------------------------------
+
+fn put_u32<W: Write>(w: &mut W, v: u32) -> Result<(), SnapshotError> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn put_u64<W: Write>(w: &mut W, v: u64) -> Result<(), SnapshotError> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn put_f64<W: Write>(w: &mut W, v: f64) -> Result<(), SnapshotError> {
+    w.write_all(&v.to_bits().to_le_bytes())?;
+    Ok(())
+}
+
+fn put_f32<W: Write>(w: &mut W, v: f32) -> Result<(), SnapshotError> {
+    w.write_all(&v.to_bits().to_le_bytes())?;
+    Ok(())
+}
+
+fn get_u32<R: Read>(r: &mut R) -> Result<u32, SnapshotError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn get_u64<R: Read>(r: &mut R) -> Result<u64, SnapshotError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn get_f64<R: Read>(r: &mut R) -> Result<f64, SnapshotError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_bits(u64::from_le_bytes(b)))
+}
+
+fn get_f32<R: Read>(r: &mut R) -> Result<f32, SnapshotError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_bits(u32::from_le_bytes(b)))
+}
+
+/// Sanity ceiling on element counts, to fail fast on corrupt streams
+/// instead of attempting absurd allocations.
+const MAX_COUNT: u64 = 1 << 33;
+
+fn checked_len(v: u64, what: &'static str) -> Result<usize, SnapshotError> {
+    if v > MAX_COUNT {
+        return Err(SnapshotError::Corrupt(what));
+    }
+    Ok(v as usize)
+}
+
+// --- inputs ----------------------------------------------------------------
+
+/// Write `inputs` as a version-1 snapshot.
+pub fn write_inputs<W: Write>(w: &mut W, inputs: &Inputs) -> Result<(), SnapshotError> {
+    w.write_all(&MAGIC)?;
+    // YET.
+    let yet = &inputs.yet;
+    put_u32(w, yet.catalogue_size())?;
+    put_u64(w, yet.num_trials() as u64)?;
+    for &o in yet.offsets() {
+        put_u32(w, o)?;
+    }
+    for &e in yet.packed_events() {
+        put_u32(w, e.0)?;
+    }
+    for &t in yet.packed_times() {
+        put_f32(w, t.0)?;
+    }
+    // ELTs.
+    put_u32(w, inputs.elts.len() as u32)?;
+    for elt in &inputs.elts {
+        let t = elt.terms();
+        put_f64(w, t.fx_rate)?;
+        put_f64(w, t.retention)?;
+        put_f64(w, t.limit)?;
+        put_f64(w, t.share)?;
+        put_u32(w, elt.len() as u32)?;
+        for r in elt.records() {
+            put_u32(w, r.event.0)?;
+            put_f64(w, r.loss)?;
+        }
+    }
+    // Layers.
+    put_u32(w, inputs.layers.len() as u32)?;
+    for layer in &inputs.layers {
+        put_u32(w, layer.id.0)?;
+        put_f64(w, layer.terms.occ_retention)?;
+        put_f64(w, layer.terms.occ_limit)?;
+        put_f64(w, layer.terms.agg_retention)?;
+        put_f64(w, layer.terms.agg_limit)?;
+        put_u32(w, layer.elt_indices.len() as u32)?;
+        for &i in &layer.elt_indices {
+            put_u32(w, i as u32)?;
+        }
+    }
+    Ok(())
+}
+
+/// Read a version-1 snapshot, validating the result.
+pub fn read_inputs<R: Read>(r: &mut R) -> Result<Inputs, SnapshotError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    // YET.
+    let catalogue_size = get_u32(r)?;
+    let num_trials = checked_len(get_u64(r)?, "trial count")?;
+    let mut offsets = Vec::with_capacity(num_trials + 1);
+    for _ in 0..=num_trials {
+        offsets.push(get_u32(r)?);
+    }
+    if offsets.first() != Some(&0) {
+        return Err(SnapshotError::Corrupt("offsets must start at zero"));
+    }
+    for w in offsets.windows(2) {
+        if w[1] < w[0] {
+            return Err(SnapshotError::Corrupt("offsets must be non-decreasing"));
+        }
+    }
+    let total = *offsets.last().expect("offsets has num_trials+1 entries") as usize;
+    let mut events = Vec::with_capacity(total);
+    for _ in 0..total {
+        events.push(get_u32(r)?);
+    }
+    let mut times = Vec::with_capacity(total);
+    for _ in 0..total {
+        times.push(get_f32(r)?);
+    }
+    let mut builder = YearEventTableBuilder::with_capacity(catalogue_size, num_trials, total);
+    let mut trial = Vec::new();
+    for t in 0..num_trials {
+        trial.clear();
+        let lo = offsets[t] as usize;
+        let hi = offsets[t + 1] as usize;
+        for i in lo..hi {
+            trial.push(EventOccurrence {
+                event: EventId(events[i]),
+                time: crate::Timestamp(times[i]),
+            });
+        }
+        builder.push_trial(&trial)?;
+    }
+    let yet = builder.build();
+
+    // ELTs.
+    let num_elts = checked_len(get_u32(r)? as u64, "ELT count")?;
+    let mut elts = Vec::with_capacity(num_elts);
+    for _ in 0..num_elts {
+        let terms = FinancialTerms {
+            fx_rate: get_f64(r)?,
+            retention: get_f64(r)?,
+            limit: get_f64(r)?,
+            share: get_f64(r)?,
+        };
+        let n = checked_len(get_u32(r)? as u64, "ELT record count")?;
+        let mut records = Vec::with_capacity(n);
+        for _ in 0..n {
+            records.push(EventLoss {
+                event: EventId(get_u32(r)?),
+                loss: get_f64(r)?,
+            });
+        }
+        elts.push(EventLossTable::new(records, terms)?);
+    }
+
+    // Layers.
+    let num_layers = checked_len(get_u32(r)? as u64, "layer count")?;
+    let mut layers = Vec::with_capacity(num_layers);
+    for _ in 0..num_layers {
+        let id = get_u32(r)?;
+        let terms = LayerTerms {
+            occ_retention: get_f64(r)?,
+            occ_limit: get_f64(r)?,
+            agg_retention: get_f64(r)?,
+            agg_limit: get_f64(r)?,
+        };
+        let n = checked_len(get_u32(r)? as u64, "layer ELT count")?;
+        let mut elt_indices = Vec::with_capacity(n);
+        for _ in 0..n {
+            elt_indices.push(get_u32(r)? as usize);
+        }
+        layers.push(Layer::new(id, elt_indices, terms));
+    }
+
+    let inputs = Inputs { yet, elts, layers };
+    inputs.validate()?;
+    Ok(inputs)
+}
+
+/// Serialise to an in-memory buffer (convenience).
+pub fn to_bytes(inputs: &Inputs) -> Result<Vec<u8>, SnapshotError> {
+    let mut buf = Vec::new();
+    write_inputs(&mut buf, inputs)?;
+    Ok(buf)
+}
+
+/// Deserialise from an in-memory buffer (convenience).
+pub fn from_bytes(bytes: &[u8]) -> Result<Inputs, SnapshotError> {
+    read_inputs(&mut std::io::Cursor::new(bytes))
+}
+
+// --- streaming ---------------------------------------------------------------
+
+/// Streaming reader over a snapshot's YET: yields one trial at a time
+/// without materialising the table.
+///
+/// "The extremely large YET must be carefully shared between processing
+/// cores … in the face of limited memory bandwidth" (paper, Section I) —
+/// and at production scale (a million trials × ~1000 occurrences) it may
+/// not fit in RAM at all. This reader walks the snapshot's YET section
+/// sequentially with O(largest trial) memory, so an out-of-core analysis
+/// can stream trials straight from disk. After the YET is exhausted,
+/// [`YetStreamReader::finish_inputs`] reads the trailing ELT and layer
+/// sections.
+#[derive(Debug)]
+pub struct YetStreamReader<R: Read> {
+    inner: R,
+    catalogue_size: u32,
+    /// Per-trial occurrence counts derived from the offsets.
+    counts: Vec<u32>,
+    next_trial: usize,
+}
+
+/// One streamed trial: its global index and owned occurrences.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamedTrial {
+    /// Global trial index in the YET.
+    pub index: usize,
+    /// The trial's occurrences, in timestamp order.
+    pub occurrences: Vec<EventOccurrence>,
+}
+
+impl<R: Read> YetStreamReader<R> {
+    /// Open a snapshot stream: reads the header and offsets (the only
+    /// index kept in memory — 4 bytes per trial).
+    pub fn open(mut inner: R) -> Result<Self, SnapshotError> {
+        let mut magic = [0u8; 4];
+        inner.read_exact(&mut magic)?;
+        if magic != MAGIC_INTERLEAVED {
+            return Err(SnapshotError::BadMagic);
+        }
+        let catalogue_size = get_u32(&mut inner)?;
+        let num_trials = checked_len(get_u64(&mut inner)?, "trial count")?;
+        let mut counts = Vec::with_capacity(num_trials);
+        let mut prev = get_u32(&mut inner)?;
+        if prev != 0 {
+            return Err(SnapshotError::Corrupt("offsets must start at zero"));
+        }
+        for _ in 0..num_trials {
+            let next = get_u32(&mut inner)?;
+            if next < prev {
+                return Err(SnapshotError::Corrupt("offsets must be non-decreasing"));
+            }
+            counts.push(next - prev);
+            prev = next;
+        }
+        Ok(YetStreamReader {
+            inner,
+            catalogue_size,
+            counts,
+            next_trial: 0,
+        })
+    }
+
+    /// Catalogue size declared by the snapshot.
+    pub fn catalogue_size(&self) -> u32 {
+        self.catalogue_size
+    }
+
+    /// Total trials in the snapshot.
+    pub fn num_trials(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Trials not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.counts.len() - self.next_trial
+    }
+
+    /// Read the next trial, or `None` when the YET section is exhausted.
+    ///
+    /// The reader consumes the **trial-major** layout written by
+    /// [`write_inputs_interleaved`] (each trial's ids immediately
+    /// followed by its timestamps) — the layout that makes one-pass
+    /// streaming possible. Use [`read_inputs`] for column-major
+    /// snapshots from [`write_inputs`].
+    pub fn next_trial(&mut self) -> Result<Option<StreamedTrial>, SnapshotError> {
+        if self.next_trial >= self.counts.len() {
+            return Ok(None);
+        }
+        let index = self.next_trial;
+        let n = self.counts[index] as usize;
+        let mut occurrences = Vec::with_capacity(n);
+        let mut ids = Vec::with_capacity(n);
+        for _ in 0..n {
+            ids.push(get_u32(&mut self.inner)?);
+        }
+        for &id in &ids {
+            if id >= self.catalogue_size {
+                return Err(SnapshotError::Invalid(AraError::EventOutOfCatalogue {
+                    event: id,
+                    catalogue_size: self.catalogue_size,
+                }));
+            }
+            let t = get_f32(&mut self.inner)?;
+            occurrences.push(EventOccurrence {
+                event: EventId(id),
+                time: crate::Timestamp(t),
+            });
+        }
+        self.next_trial += 1;
+        Ok(Some(StreamedTrial { index, occurrences }))
+    }
+
+    /// After the last trial, decode the trailing ELT and layer sections
+    /// (they are small — the YET is the bulk).
+    pub fn finish_inputs(mut self) -> Result<(Vec<EventLossTable>, Vec<Layer>), SnapshotError> {
+        if self.next_trial < self.counts.len() {
+            return Err(SnapshotError::Corrupt("YET section not fully consumed"));
+        }
+        let num_elts = checked_len(get_u32(&mut self.inner)? as u64, "ELT count")?;
+        let mut elts = Vec::with_capacity(num_elts);
+        for _ in 0..num_elts {
+            let terms = FinancialTerms {
+                fx_rate: get_f64(&mut self.inner)?,
+                retention: get_f64(&mut self.inner)?,
+                limit: get_f64(&mut self.inner)?,
+                share: get_f64(&mut self.inner)?,
+            };
+            let n = checked_len(get_u32(&mut self.inner)? as u64, "ELT record count")?;
+            let mut records = Vec::with_capacity(n);
+            for _ in 0..n {
+                records.push(EventLoss {
+                    event: EventId(get_u32(&mut self.inner)?),
+                    loss: get_f64(&mut self.inner)?,
+                });
+            }
+            elts.push(EventLossTable::new(records, terms)?);
+        }
+        let num_layers = checked_len(get_u32(&mut self.inner)? as u64, "layer count")?;
+        let mut layers = Vec::with_capacity(num_layers);
+        for _ in 0..num_layers {
+            let id = get_u32(&mut self.inner)?;
+            let terms = LayerTerms {
+                occ_retention: get_f64(&mut self.inner)?,
+                occ_limit: get_f64(&mut self.inner)?,
+                agg_retention: get_f64(&mut self.inner)?,
+                agg_limit: get_f64(&mut self.inner)?,
+            };
+            let n = checked_len(get_u32(&mut self.inner)? as u64, "layer ELT count")?;
+            let mut elt_indices = Vec::with_capacity(n);
+            for _ in 0..n {
+                elt_indices.push(get_u32(&mut self.inner)? as usize);
+            }
+            layers.push(Layer::new(id, elt_indices, terms));
+        }
+        Ok((elts, layers))
+    }
+}
+
+/// Write `inputs` in the **trial-major** layout [`YetStreamReader`]
+/// consumes: same header and trailing sections as [`write_inputs`], but
+/// each trial's event ids are followed immediately by its timestamps.
+pub fn write_inputs_interleaved<W: Write>(w: &mut W, inputs: &Inputs) -> Result<(), SnapshotError> {
+    w.write_all(&MAGIC_INTERLEAVED)?;
+    let yet = &inputs.yet;
+    put_u32(w, yet.catalogue_size())?;
+    put_u64(w, yet.num_trials() as u64)?;
+    for &o in yet.offsets() {
+        put_u32(w, o)?;
+    }
+    for trial in yet.trials() {
+        for &e in trial.events {
+            put_u32(w, e.0)?;
+        }
+        for &t in trial.times {
+            put_f32(w, t.0)?;
+        }
+    }
+    // ELT and layer sections are identical to the column-major format.
+    put_u32(w, inputs.elts.len() as u32)?;
+    for elt in &inputs.elts {
+        let t = elt.terms();
+        put_f64(w, t.fx_rate)?;
+        put_f64(w, t.retention)?;
+        put_f64(w, t.limit)?;
+        put_f64(w, t.share)?;
+        put_u32(w, elt.len() as u32)?;
+        for r in elt.records() {
+            put_u32(w, r.event.0)?;
+            put_f64(w, r.loss)?;
+        }
+    }
+    put_u32(w, inputs.layers.len() as u32)?;
+    for layer in &inputs.layers {
+        put_u32(w, layer.id.0)?;
+        put_f64(w, layer.terms.occ_retention)?;
+        put_f64(w, layer.terms.occ_limit)?;
+        put_f64(w, layer.terms.agg_retention)?;
+        put_f64(w, layer.terms.agg_limit)?;
+        put_u32(w, layer.elt_indices.len() as u32)?;
+        for &i in &layer.elt_indices {
+            put_u32(w, i as u32)?;
+        }
+    }
+    Ok(())
+}
+
+/// Out-of-core analysis: stream every trial of an interleaved snapshot
+/// through a prepared layer, holding only one trial in memory at a time
+/// (plus the dense lookup tables).
+pub fn analyse_layer_streamed<S: Read, R: crate::Real, L: crate::LossLookup<R>>(
+    reader: &mut YetStreamReader<S>,
+    prepared: &crate::PreparedLayer<R, L>,
+) -> Result<crate::YearLossTable, SnapshotError> {
+    let n = reader.remaining();
+    let mut year = Vec::with_capacity(n);
+    let mut max_occ = Vec::with_capacity(n);
+    let mut ws = crate::TrialWorkspace::new();
+    let mut events: Vec<EventId> = Vec::new();
+    let mut times: Vec<crate::Timestamp> = Vec::new();
+    while let Some(trial) = reader.next_trial()? {
+        events.clear();
+        times.clear();
+        events.extend(trial.occurrences.iter().map(|o| o.event));
+        times.extend(trial.occurrences.iter().map(|o| o.time));
+        let view = crate::TrialView {
+            events: &events,
+            times: &times,
+        };
+        let r = crate::analysis::analyse_trial(prepared, view, &mut ws);
+        year.push(r.year_loss.to_f64());
+        max_occ.push(r.max_occ_loss.to_f64());
+    }
+    Ok(crate::YearLossTable::with_max_occurrence(year, max_occ)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FinancialTerms;
+
+    fn sample_inputs() -> Inputs {
+        let mut b = YearEventTableBuilder::new(100);
+        b.push_trial(&[EventOccurrence::new(1, 0.1), EventOccurrence::new(5, 0.9)])
+            .unwrap();
+        b.push_trial(&[]).unwrap();
+        b.push_trial(&[EventOccurrence::new(99, 0.5)]).unwrap();
+        let yet = b.build();
+        let elts = vec![
+            EventLossTable::new(
+                vec![
+                    EventLoss {
+                        event: EventId(1),
+                        loss: 10.5,
+                    },
+                    EventLoss {
+                        event: EventId(5),
+                        loss: 2.25,
+                    },
+                ],
+                FinancialTerms {
+                    fx_rate: 1.5,
+                    retention: 1.0,
+                    limit: f64::INFINITY,
+                    share: 0.8,
+                },
+            )
+            .unwrap(),
+            EventLossTable::new(
+                vec![EventLoss {
+                    event: EventId(99),
+                    loss: 7.0,
+                }],
+                FinancialTerms::identity(),
+            )
+            .unwrap(),
+        ];
+        let layers = vec![
+            Layer::new(
+                3,
+                vec![0, 1],
+                LayerTerms {
+                    occ_retention: 1.0,
+                    occ_limit: 100.0,
+                    agg_retention: 2.0,
+                    agg_limit: f64::INFINITY,
+                },
+            ),
+            Layer::new(7, vec![1], LayerTerms::unlimited()),
+        ];
+        Inputs { yet, elts, layers }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let inputs = sample_inputs();
+        let bytes = to_bytes(&inputs).unwrap();
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back.yet, inputs.yet);
+        assert_eq!(back.elts, inputs.elts);
+        assert_eq!(back.layers, inputs.layers);
+    }
+
+    #[test]
+    fn infinite_limits_survive() {
+        let inputs = sample_inputs();
+        let back = from_bytes(&to_bytes(&inputs).unwrap()).unwrap();
+        assert_eq!(back.elts[0].terms().limit, f64::INFINITY);
+        assert_eq!(back.layers[1].terms.agg_limit, f64::INFINITY);
+    }
+
+    #[test]
+    fn generated_scenario_round_trips() {
+        // A bigger, generator-produced book.
+        let mut b = YearEventTableBuilder::new(5000);
+        for t in 0..200u32 {
+            let occs: Vec<_> = (0..(t % 7))
+                .map(|i| EventOccurrence::new(t * 13 % 5000, i as f32 / 8.0))
+                .collect();
+            b.push_trial(&occs).unwrap();
+        }
+        let yet = b.build();
+        let elts = vec![EventLossTable::new(
+            (0..500)
+                .map(|i| EventLoss {
+                    event: EventId(i * 9),
+                    loss: i as f64 + 0.125,
+                })
+                .collect(),
+            FinancialTerms::identity(),
+        )
+        .unwrap()];
+        let layers = vec![Layer::new(0, vec![0], LayerTerms::unlimited())];
+        let inputs = Inputs { yet, elts, layers };
+        let back = from_bytes(&to_bytes(&inputs).unwrap()).unwrap();
+        assert_eq!(back.yet, inputs.yet);
+        assert_eq!(back.elts, inputs.elts);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = to_bytes(&sample_inputs()).unwrap();
+        bytes[0] = b'X';
+        assert!(matches!(from_bytes(&bytes), Err(SnapshotError::BadMagic)));
+    }
+
+    #[test]
+    fn truncation_is_io_error() {
+        let bytes = to_bytes(&sample_inputs()).unwrap();
+        for cut in [4usize, 10, bytes.len() / 2, bytes.len() - 1] {
+            match from_bytes(&bytes[..cut]) {
+                Err(SnapshotError::Io(_)) => {}
+                other => panic!("cut at {cut}: expected Io error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_offsets_detected() {
+        let inputs = sample_inputs();
+        let mut bytes = to_bytes(&inputs).unwrap();
+        // offsets start right after magic(4) + catalogue(4) + trials(8);
+        // make offsets[0] non-zero.
+        bytes[16] = 1;
+        assert!(matches!(from_bytes(&bytes), Err(SnapshotError::Corrupt(_))));
+    }
+
+    #[test]
+    fn invalid_decoded_inputs_detected() {
+        // Point a layer at a nonexistent ELT index and re-encode by hand:
+        // easiest is to corrupt the written index.
+        let inputs = sample_inputs();
+        let mut bytes = to_bytes(&inputs).unwrap();
+        // The last 4 bytes are layer 7's single ELT index (1).
+        let n = bytes.len();
+        bytes[n - 4..].copy_from_slice(&250u32.to_le_bytes());
+        assert!(matches!(from_bytes(&bytes), Err(SnapshotError::Invalid(_))));
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = SnapshotError::BadMagic;
+        assert!(e.to_string().contains("magic"));
+        let io = SnapshotError::Io(std::io::Error::other("x"));
+        assert!(std::error::Error::source(&io).is_some());
+    }
+
+    mod streaming {
+        use super::*;
+        use crate::{analyse_layer, PreparedLayer};
+
+        #[test]
+        fn stream_reader_yields_every_trial_in_order() {
+            let inputs = sample_inputs();
+            let mut buf = Vec::new();
+            write_inputs_interleaved(&mut buf, &inputs).unwrap();
+            let mut reader = YetStreamReader::open(std::io::Cursor::new(&buf[..])).unwrap();
+            assert_eq!(reader.num_trials(), 3);
+            assert_eq!(reader.catalogue_size(), 100);
+            let mut seen = 0;
+            while let Some(trial) = reader.next_trial().unwrap() {
+                assert_eq!(trial.index, seen);
+                let expected = inputs.yet.trial(trial.index);
+                let got_events: Vec<_> = trial.occurrences.iter().map(|o| o.event).collect();
+                assert_eq!(&got_events[..], expected.events);
+                seen += 1;
+                assert_eq!(reader.remaining(), 3 - seen);
+            }
+            assert_eq!(seen, 3);
+            // Trailing sections decode to the same book.
+            let (elts, layers) = reader.finish_inputs().unwrap();
+            assert_eq!(elts, inputs.elts);
+            assert_eq!(layers, inputs.layers);
+        }
+
+        #[test]
+        fn streamed_analysis_matches_in_memory_bitwise() {
+            // A bigger generated-style book, hand-rolled to avoid a
+            // dev-dependency cycle with ara-workload.
+            let mut b = YearEventTableBuilder::new(500);
+            for t in 0..300u32 {
+                let occs: Vec<_> = (0..(t % 9))
+                    .map(|i| EventOccurrence::new((t * 7 + i * 31) % 500, i as f32 / 16.0))
+                    .collect();
+                b.push_trial(&occs).unwrap();
+            }
+            let yet = b.build();
+            let elt = EventLossTable::new(
+                (0..200)
+                    .map(|i| EventLoss {
+                        event: EventId(i * 2),
+                        loss: (i + 1) as f64,
+                    })
+                    .collect(),
+                FinancialTerms::identity(),
+            )
+            .unwrap();
+            let layer = Layer::new(
+                0,
+                vec![0],
+                LayerTerms {
+                    occ_retention: 10.0,
+                    occ_limit: 150.0,
+                    agg_retention: 20.0,
+                    agg_limit: 500.0,
+                },
+            );
+            let inputs = Inputs {
+                yet,
+                elts: vec![elt],
+                layers: vec![layer.clone()],
+            };
+
+            let prepared = PreparedLayer::<f64>::prepare(&inputs, &layer).unwrap();
+            let in_memory = analyse_layer(&prepared, &inputs.yet);
+
+            let mut buf = Vec::new();
+            write_inputs_interleaved(&mut buf, &inputs).unwrap();
+            let mut reader = YetStreamReader::open(std::io::Cursor::new(&buf[..])).unwrap();
+            let streamed = analyse_layer_streamed(&mut reader, &prepared).unwrap();
+
+            assert_eq!(streamed.year_losses(), in_memory.year_losses());
+            assert_eq!(
+                streamed.max_occurrence_losses(),
+                in_memory.max_occurrence_losses()
+            );
+        }
+
+        #[test]
+        fn finish_before_exhaustion_is_an_error() {
+            let inputs = sample_inputs();
+            let mut buf = Vec::new();
+            write_inputs_interleaved(&mut buf, &inputs).unwrap();
+            let mut reader = YetStreamReader::open(std::io::Cursor::new(&buf[..])).unwrap();
+            reader.next_trial().unwrap();
+            assert!(matches!(
+                reader.finish_inputs(),
+                Err(SnapshotError::Corrupt(_))
+            ));
+        }
+
+        #[test]
+        fn stream_reader_rejects_bad_magic_and_truncation() {
+            let inputs = sample_inputs();
+            let mut buf = Vec::new();
+            write_inputs_interleaved(&mut buf, &inputs).unwrap();
+            let mut bad = buf.clone();
+            bad[0] = b'Z';
+            assert!(matches!(
+                YetStreamReader::open(std::io::Cursor::new(&bad[..])),
+                Err(SnapshotError::BadMagic)
+            ));
+            // Truncated inside the offsets: opening fails with Io.
+            assert!(matches!(
+                YetStreamReader::open(std::io::Cursor::new(&buf[..24])),
+                Err(SnapshotError::Io(_))
+            ));
+            // Truncated inside a trial body: the trial read fails.
+            let mut reader = YetStreamReader::open(std::io::Cursor::new(&buf[..34])).unwrap();
+            assert!(matches!(reader.next_trial(), Err(SnapshotError::Io(_))));
+        }
+
+        #[test]
+        fn formats_are_mutually_exclusive() {
+            // A column-major snapshot must not open as a stream, and an
+            // interleaved one must not decode as column-major — the
+            // distinct version bytes keep the layouts apart.
+            let inputs = sample_inputs();
+            let col = to_bytes(&inputs).unwrap();
+            assert!(matches!(
+                YetStreamReader::open(std::io::Cursor::new(&col[..])),
+                Err(SnapshotError::BadMagic)
+            ));
+            let mut trialwise = Vec::new();
+            write_inputs_interleaved(&mut trialwise, &inputs).unwrap();
+            assert!(matches!(
+                from_bytes(&trialwise),
+                Err(SnapshotError::BadMagic)
+            ));
+        }
+
+        #[test]
+        fn stream_reader_flags_out_of_catalogue_events() {
+            // Corrupt the first trial's first event id to an invalid one.
+            let inputs = sample_inputs();
+            let mut buf = Vec::new();
+            write_inputs_interleaved(&mut buf, &inputs).unwrap();
+            // Header: magic 4 + cat 4 + trials 8 + offsets 4×4 = 32; the
+            // first event id starts at byte 32.
+            buf[32..36].copy_from_slice(&999u32.to_le_bytes());
+            let mut reader = YetStreamReader::open(std::io::Cursor::new(&buf[..])).unwrap();
+            assert!(matches!(
+                reader.next_trial(),
+                Err(SnapshotError::Invalid(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn snapshot_size_is_compact() {
+        let inputs = sample_inputs();
+        let bytes = to_bytes(&inputs).unwrap();
+        // Rough layout check: header + 4 offsets + 3 occurrences + 2 ELTs
+        // + 2 layers — comfortably under a kilobyte.
+        assert!(bytes.len() < 512, "{} bytes", bytes.len());
+    }
+}

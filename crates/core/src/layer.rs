@@ -1,0 +1,328 @@
+//! Layers and eXcess-of-Loss layer terms.
+//!
+//! A layer `L` is a single reinsurance contract: the set of ELTs it covers
+//! and the layer terms `T = (T_OccR, T_OccL, T_AggR, T_AggL)` (paper,
+//! Section II). Occurrence terms clamp each individual event occurrence
+//! loss; aggregate terms clamp the cumulative loss of the trial. This
+//! module contains the term application kernels shared by every engine —
+//! Algorithm 1 lines 15–29.
+
+use crate::real::{xl_clamp, Real};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a layer within a portfolio.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[repr(transparent)]
+pub struct LayerId(pub u32);
+
+/// The four eXcess-of-Loss layer terms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerTerms {
+    /// `T_OccR`: occurrence retention — deductible per individual event
+    /// occurrence.
+    pub occ_retention: f64,
+    /// `T_OccL`: occurrence limit — maximum payout per individual event
+    /// occurrence in excess of the retention.
+    pub occ_limit: f64,
+    /// `T_AggR`: aggregate retention — deductible on the annual cumulative
+    /// loss.
+    pub agg_retention: f64,
+    /// `T_AggL`: aggregate limit — maximum annual payout in excess of the
+    /// aggregate retention.
+    pub agg_limit: f64,
+}
+
+impl LayerTerms {
+    /// Unlimited pass-through terms (identity on losses).
+    pub fn unlimited() -> Self {
+        LayerTerms {
+            occ_retention: 0.0,
+            occ_limit: f64::INFINITY,
+            agg_retention: 0.0,
+            agg_limit: f64::INFINITY,
+        }
+    }
+
+    /// Validate that retentions/limits are non-negative and not NaN
+    /// (limits may be `+inf`).
+    pub fn validate(&self) -> Result<(), crate::AraError> {
+        let bad = |what| Err(crate::AraError::InvalidValue { what });
+        if !self.occ_retention.is_finite() || self.occ_retention < 0.0 {
+            return bad("layer occ_retention");
+        }
+        if self.occ_limit.is_nan() || self.occ_limit < 0.0 {
+            return bad("layer occ_limit");
+        }
+        if !self.agg_retention.is_finite() || self.agg_retention < 0.0 {
+            return bad("layer agg_retention");
+        }
+        if self.agg_limit.is_nan() || self.agg_limit < 0.0 {
+            return bad("layer agg_limit");
+        }
+        Ok(())
+    }
+
+    /// Apply occurrence terms to one combined event-occurrence loss
+    /// (Algorithm 1, line 16).
+    #[inline(always)]
+    pub fn apply_occurrence<R: Real>(&self, loss: R) -> R {
+        xl_clamp(
+            loss,
+            R::from_f64(self.occ_retention),
+            R::from_f64(self.occ_limit),
+        )
+    }
+
+    /// Apply aggregate terms to a cumulative trial loss (Algorithm 1,
+    /// line 22).
+    #[inline(always)]
+    pub fn apply_aggregate<R: Real>(&self, cumulative: R) -> R {
+        xl_clamp(
+            cumulative,
+            R::from_f64(self.agg_retention),
+            R::from_f64(self.agg_limit),
+        )
+    }
+}
+
+impl Default for LayerTerms {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+/// A reinsurance layer: the ELTs it covers (by index into the analysis
+/// inputs) and its terms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Layer {
+    /// Identifier of the layer.
+    pub id: LayerId,
+    /// Indices of the covered ELTs in [`crate::Inputs::elts`].
+    pub elt_indices: Vec<usize>,
+    /// The eXcess-of-Loss terms.
+    pub terms: LayerTerms,
+}
+
+impl Layer {
+    /// Convenience constructor.
+    pub fn new(id: u32, elt_indices: Vec<usize>, terms: LayerTerms) -> Self {
+        Layer {
+            id: LayerId(id),
+            elt_indices,
+            terms,
+        }
+    }
+
+    /// Number of covered ELTs.
+    #[inline]
+    pub fn num_elts(&self) -> usize {
+        self.elt_indices.len()
+    }
+}
+
+/// Apply the aggregate-terms stage **exactly as Algorithm 1 writes it**
+/// (lines 18–29): prefix sums of the occurrence losses, clamp every
+/// prefix, difference back to per-event marginal payouts, and sum.
+///
+/// `occ_losses` holds the per-occurrence losses net of occurrence terms
+/// (in event order); it is **overwritten** with the per-occurrence marginal
+/// payouts net of aggregate terms (the attribution used for reinstatement
+/// accounting). Returns the trial's year loss `l_r`.
+///
+/// The telescoping identity `sum of marginals == clamp(total)` is what
+/// [`year_loss_direct`] exploits; a property test pins the two together.
+pub fn apply_aggregate_stepwise<R: Real>(terms: &LayerTerms, occ_losses: &mut [R]) -> R {
+    // Lines 18–20: running prefix sums.
+    let mut cum = R::ZERO;
+    for l in occ_losses.iter_mut() {
+        cum += *l;
+        *l = cum;
+    }
+    // Lines 21–23: clamp each prefix by the aggregate terms.
+    for l in occ_losses.iter_mut() {
+        *l = terms.apply_aggregate(*l);
+    }
+    // Lines 24–26: difference to marginal payouts.
+    let mut prev = R::ZERO;
+    for l in occ_losses.iter_mut() {
+        let clamped = *l;
+        *l = clamped - prev;
+        prev = clamped;
+    }
+    // Lines 27–29: sum the marginals into the trial loss.
+    let mut lr = R::ZERO;
+    for l in occ_losses.iter() {
+        lr += *l;
+    }
+    lr
+}
+
+/// The algebraically equivalent shortcut: the year loss is the aggregate
+/// clamp of the plain sum of occurrence losses. The optimised GPU kernels
+/// use this form (one register accumulator instead of a per-event array).
+#[inline]
+pub fn year_loss_direct<R: Real>(terms: &LayerTerms, occ_losses: &[R]) -> R {
+    let mut total = R::ZERO;
+    for &l in occ_losses {
+        total += l;
+    }
+    terms.apply_aggregate(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn terms(or: f64, ol: f64, ar: f64, al: f64) -> LayerTerms {
+        LayerTerms {
+            occ_retention: or,
+            occ_limit: ol,
+            agg_retention: ar,
+            agg_limit: al,
+        }
+    }
+
+    #[test]
+    fn unlimited_terms_are_identity() {
+        let t = LayerTerms::unlimited();
+        assert_eq!(t.apply_occurrence(42.0f64), 42.0);
+        assert_eq!(t.apply_aggregate(42.0f64), 42.0);
+    }
+
+    #[test]
+    fn occurrence_clamp() {
+        let t = terms(10.0, 50.0, 0.0, f64::INFINITY);
+        assert_eq!(t.apply_occurrence(5.0f64), 0.0);
+        assert_eq!(t.apply_occurrence(30.0f64), 20.0);
+        assert_eq!(t.apply_occurrence(100.0f64), 50.0);
+    }
+
+    #[test]
+    fn aggregate_clamp() {
+        let t = terms(0.0, f64::INFINITY, 100.0, 200.0);
+        assert_eq!(t.apply_aggregate(50.0f64), 0.0);
+        assert_eq!(t.apply_aggregate(150.0f64), 50.0);
+        assert_eq!(t.apply_aggregate(500.0f64), 200.0);
+    }
+
+    #[test]
+    fn stepwise_equals_direct_simple() {
+        let t = terms(0.0, f64::INFINITY, 30.0, 100.0);
+        let losses = [10.0f64, 20.0, 30.0, 40.0];
+        let mut buf = losses;
+        let stepwise = apply_aggregate_stepwise(&t, &mut buf);
+        let direct = year_loss_direct(&t, &losses);
+        assert!((stepwise - direct).abs() < 1e-12);
+        // total = 100, minus retention 30 = 70, below limit.
+        assert!((direct - 70.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stepwise_marginals_attribute_correctly() {
+        // Retention 15: event 1 (10) pays nothing; event 2 crosses the
+        // retention and pays 15; event 3 pays its full 30.
+        let t = terms(0.0, f64::INFINITY, 15.0, f64::INFINITY);
+        let mut buf = [10.0f64, 20.0, 30.0];
+        let lr = apply_aggregate_stepwise(&t, &mut buf);
+        assert_eq!(buf, [0.0, 15.0, 30.0]);
+        assert_eq!(lr, 45.0);
+    }
+
+    #[test]
+    fn stepwise_marginals_respect_limit_exhaustion() {
+        // Limit 25: first event pays 20, second pays the remaining 5,
+        // third pays nothing (limit exhausted).
+        let t = terms(0.0, f64::INFINITY, 0.0, 25.0);
+        let mut buf = [20.0f64, 20.0, 20.0];
+        let lr = apply_aggregate_stepwise(&t, &mut buf);
+        assert_eq!(buf, [20.0, 5.0, 0.0]);
+        assert_eq!(lr, 25.0);
+    }
+
+    #[test]
+    fn empty_trial_year_loss_is_zero() {
+        let t = terms(1.0, 2.0, 3.0, 4.0);
+        let mut buf: [f64; 0] = [];
+        assert_eq!(apply_aggregate_stepwise(&t, &mut buf), 0.0);
+        assert_eq!(year_loss_direct::<f64>(&t, &[]), 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(LayerTerms::unlimited().validate().is_ok());
+        assert!(terms(-1.0, 1.0, 0.0, 1.0).validate().is_err());
+        assert!(terms(0.0, f64::NAN, 0.0, 1.0).validate().is_err());
+        assert!(terms(0.0, 1.0, f64::INFINITY, 1.0).validate().is_err());
+        assert!(terms(0.0, 1.0, 0.0, -2.0).validate().is_err());
+        // Infinite limits are fine.
+        assert!(terms(0.0, f64::INFINITY, 0.0, f64::INFINITY)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn layer_construction() {
+        let l = Layer::new(7, vec![0, 3, 5], LayerTerms::unlimited());
+        assert_eq!(l.id, LayerId(7));
+        assert_eq!(l.num_elts(), 3);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn term_value() -> impl Strategy<Value = f64> {
+            prop_oneof![Just(0.0), 0.0..1000.0f64, Just(f64::INFINITY)]
+        }
+
+        proptest! {
+            /// The paper's lines 18–29 telescope to a single clamp of the
+            /// total: both forms must agree for any losses and terms.
+            #[test]
+            fn stepwise_telescopes_to_direct(
+                losses in prop::collection::vec(0.0..100.0f64, 0..64),
+                ar in term_value(),
+                al in term_value(),
+            ) {
+                let t = terms(0.0, f64::INFINITY, ar, al);
+                let mut buf = losses.clone();
+                let stepwise = apply_aggregate_stepwise(&t, &mut buf);
+                let direct = year_loss_direct(&t, &losses);
+                prop_assert!((stepwise - direct).abs() <= 1e-9 * (1.0 + direct.abs()));
+            }
+
+            /// Marginal payouts are each non-negative and bounded by the
+            /// occurrence loss that produced them.
+            #[test]
+            fn marginals_are_nonnegative_and_bounded(
+                losses in prop::collection::vec(0.0..100.0f64, 1..64),
+                ar in 0.0..500.0f64,
+                al in 0.0..500.0f64,
+            ) {
+                let t = terms(0.0, f64::INFINITY, ar, al);
+                let mut buf = losses.clone();
+                apply_aggregate_stepwise(&t, &mut buf);
+                for (m, l) in buf.iter().zip(&losses) {
+                    prop_assert!(*m >= -1e-9);
+                    prop_assert!(*m <= l + 1e-9);
+                }
+            }
+
+            /// Year loss is monotone in each occurrence loss and bounded
+            /// by the aggregate limit.
+            #[test]
+            fn year_loss_bounded_by_limit(
+                losses in prop::collection::vec(0.0..100.0f64, 0..64),
+                ar in 0.0..500.0f64,
+                al in 0.0..500.0f64,
+            ) {
+                let t = terms(0.0, f64::INFINITY, ar, al);
+                let lr = year_loss_direct(&t, &losses);
+                prop_assert!(lr >= 0.0);
+                prop_assert!(lr <= al);
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! # ara-core — Aggregate Risk Analysis data model and reference algorithm
+//!
+//! This crate implements the data model and the sequential reference
+//! implementation of the *aggregate risk analysis* (ARA) algorithm of
+//! Bahl, Baltzer, Rau-Chaplin, Varghese and Whiteway,
+//! *"Achieving Speedup in Aggregate Risk Analysis using Multiple GPUs"*,
+//! ICPP 2013 (Algorithm 1 in the paper).
+//!
+//! Aggregate risk analysis is a Monte Carlo simulation performed on a
+//! portfolio of reinsurance contracts ("layers"). Unlike most Monte Carlo
+//! methods, the trials are **pre-simulated**: a [`YearEventTable`] (YET)
+//! holds millions of alternative views of a contractual year, each a
+//! time-ordered sequence of catastrophe event occurrences. Losses for each
+//! event with respect to an exposure set are recorded in
+//! [`EventLossTable`]s (ELTs), and each [`Layer`] covers a set of ELTs
+//! under *eXcess of Loss* occurrence and aggregate terms. The output is a
+//! [`YearLossTable`] (YLT) — one aggregate loss per trial — from which risk
+//! metrics such as PML and TVaR are derived (see the `ara-metrics` crate).
+//!
+//! ## Algorithm structure
+//!
+//! For every layer and every trial the simulation proceeds in four steps
+//! (paper, Section II):
+//!
+//! 1. **Lookup** — for each event occurrence in the trial, fetch its loss
+//!    from each ELT covered by the layer ([`lookup`]).
+//! 2. **Financial terms** — apply per-ELT financial terms to each event
+//!    loss and accumulate across ELTs ([`financial`]).
+//! 3. **Occurrence terms** — clamp each combined event loss by the
+//!    occurrence retention and limit ([`layer`]).
+//! 4. **Aggregate terms** — apply the aggregate retention and limit to the
+//!    running cumulative loss of the trial ([`layer`]).
+//!
+//! The hot operation is step 1: billions of random lookups into the ELT
+//! loss tables. The paper represents ELTs as *direct access tables*
+//! (one slot per event in the global catalogue) to guarantee a single
+//! memory access per lookup; [`lookup`] provides that structure along with
+//! the alternatives the paper considers and rejects (binary search, hash
+//! maps, cuckoo hashing, and the combined multi-ELT table).
+//!
+//! ## Precision
+//!
+//! One of the paper's GPU optimisations is demoting `double` to `float`.
+//! The whole pipeline is therefore generic over the [`Real`] trait, which
+//! is implemented for `f32` and `f64`.
+//!
+//! ## Example
+//!
+//! ```
+//! use ara_core::*;
+//!
+//! // One trial: events 1 and 2 occur. One ELT prices them.
+//! let mut yet = YearEventTableBuilder::new(10);
+//! yet.push_trial(&[EventOccurrence::new(1, 0.2), EventOccurrence::new(2, 0.7)])?;
+//! let elt = EventLossTable::new(
+//!     vec![
+//!         EventLoss { event: EventId(1), loss: 100.0 },
+//!         EventLoss { event: EventId(2), loss: 50.0 },
+//!     ],
+//!     FinancialTerms::identity(),
+//! )?;
+//! // An XL layer: 30 retention / 100 limit per occurrence, unlimited annually.
+//! let layer = Layer::new(0, vec![0], LayerTerms {
+//!     occ_retention: 30.0, occ_limit: 100.0,
+//!     agg_retention: 0.0, agg_limit: f64::INFINITY,
+//! });
+//! let inputs = Inputs { yet: yet.build(), elts: vec![elt], layers: vec![layer.clone()] };
+//!
+//! let result = analyse_single::<f64>(&inputs, &layer, 0)?;
+//! // Event 1 pays 70, event 2 pays 20.
+//! assert_eq!(result.year_loss, 90.0);
+//! assert_eq!(result.max_occ_loss, 70.0);
+//! # Ok::<(), AraError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod compressed;
+pub mod elt;
+pub mod error;
+pub mod event;
+pub mod financial;
+pub mod io;
+pub mod layer;
+pub mod lookup;
+pub mod portfolio;
+pub mod real;
+pub mod uncertainty;
+pub mod yet;
+pub mod ylt;
+
+pub use analysis::{
+    analyse_layer, analyse_single, analyse_trial, analyse_trial_attributed, Inputs, PreparedLayer,
+    TrialResult, TrialWorkspace,
+};
+pub use compressed::{BlockDeltaLookup, PagedDirectTable};
+pub use elt::{EventLoss, EventLossTable};
+pub use error::AraError;
+pub use event::{EventId, EventOccurrence, Timestamp};
+pub use financial::FinancialTerms;
+pub use io::{SnapshotError, StreamedTrial, YetStreamReader};
+pub use layer::{apply_aggregate_stepwise, year_loss_direct, Layer, LayerId, LayerTerms};
+pub use lookup::{
+    CombinedDirectTable, CuckooHashTable, DirectAccessTable, LossLookup, SortedLookup,
+    StdHashLookup,
+};
+pub use portfolio::Portfolio;
+pub use real::{xl_clamp, Real};
+pub use uncertainty::{
+    analyse_layer_uncertain, analyse_trial_uncertain, draw_u01, normal_quantile,
+    UncertainDirectTable, UncertainElt, UncertainEventLoss, UncertainLoss, UncertainPreparedLayer,
+};
+pub use yet::{TrialView, YearEventTable, YearEventTableBuilder};
+pub use ylt::YearLossTable;

@@ -1,0 +1,206 @@
+//! Portfolio-level analysis: many layers over one YET.
+//!
+//! "A portfolio may comprise tens of thousands of contracts" (paper,
+//! Section I). A [`Portfolio`] runs the per-layer analysis for every layer
+//! of the inputs and can roll the per-layer YLTs up into a single
+//! portfolio YLT (per-trial sum across layers) for portfolio-level risk
+//! metrics.
+
+use crate::analysis::{analyse_layer, Inputs, PreparedLayer};
+use crate::error::AraError;
+use crate::layer::LayerId;
+use crate::real::Real;
+use crate::ylt::YearLossTable;
+
+/// Results of analysing every layer of a portfolio.
+#[derive(Debug, Clone)]
+pub struct Portfolio {
+    layer_ids: Vec<LayerId>,
+    layer_ylts: Vec<YearLossTable>,
+}
+
+impl Portfolio {
+    /// Run the sequential reference analysis for every layer in `inputs`.
+    pub fn analyse<R: Real>(inputs: &Inputs) -> Result<Self, AraError> {
+        inputs.validate()?;
+        let mut layer_ids = Vec::with_capacity(inputs.layers.len());
+        let mut layer_ylts = Vec::with_capacity(inputs.layers.len());
+        for layer in &inputs.layers {
+            let prepared = PreparedLayer::<R>::prepare(inputs, layer)?;
+            layer_ids.push(layer.id);
+            layer_ylts.push(analyse_layer(&prepared, &inputs.yet));
+        }
+        Ok(Portfolio {
+            layer_ids,
+            layer_ylts,
+        })
+    }
+
+    /// Assemble from externally computed per-layer YLTs (e.g. a parallel
+    /// engine).
+    ///
+    /// Returns an error if the YLTs disagree on trial count.
+    pub fn from_layer_results(
+        layer_ids: Vec<LayerId>,
+        layer_ylts: Vec<YearLossTable>,
+    ) -> Result<Self, AraError> {
+        assert_eq!(layer_ids.len(), layer_ylts.len(), "one id per YLT");
+        if let Some(first) = layer_ylts.first() {
+            for y in &layer_ylts[1..] {
+                if y.num_trials() != first.num_trials() {
+                    return Err(AraError::TrialCountMismatch {
+                        expected: first.num_trials(),
+                        actual: y.num_trials(),
+                    });
+                }
+            }
+        }
+        Ok(Portfolio {
+            layer_ids,
+            layer_ylts,
+        })
+    }
+
+    /// Number of layers.
+    #[inline]
+    pub fn num_layers(&self) -> usize {
+        self.layer_ylts.len()
+    }
+
+    /// The layer ids, in analysis order.
+    #[inline]
+    pub fn layer_ids(&self) -> &[LayerId] {
+        &self.layer_ids
+    }
+
+    /// The YLT of layer `i` (analysis order).
+    #[inline]
+    pub fn layer_ylt(&self, i: usize) -> &YearLossTable {
+        &self.layer_ylts[i]
+    }
+
+    /// Find a layer's YLT by id.
+    pub fn ylt_by_id(&self, id: LayerId) -> Option<&YearLossTable> {
+        self.layer_ids
+            .iter()
+            .position(|&l| l == id)
+            .map(|i| &self.layer_ylts[i])
+    }
+
+    /// Roll up to the portfolio YLT: per-trial sum of all layer losses.
+    ///
+    /// Returns an empty YLT for a portfolio with no layers.
+    pub fn combined_ylt(&self) -> YearLossTable {
+        let mut iter = self.layer_ylts.iter();
+        let Some(first) = iter.next() else {
+            return YearLossTable::new(Vec::new());
+        };
+        let mut acc = first.clone();
+        for y in iter {
+            acc = acc
+                .add(y)
+                .expect("from_layer_results/analyse guarantee equal trial counts");
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elt::{EventLoss, EventLossTable};
+    use crate::event::{EventId, EventOccurrence};
+    use crate::financial::FinancialTerms;
+    use crate::layer::{Layer, LayerTerms};
+    use crate::yet::YearEventTableBuilder;
+
+    fn inputs() -> Inputs {
+        let mut b = YearEventTableBuilder::new(10);
+        b.push_trial(&[EventOccurrence::new(1, 0.1), EventOccurrence::new(2, 0.4)])
+            .unwrap();
+        b.push_trial(&[EventOccurrence::new(2, 0.7)]).unwrap();
+        let yet = b.build();
+        let elts = vec![
+            EventLossTable::new(
+                vec![EventLoss {
+                    event: EventId(1),
+                    loss: 100.0,
+                }],
+                FinancialTerms::identity(),
+            )
+            .unwrap(),
+            EventLossTable::new(
+                vec![EventLoss {
+                    event: EventId(2),
+                    loss: 40.0,
+                }],
+                FinancialTerms::identity(),
+            )
+            .unwrap(),
+        ];
+        let layers = vec![
+            Layer::new(10, vec![0], LayerTerms::unlimited()),
+            Layer::new(20, vec![1], LayerTerms::unlimited()),
+        ];
+        Inputs { yet, elts, layers }
+    }
+
+    #[test]
+    fn analyses_every_layer() {
+        let p = Portfolio::analyse::<f64>(&inputs()).unwrap();
+        assert_eq!(p.num_layers(), 2);
+        assert_eq!(p.layer_ylt(0).year_losses(), &[100.0, 0.0]);
+        assert_eq!(p.layer_ylt(1).year_losses(), &[40.0, 40.0]);
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        let p = Portfolio::analyse::<f64>(&inputs()).unwrap();
+        assert_eq!(
+            p.ylt_by_id(LayerId(20)).unwrap().year_losses(),
+            &[40.0, 40.0]
+        );
+        assert!(p.ylt_by_id(LayerId(99)).is_none());
+        assert_eq!(p.layer_ids(), &[LayerId(10), LayerId(20)]);
+    }
+
+    #[test]
+    fn combined_is_per_trial_sum() {
+        let p = Portfolio::analyse::<f64>(&inputs()).unwrap();
+        let c = p.combined_ylt();
+        assert_eq!(c.year_losses(), &[140.0, 40.0]);
+    }
+
+    #[test]
+    fn empty_portfolio_combines_to_empty() {
+        let p = Portfolio::from_layer_results(vec![], vec![]).unwrap();
+        assert_eq!(p.num_layers(), 0);
+        assert!(p.combined_ylt().is_empty());
+    }
+
+    #[test]
+    fn from_layer_results_checks_trial_counts() {
+        let err = Portfolio::from_layer_results(
+            vec![LayerId(0), LayerId(1)],
+            vec![
+                YearLossTable::new(vec![1.0]),
+                YearLossTable::new(vec![1.0, 2.0]),
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            AraError::TrialCountMismatch {
+                expected: 1,
+                actual: 2
+            }
+        );
+    }
+
+    #[test]
+    fn analyse_validates_inputs() {
+        let mut bad = inputs();
+        bad.layers[0].elt_indices = vec![7];
+        assert!(Portfolio::analyse::<f64>(&bad).is_err());
+    }
+}

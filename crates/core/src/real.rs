@@ -1,0 +1,185 @@
+//! The [`Real`] precision abstraction.
+//!
+//! The paper's optimised GPU kernel demotes `double` arithmetic to `float`
+//! ("reducing the precision of variables", Section III). To make that a
+//! first-class, testable code path rather than a copy-pasted kernel, the
+//! analysis pipeline is generic over this small floating-point trait.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Minimal floating-point abstraction over `f32` and `f64`.
+///
+/// Only the operations the aggregate analysis pipeline needs are included;
+/// this is intentionally not a general numeric tower.
+pub trait Real:
+    Copy
+    + PartialOrd
+    + Debug
+    + Display
+    + Default
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + Sum
+    + 'static
+{
+    /// The additive identity.
+    const ZERO: Self;
+    /// The multiplicative identity.
+    const ONE: Self;
+    /// Size of one value in bytes (4 for `f32`, 8 for `f64`), used by the
+    /// GPU memory-transaction model.
+    const BYTES: usize;
+
+    /// Lossy conversion from `f64` (identity for `f64`).
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64` (identity for `f64`).
+    fn to_f64(self) -> f64;
+    /// The smaller of `self` and `other` (NaN-free inputs assumed).
+    fn min(self, other: Self) -> Self;
+    /// The larger of `self` and `other` (NaN-free inputs assumed).
+    fn max(self, other: Self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// True if the value is finite (not NaN or infinite).
+    fn is_finite(self) -> bool;
+}
+
+impl Real for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const BYTES: usize = 4;
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline(always)]
+    fn min(self, other: Self) -> Self {
+        f32::min(self, other)
+    }
+    #[inline(always)]
+    fn max(self, other: Self) -> Self {
+        f32::max(self, other)
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+}
+
+impl Real for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const BYTES: usize = 8;
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn min(self, other: Self) -> Self {
+        f64::min(self, other)
+    }
+    #[inline(always)]
+    fn max(self, other: Self) -> Self {
+        f64::max(self, other)
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+/// The excess-of-loss clamp `min(max(x - retention, 0), limit)`.
+///
+/// This single expression is the financial heart of the whole paper: it is
+/// applied per event loss (financial terms), per combined occurrence loss
+/// (occurrence terms, Algorithm 1 line 16) and per cumulative trial loss
+/// (aggregate terms, line 22).
+#[inline(always)]
+pub fn xl_clamp<R: Real>(x: R, retention: R, limit: R) -> R {
+    (x - retention).max(R::ZERO).min(limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_literals() {
+        assert_eq!(<f32 as Real>::ZERO, 0.0f32);
+        assert_eq!(<f64 as Real>::ONE, 1.0f64);
+        assert_eq!(<f32 as Real>::BYTES, 4);
+        assert_eq!(<f64 as Real>::BYTES, 8);
+    }
+
+    #[test]
+    fn round_trip_f32() {
+        let x = <f32 as Real>::from_f64(1.5);
+        assert_eq!(x, 1.5f32);
+        assert_eq!(x.to_f64(), 1.5f64);
+    }
+
+    #[test]
+    fn xl_clamp_below_retention_is_zero() {
+        assert_eq!(xl_clamp(5.0f64, 10.0, 100.0), 0.0);
+        assert_eq!(xl_clamp(10.0f64, 10.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn xl_clamp_in_band_is_excess() {
+        assert_eq!(xl_clamp(60.0f64, 10.0, 100.0), 50.0);
+    }
+
+    #[test]
+    fn xl_clamp_above_limit_saturates() {
+        assert_eq!(xl_clamp(500.0f64, 10.0, 100.0), 100.0);
+        assert_eq!(xl_clamp(110.0f64, 10.0, 100.0), 100.0);
+    }
+
+    #[test]
+    fn xl_clamp_f32_matches_f64_on_exact_values() {
+        let cases = [
+            (5.0, 10.0, 100.0),
+            (60.0, 10.0, 100.0),
+            (500.0, 10.0, 100.0),
+        ];
+        for (x, r, l) in cases {
+            let wide = xl_clamp(x, r, l);
+            let narrow = xl_clamp(x as f32, r as f32, l as f32);
+            assert_eq!(wide, narrow as f64);
+        }
+    }
+
+    #[test]
+    fn min_max_are_ieee() {
+        assert_eq!(Real::min(1.0f64, 2.0), 1.0);
+        assert_eq!(Real::max(1.0f64, 2.0), 2.0);
+        assert_eq!(Real::abs(-3.0f32), 3.0);
+    }
+}

@@ -1,0 +1,740 @@
+//! Secondary uncertainty — the paper's "fine grain analysis" future work.
+//!
+//! "Future work will aim … to incorporate fine grain analysis, such as
+//! secondary uncertainty in the computations" (paper, Section VI).
+//! *Primary* uncertainty is whether an event occurs (captured by the
+//! pre-simulated YET); *secondary* uncertainty is the loss amount given
+//! that it occurs. Instead of a point loss, each ELT record carries a
+//! loss **distribution** — here a log-normal fitted by moment matching to
+//! a `(mean, std_dev)` pair and capped at the exposed limit `max_loss`,
+//! the standard shape for catastrophe severity.
+//!
+//! ## Determinism across engines
+//!
+//! Sampling happens *inside* the per-trial loop — billions of draws — so
+//! the draw for a given `(trial, event occurrence, ELT)` must not depend
+//! on execution order, or the parallel engines could never be validated
+//! against the sequential reference. We therefore use a **counter-based
+//! generator**: the uniform for each draw is a SplitMix64-style hash of
+//! `(seed, trial, occurrence index, ELT index)`. Any engine, any device
+//! partitioning, any block size produces bit-identical samples.
+
+use crate::elt::EventLossTable;
+use crate::error::AraError;
+use crate::event::EventId;
+use crate::real::Real;
+use serde::{Deserialize, Serialize};
+
+/// An uncertain event loss: a capped log-normal severity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UncertainLoss {
+    /// Expected ground-up loss given occurrence.
+    pub mean: f64,
+    /// Standard deviation of the ground-up loss.
+    pub std_dev: f64,
+    /// Maximum possible loss (the exposed limit); samples are capped
+    /// here.
+    pub max_loss: f64,
+}
+
+impl UncertainLoss {
+    /// A degenerate (point) loss — zero secondary uncertainty.
+    pub fn point(loss: f64) -> Self {
+        UncertainLoss {
+            mean: loss,
+            std_dev: 0.0,
+            max_loss: loss,
+        }
+    }
+
+    /// Validate: finite, non-negative, `mean <= max_loss`.
+    pub fn validate(&self) -> Result<(), AraError> {
+        let bad = |what| Err(AraError::InvalidValue { what });
+        if !self.mean.is_finite() || self.mean < 0.0 {
+            return bad("uncertain loss mean");
+        }
+        if !self.std_dev.is_finite() || self.std_dev < 0.0 {
+            return bad("uncertain loss std_dev");
+        }
+        if !self.max_loss.is_finite() || self.max_loss < self.mean {
+            return bad("uncertain loss max_loss");
+        }
+        Ok(())
+    }
+
+    /// Log-normal parameters `(mu, sigma)` matching the mean and
+    /// standard deviation (method of moments). A zero mean or zero
+    /// standard deviation degenerates to a point mass.
+    pub fn lognormal_params(&self) -> (f64, f64) {
+        if self.mean <= 0.0 || self.std_dev <= 0.0 {
+            return (
+                if self.mean > 0.0 {
+                    self.mean.ln()
+                } else {
+                    f64::NEG_INFINITY
+                },
+                0.0,
+            );
+        }
+        let cv2 = (self.std_dev / self.mean).powi(2);
+        let sigma2 = (1.0 + cv2).ln();
+        let mu = self.mean.ln() - 0.5 * sigma2;
+        (mu, sigma2.sqrt())
+    }
+
+    /// The loss at uniform quantile `u ∈ (0, 1)`: the capped log-normal
+    /// inverse CDF.
+    pub fn quantile(&self, u: f64) -> f64 {
+        debug_assert!((0.0..1.0).contains(&u) && u > 0.0 || u == 0.5);
+        let (mu, sigma) = self.lognormal_params();
+        if sigma == 0.0 {
+            return self.mean.min(self.max_loss);
+        }
+        let z = normal_quantile(u);
+        (mu + sigma * z).exp().min(self.max_loss)
+    }
+}
+
+/// Standard-normal quantile function Φ⁻¹ (Acklam's rational
+/// approximation; absolute error < 1.15e-9 over (0, 1)).
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile of p outside (0,1)");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Counter-based uniform in `(0, 1)`: a SplitMix64 finaliser over the
+/// draw coordinates. Identical inputs give identical draws on every
+/// engine and platform.
+#[inline]
+pub fn draw_u01(seed: u64, trial: u64, occurrence: u32, elt: u32) -> f64 {
+    let mut x = seed
+        ^ trial.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ ((occurrence as u64) << 32 | elt as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    // Map to (0, 1): keep 53 bits, offset by half an ulp so 0 is
+    // excluded.
+    ((x >> 11) as f64 + 0.5) * (1.0 / 9007199254740992.0)
+}
+
+/// One record of an uncertain ELT.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UncertainEventLoss {
+    /// The catalogue event.
+    pub event: EventId,
+    /// Its loss distribution.
+    pub loss: UncertainLoss,
+}
+
+/// An ELT whose losses carry secondary uncertainty.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UncertainElt {
+    records: Vec<UncertainEventLoss>,
+    terms: crate::FinancialTerms,
+}
+
+impl UncertainElt {
+    /// Build from records, sorting and validating.
+    pub fn new(
+        mut records: Vec<UncertainEventLoss>,
+        terms: crate::FinancialTerms,
+    ) -> Result<Self, AraError> {
+        terms.validate()?;
+        for r in &records {
+            r.loss.validate()?;
+        }
+        records.sort_unstable_by_key(|r| r.event);
+        for pair in records.windows(2) {
+            if pair[0].event == pair[1].event {
+                return Err(AraError::DuplicateEvent {
+                    event: pair[0].event.0,
+                });
+            }
+        }
+        Ok(UncertainElt { records, terms })
+    }
+
+    /// Lift a point-loss ELT into an uncertain one: each loss becomes the
+    /// mean, with `std_dev = cv × mean` and `max_loss = cap × mean`.
+    ///
+    /// # Panics
+    /// Panics if `cv < 0` or `cap < 1`.
+    pub fn from_point_elt(elt: &EventLossTable, cv: f64, cap: f64) -> Self {
+        assert!(cv >= 0.0, "coefficient of variation must be non-negative");
+        assert!(cap >= 1.0, "max-loss cap must be at least the mean");
+        let records = elt
+            .records()
+            .iter()
+            .map(|r| UncertainEventLoss {
+                event: r.event,
+                loss: UncertainLoss {
+                    mean: r.loss,
+                    std_dev: cv * r.loss,
+                    max_loss: cap * r.loss,
+                },
+            })
+            .collect();
+        UncertainElt {
+            records,
+            terms: *elt.terms(),
+        }
+    }
+
+    /// The sorted records.
+    pub fn records(&self) -> &[UncertainEventLoss] {
+        &self.records
+    }
+
+    /// The financial terms.
+    pub fn terms(&self) -> &crate::FinancialTerms {
+        &self.terms
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Dense direct-access table of loss distributions: three
+/// catalogue-sized columns (`mu`, `sigma`, `max`) in log-space, ready
+/// for one-pass sampling. `max == 0` marks an absent event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UncertainDirectTable<R> {
+    mu: Vec<R>,
+    sigma: Vec<R>,
+    max: Vec<R>,
+    mean: Vec<R>,
+}
+
+impl<R: Real> UncertainDirectTable<R> {
+    /// Expand an uncertain ELT over a catalogue of `catalogue_size`
+    /// events.
+    pub fn from_elt(elt: &UncertainElt, catalogue_size: u32) -> Result<Self, AraError> {
+        let n = catalogue_size as usize;
+        let mut t = UncertainDirectTable {
+            mu: vec![R::ZERO; n],
+            sigma: vec![R::ZERO; n],
+            max: vec![R::ZERO; n],
+            mean: vec![R::ZERO; n],
+        };
+        for r in elt.records() {
+            if r.event.0 >= catalogue_size {
+                return Err(AraError::EventOutOfCatalogue {
+                    event: r.event.0,
+                    catalogue_size,
+                });
+            }
+            let (mu, sigma) = r.loss.lognormal_params();
+            let i = r.event.index();
+            t.mu[i] = R::from_f64(if mu.is_finite() { mu } else { 0.0 });
+            t.sigma[i] = R::from_f64(sigma);
+            t.max[i] = R::from_f64(r.loss.max_loss);
+            t.mean[i] = R::from_f64(r.loss.mean);
+        }
+        Ok(t)
+    }
+
+    /// Sample the loss of `event` at uniform `u` (0 if the event is
+    /// absent). The normal quantile is evaluated in f64 and the result
+    /// demoted, matching how a GPU kernel would call a special-function
+    /// intrinsic.
+    #[inline]
+    pub fn sample(&self, event: EventId, u: f64) -> R {
+        let i = event.index();
+        if i >= self.max.len() {
+            return R::ZERO;
+        }
+        let max = self.max[i];
+        if max.partial_cmp(&R::ZERO) != Some(std::cmp::Ordering::Greater) {
+            return R::ZERO;
+        }
+        let sigma = self.sigma[i];
+        if sigma.partial_cmp(&R::ZERO) != Some(std::cmp::Ordering::Greater) {
+            return self.mean[i].min(max);
+        }
+        let z = normal_quantile(u);
+        let ln_loss = self.mu[i].to_f64() + self.sigma[i].to_f64() * z;
+        R::from_f64(ln_loss.exp()).min(max)
+    }
+
+    /// Expected loss of `event` (0 if absent) — the point-estimate
+    /// column.
+    #[inline]
+    pub fn expected(&self, event: EventId) -> R {
+        self.mean.get(event.index()).copied().unwrap_or(R::ZERO)
+    }
+
+    /// Resident bytes (four catalogue-sized columns).
+    pub fn memory_bytes(&self) -> usize {
+        4 * self.mu.len() * R::BYTES
+    }
+}
+
+/// A layer over uncertain ELTs, after preprocessing: one dense
+/// distribution table per covered ELT plus the financial and layer
+/// terms.
+#[derive(Debug, Clone)]
+pub struct UncertainPreparedLayer<R: Real> {
+    tables: Vec<UncertainDirectTable<R>>,
+    fin_terms: Vec<(R, R, R, R)>,
+    terms: crate::LayerTerms,
+    /// Base seed of the counter-based sampler.
+    pub seed: u64,
+}
+
+impl<R: Real> UncertainPreparedLayer<R> {
+    /// Prepare from uncertain ELTs covered by a layer with `terms`,
+    /// using `seed` for the counter-based draws.
+    pub fn prepare(
+        elts: &[&UncertainElt],
+        terms: crate::LayerTerms,
+        catalogue_size: u32,
+        seed: u64,
+    ) -> Result<Self, AraError> {
+        terms.validate()?;
+        let mut tables = Vec::with_capacity(elts.len());
+        let mut fin_terms = Vec::with_capacity(elts.len());
+        for elt in elts {
+            tables.push(UncertainDirectTable::from_elt(elt, catalogue_size)?);
+            fin_terms.push(elt.terms().as_tuple::<R>());
+        }
+        Ok(UncertainPreparedLayer {
+            tables,
+            fin_terms,
+            terms,
+            seed,
+        })
+    }
+
+    /// The distribution tables, one per covered ELT.
+    pub fn tables(&self) -> &[UncertainDirectTable<R>] {
+        &self.tables
+    }
+
+    /// The layer terms.
+    pub fn terms(&self) -> &crate::LayerTerms {
+        &self.terms
+    }
+
+    /// Number of covered ELTs.
+    pub fn num_elts(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Resident bytes of all distribution tables.
+    pub fn memory_bytes(&self) -> usize {
+        self.tables.iter().map(|t| t.memory_bytes()).sum()
+    }
+}
+
+/// Analyse one trial with secondary uncertainty: every `(occurrence,
+/// ELT)` pair draws its loss from the record's distribution via the
+/// counter-based sampler, then the financial, occurrence and aggregate
+/// terms apply exactly as in the point-loss pipeline.
+///
+/// `trial_index` must be the trial's **global** index in the YET so the
+/// draws are independent of any partitioning.
+pub fn analyse_trial_uncertain<R: Real>(
+    prepared: &UncertainPreparedLayer<R>,
+    trial: crate::TrialView<'_>,
+    trial_index: usize,
+) -> crate::TrialResult<R> {
+    let mut max_occ = R::ZERO;
+    let mut total = R::ZERO;
+    for (d, &event) in trial.events.iter().enumerate() {
+        let mut combined = R::ZERO;
+        for (e, (table, &(fx, ret, lim, share))) in
+            prepared.tables.iter().zip(&prepared.fin_terms).enumerate()
+        {
+            let u = draw_u01(prepared.seed, trial_index as u64, d as u32, e as u32);
+            let ground_up = table.sample(event, u);
+            combined += share * crate::real::xl_clamp(ground_up * fx, ret, lim);
+        }
+        let occ = prepared.terms.apply_occurrence(combined);
+        max_occ = max_occ.max(occ);
+        total += occ;
+    }
+    crate::TrialResult {
+        year_loss: prepared.terms.apply_aggregate(total),
+        max_occ_loss: max_occ,
+    }
+}
+
+/// Analyse every trial of `yet` under an uncertain prepared layer,
+/// sequentially — the reference the parallel engines are validated
+/// against.
+pub fn analyse_layer_uncertain<R: Real>(
+    prepared: &UncertainPreparedLayer<R>,
+    yet: &crate::YearEventTable,
+) -> crate::YearLossTable {
+    let n = yet.num_trials();
+    let mut year = Vec::with_capacity(n);
+    let mut max_occ = Vec::with_capacity(n);
+    for (i, trial) in yet.trials().enumerate() {
+        let r = analyse_trial_uncertain(prepared, trial, i);
+        year.push(r.year_loss.to_f64());
+        max_occ.push(r.max_occ_loss.to_f64());
+    }
+    crate::YearLossTable::with_max_occurrence(year, max_occ)
+        .expect("columns built together have equal length")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elt::EventLoss;
+    use crate::FinancialTerms;
+
+    #[test]
+    fn normal_quantile_known_values() {
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-5);
+        assert!((normal_quantile(0.025) + 1.959964).abs() < 1e-5);
+        assert!((normal_quantile(0.8413447) - 1.0).abs() < 1e-4);
+        assert!((normal_quantile(0.999) - 3.090232).abs() < 1e-5);
+        assert!((normal_quantile(1e-9) + 5.997807).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn normal_quantile_rejects_bounds() {
+        normal_quantile(0.0);
+    }
+
+    #[test]
+    fn lognormal_moment_matching() {
+        let ul = UncertainLoss {
+            mean: 100.0,
+            std_dev: 50.0,
+            max_loss: 1e9,
+        };
+        let (mu, sigma) = ul.lognormal_params();
+        // Reconstruct the moments.
+        let mean = (mu + 0.5 * sigma * sigma).exp();
+        let var = ((sigma * sigma).exp() - 1.0) * (2.0 * mu + sigma * sigma).exp();
+        assert!((mean - 100.0).abs() < 1e-9, "mean {mean}");
+        assert!((var.sqrt() - 50.0).abs() < 1e-9, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn quantile_monotone_and_capped() {
+        let ul = UncertainLoss {
+            mean: 100.0,
+            std_dev: 80.0,
+            max_loss: 400.0,
+        };
+        let mut prev = 0.0;
+        for u in [0.01, 0.1, 0.5, 0.9, 0.99, 0.9999] {
+            let q = ul.quantile(u);
+            assert!(q >= prev, "quantile not monotone at {u}");
+            assert!(q <= 400.0, "cap violated at {u}");
+            prev = q;
+        }
+        assert_eq!(ul.quantile(0.999999), 400.0);
+    }
+
+    #[test]
+    fn point_loss_is_degenerate() {
+        let p = UncertainLoss::point(123.0);
+        p.validate().unwrap();
+        assert_eq!(p.quantile(0.1), 123.0);
+        assert_eq!(p.quantile(0.9), 123.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_records() {
+        assert!(UncertainLoss {
+            mean: -1.0,
+            std_dev: 0.0,
+            max_loss: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(UncertainLoss {
+            mean: 10.0,
+            std_dev: -1.0,
+            max_loss: 20.0
+        }
+        .validate()
+        .is_err());
+        assert!(UncertainLoss {
+            mean: 10.0,
+            std_dev: 1.0,
+            max_loss: 5.0
+        }
+        .validate()
+        .is_err());
+        assert!(UncertainLoss {
+            mean: 10.0,
+            std_dev: f64::NAN,
+            max_loss: 20.0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn draw_u01_is_deterministic_and_spread() {
+        let a = draw_u01(1, 2, 3, 4);
+        assert_eq!(a, draw_u01(1, 2, 3, 4));
+        assert_ne!(a, draw_u01(1, 2, 3, 5));
+        assert_ne!(a, draw_u01(1, 2, 4, 4));
+        assert_ne!(a, draw_u01(1, 3, 3, 4));
+        assert_ne!(a, draw_u01(2, 2, 3, 4));
+        // Coarse uniformity: mean of many draws near 0.5.
+        let n = 100_000u64;
+        let mean: f64 = (0..n).map(|i| draw_u01(7, i, 0, 0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+        // Strictly inside (0, 1).
+        for i in 0..1000 {
+            let u = draw_u01(0, i, i as u32, 0);
+            assert!(u > 0.0 && u < 1.0);
+        }
+    }
+
+    fn point_elt() -> EventLossTable {
+        EventLossTable::new(
+            vec![
+                EventLoss {
+                    event: EventId(3),
+                    loss: 100.0,
+                },
+                EventLoss {
+                    event: EventId(7),
+                    loss: 250.0,
+                },
+            ],
+            FinancialTerms::identity(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_point_elt_lifts_records() {
+        let u = UncertainElt::from_point_elt(&point_elt(), 0.5, 4.0);
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.records()[0].loss.mean, 100.0);
+        assert_eq!(u.records()[0].loss.std_dev, 50.0);
+        assert_eq!(u.records()[0].loss.max_loss, 400.0);
+        assert!(u.terms().is_identity());
+    }
+
+    #[test]
+    fn uncertain_table_sampling() {
+        let u = UncertainElt::from_point_elt(&point_elt(), 0.5, 4.0);
+        let t = UncertainDirectTable::<f64>::from_elt(&u, 10).unwrap();
+        // Absent events sample to zero at any quantile.
+        assert_eq!(t.sample(EventId(0), 0.9), 0.0);
+        assert_eq!(t.sample(EventId(9), 0.1), 0.0);
+        assert_eq!(t.sample(EventId(100), 0.5), 0.0);
+        // Present events are positive, monotone in u, capped.
+        let lo = t.sample(EventId(3), 0.05);
+        let hi = t.sample(EventId(3), 0.95);
+        assert!(lo > 0.0 && hi > lo);
+        assert!(t.sample(EventId(3), 0.999999) <= 400.0);
+        assert_eq!(t.expected(EventId(3)), 100.0);
+        assert_eq!(t.expected(EventId(4)), 0.0);
+    }
+
+    #[test]
+    fn zero_cv_table_returns_the_mean() {
+        let u = UncertainElt::from_point_elt(&point_elt(), 0.0, 1.0);
+        let t = UncertainDirectTable::<f64>::from_elt(&u, 10).unwrap();
+        assert_eq!(t.sample(EventId(3), 0.1), 100.0);
+        assert_eq!(t.sample(EventId(3), 0.9), 100.0);
+    }
+
+    #[test]
+    fn sampled_mean_converges_to_expected() {
+        // Monte Carlo over the counter-based draws: the sample mean of
+        // the capped log-normal approaches its analytic expectation.
+        let ul = UncertainLoss {
+            mean: 100.0,
+            std_dev: 30.0,
+            max_loss: 1e6,
+        };
+        let n = 200_000u64;
+        let mean: f64 = (0..n)
+            .map(|i| ul.quantile(draw_u01(11, i, 0, 0)))
+            .sum::<f64>()
+            / n as f64;
+        // The cap at 1e6 is ~10 sigma out in log space: negligible bias.
+        assert!((mean - 100.0).abs() < 0.5, "sampled mean {mean}");
+    }
+
+    #[test]
+    fn uncertain_elt_rejects_duplicates() {
+        let rec = |e: u32| UncertainEventLoss {
+            event: EventId(e),
+            loss: UncertainLoss::point(1.0),
+        };
+        assert!(UncertainElt::new(vec![rec(1), rec(1)], FinancialTerms::identity()).is_err());
+        let ok = UncertainElt::new(vec![rec(2), rec(1)], FinancialTerms::identity()).unwrap();
+        assert_eq!(ok.records()[0].event, EventId(1));
+    }
+
+    #[test]
+    fn table_memory_is_four_columns() {
+        let u = UncertainElt::from_point_elt(&point_elt(), 0.3, 3.0);
+        let t = UncertainDirectTable::<f64>::from_elt(&u, 1000).unwrap();
+        assert_eq!(t.memory_bytes(), 4 * 1000 * 8);
+    }
+
+    mod analysis {
+        use super::*;
+        use crate::event::EventOccurrence;
+        use crate::yet::YearEventTableBuilder;
+        use crate::LayerTerms;
+
+        fn yet() -> crate::YearEventTable {
+            let mut b = YearEventTableBuilder::new(10);
+            for t in 0..50 {
+                b.push_trial(&[
+                    EventOccurrence::new(3, 0.1 + (t % 3) as f32 * 0.1),
+                    EventOccurrence::new(7, 0.8),
+                ])
+                .unwrap();
+            }
+            b.build()
+        }
+
+        fn prepared(seed: u64, cv: f64) -> UncertainPreparedLayer<f64> {
+            let point = point_elt();
+            let u = UncertainElt::from_point_elt(&point, cv, 10.0);
+            UncertainPreparedLayer::prepare(&[&u], LayerTerms::unlimited(), 10, seed).unwrap()
+        }
+
+        #[test]
+        fn zero_cv_reproduces_point_analysis() {
+            // With no secondary uncertainty the pipeline collapses to the
+            // point analysis: every trial has events 3 (100) and 7 (250).
+            let p = prepared(1, 0.0);
+            let ylt = analyse_layer_uncertain(&p, &yet());
+            for &l in ylt.year_losses() {
+                assert_eq!(l, 350.0);
+            }
+            for &m in ylt.max_occurrence_losses().unwrap() {
+                assert_eq!(m, 250.0);
+            }
+        }
+
+        #[test]
+        fn sampling_is_seed_deterministic() {
+            let a = analyse_layer_uncertain(&prepared(5, 0.6), &yet());
+            let b = analyse_layer_uncertain(&prepared(5, 0.6), &yet());
+            assert_eq!(a, b);
+            let c = analyse_layer_uncertain(&prepared(6, 0.6), &yet());
+            assert_ne!(a, c);
+        }
+
+        #[test]
+        fn uncertainty_spreads_the_ylt_but_keeps_the_mean() {
+            let point = analyse_layer_uncertain(&prepared(2, 0.0), &yet());
+            let fuzzy = analyse_layer_uncertain(&prepared(2, 0.8), &yet());
+            // Same expected loss (log-normal is mean-matched), more
+            // spread.
+            let spread = |ylt: &crate::YearLossTable| {
+                let m = ylt.mean();
+                ylt.year_losses()
+                    .iter()
+                    .map(|l| (l - m).powi(2))
+                    .sum::<f64>()
+            };
+            assert_eq!(spread(&point), 0.0);
+            assert!(spread(&fuzzy) > 0.0);
+            // Mean within sampling error (50 trials × 2 events, cv 0.8).
+            assert!(
+                (fuzzy.mean() - point.mean()).abs() / point.mean() < 0.25,
+                "mean drift {} vs {}",
+                fuzzy.mean(),
+                point.mean()
+            );
+        }
+
+        #[test]
+        fn draws_are_partition_independent() {
+            // Analysing trials [25..50) alone must reproduce the same
+            // losses as the full run's tail — draws key on the global
+            // trial index.
+            let p = prepared(9, 0.5);
+            let full = analyse_layer_uncertain(&p, &yet());
+            let yet = yet();
+            let tail: Vec<f64> = (25..50)
+                .map(|i| analyse_trial_uncertain(&p, yet.trial(i), i).year_loss)
+                .collect();
+            assert_eq!(&full.year_losses()[25..], &tail[..]);
+        }
+
+        #[test]
+        fn terms_still_bind_under_uncertainty() {
+            let point = point_elt();
+            let u = UncertainElt::from_point_elt(&point, 1.0, 20.0);
+            let terms = LayerTerms {
+                occ_retention: 50.0,
+                occ_limit: 200.0,
+                agg_retention: 0.0,
+                agg_limit: 300.0,
+            };
+            let p = UncertainPreparedLayer::<f64>::prepare(&[&u], terms, 10, 3).unwrap();
+            let ylt = analyse_layer_uncertain(&p, &yet());
+            for &l in ylt.year_losses() {
+                assert!((0.0..=300.0).contains(&l));
+            }
+            for &m in ylt.max_occurrence_losses().unwrap() {
+                assert!(m <= 200.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! The Year Event Table (YET).
+//!
+//! The YET is the pre-simulated database of trials: each trial `T_i` is a
+//! sequence of event occurrences `{(E_{i,1}, t_{i,1}), …}` ordered by
+//! ascending timestamp (paper, Section II). A production YET holds millions
+//! of trials of 800–1,500 occurrences each, so the representation matters:
+//! we store all trials in a single CSR-style flattened layout —
+//! an offsets array plus two packed columns (event ids and timestamps) —
+//! which streams linearly in the sequential engine and maps directly onto
+//! the flat device buffers the GPU engines expect.
+
+use crate::error::AraError;
+use crate::event::{EventId, EventOccurrence, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// Borrowed view of one trial: parallel slices of event ids and timestamps.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialView<'a> {
+    /// Event ids of the occurrences, in timestamp order.
+    pub events: &'a [EventId],
+    /// Timestamps of the occurrences, ascending.
+    pub times: &'a [Timestamp],
+}
+
+impl<'a> TrialView<'a> {
+    /// Number of event occurrences in the trial.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the trial contains no occurrences.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterate over the occurrences as `(EventId, Timestamp)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = EventOccurrence> + 'a {
+        self.events
+            .iter()
+            .zip(self.times.iter())
+            .map(|(&event, &time)| EventOccurrence { event, time })
+    }
+}
+
+/// The Year Event Table: all trials in CSR-flattened storage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct YearEventTable {
+    /// `offsets[i]..offsets[i+1]` is the range of trial `i` in the packed
+    /// columns. Length is `num_trials + 1`; `offsets[0] == 0`.
+    offsets: Vec<u32>,
+    /// Packed event ids of every trial.
+    events: Vec<EventId>,
+    /// Packed timestamps of every trial.
+    times: Vec<Timestamp>,
+    /// Size of the global event catalogue all ids must fall inside.
+    catalogue_size: u32,
+}
+
+impl YearEventTable {
+    /// Number of trials.
+    #[inline]
+    pub fn num_trials(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of event occurrences across all trials.
+    #[inline]
+    pub fn total_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Size of the global event catalogue.
+    #[inline]
+    pub fn catalogue_size(&self) -> u32 {
+        self.catalogue_size
+    }
+
+    /// Borrow trial `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= num_trials()`.
+    #[inline]
+    pub fn trial(&self, i: usize) -> TrialView<'_> {
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        TrialView {
+            events: &self.events[lo..hi],
+            times: &self.times[lo..hi],
+        }
+    }
+
+    /// Iterate over all trials.
+    pub fn trials(&self) -> impl Iterator<Item = TrialView<'_>> {
+        (0..self.num_trials()).map(move |i| self.trial(i))
+    }
+
+    /// The longest trial, in occurrences (0 for an empty YET).
+    pub fn max_events_per_trial(&self) -> usize {
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean occurrences per trial (0.0 for an empty YET).
+    pub fn mean_events_per_trial(&self) -> f64 {
+        if self.num_trials() == 0 {
+            0.0
+        } else {
+            self.total_events() as f64 / self.num_trials() as f64
+        }
+    }
+
+    /// Approximate resident size of the table in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u32>()
+            + self.events.len() * std::mem::size_of::<EventId>()
+            + self.times.len() * std::mem::size_of::<Timestamp>()
+    }
+
+    /// Raw CSR offsets (for device-buffer upload in the GPU engines).
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Raw packed event-id column.
+    #[inline]
+    pub fn packed_events(&self) -> &[EventId] {
+        &self.events
+    }
+
+    /// Raw packed timestamp column.
+    #[inline]
+    pub fn packed_times(&self) -> &[Timestamp] {
+        &self.times
+    }
+
+    /// Split the trial index range into `n` contiguous, near-equal
+    /// partitions — the decomposition the multi-GPU engine uses.
+    ///
+    /// All partitions are non-overlapping, cover `0..num_trials()`, and
+    /// differ in size by at most one.
+    pub fn partition_trials(&self, n: usize) -> Vec<std::ops::Range<usize>> {
+        assert!(n > 0, "cannot partition into zero parts");
+        let total = self.num_trials();
+        let base = total / n;
+        let extra = total % n;
+        let mut out = Vec::with_capacity(n);
+        let mut start = 0;
+        for k in 0..n {
+            let len = base + usize::from(k < extra);
+            out.push(start..start + len);
+            start += len;
+        }
+        out
+    }
+}
+
+/// Incremental builder for a [`YearEventTable`].
+///
+/// Validates, per trial, that timestamps ascend and that every event id
+/// falls inside the catalogue.
+#[derive(Debug, Clone)]
+pub struct YearEventTableBuilder {
+    offsets: Vec<u32>,
+    events: Vec<EventId>,
+    times: Vec<Timestamp>,
+    catalogue_size: u32,
+}
+
+impl YearEventTableBuilder {
+    /// Start a builder for a catalogue of `catalogue_size` events.
+    pub fn new(catalogue_size: u32) -> Self {
+        YearEventTableBuilder {
+            offsets: vec![0],
+            events: Vec::new(),
+            times: Vec::new(),
+            catalogue_size,
+        }
+    }
+
+    /// Pre-allocate for an expected number of trials and occurrences.
+    pub fn with_capacity(catalogue_size: u32, trials: usize, occurrences: usize) -> Self {
+        let mut b = Self::new(catalogue_size);
+        b.offsets.reserve(trials);
+        b.events.reserve(occurrences);
+        b.times.reserve(occurrences);
+        b
+    }
+
+    /// Append one trial given `(event id, timestamp)` pairs in ascending
+    /// timestamp order.
+    pub fn push_trial(&mut self, occurrences: &[EventOccurrence]) -> Result<(), AraError> {
+        let trial = self.offsets.len() - 1;
+        for pair in occurrences.windows(2) {
+            if pair[1].time.0 < pair[0].time.0 {
+                return Err(AraError::UnsortedTrial { trial });
+            }
+        }
+        for occ in occurrences {
+            if occ.event.0 >= self.catalogue_size {
+                return Err(AraError::EventOutOfCatalogue {
+                    event: occ.event.0,
+                    catalogue_size: self.catalogue_size,
+                });
+            }
+        }
+        self.events.extend(occurrences.iter().map(|o| o.event));
+        self.times.extend(occurrences.iter().map(|o| o.time));
+        self.offsets.push(self.events.len() as u32);
+        Ok(())
+    }
+
+    /// Number of trials pushed so far.
+    pub fn num_trials(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Finish the table.
+    pub fn build(self) -> YearEventTable {
+        YearEventTable {
+            offsets: self.offsets,
+            events: self.events,
+            times: self.times,
+            catalogue_size: self.catalogue_size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn occ(e: u32, t: f32) -> EventOccurrence {
+        EventOccurrence::new(e, t)
+    }
+
+    fn small_yet() -> YearEventTable {
+        let mut b = YearEventTableBuilder::new(100);
+        b.push_trial(&[occ(1, 0.1), occ(5, 0.2), occ(9, 0.9)])
+            .unwrap();
+        b.push_trial(&[]).unwrap();
+        b.push_trial(&[occ(0, 0.0), occ(99, 0.5)]).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn builder_counts() {
+        let yet = small_yet();
+        assert_eq!(yet.num_trials(), 3);
+        assert_eq!(yet.total_events(), 5);
+        assert_eq!(yet.catalogue_size(), 100);
+        assert_eq!(yet.max_events_per_trial(), 3);
+        assert!((yet.mean_events_per_trial() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trial_views_are_correct() {
+        let yet = small_yet();
+        let t0 = yet.trial(0);
+        assert_eq!(t0.len(), 3);
+        assert_eq!(t0.events, &[EventId(1), EventId(5), EventId(9)]);
+        let t1 = yet.trial(1);
+        assert!(t1.is_empty());
+        let t2 = yet.trial(2);
+        assert_eq!(t2.events[1], EventId(99));
+        assert_eq!(t2.times[1], Timestamp(0.5));
+    }
+
+    #[test]
+    fn trial_iter_yields_occurrences_in_order() {
+        let yet = small_yet();
+        let occs: Vec<_> = yet.trial(0).iter().collect();
+        assert_eq!(occs.len(), 3);
+        assert_eq!(occs[0].event, EventId(1));
+        assert_eq!(occs[2].time, Timestamp(0.9));
+    }
+
+    #[test]
+    fn trials_iterator_covers_all() {
+        let yet = small_yet();
+        let lens: Vec<_> = yet.trials().map(|t| t.len()).collect();
+        assert_eq!(lens, vec![3, 0, 2]);
+    }
+
+    #[test]
+    fn rejects_unsorted_trial() {
+        let mut b = YearEventTableBuilder::new(100);
+        let err = b.push_trial(&[occ(1, 0.5), occ(2, 0.1)]).unwrap_err();
+        assert_eq!(err, AraError::UnsortedTrial { trial: 0 });
+    }
+
+    #[test]
+    fn equal_timestamps_are_allowed() {
+        // Simultaneous occurrences (same day) are legal; ordering between
+        // them is the catalogue order in which they were supplied.
+        let mut b = YearEventTableBuilder::new(100);
+        b.push_trial(&[occ(1, 0.5), occ(2, 0.5)]).unwrap();
+        assert_eq!(b.num_trials(), 1);
+    }
+
+    #[test]
+    fn rejects_event_outside_catalogue() {
+        let mut b = YearEventTableBuilder::new(10);
+        let err = b.push_trial(&[occ(10, 0.5)]).unwrap_err();
+        assert_eq!(
+            err,
+            AraError::EventOutOfCatalogue {
+                event: 10,
+                catalogue_size: 10
+            }
+        );
+    }
+
+    #[test]
+    fn failed_push_leaves_builder_unchanged_in_trial_count() {
+        let mut b = YearEventTableBuilder::new(10);
+        b.push_trial(&[occ(1, 0.1)]).unwrap();
+        let _ = b.push_trial(&[occ(99, 0.5)]);
+        // The failed trial must not have been committed.
+        assert_eq!(b.num_trials(), 1);
+        let yet = b.build();
+        assert_eq!(yet.total_events(), 1);
+    }
+
+    #[test]
+    fn memory_accounting_matches_layout() {
+        let yet = small_yet();
+        // offsets: 4 u32, events: 5 u32, times: 5 f32.
+        assert_eq!(yet.memory_bytes(), 4 * 4 + 5 * 4 + 5 * 4);
+    }
+
+    #[test]
+    fn partition_covers_range_evenly() {
+        let mut b = YearEventTableBuilder::new(10);
+        for _ in 0..10 {
+            b.push_trial(&[occ(1, 0.1)]).unwrap();
+        }
+        let yet = b.build();
+        let parts = yet.partition_trials(4);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[0], 0..3);
+        assert_eq!(parts[1], 3..6);
+        assert_eq!(parts[2], 6..8);
+        assert_eq!(parts[3], 8..10);
+        let total: usize = parts.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn partition_single() {
+        let yet = small_yet();
+        let parts = yet.partition_trials(1);
+        assert_eq!(parts, vec![0..3]);
+    }
+
+    #[test]
+    fn partition_more_parts_than_trials() {
+        let yet = small_yet();
+        let parts = yet.partition_trials(5);
+        assert_eq!(parts.len(), 5);
+        let total: usize = parts.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 3);
+        // Partitions must remain contiguous and ordered.
+        for w in parts.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parts")]
+    fn partition_zero_panics() {
+        small_yet().partition_trials(0);
+    }
+}

@@ -1,0 +1,251 @@
+//! The Year Loss Table (YLT) — the output of aggregate analysis.
+//!
+//! One year loss `l_r` per trial per layer. The YLT is the interface to
+//! risk metrics (PML, TVaR, EP curves — see the `ara-metrics` crate); the
+//! optional per-trial *maximum occurrence loss* column supports OEP curves
+//! alongside the aggregate (AEP) view.
+
+use crate::error::AraError;
+use serde::{Deserialize, Serialize};
+
+/// Year Loss Table: per-trial results of one layer analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct YearLossTable {
+    /// Aggregate loss per trial, net of all terms (`l_r` of Algorithm 1).
+    year_loss: Vec<f64>,
+    /// Largest single net occurrence loss per trial, when recorded.
+    max_occ_loss: Option<Vec<f64>>,
+}
+
+impl YearLossTable {
+    /// Wrap per-trial year losses.
+    pub fn new(year_loss: Vec<f64>) -> Self {
+        YearLossTable {
+            year_loss,
+            max_occ_loss: None,
+        }
+    }
+
+    /// Wrap year losses together with per-trial maximum occurrence losses.
+    ///
+    /// Returns an error if the two columns disagree in length.
+    pub fn with_max_occurrence(
+        year_loss: Vec<f64>,
+        max_occ_loss: Vec<f64>,
+    ) -> Result<Self, AraError> {
+        if year_loss.len() != max_occ_loss.len() {
+            return Err(AraError::TrialCountMismatch {
+                expected: year_loss.len(),
+                actual: max_occ_loss.len(),
+            });
+        }
+        Ok(YearLossTable {
+            year_loss,
+            max_occ_loss: Some(max_occ_loss),
+        })
+    }
+
+    /// Number of trials.
+    #[inline]
+    pub fn num_trials(&self) -> usize {
+        self.year_loss.len()
+    }
+
+    /// True if the table is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.year_loss.is_empty()
+    }
+
+    /// The per-trial year losses.
+    #[inline]
+    pub fn year_losses(&self) -> &[f64] {
+        &self.year_loss
+    }
+
+    /// The per-trial maximum occurrence losses, if recorded.
+    #[inline]
+    pub fn max_occurrence_losses(&self) -> Option<&[f64]> {
+        self.max_occ_loss.as_deref()
+    }
+
+    /// Mean year loss — the Average Annual Loss (AAL) estimator.
+    pub fn mean(&self) -> f64 {
+        if self.year_loss.is_empty() {
+            0.0
+        } else {
+            self.year_loss.iter().sum::<f64>() / self.year_loss.len() as f64
+        }
+    }
+
+    /// Largest year loss in the table (0.0 if empty).
+    pub fn max(&self) -> f64 {
+        self.year_loss.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Fraction of trials with a strictly positive year loss.
+    pub fn attachment_probability(&self) -> f64 {
+        if self.year_loss.is_empty() {
+            0.0
+        } else {
+            self.year_loss.iter().filter(|&&l| l > 0.0).count() as f64 / self.year_loss.len() as f64
+        }
+    }
+
+    /// Concatenate partition results in order — the merge step of the
+    /// multi-GPU engine. Max-occurrence columns are concatenated when
+    /// **all** parts carry them, otherwise dropped.
+    pub fn concat(parts: Vec<YearLossTable>) -> YearLossTable {
+        let total: usize = parts.iter().map(|p| p.num_trials()).sum();
+        let mut year_loss = Vec::with_capacity(total);
+        let keep_occ = !parts.is_empty() && parts.iter().all(|p| p.max_occ_loss.is_some());
+        let mut max_occ = keep_occ.then(|| Vec::with_capacity(total));
+        for part in parts {
+            year_loss.extend_from_slice(&part.year_loss);
+            if let (Some(out), Some(col)) = (max_occ.as_mut(), part.max_occ_loss) {
+                out.extend_from_slice(&col);
+            }
+        }
+        YearLossTable {
+            year_loss,
+            max_occ_loss: max_occ,
+        }
+    }
+
+    /// Per-trial sum of two YLTs (portfolio roll-up across layers).
+    ///
+    /// Max-occurrence columns combine as the per-trial max when both sides
+    /// carry them (an occurrence exceedance for the portfolio is driven by
+    /// the worst single occurrence across layers).
+    pub fn add(&self, other: &YearLossTable) -> Result<YearLossTable, AraError> {
+        if self.num_trials() != other.num_trials() {
+            return Err(AraError::TrialCountMismatch {
+                expected: self.num_trials(),
+                actual: other.num_trials(),
+            });
+        }
+        let year_loss = self
+            .year_loss
+            .iter()
+            .zip(&other.year_loss)
+            .map(|(a, b)| a + b)
+            .collect();
+        let max_occ_loss = match (&self.max_occ_loss, &other.max_occ_loss) {
+            (Some(a), Some(b)) => Some(a.iter().zip(b).map(|(x, y)| x.max(*y)).collect()),
+            _ => None,
+        };
+        Ok(YearLossTable {
+            year_loss,
+            max_occ_loss,
+        })
+    }
+
+    /// Maximum absolute difference in year loss against another YLT —
+    /// used to compare engine outputs (f32 GPU kernels vs f64 reference).
+    pub fn max_abs_diff(&self, other: &YearLossTable) -> Result<f64, AraError> {
+        if self.num_trials() != other.num_trials() {
+            return Err(AraError::TrialCountMismatch {
+                expected: self.num_trials(),
+                actual: other.num_trials(),
+            });
+        }
+        Ok(self
+            .year_loss
+            .iter()
+            .zip(&other.year_loss)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max))
+    }
+
+    /// Maximum relative difference (|a-b| / max(1, |a|)) against another
+    /// YLT.
+    pub fn max_rel_diff(&self, other: &YearLossTable) -> Result<f64, AraError> {
+        if self.num_trials() != other.num_trials() {
+            return Err(AraError::TrialCountMismatch {
+                expected: self.num_trials(),
+                actual: other.num_trials(),
+            });
+        }
+        Ok(self
+            .year_loss
+            .iter()
+            .zip(&other.year_loss)
+            .map(|(a, b)| (a - b).abs() / a.abs().max(1.0))
+            .fold(0.0, f64::max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let ylt = YearLossTable::new(vec![0.0, 10.0, 20.0, 30.0]);
+        assert_eq!(ylt.num_trials(), 4);
+        assert_eq!(ylt.mean(), 15.0);
+        assert_eq!(ylt.max(), 30.0);
+        assert_eq!(ylt.attachment_probability(), 0.75);
+    }
+
+    #[test]
+    fn empty_table_stats() {
+        let ylt = YearLossTable::new(vec![]);
+        assert!(ylt.is_empty());
+        assert_eq!(ylt.mean(), 0.0);
+        assert_eq!(ylt.max(), 0.0);
+        assert_eq!(ylt.attachment_probability(), 0.0);
+    }
+
+    #[test]
+    fn with_max_occurrence_checks_length() {
+        assert!(YearLossTable::with_max_occurrence(vec![1.0], vec![1.0, 2.0]).is_err());
+        let ylt = YearLossTable::with_max_occurrence(vec![1.0, 2.0], vec![0.5, 1.5]).unwrap();
+        assert_eq!(ylt.max_occurrence_losses(), Some(&[0.5, 1.5][..]));
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let a = YearLossTable::new(vec![1.0, 2.0]);
+        let b = YearLossTable::new(vec![3.0]);
+        let c = YearLossTable::concat(vec![a, b]);
+        assert_eq!(c.year_losses(), &[1.0, 2.0, 3.0]);
+        assert!(c.max_occurrence_losses().is_none());
+    }
+
+    #[test]
+    fn concat_keeps_occ_only_when_all_parts_have_it() {
+        let a = YearLossTable::with_max_occurrence(vec![1.0], vec![0.5]).unwrap();
+        let b = YearLossTable::with_max_occurrence(vec![2.0], vec![1.5]).unwrap();
+        let c = YearLossTable::concat(vec![a.clone(), b]);
+        assert_eq!(c.max_occurrence_losses(), Some(&[0.5, 1.5][..]));
+
+        let d = YearLossTable::concat(vec![a, YearLossTable::new(vec![2.0])]);
+        assert!(d.max_occurrence_losses().is_none());
+    }
+
+    #[test]
+    fn add_rolls_up_layers() {
+        let a = YearLossTable::with_max_occurrence(vec![1.0, 2.0], vec![1.0, 1.0]).unwrap();
+        let b = YearLossTable::with_max_occurrence(vec![10.0, 20.0], vec![0.5, 3.0]).unwrap();
+        let s = a.add(&b).unwrap();
+        assert_eq!(s.year_losses(), &[11.0, 22.0]);
+        assert_eq!(s.max_occurrence_losses(), Some(&[1.0, 3.0][..]));
+    }
+
+    #[test]
+    fn add_length_mismatch_errors() {
+        let a = YearLossTable::new(vec![1.0]);
+        let b = YearLossTable::new(vec![1.0, 2.0]);
+        assert!(a.add(&b).is_err());
+    }
+
+    #[test]
+    fn diff_metrics() {
+        let a = YearLossTable::new(vec![100.0, 0.0]);
+        let b = YearLossTable::new(vec![101.0, 0.5]);
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 1.0);
+        assert!((a.max_rel_diff(&b).unwrap() - 0.5).abs() < 1e-12);
+        assert!(a.max_abs_diff(&YearLossTable::new(vec![1.0])).is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! The common engine interface and timing-report types.
+
+use ara_core::{AraError, Inputs, Portfolio};
+use simt_sim::model::cpu::AraShape;
+use simt_sim::{KernelTiming, MultiGpuTiming};
+use std::time::Duration;
+
+/// Canonical stage names shared by the kernels, the profiles and the
+/// reports — the activity categories of the paper's Figure 6.
+pub mod stage {
+    /// Fetching events from memory (reading the YET).
+    pub const FETCH: &str = "fetch-events";
+    /// Look-up of loss sets in the direct access table.
+    pub const LOOKUP: &str = "loss-lookup";
+    /// Financial-terms computations.
+    pub const FINANCIAL: &str = "financial-terms";
+    /// Layer-terms (occurrence + aggregate) computations.
+    pub const LAYER: &str = "layer-terms";
+}
+
+/// Seconds attributed to each activity — Figure 6's categories.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ActivityBreakdown {
+    /// Fetching events from the YET.
+    pub fetch: f64,
+    /// Loss-set lookups in the direct access tables.
+    pub lookup: f64,
+    /// Financial-terms computations.
+    pub financial: f64,
+    /// Layer-terms computations.
+    pub layer: f64,
+}
+
+impl ActivityBreakdown {
+    /// Total seconds across activities.
+    pub fn total(&self) -> f64 {
+        self.fetch + self.lookup + self.financial + self.layer
+    }
+
+    /// Percentages `(fetch, lookup, financial, layer)` of the total.
+    pub fn percentages(&self) -> (f64, f64, f64, f64) {
+        let t = self.total();
+        if t == 0.0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        (
+            100.0 * self.fetch / t,
+            100.0 * self.lookup / t,
+            100.0 * self.financial / t,
+            100.0 * self.layer / t,
+        )
+    }
+
+    /// Build from a modeled [`KernelTiming`] using the canonical stage
+    /// names; barrier and launch overheads are folded into the layer
+    /// stage (they belong to the chunked term computations).
+    pub fn from_kernel_timing(t: &KernelTiming) -> Self {
+        ActivityBreakdown {
+            fetch: t.stage_seconds(stage::FETCH).unwrap_or(0.0),
+            lookup: t.stage_seconds(stage::LOOKUP).unwrap_or(0.0),
+            financial: t.stage_seconds(stage::FINANCIAL).unwrap_or(0.0),
+            layer: t.stage_seconds(stage::LAYER).unwrap_or(0.0) + t.sync_seconds + t.launch_seconds,
+        }
+    }
+}
+
+/// Platform-specific detail behind a modeled timing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformDetail {
+    /// CPU roofline model output (threads, threads per core).
+    Cpu {
+        /// Worker threads modeled.
+        threads: u32,
+        /// Threads per core (oversubscription).
+        threads_per_core: u32,
+    },
+    /// Single-GPU kernel model output.
+    Gpu(Box<KernelTiming>),
+    /// Multi-GPU model output.
+    MultiGpu(Box<MultiGpuTiming>),
+}
+
+/// A modeled execution time on the paper's hardware, with its activity
+/// breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModeledTiming {
+    /// Platform description (e.g. "Tesla M2090 ×4").
+    pub platform: String,
+    /// Total modeled seconds (`inf` if the configuration is infeasible).
+    pub total_seconds: f64,
+    /// Whether the configuration can run at all (shared-memory limits).
+    pub feasible: bool,
+    /// Seconds per activity.
+    pub breakdown: ActivityBreakdown,
+    /// Platform-specific detail.
+    pub detail: PlatformDetail,
+}
+
+/// The result of running an engine on concrete inputs.
+#[derive(Debug, Clone)]
+pub struct AnalysisOutput {
+    /// Per-layer YLTs.
+    pub portfolio: Portfolio,
+    /// Measured wall-clock time of the analysis (excluding input
+    /// generation, including the preprocessing/prepare stage).
+    pub wall: Duration,
+    /// Wall-clock time of the preprocessing stage alone (building the
+    /// direct access tables — the paper's "loaded into local memory").
+    pub prepare: Duration,
+}
+
+/// One of the five implementation variants.
+pub trait Engine: Send + Sync {
+    /// Short name, e.g. `"gpu-optimised"`.
+    fn name(&self) -> &'static str;
+
+    /// Run the analysis on `inputs`, producing per-layer YLTs.
+    fn analyse(&self, inputs: &Inputs) -> Result<AnalysisOutput, AraError>;
+
+    /// Model the execution time of this engine for a workload of `shape`
+    /// on the paper's corresponding hardware platform.
+    fn model(&self, shape: &AraShape) -> ModeledTiming;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_percentages_sum_to_100() {
+        let b = ActivityBreakdown {
+            fetch: 1.0,
+            lookup: 6.0,
+            financial: 2.0,
+            layer: 1.0,
+        };
+        assert_eq!(b.total(), 10.0);
+        let (f, l, fi, la) = b.percentages();
+        assert!((f + l + fi + la - 100.0).abs() < 1e-9);
+        assert_eq!(l, 60.0);
+    }
+
+    #[test]
+    fn empty_breakdown_percentages_are_zero() {
+        let b = ActivityBreakdown::default();
+        assert_eq!(b.percentages(), (0.0, 0.0, 0.0, 0.0));
+    }
+}

@@ -1,0 +1,171 @@
+//! SIMT divergence diagnostics.
+//!
+//! The chunked kernel iterates a block in lock-step over chunks up to
+//! the *longest* trial the block holds; threads whose trial is shorter
+//! idle through the remaining chunks — classic warp divergence, caused
+//! here by the variance of the YET's per-trial occurrence counts
+//! (clustered catalogues make it worse). This module quantifies the
+//! wasted lane-steps for a given launch geometry, directly from the YET
+//! — the number a practitioner checks before blaming the memory system
+//! for a slow kernel.
+
+use ara_core::YearEventTable;
+
+/// Lane-utilisation accounting for one launch geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DivergenceStats {
+    /// Lane-steps actually doing work: the sum of all trial lengths.
+    pub useful_lane_steps: u64,
+    /// Lane-steps spent idle because a block mate had a longer trial
+    /// (measured in chunk granularity).
+    pub idle_lane_steps: u64,
+    /// Blocks in the launch.
+    pub blocks: u64,
+}
+
+impl DivergenceStats {
+    /// Fraction of lane-steps wasted to divergence (0 for an empty
+    /// launch).
+    pub fn idle_fraction(&self) -> f64 {
+        let total = self.useful_lane_steps + self.idle_lane_steps;
+        if total == 0 {
+            0.0
+        } else {
+            self.idle_lane_steps as f64 / total as f64
+        }
+    }
+}
+
+/// Compute the divergence of the chunked kernel over `yet` at the given
+/// `block_dim` and `chunk` size (events per thread per pass): each block
+/// runs `ceil(max_len/chunk)` passes of `chunk` lane-steps; a thread
+/// contributes usefully for its own trial length.
+///
+/// # Panics
+/// Panics if `block_dim == 0` or `chunk == 0`.
+pub fn chunked_kernel_divergence(
+    yet: &YearEventTable,
+    block_dim: u32,
+    chunk: usize,
+) -> DivergenceStats {
+    assert!(block_dim > 0, "block_dim must be positive");
+    assert!(chunk > 0, "chunk must be positive");
+    let n = yet.num_trials();
+    let mut useful = 0u64;
+    let mut idle = 0u64;
+    let mut blocks = 0u64;
+    let bd = block_dim as usize;
+    let mut start = 0;
+    while start < n {
+        let end = (start + bd).min(n);
+        blocks += 1;
+        let lens: Vec<usize> = (start..end).map(|i| yet.trial(i).len()).collect();
+        let max_len = lens.iter().copied().max().unwrap_or(0);
+        // The block executes ceil(max/chunk) passes; every resident
+        // thread burns that many chunk-steps.
+        let passes = max_len.div_ceil(chunk) as u64;
+        let steps_per_thread = passes * chunk as u64;
+        for &len in &lens {
+            useful += len as u64;
+            idle += steps_per_thread - len as u64;
+        }
+        start = end;
+    }
+    DivergenceStats {
+        useful_lane_steps: useful,
+        idle_lane_steps: idle,
+        blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ara_core::{EventOccurrence, YearEventTableBuilder};
+
+    fn yet_with_lens(lens: &[usize]) -> YearEventTable {
+        let mut b = YearEventTableBuilder::new(10);
+        for &len in lens {
+            let occs: Vec<_> = (0..len)
+                .map(|i| EventOccurrence::new(1, i as f32 / 2000.0))
+                .collect();
+            b.push_trial(&occs).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn uniform_trials_have_only_chunk_padding() {
+        // All trials length 8, chunk 8: zero idle.
+        let yet = yet_with_lens(&[8; 64]);
+        let d = chunked_kernel_divergence(&yet, 32, 8);
+        assert_eq!(d.idle_lane_steps, 0);
+        assert_eq!(d.useful_lane_steps, 8 * 64);
+        assert_eq!(d.blocks, 2);
+        assert_eq!(d.idle_fraction(), 0.0);
+    }
+
+    #[test]
+    fn chunk_padding_counts_as_idle() {
+        // Length 5 with chunk 8: 3 padding steps per thread.
+        let yet = yet_with_lens(&[5; 32]);
+        let d = chunked_kernel_divergence(&yet, 32, 8);
+        assert_eq!(d.useful_lane_steps, 5 * 32);
+        assert_eq!(d.idle_lane_steps, 3 * 32);
+    }
+
+    #[test]
+    fn one_long_trial_stalls_the_whole_block() {
+        // 31 empty trials + one of length 64, chunk 8: every thread
+        // burns 64 steps.
+        let mut lens = vec![0usize; 31];
+        lens.push(64);
+        let yet = yet_with_lens(&lens);
+        let d = chunked_kernel_divergence(&yet, 32, 8);
+        assert_eq!(d.useful_lane_steps, 64);
+        assert_eq!(d.idle_lane_steps, 31 * 64);
+        assert!(d.idle_fraction() > 0.96);
+    }
+
+    #[test]
+    fn smaller_blocks_reduce_divergence() {
+        // Mixed lengths: smaller blocks group fewer unrelated trials.
+        let lens: Vec<usize> = (0..256).map(|i| (i * 37) % 100).collect();
+        let yet = yet_with_lens(&lens);
+        let d_big = chunked_kernel_divergence(&yet, 256, 8);
+        let d_small = chunked_kernel_divergence(&yet, 16, 8);
+        assert!(
+            d_small.idle_fraction() < d_big.idle_fraction(),
+            "16-thread blocks {:.3} vs 256-thread {:.3}",
+            d_small.idle_fraction(),
+            d_big.idle_fraction()
+        );
+    }
+
+    #[test]
+    fn clustered_yets_diverge_more() {
+        use ara_workload::{EventCatalogue, YetGenerator};
+        let cat = EventCatalogue::uniform(10_000, 40.0);
+        let plain = YetGenerator::new(cat.clone(), 3).generate(2_000).unwrap();
+        let clustered = YetGenerator::new(cat, 3)
+            .with_clustering(0.4)
+            .generate(2_000)
+            .unwrap();
+        let d_plain = chunked_kernel_divergence(&plain, 32, 16);
+        let d_clustered = chunked_kernel_divergence(&clustered, 32, 16);
+        assert!(
+            d_clustered.idle_fraction() > d_plain.idle_fraction(),
+            "clustered {:.3} vs plain {:.3}",
+            d_clustered.idle_fraction(),
+            d_plain.idle_fraction()
+        );
+    }
+
+    #[test]
+    fn empty_yet_is_degenerate() {
+        let yet = yet_with_lens(&[]);
+        let d = chunked_kernel_divergence(&yet, 32, 8);
+        assert_eq!(d.blocks, 0);
+        assert_eq!(d.idle_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Implementation (iii): the basic GPU engine.
+
+use crate::api::{ActivityBreakdown, AnalysisOutput, Engine, ModeledTiming, PlatformDetail};
+use crate::kernels::{AraBasicKernel, TrialLoss};
+use crate::profiles::basic_kernel_profile;
+use ara_core::{AraError, Inputs, Portfolio, PreparedLayer, YearLossTable};
+use simt_sim::model::cpu::AraShape;
+use simt_sim::model::timing::estimate_kernel;
+use simt_sim::{launch, DeviceSpec, LaunchConfig};
+use std::time::Instant;
+
+/// The basic GPU engine (implementation iii): double precision, one
+/// thread per trial, every data structure in device global memory.
+///
+/// Functionally the kernel runs on the `simt-sim` executor; its
+/// paper-hardware time comes from the performance model with the
+/// [`basic_kernel_profile`]. The paper's platform for this variant is
+/// the Tesla C2075 with 256 threads per block (its Figure 2 optimum).
+#[derive(Debug, Clone)]
+pub struct GpuBasicEngine {
+    device: DeviceSpec,
+    block_dim: u32,
+}
+
+impl GpuBasicEngine {
+    /// Engine on the paper's Tesla C2075 at 256 threads per block.
+    pub fn new() -> Self {
+        GpuBasicEngine {
+            device: DeviceSpec::tesla_c2075(),
+            block_dim: 256,
+        }
+    }
+
+    /// Engine on a custom device.
+    pub fn on_device(device: DeviceSpec) -> Self {
+        GpuBasicEngine {
+            device,
+            block_dim: 256,
+        }
+    }
+
+    /// Override the threads-per-block (the Figure 2 sweep).
+    ///
+    /// # Panics
+    /// Panics if `block_dim == 0`.
+    pub fn with_block_dim(mut self, block_dim: u32) -> Self {
+        assert!(block_dim > 0, "block_dim must be positive");
+        self.block_dim = block_dim;
+        self
+    }
+
+    /// The configured device.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// The configured block size.
+    pub fn block_dim(&self) -> u32 {
+        self.block_dim
+    }
+}
+
+impl Default for GpuBasicEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine for GpuBasicEngine {
+    fn name(&self) -> &'static str {
+        "gpu-basic"
+    }
+
+    fn analyse(&self, inputs: &Inputs) -> Result<AnalysisOutput, AraError> {
+        inputs.validate()?;
+        let start = Instant::now();
+        let mut prepare_total = std::time::Duration::ZERO;
+        let n = inputs.yet.num_trials();
+        let mut ids = Vec::with_capacity(inputs.layers.len());
+        let mut ylts = Vec::with_capacity(inputs.layers.len());
+        for layer in &inputs.layers {
+            let p0 = Instant::now();
+            // The preprocessing stage: expand the layer's ELTs into the
+            // dense "device global memory" tables.
+            let prepared = PreparedLayer::<f64>::prepare(inputs, layer)?;
+            prepare_total += p0.elapsed();
+
+            let kernel = AraBasicKernel::new(&inputs.yet, &prepared, 0);
+            let mut out: Vec<TrialLoss> = vec![(0.0, 0.0); n];
+            launch(LaunchConfig::new(n, self.block_dim), &kernel, &mut out);
+
+            let (year, max_occ) = out.into_iter().unzip();
+            ids.push(layer.id);
+            ylts.push(YearLossTable::with_max_occurrence(year, max_occ)?);
+        }
+        Ok(AnalysisOutput {
+            portfolio: Portfolio::from_layer_results(ids, ylts)?,
+            wall: start.elapsed(),
+            prepare: prepare_total,
+        })
+    }
+
+    fn model(&self, shape: &AraShape) -> ModeledTiming {
+        let profile = basic_kernel_profile(shape);
+        // One kernel launch per layer; layers are processed back-to-back.
+        let per_layer = estimate_kernel(
+            &self.device,
+            &profile,
+            shape.trials as usize,
+            self.block_dim,
+        );
+        let layers = shape.layers.max(1.0);
+        let breakdown = ActivityBreakdown::from_kernel_timing(&per_layer);
+        ModeledTiming {
+            platform: format!("{} (block {})", self.device.name, self.block_dim),
+            total_seconds: per_layer.total_seconds * layers,
+            feasible: per_layer.feasible,
+            breakdown: ActivityBreakdown {
+                fetch: breakdown.fetch * layers,
+                lookup: breakdown.lookup * layers,
+                financial: breakdown.financial * layers,
+                layer: breakdown.layer * layers,
+            },
+            detail: PlatformDetail::Gpu(Box::new(per_layer)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::SequentialEngine;
+    use ara_workload::{Scenario, ScenarioShape};
+
+    #[test]
+    fn gpu_basic_matches_sequential_bitwise() {
+        let inputs = Scenario::new(ScenarioShape::smoke(), 21).build().unwrap();
+        let seq = SequentialEngine::<f64>::new().analyse(&inputs).unwrap();
+        let gpu = GpuBasicEngine::new().analyse(&inputs).unwrap();
+        for i in 0..seq.portfolio.num_layers() {
+            assert_eq!(
+                gpu.portfolio.layer_ylt(i).year_losses(),
+                seq.portfolio.layer_ylt(i).year_losses(),
+                "layer {i}"
+            );
+            assert_eq!(
+                gpu.portfolio.layer_ylt(i).max_occurrence_losses(),
+                seq.portfolio.layer_ylt(i).max_occurrence_losses(),
+            );
+        }
+    }
+
+    #[test]
+    fn modeled_paper_time_near_38s() {
+        // Paper Figure 5: 38.49 s for the basic many-core GPU variant.
+        let m = GpuBasicEngine::new().model(&AraShape::paper());
+        assert!(m.feasible);
+        assert!(
+            (30.0..46.0).contains(&m.total_seconds),
+            "modeled {:.1}",
+            m.total_seconds
+        );
+        // Lookup dominates.
+        assert!(m.breakdown.lookup > 0.5 * m.total_seconds);
+    }
+
+    #[test]
+    fn figure_2_sweep_shape() {
+        // 128 slower than 256; beyond 256 flat to slightly worse.
+        let shape = AraShape::paper();
+        let t = |b: u32| {
+            GpuBasicEngine::new()
+                .with_block_dim(b)
+                .model(&shape)
+                .total_seconds
+        };
+        let (t128, t256, t384, t512, t640) = (t(128), t(256), t(384), t(512), t(640));
+        assert!(t128 > 1.15 * t256, "128:{t128:.1} vs 256:{t256:.1}");
+        assert!((t384 / t256 - 1.0).abs() < 0.05);
+        assert!((t512 / t256 - 1.0).abs() < 0.05);
+        assert!(t640 >= t256, "640:{t640:.1} vs 256:{t256:.1}");
+    }
+
+    #[test]
+    fn block_dim_does_not_change_results() {
+        let inputs = Scenario::new(ScenarioShape::smoke(), 22).build().unwrap();
+        let a = GpuBasicEngine::new()
+            .with_block_dim(32)
+            .analyse(&inputs)
+            .unwrap();
+        let b = GpuBasicEngine::new()
+            .with_block_dim(512)
+            .analyse(&inputs)
+            .unwrap();
+        assert_eq!(
+            a.portfolio.layer_ylt(0).year_losses(),
+            b.portfolio.layer_ylt(0).year_losses()
+        );
+    }
+}

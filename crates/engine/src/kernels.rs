@@ -1,0 +1,348 @@
+//! The functional GPU kernels, written against the `simt-sim` executor.
+//!
+//! Two kernels mirror the paper's two CUDA implementations:
+//!
+//! * [`AraBasicKernel`] — implementation (iii): one thread per trial,
+//!   per-event intermediate arrays (the paper's global-memory
+//!   `lx_d`/`lox_d`), ELT-outer loop order, and the literal
+//!   prefix-sum/clamp/difference aggregate-terms passes of Algorithm 1.
+//! * [`AraChunkedKernel`] — implementation (iv): events staged through
+//!   block shared memory in fixed-size chunks, event-outer loop order,
+//!   and register accumulators (the aggregate terms collapse to a single
+//!   clamp of the accumulated total — the telescoping identity).
+//!
+//! Both produce the same YLT as the sequential reference (the basic
+//! kernel bit-identically; the chunked kernel up to floating-point
+//! reassociation).
+
+use ara_core::{
+    apply_aggregate_stepwise, xl_clamp, LossLookup, PreparedLayer, Real, YearEventTable,
+};
+use simt_sim::{BlockCtx, Kernel};
+
+/// Per-trial kernel output: `(year_loss, max_occurrence_loss)`.
+pub type TrialLoss = (f64, f64);
+
+/// The basic one-thread-per-trial kernel (implementation iii).
+pub struct AraBasicKernel<'a, R: Real> {
+    yet: &'a YearEventTable,
+    prepared: &'a PreparedLayer<R>,
+    /// First trial this launch covers (multi-device partitioning).
+    base_trial: usize,
+}
+
+impl<'a, R: Real> AraBasicKernel<'a, R> {
+    /// Create a kernel covering trials `base_trial..` of `yet`.
+    pub fn new(yet: &'a YearEventTable, prepared: &'a PreparedLayer<R>, base_trial: usize) -> Self {
+        AraBasicKernel {
+            yet,
+            prepared,
+            base_trial,
+        }
+    }
+}
+
+impl<R: Real> Kernel<TrialLoss> for AraBasicKernel<'_, R> {
+    /// One per-event scratch buffer per block — the stand-in for the
+    /// basic implementation's global-memory `lox_d` array. (Threads of a
+    /// phase run in sequence, so one buffer serves the whole block.)
+    type Shared = Vec<R>;
+
+    fn init_shared(&self, _block: u32) -> Vec<R> {
+        Vec::new()
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx<'_, Vec<R>>, out: &mut [TrialLoss]) {
+        let terms = *self.prepared.terms();
+        ctx.for_each_thread(|t, lox| {
+            let trial = self.yet.trial(self.base_trial + t.global);
+            lox.clear();
+            lox.resize(trial.len(), R::ZERO);
+
+            // Steps 1–2 (ELT-outer, exactly like Algorithm 1): look up
+            // each event in each ELT, apply financial terms, accumulate.
+            for (lookup, &(fx, ret, lim, share)) in self
+                .prepared
+                .lookups()
+                .iter()
+                .zip(self.prepared.financial_terms())
+            {
+                for (d, &event) in trial.events.iter().enumerate() {
+                    let ground_up = lookup.loss(event);
+                    lox[d] += share * xl_clamp(ground_up * fx, ret, lim);
+                }
+            }
+
+            // Step 3: occurrence terms.
+            let mut max_occ = R::ZERO;
+            for l in lox.iter_mut() {
+                *l = terms.apply_occurrence(*l);
+                max_occ = max_occ.max(*l);
+            }
+
+            // Step 4: the literal prefix-sum / clamp / difference / sum
+            // passes (lines 18–29).
+            let year = apply_aggregate_stepwise(&terms, lox);
+            out[t.local as usize] = (year.to_f64(), max_occ.to_f64());
+        });
+    }
+}
+
+/// Shared memory of one [`AraChunkedKernel`] block.
+#[derive(Debug)]
+pub struct ChunkShared<R> {
+    /// Staged event ids: `chunk` slots per thread.
+    staged: Vec<u32>,
+    /// Events staged this chunk, per thread.
+    staged_len: Vec<u32>,
+    /// Running aggregate loss accumulator, per thread ("registers").
+    acc: Vec<R>,
+    /// Running maximum occurrence loss, per thread ("registers").
+    max_occ: Vec<R>,
+}
+
+/// The optimised chunked kernel (implementation iv).
+pub struct AraChunkedKernel<'a, R: Real> {
+    yet: &'a YearEventTable,
+    prepared: &'a PreparedLayer<R>,
+    base_trial: usize,
+    chunk: usize,
+}
+
+impl<'a, R: Real> AraChunkedKernel<'a, R> {
+    /// Create a kernel covering trials `base_trial..` of `yet`, staging
+    /// `chunk` events per thread per pass.
+    ///
+    /// # Panics
+    /// Panics if `chunk == 0`.
+    pub fn new(
+        yet: &'a YearEventTable,
+        prepared: &'a PreparedLayer<R>,
+        base_trial: usize,
+        chunk: usize,
+    ) -> Self {
+        assert!(chunk > 0, "chunk size must be positive");
+        AraChunkedKernel {
+            yet,
+            prepared,
+            base_trial,
+            chunk,
+        }
+    }
+}
+
+impl<R: Real> Kernel<TrialLoss> for AraChunkedKernel<'_, R> {
+    type Shared = ChunkShared<R>;
+
+    fn init_shared(&self, _block: u32) -> ChunkShared<R> {
+        ChunkShared {
+            staged: Vec::new(),
+            staged_len: Vec::new(),
+            acc: Vec::new(),
+            max_occ: Vec::new(),
+        }
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx<'_, ChunkShared<R>>, out: &mut [TrialLoss]) {
+        let n = ctx.active_threads() as usize;
+        let chunk = self.chunk;
+        let terms = *self.prepared.terms();
+        {
+            let s = ctx.shared();
+            s.staged.clear();
+            s.staged.resize(n * chunk, 0);
+            s.staged_len.clear();
+            s.staged_len.resize(n, 0);
+            s.acc.clear();
+            s.acc.resize(n, R::ZERO);
+            s.max_occ.clear();
+            s.max_occ.resize(n, R::ZERO);
+        }
+
+        // The block iterates in lock-step over chunks up to the longest
+        // trial it holds; threads whose trial is exhausted idle (warp
+        // divergence, as on the real device).
+        let base = self.base_trial;
+        let max_len = (0..n)
+            .map(|i| {
+                self.yet
+                    .trial(base + ctx.block_idx() as usize * ctx.block_dim() as usize + i)
+                    .len()
+            })
+            .max()
+            .unwrap_or(0);
+
+        let mut start = 0;
+        while start < max_len {
+            // Phase A: cooperatively stage the next chunk of event ids
+            // from the YET (coalesced read) into shared memory.
+            ctx.for_each_thread(|t, s| {
+                let trial = self.yet.trial(base + t.global);
+                // A thread whose trial is already exhausted stages
+                // nothing this pass (divergent lane).
+                let lo = start.min(trial.len());
+                let hi = (start + chunk).min(trial.len());
+                let slot = t.local as usize * chunk;
+                for (i, &event) in trial.events[lo..hi].iter().enumerate() {
+                    s.staged[slot + i] = event.0;
+                }
+                s.staged_len[t.local as usize] = (hi - lo) as u32;
+            });
+
+            // Phase B: each thread processes its staged events —
+            // event-outer loop, lookups unrolled by the compiler, the
+            // combined loss held in a register before the occurrence
+            // clamp folds it into the running aggregate.
+            ctx.for_each_thread(|t, s| {
+                let slot = t.local as usize * chunk;
+                let len = s.staged_len[t.local as usize] as usize;
+                let mut acc = s.acc[t.local as usize];
+                let mut max_occ = s.max_occ[t.local as usize];
+                for &event in &s.staged[slot..slot + len] {
+                    let event = ara_core::EventId(event);
+                    let mut combined = R::ZERO;
+                    for (lookup, &(fx, ret, lim, share)) in self
+                        .prepared
+                        .lookups()
+                        .iter()
+                        .zip(self.prepared.financial_terms())
+                    {
+                        let ground_up = lookup.loss(event);
+                        combined += share * xl_clamp(ground_up * fx, ret, lim);
+                    }
+                    let occ = terms.apply_occurrence(combined);
+                    max_occ = max_occ.max(occ);
+                    acc += occ;
+                }
+                s.acc[t.local as usize] = acc;
+                s.max_occ[t.local as usize] = max_occ;
+            });
+
+            start += chunk;
+        }
+
+        // Epilogue: the aggregate terms collapse to one clamp of the
+        // accumulated total (telescoping identity of Algorithm 1's
+        // lines 18–29).
+        ctx.for_each_thread(|t, s| {
+            let year = terms.apply_aggregate(s.acc[t.local as usize]);
+            out[t.local as usize] = (year.to_f64(), s.max_occ[t.local as usize].to_f64());
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ara_core::analysis::analyse_layer;
+    use ara_core::Inputs;
+    use ara_workload::{Scenario, ScenarioShape};
+    use simt_sim::{launch, LaunchConfig};
+
+    fn fixture() -> Inputs {
+        Scenario::new(ScenarioShape::smoke(), 99).build().unwrap()
+    }
+
+    fn run_kernel<K: Kernel<TrialLoss>>(kernel: &K, n: usize, block: u32) -> Vec<TrialLoss> {
+        let mut out = vec![(0.0, 0.0); n];
+        launch(LaunchConfig::new(n, block), kernel, &mut out);
+        out
+    }
+
+    #[test]
+    fn basic_kernel_matches_reference_bitwise() {
+        let inputs = fixture();
+        for layer in &inputs.layers {
+            let prepared = PreparedLayer::<f64>::prepare(&inputs, layer).unwrap();
+            let reference = analyse_layer(&prepared, &inputs.yet);
+            let kernel = AraBasicKernel::new(&inputs.yet, &prepared, 0);
+            let out = run_kernel(&kernel, inputs.yet.num_trials(), 64);
+            for (i, &(year, max_occ)) in out.iter().enumerate() {
+                assert_eq!(year, reference.year_losses()[i], "trial {i}");
+                assert_eq!(max_occ, reference.max_occurrence_losses().unwrap()[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_kernel_matches_reference_closely() {
+        let inputs = fixture();
+        for layer in &inputs.layers {
+            let prepared = PreparedLayer::<f64>::prepare(&inputs, layer).unwrap();
+            let reference = analyse_layer(&prepared, &inputs.yet);
+            let kernel = AraChunkedKernel::new(&inputs.yet, &prepared, 0, 8);
+            let out = run_kernel(&kernel, inputs.yet.num_trials(), 32);
+            for (i, &(year, _)) in out.iter().enumerate() {
+                let want = reference.year_losses()[i];
+                assert!(
+                    (year - want).abs() <= 1e-9 * (1.0 + want.abs()),
+                    "trial {i}: {year} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_kernel_f32_tracks_f64() {
+        let inputs = fixture();
+        let layer = &inputs.layers[0];
+        let p64 = PreparedLayer::<f64>::prepare(&inputs, layer).unwrap();
+        let p32 = PreparedLayer::<f32>::prepare(&inputs, layer).unwrap();
+        let k64 = AraChunkedKernel::new(&inputs.yet, &p64, 0, 16);
+        let k32 = AraChunkedKernel::new(&inputs.yet, &p32, 0, 16);
+        let n = inputs.yet.num_trials();
+        let o64 = run_kernel(&k64, n, 32);
+        let o32 = run_kernel(&k32, n, 32);
+        for (a, b) in o64.iter().zip(&o32) {
+            let rel = (a.0 - b.0).abs() / a.0.abs().max(1.0);
+            assert!(rel < 1e-4, "f32 drift {rel}");
+        }
+    }
+
+    #[test]
+    fn chunked_results_independent_of_chunk_and_block() {
+        let inputs = fixture();
+        let layer = &inputs.layers[0];
+        let prepared = PreparedLayer::<f64>::prepare(&inputs, layer).unwrap();
+        let n = inputs.yet.num_trials();
+        let baseline = run_kernel(&AraChunkedKernel::new(&inputs.yet, &prepared, 0, 7), n, 16);
+        for (chunk, block) in [(1, 32), (3, 64), (64, 8), (1000, 128)] {
+            let out = run_kernel(
+                &AraChunkedKernel::new(&inputs.yet, &prepared, 0, chunk),
+                n,
+                block,
+            );
+            for (i, (a, b)) in baseline.iter().zip(&out).enumerate() {
+                assert!(
+                    (a.0 - b.0).abs() <= 1e-9 * (1.0 + a.0.abs()),
+                    "trial {i} differs at chunk={chunk}, block={block}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn base_trial_offsets_partition_correctly() {
+        let inputs = fixture();
+        let layer = &inputs.layers[0];
+        let prepared = PreparedLayer::<f64>::prepare(&inputs, layer).unwrap();
+        let n = inputs.yet.num_trials();
+        let full = run_kernel(&AraBasicKernel::new(&inputs.yet, &prepared, 0), n, 32);
+        // Run the second half as its own launch with an offset.
+        let half = n / 2;
+        let part = run_kernel(
+            &AraBasicKernel::new(&inputs.yet, &prepared, half),
+            n - half,
+            32,
+        );
+        assert_eq!(&full[half..], &part[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn zero_chunk_panics() {
+        let inputs = fixture();
+        let prepared = PreparedLayer::<f64>::prepare(&inputs, &inputs.layers[0]).unwrap();
+        AraChunkedKernel::new(&inputs.yet, &prepared, 0, 0);
+    }
+}

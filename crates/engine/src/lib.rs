@@ -1,0 +1,52 @@
+//! # ara-engine — the five aggregate-risk-analysis implementations
+//!
+//! The paper evaluates five variants of the aggregate risk analysis
+//! algorithm (Section III); this crate implements all of them against the
+//! same inputs and the same output contract, so they can be compared both
+//! functionally (identical YLTs up to floating-point precision) and in
+//! time (measured wall clock at the scale that fits this machine, plus
+//! the `simt-sim` performance model extrapolated to the paper's scale and
+//! hardware):
+//!
+//! | # | Paper variant | Type |
+//! |---|---|---|
+//! | i | sequential C++ on a CPU | [`SequentialEngine`] |
+//! | ii | C++/OpenMP on a multi-core CPU | [`MulticoreEngine`] (rayon) |
+//! | iii | basic CUDA on a many-core GPU | [`GpuBasicEngine`] |
+//! | iv | optimised CUDA (chunking, unrolling, float, registers) | [`GpuOptimizedEngine`] |
+//! | v | optimised CUDA on multiple GPUs | [`MultiGpuEngine`] |
+//!
+//! The GPU variants run on the `simt-sim` bulk-synchronous executor: the
+//! basic kernel keeps per-event intermediate arrays (the paper's global
+//! `lx_d`/`lox_d`), while the optimised kernel stages event chunks
+//! through block shared memory and accumulates in per-thread registers.
+//! Both produce real YLTs; their paper-scale times come from the
+//! performance model via per-kernel [`profiles`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod api;
+pub mod divergence;
+pub mod gpu_basic;
+pub mod gpu_opt;
+pub mod kernels;
+pub mod multi_gpu;
+pub mod multicore;
+pub mod profiles;
+pub mod seq;
+pub mod uncertain;
+
+pub use api::{stage, ActivityBreakdown, AnalysisOutput, Engine, ModeledTiming, PlatformDetail};
+pub use divergence::{chunked_kernel_divergence, DivergenceStats};
+pub use gpu_basic::GpuBasicEngine;
+pub use gpu_opt::{GpuOptimizedEngine, OptFlags};
+pub use kernels::{AraBasicKernel, AraChunkedKernel, TrialLoss};
+pub use multi_gpu::MultiGpuEngine;
+pub use multicore::{analyse_portfolio_parallel, MulticoreEngine, Schedule};
+pub use profiles::{basic_kernel_profile, optimised_kernel_profile, shape_of_inputs};
+pub use seq::SequentialEngine;
+pub use uncertain::{
+    analyse_uncertain_gpu, analyse_uncertain_multicore, analyse_uncertain_sequential,
+    uncertain_kernel_profile, AraUncertainKernel, UncertainLayerInputs,
+};

@@ -1,0 +1,306 @@
+//! Implementation (v): the multiple-GPU engine.
+//!
+//! "This implementation was achieved by decomposing the aggregate
+//! analysis workload among the four available GPUs. For this a thread on
+//! the CPU invokes and manages a GPU. … The CPU threads are invoked in a
+//! parallel manner" (paper, Section III). Here each simulated device is
+//! a partition of the trials, driven by its own host thread
+//! (crossbeam scope) with a dedicated rayon pool standing in for the
+//! device's cores.
+
+use crate::api::{ActivityBreakdown, AnalysisOutput, Engine, ModeledTiming, PlatformDetail};
+use crate::gpu_opt::GpuOptimizedEngine;
+use crate::kernels::{AraChunkedKernel, TrialLoss};
+use crate::profiles::{optimised_kernel_profile, OptimisationFlags};
+use ara_core::{AraError, Inputs, Portfolio, PreparedLayer, Real, YearLossTable};
+use simt_sim::model::cpu::AraShape;
+use simt_sim::model::multi_gpu::multi_gpu_timing;
+use simt_sim::{launch_in, DeviceSpec, LaunchConfig};
+use std::marker::PhantomData;
+use std::time::Instant;
+
+/// The multiple-GPU engine (implementation v): the optimised kernel,
+/// trial-partitioned across several devices.
+#[derive(Debug, Clone)]
+pub struct MultiGpuEngine<R: Real = f32> {
+    devices: Vec<DeviceSpec>,
+    block_dim: u32,
+    chunk: u32,
+    _precision: PhantomData<R>,
+}
+
+impl<R: Real> MultiGpuEngine<R> {
+    /// The paper's platform: four Tesla M2090s at 32 threads per block.
+    pub fn new(num_devices: usize) -> Self {
+        assert!(num_devices > 0, "need at least one device");
+        MultiGpuEngine {
+            devices: (0..num_devices)
+                .map(|_| DeviceSpec::tesla_m2090())
+                .collect(),
+            block_dim: 32,
+            chunk: crate::gpu_opt::DEFAULT_CHUNK,
+            _precision: PhantomData,
+        }
+    }
+
+    /// A custom device rig.
+    ///
+    /// # Panics
+    /// Panics if `devices` is empty.
+    pub fn on_devices(devices: Vec<DeviceSpec>) -> Self {
+        assert!(!devices.is_empty(), "need at least one device");
+        MultiGpuEngine {
+            devices,
+            block_dim: 32,
+            chunk: crate::gpu_opt::DEFAULT_CHUNK,
+            _precision: PhantomData,
+        }
+    }
+
+    /// Override the threads-per-block (the Figure 4 sweep).
+    ///
+    /// # Panics
+    /// Panics if `block_dim == 0`.
+    pub fn with_block_dim(mut self, block_dim: u32) -> Self {
+        assert!(block_dim > 0, "block_dim must be positive");
+        self.block_dim = block_dim;
+        self
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Single-device counterpart with the same kernel configuration
+    /// (used for efficiency baselines).
+    pub fn single_device(&self) -> GpuOptimizedEngine<R> {
+        GpuOptimizedEngine::<R>::on_device(self.devices[0].clone())
+            .with_block_dim(self.block_dim)
+            .with_chunk(self.chunk)
+    }
+}
+
+impl<R: Real> Engine for MultiGpuEngine<R> {
+    fn name(&self) -> &'static str {
+        "multi-gpu"
+    }
+
+    fn analyse(&self, inputs: &Inputs) -> Result<AnalysisOutput, AraError> {
+        inputs.validate()?;
+        let start = Instant::now();
+        let mut prepare_total = std::time::Duration::ZERO;
+        let n_dev = self.devices.len();
+        // One host-side rayon pool per device, splitting this machine's
+        // cores evenly — the stand-in for each device's SMs.
+        let host_cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let pools: Vec<rayon::ThreadPool> = (0..n_dev)
+            .map(|_| {
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads((host_cores / n_dev).max(1))
+                    .build()
+                    .expect("pool construction cannot fail for positive sizes")
+            })
+            .collect();
+
+        let mut ids = Vec::with_capacity(inputs.layers.len());
+        let mut ylts = Vec::with_capacity(inputs.layers.len());
+        for layer in &inputs.layers {
+            let p0 = Instant::now();
+            // Preprocessing: each device receives a replica of the dense
+            // tables (we build one and share it read-only, as the replica
+            // contents are identical).
+            let prepared = PreparedLayer::<R>::prepare(inputs, layer)?;
+            prepare_total += p0.elapsed();
+
+            let partitions = inputs.yet.partition_trials(n_dev);
+            // One CPU thread invokes and manages each device.
+            let mut parts: Vec<Vec<TrialLoss>> = Vec::with_capacity(n_dev);
+            crossbeam::scope(|scope| {
+                let handles: Vec<_> = partitions
+                    .iter()
+                    .zip(&pools)
+                    .map(|(range, pool)| {
+                        let prepared = &prepared;
+                        let yet = &inputs.yet;
+                        let range = range.clone();
+                        let block_dim = self.block_dim;
+                        let chunk = self.chunk as usize;
+                        scope.spawn(move |_| {
+                            let kernel = AraChunkedKernel::new(yet, prepared, range.start, chunk);
+                            let mut out: Vec<TrialLoss> = vec![(0.0, 0.0); range.len()];
+                            launch_in(
+                                pool,
+                                LaunchConfig::new(range.len(), block_dim),
+                                &kernel,
+                                &mut out,
+                            );
+                            out
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    parts.push(h.join().expect("device host thread panicked"));
+                }
+            })
+            .expect("crossbeam scope panicked");
+
+            let ylt = YearLossTable::concat(
+                parts
+                    .into_iter()
+                    .map(|p| {
+                        let (year, max_occ) = p.into_iter().unzip();
+                        YearLossTable::with_max_occurrence(year, max_occ)
+                            .expect("kernel outputs have equal column lengths")
+                    })
+                    .collect(),
+            );
+            ids.push(layer.id);
+            ylts.push(ylt);
+        }
+        Ok(AnalysisOutput {
+            portfolio: Portfolio::from_layer_results(ids, ylts)?,
+            wall: start.elapsed(),
+            prepare: prepare_total,
+        })
+    }
+
+    fn model(&self, shape: &AraShape) -> ModeledTiming {
+        let mut flags = OptimisationFlags::all();
+        flags.reduced_precision = R::BYTES == 4;
+        let profile = optimised_kernel_profile(shape, &flags, self.chunk);
+        // Input transfers: the dense tables are replicated to every
+        // device; the YET is split.
+        let loss_bytes = R::BYTES as u64;
+        let replicated = (shape.elts_per_layer * 2_000_000.0).max(0.0) as u64 * loss_bytes;
+        let split = (shape.trials as f64 * shape.events_per_trial * 8.0) as u64;
+        let t = multi_gpu_timing(
+            &self.devices,
+            &profile,
+            shape.trials as usize,
+            self.block_dim,
+            replicated,
+            split,
+        );
+        let layers = shape.layers.max(1.0);
+        // Per-activity: the slowest device's breakdown, scaled by layers.
+        let slowest = t
+            .per_device
+            .iter()
+            .max_by(|a, b| {
+                a.total_seconds
+                    .partial_cmp(&b.total_seconds)
+                    .expect("finite device times")
+            })
+            .expect("at least one device");
+        let b = ActivityBreakdown::from_kernel_timing(slowest);
+        let feasible = t.per_device.iter().all(|d| d.feasible);
+        ModeledTiming {
+            platform: format!(
+                "{} ×{} (block {})",
+                self.devices[0].name,
+                self.devices.len(),
+                self.block_dim
+            ),
+            total_seconds: t.compute_seconds * layers,
+            feasible,
+            breakdown: ActivityBreakdown {
+                fetch: b.fetch * layers,
+                lookup: b.lookup * layers,
+                financial: b.financial * layers,
+                layer: b.layer * layers,
+            },
+            detail: PlatformDetail::MultiGpu(Box::new(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::SequentialEngine;
+    use ara_workload::{Scenario, ScenarioShape};
+
+    #[test]
+    fn multi_gpu_matches_sequential_closely() {
+        let inputs = Scenario::new(ScenarioShape::smoke(), 41).build().unwrap();
+        let seq = SequentialEngine::<f64>::new().analyse(&inputs).unwrap();
+        let multi = MultiGpuEngine::<f64>::new(4).analyse(&inputs).unwrap();
+        for i in 0..seq.portfolio.num_layers() {
+            let d = multi
+                .portfolio
+                .layer_ylt(i)
+                .max_rel_diff(seq.portfolio.layer_ylt(i))
+                .unwrap();
+            assert!(d < 1e-9, "layer {i} rel diff {d}");
+        }
+    }
+
+    #[test]
+    fn device_count_does_not_change_results() {
+        let inputs = Scenario::new(ScenarioShape::smoke(), 42).build().unwrap();
+        let one = MultiGpuEngine::<f64>::new(1).analyse(&inputs).unwrap();
+        let four = MultiGpuEngine::<f64>::new(4).analyse(&inputs).unwrap();
+        for i in 0..one.portfolio.num_layers() {
+            assert_eq!(
+                one.portfolio.layer_ylt(i).year_losses(),
+                four.portfolio.layer_ylt(i).year_losses(),
+                "layer {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn modeled_four_gpu_time_near_4_35s() {
+        // Paper Figure 5: 4.35 s on four M2090s.
+        let m = MultiGpuEngine::<f32>::new(4).model(&AraShape::paper());
+        assert!(m.feasible);
+        assert!(
+            (3.2..5.6).contains(&m.total_seconds),
+            "modeled {:.2}",
+            m.total_seconds
+        );
+        // Lookup dominates: paper says 97.54% of the multi-GPU time.
+        let share = m.breakdown.lookup / m.breakdown.total();
+        assert!(share > 0.90, "lookup share {share:.3}");
+    }
+
+    #[test]
+    fn modeled_scaling_matches_figure_3() {
+        // Near-linear from 1 to 4 GPUs at ~100% efficiency.
+        let shape = AraShape::paper();
+        let t1 = MultiGpuEngine::<f32>::new(1).model(&shape).total_seconds;
+        for n in 2..=4usize {
+            let tn = MultiGpuEngine::<f32>::new(n).model(&shape).total_seconds;
+            let eff = t1 / (n as f64 * tn);
+            assert!(eff > 0.93, "{n}-GPU efficiency {eff:.3}");
+        }
+        // And ~4-5x faster than the optimised single GPU (paper: "4x
+        // times faster than ... a single GPU of the multiple GPU
+        // machine").
+        let t4 = MultiGpuEngine::<f32>::new(4).model(&shape).total_seconds;
+        let speedup = t1 / t4;
+        assert!((3.4..4.4).contains(&speedup), "4-GPU speedup {speedup:.2}");
+    }
+
+    #[test]
+    fn overall_speedup_near_77x() {
+        // The headline: 77× over the sequential CPU implementation.
+        let shape = AraShape::paper();
+        let seq = SequentialEngine::<f64>::new().model(&shape).total_seconds;
+        let multi = MultiGpuEngine::<f32>::new(4).model(&shape).total_seconds;
+        let speedup = seq / multi;
+        assert!(
+            (60.0..95.0).contains(&speedup),
+            "overall speedup {speedup:.1}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_devices_panics() {
+        MultiGpuEngine::<f32>::new(0);
+    }
+}

@@ -1,0 +1,321 @@
+//! Implementation (ii): the multi-core CPU engine (rayon, one logical
+//! thread per trial — the paper's OpenMP design).
+
+use crate::api::{ActivityBreakdown, AnalysisOutput, Engine, ModeledTiming, PlatformDetail};
+use ara_core::{AraError, Inputs, Portfolio, PreparedLayer, Real, TrialWorkspace, YearLossTable};
+use rayon::prelude::*;
+use simt_sim::model::cpu::{AraShape, CpuTimingModel};
+use std::marker::PhantomData;
+use std::time::Instant;
+
+/// Work-distribution policy across the trial loop — the OpenMP
+/// `schedule(…)` clause of the paper's implementation, mapped onto
+/// rayon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// Fine-grained work stealing (OpenMP `dynamic`): rayon's default
+    /// splitting. Best when trial costs vary (clustered YETs).
+    #[default]
+    Dynamic,
+    /// One contiguous slab per worker (OpenMP `static`): minimal
+    /// scheduling overhead, no load balancing.
+    Static,
+    /// Work stealing with a minimum grain of `n` trials (OpenMP
+    /// `dynamic, n`): caps scheduling overhead while keeping balance.
+    Chunked(usize),
+}
+
+/// The multi-core engine (implementation ii).
+///
+/// The paper assigns one thread per trial through OpenMP; here rayon's
+/// parallel iterator plays that role, with a dedicated pool sized to the
+/// requested worker count. `threads_per_core` only affects the *modeled*
+/// timing (Figure 1b's oversubscription sweep) — rayon already keeps its
+/// workers busy, so oversubscribing real host threads would just add
+/// scheduling noise.
+#[derive(Debug, Clone)]
+pub struct MulticoreEngine<R: Real = f64> {
+    threads: usize,
+    threads_per_core: u32,
+    schedule: Schedule,
+    model: CpuTimingModel,
+    _precision: PhantomData<R>,
+}
+
+impl<R: Real> MulticoreEngine<R> {
+    /// Engine with `threads` workers.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        MulticoreEngine {
+            threads,
+            threads_per_core: 1,
+            schedule: Schedule::Dynamic,
+            model: CpuTimingModel::i7_2600(),
+            _precision: PhantomData,
+        }
+    }
+
+    /// Set the work-distribution policy.
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Engine using all host cores.
+    pub fn all_cores() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// Set the modeled oversubscription factor (threads per core).
+    pub fn with_threads_per_core(mut self, tpc: u32) -> Self {
+        self.threads_per_core = tpc.max(1);
+        self
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn analyse_layer_parallel(
+        &self,
+        pool: &rayon::ThreadPool,
+        inputs: &Inputs,
+        prepared: &PreparedLayer<R>,
+    ) -> YearLossTable {
+        let n = inputs.yet.num_trials();
+        let grain = match self.schedule {
+            Schedule::Dynamic => 1,
+            Schedule::Static => n.div_ceil(self.threads.max(1)).max(1),
+            Schedule::Chunked(g) => g.max(1),
+        };
+        let results: Vec<(f64, f64)> = pool.install(|| {
+            (0..n)
+                .into_par_iter()
+                .with_min_len(grain)
+                .map_init(TrialWorkspace::<R>::new, |ws, i| {
+                    let r = ara_core::analysis::analyse_trial(prepared, inputs.yet.trial(i), ws);
+                    (r.year_loss.to_f64(), r.max_occ_loss.to_f64())
+                })
+                .collect()
+        });
+        let (year, max_occ): (Vec<f64>, Vec<f64>) = results.into_iter().unzip();
+        YearLossTable::with_max_occurrence(year, max_occ)
+            .expect("parallel columns have equal length")
+    }
+}
+
+impl<R: Real> Engine for MulticoreEngine<R> {
+    fn name(&self) -> &'static str {
+        "multicore-cpu"
+    }
+
+    fn analyse(&self, inputs: &Inputs) -> Result<AnalysisOutput, AraError> {
+        inputs.validate()?;
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(self.threads)
+            .build()
+            .expect("thread pool construction cannot fail for positive sizes");
+        let start = Instant::now();
+        let mut prepare_total = std::time::Duration::ZERO;
+        let mut ids = Vec::with_capacity(inputs.layers.len());
+        let mut ylts = Vec::with_capacity(inputs.layers.len());
+        for layer in &inputs.layers {
+            let p0 = Instant::now();
+            let prepared = PreparedLayer::<R>::prepare(inputs, layer)?;
+            prepare_total += p0.elapsed();
+            ids.push(layer.id);
+            ylts.push(self.analyse_layer_parallel(&pool, inputs, &prepared));
+        }
+        Ok(AnalysisOutput {
+            portfolio: Portfolio::from_layer_results(ids, ylts)?,
+            wall: start.elapsed(),
+            prepare: prepare_total,
+        })
+    }
+
+    fn model(&self, shape: &AraShape) -> ModeledTiming {
+        let b = self
+            .model
+            .breakdown(shape, self.threads as u32, self.threads_per_core);
+        ModeledTiming {
+            platform: format!("{} ({} threads)", self.model.spec.name, self.threads),
+            total_seconds: b.total(),
+            feasible: true,
+            breakdown: ActivityBreakdown {
+                fetch: b.fetch_seconds,
+                lookup: b.lookup_seconds,
+                financial: b.financial_seconds,
+                layer: b.layer_seconds,
+            },
+            detail: PlatformDetail::Cpu {
+                threads: self.threads as u32,
+                threads_per_core: self.threads_per_core,
+            },
+        }
+    }
+}
+
+/// Portfolio-level parallelism: analyse a many-layer portfolio with the
+/// layers themselves distributed across workers (each layer's trial loop
+/// runs serially inside its worker).
+///
+/// "A portfolio may comprise tens of thousands of contracts" (paper,
+/// Section I): with thousands of small layers, layer-granular work
+/// distribution amortises the per-layer preprocessing (direct-table
+/// construction) across cores, where the trial-granular engines rebuild
+/// tables on the critical path. Results are identical to the sequential
+/// engine bit-for-bit.
+pub fn analyse_portfolio_parallel<R: Real>(
+    inputs: &Inputs,
+    threads: usize,
+) -> Result<Portfolio, AraError> {
+    assert!(threads > 0, "need at least one worker thread");
+    inputs.validate()?;
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool construction cannot fail for positive sizes");
+    let results: Result<Vec<_>, AraError> = pool.install(|| {
+        inputs
+            .layers
+            .par_iter()
+            .map(|layer| {
+                let prepared = PreparedLayer::<R>::prepare(inputs, layer)?;
+                Ok((
+                    layer.id,
+                    ara_core::analysis::analyse_layer(&prepared, &inputs.yet),
+                ))
+            })
+            .collect()
+    });
+    let (ids, ylts) = results?.into_iter().unzip();
+    Portfolio::from_layer_results(ids, ylts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::SequentialEngine;
+    use ara_workload::{Scenario, ScenarioShape};
+
+    #[test]
+    fn multicore_matches_sequential_bitwise() {
+        let inputs = Scenario::new(ScenarioShape::smoke(), 11).build().unwrap();
+        let seq = SequentialEngine::<f64>::new().analyse(&inputs).unwrap();
+        let par = MulticoreEngine::<f64>::new(4).analyse(&inputs).unwrap();
+        for i in 0..seq.portfolio.num_layers() {
+            assert_eq!(
+                par.portfolio.layer_ylt(i).year_losses(),
+                seq.portfolio.layer_ylt(i).year_losses(),
+                "layer {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let inputs = Scenario::new(ScenarioShape::smoke(), 11).build().unwrap();
+        let out = MulticoreEngine::<f64>::new(1).analyse(&inputs).unwrap();
+        assert_eq!(out.portfolio.layer_ylt(0).num_trials(), 200);
+    }
+
+    #[test]
+    fn modeled_speedups_match_figure_1a() {
+        let shape = AraShape::paper();
+        let t1 = SequentialEngine::<f64>::new().model(&shape).total_seconds;
+        for (threads, expected) in [(2usize, 1.5f64), (4, 2.2), (8, 2.6)] {
+            let tn = MulticoreEngine::<f64>::new(threads)
+                .model(&shape)
+                .total_seconds;
+            let s = t1 / tn;
+            assert!(
+                (s - expected).abs() / expected < 0.15,
+                "{threads}-thread modeled speedup {s:.2} (paper {expected})"
+            );
+        }
+    }
+
+    #[test]
+    fn modeled_oversubscription_shrinks_time() {
+        let shape = AraShape::paper();
+        let base = MulticoreEngine::<f64>::new(8).model(&shape).total_seconds;
+        let over = MulticoreEngine::<f64>::new(8)
+            .with_threads_per_core(256)
+            .model(&shape)
+            .total_seconds;
+        assert!(over < base);
+        // Figure 1b's magnitude: 135 → 125 s, a 5–9% drop.
+        let gain = 1.0 - over / base;
+        assert!((0.03..0.09).contains(&gain), "gain {gain:.3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_threads_panics() {
+        MulticoreEngine::<f64>::new(0);
+    }
+
+    #[test]
+    fn portfolio_parallel_matches_sequential_bitwise() {
+        let shape = ScenarioShape {
+            num_trials: 100,
+            events_per_trial: 10.0,
+            catalogue_size: 2_000,
+            num_elts: 8,
+            records_per_elt: 100,
+            num_layers: 12,
+            elts_per_layer: (2, 5),
+        };
+        let inputs = Scenario::new(shape, 55).build().unwrap();
+        let reference = SequentialEngine::<f64>::new().analyse(&inputs).unwrap();
+        let portfolio = analyse_portfolio_parallel::<f64>(&inputs, 4).unwrap();
+        assert_eq!(portfolio.num_layers(), 12);
+        for i in 0..12 {
+            assert_eq!(
+                portfolio.layer_ylt(i).year_losses(),
+                reference.portfolio.layer_ylt(i).year_losses(),
+                "layer {i}"
+            );
+        }
+        // Layer order (and ids) preserved.
+        assert_eq!(portfolio.layer_ids(), reference.portfolio.layer_ids());
+    }
+
+    #[test]
+    fn portfolio_parallel_rejects_invalid_inputs() {
+        let mut inputs = Scenario::new(ScenarioShape::smoke(), 1).build().unwrap();
+        inputs.layers[0].elt_indices = vec![999];
+        assert!(analyse_portfolio_parallel::<f64>(&inputs, 2).is_err());
+    }
+
+    #[test]
+    fn all_schedules_produce_identical_results() {
+        let inputs = Scenario::new(ScenarioShape::smoke(), 13).build().unwrap();
+        let reference = MulticoreEngine::<f64>::new(4).analyse(&inputs).unwrap();
+        for schedule in [
+            Schedule::Static,
+            Schedule::Chunked(7),
+            Schedule::Chunked(1000),
+        ] {
+            let out = MulticoreEngine::<f64>::new(4)
+                .with_schedule(schedule)
+                .analyse(&inputs)
+                .unwrap();
+            for i in 0..reference.portfolio.num_layers() {
+                assert_eq!(
+                    out.portfolio.layer_ylt(i).year_losses(),
+                    reference.portfolio.layer_ylt(i).year_losses(),
+                    "{schedule:?} layer {i}"
+                );
+            }
+        }
+    }
+}

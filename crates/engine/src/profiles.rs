@@ -1,0 +1,503 @@
+//! Kernel profiles for the performance model.
+//!
+//! Each GPU engine describes its kernel's per-thread work to the
+//! `simt-sim` model through these builders. The counts follow directly
+//! from the workload shape: a thread processes one trial of
+//! `events_per_trial` occurrences against `elts_per_layer` ELTs.
+
+use crate::api::stage;
+use ara_core::Inputs;
+use simt_sim::model::cpu::AraShape;
+use simt_sim::{KernelProfile, MemSpace, Precision, TraceOp};
+
+/// Derive the model's workload shape from concrete inputs.
+pub fn shape_of_inputs(inputs: &Inputs) -> AraShape {
+    let mean_elts = if inputs.layers.is_empty() {
+        0.0
+    } else {
+        inputs
+            .layers
+            .iter()
+            .map(|l| l.num_elts() as f64)
+            .sum::<f64>()
+            / inputs.layers.len() as f64
+    };
+    AraShape {
+        trials: inputs.yet.num_trials() as u64,
+        events_per_trial: inputs.yet.mean_events_per_trial(),
+        elts_per_layer: mean_elts,
+        layers: inputs.layers.len() as f64,
+    }
+}
+
+/// Profile of the **basic** GPU kernel (implementation iii): double
+/// precision, all state in global memory.
+///
+/// Per trial of `E` events against `K` ELTs:
+/// * the trial's events are re-read from global memory in each of the
+///   four algorithm steps (scattered across the warp — each lane walks a
+///   different trial);
+/// * `K × E` scattered double lookups into the direct access tables;
+/// * the per-event intermediates `lx_d`/`lox_d` live in global memory:
+///   the per-ELT accumulation traffic stays cache/coalesced-friendly
+///   (each thread's array is contiguous), but the layer-terms passes
+///   re-walk `lox_d` in trial-major order, which scatters across the
+///   warp.
+pub fn basic_kernel_profile(shape: &AraShape) -> KernelProfile {
+    let e = shape.events_per_trial;
+    let k = shape.elts_per_layer;
+    KernelProfile {
+        name: "ara-basic".into(),
+        stages: vec![
+            simt_sim::model::trace::StageProfile::new(
+                stage::FETCH,
+                vec![
+                    // Four passes over the trial's (event, time) stream.
+                    TraceOp::Load {
+                        space: MemSpace::GlobalRandom,
+                        bytes: 4,
+                        count: 4.0 * e,
+                    },
+                    TraceOp::IntOp { count: 4.0 * e },
+                ],
+            ),
+            simt_sim::model::trace::StageProfile::new(
+                stage::LOOKUP,
+                vec![
+                    TraceOp::Load {
+                        space: MemSpace::GlobalRandom,
+                        bytes: 8,
+                        count: k * e,
+                    },
+                    TraceOp::IntOp { count: k * e },
+                ],
+            ),
+            simt_sim::model::trace::StageProfile::new(
+                stage::FINANCIAL,
+                vec![
+                    TraceOp::Flop {
+                        precision: Precision::F64,
+                        count: 5.0 * k * e,
+                    },
+                    // lx_d write + lox_d read-modify-write per (ELT, event).
+                    TraceOp::Load {
+                        space: MemSpace::GlobalCoalesced,
+                        bytes: 8,
+                        count: k * e,
+                    },
+                    TraceOp::Store {
+                        space: MemSpace::GlobalCoalesced,
+                        bytes: 8,
+                        count: 2.0 * k * e,
+                    },
+                ],
+            ),
+            simt_sim::model::trace::StageProfile::new(
+                stage::LAYER,
+                vec![
+                    TraceOp::Flop {
+                        precision: Precision::F64,
+                        count: 10.0 * e,
+                    },
+                    // Occurrence clamp, prefix sum, aggregate clamp,
+                    // difference, reduction: five passes over lox_d,
+                    // trial-major (scattered across the warp).
+                    TraceOp::Load {
+                        space: MemSpace::GlobalRandom,
+                        bytes: 8,
+                        count: 2.0 * e,
+                    },
+                    TraceOp::Load {
+                        space: MemSpace::GlobalCoalesced,
+                        bytes: 8,
+                        count: 3.0 * e,
+                    },
+                    TraceOp::Store {
+                        space: MemSpace::GlobalCoalesced,
+                        bytes: 8,
+                        count: 5.0 * e,
+                    },
+                ],
+            ),
+        ],
+        shared_bytes_per_thread: 0,
+        shared_bytes_fixed: 0,
+        // Light register usage: everything lives in global memory, which
+        // is exactly why 256-thread blocks reach full occupancy
+        // (Figure 2's optimum).
+        registers_per_thread: 20,
+        // A dependent double-precision load chain with no unrolling
+        // keeps slightly less than one scattered load in flight per warp.
+        mlp_per_warp: 0.9,
+        syncs_per_block: 0.0,
+    }
+}
+
+/// Which of the paper's four optimisations are active (Section III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptimisationFlags {
+    /// Chunking: stage events through shared memory, compute terms
+    /// chunk-wise, keep intermediates out of global memory.
+    pub chunking: bool,
+    /// Loop unrolling (`#pragma unroll` on the lookup loops).
+    pub unrolling: bool,
+    /// Demote `double` to `float`.
+    pub reduced_precision: bool,
+    /// Migrate accumulators from shared/global memory to registers.
+    pub registers: bool,
+}
+
+impl OptimisationFlags {
+    /// All four optimisations on — the paper's optimised kernel.
+    pub fn all() -> Self {
+        OptimisationFlags {
+            chunking: true,
+            unrolling: true,
+            reduced_precision: true,
+            registers: true,
+        }
+    }
+
+    /// All off (for ablations; equivalent to the basic kernel's
+    /// structure but keeping the event-outer loop).
+    pub fn none() -> Self {
+        OptimisationFlags {
+            chunking: false,
+            unrolling: false,
+            reduced_precision: false,
+            registers: false,
+        }
+    }
+}
+
+/// Profile of the **optimised** GPU kernel (implementation iv) with a
+/// given set of optimisation flags and chunk size (events staged per
+/// thread per chunk).
+///
+/// With all flags on: the YET is read once, coalesced, through shared
+/// memory; intermediates live in registers; lookups are single-precision
+/// and unrolled (high memory-level parallelism); financial and layer
+/// terms come from constant memory.
+pub fn optimised_kernel_profile(
+    shape: &AraShape,
+    flags: &OptimisationFlags,
+    chunk: u32,
+) -> KernelProfile {
+    use simt_sim::model::trace::StageProfile;
+    let e = shape.events_per_trial;
+    let k = shape.elts_per_layer;
+    let precision = if flags.reduced_precision {
+        Precision::F32
+    } else {
+        Precision::F64
+    };
+    let fbytes = precision.bytes();
+
+    let fetch = if flags.chunking {
+        StageProfile::new(
+            stage::FETCH,
+            vec![
+                // One coalesced pass, staged into shared memory.
+                TraceOp::Load {
+                    space: MemSpace::GlobalCoalesced,
+                    bytes: 4,
+                    count: e,
+                },
+                TraceOp::Store {
+                    space: MemSpace::Shared,
+                    bytes: 4,
+                    count: e,
+                },
+                TraceOp::IntOp { count: e },
+            ],
+        )
+    } else {
+        StageProfile::new(
+            stage::FETCH,
+            vec![
+                TraceOp::Load {
+                    space: MemSpace::GlobalRandom,
+                    bytes: 4,
+                    count: 2.0 * e,
+                },
+                TraceOp::IntOp { count: 2.0 * e },
+            ],
+        )
+    };
+
+    let lookup_reads = if flags.chunking {
+        vec![
+            TraceOp::Load {
+                space: MemSpace::Shared,
+                bytes: 4,
+                count: k * e,
+            },
+            TraceOp::Load {
+                space: MemSpace::GlobalRandom,
+                bytes: fbytes,
+                count: k * e,
+            },
+            TraceOp::IntOp { count: k * e },
+        ]
+    } else {
+        vec![
+            TraceOp::Load {
+                space: MemSpace::GlobalRandom,
+                bytes: fbytes,
+                count: k * e,
+            },
+            TraceOp::IntOp { count: k * e },
+        ]
+    };
+
+    let mut financial = vec![
+        TraceOp::Flop {
+            precision,
+            count: 5.0 * k * e,
+        },
+        // Terms from constant memory (one tuple per ELT per chunk pass).
+        TraceOp::Load {
+            space: MemSpace::Constant,
+            bytes: 16,
+            count: k * e / 8.0,
+        },
+    ];
+    let mut layer = vec![TraceOp::Flop {
+        precision,
+        count: 10.0 * e,
+    }];
+    if !flags.registers {
+        // Accumulators spill to shared memory instead of registers.
+        financial.push(TraceOp::Store {
+            space: MemSpace::Shared,
+            bytes: fbytes,
+            count: k * e,
+        });
+        layer.push(TraceOp::Load {
+            space: MemSpace::Shared,
+            bytes: fbytes,
+            count: 2.0 * e,
+        });
+    }
+    if !flags.chunking {
+        // Per-event intermediates fall back to global memory.
+        financial.push(TraceOp::Store {
+            space: MemSpace::GlobalCoalesced,
+            bytes: fbytes,
+            count: 2.0 * k * e,
+        });
+        layer.push(TraceOp::Load {
+            space: MemSpace::GlobalRandom,
+            bytes: fbytes,
+            count: 2.0 * e,
+        });
+    }
+
+    // Memory-level parallelism: the event-outer restructuring alone keeps
+    // ~3 independent lookups in flight; unrolling ×4; register staging
+    // of lookup batches ×2.
+    let mut mlp = 3.0;
+    if flags.unrolling {
+        mlp *= 4.0;
+    }
+    if flags.registers {
+        mlp *= 2.0;
+    }
+
+    let (shared_per_thread, shared_fixed, syncs) = if flags.chunking {
+        // Each thread stages `chunk` events: id (4 B) plus a staging slot
+        // at the working precision; fixed block header for terms.
+        let per_thread = chunk * (4 + fbytes);
+        let syncs = 2.0 * (e / chunk as f64).ceil();
+        (per_thread, 512, syncs)
+    } else {
+        (0, 0, 0.0)
+    };
+
+    KernelProfile {
+        name: "ara-optimised".into(),
+        stages: vec![
+            fetch,
+            StageProfile::new(stage::LOOKUP, lookup_reads),
+            StageProfile::new(stage::FINANCIAL, financial),
+            StageProfile::new(stage::LAYER, layer),
+        ],
+        shared_bytes_per_thread: shared_per_thread,
+        shared_bytes_fixed: shared_fixed,
+        registers_per_thread: if flags.registers { 40 } else { 24 },
+        mlp_per_warp: mlp,
+        syncs_per_block: syncs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_sim::DeviceSpec;
+
+    fn paper() -> AraShape {
+        AraShape::paper()
+    }
+
+    #[test]
+    fn basic_profile_counts() {
+        let p = basic_kernel_profile(&paper());
+        // 15 ELTs × 1000 events of scattered lookups.
+        assert_eq!(p.stages[1].accesses(MemSpace::GlobalRandom), 15_000.0);
+        assert_eq!(p.flops(Precision::F64), 5.0 * 15_000.0 + 10_000.0);
+        assert_eq!(p.flops(Precision::F32), 0.0);
+        assert_eq!(p.shared_bytes_per_block(256), 0);
+    }
+
+    #[test]
+    fn optimised_profile_counts() {
+        let p = optimised_kernel_profile(&paper(), &OptimisationFlags::all(), 84);
+        assert_eq!(p.stages[1].accesses(MemSpace::GlobalRandom), 15_000.0);
+        assert_eq!(p.flops(Precision::F32), 5.0 * 15_000.0 + 10_000.0);
+        assert_eq!(p.flops(Precision::F64), 0.0);
+        // Chunk staging: 84 × 8 B per thread + fixed header.
+        assert_eq!(p.shared_bytes_per_block(32), 512 + 32 * 84 * 8);
+        assert!(p.mlp_per_warp > 20.0);
+    }
+
+    #[test]
+    fn paper_scale_headline_times() {
+        // The five headline numbers of Figure 5, modeled. We assert the
+        // bands, not the exact values: basic C2075 ≈ 38.5 s, optimised
+        // C2075 ≈ 20.6 s, optimised M2090 ≈ 17.4 s.
+        let c2075 = DeviceSpec::tesla_c2075();
+        let m2090 = DeviceSpec::tesla_m2090();
+        let basic = simt_sim::model::timing::estimate_kernel(
+            &c2075,
+            &basic_kernel_profile(&paper()),
+            1_000_000,
+            256,
+        );
+        assert!(
+            (30.0..46.0).contains(&basic.total_seconds),
+            "basic C2075 {:.1} s",
+            basic.total_seconds
+        );
+        let opt = simt_sim::model::timing::estimate_kernel(
+            &c2075,
+            &optimised_kernel_profile(&paper(), &OptimisationFlags::all(), 84),
+            1_000_000,
+            32,
+        );
+        assert!(
+            (17.0..25.0).contains(&opt.total_seconds),
+            "optimised C2075 {:.1} s",
+            opt.total_seconds
+        );
+        // The paper's 1.9× basic→optimised improvement.
+        let ratio = basic.total_seconds / opt.total_seconds;
+        assert!((1.4..2.3).contains(&ratio), "optimisation ratio {ratio:.2}");
+
+        let opt_m = simt_sim::model::timing::estimate_kernel(
+            &m2090,
+            &optimised_kernel_profile(&paper(), &OptimisationFlags::all(), 84),
+            1_000_000,
+            32,
+        );
+        assert!(
+            (14.0..21.0).contains(&opt_m.total_seconds),
+            "optimised M2090 {:.1} s",
+            opt_m.total_seconds
+        );
+    }
+
+    #[test]
+    fn lookup_dominates_optimised_kernel() {
+        // Paper: "97.54% of the total time (4.33 seconds) is for
+        // look-up" on the multiple GPU.
+        let m2090 = DeviceSpec::tesla_m2090();
+        let t = simt_sim::model::timing::estimate_kernel(
+            &m2090,
+            &optimised_kernel_profile(&paper(), &OptimisationFlags::all(), 84),
+            250_000,
+            32,
+        );
+        let lookup = t.stage_seconds(crate::api::stage::LOOKUP).unwrap();
+        let share = lookup / t.total_seconds;
+        assert!(share > 0.90, "lookup share {share:.3}");
+    }
+
+    #[test]
+    fn each_optimisation_flag_matters() {
+        // Leave-one-out: disabling any single optimisation must not make
+        // the kernel faster.
+        let c2075 = DeviceSpec::tesla_c2075();
+        let full = simt_sim::model::timing::estimate_kernel(
+            &c2075,
+            &optimised_kernel_profile(&paper(), &OptimisationFlags::all(), 84),
+            1_000_000,
+            32,
+        )
+        .total_seconds;
+        for (name, flags) in [
+            (
+                "chunking",
+                OptimisationFlags {
+                    chunking: false,
+                    ..OptimisationFlags::all()
+                },
+            ),
+            (
+                "unrolling",
+                OptimisationFlags {
+                    unrolling: false,
+                    ..OptimisationFlags::all()
+                },
+            ),
+            (
+                "precision",
+                OptimisationFlags {
+                    reduced_precision: false,
+                    ..OptimisationFlags::all()
+                },
+            ),
+            (
+                "registers",
+                OptimisationFlags {
+                    registers: false,
+                    ..OptimisationFlags::all()
+                },
+            ),
+        ] {
+            let t = simt_sim::model::timing::estimate_kernel(
+                &c2075,
+                &optimised_kernel_profile(&paper(), &flags, 84),
+                1_000_000,
+                32,
+            )
+            .total_seconds;
+            assert!(
+                t >= full * 0.999,
+                "disabling {name} made it faster: {t:.1} vs {full:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn shape_of_inputs_matches_generation() {
+        let inputs = ara_workload::Scenario::new(ara_workload::ScenarioShape::smoke(), 3)
+            .build()
+            .unwrap();
+        let shape = shape_of_inputs(&inputs);
+        assert_eq!(shape.trials, 200);
+        assert!(shape.events_per_trial > 10.0);
+        assert_eq!(shape.layers, 2.0);
+        assert!(shape.elts_per_layer >= 3.0 && shape.elts_per_layer <= 6.0);
+    }
+
+    #[test]
+    fn empty_layers_shape() {
+        let mut inputs = ara_workload::Scenario::new(ara_workload::ScenarioShape::smoke(), 3)
+            .build()
+            .unwrap();
+        inputs.layers.clear();
+        let shape = shape_of_inputs(&inputs);
+        assert_eq!(shape.elts_per_layer, 0.0);
+        assert_eq!(shape.layers, 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Implementation (i): the sequential CPU engine.
+
+use crate::api::{ActivityBreakdown, AnalysisOutput, Engine, ModeledTiming, PlatformDetail};
+use ara_core::{AraError, Inputs, Portfolio, PreparedLayer, Real};
+use simt_sim::model::cpu::{AraShape, CpuTimingModel};
+use std::marker::PhantomData;
+use std::time::Instant;
+
+/// The sequential reference engine (implementation i), generic over the
+/// working precision (the paper's sequential code uses `double`).
+#[derive(Debug, Clone)]
+pub struct SequentialEngine<R: Real = f64> {
+    model: CpuTimingModel,
+    _precision: PhantomData<R>,
+}
+
+impl<R: Real> SequentialEngine<R> {
+    /// Engine with the i7-2600-calibrated timing model.
+    pub fn new() -> Self {
+        SequentialEngine {
+            model: CpuTimingModel::i7_2600(),
+            _precision: PhantomData,
+        }
+    }
+
+    /// Engine with a custom CPU timing model.
+    pub fn with_model(model: CpuTimingModel) -> Self {
+        SequentialEngine {
+            model,
+            _precision: PhantomData,
+        }
+    }
+}
+
+impl<R: Real> Default for SequentialEngine<R> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<R: Real> Engine for SequentialEngine<R> {
+    fn name(&self) -> &'static str {
+        "sequential-cpu"
+    }
+
+    fn analyse(&self, inputs: &Inputs) -> Result<AnalysisOutput, AraError> {
+        inputs.validate()?;
+        let start = Instant::now();
+        let mut prepare_total = std::time::Duration::ZERO;
+        let mut ids = Vec::with_capacity(inputs.layers.len());
+        let mut ylts = Vec::with_capacity(inputs.layers.len());
+        for layer in &inputs.layers {
+            let p0 = Instant::now();
+            let prepared = PreparedLayer::<R>::prepare(inputs, layer)?;
+            prepare_total += p0.elapsed();
+            ids.push(layer.id);
+            ylts.push(ara_core::analysis::analyse_layer(&prepared, &inputs.yet));
+        }
+        Ok(AnalysisOutput {
+            portfolio: Portfolio::from_layer_results(ids, ylts)?,
+            wall: start.elapsed(),
+            prepare: prepare_total,
+        })
+    }
+
+    fn model(&self, shape: &AraShape) -> ModeledTiming {
+        let b = self.model.breakdown(shape, 1, 1);
+        ModeledTiming {
+            platform: self.model.spec.name.clone(),
+            total_seconds: b.total(),
+            feasible: true,
+            breakdown: ActivityBreakdown {
+                fetch: b.fetch_seconds,
+                lookup: b.lookup_seconds,
+                financial: b.financial_seconds,
+                layer: b.layer_seconds,
+            },
+            detail: PlatformDetail::Cpu {
+                threads: 1,
+                threads_per_core: 1,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ara_workload::{Scenario, ScenarioShape};
+
+    #[test]
+    fn sequential_engine_end_to_end() {
+        let inputs = Scenario::new(ScenarioShape::smoke(), 5).build().unwrap();
+        let engine = SequentialEngine::<f64>::new();
+        let out = engine.analyse(&inputs).unwrap();
+        assert_eq!(out.portfolio.num_layers(), inputs.layers.len());
+        assert_eq!(
+            out.portfolio.layer_ylt(0).num_trials(),
+            inputs.yet.num_trials()
+        );
+        assert!(out.wall >= out.prepare);
+    }
+
+    #[test]
+    fn matches_core_portfolio_analysis() {
+        let inputs = Scenario::new(ScenarioShape::smoke(), 5).build().unwrap();
+        let engine = SequentialEngine::<f64>::new();
+        let out = engine.analyse(&inputs).unwrap();
+        let reference = Portfolio::analyse::<f64>(&inputs).unwrap();
+        for i in 0..reference.num_layers() {
+            assert_eq!(
+                out.portfolio.layer_ylt(i).year_losses(),
+                reference.layer_ylt(i).year_losses()
+            );
+        }
+    }
+
+    #[test]
+    fn modeled_paper_time_matches_337s() {
+        let engine = SequentialEngine::<f64>::new();
+        let m = engine.model(&AraShape::paper());
+        assert!(
+            (320.0..345.0).contains(&m.total_seconds),
+            "modeled {}",
+            m.total_seconds
+        );
+        assert!(m.feasible);
+        // Lookup dominates (paper: >65%).
+        let (_, lookup_pct, _, _) = m.breakdown.percentages();
+        assert!(lookup_pct > 63.0);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let mut inputs = Scenario::new(ScenarioShape::smoke(), 5).build().unwrap();
+        inputs.layers[0].elt_indices = vec![999];
+        assert!(SequentialEngine::<f64>::new().analyse(&inputs).is_err());
+    }
+}

@@ -1,0 +1,338 @@
+//! Engines for secondary-uncertainty analysis (the paper's future work).
+//!
+//! The point-loss pipeline reads one loss per `(event, ELT)`; with
+//! secondary uncertainty it reads a **distribution** (four dense columns:
+//! log-normal `mu`, `sigma`, cap, mean) and draws a sample per
+//! occurrence using the counter-based generator of
+//! [`ara_core::uncertainty`]. Because draws key on the *global* trial
+//! index, every engine — sequential, multicore, chunked SIMT kernel, any
+//! device partitioning — produces bit-identical YLTs at f64.
+
+use crate::kernels::TrialLoss;
+use ara_core::uncertainty::{analyse_trial_uncertain, UncertainElt, UncertainPreparedLayer};
+use ara_core::{AraError, LayerTerms, Real, YearEventTable, YearLossTable};
+use rayon::prelude::*;
+use simt_sim::model::cpu::AraShape;
+use simt_sim::model::trace::StageProfile;
+use simt_sim::{
+    launch, BlockCtx, Kernel, KernelProfile, LaunchConfig, MemSpace, Precision, TraceOp,
+};
+
+/// Inputs of an uncertain-layer analysis: the YET plus uncertain ELTs
+/// and layer terms (the uncertain counterpart of `ara_core::Inputs` for
+/// a single layer).
+#[derive(Debug, Clone)]
+pub struct UncertainLayerInputs {
+    /// The pre-simulated Year Event Table.
+    pub yet: YearEventTable,
+    /// The uncertain ELTs the layer covers.
+    pub elts: Vec<UncertainElt>,
+    /// The layer terms.
+    pub terms: LayerTerms,
+    /// Sampler seed.
+    pub seed: u64,
+}
+
+impl UncertainLayerInputs {
+    /// Lift a single point-loss layer into an uncertain one with
+    /// `cv = std_dev/mean` and `cap = max_loss/mean` on every record.
+    pub fn from_point_inputs(
+        inputs: &ara_core::Inputs,
+        layer_index: usize,
+        cv: f64,
+        cap: f64,
+        seed: u64,
+    ) -> Result<Self, AraError> {
+        inputs.validate()?;
+        let layer = inputs.layers.get(layer_index).ok_or(AraError::UnknownElt {
+            layer: layer_index,
+            elt: 0,
+        })?;
+        let elts = layer
+            .elt_indices
+            .iter()
+            .map(|&i| UncertainElt::from_point_elt(&inputs.elts[i], cv, cap))
+            .collect();
+        Ok(UncertainLayerInputs {
+            yet: inputs.yet.clone(),
+            elts,
+            terms: layer.terms,
+            seed,
+        })
+    }
+
+    /// Preprocess into the dense distribution tables.
+    pub fn prepare<R: Real>(&self) -> Result<UncertainPreparedLayer<R>, AraError> {
+        let refs: Vec<&UncertainElt> = self.elts.iter().collect();
+        UncertainPreparedLayer::prepare(&refs, self.terms, self.yet.catalogue_size(), self.seed)
+    }
+}
+
+/// Sequential uncertain analysis — the reference.
+pub fn analyse_uncertain_sequential<R: Real>(
+    inputs: &UncertainLayerInputs,
+) -> Result<YearLossTable, AraError> {
+    let prepared = inputs.prepare::<R>()?;
+    Ok(ara_core::uncertainty::analyse_layer_uncertain(
+        &prepared,
+        &inputs.yet,
+    ))
+}
+
+/// Multicore uncertain analysis (rayon over trials).
+pub fn analyse_uncertain_multicore<R: Real>(
+    inputs: &UncertainLayerInputs,
+    threads: usize,
+) -> Result<YearLossTable, AraError> {
+    assert!(threads > 0, "need at least one worker thread");
+    let prepared = inputs.prepare::<R>()?;
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool construction cannot fail for positive sizes");
+    let results: Vec<(f64, f64)> = pool.install(|| {
+        (0..inputs.yet.num_trials())
+            .into_par_iter()
+            .map(|i| {
+                let r = analyse_trial_uncertain(&prepared, inputs.yet.trial(i), i);
+                (r.year_loss.to_f64(), r.max_occ_loss.to_f64())
+            })
+            .collect()
+    });
+    let (year, max_occ) = results.into_iter().unzip();
+    YearLossTable::with_max_occurrence(year, max_occ)
+}
+
+/// The chunked SIMT kernel with secondary uncertainty: one thread per
+/// trial, drawing per-occurrence samples through the counter-based
+/// generator (global trial index ⇒ partition-independent).
+pub struct AraUncertainKernel<'a, R: Real> {
+    yet: &'a YearEventTable,
+    prepared: &'a UncertainPreparedLayer<R>,
+    base_trial: usize,
+}
+
+impl<'a, R: Real> AraUncertainKernel<'a, R> {
+    /// Kernel covering trials `base_trial..` of `yet`.
+    pub fn new(
+        yet: &'a YearEventTable,
+        prepared: &'a UncertainPreparedLayer<R>,
+        base_trial: usize,
+    ) -> Self {
+        AraUncertainKernel {
+            yet,
+            prepared,
+            base_trial,
+        }
+    }
+}
+
+impl<R: Real> Kernel<TrialLoss> for AraUncertainKernel<'_, R> {
+    type Shared = ();
+
+    fn init_shared(&self, _block: u32) {}
+
+    fn run_block(&self, ctx: &mut BlockCtx<'_, ()>, out: &mut [TrialLoss]) {
+        ctx.for_each_thread(|t, _| {
+            let trial_index = self.base_trial + t.global;
+            let r =
+                analyse_trial_uncertain(self.prepared, self.yet.trial(trial_index), trial_index);
+            out[t.local as usize] = (r.year_loss.to_f64(), r.max_occ_loss.to_f64());
+        });
+    }
+}
+
+/// GPU-style uncertain analysis on the SIMT executor, optionally
+/// partitioned as on the multi-GPU platform.
+pub fn analyse_uncertain_gpu<R: Real>(
+    inputs: &UncertainLayerInputs,
+    num_devices: usize,
+    block_dim: u32,
+) -> Result<YearLossTable, AraError> {
+    assert!(num_devices > 0, "need at least one device");
+    let prepared = inputs.prepare::<R>()?;
+    let mut parts = Vec::with_capacity(num_devices);
+    for range in inputs.yet.partition_trials(num_devices) {
+        let kernel = AraUncertainKernel::new(&inputs.yet, &prepared, range.start);
+        let mut out: Vec<TrialLoss> = vec![(0.0, 0.0); range.len()];
+        launch(LaunchConfig::new(range.len(), block_dim), &kernel, &mut out);
+        let (year, max_occ) = out.into_iter().unzip();
+        parts.push(YearLossTable::with_max_occurrence(year, max_occ)?);
+    }
+    Ok(YearLossTable::concat(parts))
+}
+
+/// Performance-model profile of the uncertain chunked kernel: versus the
+/// point-loss kernel, each `(ELT, event)` costs ~3 extra scattered loads
+/// (the `sigma`/cap/mean columns alongside `mu`) and ~50 extra FLOPs
+/// (normal quantile polynomial + `exp`), which is what "secondary
+/// uncertainty" costs on a lookup-bound device.
+pub fn uncertain_kernel_profile(shape: &AraShape, precision: Precision) -> KernelProfile {
+    let e = shape.events_per_trial;
+    let k = shape.elts_per_layer;
+    let fbytes = precision.bytes();
+    KernelProfile {
+        name: "ara-uncertain".into(),
+        stages: vec![
+            StageProfile::new(
+                crate::api::stage::FETCH,
+                vec![
+                    TraceOp::Load {
+                        space: MemSpace::GlobalCoalesced,
+                        bytes: 4,
+                        count: e,
+                    },
+                    TraceOp::Store {
+                        space: MemSpace::Shared,
+                        bytes: 4,
+                        count: e,
+                    },
+                ],
+            ),
+            StageProfile::new(
+                crate::api::stage::LOOKUP,
+                vec![
+                    // Four distribution columns instead of one loss.
+                    TraceOp::Load {
+                        space: MemSpace::GlobalRandom,
+                        bytes: fbytes,
+                        count: 4.0 * k * e,
+                    },
+                    TraceOp::IntOp { count: k * e },
+                ],
+            ),
+            StageProfile::new(
+                crate::api::stage::FINANCIAL,
+                vec![
+                    // Counter hash + quantile polynomial + exp + terms.
+                    TraceOp::Flop {
+                        precision,
+                        count: 55.0 * k * e,
+                    },
+                    TraceOp::Load {
+                        space: MemSpace::Constant,
+                        bytes: 16,
+                        count: k * e / 8.0,
+                    },
+                ],
+            ),
+            StageProfile::new(
+                crate::api::stage::LAYER,
+                vec![TraceOp::Flop {
+                    precision,
+                    count: 10.0 * e,
+                }],
+            ),
+        ],
+        shared_bytes_per_thread: crate::gpu_opt::DEFAULT_CHUNK * (4 + fbytes),
+        shared_bytes_fixed: 512,
+        registers_per_thread: 48,
+        mlp_per_warp: 24.0,
+        syncs_per_block: 2.0 * (e / crate::gpu_opt::DEFAULT_CHUNK as f64).ceil(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ara_workload::{Scenario, ScenarioShape};
+    use simt_sim::model::timing::estimate_kernel;
+    use simt_sim::DeviceSpec;
+
+    fn inputs(cv: f64) -> UncertainLayerInputs {
+        let point = Scenario::new(ScenarioShape::smoke(), 77).build().unwrap();
+        UncertainLayerInputs::from_point_inputs(&point, 0, cv, 8.0, 42).unwrap()
+    }
+
+    #[test]
+    fn all_uncertain_engines_agree_bitwise_at_f64() {
+        let inp = inputs(0.7);
+        let seq = analyse_uncertain_sequential::<f64>(&inp).unwrap();
+        let par = analyse_uncertain_multicore::<f64>(&inp, 4).unwrap();
+        let gpu1 = analyse_uncertain_gpu::<f64>(&inp, 1, 64).unwrap();
+        let gpu4 = analyse_uncertain_gpu::<f64>(&inp, 4, 32).unwrap();
+        assert_eq!(seq.year_losses(), par.year_losses());
+        assert_eq!(seq.year_losses(), gpu1.year_losses());
+        assert_eq!(seq.year_losses(), gpu4.year_losses());
+        assert_eq!(seq.max_occurrence_losses(), gpu4.max_occurrence_losses());
+    }
+
+    #[test]
+    fn zero_cv_matches_point_engine() {
+        let point = Scenario::new(ScenarioShape::smoke(), 77).build().unwrap();
+        let inp = inputs(0.0);
+        let uncertain = analyse_uncertain_sequential::<f64>(&inp).unwrap();
+        let reference = crate::seq::SequentialEngine::<f64>::new();
+        let out = crate::api::Engine::analyse(&reference, &point).unwrap();
+        // cv=0, cap=8: samples are exactly the mean = the point loss.
+        let diff = uncertain.max_rel_diff(out.portfolio.layer_ylt(0)).unwrap();
+        assert!(diff < 1e-12, "zero-cv drift {diff}");
+    }
+
+    #[test]
+    fn uncertainty_widens_the_tail() {
+        // With pass-through terms (no clamping to absorb the noise),
+        // secondary uncertainty must increase the YLT's spread. (Under
+        // binding occurrence/aggregate limits it legitimately may not —
+        // the clamps swallow the extra variance.)
+        let mut a = inputs(0.0);
+        a.terms = LayerTerms::unlimited();
+        let mut b = inputs(1.2);
+        b.terms = LayerTerms::unlimited();
+        let point = analyse_uncertain_sequential::<f64>(&a).unwrap();
+        let fuzzy = analyse_uncertain_sequential::<f64>(&b).unwrap();
+        let sd = |y: &YearLossTable| {
+            let m = y.mean();
+            (y.year_losses().iter().map(|l| (l - m).powi(2)).sum::<f64>() / y.num_trials() as f64)
+                .sqrt()
+        };
+        assert!(sd(&fuzzy) > sd(&point), "{} vs {}", sd(&fuzzy), sd(&point));
+    }
+
+    #[test]
+    fn f32_uncertain_tracks_f64() {
+        let inp = inputs(0.5);
+        let wide = analyse_uncertain_sequential::<f64>(&inp).unwrap();
+        let narrow = analyse_uncertain_sequential::<f32>(&inp).unwrap();
+        let diff = wide.max_rel_diff(&narrow).unwrap();
+        assert!(diff < 5e-3, "f32 drift {diff}");
+    }
+
+    #[test]
+    fn modeled_cost_of_secondary_uncertainty() {
+        // On a lookup-bound GPU, 4 columns instead of 1 ≈ 4x the
+        // scattered traffic: the uncertain kernel should cost ~3-4.5x
+        // the point kernel.
+        let shape = AraShape::paper();
+        let dev = DeviceSpec::tesla_m2090();
+        let point = estimate_kernel(
+            &dev,
+            &crate::profiles::optimised_kernel_profile(
+                &shape,
+                &crate::profiles::OptimisationFlags::all(),
+                crate::gpu_opt::DEFAULT_CHUNK,
+            ),
+            1_000_000,
+            32,
+        )
+        .total_seconds;
+        let uncertain = estimate_kernel(
+            &dev,
+            &uncertain_kernel_profile(&shape, Precision::F32),
+            1_000_000,
+            32,
+        )
+        .total_seconds;
+        let ratio = uncertain / point;
+        assert!(
+            (2.5..5.0).contains(&ratio),
+            "uncertainty cost ratio {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn from_point_inputs_validates() {
+        let point = Scenario::new(ScenarioShape::smoke(), 77).build().unwrap();
+        assert!(UncertainLayerInputs::from_point_inputs(&point, 99, 0.5, 4.0, 1).is_err());
+    }
+}

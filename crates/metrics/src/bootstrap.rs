@@ -1,0 +1,205 @@
+//! Bootstrap confidence intervals for YLT-derived metrics.
+//!
+//! "A pre-simulated YET lends itself to statistical validation" (paper,
+//! Section I): because the YLT is a plain i.i.d. sample of annual
+//! outcomes, resampling it quantifies the Monte Carlo error of any
+//! derived metric — how trustworthy a 250-year PML from 10,000 trials
+//! actually is, and why the paper runs a million.
+//!
+//! Resampling uses the workspace's counter-based generator
+//! ([`ara_core::uncertainty::draw_u01`]), so intervals are reproducible
+//! without carrying RNG state.
+
+use ara_core::uncertainty::draw_u01;
+
+/// A two-sided confidence interval with its point estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// The statistic on the full sample.
+    pub estimate: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// The confidence level the bounds correspond to (e.g. 0.95).
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Relative half-width (half the width over the estimate's
+    /// magnitude) — the "how many digits do I trust" number.
+    pub fn relative_half_width(&self) -> f64 {
+        if self.estimate == 0.0 {
+            0.0
+        } else {
+            0.5 * self.width() / self.estimate.abs()
+        }
+    }
+}
+
+/// Percentile-bootstrap confidence interval for `statistic` over
+/// `sample`, with `replicates` resamples at confidence `level`.
+///
+/// # Panics
+/// Panics if the sample is empty, `replicates == 0`, or `level` is
+/// outside `(0, 1)`.
+pub fn bootstrap_ci(
+    sample: &[f64],
+    statistic: impl Fn(&[f64]) -> f64,
+    replicates: usize,
+    level: f64,
+    seed: u64,
+) -> ConfidenceInterval {
+    assert!(!sample.is_empty(), "bootstrap of an empty sample");
+    assert!(replicates > 0, "need at least one replicate");
+    assert!(
+        level > 0.0 && level < 1.0,
+        "confidence level must be in (0, 1)"
+    );
+
+    let estimate = statistic(sample);
+    let n = sample.len();
+    let mut stats = Vec::with_capacity(replicates);
+    let mut resample = vec![0.0; n];
+    for r in 0..replicates {
+        for (i, slot) in resample.iter_mut().enumerate() {
+            let u = draw_u01(seed, r as u64, i as u32, 0);
+            let idx = ((u * n as f64) as usize).min(n - 1);
+            *slot = sample[idx];
+        }
+        stats.push(statistic(&resample));
+    }
+    stats.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite statistics"));
+    let alpha = (1.0 - level) / 2.0;
+    let lo = crate::stats::quantile_sorted(&stats, alpha);
+    let hi = crate::stats::quantile_sorted(&stats, 1.0 - alpha);
+    ConfidenceInterval {
+        estimate,
+        lo,
+        hi,
+        level,
+    }
+}
+
+/// Convenience: bootstrap CI of the Average Annual Loss.
+pub fn aal_ci(year_losses: &[f64], replicates: usize, level: f64, seed: u64) -> ConfidenceInterval {
+    bootstrap_ci(year_losses, crate::stats::mean, replicates, level, seed)
+}
+
+/// Convenience: bootstrap CI of the PML at `return_period` years.
+pub fn pml_ci(
+    year_losses: &[f64],
+    return_period: f64,
+    replicates: usize,
+    level: f64,
+    seed: u64,
+) -> ConfidenceInterval {
+    bootstrap_ci(
+        year_losses,
+        |s| crate::pml::pml(s, return_period),
+        replicates,
+        level,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<f64> {
+        // Deterministic heavy-ish synthetic losses.
+        (0..n)
+            .map(|i| ((i * 7919) % 1000) as f64 + ((i % 13) as f64).powi(3))
+            .collect()
+    }
+
+    #[test]
+    fn ci_brackets_the_estimate() {
+        let s = sample(2000);
+        let ci = aal_ci(&s, 200, 0.95, 1);
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
+        assert!(ci.width() > 0.0);
+        assert_eq!(ci.level, 0.95);
+    }
+
+    #[test]
+    fn ci_is_deterministic_per_seed() {
+        let s = sample(500);
+        let a = aal_ci(&s, 100, 0.9, 7);
+        let b = aal_ci(&s, 100, 0.9, 7);
+        assert_eq!(a, b);
+        let c = aal_ci(&s, 100, 0.9, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn interval_shrinks_with_sample_size() {
+        // The Monte Carlo argument for a million trials: ~1/sqrt(n).
+        let small = aal_ci(&sample(200), 200, 0.95, 3);
+        let large = aal_ci(&sample(20_000), 200, 0.95, 3);
+        assert!(
+            large.relative_half_width() < 0.35 * small.relative_half_width(),
+            "small {:.4} vs large {:.4}",
+            small.relative_half_width(),
+            large.relative_half_width()
+        );
+    }
+
+    #[test]
+    fn higher_confidence_is_wider() {
+        let s = sample(1000);
+        let c90 = aal_ci(&s, 300, 0.90, 5);
+        let c99 = aal_ci(&s, 300, 0.99, 5);
+        assert!(c99.width() >= c90.width());
+    }
+
+    #[test]
+    fn tail_metrics_have_wider_relative_intervals() {
+        // The deep tail is estimated from few order statistics: on a
+        // heavy-tailed sample its CI must be relatively wider than the
+        // mean's.
+        let heavy = ara_core::UncertainLoss {
+            mean: 100.0,
+            std_dev: 300.0,
+            max_loss: 1e12,
+        };
+        let s: Vec<f64> = (0..2000u64)
+            .map(|i| heavy.quantile(draw_u01(13, i, 0, 0)))
+            .collect();
+        let mean_ci = aal_ci(&s, 200, 0.95, 9);
+        let tail_ci = pml_ci(&s, 500.0, 200, 0.95, 9);
+        assert!(
+            tail_ci.relative_half_width() > mean_ci.relative_half_width(),
+            "tail {:.4} vs mean {:.4}",
+            tail_ci.relative_half_width(),
+            mean_ci.relative_half_width()
+        );
+    }
+
+    #[test]
+    fn constant_sample_has_zero_width() {
+        let s = vec![5.0; 100];
+        let ci = aal_ci(&s, 50, 0.95, 1);
+        assert_eq!(ci.lo, 5.0);
+        assert_eq!(ci.hi, 5.0);
+        assert_eq!(ci.relative_half_width(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        aal_ci(&[], 10, 0.95, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence level")]
+    fn bad_level_panics() {
+        aal_ci(&[1.0], 10, 1.0, 1);
+    }
+}

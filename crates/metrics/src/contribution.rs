@@ -1,0 +1,203 @@
+//! Marginal-contribution analysis: what each ELT adds to a layer.
+//!
+//! Underwriters price *books*, not events: when a layer covers 15 ELTs
+//! (exposure sets), the question "which exposure drives my expected
+//! loss?" is answered by leave-one-out marginals — re-run the analysis
+//! without each ELT and difference the AALs. Because the layer terms
+//! are non-linear (occurrence and aggregate clamps), marginals do not
+//! sum to the total; the gap *is* the diversification/amplification the
+//! terms create, and is reported alongside.
+
+use ara_core::{analyse_layer, AraError, Inputs, Layer, PreparedLayer};
+
+/// Leave-one-out contribution of one covered ELT.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EltContribution {
+    /// Index of the ELT in `Inputs::elts`.
+    pub elt_index: usize,
+    /// AAL of the full layer minus the AAL without this ELT.
+    pub marginal_aal: f64,
+}
+
+/// Contribution report for one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContributionReport {
+    /// AAL of the full layer.
+    pub total_aal: f64,
+    /// Per-ELT leave-one-out marginals, in the layer's coverage order.
+    pub contributions: Vec<EltContribution>,
+}
+
+impl ContributionReport {
+    /// Sum of the marginals (≠ total under non-linear terms).
+    pub fn marginal_sum(&self) -> f64 {
+        self.contributions.iter().map(|c| c.marginal_aal).sum()
+    }
+
+    /// The non-additivity gap `total - Σ marginals`. Shared limits make
+    /// it positive (the limit absorbs each individual removal, so
+    /// marginals under-count), while shared retentions make it negative
+    /// (removing one ELT can drop the rest below the deductible, so
+    /// marginals over-count).
+    pub fn diversification_gap(&self) -> f64 {
+        self.total_aal - self.marginal_sum()
+    }
+
+    /// The covered ELT with the largest marginal.
+    pub fn top_contributor(&self) -> Option<EltContribution> {
+        self.contributions.iter().copied().max_by(|a, b| {
+            a.marginal_aal
+                .partial_cmp(&b.marginal_aal)
+                .expect("finite AALs")
+        })
+    }
+}
+
+/// Leave-one-out contribution analysis of `layer` (sequential reference
+/// engine; cost is `num_elts + 1` full analyses).
+pub fn elt_contributions(inputs: &Inputs, layer: &Layer) -> Result<ContributionReport, AraError> {
+    let full = PreparedLayer::<f64>::prepare(inputs, layer)?;
+    let total_aal = analyse_layer(&full, &inputs.yet).mean();
+    let mut contributions = Vec::with_capacity(layer.num_elts());
+    for (k, &elt_index) in layer.elt_indices.iter().enumerate() {
+        let mut reduced = layer.clone();
+        reduced.elt_indices.remove(k);
+        let aal_without = if reduced.elt_indices.is_empty() {
+            0.0
+        } else {
+            let prepared = PreparedLayer::<f64>::prepare(inputs, &reduced)?;
+            analyse_layer(&prepared, &inputs.yet).mean()
+        };
+        contributions.push(EltContribution {
+            elt_index,
+            marginal_aal: total_aal - aal_without,
+        });
+    }
+    Ok(ContributionReport {
+        total_aal,
+        contributions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ara_core::{
+        EventId, EventLoss, EventLossTable, EventOccurrence, FinancialTerms, LayerTerms,
+        YearEventTableBuilder,
+    };
+
+    fn one_elt(event: u32, loss: f64) -> EventLossTable {
+        EventLossTable::new(
+            vec![EventLoss {
+                event: EventId(event),
+                loss,
+            }],
+            FinancialTerms::identity(),
+        )
+        .unwrap()
+    }
+
+    fn fixture(terms: LayerTerms) -> (Inputs, Layer) {
+        let mut b = YearEventTableBuilder::new(10);
+        b.push_trial(&[EventOccurrence::new(1, 0.2), EventOccurrence::new(2, 0.6)])
+            .unwrap();
+        b.push_trial(&[EventOccurrence::new(1, 0.4)]).unwrap();
+        let elts = vec![one_elt(1, 100.0), one_elt(2, 50.0), one_elt(9, 1000.0)];
+        let layer = Layer::new(0, vec![0, 1, 2], terms);
+        (
+            Inputs {
+                yet: b.build(),
+                elts,
+                layers: vec![layer.clone()],
+            },
+            layer,
+        )
+    }
+
+    #[test]
+    fn linear_terms_make_marginals_additive() {
+        let (inputs, layer) = fixture(LayerTerms::unlimited());
+        let r = elt_contributions(&inputs, &layer).unwrap();
+        // Trial losses: 150 and 100 → AAL 125. ELT0 contributes 100,
+        // ELT1 25, ELT2 (event 9 never occurs) 0.
+        assert_eq!(r.total_aal, 125.0);
+        assert_eq!(r.contributions[0].marginal_aal, 100.0);
+        assert_eq!(r.contributions[1].marginal_aal, 25.0);
+        assert_eq!(r.contributions[2].marginal_aal, 0.0);
+        assert!(r.diversification_gap().abs() < 1e-12);
+        assert_eq!(r.top_contributor().unwrap().elt_index, 0);
+    }
+
+    #[test]
+    fn binding_limits_shrink_marginals() {
+        // Occurrence limit 80: event 1's 100 pays 80 with or without
+        // ELT1's event-2 coverage; removing ELT1 removes only its own
+        // clamped payout.
+        let terms = LayerTerms {
+            occ_retention: 0.0,
+            occ_limit: 80.0,
+            agg_retention: 0.0,
+            agg_limit: 100.0,
+        };
+        let (inputs, layer) = fixture(terms);
+        let r = elt_contributions(&inputs, &layer).unwrap();
+        // Full: trial 1 = min(80+50, 100) = 100; trial 2 = 80 → AAL 90.
+        assert_eq!(r.total_aal, 90.0);
+        // Without ELT1: trial 1 = 80, trial 2 = 80 → 80; marginal 10
+        // (not its ground-up 25): the aggregate limit absorbs the rest.
+        assert_eq!(r.contributions[1].marginal_aal, 10.0);
+        // Shared limits under-count every marginal, so the gap is
+        // positive: 90 − (65 + 10 + 0) = 15.
+        assert!(
+            (r.diversification_gap() - 15.0).abs() < 1e-12,
+            "gap {}",
+            r.diversification_gap()
+        );
+    }
+
+    #[test]
+    fn shared_retention_makes_the_gap_negative() {
+        // Aggregate retention 60: jointly the ELTs clear it, alone they
+        // barely do — each marginal over-counts.
+        let terms = LayerTerms {
+            occ_retention: 0.0,
+            occ_limit: f64::INFINITY,
+            agg_retention: 60.0,
+            agg_limit: f64::INFINITY,
+        };
+        let (inputs, layer) = fixture(terms);
+        let r = elt_contributions(&inputs, &layer).unwrap();
+        // Full: trial1 = 150-60 = 90, trial2 = 100-60 = 40 → AAL 65.
+        // w/o ELT0: trial1 = 0 (50 < 60), trial2 = 0 → marginal 65.
+        // w/o ELT1: trial1 = 40, trial2 = 40 → marginal 25.
+        assert_eq!(r.total_aal, 65.0);
+        assert_eq!(r.contributions[0].marginal_aal, 65.0);
+        assert_eq!(r.contributions[1].marginal_aal, 25.0);
+        assert!(
+            r.diversification_gap() < 0.0,
+            "gap {}",
+            r.diversification_gap()
+        );
+    }
+
+    #[test]
+    fn generated_book_contributions_are_sane() {
+        let inputs = ara_workload::Scenario::new(ara_workload::ScenarioShape::smoke(), 4)
+            .build()
+            .unwrap();
+        let layer = inputs.layers[0].clone();
+        let r = elt_contributions(&inputs, &layer).unwrap();
+        assert_eq!(r.contributions.len(), layer.num_elts());
+        for c in &r.contributions {
+            // Adding coverage can only add expected loss.
+            assert!(
+                c.marginal_aal >= -1e-9,
+                "ELT {} marginal {}",
+                c.elt_index,
+                c.marginal_aal
+            );
+            assert!(c.marginal_aal <= r.total_aal + 1e-9);
+        }
+    }
+}

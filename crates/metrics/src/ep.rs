@@ -1,0 +1,262 @@
+//! Exceedance-probability (EP) curves and return periods.
+//!
+//! An EP curve maps a loss threshold to the annual probability of
+//! exceeding it. Two flavours are standard:
+//!
+//! * **AEP** (aggregate): built from the YLT's per-trial *year losses* —
+//!   probability that the annual aggregate exceeds the threshold.
+//! * **OEP** (occurrence): built from the per-trial *maximum occurrence
+//!   losses* — probability that any single occurrence exceeds it.
+//!
+//! The return period of a loss is `1 / exceedance probability`.
+
+use ara_core::YearLossTable;
+
+/// Which loss column an EP curve was built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpKind {
+    /// Aggregate (annual) exceedance probability.
+    Aep,
+    /// Occurrence exceedance probability.
+    Oep,
+}
+
+/// One point of an EP curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpPoint {
+    /// Loss threshold.
+    pub loss: f64,
+    /// Probability that a year's loss reaches or exceeds `loss`.
+    pub probability: f64,
+}
+
+impl EpPoint {
+    /// The return period `1 / probability` (`inf` at probability 0).
+    pub fn return_period(&self) -> f64 {
+        if self.probability <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / self.probability
+        }
+    }
+}
+
+/// An empirical exceedance-probability curve.
+///
+/// Stored as losses sorted descending with their empirical exceedance
+/// probabilities `rank / n` (Weibull plotting position `i / n` for the
+/// i-th largest loss).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpCurve {
+    kind: EpKind,
+    /// Losses sorted descending.
+    sorted_desc: Vec<f64>,
+}
+
+impl EpCurve {
+    /// Build the AEP curve from a YLT's year losses.
+    ///
+    /// Returns `None` for an empty YLT.
+    pub fn aep(ylt: &YearLossTable) -> Option<Self> {
+        Self::from_losses(ylt.year_losses(), EpKind::Aep)
+    }
+
+    /// Build the OEP curve from a YLT's maximum occurrence losses.
+    ///
+    /// Returns `None` if the YLT does not carry the occurrence column or
+    /// is empty.
+    pub fn oep(ylt: &YearLossTable) -> Option<Self> {
+        Self::from_losses(ylt.max_occurrence_losses()?, EpKind::Oep)
+    }
+
+    /// Build from raw per-year losses.
+    pub fn from_losses(losses: &[f64], kind: EpKind) -> Option<Self> {
+        if losses.is_empty() {
+            return None;
+        }
+        let mut sorted = losses.to_vec();
+        sorted.sort_unstable_by(|a, b| b.partial_cmp(a).expect("NaN in losses"));
+        Some(EpCurve {
+            kind,
+            sorted_desc: sorted,
+        })
+    }
+
+    /// The curve's kind.
+    pub fn kind(&self) -> EpKind {
+        self.kind
+    }
+
+    /// Number of underlying trials.
+    pub fn num_trials(&self) -> usize {
+        self.sorted_desc.len()
+    }
+
+    /// Empirical probability that the annual loss is `>= loss`.
+    pub fn exceedance_probability(&self, loss: f64) -> f64 {
+        // sorted_desc: count entries >= loss via partition point.
+        let count = self.sorted_desc.partition_point(|&x| x >= loss);
+        count as f64 / self.sorted_desc.len() as f64
+    }
+
+    /// The loss at a given return period (in years), interpolating
+    /// between order statistics. Clamped to the observed range; returns
+    /// the maximum observed loss for return periods beyond `n` years.
+    ///
+    /// # Panics
+    /// Panics if `return_period < 1`.
+    pub fn loss_at_return_period(&self, return_period: f64) -> f64 {
+        assert!(return_period >= 1.0, "return period below one year");
+        let n = self.sorted_desc.len() as f64;
+        // Exceedance probability p = 1/T; the i-th largest loss (1-based)
+        // has plotting position p_i = i / n, so i = n / T.
+        let i = n / return_period;
+        if i <= 1.0 {
+            return self.sorted_desc[0];
+        }
+        let lo = (i.floor() as usize - 1).min(self.sorted_desc.len() - 1);
+        let hi = (lo + 1).min(self.sorted_desc.len() - 1);
+        let frac = i - i.floor();
+        self.sorted_desc[lo] + (self.sorted_desc[hi] - self.sorted_desc[lo]) * frac
+    }
+
+    /// Sample the curve at each of `return_periods` (years).
+    pub fn points_at(&self, return_periods: &[f64]) -> Vec<EpPoint> {
+        return_periods
+            .iter()
+            .map(|&t| {
+                let loss = self.loss_at_return_period(t);
+                EpPoint {
+                    loss,
+                    probability: 1.0 / t,
+                }
+            })
+            .collect()
+    }
+
+    /// The full empirical curve, one point per distinct order statistic,
+    /// losses descending.
+    pub fn points(&self) -> Vec<EpPoint> {
+        let n = self.sorted_desc.len() as f64;
+        self.sorted_desc
+            .iter()
+            .enumerate()
+            .map(|(i, &loss)| EpPoint {
+                loss,
+                probability: (i + 1) as f64 / n,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ylt() -> YearLossTable {
+        // 100 trials with losses 1..=100.
+        YearLossTable::new((1..=100).map(|i| i as f64).collect())
+    }
+
+    #[test]
+    fn aep_exceedance_probabilities() {
+        let c = EpCurve::aep(&ylt()).unwrap();
+        assert_eq!(c.kind(), EpKind::Aep);
+        assert_eq!(c.num_trials(), 100);
+        assert_eq!(c.exceedance_probability(1.0), 1.0);
+        assert_eq!(c.exceedance_probability(51.0), 0.5);
+        assert_eq!(c.exceedance_probability(100.0), 0.01);
+        assert_eq!(c.exceedance_probability(101.0), 0.0);
+    }
+
+    #[test]
+    fn return_period_inverts_probability() {
+        let c = EpCurve::aep(&ylt()).unwrap();
+        // 100-year loss with 100 trials = the largest loss.
+        assert_eq!(c.loss_at_return_period(100.0), 100.0);
+        // 2-year loss: i = 50 → 51st..50th order statistic boundary.
+        let two_year = c.loss_at_return_period(2.0);
+        assert!(
+            (50.0..=52.0).contains(&two_year),
+            "two-year loss {two_year}"
+        );
+        // Beyond the observed range → max loss.
+        assert_eq!(c.loss_at_return_period(10_000.0), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "return period")]
+    fn sub_annual_return_period_panics() {
+        EpCurve::aep(&ylt()).unwrap().loss_at_return_period(0.5);
+    }
+
+    #[test]
+    fn oep_uses_occurrence_column() {
+        let t = YearLossTable::with_max_occurrence(vec![10.0, 20.0], vec![5.0, 8.0]).unwrap();
+        let oep = EpCurve::oep(&t).unwrap();
+        assert_eq!(oep.kind(), EpKind::Oep);
+        assert_eq!(oep.exceedance_probability(6.0), 0.5);
+        // Without the column, no OEP.
+        assert!(EpCurve::oep(&YearLossTable::new(vec![1.0])).is_none());
+    }
+
+    #[test]
+    fn empty_ylt_yields_no_curve() {
+        assert!(EpCurve::aep(&YearLossTable::new(vec![])).is_none());
+    }
+
+    #[test]
+    fn points_are_monotone() {
+        let c = EpCurve::aep(&ylt()).unwrap();
+        let pts = c.points();
+        assert_eq!(pts.len(), 100);
+        for w in pts.windows(2) {
+            assert!(w[0].loss >= w[1].loss);
+            assert!(w[0].probability <= w[1].probability);
+        }
+        assert_eq!(pts[0].probability, 0.01);
+        assert_eq!(pts[99].probability, 1.0);
+    }
+
+    #[test]
+    fn points_at_standard_periods() {
+        let c = EpCurve::aep(&ylt()).unwrap();
+        let pts = c.points_at(&[10.0, 50.0, 100.0]);
+        assert_eq!(pts.len(), 3);
+        assert!(pts[0].loss < pts[1].loss && pts[1].loss < pts[2].loss);
+        assert_eq!(pts[2].return_period(), 100.0);
+    }
+
+    #[test]
+    fn ep_point_return_period() {
+        assert_eq!(
+            EpPoint {
+                loss: 1.0,
+                probability: 0.02
+            }
+            .return_period(),
+            50.0
+        );
+        assert_eq!(
+            EpPoint {
+                loss: 1.0,
+                probability: 0.0
+            }
+            .return_period(),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn curve_monotonicity_property() {
+        // Exceedance probability must be non-increasing in the threshold.
+        let losses: Vec<f64> = (0..500).map(|i| ((i * 7919) % 1000) as f64).collect();
+        let c = EpCurve::from_losses(&losses, EpKind::Aep).unwrap();
+        let mut prev = 1.0;
+        for t in (0..1000).step_by(25) {
+            let p = c.exceedance_probability(t as f64);
+            assert!(p <= prev + 1e-12);
+            prev = p;
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! # ara-metrics — portfolio risk metrics over Year Loss Tables
+//!
+//! "From a YLT, an insurer or a re-insurer can derive important portfolio
+//! risk metrics, such as the Probable Maximum Loss (PML) and the Tail
+//! Value-at-Risk (TVaR), which are used for internal risk management and
+//! reporting to regulators and rating agencies." (paper, Section I)
+//!
+//! This crate provides those "financial functions or filters … applied on
+//! the aggregate loss values" (Section II):
+//!
+//! * [`stats`] — moments and quantile machinery over a YLT.
+//! * [`ep`] — exceedance-probability curves (AEP from year losses, OEP
+//!   from per-trial maximum occurrence losses) and return periods.
+//! * [`mod@pml`] — Probable Maximum Loss at standard return periods.
+//! * [`mod@tvar`] — Value-at-Risk and Tail Value-at-Risk.
+//! * [`validation`] — structural sanity checks on a YLT against its
+//!   layer's terms.
+//! * [`reinstatement`] — reinstatement-provision premiums (the pricing
+//!   construct the paper's Algorithm 1 keeps per-event marginals for).
+//! * [`bootstrap`] — resampling confidence intervals: the "statistical
+//!   validation" a pre-simulated YET enables (Section I).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bootstrap;
+pub mod contribution;
+pub mod ep;
+pub mod pml;
+pub mod reinstatement;
+pub mod seasonality;
+pub mod stats;
+pub mod tvar;
+pub mod validation;
+
+pub use bootstrap::{aal_ci, bootstrap_ci, pml_ci, ConfidenceInterval};
+pub use contribution::{elt_contributions, ContributionReport, EltContribution};
+pub use ep::{EpCurve, EpKind, EpPoint};
+pub use pml::{pml, pml_table, STANDARD_RETURN_PERIODS};
+pub use reinstatement::{
+    breakeven_upfront_premium, expected_reinstatement_premium, ReinstatementTerms,
+};
+pub use seasonality::{occurrence_profile, seasonal_profile, SeasonalProfile};
+pub use stats::{mean, quantile, stddev, LossStatistics};
+pub use tvar::{tvar, value_at_risk};
+pub use validation::validate_ylt;
+
+use ara_core::YearLossTable;
+
+/// A one-stop summary of the risk metrics the paper motivates, computed
+/// from a single YLT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RiskSummary {
+    /// Average Annual Loss (mean year loss).
+    pub aal: f64,
+    /// Standard deviation of the year loss.
+    pub stddev: f64,
+    /// Probability that the layer attaches (year loss > 0).
+    pub attachment_probability: f64,
+    /// VaR at 99% (the 1-in-100-year loss).
+    pub var_99: f64,
+    /// TVaR at 99%.
+    pub tvar_99: f64,
+    /// PML at the 250-year return period.
+    pub pml_250: f64,
+}
+
+impl RiskSummary {
+    /// Compute the summary from a YLT.
+    ///
+    /// Returns `None` for an empty YLT (no trials → no estimates).
+    pub fn from_ylt(ylt: &YearLossTable) -> Option<Self> {
+        if ylt.is_empty() {
+            return None;
+        }
+        let losses = ylt.year_losses();
+        Some(RiskSummary {
+            aal: stats::mean(losses),
+            stddev: stats::stddev(losses),
+            attachment_probability: ylt.attachment_probability(),
+            var_99: tvar::value_at_risk(losses, 0.99),
+            tvar_99: tvar::tvar(losses, 0.99),
+            pml_250: pml::pml(losses, 250.0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_on_simple_ylt() {
+        let losses: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let ylt = YearLossTable::new(losses);
+        let s = RiskSummary::from_ylt(&ylt).unwrap();
+        assert!((s.aal - 499.5).abs() < 1e-9);
+        assert!(s.var_99 >= 985.0 && s.var_99 <= 995.0);
+        assert!(s.tvar_99 >= s.var_99);
+        assert!(s.pml_250 > s.var_99);
+        assert!((s.attachment_probability - 0.999).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(RiskSummary::from_ylt(&YearLossTable::new(vec![])).is_none());
+    }
+}

@@ -1,0 +1,88 @@
+//! Probable Maximum Loss (PML).
+//!
+//! The PML at return period `T` is the loss exceeded with annual
+//! probability `1/T` — a point read off the EP curve. Regulators and
+//! rating agencies conventionally quote the 100-, 250- and 500-year PMLs.
+
+use crate::ep::{EpCurve, EpKind};
+
+/// Return periods conventionally reported (years).
+pub const STANDARD_RETURN_PERIODS: [f64; 6] = [10.0, 25.0, 50.0, 100.0, 250.0, 500.0];
+
+/// PML of a year-loss sample at one return period (years).
+///
+/// ```
+/// // 1000 simulated years of losses 1..=1000: the 100-year PML is the
+/// // loss exceeded in ~10 of them.
+/// let losses: Vec<f64> = (1..=1000).map(f64::from).collect();
+/// let p100 = ara_metrics::pml(&losses, 100.0);
+/// assert!((990.0..=992.0).contains(&p100));
+/// ```
+///
+/// # Panics
+/// Panics if `losses` is empty or `return_period < 1`.
+pub fn pml(losses: &[f64], return_period: f64) -> f64 {
+    let curve = EpCurve::from_losses(losses, EpKind::Aep).expect("PML of an empty loss sample");
+    curve.loss_at_return_period(return_period)
+}
+
+/// PMLs at each of the [`STANDARD_RETURN_PERIODS`], as
+/// `(return_period, loss)` rows.
+///
+/// # Panics
+/// Panics if `losses` is empty.
+pub fn pml_table(losses: &[f64]) -> Vec<(f64, f64)> {
+    let curve = EpCurve::from_losses(losses, EpKind::Aep).expect("PML of an empty loss sample");
+    STANDARD_RETURN_PERIODS
+        .iter()
+        .map(|&t| (t, curve.loss_at_return_period(t)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn losses() -> Vec<f64> {
+        (1..=1000).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn pml_at_known_periods() {
+        let l = losses();
+        // 1000 trials of 1..=1000: the 100-year loss is ~the 10th largest.
+        let p100 = pml(&l, 100.0);
+        assert!((990.0..=992.0).contains(&p100), "p100 {p100}");
+        let p1000 = pml(&l, 1000.0);
+        assert_eq!(p1000, 1000.0);
+    }
+
+    #[test]
+    fn pml_is_monotone_in_return_period() {
+        let l = losses();
+        let mut prev = 0.0;
+        for t in [2.0, 5.0, 10.0, 50.0, 100.0, 250.0, 500.0] {
+            let p = pml(&l, t);
+            assert!(p >= prev, "PML must grow with return period");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn pml_table_rows() {
+        let rows = pml_table(&losses());
+        assert_eq!(rows.len(), STANDARD_RETURN_PERIODS.len());
+        for (row, &t) in rows.iter().zip(&STANDARD_RETURN_PERIODS) {
+            assert_eq!(row.0, t);
+        }
+        for w in rows.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn pml_empty_panics() {
+        pml(&[], 100.0);
+    }
+}

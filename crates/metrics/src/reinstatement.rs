@@ -1,0 +1,178 @@
+//! Reinstatement provisions for eXcess-of-Loss layers.
+//!
+//! The paper's algorithm cites catastrophe XL pricing *with reinstatement
+//! provisions* (its reference: Anderson & Dong) — the reason Algorithm 1
+//! keeps the elaborate per-event prefix-sum/clamp/difference form of the
+//! aggregate terms rather than a single clamp of the total: the
+//! *marginal* payout per occurrence determines how much limit is consumed
+//! and therefore the reinstatement premium owed.
+//!
+//! A layer with occurrence limit `L` and `k` paid reinstatements carries
+//! total annual capacity `(k + 1) × L`. Each time part of the limit is
+//! consumed, the cedant pays a pro-rata reinstatement premium:
+//! `rate × (consumed / L) × upfront_premium`, with only the first
+//! `k × L` of consumption reinstateable.
+
+use ara_core::YearLossTable;
+
+/// Terms of a reinstatement provision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReinstatementTerms {
+    /// Number of paid reinstatements (`k`).
+    pub count: u32,
+    /// Premium rate per full reinstatement, as a fraction of the upfront
+    /// premium (e.g. 1.0 = "one at 100%").
+    pub rate: f64,
+}
+
+impl ReinstatementTerms {
+    /// The aggregate limit implied by an occurrence limit under these
+    /// terms: `(count + 1) × occ_limit`.
+    pub fn implied_aggregate_limit(&self, occ_limit: f64) -> f64 {
+        (self.count as f64 + 1.0) * occ_limit
+    }
+
+    /// Reinstatement premium for one trial year, given the year's
+    /// aggregate paid loss, the occurrence limit, and the upfront
+    /// premium: pro-rata on the reinstateable consumption
+    /// `min(year_loss, count × occ_limit)`.
+    ///
+    /// # Panics
+    /// Panics if `occ_limit <= 0`.
+    pub fn premium_for_year(&self, year_loss: f64, occ_limit: f64, upfront: f64) -> f64 {
+        assert!(occ_limit > 0.0, "occurrence limit must be positive");
+        let reinstateable = year_loss.min(self.count as f64 * occ_limit).max(0.0);
+        self.rate * (reinstateable / occ_limit) * upfront
+    }
+}
+
+/// Expected annual reinstatement premium over a YLT.
+pub fn expected_reinstatement_premium(
+    ylt: &YearLossTable,
+    terms: &ReinstatementTerms,
+    occ_limit: f64,
+    upfront: f64,
+) -> f64 {
+    if ylt.is_empty() {
+        return 0.0;
+    }
+    ylt.year_losses()
+        .iter()
+        .map(|&l| terms.premium_for_year(l, occ_limit, upfront))
+        .sum::<f64>()
+        / ylt.num_trials() as f64
+}
+
+/// Solve for the upfront premium `P` such that total expected premium
+/// income (upfront + expected reinstatement premiums, which scale with
+/// `P`) equals the expected loss plus a loading:
+///
+/// `P + E[reinstatement premium | P] = (1 + loading) × AAL`
+///
+/// Since the reinstatement premium is linear in `P`, the solution is
+/// closed-form: `P = (1 + loading) × AAL / (1 + rate × E[consumed]/L)`.
+///
+/// Returns `None` for an empty YLT.
+pub fn breakeven_upfront_premium(
+    ylt: &YearLossTable,
+    terms: &ReinstatementTerms,
+    occ_limit: f64,
+    loading: f64,
+) -> Option<f64> {
+    if ylt.is_empty() {
+        return None;
+    }
+    let aal = ylt.mean();
+    // Expected reinstatement factor per unit of upfront premium.
+    let factor = expected_reinstatement_premium(ylt, terms, occ_limit, 1.0);
+    Some((1.0 + loading) * aal / (1.0 + factor))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn terms() -> ReinstatementTerms {
+        ReinstatementTerms {
+            count: 2,
+            rate: 1.0,
+        }
+    }
+
+    #[test]
+    fn implied_aggregate_limit() {
+        assert_eq!(terms().implied_aggregate_limit(10.0e6), 30.0e6);
+        assert_eq!(
+            ReinstatementTerms {
+                count: 0,
+                rate: 0.0
+            }
+            .implied_aggregate_limit(5.0),
+            5.0
+        );
+    }
+
+    #[test]
+    fn premium_is_pro_rata() {
+        // Half the limit consumed → half a reinstatement premium.
+        let p = terms().premium_for_year(5.0e6, 10.0e6, 1.0e6);
+        assert!((p - 0.5e6).abs() < 1e-6);
+        // Zero loss → zero premium.
+        assert_eq!(terms().premium_for_year(0.0, 10.0e6, 1.0e6), 0.0);
+    }
+
+    #[test]
+    fn premium_caps_at_count_reinstatements() {
+        // Consumption beyond count × L is not reinstateable: a 50M year
+        // against 10M limit and 2 reinstatements pays exactly 2 full
+        // reinstatement premiums.
+        let p = terms().premium_for_year(50.0e6, 10.0e6, 1.0e6);
+        assert!((p - 2.0e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn half_rate_reinstatements() {
+        let half = ReinstatementTerms {
+            count: 1,
+            rate: 0.5,
+        };
+        let p = half.premium_for_year(10.0e6, 10.0e6, 2.0e6);
+        // One full reinstatement at 50% of a 2M upfront = 1M.
+        assert!((p - 1.0e6).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_limit_panics() {
+        terms().premium_for_year(1.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn expected_premium_averages_over_trials() {
+        let ylt = YearLossTable::new(vec![0.0, 5.0e6, 10.0e6, 50.0e6]);
+        let e = expected_reinstatement_premium(&ylt, &terms(), 10.0e6, 1.0e6);
+        // Per-trial: 0, 0.5M, 1M, 2M → mean 0.875M.
+        assert!((e - 0.875e6).abs() < 1e-3);
+        assert_eq!(
+            expected_reinstatement_premium(&YearLossTable::new(vec![]), &terms(), 1.0, 1.0),
+            0.0
+        );
+    }
+
+    #[test]
+    fn breakeven_premium_balances_income_and_loss() {
+        let ylt = YearLossTable::new(vec![0.0, 5.0e6, 10.0e6, 50.0e6]);
+        let occ_limit = 10.0e6;
+        let loading = 0.2;
+        let p = breakeven_upfront_premium(&ylt, &terms(), occ_limit, loading).unwrap();
+        // Check the fixed point: income(P) = (1 + loading) × AAL.
+        let income = p + expected_reinstatement_premium(&ylt, &terms(), occ_limit, p);
+        let target = 1.2 * ylt.mean();
+        assert!((income - target).abs() / target < 1e-12);
+        // Reinstatement income lets the upfront sit below the loaded AAL.
+        assert!(p < target);
+        assert!(
+            breakeven_upfront_premium(&YearLossTable::new(vec![]), &terms(), 1.0, 0.0).is_none()
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! Seasonal attribution of occurrences and losses.
+//!
+//! The paper's pre-simulated YET carries a timestamp per occurrence so
+//! the view of a year can be "tuned for seasonality and cluster effects"
+//! (Section I). This module closes the loop on the analysis side: it
+//! bins occurrences — and, via the per-occurrence marginal payouts of
+//! Algorithm 1's aggregate-terms stage, *paid losses* — by their position
+//! in the contractual year. An underwriter reads this as "which months
+//! actually consume my limit", the quantity renewal-date and
+//! reinstatement decisions hinge on.
+
+use ara_core::analysis::analyse_trial_attributed;
+use ara_core::{LossLookup, PreparedLayer, Real, TrialWorkspace, YearEventTable};
+
+/// Occurrence counts and paid losses per year-fraction bin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeasonalProfile {
+    /// Occurrences whose timestamp fell in each bin.
+    pub occurrences: Vec<u64>,
+    /// Marginal paid loss attributed to each bin (summed over trials).
+    pub paid_loss: Vec<f64>,
+}
+
+impl SeasonalProfile {
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.occurrences.len()
+    }
+
+    /// Fraction of total paid loss in each bin (uniform zeros if no
+    /// loss was paid).
+    pub fn loss_shares(&self) -> Vec<f64> {
+        let total: f64 = self.paid_loss.iter().sum();
+        if total <= 0.0 {
+            return vec![0.0; self.paid_loss.len()];
+        }
+        self.paid_loss.iter().map(|&l| l / total).collect()
+    }
+
+    /// The bin with the largest paid loss (ties resolve to the first).
+    pub fn peak_bin(&self) -> usize {
+        self.paid_loss
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite losses"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// Count occurrences per year-fraction bin, across all trials of the
+/// YET (no loss model involved).
+///
+/// # Panics
+/// Panics if `bins == 0`.
+pub fn occurrence_profile(yet: &YearEventTable, bins: usize) -> Vec<u64> {
+    assert!(bins > 0, "need at least one bin");
+    let mut counts = vec![0u64; bins];
+    for trial in yet.trials() {
+        for &t in trial.times {
+            let b = ((t.0 as f64 * bins as f64) as usize).min(bins - 1);
+            counts[b] += 1;
+        }
+    }
+    counts
+}
+
+/// Full seasonal profile of one layer: occurrences and attributed paid
+/// losses per bin, from a sequential attributed analysis.
+///
+/// # Panics
+/// Panics if `bins == 0`.
+pub fn seasonal_profile<R: Real, L: LossLookup<R>>(
+    yet: &YearEventTable,
+    prepared: &PreparedLayer<R, L>,
+    bins: usize,
+) -> SeasonalProfile {
+    assert!(bins > 0, "need at least one bin");
+    let mut occurrences = vec![0u64; bins];
+    let mut paid_loss = vec![0.0f64; bins];
+    let mut ws = TrialWorkspace::with_capacity(yet.max_events_per_trial());
+    let mut attribution = Vec::new();
+    for trial in yet.trials() {
+        attribution.clear();
+        analyse_trial_attributed(prepared, trial, &mut ws, &mut attribution);
+        for &(time, paid) in &attribution {
+            let b = ((time.0 as f64 * bins as f64) as usize).min(bins - 1);
+            occurrences[b] += 1;
+            paid_loss[b] += paid.to_f64();
+        }
+    }
+    SeasonalProfile {
+        occurrences,
+        paid_loss,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ara_core::{
+        EventId, EventLoss, EventLossTable, EventOccurrence, FinancialTerms, Inputs, Layer,
+        LayerTerms, YearEventTableBuilder,
+    };
+
+    fn fixture(times: &[f32]) -> (Inputs, Layer) {
+        let mut b = YearEventTableBuilder::new(10);
+        let occs: Vec<_> = times.iter().map(|&t| EventOccurrence::new(1, t)).collect();
+        b.push_trial(&occs).unwrap();
+        let elt = EventLossTable::new(
+            vec![EventLoss {
+                event: EventId(1),
+                loss: 100.0,
+            }],
+            FinancialTerms::identity(),
+        )
+        .unwrap();
+        let layer = Layer::new(0, vec![0], LayerTerms::unlimited());
+        (
+            Inputs {
+                yet: b.build(),
+                elts: vec![elt],
+                layers: vec![layer.clone()],
+            },
+            layer,
+        )
+    }
+
+    #[test]
+    fn occurrence_profile_bins_by_timestamp() {
+        let (inputs, _) = fixture(&[0.1, 0.1, 0.6, 0.9]);
+        let counts = occurrence_profile(&inputs.yet, 4);
+        assert_eq!(counts, vec![2, 0, 1, 1]);
+    }
+
+    #[test]
+    fn top_bin_is_inclusive_of_late_timestamps() {
+        let (inputs, _) = fixture(&[0.999]);
+        let counts = occurrence_profile(&inputs.yet, 4);
+        assert_eq!(counts, vec![0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn unlimited_layer_attributes_full_loss_per_bin() {
+        let (inputs, layer) = fixture(&[0.1, 0.6]);
+        let prepared = PreparedLayer::<f64>::prepare(&inputs, &layer).unwrap();
+        let p = seasonal_profile(&inputs.yet, &prepared, 4);
+        assert_eq!(p.occurrences, vec![1, 0, 1, 0]);
+        assert_eq!(p.paid_loss, vec![100.0, 0.0, 100.0, 0.0]);
+        assert_eq!(p.loss_shares(), vec![0.5, 0.0, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn aggregate_limit_pays_early_occurrences_first() {
+        // Aggregate limit 150: the 0.1 event pays 100, the 0.6 event the
+        // remaining 50 — seasonal attribution shows limit exhaustion.
+        let (mut inputs, mut layer) = fixture(&[0.1, 0.6, 0.9]);
+        layer.terms = LayerTerms {
+            occ_retention: 0.0,
+            occ_limit: f64::INFINITY,
+            agg_retention: 0.0,
+            agg_limit: 150.0,
+        };
+        inputs.layers[0] = layer.clone();
+        let prepared = PreparedLayer::<f64>::prepare(&inputs, &layer).unwrap();
+        let p = seasonal_profile(&inputs.yet, &prepared, 4);
+        assert_eq!(p.paid_loss, vec![100.0, 0.0, 50.0, 0.0]);
+        assert_eq!(p.peak_bin(), 0);
+        // Attribution sums to the year loss.
+        let total: f64 = p.paid_loss.iter().sum();
+        assert_eq!(total, 150.0);
+    }
+
+    #[test]
+    fn attribution_matches_plain_analysis_totals() {
+        let (inputs, layer) = fixture(&[0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95]);
+        let prepared = PreparedLayer::<f64>::prepare(&inputs, &layer).unwrap();
+        let ylt = ara_core::analyse_layer(&prepared, &inputs.yet);
+        let p = seasonal_profile(&inputs.yet, &prepared, 12);
+        let total: f64 = p.paid_loss.iter().sum();
+        let expected: f64 = ylt.year_losses().iter().sum();
+        assert!((total - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_profile_shares_are_zero() {
+        let (inputs, layer) = fixture(&[]);
+        let prepared = PreparedLayer::<f64>::prepare(&inputs, &layer).unwrap();
+        let p = seasonal_profile(&inputs.yet, &prepared, 4);
+        assert_eq!(p.loss_shares(), vec![0.0; 4]);
+        assert_eq!(p.num_bins(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let (inputs, _) = fixture(&[0.5]);
+        occurrence_profile(&inputs.yet, 0);
+    }
+}

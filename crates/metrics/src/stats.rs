@@ -1,0 +1,190 @@
+//! Moments and quantile machinery over loss samples.
+
+/// Arithmetic mean (0.0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation with Bessel's correction (0.0 for fewer than
+/// two samples).
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    (ss / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Empirical quantile at probability `p` in `[0, 1]` using linear
+/// interpolation between order statistics (type-7 / the default of R and
+/// NumPy). `O(n log n)` via a sorted copy.
+///
+/// # Panics
+/// Panics if `xs` is empty or `p` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut sorted = xs.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in losses"));
+    quantile_sorted(&sorted, p)
+}
+
+/// [`quantile`] over an already ascending-sorted sample (no copy).
+///
+/// # Panics
+/// Panics if `xs` is empty or `p` is outside `[0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = p * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    let frac = h - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Several quantiles in one sort.
+///
+/// # Panics
+/// Panics if `xs` is empty or any probability is outside `[0, 1]`.
+pub fn quantiles(xs: &[f64], ps: &[f64]) -> Vec<f64> {
+    assert!(!xs.is_empty(), "quantile of empty sample");
+    let mut sorted = xs.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in losses"));
+    ps.iter().map(|&p| quantile_sorted(&sorted, p)).collect()
+}
+
+/// Summary statistics of a loss sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossStatistics {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl LossStatistics {
+    /// Compute from a sample; `None` if empty.
+    pub fn from_sample(xs: &[f64]) -> Option<Self> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in losses"));
+        Some(LossStatistics {
+            count: xs.len(),
+            mean: mean(xs),
+            stddev: stddev(xs),
+            min: sorted[0],
+            median: quantile_sorted(&sorted, 0.5),
+            max: sorted[sorted.len() - 1],
+        })
+    }
+
+    /// Coefficient of variation (stddev / mean); 0.0 when the mean is 0.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.stddev / self.mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        // Sample stddev of this classic set is sqrt(32/7).
+        assert!((stddev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_moments() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(stddev(&[]), 0.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        assert_eq!(mean(&[3.0]), 3.0);
+    }
+
+    #[test]
+    fn quantile_endpoints_and_median() {
+        let xs = [3.0, 1.0, 2.0, 5.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+        assert_eq!(quantile(&xs, 0.5), 3.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert_eq!(quantile(&xs, 0.25), 2.5);
+        assert_eq!(quantile(&xs, 0.75), 7.5);
+    }
+
+    #[test]
+    fn quantile_single_sample() {
+        assert_eq!(quantile(&[7.0], 0.3), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_empty_panics() {
+        quantile(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn quantile_bad_probability_panics() {
+        quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn quantiles_batch_matches_single() {
+        let xs: Vec<f64> = (0..100).map(|i| (i * 37 % 100) as f64).collect();
+        let ps = [0.1, 0.5, 0.9, 0.99];
+        let batch = quantiles(&xs, &ps);
+        for (q, &p) in batch.iter().zip(&ps) {
+            assert_eq!(*q, quantile(&xs, p));
+        }
+    }
+
+    #[test]
+    fn loss_statistics() {
+        let s = LossStatistics::from_sample(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.median, 2.5);
+        assert!(s.cv() > 0.0);
+        assert!(LossStatistics::from_sample(&[]).is_none());
+    }
+
+    #[test]
+    fn cv_zero_mean() {
+        let s = LossStatistics::from_sample(&[0.0, 0.0]).unwrap();
+        assert_eq!(s.cv(), 0.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Value-at-Risk and Tail Value-at-Risk.
+//!
+//! VaR at level `q` is the `q`-quantile of the year-loss distribution;
+//! TVaR at level `q` is the conditional mean of losses at or beyond that
+//! quantile — the coherent tail measure the paper cites (Gaivoronski &
+//! Pflug; Glasserman et al.).
+
+use crate::stats::quantile_sorted;
+
+/// Value-at-Risk: the `q`-quantile of the loss sample (`q` in `[0, 1)`).
+///
+/// # Panics
+/// Panics if `losses` is empty or `q` is outside `[0, 1)`.
+pub fn value_at_risk(losses: &[f64], q: f64) -> f64 {
+    assert!(!losses.is_empty(), "VaR of an empty loss sample");
+    assert!((0.0..1.0).contains(&q), "VaR level must be in [0, 1)");
+    let mut sorted = losses.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in losses"));
+    quantile_sorted(&sorted, q)
+}
+
+/// Tail Value-at-Risk: mean of the losses `>= VaR_q`, i.e. the expected
+/// loss in the worst `(1 - q)` fraction of years.
+///
+/// ```
+/// let losses: Vec<f64> = (1..=100).map(f64::from).collect();
+/// // Worst 10% of years: 91..=100, mean 95.5.
+/// assert_eq!(ara_metrics::tvar(&losses, 0.9), 95.5);
+/// ```
+///
+/// # Panics
+/// Panics if `losses` is empty or `q` is outside `[0, 1)`.
+pub fn tvar(losses: &[f64], q: f64) -> f64 {
+    assert!(!losses.is_empty(), "TVaR of an empty loss sample");
+    assert!((0.0..1.0).contains(&q), "TVaR level must be in [0, 1)");
+    let mut sorted = losses.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in losses"));
+    // Tail = the ceil((1-q) * n) largest losses (at least one). The small
+    // epsilon keeps binary rounding of (1-q) from inflating the ceil
+    // (e.g. (1-0.99)*100 = 1.0000000000000009).
+    let n = sorted.len();
+    let k = ((((1.0 - q) * n as f64) - 1e-9).ceil() as usize).clamp(1, n);
+    let tail = &sorted[n - k..];
+    tail.iter().sum::<f64>() / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn losses() -> Vec<f64> {
+        (1..=100).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn var_is_the_quantile() {
+        let l = losses();
+        let v = value_at_risk(&l, 0.99);
+        assert!((v - 99.01).abs() < 0.02, "VaR99 {v}");
+        assert_eq!(value_at_risk(&l, 0.0), 1.0);
+    }
+
+    #[test]
+    fn tvar_is_the_tail_mean() {
+        let l = losses();
+        // Worst 10%: 91..=100, mean 95.5.
+        assert!((tvar(&l, 0.9) - 95.5).abs() < 1e-9);
+        // Worst 1%: the single largest loss.
+        assert_eq!(tvar(&l, 0.99), 100.0);
+    }
+
+    #[test]
+    fn tvar_dominates_var() {
+        let l = losses();
+        for q in [0.5, 0.9, 0.95, 0.99] {
+            assert!(tvar(&l, q) >= value_at_risk(&l, q), "TVaR >= VaR at q={q}");
+        }
+    }
+
+    #[test]
+    fn tvar_at_zero_is_the_mean() {
+        let l = losses();
+        assert!((tvar(&l, 0.0) - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_sample() {
+        let l = vec![5.0; 10];
+        assert_eq!(value_at_risk(&l, 0.9), 5.0);
+        assert_eq!(tvar(&l, 0.9), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn var_empty_panics() {
+        value_at_risk(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "level")]
+    fn tvar_bad_level_panics() {
+        tvar(&[1.0], 1.0);
+    }
+}

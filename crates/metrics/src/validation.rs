@@ -1,0 +1,207 @@
+//! Structural validation of a YLT against its layer's terms.
+//!
+//! Used by the engines' test suites: whatever platform produced the YLT,
+//! the losses must be non-negative, finite, and bounded by the layer's
+//! aggregate limit (and occurrence losses by the occurrence limit).
+
+use ara_core::{LayerTerms, YearLossTable};
+use std::fmt;
+
+/// A violated invariant found by [`validate_ylt`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum YltViolation {
+    /// A year loss is negative or non-finite.
+    InvalidYearLoss {
+        /// Trial index.
+        trial: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A year loss exceeds the aggregate limit.
+    YearLossAboveLimit {
+        /// Trial index.
+        trial: usize,
+        /// The offending value.
+        value: f64,
+        /// The aggregate limit it exceeds.
+        limit: f64,
+    },
+    /// A maximum occurrence loss is negative, non-finite or exceeds the
+    /// occurrence limit.
+    InvalidOccurrenceLoss {
+        /// Trial index.
+        trial: usize,
+        /// The offending value.
+        value: f64,
+        /// The occurrence limit in force.
+        limit: f64,
+    },
+    /// The year loss is smaller than expected given a recorded occurrence
+    /// loss that alone clears the aggregate retention... cannot occur with
+    /// only one column, so this variant checks year loss < max occurrence
+    /// net of aggregate retention.
+    YearLossBelowOccurrenceFloor {
+        /// Trial index.
+        trial: usize,
+        /// The year loss.
+        year_loss: f64,
+        /// The implied floor from the occurrence column.
+        floor: f64,
+    },
+}
+
+impl fmt::Display for YltViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            YltViolation::InvalidYearLoss { trial, value } => {
+                write!(f, "trial {trial}: invalid year loss {value}")
+            }
+            YltViolation::YearLossAboveLimit {
+                trial,
+                value,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "trial {trial}: year loss {value} exceeds aggregate limit {limit}"
+                )
+            }
+            YltViolation::InvalidOccurrenceLoss {
+                trial,
+                value,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "trial {trial}: occurrence loss {value} invalid for occurrence limit {limit}"
+                )
+            }
+            YltViolation::YearLossBelowOccurrenceFloor {
+                trial,
+                year_loss,
+                floor,
+            } => {
+                write!(
+                    f,
+                    "trial {trial}: year loss {year_loss} below occurrence-implied floor {floor}"
+                )
+            }
+        }
+    }
+}
+
+/// Check every invariant a YLT must satisfy under `terms`, within a
+/// floating-point tolerance `tol` (absolute). Returns all violations.
+pub fn validate_ylt(ylt: &YearLossTable, terms: &LayerTerms, tol: f64) -> Vec<YltViolation> {
+    let mut out = Vec::new();
+    for (trial, &l) in ylt.year_losses().iter().enumerate() {
+        if !l.is_finite() || l < -tol {
+            out.push(YltViolation::InvalidYearLoss { trial, value: l });
+        } else if l > terms.agg_limit + tol {
+            out.push(YltViolation::YearLossAboveLimit {
+                trial,
+                value: l,
+                limit: terms.agg_limit,
+            });
+        }
+    }
+    if let Some(occ) = ylt.max_occurrence_losses() {
+        for (trial, (&m, &l)) in occ.iter().zip(ylt.year_losses()).enumerate() {
+            if !m.is_finite() || m < -tol || m > terms.occ_limit + tol {
+                out.push(YltViolation::InvalidOccurrenceLoss {
+                    trial,
+                    value: m,
+                    limit: terms.occ_limit,
+                });
+                continue;
+            }
+            // The worst single occurrence alone guarantees at least
+            // clamp(m - AggR, 0, AggL) of year loss.
+            let floor = (m - terms.agg_retention).max(0.0).min(terms.agg_limit);
+            if l < floor - tol.max(1e-9 * floor.abs()) {
+                out.push(YltViolation::YearLossBelowOccurrenceFloor {
+                    trial,
+                    year_loss: l,
+                    floor,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn terms() -> LayerTerms {
+        LayerTerms {
+            occ_retention: 0.0,
+            occ_limit: 100.0,
+            agg_retention: 10.0,
+            agg_limit: 200.0,
+        }
+    }
+
+    #[test]
+    fn valid_ylt_passes() {
+        let ylt =
+            YearLossTable::with_max_occurrence(vec![0.0, 90.0, 200.0], vec![0.0, 100.0, 100.0])
+                .unwrap();
+        assert!(validate_ylt(&ylt, &terms(), 1e-9).is_empty());
+    }
+
+    #[test]
+    fn negative_year_loss_flagged() {
+        let ylt = YearLossTable::new(vec![-1.0]);
+        let v = validate_ylt(&ylt, &terms(), 1e-9);
+        assert!(matches!(
+            v[0],
+            YltViolation::InvalidYearLoss { trial: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn nan_year_loss_flagged() {
+        let ylt = YearLossTable::new(vec![f64::NAN]);
+        assert_eq!(validate_ylt(&ylt, &terms(), 1e-9).len(), 1);
+    }
+
+    #[test]
+    fn year_loss_above_limit_flagged() {
+        let ylt = YearLossTable::new(vec![201.0]);
+        let v = validate_ylt(&ylt, &terms(), 1e-9);
+        assert!(matches!(v[0], YltViolation::YearLossAboveLimit { limit, .. } if limit == 200.0));
+    }
+
+    #[test]
+    fn occurrence_above_limit_flagged() {
+        let ylt = YearLossTable::with_max_occurrence(vec![50.0], vec![101.0]).unwrap();
+        let v = validate_ylt(&ylt, &terms(), 1e-9);
+        assert!(matches!(v[0], YltViolation::InvalidOccurrenceLoss { .. }));
+    }
+
+    #[test]
+    fn occurrence_floor_enforced() {
+        // Max occurrence 100 with agg retention 10 implies year loss >= 90.
+        let ylt = YearLossTable::with_max_occurrence(vec![50.0], vec![100.0]).unwrap();
+        let v = validate_ylt(&ylt, &terms(), 1e-9);
+        assert!(
+            matches!(v[0], YltViolation::YearLossBelowOccurrenceFloor { floor, .. } if (floor - 90.0).abs() < 1e-12)
+        );
+    }
+
+    #[test]
+    fn tolerance_suppresses_rounding_noise() {
+        let ylt = YearLossTable::new(vec![200.0 + 1e-7]);
+        assert!(validate_ylt(&ylt, &terms(), 1e-6).is_empty());
+        assert_eq!(validate_ylt(&ylt, &terms(), 1e-9).len(), 1);
+    }
+
+    #[test]
+    fn violations_display() {
+        let ylt = YearLossTable::new(vec![-1.0]);
+        let v = validate_ylt(&ylt, &terms(), 1e-9);
+        assert!(v[0].to_string().contains("trial 0"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Block execution context: shared memory and bulk-synchronous phases.
+
+use super::grid::LaunchConfig;
+use super::kernel::ThreadCtx;
+
+/// Execution context of one block.
+///
+/// Shared memory (`S`) lives for the block's whole execution; each
+/// [`BlockCtx::for_each_thread`] call is one bulk-synchronous phase —
+/// equivalent to the code between two `__syncthreads()` barriers in a
+/// CUDA kernel. Within a phase the threads run in thread-id order, so a
+/// phase that writes shared memory is race-free and deterministic.
+#[derive(Debug)]
+pub struct BlockCtx<'a, S> {
+    block: u32,
+    cfg: LaunchConfig,
+    shared: &'a mut S,
+    phases: u32,
+}
+
+impl<'a, S> BlockCtx<'a, S> {
+    /// Create the context for `block` of launch `cfg` (called by the
+    /// launcher).
+    pub(super) fn new(block: u32, cfg: LaunchConfig, shared: &'a mut S) -> Self {
+        BlockCtx {
+            block,
+            cfg,
+            shared,
+            phases: 0,
+        }
+    }
+
+    /// Block index within the grid (`blockIdx.x`).
+    #[inline]
+    pub fn block_idx(&self) -> u32 {
+        self.block
+    }
+
+    /// Threads per block (`blockDim.x`).
+    #[inline]
+    pub fn block_dim(&self) -> u32 {
+        self.cfg.block_dim
+    }
+
+    /// Blocks in the grid (`gridDim.x`).
+    #[inline]
+    pub fn grid_dim(&self) -> u32 {
+        self.cfg.grid_dim()
+    }
+
+    /// Number of threads of this block that map to real work items.
+    #[inline]
+    pub fn active_threads(&self) -> u32 {
+        self.cfg.active_threads(self.block)
+    }
+
+    /// Direct access to shared memory between phases (single-threaded
+    /// from the kernel author's point of view — like block-leader code
+    /// guarded by `if (threadIdx.x == 0)`).
+    #[inline]
+    pub fn shared(&mut self) -> &mut S {
+        self.shared
+    }
+
+    /// Run one bulk-synchronous phase: `f` executes once per *active*
+    /// thread, in thread-id order, with mutable access to shared memory.
+    /// The return from this call is the barrier.
+    pub fn for_each_thread(&mut self, mut f: impl FnMut(ThreadCtx, &mut S)) {
+        self.phases += 1;
+        let base = self.block as usize * self.cfg.block_dim as usize;
+        for local in 0..self.active_threads() {
+            let t = ThreadCtx {
+                local,
+                block: self.block,
+                global: base + local as usize,
+                block_dim: self.cfg.block_dim,
+            };
+            f(t, self.shared);
+        }
+    }
+
+    /// Number of phases (barriers) executed so far.
+    #[inline]
+    pub fn phase_count(&self) -> u32 {
+        self.phases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_visit_active_threads_in_order() {
+        let cfg = LaunchConfig::new(10, 4);
+        let mut shared = Vec::<u32>::new();
+        // Block 2 is the tail: items 8, 9 → 2 active threads.
+        let mut ctx = BlockCtx::new(2, cfg, &mut shared);
+        assert_eq!(ctx.active_threads(), 2);
+        ctx.for_each_thread(|t, s| s.push(t.local));
+        ctx.for_each_thread(|t, s| s.push(t.global as u32));
+        assert_eq!(ctx.phase_count(), 2);
+        assert_eq!(*ctx.shared(), vec![0, 1, 8, 9]);
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let cfg = LaunchConfig::new(100, 32);
+        let mut shared = ();
+        let ctx = BlockCtx::new(1, cfg, &mut shared);
+        assert_eq!(ctx.block_idx(), 1);
+        assert_eq!(ctx.block_dim(), 32);
+        assert_eq!(ctx.grid_dim(), 4);
+        assert_eq!(ctx.active_threads(), 32);
+    }
+
+    #[test]
+    fn shared_memory_persists_across_phases() {
+        let cfg = LaunchConfig::new(4, 4);
+        let mut shared = 0u64;
+        let mut ctx = BlockCtx::new(0, cfg, &mut shared);
+        ctx.for_each_thread(|t, s| *s += t.local as u64);
+        ctx.for_each_thread(|_, s| *s *= 2);
+        // (0+1+2+3) then doubled once per thread: 6 * 2^4.
+        assert_eq!(*ctx.shared(), 96);
+    }
+}

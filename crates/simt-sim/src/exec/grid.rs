@@ -1,0 +1,90 @@
+//! Launch geometry.
+
+/// Geometry of one kernel launch: how many work items to cover and how
+/// many threads per block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of work items (e.g. trials); one thread each.
+    pub num_items: usize,
+    /// Threads per block (CUDA `blockDim.x`).
+    pub block_dim: u32,
+}
+
+impl LaunchConfig {
+    /// Create a launch over `num_items` items with `block_dim` threads
+    /// per block.
+    ///
+    /// # Panics
+    /// Panics if `block_dim == 0`.
+    pub fn new(num_items: usize, block_dim: u32) -> Self {
+        assert!(block_dim > 0, "block_dim must be positive");
+        LaunchConfig {
+            num_items,
+            block_dim,
+        }
+    }
+
+    /// Number of blocks: `ceil(num_items / block_dim)` (CUDA
+    /// `gridDim.x`).
+    pub fn grid_dim(&self) -> u32 {
+        if self.num_items == 0 {
+            0
+        } else {
+            ((self.num_items - 1) / self.block_dim as usize + 1) as u32
+        }
+    }
+
+    /// Total threads launched (including the tail block's inactive ones).
+    pub fn total_threads(&self) -> usize {
+        self.grid_dim() as usize * self.block_dim as usize
+    }
+
+    /// Active threads of block `b`: `block_dim`, except the tail block.
+    pub fn active_threads(&self, block: u32) -> u32 {
+        let start = block as usize * self.block_dim as usize;
+        let remaining = self.num_items.saturating_sub(start);
+        (remaining.min(self.block_dim as usize)) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_dim_rounds_up() {
+        assert_eq!(LaunchConfig::new(1000, 256).grid_dim(), 4);
+        assert_eq!(LaunchConfig::new(1024, 256).grid_dim(), 4);
+        assert_eq!(LaunchConfig::new(1025, 256).grid_dim(), 5);
+        assert_eq!(LaunchConfig::new(1, 256).grid_dim(), 1);
+        assert_eq!(LaunchConfig::new(0, 256).grid_dim(), 0);
+    }
+
+    #[test]
+    fn paper_example_block_count() {
+        // "1,000,000 / 256 ≈ 3906 blocks" (paper, Section IV-B).
+        assert_eq!(LaunchConfig::new(1_000_000, 256).grid_dim(), 3907);
+        // (The paper floors; the kernel needs the ceiling to cover all
+        // trials.)
+    }
+
+    #[test]
+    fn active_threads_in_tail_block() {
+        let cfg = LaunchConfig::new(1000, 256);
+        assert_eq!(cfg.active_threads(0), 256);
+        assert_eq!(cfg.active_threads(2), 256);
+        assert_eq!(cfg.active_threads(3), 1000 - 3 * 256);
+        assert_eq!(cfg.active_threads(4), 0);
+    }
+
+    #[test]
+    fn total_threads_counts_tail_padding() {
+        assert_eq!(LaunchConfig::new(1000, 256).total_threads(), 4 * 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "block_dim")]
+    fn zero_block_dim_panics() {
+        LaunchConfig::new(10, 0);
+    }
+}

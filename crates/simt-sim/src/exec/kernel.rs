@@ -1,0 +1,66 @@
+//! The kernel abstraction.
+
+use super::block::BlockCtx;
+
+/// Identity of one thread inside a launch (the CUDA `threadIdx` /
+/// `blockIdx` pair, flattened to 1-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadCtx {
+    /// Thread index within the block (`threadIdx.x`).
+    pub local: u32,
+    /// Block index within the grid (`blockIdx.x`).
+    pub block: u32,
+    /// Global work-item index (`blockIdx.x * blockDim.x + threadIdx.x`).
+    pub global: usize,
+    /// Threads per block (`blockDim.x`).
+    pub block_dim: u32,
+}
+
+impl ThreadCtx {
+    /// The warp this thread belongs to within its block.
+    pub fn warp(&self, warp_size: u32) -> u32 {
+        self.local / warp_size
+    }
+
+    /// The thread's lane within its warp.
+    pub fn lane(&self, warp_size: u32) -> u32 {
+        self.local % warp_size
+    }
+}
+
+/// A SIMT kernel producing one `Out` per work item.
+///
+/// `Shared` models the block's shared memory: allocated per block before
+/// the block starts and visible to every bulk-synchronous phase the block
+/// executes. Kernels that need no shared memory use `Shared = ()`.
+pub trait Kernel<Out: Send>: Sync {
+    /// The block's shared-memory value.
+    type Shared: Send;
+
+    /// Allocate shared memory for block `block` (CUDA `__shared__`
+    /// declarations).
+    fn init_shared(&self, block: u32) -> Self::Shared;
+
+    /// Execute one block. `out` is the block's slice of the launch
+    /// output: `out[t.local]` is thread `t`'s slot (`out.len()` equals
+    /// the block's *active* thread count — shorter than `block_dim` in
+    /// the tail block).
+    fn run_block(&self, ctx: &mut BlockCtx<'_, Self::Shared>, out: &mut [Out]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warp_and_lane() {
+        let t = ThreadCtx {
+            local: 70,
+            block: 2,
+            global: 582,
+            block_dim: 256,
+        };
+        assert_eq!(t.warp(32), 2);
+        assert_eq!(t.lane(32), 6);
+    }
+}

@@ -1,0 +1,195 @@
+//! Parallel block dispatch.
+
+use super::block::BlockCtx;
+use super::grid::LaunchConfig;
+use super::kernel::Kernel;
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Statistics of one launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaunchStats {
+    /// Blocks dispatched.
+    pub grid_dim: u32,
+    /// Threads per block.
+    pub block_dim: u32,
+    /// Work items covered.
+    pub num_items: usize,
+    /// Total bulk-synchronous phases executed across all blocks.
+    pub total_phases: u64,
+    /// Host wall-clock time of the launch.
+    pub elapsed: Duration,
+}
+
+/// Launch `kernel` over `cfg.num_items` work items, writing one `Out` per
+/// item into `out`. Blocks run in parallel on the current rayon pool;
+/// the result is identical to sequential block execution.
+///
+/// ```
+/// use simt_sim::{launch, BlockCtx, Kernel, LaunchConfig};
+///
+/// struct Double;
+/// impl Kernel<u32> for Double {
+///     type Shared = ();
+///     fn init_shared(&self, _block: u32) {}
+///     fn run_block(&self, ctx: &mut BlockCtx<'_, ()>, out: &mut [u32]) {
+///         ctx.for_each_thread(|t, _| out[t.local as usize] = 2 * t.global as u32);
+///     }
+/// }
+///
+/// let mut out = vec![0u32; 100];
+/// launch(LaunchConfig::new(100, 32), &Double, &mut out);
+/// assert_eq!(out[7], 14);
+/// ```
+///
+/// # Panics
+/// Panics if `out.len() != cfg.num_items`.
+pub fn launch<Out, K>(cfg: LaunchConfig, kernel: &K, out: &mut [Out]) -> LaunchStats
+where
+    Out: Send,
+    K: Kernel<Out>,
+{
+    assert_eq!(
+        out.len(),
+        cfg.num_items,
+        "output slice must match num_items"
+    );
+    let start = Instant::now();
+    let block_dim = cfg.block_dim as usize;
+    let total_phases: u64 = if cfg.num_items == 0 {
+        0
+    } else {
+        out.par_chunks_mut(block_dim)
+            .enumerate()
+            .map(|(b, chunk)| {
+                let mut shared = kernel.init_shared(b as u32);
+                let mut ctx = BlockCtx::new(b as u32, cfg, &mut shared);
+                kernel.run_block(&mut ctx, chunk);
+                ctx.phase_count() as u64
+            })
+            .sum()
+    };
+    LaunchStats {
+        grid_dim: cfg.grid_dim(),
+        block_dim: cfg.block_dim,
+        num_items: cfg.num_items,
+        total_phases,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// [`launch`] on a specific rayon thread pool — the multi-GPU engine
+/// gives each simulated device its own pool so host-side parallelism
+/// mirrors the paper's one-CPU-thread-per-GPU design.
+pub fn launch_in<Out, K>(
+    pool: &rayon::ThreadPool,
+    cfg: LaunchConfig,
+    kernel: &K,
+    out: &mut [Out],
+) -> LaunchStats
+where
+    Out: Send,
+    K: Kernel<Out>,
+{
+    pool.install(|| launch(cfg, kernel, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ThreadCtx;
+
+    /// Kernel: out[i] = i² via a staging pass through shared memory, to
+    /// exercise phases and shared state.
+    struct SquareKernel;
+
+    impl Kernel<u64> for SquareKernel {
+        type Shared = Vec<u64>;
+
+        fn init_shared(&self, _block: u32) -> Vec<u64> {
+            Vec::new()
+        }
+
+        fn run_block(&self, ctx: &mut BlockCtx<'_, Vec<u64>>, out: &mut [u64]) {
+            let n = ctx.active_threads() as usize;
+            ctx.shared().resize(n, 0);
+            // Phase 1: stage the global index into shared memory.
+            ctx.for_each_thread(|t: ThreadCtx, s| s[t.local as usize] = t.global as u64);
+            // Phase 2: read a *different* thread's slot (reversed), so
+            // correctness depends on the barrier between phases.
+            ctx.for_each_thread(|t, s| {
+                let v = s[n - 1 - t.local as usize];
+                s[n - 1 - t.local as usize] = v * v;
+            });
+            // Drain shared to output.
+            ctx.for_each_thread(|t, s| out[t.local as usize] = s[t.local as usize]);
+        }
+    }
+
+    #[test]
+    fn launch_computes_squares() {
+        let cfg = LaunchConfig::new(1000, 128);
+        let mut out = vec![0u64; 1000];
+        let stats = launch(cfg, &SquareKernel, &mut out);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i * i) as u64);
+        }
+        assert_eq!(stats.grid_dim, 8);
+        assert_eq!(stats.num_items, 1000);
+        // 3 phases per block × 8 blocks.
+        assert_eq!(stats.total_phases, 24);
+    }
+
+    #[test]
+    fn launch_is_deterministic_across_block_sizes() {
+        let mut a = vec![0u64; 777];
+        let mut b = vec![0u64; 777];
+        launch(LaunchConfig::new(777, 32), &SquareKernel, &mut a);
+        launch(LaunchConfig::new(777, 256), &SquareKernel, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_launch_is_a_noop() {
+        let mut out: Vec<u64> = vec![];
+        let stats = launch(LaunchConfig::new(0, 64), &SquareKernel, &mut out);
+        assert_eq!(stats.grid_dim, 0);
+        assert_eq!(stats.total_phases, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "output slice")]
+    fn mismatched_output_panics() {
+        let mut out = vec![0u64; 10];
+        launch(LaunchConfig::new(11, 4), &SquareKernel, &mut out);
+    }
+
+    #[test]
+    fn launch_in_dedicated_pool() {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let mut out = vec![0u64; 500];
+        let stats = launch_in(&pool, LaunchConfig::new(500, 64), &SquareKernel, &mut out);
+        assert_eq!(out[499], 499 * 499);
+        assert_eq!(stats.block_dim, 64);
+    }
+
+    /// A kernel with no shared memory: plain per-thread map.
+    struct AddOne;
+    impl Kernel<u32> for AddOne {
+        type Shared = ();
+        fn init_shared(&self, _b: u32) {}
+        fn run_block(&self, ctx: &mut BlockCtx<'_, ()>, out: &mut [u32]) {
+            ctx.for_each_thread(|t, _| out[t.local as usize] = t.global as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn stateless_kernel() {
+        let mut out = vec![0u32; 100];
+        launch(LaunchConfig::new(100, 7), &AddOne, &mut out);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u32 + 1));
+    }
+}

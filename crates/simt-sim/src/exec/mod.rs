@@ -1,0 +1,28 @@
+//! The functional SIMT executor.
+//!
+//! Kernels are expressed against a CUDA-like model:
+//!
+//! * a **launch** covers `num_items` work items with a grid of blocks of
+//!   `block_dim` threads ([`LaunchConfig`]);
+//! * each **block** owns a shared-memory value (`Kernel::Shared`) and
+//!   runs as a sequence of **bulk-synchronous phases** — each
+//!   [`BlockCtx::for_each_thread`] call executes its closure once per
+//!   thread of the block and acts as a `__syncthreads()` barrier between
+//!   phases (within a phase, threads observe shared memory in thread-id
+//!   order, which is deterministic and data-race-free by construction);
+//! * each thread may write only its own slot of the block's output slice,
+//!   mirroring the paper's one-thread-per-trial design.
+//!
+//! Blocks are independent (as on a real GPU) and are dispatched in
+//! parallel over host cores with rayon; results are bit-identical to a
+//! sequential execution of the same kernel.
+
+mod block;
+mod grid;
+mod kernel;
+mod launch;
+
+pub use block::BlockCtx;
+pub use grid::LaunchConfig;
+pub use kernel::{Kernel, ThreadCtx};
+pub use launch::{launch, launch_in, LaunchStats};

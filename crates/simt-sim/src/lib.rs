@@ -1,0 +1,38 @@
+//! # simt-sim — a SIMT executor and GPU performance model
+//!
+//! This crate is the substrate that stands in for the paper's CUDA
+//! platforms (an NVIDIA Tesla C2075 and a 4× Tesla M2090 machine), which
+//! are not available in this environment. It has two halves:
+//!
+//! 1. **A functional executor** ([`exec`]): kernels are written against a
+//!    CUDA-like programming model — a launch grid of thread blocks, each
+//!    block with its own shared memory and bulk-synchronous phases
+//!    (barrier semantics) — and actually run, producing real results.
+//!    Blocks execute in parallel on host cores; execution is
+//!    deterministic.
+//!
+//! 2. **A performance model** ([`model`]): given a [`DeviceSpec`]
+//!    (Fermi-class presets are provided) and a [`model::KernelProfile`]
+//!    describing a kernel's per-thread instruction and memory-access mix,
+//!    the model computes occupancy, memory transactions, bandwidth and
+//!    latency bounds, and predicts kernel execution time. A multi-GPU
+//!    layer adds host-thread and PCIe-transfer overheads, and a CPU
+//!    roofline sub-model covers the paper's multi-core experiments.
+//!
+//! The split mirrors how the paper's numbers decompose: *what* is
+//! computed (identical between our executor and a real GPU) and *how
+//! fast* (a property of the device, reproduced by the model).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod device;
+pub mod exec;
+pub mod model;
+
+pub use device::{CpuSpec, DeviceSpec};
+pub use exec::{launch, launch_in, BlockCtx, Kernel, LaunchConfig, LaunchStats, ThreadCtx};
+pub use model::{
+    CpuTimingModel, KernelProfile, KernelTiming, MemSpace, MultiGpuTiming, Occupancy, Precision,
+    TraceOp,
+};

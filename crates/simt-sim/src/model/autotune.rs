@@ -1,0 +1,128 @@
+//! Launch-configuration autotuning.
+//!
+//! The paper finds its block sizes empirically (Figures 2 and 4: sweep,
+//! pick the fastest feasible). With a performance model the sweep is
+//! free, so the tuner does exactly that: evaluate the candidate block
+//! sizes, discard infeasible ones (shared-memory overflow), and return
+//! the fastest.
+
+use crate::device::DeviceSpec;
+use crate::model::timing::{estimate_kernel, KernelTiming};
+use crate::model::trace::KernelProfile;
+
+/// The default candidate block sizes: warp fractions/multiples up to the
+/// Fermi maximum.
+pub const DEFAULT_CANDIDATES: [u32; 13] =
+    [16, 32, 48, 64, 96, 128, 192, 256, 320, 384, 448, 512, 640];
+
+/// One evaluated candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Threads per block evaluated.
+    pub block_dim: u32,
+    /// The model's estimate.
+    pub timing: KernelTiming,
+}
+
+/// Evaluate `candidates` and return every point (feasible or not), in
+/// candidate order.
+pub fn sweep_block_dims(
+    dev: &DeviceSpec,
+    profile: &KernelProfile,
+    num_items: usize,
+    candidates: &[u32],
+) -> Vec<SweepPoint> {
+    candidates
+        .iter()
+        .map(|&block_dim| SweepPoint {
+            block_dim,
+            timing: estimate_kernel(dev, profile, num_items, block_dim),
+        })
+        .collect()
+}
+
+/// The fastest feasible block size among [`DEFAULT_CANDIDATES`], with
+/// its timing. `None` only if *no* candidate fits (profile demands more
+/// shared memory per thread than an SM holds for even 16 threads).
+pub fn best_block_dim(
+    dev: &DeviceSpec,
+    profile: &KernelProfile,
+    num_items: usize,
+) -> Option<(u32, KernelTiming)> {
+    sweep_block_dims(dev, profile, num_items, &DEFAULT_CANDIDATES)
+        .into_iter()
+        .filter(|p| p.timing.feasible)
+        .min_by(|a, b| {
+            a.timing
+                .total_seconds
+                .partial_cmp(&b.timing.total_seconds)
+                .expect("feasible timings are finite")
+        })
+        .map(|p| (p.block_dim, p.timing))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::trace::{MemSpace, StageProfile, TraceOp};
+
+    fn profile(bytes_per_thread: u32, regs: u32, mlp: f64) -> KernelProfile {
+        KernelProfile {
+            name: "t".into(),
+            stages: vec![StageProfile::new(
+                "loss-lookup",
+                vec![TraceOp::Load {
+                    space: MemSpace::GlobalRandom,
+                    bytes: 4,
+                    count: 10_000.0,
+                }],
+            )],
+            shared_bytes_per_thread: bytes_per_thread,
+            shared_bytes_fixed: 512,
+            registers_per_thread: regs,
+            mlp_per_warp: mlp,
+            syncs_per_block: 10.0,
+        }
+    }
+
+    #[test]
+    fn picks_warp_size_for_shared_heavy_kernels() {
+        // The Figure 4 situation: ~688 B of staging per thread.
+        let dev = crate::DeviceSpec::tesla_m2090();
+        let (best, timing) = best_block_dim(&dev, &profile(688, 40, 24.0), 250_000)
+            .expect("feasible configurations exist");
+        assert_eq!(best, 32, "expected the warp-sized optimum");
+        assert!(timing.feasible);
+    }
+
+    #[test]
+    fn picks_high_occupancy_for_light_kernels() {
+        // The Figure 2 situation: no shared memory, light register use →
+        // a full-occupancy block size (192–512 on Fermi).
+        let dev = crate::DeviceSpec::tesla_c2075();
+        let (best, timing) = best_block_dim(&dev, &profile(0, 20, 0.9), 1_000_000)
+            .expect("feasible configurations exist");
+        assert!(
+            [192, 256, 384, 512].contains(&best),
+            "expected a full-occupancy block, got {best}"
+        );
+        assert_eq!(timing.occupancy.warps_per_sm, 48);
+    }
+
+    #[test]
+    fn sweep_reports_infeasible_points() {
+        let dev = crate::DeviceSpec::tesla_c2075();
+        let points = sweep_block_dims(&dev, &profile(688, 40, 24.0), 1000, &[32, 128, 640]);
+        assert_eq!(points.len(), 3);
+        assert!(points[0].timing.feasible);
+        assert!(!points[1].timing.feasible, "128 × 688 B must overflow");
+        assert!(!points[2].timing.feasible);
+    }
+
+    #[test]
+    fn impossible_profile_returns_none() {
+        // 4 KB of shared per thread: even 16 threads need 64 KB.
+        let dev = crate::DeviceSpec::tesla_c2075();
+        assert!(best_block_dim(&dev, &profile(4096, 40, 24.0), 1000).is_none());
+    }
+}

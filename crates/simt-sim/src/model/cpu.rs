@@ -1,0 +1,249 @@
+//! The multi-core CPU roofline model (paper, Figure 1).
+//!
+//! The sequential algorithm spends "over 65% of the time for look-up of
+//! Loss Sets in the direct access table, and … over 31% … for the
+//! numerical computations" (Section IV-A). Lookups are random accesses
+//! with no locality, so they don't scale with cores — the shared memory
+//! controller saturates — while the numerical work scales nearly
+//! linearly. The model captures exactly that split: memory-bound
+//! activities scale with [`crate::CpuSpec::memory_parallelism`],
+//! compute-bound ones with the thread count, and oversubscription buys a
+//! few percent of latency hiding (Figure 1b).
+
+use crate::device::CpuSpec;
+use serde::{Deserialize, Serialize};
+
+/// Shape of an aggregate-analysis workload, as the timing models see it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AraShape {
+    /// Trials in the YET.
+    pub trials: u64,
+    /// Mean event occurrences per trial.
+    pub events_per_trial: f64,
+    /// Mean ELTs covered per layer.
+    pub elts_per_layer: f64,
+    /// Number of layers.
+    pub layers: f64,
+}
+
+impl AraShape {
+    /// The paper's evaluation workload: 1 M trials × 1 000 events,
+    /// 1 layer × 15 ELTs.
+    pub fn paper() -> Self {
+        AraShape {
+            trials: 1_000_000,
+            events_per_trial: 1000.0,
+            elts_per_layer: 15.0,
+            layers: 1.0,
+        }
+    }
+
+    /// Total event occurrences processed: `layers × trials × events`.
+    pub fn total_events(&self) -> f64 {
+        self.layers * self.trials as f64 * self.events_per_trial
+    }
+
+    /// Total ELT lookups: `total_events × elts_per_layer`.
+    pub fn total_lookups(&self) -> f64 {
+        self.total_events() * self.elts_per_layer
+    }
+}
+
+/// Calibrated per-operation costs of the sequential implementation.
+///
+/// Defaults are calibrated against the paper's sequential run (337.47 s
+/// total: 222.61 s lookup, 104.67 s numeric, ~10 s event fetch).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuTimingModel {
+    /// The CPU.
+    pub spec: CpuSpec,
+    /// Nanoseconds per random direct-access-table lookup (DRAM latency
+    /// divided by achievable memory-level parallelism).
+    pub lookup_ns: f64,
+    /// Nanoseconds of financial-terms arithmetic per (ELT, event) pair.
+    pub financial_ns: f64,
+    /// Nanoseconds of occurrence/aggregate layer-term arithmetic per
+    /// event occurrence.
+    pub layer_ns: f64,
+    /// Nanoseconds to stream one event occurrence out of the YET.
+    pub fetch_ns: f64,
+}
+
+/// Per-activity breakdown of a modeled CPU run — the paper's Figure 6
+/// categories.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuActivityBreakdown {
+    /// Fetching events from memory.
+    pub fetch_seconds: f64,
+    /// Loss-set lookup in the direct access table.
+    pub lookup_seconds: f64,
+    /// Financial-terms computations.
+    pub financial_seconds: f64,
+    /// Layer-terms computations.
+    pub layer_seconds: f64,
+}
+
+impl CpuActivityBreakdown {
+    /// Total seconds.
+    pub fn total(&self) -> f64 {
+        self.fetch_seconds + self.lookup_seconds + self.financial_seconds + self.layer_seconds
+    }
+
+    /// Combined numeric (financial + layer) seconds.
+    pub fn numeric_seconds(&self) -> f64 {
+        self.financial_seconds + self.layer_seconds
+    }
+}
+
+impl CpuTimingModel {
+    /// Model calibrated to the paper's i7-2600 sequential profile.
+    pub fn i7_2600() -> Self {
+        CpuTimingModel {
+            spec: CpuSpec::i7_2600(),
+            lookup_ns: 14.84,
+            financial_ns: 5.0,
+            layer_ns: 25.0,
+            fetch_ns: 10.0,
+        }
+    }
+
+    /// Modeled breakdown for `threads` worker threads (1 = sequential)
+    /// and `threads_per_core` oversubscription.
+    pub fn breakdown(
+        &self,
+        shape: &AraShape,
+        threads: u32,
+        threads_per_core: u32,
+    ) -> CpuActivityBreakdown {
+        let mem_par = self.spec.memory_parallelism(threads);
+        let over = self.spec.oversubscription_factor(threads_per_core);
+        let compute_par = threads.max(1) as f64;
+
+        let lookup = shape.total_lookups() * self.lookup_ns * 1e-9;
+        let financial = shape.total_lookups() * self.financial_ns * 1e-9;
+        let layer = shape.total_events() * self.layer_ns * 1e-9;
+        let fetch = shape.total_events() * self.fetch_ns * 1e-9;
+
+        CpuActivityBreakdown {
+            fetch_seconds: fetch / mem_par * over,
+            lookup_seconds: lookup / mem_par * over,
+            financial_seconds: financial / compute_par,
+            layer_seconds: layer / compute_par,
+        }
+    }
+
+    /// Modeled total seconds (convenience).
+    pub fn total_seconds(&self, shape: &AraShape, threads: u32, threads_per_core: u32) -> f64 {
+        self.breakdown(shape, threads, threads_per_core).total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shape_counts() {
+        let s = AraShape::paper();
+        assert_eq!(s.total_events(), 1e9);
+        assert_eq!(s.total_lookups(), 15e9);
+    }
+
+    #[test]
+    fn sequential_matches_paper_profile() {
+        // Paper: 337.47 s total; 222.61 s lookup; 104.67 s numeric.
+        let m = CpuTimingModel::i7_2600();
+        let b = m.breakdown(&AraShape::paper(), 1, 1);
+        assert!(
+            (b.lookup_seconds - 222.6).abs() < 1.0,
+            "lookup {}",
+            b.lookup_seconds
+        );
+        assert!(
+            (b.numeric_seconds() - 104.67).abs() < 8.0,
+            "numeric {}",
+            b.numeric_seconds()
+        );
+        let total = b.total();
+        assert!(
+            (320.0..345.0).contains(&total),
+            "sequential total {total:.1}"
+        );
+        // Lookup share >65%, numeric ~31% (Section IV-A).
+        assert!(b.lookup_seconds / total > 0.63);
+        assert!((b.numeric_seconds() / total - 0.31).abs() < 0.03);
+    }
+
+    #[test]
+    fn multicore_speedups_match_figure_1a() {
+        // Paper: 1.5× at 2 cores, 2.2× at 4, 2.6× at 8.
+        let m = CpuTimingModel::i7_2600();
+        let shape = AraShape::paper();
+        let t1 = m.total_seconds(&shape, 1, 1);
+        let expectations = [(2u32, 1.5f64), (4, 2.2), (8, 2.6)];
+        for (n, expected) in expectations {
+            let s = t1 / m.total_seconds(&shape, n, 1);
+            assert!(
+                (s - expected).abs() / expected < 0.15,
+                "{n}-thread speedup {s:.2} vs paper {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn eight_thread_time_near_paper() {
+        // Paper Figure 5: 123.5 s on the multi-core CPU.
+        let m = CpuTimingModel::i7_2600();
+        let t8 = m.total_seconds(&AraShape::paper(), 8, 1);
+        assert!((110.0..140.0).contains(&t8), "8-thread total {t8:.1}");
+    }
+
+    #[test]
+    fn oversubscription_matches_figure_1b() {
+        // Paper: 135 s → 125 s from 1 to 256 threads per core (~8%).
+        let m = CpuTimingModel::i7_2600();
+        let shape = AraShape::paper();
+        let base = m.total_seconds(&shape, 8, 1);
+        let over = m.total_seconds(&shape, 8, 256);
+        let gain = 1.0 - over / base;
+        assert!(
+            (0.04..0.09).contains(&gain),
+            "oversubscription gain {gain:.3}"
+        );
+        // Monotone improvement with diminishing returns.
+        let mut prev = base;
+        for t in [2, 4, 16, 64, 256] {
+            let cur = m.total_seconds(&shape, 8, t);
+            assert!(cur <= prev + 1e-9);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn time_is_linear_in_each_shape_axis() {
+        // Section IV-A: linear increase in events, trials, ELTs, layers.
+        let m = CpuTimingModel::i7_2600();
+        let base = AraShape {
+            trials: 1000,
+            events_per_trial: 100.0,
+            elts_per_layer: 5.0,
+            layers: 2.0,
+        };
+        let t0 = m.total_seconds(&base, 1, 1);
+        let mut doubled = base;
+        doubled.trials *= 2;
+        assert!((m.total_seconds(&doubled, 1, 1) / t0 - 2.0).abs() < 1e-9);
+        let mut doubled = base;
+        doubled.events_per_trial *= 2.0;
+        assert!((m.total_seconds(&doubled, 1, 1) / t0 - 2.0).abs() < 1e-9);
+        let mut doubled = base;
+        doubled.layers *= 2.0;
+        assert!((m.total_seconds(&doubled, 1, 1) / t0 - 2.0).abs() < 1e-9);
+        // ELTs scale only the lookup+financial part: still monotone,
+        // sub-2×.
+        let mut doubled = base;
+        doubled.elts_per_layer *= 2.0;
+        let r = m.total_seconds(&doubled, 1, 1) / t0;
+        assert!(r > 1.5 && r < 2.0, "ELT scaling ratio {r}");
+    }
+}

@@ -1,0 +1,194 @@
+//! Memory-transaction accounting.
+//!
+//! The model's central quantity: how many bytes actually cross the memory
+//! bus for a given access mix. A scattered (random) load moves a whole
+//! L2 segment (`transaction_bytes`, 32 B on Fermi) regardless of payload
+//! — the reason the paper's 4–8-byte direct-access-table lookups are so
+//! expensive — while coalesced warp accesses move only their payload
+//! (rounded up to segment granularity, amortised across the warp).
+
+use crate::device::DeviceSpec;
+use crate::model::trace::{KernelProfile, MemSpace, StageProfile};
+use serde::{Deserialize, Serialize};
+
+/// Bytes actually moved across the bus by one access of `payload_bytes`
+/// in `space`.
+pub fn transaction_bytes_moved(dev: &DeviceSpec, space: MemSpace, payload_bytes: u32) -> f64 {
+    match space {
+        MemSpace::GlobalRandom => {
+            // Whole segments per lane; an 8-byte payload can straddle two.
+            let segs = payload_bytes.div_ceil(dev.transaction_bytes).max(1);
+            (segs * dev.transaction_bytes) as f64
+        }
+        MemSpace::GlobalCoalesced => payload_bytes as f64,
+        // On-chip spaces don't touch the DRAM bus.
+        MemSpace::Shared | MemSpace::Constant => 0.0,
+    }
+}
+
+/// DRAM traffic of one kernel stage, per thread.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TrafficSummary {
+    /// Scattered transactions per thread.
+    pub random_transactions: f64,
+    /// Bus bytes moved by scattered accesses, per thread.
+    pub random_bytes: f64,
+    /// Bus bytes moved by coalesced accesses, per thread.
+    pub streaming_bytes: f64,
+    /// Shared-memory accesses per thread.
+    pub shared_accesses: f64,
+    /// Constant-cache accesses per thread.
+    pub constant_accesses: f64,
+}
+
+impl TrafficSummary {
+    /// Account the traffic of `stage` on `dev`.
+    pub fn of_stage(dev: &DeviceSpec, stage: &StageProfile) -> Self {
+        use crate::model::trace::TraceOp;
+        let mut t = TrafficSummary::default();
+        for op in &stage.ops {
+            let (space, bytes, count) = match *op {
+                TraceOp::Load {
+                    space,
+                    bytes,
+                    count,
+                }
+                | TraceOp::Store {
+                    space,
+                    bytes,
+                    count,
+                } => (space, bytes, count),
+                _ => continue,
+            };
+            match space {
+                MemSpace::GlobalRandom => {
+                    let moved = transaction_bytes_moved(dev, space, bytes);
+                    let segs = moved / dev.transaction_bytes as f64;
+                    t.random_transactions += count * segs;
+                    t.random_bytes += count * moved;
+                }
+                MemSpace::GlobalCoalesced => {
+                    t.streaming_bytes += count * bytes as f64;
+                }
+                MemSpace::Shared => t.shared_accesses += count,
+                MemSpace::Constant => t.constant_accesses += count,
+            }
+        }
+        t
+    }
+
+    /// Account the traffic of a whole kernel (all stages), per thread.
+    pub fn of_kernel(dev: &DeviceSpec, profile: &KernelProfile) -> Self {
+        let mut total = TrafficSummary::default();
+        for stage in &profile.stages {
+            let t = Self::of_stage(dev, stage);
+            total.random_transactions += t.random_transactions;
+            total.random_bytes += t.random_bytes;
+            total.streaming_bytes += t.streaming_bytes;
+            total.shared_accesses += t.shared_accesses;
+            total.constant_accesses += t.constant_accesses;
+        }
+        total
+    }
+
+    /// Total DRAM bytes per thread.
+    pub fn dram_bytes(&self) -> f64 {
+        self.random_bytes + self.streaming_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::trace::{Precision, TraceOp};
+
+    fn dev() -> DeviceSpec {
+        DeviceSpec::tesla_c2075()
+    }
+
+    #[test]
+    fn random_access_moves_full_segments() {
+        let d = dev();
+        assert_eq!(transaction_bytes_moved(&d, MemSpace::GlobalRandom, 4), 32.0);
+        assert_eq!(transaction_bytes_moved(&d, MemSpace::GlobalRandom, 8), 32.0);
+        assert_eq!(
+            transaction_bytes_moved(&d, MemSpace::GlobalRandom, 32),
+            32.0
+        );
+        // A 40-byte payload straddles two segments.
+        assert_eq!(
+            transaction_bytes_moved(&d, MemSpace::GlobalRandom, 40),
+            64.0
+        );
+    }
+
+    #[test]
+    fn coalesced_moves_payload_only() {
+        let d = dev();
+        assert_eq!(
+            transaction_bytes_moved(&d, MemSpace::GlobalCoalesced, 4),
+            4.0
+        );
+        assert_eq!(
+            transaction_bytes_moved(&d, MemSpace::GlobalCoalesced, 8),
+            8.0
+        );
+    }
+
+    #[test]
+    fn on_chip_spaces_are_free_on_the_bus() {
+        let d = dev();
+        assert_eq!(transaction_bytes_moved(&d, MemSpace::Shared, 8), 0.0);
+        assert_eq!(transaction_bytes_moved(&d, MemSpace::Constant, 8), 0.0);
+    }
+
+    #[test]
+    fn stage_traffic_accounting() {
+        let d = dev();
+        let stage = StageProfile::new(
+            "s",
+            vec![
+                TraceOp::Load {
+                    space: MemSpace::GlobalRandom,
+                    bytes: 4,
+                    count: 100.0,
+                },
+                TraceOp::Load {
+                    space: MemSpace::GlobalCoalesced,
+                    bytes: 8,
+                    count: 50.0,
+                },
+                TraceOp::Store {
+                    space: MemSpace::Shared,
+                    bytes: 4,
+                    count: 10.0,
+                },
+                TraceOp::Load {
+                    space: MemSpace::Constant,
+                    bytes: 8,
+                    count: 5.0,
+                },
+                TraceOp::Flop {
+                    precision: Precision::F32,
+                    count: 1000.0,
+                },
+            ],
+        );
+        let t = TrafficSummary::of_stage(&d, &stage);
+        assert_eq!(t.random_transactions, 100.0);
+        assert_eq!(t.random_bytes, 3200.0);
+        assert_eq!(t.streaming_bytes, 400.0);
+        assert_eq!(t.shared_accesses, 10.0);
+        assert_eq!(t.constant_accesses, 5.0);
+        assert_eq!(t.dram_bytes(), 3600.0);
+    }
+
+    #[test]
+    fn the_papers_lookup_amplification() {
+        // A 4-byte f32 lookup moves 8× its payload — the structural
+        // reason lookups dominate every platform's profile (Figure 6).
+        let d = dev();
+        let moved = transaction_bytes_moved(&d, MemSpace::GlobalRandom, 4);
+        assert_eq!(moved / 4.0, 8.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! The GPU (and CPU) performance model.
+//!
+//! Timing on a Fermi-class GPU decomposes into four bounds, taken per
+//! kernel *stage* (so activity breakdowns like the paper's Figure 6 fall
+//! out naturally):
+//!
+//! * **random-access latency** — scattered loads (ELT lookups) are served
+//!   at `outstanding_transactions / latency` per SM, where the number of
+//!   outstanding transactions is limited both by occupancy (how many
+//!   warps are resident) × memory-level parallelism (how many independent
+//!   loads each warp has in flight — what the paper's loop unrolling and
+//!   register staging improve) and by the SM's MSHR capacity;
+//! * **bandwidth** — bytes moved over the effective bandwidth of the
+//!   access pattern (random transactions move a whole 32 B segment for a
+//!   4–8 B payload);
+//! * **compute** — FLOPs over the device's peak at single or double
+//!   precision (what the paper's `double`→`float` demotion improves);
+//! * **issue** — one cycle per warp instruction, which penalises
+//!   sub-warp blocks that leave lanes idle.
+//!
+//! [`Occupancy`] reproduces the resident-block arithmetic behind the
+//! paper's Figures 2 and 4 (threads-, shared-memory-, register- and
+//! block-count-limited), and [`multi_gpu`] adds the host-thread and PCIe
+//! terms of the four-GPU platform. [`cpu`] is the memory-contention
+//! roofline for the paper's i7-2600 experiments (Figure 1).
+
+pub mod autotune;
+pub mod cpu;
+pub mod memory;
+pub mod multi_gpu;
+pub mod occupancy;
+pub mod timing;
+pub mod trace;
+
+pub use autotune::{best_block_dim, sweep_block_dims, SweepPoint, DEFAULT_CANDIDATES};
+pub use cpu::{AraShape, CpuActivityBreakdown, CpuTimingModel};
+pub use memory::{transaction_bytes_moved, TrafficSummary};
+pub use multi_gpu::{multi_gpu_timing, MultiGpuTiming};
+pub use occupancy::{occupancy, Occupancy, OccupancyLimiter};
+pub use timing::{estimate_kernel, KernelTiming, StageTiming, TimingBound};
+pub use trace::{KernelProfile, MemSpace, Precision, StageProfile, TraceOp};

@@ -1,0 +1,195 @@
+//! SM occupancy: how many blocks and warps are resident per SM.
+//!
+//! This is the arithmetic behind the paper's block-size trade-off
+//! discussion (Section IV-B): "if we have a smaller number of threads,
+//! each thread can have a larger amount of shared and constant memory,
+//! but with a small number of threads we have less opportunity to hide
+//! the latency of accessing the global memory."
+
+use crate::device::DeviceSpec;
+use serde::{Deserialize, Serialize};
+
+/// What limited the number of resident blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OccupancyLimiter {
+    /// `max_threads_per_sm / block_dim`.
+    Threads,
+    /// `max_blocks_per_sm`.
+    Blocks,
+    /// Shared memory per block exceeded what fits.
+    SharedMemory,
+    /// Register file exhausted.
+    Registers,
+    /// A single block does not fit at all (shared-memory overflow): the
+    /// configuration is infeasible — the paper's "experiments could not
+    /// be pursued beyond 64 threads per block".
+    Infeasible,
+}
+
+/// Resident-block occupancy of one kernel configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Occupancy {
+    /// Resident blocks per SM.
+    pub blocks_per_sm: u32,
+    /// Resident threads per SM.
+    pub threads_per_sm: u32,
+    /// Resident warp *slots* per SM (sub-warp blocks still consume whole
+    /// warp slots).
+    pub warps_per_sm: u32,
+    /// Fraction of warp lanes doing useful work (1.0 unless
+    /// `block_dim < warp_size`).
+    pub lane_utilization: f64,
+    /// What bound the residency.
+    pub limiter: OccupancyLimiter,
+    /// Occupancy as a fraction of the device's maximum warps.
+    pub fraction: f64,
+}
+
+impl Occupancy {
+    /// True if the configuration can run at all.
+    pub fn feasible(&self) -> bool {
+        self.blocks_per_sm > 0
+    }
+}
+
+/// Compute occupancy for blocks of `block_dim` threads needing
+/// `shared_per_block` bytes of shared memory and `regs_per_thread`
+/// registers per thread on `dev`.
+pub fn occupancy(
+    dev: &DeviceSpec,
+    block_dim: u32,
+    shared_per_block: u32,
+    regs_per_thread: u32,
+) -> Occupancy {
+    assert!(block_dim > 0, "block_dim must be positive");
+    let warps_per_block = block_dim.div_ceil(dev.warp_size);
+
+    let by_threads = dev.max_threads_per_sm / block_dim;
+    let by_blocks = dev.max_blocks_per_sm;
+    let by_shared = dev
+        .shared_mem_per_sm
+        .checked_div(shared_per_block)
+        .unwrap_or(u32::MAX);
+    let by_regs = dev
+        .registers_per_sm
+        .checked_div(regs_per_thread * block_dim)
+        .unwrap_or(u32::MAX);
+    // Warp-slot ceiling: resident warp slots cannot exceed the scheduler
+    // limit.
+    let by_warps = dev.max_warps_per_sm / warps_per_block;
+
+    let (blocks, limiter) = [
+        (by_threads, OccupancyLimiter::Threads),
+        (by_blocks, OccupancyLimiter::Blocks),
+        (by_shared, OccupancyLimiter::SharedMemory),
+        (by_regs, OccupancyLimiter::Registers),
+        (by_warps, OccupancyLimiter::Threads),
+    ]
+    .into_iter()
+    .min_by_key(|&(b, _)| b)
+    .expect("non-empty limiter list");
+
+    if blocks == 0 {
+        return Occupancy {
+            blocks_per_sm: 0,
+            threads_per_sm: 0,
+            warps_per_sm: 0,
+            lane_utilization: 0.0,
+            limiter: OccupancyLimiter::Infeasible,
+            fraction: 0.0,
+        };
+    }
+
+    let warps = blocks * warps_per_block;
+    Occupancy {
+        blocks_per_sm: blocks,
+        threads_per_sm: blocks * block_dim,
+        warps_per_sm: warps,
+        lane_utilization: block_dim as f64 / (warps_per_block * dev.warp_size) as f64,
+        limiter,
+        fraction: warps as f64 / dev.max_warps_per_sm as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> DeviceSpec {
+        DeviceSpec::tesla_c2075()
+    }
+
+    #[test]
+    fn block_limited_at_128_threads() {
+        // Fermi: 8 blocks × 128 = 1024 threads = 32 warps (67%).
+        let o = occupancy(&dev(), 128, 0, 0);
+        assert_eq!(o.blocks_per_sm, 8);
+        assert_eq!(o.threads_per_sm, 1024);
+        assert_eq!(o.warps_per_sm, 32);
+        assert_eq!(o.limiter, OccupancyLimiter::Blocks);
+        assert!((o.fraction - 32.0 / 48.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_occupancy_at_256() {
+        // 6 blocks × 256 = 1536 threads = 48 warps (100%) — why the
+        // paper's Figure 2 peaks at 256 threads per block.
+        let o = occupancy(&dev(), 256, 0, 0);
+        assert_eq!(o.blocks_per_sm, 6);
+        assert_eq!(o.warps_per_sm, 48);
+        assert_eq!(o.fraction, 1.0);
+        assert_eq!(o.limiter, OccupancyLimiter::Threads);
+    }
+
+    #[test]
+    fn occupancy_dips_at_640() {
+        // 2 blocks × 640 = 1280 threads = 40 warps — Figure 2's
+        // diminishing tail.
+        let o = occupancy(&dev(), 640, 0, 0);
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.warps_per_sm, 40);
+    }
+
+    #[test]
+    fn shared_memory_limits_blocks() {
+        // 20 KB per block → 2 blocks in 48 KB.
+        let o = occupancy(&dev(), 32, 20 * 1024, 0);
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.limiter, OccupancyLimiter::SharedMemory);
+    }
+
+    #[test]
+    fn shared_overflow_is_infeasible() {
+        // 64 KB per block cannot fit the 48 KB SM — Figure 4's "beyond
+        // 64 threads per block" wall.
+        let o = occupancy(&dev(), 128, 64 * 1024, 0);
+        assert!(!o.feasible());
+        assert_eq!(o.limiter, OccupancyLimiter::Infeasible);
+    }
+
+    #[test]
+    fn registers_limit_blocks() {
+        // 63 regs × 512 threads = 32K regs → 1 block.
+        let o = occupancy(&dev(), 512, 0, 63);
+        assert_eq!(o.blocks_per_sm, 1);
+        assert_eq!(o.limiter, OccupancyLimiter::Registers);
+    }
+
+    #[test]
+    fn sub_warp_blocks_waste_lanes() {
+        let o = occupancy(&dev(), 16, 0, 0);
+        assert_eq!(o.lane_utilization, 0.5);
+        // 8 blocks × 1 warp slot each.
+        assert_eq!(o.warps_per_sm, 8);
+        let o32 = occupancy(&dev(), 32, 0, 0);
+        assert_eq!(o32.lane_utilization, 1.0);
+    }
+
+    #[test]
+    fn warp_slot_ceiling_respected() {
+        // 1536-thread blocks: 48 warps per block → 1 block.
+        let o = occupancy(&dev(), 1536, 0, 0);
+        assert_eq!(o.blocks_per_sm, 1);
+        assert_eq!(o.warps_per_sm, 48);
+    }
+}

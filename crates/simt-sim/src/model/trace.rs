@@ -1,0 +1,293 @@
+//! Kernel profiles: the per-thread instruction and memory-access mix.
+//!
+//! A [`KernelProfile`] is the performance model's description of a
+//! kernel: how many loads/stores of each memory space and how many FLOPs
+//! one thread executes, split into named **stages** so stage-level
+//! activity breakdowns (paper, Figure 6) can be reported. The engine
+//! crate builds these profiles from the workload shape (events per trial,
+//! ELTs per layer, chunk size, …) for each of its kernel variants.
+
+use serde::{Deserialize, Serialize};
+
+/// Floating-point precision of an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Precision {
+    /// Single precision (`float`) — the optimised kernels' choice.
+    F32,
+    /// Double precision (`double`) — the basic kernels' choice; half
+    /// throughput on Fermi.
+    F64,
+}
+
+impl Precision {
+    /// Bytes per value.
+    pub fn bytes(self) -> u32 {
+        match self {
+            Precision::F32 => 4,
+            Precision::F64 => 8,
+        }
+    }
+}
+
+/// Memory space (and pattern) of an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemSpace {
+    /// Global memory, scattered: each lane's address is unrelated (ELT
+    /// direct-access lookups). One transaction per lane.
+    GlobalRandom,
+    /// Global memory, coalesced: the warp's lanes touch one contiguous
+    /// segment (chunked YET reads through shared memory).
+    GlobalCoalesced,
+    /// On-SM shared memory.
+    Shared,
+    /// Constant cache (financial/layer terms in the optimised kernels).
+    Constant,
+}
+
+/// One class of per-thread operations with its repeat count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceOp {
+    /// `count` loads of `bytes` bytes each from `space`.
+    Load {
+        /// Memory space and access pattern.
+        space: MemSpace,
+        /// Payload bytes per access.
+        bytes: u32,
+        /// Accesses per thread.
+        count: f64,
+    },
+    /// `count` stores of `bytes` bytes each to `space`.
+    Store {
+        /// Memory space and access pattern.
+        space: MemSpace,
+        /// Payload bytes per access.
+        bytes: u32,
+        /// Accesses per thread.
+        count: f64,
+    },
+    /// `count` floating-point operations at `precision`.
+    Flop {
+        /// Operation precision.
+        precision: Precision,
+        /// FLOPs per thread.
+        count: f64,
+    },
+    /// `count` integer/address operations.
+    IntOp {
+        /// Operations per thread.
+        count: f64,
+    },
+}
+
+impl TraceOp {
+    /// Per-thread operation count.
+    pub fn count(&self) -> f64 {
+        match *self {
+            TraceOp::Load { count, .. }
+            | TraceOp::Store { count, .. }
+            | TraceOp::Flop { count, .. }
+            | TraceOp::IntOp { count } => count,
+        }
+    }
+}
+
+/// One named stage of a kernel (e.g. "loss-lookup"), with its per-thread
+/// operation mix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageProfile {
+    /// Stage name, used in activity-breakdown reports.
+    pub name: String,
+    /// Per-thread operations of the stage.
+    pub ops: Vec<TraceOp>,
+}
+
+impl StageProfile {
+    /// Create a stage.
+    pub fn new(name: impl Into<String>, ops: Vec<TraceOp>) -> Self {
+        StageProfile {
+            name: name.into(),
+            ops,
+        }
+    }
+
+    /// Per-thread accesses into `space` (loads + stores).
+    pub fn accesses(&self, space: MemSpace) -> f64 {
+        self.ops
+            .iter()
+            .map(|op| match *op {
+                TraceOp::Load {
+                    space: s, count, ..
+                }
+                | TraceOp::Store {
+                    space: s, count, ..
+                } if s == space => count,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Per-thread payload bytes moved through `space`.
+    pub fn payload_bytes(&self, space: MemSpace) -> f64 {
+        self.ops
+            .iter()
+            .map(|op| match *op {
+                TraceOp::Load {
+                    space: s,
+                    bytes,
+                    count,
+                }
+                | TraceOp::Store {
+                    space: s,
+                    bytes,
+                    count,
+                } if s == space => count * bytes as f64,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Per-thread FLOPs at `precision`.
+    pub fn flops(&self, precision: Precision) -> f64 {
+        self.ops
+            .iter()
+            .map(|op| match *op {
+                TraceOp::Flop {
+                    precision: p,
+                    count,
+                } if p == precision => count,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Total per-thread instructions (each op class counts once per
+    /// repeat).
+    pub fn instructions(&self) -> f64 {
+        self.ops.iter().map(|op| op.count()).sum()
+    }
+}
+
+/// A full kernel description for the performance model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Kernel name, for reports.
+    pub name: String,
+    /// The kernel's stages, in execution order.
+    pub stages: Vec<StageProfile>,
+    /// Shared-memory bytes per thread (chunk staging buffers).
+    pub shared_bytes_per_thread: u32,
+    /// Fixed shared-memory bytes per block (metadata, staging headers).
+    pub shared_bytes_fixed: u32,
+    /// Registers per thread.
+    pub registers_per_thread: u32,
+    /// Memory-level parallelism per warp: independent global loads each
+    /// warp keeps in flight. ~1 for a naive dependent-load loop; raised
+    /// by loop unrolling and register staging (the paper's optimised
+    /// kernel).
+    pub mlp_per_warp: f64,
+    /// `__syncthreads()` barriers per block over the kernel's life
+    /// (non-zero only for the chunked shared-memory kernels).
+    pub syncs_per_block: f64,
+}
+
+impl KernelProfile {
+    /// Shared-memory bytes one block of `block_dim` threads needs.
+    pub fn shared_bytes_per_block(&self, block_dim: u32) -> u32 {
+        self.shared_bytes_fixed + self.shared_bytes_per_thread * block_dim
+    }
+
+    /// Per-thread accesses into `space` across all stages.
+    pub fn accesses(&self, space: MemSpace) -> f64 {
+        self.stages.iter().map(|s| s.accesses(space)).sum()
+    }
+
+    /// Per-thread payload bytes through `space` across all stages.
+    pub fn payload_bytes(&self, space: MemSpace) -> f64 {
+        self.stages.iter().map(|s| s.payload_bytes(space)).sum()
+    }
+
+    /// Per-thread FLOPs at `precision` across all stages.
+    pub fn flops(&self, precision: Precision) -> f64 {
+        self.stages.iter().map(|s| s.flops(precision)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> KernelProfile {
+        KernelProfile {
+            name: "test".into(),
+            stages: vec![
+                StageProfile::new(
+                    "lookup",
+                    vec![
+                        TraceOp::Load {
+                            space: MemSpace::GlobalRandom,
+                            bytes: 4,
+                            count: 100.0,
+                        },
+                        TraceOp::IntOp { count: 100.0 },
+                    ],
+                ),
+                StageProfile::new(
+                    "numeric",
+                    vec![
+                        TraceOp::Flop {
+                            precision: Precision::F32,
+                            count: 400.0,
+                        },
+                        TraceOp::Flop {
+                            precision: Precision::F64,
+                            count: 40.0,
+                        },
+                        TraceOp::Store {
+                            space: MemSpace::Shared,
+                            bytes: 4,
+                            count: 10.0,
+                        },
+                    ],
+                ),
+            ],
+            shared_bytes_per_thread: 512,
+            shared_bytes_fixed: 1024,
+            registers_per_thread: 32,
+            mlp_per_warp: 4.0,
+            syncs_per_block: 10.0,
+        }
+    }
+
+    #[test]
+    fn precision_bytes() {
+        assert_eq!(Precision::F32.bytes(), 4);
+        assert_eq!(Precision::F64.bytes(), 8);
+    }
+
+    #[test]
+    fn stage_accounting() {
+        let p = profile();
+        assert_eq!(p.stages[0].accesses(MemSpace::GlobalRandom), 100.0);
+        assert_eq!(p.stages[0].accesses(MemSpace::Shared), 0.0);
+        assert_eq!(p.stages[1].accesses(MemSpace::Shared), 10.0);
+        assert_eq!(p.stages[0].payload_bytes(MemSpace::GlobalRandom), 400.0);
+        assert_eq!(p.stages[1].flops(Precision::F32), 400.0);
+        assert_eq!(p.stages[1].flops(Precision::F64), 40.0);
+        assert_eq!(p.stages[0].instructions(), 200.0);
+    }
+
+    #[test]
+    fn kernel_aggregates_stages() {
+        let p = profile();
+        assert_eq!(p.accesses(MemSpace::GlobalRandom), 100.0);
+        assert_eq!(p.payload_bytes(MemSpace::Shared), 40.0);
+        assert_eq!(p.flops(Precision::F32), 400.0);
+    }
+
+    #[test]
+    fn shared_bytes_scale_with_block() {
+        let p = profile();
+        assert_eq!(p.shared_bytes_per_block(32), 1024 + 512 * 32);
+        assert_eq!(p.shared_bytes_per_block(0), 1024);
+    }
+}

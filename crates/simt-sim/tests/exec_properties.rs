@@ -1,0 +1,112 @@
+//! Property tests for the SIMT executor: for any launch geometry, the
+//! parallel block dispatch must be indistinguishable from sequential
+//! execution of the same kernel, and shared-memory phases must respect
+//! barrier semantics.
+
+use proptest::prelude::*;
+use simt_sim::{launch, BlockCtx, Kernel, LaunchConfig, ThreadCtx};
+
+/// A kernel with real inter-thread interaction: stage per-thread values
+/// into shared memory, then each thread reads its *neighbour's* slot
+/// (wrapping within the block) — correct only if the phase barrier holds.
+struct NeighbourSum<'a> {
+    input: &'a [u64],
+}
+
+impl Kernel<u64> for NeighbourSum<'_> {
+    type Shared = Vec<u64>;
+
+    fn init_shared(&self, _block: u32) -> Vec<u64> {
+        Vec::new()
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx<'_, Vec<u64>>, out: &mut [u64]) {
+        let n = ctx.active_threads() as usize;
+        ctx.shared().clear();
+        ctx.shared().resize(n, 0);
+        // Phase 1: stage.
+        ctx.for_each_thread(|t: ThreadCtx, s| {
+            s[t.local as usize] = self.input[t.global].wrapping_mul(3).wrapping_add(1);
+        });
+        // Phase 2: read the next thread's staged value (barrier
+        // dependence), combine with own.
+        ctx.for_each_thread(|t, s| {
+            let me = t.local as usize;
+            let neighbour = (me + 1) % n;
+            out[me] = s[me] ^ s[neighbour].rotate_left(7);
+        });
+    }
+}
+
+/// Sequential oracle for [`NeighbourSum`].
+fn oracle(input: &[u64], block_dim: u32) -> Vec<u64> {
+    let bd = block_dim as usize;
+    let mut out = vec![0u64; input.len()];
+    let mut start = 0;
+    while start < input.len() {
+        let end = (start + bd).min(input.len());
+        let staged: Vec<u64> = input[start..end]
+            .iter()
+            .map(|&v| v.wrapping_mul(3).wrapping_add(1))
+            .collect();
+        let n = staged.len();
+        for i in 0..n {
+            out[start + i] = staged[i] ^ staged[(i + 1) % n].rotate_left(7);
+        }
+        start = end;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Parallel launch equals the sequential oracle for any geometry.
+    #[test]
+    fn launch_matches_sequential_oracle(
+        input in prop::collection::vec(any::<u64>(), 1..2_000),
+        block_pow in 0u32..8,
+        block_extra in 1u32..32,
+    ) {
+        // Block sizes both warp-aligned and odd.
+        let block_dim = (1u32 << block_pow).max(1) * block_extra.min(4) + block_extra % 3;
+        let block_dim = block_dim.clamp(1, 1024);
+        let kernel = NeighbourSum { input: &input };
+        let mut out = vec![0u64; input.len()];
+        let stats = launch(LaunchConfig::new(input.len(), block_dim), &kernel, &mut out);
+        prop_assert_eq!(&out, &oracle(&input, block_dim));
+        prop_assert_eq!(stats.num_items, input.len());
+        prop_assert_eq!(stats.grid_dim, LaunchConfig::new(input.len(), block_dim).grid_dim());
+        // Two barrier phases per block.
+        prop_assert_eq!(stats.total_phases, 2 * stats.grid_dim as u64);
+    }
+
+    /// Launch geometry accounting: active threads per block partition
+    /// the items exactly.
+    #[test]
+    fn active_threads_partition_items(items in 0usize..100_000, block in 1u32..2048) {
+        let cfg = LaunchConfig::new(items, block);
+        let total: u64 = (0..cfg.grid_dim()).map(|b| cfg.active_threads(b) as u64).sum();
+        prop_assert_eq!(total, items as u64);
+        // Every non-tail block is full.
+        if cfg.grid_dim() > 0 {
+            for b in 0..cfg.grid_dim() - 1 {
+                prop_assert_eq!(cfg.active_threads(b), block);
+            }
+        }
+    }
+
+    /// Repeated launches are deterministic (no scheduling dependence).
+    #[test]
+    fn launches_are_deterministic(
+        input in prop::collection::vec(any::<u64>(), 1..500),
+        block in 1u32..64,
+    ) {
+        let kernel = NeighbourSum { input: &input };
+        let mut a = vec![0u64; input.len()];
+        let mut b = vec![0u64; input.len()];
+        launch(LaunchConfig::new(input.len(), block), &kernel, &mut a);
+        launch(LaunchConfig::new(input.len(), block), &kernel, &mut b);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,173 @@
+//! Property tests over the performance model: whatever the exact
+//! calibration, a sane model must be monotone in the obvious directions.
+
+use proptest::prelude::*;
+use simt_sim::model::cpu::{AraShape, CpuTimingModel};
+use simt_sim::model::occupancy::occupancy;
+use simt_sim::model::timing::estimate_kernel;
+use simt_sim::model::trace::{KernelProfile, MemSpace, Precision, StageProfile, TraceOp};
+use simt_sim::DeviceSpec;
+
+fn arb_profile() -> impl Strategy<Value = KernelProfile> {
+    (
+        1.0..50_000.0f64,  // random loads
+        0.0..50_000.0f64,  // streaming bytes worth of loads
+        0.0..200_000.0f64, // flops
+        0u32..1024,        // shared bytes per thread
+        8u32..64,          // registers
+        0.5..32.0f64,      // mlp
+        prop_oneof![Just(Precision::F32), Just(Precision::F64)],
+    )
+        .prop_map(
+            |(rand_loads, stream_loads, flops, shared, regs, mlp, prec)| KernelProfile {
+                name: "p".into(),
+                stages: vec![
+                    StageProfile::new(
+                        "loss-lookup",
+                        vec![
+                            TraceOp::Load {
+                                space: MemSpace::GlobalRandom,
+                                bytes: prec.bytes(),
+                                count: rand_loads,
+                            },
+                            TraceOp::Load {
+                                space: MemSpace::GlobalCoalesced,
+                                bytes: 4,
+                                count: stream_loads,
+                            },
+                        ],
+                    ),
+                    StageProfile::new(
+                        "financial-terms",
+                        vec![TraceOp::Flop {
+                            precision: prec,
+                            count: flops,
+                        }],
+                    ),
+                ],
+                shared_bytes_per_thread: shared,
+                shared_bytes_fixed: 256,
+                registers_per_thread: regs,
+                mlp_per_warp: mlp,
+                syncs_per_block: 4.0,
+            },
+        )
+}
+
+fn devices() -> Vec<DeviceSpec> {
+    vec![
+        DeviceSpec::tesla_c2075(),
+        DeviceSpec::tesla_m2090(),
+        DeviceSpec::tesla_k20x(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// More work items never takes less time.
+    #[test]
+    fn time_monotone_in_items(p in arb_profile(), items in 1usize..200_000, block in 1u32..20) {
+        let block = block * 32;
+        for dev in devices() {
+            let t1 = estimate_kernel(&dev, &p, items, block);
+            let t2 = estimate_kernel(&dev, &p, items * 2, block);
+            if t1.feasible {
+                prop_assert!(t2.feasible);
+                prop_assert!(
+                    t2.total_seconds >= t1.total_seconds * 0.999,
+                    "{}: {} vs {}", dev.name, t1.total_seconds, t2.total_seconds
+                );
+            }
+        }
+    }
+
+    /// Raising memory-level parallelism never slows a kernel down.
+    #[test]
+    fn time_monotone_in_mlp(p in arb_profile(), items in 1000usize..100_000) {
+        let mut faster = p.clone();
+        faster.mlp_per_warp = p.mlp_per_warp * 2.0;
+        for dev in devices() {
+            let slow = estimate_kernel(&dev, &p, items, 64);
+            let fast = estimate_kernel(&dev, &faster, items, 64);
+            if slow.feasible {
+                prop_assert!(fast.total_seconds <= slow.total_seconds * 1.001);
+            }
+        }
+    }
+
+    /// A uniformly better device (more bandwidth) is never slower.
+    #[test]
+    fn time_monotone_in_bandwidth(p in arb_profile(), items in 1000usize..100_000) {
+        let base = DeviceSpec::tesla_c2075();
+        let mut better = base.clone();
+        better.mem_bandwidth_gbs *= 2.0;
+        let t_base = estimate_kernel(&base, &p, items, 64);
+        let t_better = estimate_kernel(&better, &p, items, 64);
+        if t_base.feasible {
+            prop_assert!(t_better.total_seconds <= t_base.total_seconds * 1.001);
+        }
+    }
+
+    /// Feasibility is monotone in shared-memory demand, and infeasible
+    /// configurations report infinite time.
+    #[test]
+    fn feasibility_monotone_in_shared(p in arb_profile(), block in 1u32..20) {
+        let block = block * 32;
+        let dev = DeviceSpec::tesla_m2090();
+        let t = estimate_kernel(&dev, &p, 10_000, block);
+        let mut heavier = p.clone();
+        heavier.shared_bytes_per_thread = p.shared_bytes_per_thread.saturating_mul(4) + 4096;
+        let t_heavy = estimate_kernel(&dev, &heavier, 10_000, block);
+        if !t.feasible {
+            prop_assert!(!t_heavy.feasible, "heavier profile cannot become feasible");
+            prop_assert!(t.total_seconds.is_infinite());
+        }
+        if t_heavy.feasible {
+            prop_assert!(t.feasible);
+        }
+    }
+
+    /// Occupancy never exceeds the device's architectural limits.
+    #[test]
+    fn occupancy_respects_limits(
+        block in 1u32..2049,
+        shared in 0u32..65_536,
+        regs in 0u32..128,
+    ) {
+        for dev in devices() {
+            let o = occupancy(&dev, block, shared, regs);
+            prop_assert!(o.threads_per_sm <= dev.max_threads_per_sm);
+            prop_assert!(o.warps_per_sm <= dev.max_warps_per_sm);
+            prop_assert!(o.blocks_per_sm <= dev.max_blocks_per_sm);
+            if shared > 0 && o.blocks_per_sm > 0 {
+                prop_assert!(o.blocks_per_sm * shared <= dev.shared_mem_per_sm);
+            }
+            prop_assert!(o.lane_utilization > 0.0 || !o.feasible());
+            prop_assert!(o.lane_utilization <= 1.0);
+        }
+    }
+
+    /// The CPU model: more threads never slower; the breakdown is
+    /// non-negative and additive.
+    #[test]
+    fn cpu_model_monotone_in_threads(
+        trials in 1u64..10_000_000,
+        events in 1.0..2000.0f64,
+        elts in 1.0..40.0f64,
+        threads in 1u32..16,
+    ) {
+        let m = CpuTimingModel::i7_2600();
+        let shape = AraShape { trials, events_per_trial: events, elts_per_layer: elts, layers: 1.0 };
+        let t1 = m.total_seconds(&shape, threads, 1);
+        let t2 = m.total_seconds(&shape, threads + 1, 1);
+        prop_assert!(t2 <= t1 * 1.0001, "threads {threads}: {t1} -> {t2}");
+        let b = m.breakdown(&shape, threads, 1);
+        prop_assert!(b.fetch_seconds >= 0.0);
+        prop_assert!(b.lookup_seconds >= 0.0);
+        prop_assert!(b.financial_seconds >= 0.0);
+        prop_assert!(b.layer_seconds >= 0.0);
+        let sum = b.fetch_seconds + b.lookup_seconds + b.financial_seconds + b.layer_seconds;
+        prop_assert!((sum - b.total()).abs() < 1e-9 * sum.max(1.0));
+    }
+}

@@ -1,0 +1,261 @@
+//! Stochastic event catalogue.
+//!
+//! The paper's YET is drawn from "a global event catalogue covering
+//! multiple perils" of roughly 2,000,000 events. A catalogue here is a
+//! dense id space partitioned into peril regions, each with an annual
+//! occurrence frequency and a seasonality profile that shapes *when* in
+//! the year its events fall (hurricanes peak in autumn, winter storms in
+//! winter, earthquakes are flat).
+
+use serde::{Deserialize, Serialize};
+
+/// A peril class with a characteristic seasonality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Peril {
+    /// Tropical cyclones — strongly peaked season (Aug–Oct).
+    Hurricane,
+    /// Seismic events — no seasonality.
+    Earthquake,
+    /// River/flash floods — spring peak.
+    Flood,
+    /// Extra-tropical winter storms — winter peak.
+    WinterStorm,
+    /// Convective storms (hail/tornado) — early-summer peak.
+    SevereConvective,
+}
+
+impl Peril {
+    /// All perils, for iteration.
+    pub const ALL: [Peril; 5] = [
+        Peril::Hurricane,
+        Peril::Earthquake,
+        Peril::Flood,
+        Peril::WinterStorm,
+        Peril::SevereConvective,
+    ];
+
+    /// Seasonality profile: (peak year-fraction, concentration).
+    ///
+    /// Concentration 0 means uniform over the year; larger values pull
+    /// occurrence times toward the peak (von-Mises-like weighting used by
+    /// the YET generator).
+    pub fn seasonality(self) -> (f32, f32) {
+        match self {
+            Peril::Hurricane => (0.70, 6.0),
+            Peril::Earthquake => (0.0, 0.0),
+            Peril::Flood => (0.35, 2.0),
+            Peril::WinterStorm => (0.04, 4.0),
+            Peril::SevereConvective => (0.45, 3.0),
+        }
+    }
+}
+
+/// A contiguous block of catalogue ids belonging to one peril.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerilRegion {
+    /// The peril of every event in the block.
+    pub peril: Peril,
+    /// First event id of the block.
+    pub first_event: u32,
+    /// Number of events in the block.
+    pub num_events: u32,
+    /// Expected occurrences per contractual year drawn from this region.
+    pub annual_rate: f64,
+}
+
+impl PerilRegion {
+    /// Id one past the last event of the block.
+    pub fn end_event(&self) -> u32 {
+        self.first_event + self.num_events
+    }
+
+    /// True if `event` belongs to this region.
+    pub fn contains(&self, event: u32) -> bool {
+        (self.first_event..self.end_event()).contains(&event)
+    }
+}
+
+/// A global event catalogue: a dense id space split into peril regions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventCatalogue {
+    regions: Vec<PerilRegion>,
+    size: u32,
+}
+
+impl EventCatalogue {
+    /// Build a catalogue of `size` events split evenly across the five
+    /// perils, with `total_annual_rate` expected occurrences per year
+    /// distributed proportionally to region size.
+    ///
+    /// # Panics
+    /// Panics if `size == 0` or the rate is not positive.
+    pub fn uniform(size: u32, total_annual_rate: f64) -> Self {
+        assert!(size > 0, "catalogue must contain events");
+        assert!(total_annual_rate > 0.0, "annual rate must be positive");
+        let n = Peril::ALL.len() as u32;
+        let base = size / n;
+        let mut regions = Vec::with_capacity(n as usize);
+        let mut start = 0;
+        for (i, &peril) in Peril::ALL.iter().enumerate() {
+            let num = if i as u32 == n - 1 {
+                size - start
+            } else {
+                base
+            };
+            regions.push(PerilRegion {
+                peril,
+                first_event: start,
+                num_events: num,
+                annual_rate: total_annual_rate * num as f64 / size as f64,
+            });
+            start += num;
+        }
+        EventCatalogue { regions, size }
+    }
+
+    /// Build from explicit regions; they must tile `0..size` contiguously.
+    ///
+    /// # Panics
+    /// Panics if the regions do not tile the id space.
+    pub fn from_regions(regions: Vec<PerilRegion>) -> Self {
+        assert!(
+            !regions.is_empty(),
+            "catalogue must have at least one region"
+        );
+        let mut expected = 0u32;
+        for r in &regions {
+            assert_eq!(r.first_event, expected, "regions must tile the id space");
+            expected = r.end_event();
+        }
+        EventCatalogue {
+            size: expected,
+            regions,
+        }
+    }
+
+    /// Total number of events.
+    #[inline]
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// The peril regions, in id order.
+    #[inline]
+    pub fn regions(&self) -> &[PerilRegion] {
+        &self.regions
+    }
+
+    /// Total expected occurrences per year across all regions.
+    pub fn total_annual_rate(&self) -> f64 {
+        self.regions.iter().map(|r| r.annual_rate).sum()
+    }
+
+    /// The peril of `event`.
+    ///
+    /// # Panics
+    /// Panics if `event` is outside the catalogue.
+    pub fn peril_of(&self, event: u32) -> Peril {
+        assert!(event < self.size, "event outside catalogue");
+        let i = self.regions.partition_point(|r| r.end_event() <= event);
+        self.regions[i].peril
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_catalogue_tiles_id_space() {
+        let c = EventCatalogue::uniform(1003, 100.0);
+        assert_eq!(c.size(), 1003);
+        assert_eq!(c.regions().len(), 5);
+        let mut expected = 0;
+        for r in c.regions() {
+            assert_eq!(r.first_event, expected);
+            expected = r.end_event();
+        }
+        assert_eq!(expected, 1003);
+        assert!((c.total_annual_rate() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rates_are_proportional_to_region_size() {
+        let c = EventCatalogue::uniform(1000, 50.0);
+        for r in c.regions() {
+            let expected = 50.0 * r.num_events as f64 / 1000.0;
+            assert!((r.annual_rate - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn peril_of_uses_region_boundaries() {
+        let c = EventCatalogue::uniform(1000, 10.0);
+        assert_eq!(c.peril_of(0), Peril::Hurricane);
+        assert_eq!(c.peril_of(199), Peril::Hurricane);
+        assert_eq!(c.peril_of(200), Peril::Earthquake);
+        assert_eq!(c.peril_of(999), Peril::SevereConvective);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside catalogue")]
+    fn peril_of_out_of_range_panics() {
+        EventCatalogue::uniform(10, 1.0).peril_of(10);
+    }
+
+    #[test]
+    fn from_regions_validates_tiling() {
+        let c = EventCatalogue::from_regions(vec![
+            PerilRegion {
+                peril: Peril::Flood,
+                first_event: 0,
+                num_events: 4,
+                annual_rate: 1.0,
+            },
+            PerilRegion {
+                peril: Peril::Earthquake,
+                first_event: 4,
+                num_events: 6,
+                annual_rate: 2.0,
+            },
+        ]);
+        assert_eq!(c.size(), 10);
+        assert_eq!(c.peril_of(5), Peril::Earthquake);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile")]
+    fn from_regions_rejects_gaps() {
+        EventCatalogue::from_regions(vec![PerilRegion {
+            peril: Peril::Flood,
+            first_event: 1,
+            num_events: 4,
+            annual_rate: 1.0,
+        }]);
+    }
+
+    #[test]
+    fn region_contains() {
+        let r = PerilRegion {
+            peril: Peril::Flood,
+            first_event: 10,
+            num_events: 5,
+            annual_rate: 1.0,
+        };
+        assert!(!r.contains(9));
+        assert!(r.contains(10));
+        assert!(r.contains(14));
+        assert!(!r.contains(15));
+    }
+
+    #[test]
+    fn seasonality_profiles_are_sane() {
+        for p in Peril::ALL {
+            let (peak, conc) = p.seasonality();
+            assert!((0.0..1.0).contains(&peak));
+            assert!(conc >= 0.0);
+        }
+        // Earthquakes are the flat reference.
+        assert_eq!(Peril::Earthquake.seasonality().1, 0.0);
+    }
+}

@@ -1,0 +1,338 @@
+//! Samplers for the distributions catastrophe models are built from.
+//!
+//! Implemented locally on top of `rand`'s uniform source so the workspace
+//! needs no statistics crate: Poisson (Knuth / normal approximation),
+//! negative binomial via gamma–Poisson mixture (Marsaglia–Tsang gamma),
+//! log-normal via Box–Muller, and Pareto via inverse CDF.
+
+use rand::Rng;
+
+/// Poisson distribution — event counts per contractual year.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Create with mean `lambda > 0`.
+    ///
+    /// # Panics
+    /// Panics if `lambda` is not finite and positive.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "lambda must be positive"
+        );
+        Poisson { lambda }
+    }
+
+    /// The mean.
+    pub fn mean(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.lambda < 30.0 {
+            // Knuth's product-of-uniforms method.
+            let l = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= rng.gen::<f64>();
+                if p <= l {
+                    return k;
+                }
+                k += 1;
+            }
+        } else {
+            // Normal approximation with continuity correction; adequate
+            // for workload generation at lambda >= 30.
+            let n = standard_normal(rng);
+            let v = self.lambda + self.lambda.sqrt() * n + 0.5;
+            if v < 0.0 {
+                0
+            } else {
+                v.floor() as u64
+            }
+        }
+    }
+}
+
+/// Negative binomial distribution — clustered (over-dispersed) event
+/// counts, sampled as a gamma–Poisson mixture.
+///
+/// Parameterised by mean and a dispersion `k > 0`; variance is
+/// `mean + mean² / k` (smaller `k` → heavier clustering).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NegBinomial {
+    mean: f64,
+    dispersion: f64,
+}
+
+impl NegBinomial {
+    /// Create with `mean > 0` and `dispersion > 0`.
+    ///
+    /// # Panics
+    /// Panics on non-positive parameters.
+    pub fn new(mean: f64, dispersion: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
+        assert!(
+            dispersion.is_finite() && dispersion > 0.0,
+            "dispersion must be positive"
+        );
+        NegBinomial { mean, dispersion }
+    }
+
+    /// The mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The variance `mean + mean²/k`.
+    pub fn variance(&self) -> f64 {
+        self.mean + self.mean * self.mean / self.dispersion
+    }
+
+    /// Draw one sample: `Poisson(Gamma(k, mean/k))`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let rate = sample_gamma(rng, self.dispersion, self.mean / self.dispersion);
+        if rate <= 0.0 {
+            return 0;
+        }
+        Poisson::new(rate.max(1e-12)).sample(rng)
+    }
+}
+
+/// Log-normal severity distribution, parameterised by the underlying
+/// normal's `mu` and `sigma`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Create with `sigma >= 0`.
+    ///
+    /// # Panics
+    /// Panics if `sigma` is negative or parameters are not finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0);
+        LogNormal { mu, sigma }
+    }
+
+    /// Create from the desired median and a shape `sigma`.
+    pub fn from_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0);
+        Self::new(median.ln(), sigma)
+    }
+
+    /// The distribution mean `exp(mu + sigma²/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Pareto (type I) severity distribution — heavy catastrophe tails.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    /// Create with minimum value `scale > 0` and tail index `shape > 0`.
+    ///
+    /// # Panics
+    /// Panics on non-positive parameters.
+    pub fn new(scale: f64, shape: f64) -> Self {
+        assert!(scale.is_finite() && scale > 0.0);
+        assert!(shape.is_finite() && shape > 0.0);
+        Pareto { scale, shape }
+    }
+
+    /// The mean (`inf` when `shape <= 1`).
+    pub fn mean(&self) -> f64 {
+        if self.shape <= 1.0 {
+            f64::INFINITY
+        } else {
+            self.shape * self.scale / (self.shape - 1.0)
+        }
+    }
+
+    /// Draw one sample by inverse CDF.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // U in (0, 1]; x = scale / U^(1/shape).
+        let u = 1.0 - rng.gen::<f64>();
+        self.scale / u.powf(1.0 / self.shape)
+    }
+}
+
+/// One standard-normal draw (Box–Muller, one of the pair).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Gamma(`shape`, `scale`) via Marsaglia–Tsang, with the standard boost
+/// for `shape < 1`.
+pub fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64) -> f64 {
+    assert!(shape > 0.0 && scale > 0.0);
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        return sample_gamma(rng, shape + 1.0, scale) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v * scale;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xA5A5_1234)
+    }
+
+    fn sample_mean_var(mut f: impl FnMut(&mut StdRng) -> f64, n: usize) -> (f64, f64) {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..n).map(|_| f(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        (mean, var)
+    }
+
+    #[test]
+    fn poisson_small_lambda_moments() {
+        let p = Poisson::new(3.0);
+        let (mean, var) = sample_mean_var(|r| p.sample(r) as f64, 20_000);
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 3.0).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_moments() {
+        let p = Poisson::new(1000.0);
+        let (mean, var) = sample_mean_var(|r| p.sample(r) as f64, 20_000);
+        assert!((mean - 1000.0).abs() < 2.0, "mean {mean}");
+        assert!((var - 1000.0).abs() < 60.0, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn poisson_rejects_nonpositive() {
+        Poisson::new(0.0);
+    }
+
+    #[test]
+    fn negbinomial_is_overdispersed() {
+        let nb = NegBinomial::new(10.0, 2.0);
+        assert_eq!(nb.mean(), 10.0);
+        assert_eq!(nb.variance(), 60.0);
+        let (mean, var) = sample_mean_var(|r| nb.sample(r) as f64, 30_000);
+        assert!((mean - 10.0).abs() < 0.3, "mean {mean}");
+        // Variance must clearly exceed the Poisson variance (= mean).
+        assert!(var > 30.0, "var {var} not over-dispersed");
+        assert!((var - 60.0).abs() < 12.0, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_moments() {
+        let ln = LogNormal::new(1.0, 0.5);
+        let expected = (1.0f64 + 0.125).exp();
+        assert!((ln.mean() - expected).abs() < 1e-12);
+        let (mean, _) = sample_mean_var(|r| ln.sample(r), 50_000);
+        assert!(
+            (mean - expected).abs() / expected < 0.03,
+            "mean {mean} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn lognormal_from_median() {
+        let ln = LogNormal::from_median(100.0, 1.0);
+        let mut r = rng();
+        let mut below = 0;
+        for _ in 0..10_000 {
+            if ln.sample(&mut r) < 100.0 {
+                below += 1;
+            }
+        }
+        // Median: roughly half the mass below.
+        assert!((below as f64 / 10_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn pareto_respects_scale_floor() {
+        let p = Pareto::new(50.0, 2.5);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(p.sample(&mut r) >= 50.0);
+        }
+    }
+
+    #[test]
+    fn pareto_mean() {
+        let p = Pareto::new(10.0, 3.0);
+        assert!((p.mean() - 15.0).abs() < 1e-12);
+        assert_eq!(Pareto::new(10.0, 1.0).mean(), f64::INFINITY);
+        let (mean, _) = sample_mean_var(|r| p.sample(r), 100_000);
+        assert!((mean - 15.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn gamma_moments() {
+        // Gamma(k, theta): mean k*theta, var k*theta^2.
+        let (mean, var) = sample_mean_var(|r| sample_gamma(r, 4.0, 2.0), 50_000);
+        assert!((mean - 8.0).abs() < 0.15, "mean {mean}");
+        assert!((var - 16.0).abs() < 1.5, "var {var}");
+    }
+
+    #[test]
+    fn gamma_shape_below_one() {
+        let (mean, _) = sample_mean_var(|r| sample_gamma(r, 0.5, 2.0), 50_000);
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let (mean, var) = sample_mean_var(standard_normal, 50_000);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn samplers_are_deterministic_under_seed() {
+        let p = Poisson::new(5.0);
+        let a: Vec<u64> = {
+            let mut r = rng();
+            (0..10).map(|_| p.sample(&mut r)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = rng();
+            (0..10).map(|_| p.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

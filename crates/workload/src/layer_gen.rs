@@ -1,0 +1,171 @@
+//! Layer and portfolio generation.
+//!
+//! "A typical layer covers approximately 3 to 30 individual ELTs" (paper,
+//! Section II) under four eXcess-of-Loss terms. The generator assembles
+//! layers by sampling an ELT subset and terms sized relative to the
+//! expected occurrence losses, so that both occurrence and aggregate terms
+//! actually bind in a realistic fraction of trials.
+
+use ara_core::{Layer, LayerTerms};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator of layers over a pool of ELTs.
+#[derive(Debug, Clone)]
+pub struct LayerGenerator {
+    num_elts: usize,
+    elts_per_layer: (usize, usize),
+    /// Scale for terms, roughly the median occurrence loss of the book.
+    loss_scale: f64,
+    seed: u64,
+}
+
+impl LayerGenerator {
+    /// Create a generator over a pool of `num_elts` ELTs, covering
+    /// between 3 and 30 ELTs per layer, with terms scaled to
+    /// `loss_scale` (a typical occurrence loss).
+    ///
+    /// # Panics
+    /// Panics if `num_elts == 0` or `loss_scale <= 0`.
+    pub fn new(num_elts: usize, loss_scale: f64, seed: u64) -> Self {
+        assert!(num_elts > 0, "layer generator needs ELTs to cover");
+        assert!(loss_scale > 0.0, "loss scale must be positive");
+        LayerGenerator {
+            num_elts,
+            elts_per_layer: (3, 30),
+            loss_scale,
+            seed,
+        }
+    }
+
+    /// Override the (min, max) ELTs covered per layer.
+    ///
+    /// # Panics
+    /// Panics if `min == 0` or `min > max`.
+    pub fn with_elts_per_layer(mut self, min: usize, max: usize) -> Self {
+        assert!(min > 0 && min <= max, "invalid ELTs-per-layer range");
+        self.elts_per_layer = (min, max);
+        self
+    }
+
+    /// Generate `count` layers with ids `0..count`.
+    pub fn generate(&self, count: usize) -> Vec<Layer> {
+        (0..count).map(|i| self.generate_one(i as u32)).collect()
+    }
+
+    /// Generate the layer with id `id` (deterministic per `(seed, id)`).
+    pub fn generate_one(&self, id: u32) -> Layer {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (id as u64).wrapping_mul(0x517C_C1B7));
+        let hi = self.elts_per_layer.1.min(self.num_elts);
+        let lo = self.elts_per_layer.0.min(hi);
+        let k = rng.gen_range(lo..=hi);
+
+        // Sample k distinct ELT indices; BTreeSet gives the sorted order
+        // directly and keeps rejection sampling deterministic.
+        let mut chosen = std::collections::BTreeSet::new();
+        while chosen.len() < k {
+            chosen.insert(rng.gen_range(0..self.num_elts));
+        }
+        let elt_indices: Vec<usize> = chosen.into_iter().collect();
+
+        // Terms: occurrence band around the typical loss; aggregate band a
+        // few occurrence-limits wide, so multi-event years engage it.
+        let occ_retention = self.loss_scale * rng.gen_range(0.1..1.0);
+        let occ_limit = self.loss_scale * rng.gen_range(2.0..20.0);
+        let agg_retention = occ_retention * rng.gen_range(1.0..4.0);
+        let agg_limit = occ_limit * rng.gen_range(1.5..5.0);
+        Layer::new(
+            id,
+            elt_indices,
+            LayerTerms {
+                occ_retention,
+                occ_limit,
+                agg_retention,
+                agg_limit,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_layers_with_sequential_ids() {
+        let layers = LayerGenerator::new(100, 1e6, 1).generate(5);
+        assert_eq!(layers.len(), 5);
+        for (i, l) in layers.iter().enumerate() {
+            assert_eq!(l.id.0 as usize, i);
+        }
+    }
+
+    #[test]
+    fn elt_counts_respect_paper_range() {
+        let layers = LayerGenerator::new(100, 1e6, 2).generate(50);
+        for l in &layers {
+            assert!(
+                (3..=30).contains(&l.num_elts()),
+                "layer covers {} ELTs",
+                l.num_elts()
+            );
+        }
+    }
+
+    #[test]
+    fn custom_range_is_honoured() {
+        let layers = LayerGenerator::new(100, 1e6, 3)
+            .with_elts_per_layer(15, 15)
+            .generate(10);
+        for l in &layers {
+            assert_eq!(l.num_elts(), 15);
+        }
+    }
+
+    #[test]
+    fn indices_are_distinct_sorted_and_in_range() {
+        let layers = LayerGenerator::new(40, 1e6, 4).generate(20);
+        for l in &layers {
+            for w in l.elt_indices.windows(2) {
+                assert!(w[0] < w[1], "indices must be strictly increasing");
+            }
+            for &i in &l.elt_indices {
+                assert!(i < 40);
+            }
+        }
+    }
+
+    #[test]
+    fn small_pool_caps_coverage() {
+        let layers = LayerGenerator::new(2, 1e6, 5).generate(5);
+        for l in &layers {
+            assert!(l.num_elts() <= 2);
+        }
+    }
+
+    #[test]
+    fn terms_are_valid_and_ordered() {
+        let layers = LayerGenerator::new(100, 1e6, 6).generate(30);
+        for l in &layers {
+            l.terms.validate().unwrap();
+            assert!(l.terms.occ_retention > 0.0);
+            assert!(l.terms.occ_limit > l.terms.occ_retention);
+            assert!(l.terms.agg_limit > l.terms.occ_limit);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = LayerGenerator::new(100, 1e6, 7).generate(5);
+        let b = LayerGenerator::new(100, 1e6, 7).generate(5);
+        assert_eq!(a, b);
+        let c = LayerGenerator::new(100, 1e6, 8).generate(5);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs ELTs")]
+    fn zero_pool_panics() {
+        LayerGenerator::new(0, 1e6, 1);
+    }
+}

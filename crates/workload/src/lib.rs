@@ -1,0 +1,33 @@
+//! # ara-workload — synthetic workload generation for aggregate risk analysis
+//!
+//! The paper evaluates on proprietary catastrophe-model data ("a typical
+//! exposure set and contract structure"). This crate generates synthetic
+//! inputs with the same *shape*: a stochastic event [`catalogue`] covering
+//! multiple perils, a pre-simulated Year Event Table ([`yet_gen`]) with
+//! Poisson or clustered occurrence counts and seasonality, Event Loss
+//! Tables ([`elt_gen`]) with heavy-tailed severities, and layers
+//! ([`layer_gen`]) with realistic eXcess-of-Loss terms.
+//!
+//! The aggregate-analysis algorithm is data-oblivious: its cost depends
+//! only on the shape parameters (trials, events per trial, ELTs per layer,
+//! record densities), which [`scenario`] presets control — including the
+//! paper-scale configuration (1 M trials × 1 000 events × 15 ELTs).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod catalogue;
+pub mod distributions;
+pub mod elt_gen;
+pub mod layer_gen;
+pub mod scenario;
+pub mod validation;
+pub mod yet_gen;
+
+pub use catalogue::{EventCatalogue, Peril, PerilRegion};
+pub use distributions::{LogNormal, NegBinomial, Pareto, Poisson};
+pub use elt_gen::EltGenerator;
+pub use layer_gen::LayerGenerator;
+pub use scenario::{Scenario, ScenarioShape};
+pub use validation::{validate_yet, RegionCheck, YetValidationReport};
+pub use yet_gen::YetGenerator;

@@ -1,0 +1,304 @@
+//! Scenario presets tying the generators together.
+//!
+//! A [`ScenarioShape`] captures the shape parameters that determine the
+//! cost of aggregate analysis; [`Scenario`] materialises a full
+//! [`Inputs`] from a shape and a seed. The [`ScenarioShape::paper`]
+//! preset reproduces the paper's evaluation configuration (1 M trials ×
+//! 1 000 events per trial, 15 ELTs per layer over a 2 M-event catalogue);
+//! materialising it needs ~8 GB, so measured runs use the proportionally
+//! scaled [`ScenarioShape::bench`] preset and the performance models
+//! extrapolate to paper scale.
+
+use crate::catalogue::EventCatalogue;
+use crate::elt_gen::{EltGenerator, Severity};
+use crate::layer_gen::LayerGenerator;
+use crate::yet_gen::YetGenerator;
+use ara_core::{AraError, Inputs, Layer, LayerTerms};
+
+/// The shape parameters of an aggregate-analysis workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioShape {
+    /// Number of trials in the YET.
+    pub num_trials: usize,
+    /// Expected event occurrences per trial.
+    pub events_per_trial: f64,
+    /// Size of the global event catalogue.
+    pub catalogue_size: u32,
+    /// Number of distinct ELTs in the pool.
+    pub num_elts: usize,
+    /// Non-zero records per ELT.
+    pub records_per_elt: usize,
+    /// Number of layers.
+    pub num_layers: usize,
+    /// ELTs covered by each layer (min, max).
+    pub elts_per_layer: (usize, usize),
+}
+
+impl ScenarioShape {
+    /// The paper's evaluation configuration: 1 M trials × 1 000 events,
+    /// 1 layer × 15 ELTs ("Loss Sets"), 2 M-event catalogue, 20 k records
+    /// per ELT.
+    pub fn paper() -> Self {
+        ScenarioShape {
+            num_trials: 1_000_000,
+            events_per_trial: 1000.0,
+            catalogue_size: 2_000_000,
+            num_elts: 15,
+            records_per_elt: 20_000,
+            num_layers: 1,
+            elts_per_layer: (15, 15),
+        }
+    }
+
+    /// A 1/100-scale version of the paper shape that fits comfortably in
+    /// RAM for measured runs: 10 k trials × 100 events over a 200 k-event
+    /// catalogue (every per-axis ratio of the paper preset is preserved
+    /// except absolute size).
+    pub fn bench() -> Self {
+        ScenarioShape {
+            num_trials: 10_000,
+            events_per_trial: 100.0,
+            catalogue_size: 200_000,
+            num_elts: 15,
+            records_per_elt: 2_000,
+            num_layers: 1,
+            elts_per_layer: (15, 15),
+        }
+    }
+
+    /// A seconds-fast configuration for tests and examples.
+    pub fn smoke() -> Self {
+        ScenarioShape {
+            num_trials: 200,
+            events_per_trial: 20.0,
+            catalogue_size: 5_000,
+            num_elts: 6,
+            records_per_elt: 300,
+            num_layers: 2,
+            elts_per_layer: (3, 6),
+        }
+    }
+
+    /// Expected total ELT lookups: `layers × elts/layer × trials ×
+    /// events/trial` — the paper's "15 billion events" quantity.
+    pub fn expected_lookups(&self) -> f64 {
+        let mean_elts = (self.elts_per_layer.0 + self.elts_per_layer.1) as f64 / 2.0;
+        self.num_layers as f64 * mean_elts * self.num_trials as f64 * self.events_per_trial
+    }
+
+    /// Ratio of another shape's lookup volume to this one's — used to
+    /// extrapolate measured times to paper scale.
+    pub fn work_ratio_to(&self, other: &ScenarioShape) -> f64 {
+        other.expected_lookups() / self.expected_lookups()
+    }
+
+    /// Estimated bytes to materialise the YET plus the per-layer direct
+    /// access tables at `bytes_per_loss` precision.
+    pub fn estimated_memory_bytes(&self, bytes_per_loss: usize) -> usize {
+        let yet = self.num_trials as f64 * self.events_per_trial * 8.0;
+        let mean_elts = (self.elts_per_layer.0 + self.elts_per_layer.1) as f64 / 2.0;
+        let tables =
+            self.num_layers as f64 * mean_elts * self.catalogue_size as f64 * bytes_per_loss as f64;
+        (yet + tables) as usize
+    }
+}
+
+/// A materialisable scenario: shape + seed + severity/term options.
+///
+/// ```
+/// use ara_workload::{Scenario, ScenarioShape};
+///
+/// let inputs = Scenario::new(ScenarioShape::smoke(), 1).build().unwrap();
+/// assert_eq!(inputs.yet.num_trials(), 200);
+/// inputs.validate().unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    shape: ScenarioShape,
+    seed: u64,
+    severity: Severity,
+    random_financial_terms: bool,
+    clustering: Option<f64>,
+    shared_footprint: f64,
+}
+
+impl Scenario {
+    /// Create a scenario from a shape and a seed with default severities
+    /// (log-normal), identity financial terms and independent occurrences.
+    pub fn new(shape: ScenarioShape, seed: u64) -> Self {
+        Scenario {
+            shape,
+            seed,
+            severity: Severity::LogNormal {
+                median: 1.0e6,
+                sigma: 1.4,
+            },
+            random_financial_terms: false,
+            clustering: None,
+            shared_footprint: 0.0,
+        }
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &ScenarioShape {
+        &self.shape
+    }
+
+    /// Use a different severity model.
+    pub fn with_severity(mut self, severity: Severity) -> Self {
+        self.severity = severity;
+        self
+    }
+
+    /// Sample non-trivial per-ELT financial terms.
+    pub fn with_random_financial_terms(mut self) -> Self {
+        self.random_financial_terms = true;
+        self
+    }
+
+    /// Use clustered (negative-binomial) occurrence counts.
+    pub fn with_clustering(mut self, dispersion: f64) -> Self {
+        self.clustering = Some(dispersion);
+        self
+    }
+
+    /// Overlap the ELT footprints (correlated exposure sets).
+    pub fn with_shared_footprint(mut self, fraction: f64) -> Self {
+        self.shared_footprint = fraction;
+        self
+    }
+
+    /// Generate the full analysis inputs.
+    pub fn build(&self) -> Result<Inputs, AraError> {
+        let s = &self.shape;
+        let catalogue = EventCatalogue::uniform(s.catalogue_size, s.events_per_trial);
+        let mut yet_gen = YetGenerator::new(catalogue.clone(), self.seed);
+        if let Some(d) = self.clustering {
+            yet_gen = yet_gen.with_clustering(d);
+        }
+        let yet = yet_gen.generate(s.num_trials)?;
+
+        let mut elt_gen = EltGenerator::new(&catalogue, s.records_per_elt, self.seed ^ 0xE17)
+            .with_severity(self.severity)
+            .with_shared_footprint(self.shared_footprint);
+        if self.random_financial_terms {
+            elt_gen = elt_gen.with_random_terms();
+        }
+        let elts = elt_gen.generate(s.num_elts)?;
+
+        let loss_scale = match self.severity {
+            Severity::LogNormal { median, .. } => median,
+            Severity::Pareto { scale, .. } => scale * 2.0,
+        };
+        let layers = LayerGenerator::new(s.num_elts, loss_scale, self.seed ^ 0x1A7E)
+            .with_elts_per_layer(s.elts_per_layer.0, s.elts_per_layer.1)
+            .generate(s.num_layers);
+
+        let inputs = Inputs { yet, elts, layers };
+        inputs.validate()?;
+        Ok(inputs)
+    }
+
+    /// Build a single wide-open layer covering every ELT — used by
+    /// experiments that sweep shape axes without term effects.
+    pub fn build_unlimited_single_layer(&self) -> Result<Inputs, AraError> {
+        let mut inputs = self.build()?;
+        inputs.layers = vec![Layer::new(
+            0,
+            (0..inputs.elts.len()).collect(),
+            LayerTerms::unlimited(),
+        )];
+        inputs.validate()?;
+        Ok(inputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scenario_builds_valid_inputs() {
+        let inputs = Scenario::new(ScenarioShape::smoke(), 42).build().unwrap();
+        assert_eq!(inputs.yet.num_trials(), 200);
+        assert_eq!(inputs.elts.len(), 6);
+        assert_eq!(inputs.layers.len(), 2);
+        inputs.validate().unwrap();
+    }
+
+    #[test]
+    fn smoke_scenario_is_deterministic() {
+        let a = Scenario::new(ScenarioShape::smoke(), 42).build().unwrap();
+        let b = Scenario::new(ScenarioShape::smoke(), 42).build().unwrap();
+        assert_eq!(a.yet, b.yet);
+        assert_eq!(a.elts, b.elts);
+        assert_eq!(a.layers, b.layers);
+    }
+
+    #[test]
+    fn paper_shape_matches_the_paper() {
+        let p = ScenarioShape::paper();
+        assert_eq!(p.num_trials, 1_000_000);
+        assert_eq!(p.events_per_trial, 1000.0);
+        assert_eq!(p.elts_per_layer, (15, 15));
+        // 1 layer × 15 ELTs × 1M trials × 1000 events = 15e9 lookups —
+        // the paper's Section III count.
+        assert_eq!(p.expected_lookups(), 15e9);
+    }
+
+    #[test]
+    fn bench_shape_work_ratio_to_paper() {
+        let bench = ScenarioShape::bench();
+        let ratio = bench.work_ratio_to(&ScenarioShape::paper());
+        // 1/100 trials × 1/10 events = 1000x less lookup work.
+        assert!((ratio - 10_000.0 / 10.0).abs() < 1e-6, "ratio {ratio}");
+    }
+
+    #[test]
+    fn memory_estimate_scales_with_precision() {
+        let s = ScenarioShape::bench();
+        let m8 = s.estimated_memory_bytes(8);
+        let m4 = s.estimated_memory_bytes(4);
+        assert!(m8 > m4);
+        // Paper shape at f64 exceeds 8 GB — the reason measured runs use
+        // the bench shape.
+        assert!(ScenarioShape::paper().estimated_memory_bytes(8) > 8_000_000_000);
+    }
+
+    #[test]
+    fn unlimited_single_layer_override() {
+        let inputs = Scenario::new(ScenarioShape::smoke(), 7)
+            .build_unlimited_single_layer()
+            .unwrap();
+        assert_eq!(inputs.layers.len(), 1);
+        assert_eq!(inputs.layers[0].num_elts(), inputs.elts.len());
+        assert_eq!(inputs.layers[0].terms.agg_limit, f64::INFINITY);
+    }
+
+    #[test]
+    fn options_change_the_workload() {
+        let base = Scenario::new(ScenarioShape::smoke(), 1).build().unwrap();
+        let clustered = Scenario::new(ScenarioShape::smoke(), 1)
+            .with_clustering(0.5)
+            .build()
+            .unwrap();
+        assert_ne!(base.yet, clustered.yet);
+        let termed = Scenario::new(ScenarioShape::smoke(), 1)
+            .with_random_financial_terms()
+            .build()
+            .unwrap();
+        assert!(termed.elts.iter().any(|e| !e.terms().is_identity()));
+        let correlated = Scenario::new(ScenarioShape::smoke(), 1)
+            .with_shared_footprint(0.8)
+            .build()
+            .unwrap();
+        assert_ne!(base.elts, correlated.elts);
+    }
+
+    #[test]
+    fn mean_events_tracks_shape() {
+        let inputs = Scenario::new(ScenarioShape::smoke(), 3).build().unwrap();
+        let mean = inputs.yet.mean_events_per_trial();
+        assert!((mean - 20.0).abs() < 3.0, "mean {mean}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Statistical validation of a YET against its catalogue.
+//!
+//! "From an analytical perspective a pre-simulated YET lends itself to
+//! statistical validation" (paper, Section I): before a YET is trusted
+//! for pricing, its empirical occurrence rates are checked against the
+//! catalogue's annual rates, region by region. The check uses a normal
+//! approximation to the Poisson sampling error, so the tolerance is
+//! expressed in standard errors rather than ad-hoc percentages.
+
+use crate::catalogue::{EventCatalogue, Peril};
+use ara_core::YearEventTable;
+
+/// Validation result for one peril region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionCheck {
+    /// The region's peril.
+    pub peril: Peril,
+    /// First event id of the region.
+    pub first_event: u32,
+    /// Expected occurrences per trial year (the catalogue's rate).
+    pub expected_rate: f64,
+    /// Observed mean occurrences per trial year in the YET.
+    pub observed_rate: f64,
+    /// `(observed - expected)` in units of the standard error of the
+    /// mean under Poisson sampling.
+    pub z_score: f64,
+}
+
+impl RegionCheck {
+    /// True if the observed rate is within `max_sigma` standard errors.
+    pub fn within(&self, max_sigma: f64) -> bool {
+        self.z_score.abs() <= max_sigma
+    }
+}
+
+/// Full validation report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YetValidationReport {
+    /// Per-region checks, in catalogue order.
+    pub regions: Vec<RegionCheck>,
+    /// Number of trials examined.
+    pub trials: usize,
+}
+
+impl YetValidationReport {
+    /// True if every region passes at `max_sigma` standard errors.
+    pub fn passes(&self, max_sigma: f64) -> bool {
+        self.regions.iter().all(|r| r.within(max_sigma))
+    }
+
+    /// The worst (largest-|z|) region, if any.
+    pub fn worst(&self) -> Option<&RegionCheck> {
+        self.regions.iter().max_by(|a, b| {
+            a.z_score
+                .abs()
+                .partial_cmp(&b.z_score.abs())
+                .expect("finite z")
+        })
+    }
+}
+
+/// Compare the YET's per-region occurrence rates against the
+/// catalogue's annual rates.
+///
+/// # Panics
+/// Panics if the YET has no trials or its catalogue size disagrees with
+/// `catalogue`.
+pub fn validate_yet(yet: &YearEventTable, catalogue: &EventCatalogue) -> YetValidationReport {
+    assert!(yet.num_trials() > 0, "cannot validate an empty YET");
+    assert_eq!(
+        yet.catalogue_size(),
+        catalogue.size(),
+        "YET and catalogue disagree on the event id space"
+    );
+    let n = yet.num_trials() as f64;
+    // Count occurrences per region in one pass.
+    let mut counts = vec![0u64; catalogue.regions().len()];
+    for trial in yet.trials() {
+        for &e in trial.events {
+            let idx = catalogue
+                .regions()
+                .partition_point(|r| r.end_event() <= e.0);
+            counts[idx] += 1;
+        }
+    }
+    let regions = catalogue
+        .regions()
+        .iter()
+        .zip(&counts)
+        .map(|(region, &count)| {
+            let observed_rate = count as f64 / n;
+            // SEM of a Poisson(λ) mean over n trials: sqrt(λ / n).
+            let sem = (region.annual_rate.max(1e-12) / n).sqrt();
+            RegionCheck {
+                peril: region.peril,
+                first_event: region.first_event,
+                expected_rate: region.annual_rate,
+                observed_rate,
+                z_score: (observed_rate - region.annual_rate) / sem,
+            }
+        })
+        .collect();
+    YetValidationReport {
+        regions,
+        trials: yet.num_trials(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::yet_gen::YetGenerator;
+
+    #[test]
+    fn generated_yet_validates_against_its_catalogue() {
+        let cat = EventCatalogue::uniform(10_000, 100.0);
+        let yet = YetGenerator::new(cat.clone(), 17).generate(2_000).unwrap();
+        let report = validate_yet(&yet, &cat);
+        assert_eq!(report.regions.len(), 5);
+        assert_eq!(report.trials, 2_000);
+        // A correctly generated YET should pass comfortably at 4 sigma.
+        assert!(report.passes(4.0), "worst region: {:?}", report.worst());
+    }
+
+    #[test]
+    fn rate_mismatch_is_detected() {
+        // Generate against a 50-rate catalogue, validate against one
+        // claiming double the rate: every region should blow past 4σ.
+        let gen_cat = EventCatalogue::uniform(10_000, 50.0);
+        let claim_cat = EventCatalogue::uniform(10_000, 100.0);
+        let yet = YetGenerator::new(gen_cat, 23).generate(2_000).unwrap();
+        let report = validate_yet(&yet, &claim_cat);
+        assert!(!report.passes(4.0));
+        assert!(
+            report.worst().unwrap().z_score < -4.0,
+            "{:?}",
+            report.worst()
+        );
+    }
+
+    #[test]
+    fn clustered_yets_keep_the_mean_rate() {
+        // Clustering inflates variance, not the mean: validation of the
+        // rate should still pass (with a slightly wider net).
+        let cat = EventCatalogue::uniform(10_000, 80.0);
+        let yet = YetGenerator::new(cat.clone(), 29)
+            .with_clustering(1.0)
+            .generate(4_000)
+            .unwrap();
+        let report = validate_yet(&yet, &cat);
+        // Clustered counts are over-dispersed, so allow a wider band.
+        assert!(report.passes(8.0), "worst region: {:?}", report.worst());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty YET")]
+    fn empty_yet_panics() {
+        let cat = EventCatalogue::uniform(100, 10.0);
+        let yet = ara_core::YearEventTableBuilder::new(100).build();
+        validate_yet(&yet, &cat);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree")]
+    fn catalogue_size_mismatch_panics() {
+        let cat = EventCatalogue::uniform(100, 10.0);
+        let other = EventCatalogue::uniform(200, 10.0);
+        let yet = YetGenerator::new(cat, 1).generate(10).unwrap();
+        validate_yet(&yet, &other);
+    }
+}

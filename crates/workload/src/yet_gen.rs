@@ -1,0 +1,264 @@
+//! Year Event Table generation.
+//!
+//! Each trial is one simulated contractual year: for every peril region we
+//! draw an occurrence count (Poisson, or negative-binomial when clustering
+//! is enabled — "tuning for seasonality and cluster effects", paper
+//! Section I), pick events uniformly from the region, and place them in
+//! the year according to the peril's seasonality profile. The trial is
+//! then sorted by timestamp as the YET definition requires.
+
+use crate::catalogue::EventCatalogue;
+use crate::distributions::{NegBinomial, Poisson};
+use ara_core::{AraError, EventOccurrence, YearEventTable, YearEventTableBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Occurrence-count model per region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CountModel {
+    /// Independent occurrences: `Poisson(rate)`.
+    Poisson,
+    /// Clustered occurrences: negative binomial with the given dispersion
+    /// (smaller = heavier clustering).
+    Clustered {
+        /// Negative-binomial dispersion parameter `k`.
+        dispersion: f64,
+    },
+}
+
+/// Generator of pre-simulated Year Event Tables.
+#[derive(Debug, Clone)]
+pub struct YetGenerator {
+    catalogue: EventCatalogue,
+    count_model: CountModel,
+    seed: u64,
+}
+
+impl YetGenerator {
+    /// Create a generator over `catalogue` with independent (Poisson)
+    /// occurrence counts.
+    pub fn new(catalogue: EventCatalogue, seed: u64) -> Self {
+        YetGenerator {
+            catalogue,
+            count_model: CountModel::Poisson,
+            seed,
+        }
+    }
+
+    /// Switch to a clustered occurrence-count model.
+    pub fn with_clustering(mut self, dispersion: f64) -> Self {
+        self.count_model = CountModel::Clustered { dispersion };
+        self
+    }
+
+    /// The catalogue being sampled.
+    pub fn catalogue(&self) -> &EventCatalogue {
+        &self.catalogue
+    }
+
+    /// Generate a YET of `num_trials` trials.
+    pub fn generate(&self, num_trials: usize) -> Result<YearEventTable, AraError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let expected = self.catalogue.total_annual_rate() * num_trials as f64;
+        let mut builder = YearEventTableBuilder::with_capacity(
+            self.catalogue.size(),
+            num_trials,
+            expected as usize,
+        );
+        let mut trial: Vec<EventOccurrence> = Vec::new();
+        for _ in 0..num_trials {
+            trial.clear();
+            self.fill_trial(&mut rng, &mut trial);
+            trial.sort_by(|a, b| {
+                a.time
+                    .0
+                    .partial_cmp(&b.time.0)
+                    .expect("generated timestamps are finite")
+            });
+            builder.push_trial(&trial)?;
+        }
+        Ok(builder.build())
+    }
+
+    fn fill_trial(&self, rng: &mut StdRng, out: &mut Vec<EventOccurrence>) {
+        for region in self.catalogue.regions() {
+            if region.annual_rate <= 0.0 || region.num_events == 0 {
+                continue;
+            }
+            let count = match self.count_model {
+                CountModel::Poisson => Poisson::new(region.annual_rate).sample(rng),
+                CountModel::Clustered { dispersion } => {
+                    NegBinomial::new(region.annual_rate, dispersion).sample(rng)
+                }
+            };
+            let (peak, conc) = region.peril.seasonality();
+            for _ in 0..count {
+                let event = region.first_event + rng.gen_range(0..region.num_events);
+                let time = sample_seasonal_time(rng, peak, conc);
+                out.push(EventOccurrence::new(event, time));
+            }
+        }
+    }
+}
+
+/// Sample a year-fraction in `[0, 1)` concentrated around `peak`.
+///
+/// Uses a wrapped triangular-mixture kernel: with probability proportional
+/// to the concentration the time falls near the peak, otherwise uniform.
+/// Cheap, and produces the seasonal humps real YETs exhibit.
+fn sample_seasonal_time<R: Rng + ?Sized>(rng: &mut R, peak: f32, concentration: f32) -> f32 {
+    let uniform: f32 = rng.gen_range(0.0..1.0);
+    if concentration <= 0.0 {
+        return uniform;
+    }
+    // Mixture weight saturating in the concentration.
+    let w = concentration / (concentration + 2.0);
+    if rng.gen::<f32>() < w {
+        // Triangular kernel of half-width inversely related to the
+        // concentration, wrapped into [0, 1).
+        let half_width = 0.5 / (1.0 + concentration);
+        let u: f32 = rng.gen_range(-1.0..1.0f32);
+        let v: f32 = rng.gen_range(-1.0..1.0f32);
+        let t = peak + half_width * (u + v) * 0.5;
+        t.rem_euclid(1.0)
+    } else {
+        uniform
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalogue::Peril;
+
+    fn generator(seed: u64) -> YetGenerator {
+        YetGenerator::new(EventCatalogue::uniform(10_000, 100.0), seed)
+    }
+
+    #[test]
+    fn generates_requested_trials() {
+        let yet = generator(1).generate(50).unwrap();
+        assert_eq!(yet.num_trials(), 50);
+        assert_eq!(yet.catalogue_size(), 10_000);
+    }
+
+    #[test]
+    fn mean_events_per_trial_tracks_rate() {
+        let yet = generator(2).generate(400).unwrap();
+        let mean = yet.mean_events_per_trial();
+        assert!((mean - 100.0).abs() < 5.0, "mean {mean}");
+    }
+
+    #[test]
+    fn trials_are_time_sorted() {
+        let yet = generator(3).generate(20).unwrap();
+        for trial in yet.trials() {
+            for w in trial.times.windows(2) {
+                assert!(w[0].0 <= w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn timestamps_are_canonical() {
+        let yet = generator(4).generate(20).unwrap();
+        for trial in yet.trials() {
+            for &t in trial.times {
+                assert!(t.is_canonical(), "timestamp {t:?} outside [0,1)");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generator(7).generate(10).unwrap();
+        let b = generator(7).generate(10).unwrap();
+        assert_eq!(a, b);
+        let c = generator(8).generate(10).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn clustering_increases_trial_size_variance() {
+        let cat = EventCatalogue::uniform(10_000, 50.0);
+        let plain = YetGenerator::new(cat.clone(), 11).generate(600).unwrap();
+        let clustered = YetGenerator::new(cat, 11)
+            .with_clustering(0.5)
+            .generate(600)
+            .unwrap();
+        let var = |yet: &YearEventTable| {
+            let mean = yet.mean_events_per_trial();
+            let n = yet.num_trials() as f64;
+            yet.trials()
+                .map(|t| (t.len() as f64 - mean).powi(2))
+                .sum::<f64>()
+                / (n - 1.0)
+        };
+        assert!(
+            var(&clustered) > 2.0 * var(&plain),
+            "clustered variance {} should far exceed Poisson variance {}",
+            var(&clustered),
+            var(&plain)
+        );
+    }
+
+    #[test]
+    fn seasonality_concentrates_hurricane_times() {
+        // A hurricane-only catalogue: occurrence times should pile up near
+        // the peril's peak (0.70) relative to uniform.
+        let cat = EventCatalogue::from_regions(vec![crate::catalogue::PerilRegion {
+            peril: Peril::Hurricane,
+            first_event: 0,
+            num_events: 1000,
+            annual_rate: 80.0,
+        }]);
+        let yet = YetGenerator::new(cat, 5).generate(200).unwrap();
+        let (peak, _) = Peril::Hurricane.seasonality();
+        let mut near = 0usize;
+        let mut total = 0usize;
+        for trial in yet.trials() {
+            for &t in trial.times {
+                total += 1;
+                if (t.0 - peak).abs() < 0.1 {
+                    near += 1;
+                }
+            }
+        }
+        // Uniform would put ~20% in the ±0.1 band.
+        let frac = near as f64 / total as f64;
+        assert!(frac > 0.35, "seasonal fraction {frac} too low");
+    }
+
+    #[test]
+    fn earthquake_times_stay_uniform() {
+        let cat = EventCatalogue::from_regions(vec![crate::catalogue::PerilRegion {
+            peril: Peril::Earthquake,
+            first_event: 0,
+            num_events: 1000,
+            annual_rate: 80.0,
+        }]);
+        let yet = YetGenerator::new(cat, 6).generate(200).unwrap();
+        let mut first_half = 0usize;
+        let mut total = 0usize;
+        for trial in yet.trials() {
+            for &t in trial.times {
+                total += 1;
+                if t.0 < 0.5 {
+                    first_half += 1;
+                }
+            }
+        }
+        let frac = first_half as f64 / total as f64;
+        assert!((frac - 0.5).abs() < 0.03, "uniform fraction {frac}");
+    }
+
+    #[test]
+    fn events_fall_in_their_regions() {
+        let yet = generator(9).generate(30).unwrap();
+        for trial in yet.trials() {
+            for &e in trial.events {
+                assert!(e.0 < 10_000);
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! The Section III data-structure trade-off, hands on.
+//!
+//! Builds one ELT and looks the same events up through every structure
+//! the paper weighs — direct access table, binary search, std hash map,
+//! cuckoo hash — printing memory use, modeled accesses per lookup, and
+//! measured lookup throughput on this host.
+//!
+//! ```sh
+//! cargo run --release --example data_structures
+//! ```
+
+use aggregate_risk::core::{
+    BlockDeltaLookup, CuckooHashTable, DirectAccessTable, EventId, LossLookup, PagedDirectTable,
+    SortedLookup, StdHashLookup,
+};
+use aggregate_risk::workload::{EltGenerator, EventCatalogue};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+const CATALOGUE: u32 = 1_000_000;
+const RECORDS: usize = 20_000;
+const LOOKUPS: usize = 2_000_000;
+
+fn bench<L: LossLookup<f64>>(table: &L, queries: &[EventId]) {
+    let start = Instant::now();
+    let mut checksum = 0.0;
+    for &q in queries {
+        checksum += table.loss(q);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    println!(
+        "{:>28}: {:>9.1} ns/lookup  {:>10.1} MiB  {:>5.1} accesses/lookup  (checksum {:.3e})",
+        table.strategy_name(),
+        elapsed * 1e9 / queries.len() as f64,
+        table.memory_bytes() as f64 / (1024.0 * 1024.0),
+        table.accesses_per_lookup(),
+        checksum
+    );
+}
+
+fn main() {
+    println!(
+        "one ELT: {RECORDS} non-zero records against a {CATALOGUE}-event catalogue, \
+         {LOOKUPS} random lookups\n"
+    );
+    let catalogue = EventCatalogue::uniform(CATALOGUE, 1000.0);
+    let elt = EltGenerator::new(&catalogue, RECORDS, 1)
+        .generate_one(0)
+        .expect("valid ELT");
+    let mut rng = StdRng::seed_from_u64(2);
+    let queries: Vec<EventId> = (0..LOOKUPS)
+        .map(|_| EventId(rng.gen_range(0..CATALOGUE)))
+        .collect();
+
+    let direct = DirectAccessTable::<f64>::from_elt(&elt, CATALOGUE).expect("fits");
+    let sorted = SortedLookup::<f64>::from_elt(&elt);
+    let hash = StdHashLookup::<f64>::from_elt(&elt);
+    let cuckoo = CuckooHashTable::<f64>::from_elt(&elt).expect("builds");
+
+    let paged = PagedDirectTable::<f64>::from_elt(&elt, CATALOGUE).expect("fits");
+    let delta = BlockDeltaLookup::<f64>::from_elt(&elt);
+
+    bench(&direct, &queries);
+    bench(&paged, &queries);
+    bench(&cuckoo, &queries);
+    bench(&hash, &queries);
+    bench(&sorted, &queries);
+    bench(&delta, &queries);
+
+    println!(
+        "\nthe paper's trade-off: the direct access table spends {}x the memory of the\n\
+         compact forms to guarantee exactly one memory access per lookup — the right\n\
+         trade when 15 billion lookups dominate the simulation.",
+        direct.memory_bytes() / LossLookup::<f64>::memory_bytes(&sorted).max(1)
+    );
+}

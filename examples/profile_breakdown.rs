@@ -1,0 +1,64 @@
+//! Activity-profile breakdown across all five engines — the data behind
+//! the paper's Figure 6, as a library consumer sees it.
+//!
+//! ```sh
+//! cargo run --release --example profile_breakdown
+//! ```
+
+use aggregate_risk::engine::{
+    Engine, GpuBasicEngine, GpuOptimizedEngine, MultiGpuEngine, MulticoreEngine, SequentialEngine,
+};
+use aggregate_risk::prelude::*;
+use aggregate_risk::simt::model::cpu::AraShape;
+use aggregate_risk::workload::ScenarioShape;
+
+fn main() {
+    let paper = AraShape::paper();
+    let engines: Vec<Box<dyn Engine>> = vec![
+        Box::new(SequentialEngine::<f64>::new()),
+        Box::new(MulticoreEngine::<f64>::new(8)),
+        Box::new(GpuBasicEngine::new()),
+        Box::new(GpuOptimizedEngine::<f32>::new()),
+        Box::new(MultiGpuEngine::<f32>::new(4)),
+    ];
+
+    println!("modeled paper-scale activity breakdown (1M trials x 1000 events, 15 ELTs):\n");
+    for engine in &engines {
+        let m = engine.model(&paper);
+        let (fetch, lookup, financial, layer) = m.breakdown.percentages();
+        println!(
+            "{:<16} on {:<28} total {:>8.2} s",
+            engine.name(),
+            m.platform,
+            m.total_seconds
+        );
+        let bar = |p: f64| "#".repeat((p / 2.0).round() as usize);
+        println!("  fetch events    {fetch:>5.1}%  {}", bar(fetch));
+        println!("  loss lookup     {lookup:>5.1}%  {}", bar(lookup));
+        println!("  financial terms {financial:>5.1}%  {}", bar(financial));
+        println!("  layer terms     {layer:>5.1}%  {}", bar(layer));
+        println!();
+    }
+
+    // And the functional engines at a runnable scale, cross-checked.
+    let inputs = Scenario::new(ScenarioShape::smoke(), 8)
+        .build()
+        .expect("valid scenario");
+    let reference = SequentialEngine::<f64>::new()
+        .analyse(&inputs)
+        .expect("valid inputs");
+    println!("functional cross-check at smoke scale (max relative YLT difference vs sequential):");
+    for engine in &engines[1..] {
+        let out = engine.analyse(&inputs).expect("valid inputs");
+        let mut worst: f64 = 0.0;
+        for i in 0..out.portfolio.num_layers() {
+            worst = worst.max(
+                out.portfolio
+                    .layer_ylt(i)
+                    .max_rel_diff(reference.portfolio.layer_ylt(i))
+                    .expect("equal trial counts"),
+            );
+        }
+        println!("  {:<16} {:.2e}", engine.name(), worst);
+    }
+}

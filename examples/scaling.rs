@@ -1,0 +1,61 @@
+//! Multi-GPU scaling study on simulated devices.
+//!
+//! Sweeps the device count on the simulated four-M2090 machine and
+//! prints modeled paper-scale times alongside real (functional) runs,
+//! then shows what a hypothetical 8-GPU rig would buy — the "what if we
+//! had more devices" question the paper's Figure 3 invites.
+//!
+//! ```sh
+//! cargo run --release --example scaling
+//! ```
+
+use aggregate_risk::engine::{Engine, MultiGpuEngine};
+use aggregate_risk::prelude::*;
+use aggregate_risk::simt::model::cpu::AraShape;
+use aggregate_risk::workload::ScenarioShape;
+use std::time::Instant;
+
+fn main() {
+    let paper = AraShape::paper();
+    let inputs = Scenario::new(ScenarioShape::bench(), 3)
+        .build()
+        .expect("valid scenario");
+
+    println!("device scaling, optimised kernel, paper-scale workload (modeled M2090s):");
+    println!(
+        "{:>5}  {:>12}  {:>9}  {:>11}  {:>14}",
+        "GPUs", "modeled", "speedup", "efficiency", "measured run"
+    );
+    let base = MultiGpuEngine::<f32>::new(1).model(&paper).total_seconds;
+    for n in [1usize, 2, 3, 4, 6, 8] {
+        let engine = MultiGpuEngine::<f32>::new(n);
+        let m = engine.model(&paper);
+        let start = Instant::now();
+        let out = engine.analyse(&inputs).expect("valid inputs");
+        let measured = start.elapsed().as_secs_f64();
+        let speedup = base / m.total_seconds;
+        println!(
+            "{n:>5}  {:>10.2} s  {speedup:>8.2}x  {:>10.1}%  {:>11.1} ms",
+            m.total_seconds,
+            100.0 * speedup / n as f64,
+            measured * 1e3
+        );
+        // The partition count never changes the answer.
+        debug_assert_eq!(
+            out.portfolio.layer_ylt(0).num_trials(),
+            inputs.yet.num_trials()
+        );
+    }
+
+    // Where does scaling stop paying? The per-device host overhead and
+    // the fixed launch cost put a floor under the compute time.
+    println!("\nthe 77x headline, reconstructed:");
+    let seq = aggregate_risk::engine::SequentialEngine::<f64>::new()
+        .model(&paper)
+        .total_seconds;
+    let four = MultiGpuEngine::<f32>::new(4).model(&paper).total_seconds;
+    println!(
+        "  sequential CPU {seq:.1} s  /  4x M2090 {four:.2} s  =  {:.1}x",
+        seq / four
+    );
+}

@@ -1,0 +1,60 @@
+//! Secondary uncertainty end-to-end — the paper's future-work feature.
+//!
+//! Compares a point-loss analysis against the same book with secondary
+//! uncertainty (capped log-normal severities) at increasing coefficients
+//! of variation, showing how the tail metrics move while the expected
+//! loss stays put — and what the extra computation costs.
+//!
+//! ```sh
+//! cargo run --release --example uncertainty
+//! ```
+
+use aggregate_risk::engine::{analyse_uncertain_gpu, UncertainLayerInputs};
+use aggregate_risk::metrics::{pml, tvar};
+use aggregate_risk::prelude::*;
+use aggregate_risk::workload::ScenarioShape;
+use std::time::Instant;
+
+fn main() {
+    let shape = ScenarioShape {
+        num_trials: 20_000,
+        events_per_trial: 60.0,
+        catalogue_size: 50_000,
+        num_elts: 10,
+        records_per_elt: 1_200,
+        num_layers: 1,
+        elts_per_layer: (10, 10),
+    };
+    // A wide-open layer: with binding occurrence/aggregate limits the
+    // clamps absorb the secondary uncertainty (try it — the tail metrics
+    // freeze at the aggregate limit), so we look at the ground-up view.
+    let point = Scenario::new(shape, 2024)
+        .build_unlimited_single_layer()
+        .expect("valid scenario");
+
+    println!(
+        "{:>6}  {:>14}  {:>14}  {:>14}  {:>10}",
+        "cv", "AAL", "TVaR99", "PML250", "time"
+    );
+    for cv in [0.0, 0.3, 0.6, 1.0, 1.5] {
+        let unc = UncertainLayerInputs::from_point_inputs(&point, 0, cv, 10.0, 7)
+            .expect("layer 0 exists");
+        let start = Instant::now();
+        let ylt = analyse_uncertain_gpu::<f32>(&unc, 4, 32).expect("valid inputs");
+        let elapsed = start.elapsed().as_secs_f64();
+        let losses = ylt.year_losses();
+        println!(
+            "{cv:>6.1}  {:>14.0}  {:>14.0}  {:>14.0}  {:>7.1} ms",
+            ylt.mean(),
+            tvar::tvar(losses, 0.99),
+            pml::pml(losses, 250.0),
+            elapsed * 1e3
+        );
+    }
+    println!();
+    println!("the expected loss is held by moment matching while the tail metrics grow with");
+    println!("the secondary-uncertainty cv — exactly why reinsurers price tails, not means.");
+    println!(
+        "(draws are counter-based: re-running any engine reproduces these numbers bit-for-bit)"
+    );
+}

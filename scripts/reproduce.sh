@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper, plus the extension
+# studies, in one go. Output mirrors EXPERIMENTS.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BINS=(
+  seq_scaling
+  fig1a fig1b fig2 fig3 fig4 fig5 fig6
+  table_opt table_ds table_lookup_engines
+  table_uncertainty table_convergence table_hardware table_portfolio
+)
+
+cargo build --release -p ara-bench --bins
+
+for bin in "${BINS[@]}"; do
+  echo
+  echo "################ $bin ################"
+  cargo run --release -q -p ara-bench --bin "$bin"
+done
+
+echo
+echo "################ criterion microbenches ################"
+cargo bench --workspace

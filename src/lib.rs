@@ -1,0 +1,47 @@
+//! # aggregate-risk — facade crate
+//!
+//! Re-exports the whole workspace under one roof so examples, integration
+//! tests, and downstream users can depend on a single crate:
+//!
+//! * [`core`] (`ara-core`) — data model + the sequential reference
+//!   algorithm (Algorithm 1 of Bahl et al., ICPP 2013).
+//! * [`workload`] (`ara-workload`) — synthetic YET/ELT/layer generators.
+//! * [`metrics`] (`ara-metrics`) — PML, VaR, TVaR, EP curves over YLTs.
+//! * [`simt`] (`simt-sim`) — the SIMT executor and GPU performance model
+//!   standing in for the paper's CUDA platforms.
+//! * [`engine`] (`ara-engine`) — the five implementation variants the
+//!   paper evaluates.
+//!
+//! ```
+//! use aggregate_risk::prelude::*;
+//!
+//! let inputs = Scenario::new(ScenarioShape::smoke(), 42).build().unwrap();
+//! let engine = SequentialEngine::<f64>::new();
+//! let out = engine.analyse(&inputs).unwrap();
+//! let ylt = out.portfolio.combined_ylt();
+//! assert_eq!(ylt.num_trials(), inputs.yet.num_trials());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use ara_core as core;
+pub use ara_engine as engine;
+pub use ara_metrics as metrics;
+pub use ara_workload as workload;
+pub use simt_sim as simt;
+
+/// One-stop imports for examples and quick starts.
+pub mod prelude {
+    pub use ara_core::{
+        EventLossTable, Inputs, Layer, LayerTerms, Portfolio, PreparedLayer, YearEventTable,
+        YearLossTable,
+    };
+    pub use ara_engine::{
+        AnalysisOutput, Engine, GpuBasicEngine, GpuOptimizedEngine, MultiGpuEngine,
+        MulticoreEngine, SequentialEngine,
+    };
+    pub use ara_metrics::{EpCurve, RiskSummary};
+    pub use ara_workload::{Scenario, ScenarioShape};
+    pub use simt_sim::DeviceSpec;
+}

@@ -1,0 +1,227 @@
+//! Edge cases and failure injection across the whole stack.
+
+use aggregate_risk::core::io::{from_bytes, to_bytes};
+use aggregate_risk::core::{
+    EventId, EventLoss, EventLossTable, EventOccurrence, FinancialTerms, Inputs, Layer, LayerTerms,
+    YearEventTableBuilder,
+};
+use aggregate_risk::engine::{
+    Engine, GpuBasicEngine, GpuOptimizedEngine, MultiGpuEngine, MulticoreEngine, SequentialEngine,
+};
+use aggregate_risk::metrics::RiskSummary;
+
+fn engines() -> Vec<Box<dyn Engine>> {
+    vec![
+        Box::new(SequentialEngine::<f64>::new()),
+        Box::new(MulticoreEngine::<f64>::new(2)),
+        Box::new(GpuBasicEngine::new()),
+        Box::new(GpuOptimizedEngine::<f64>::new()),
+        Box::new(MultiGpuEngine::<f64>::new(3)),
+    ]
+}
+
+fn one_elt(pairs: &[(u32, f64)]) -> EventLossTable {
+    EventLossTable::new(
+        pairs
+            .iter()
+            .map(|&(e, l)| EventLoss {
+                event: EventId(e),
+                loss: l,
+            })
+            .collect(),
+        FinancialTerms::identity(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn empty_yet_yields_empty_ylts_on_every_engine() {
+    let yet = YearEventTableBuilder::new(100).build();
+    let inputs = Inputs {
+        yet,
+        elts: vec![one_elt(&[(1, 10.0)])],
+        layers: vec![Layer::new(0, vec![0], LayerTerms::unlimited())],
+    };
+    for engine in engines() {
+        let out = engine.analyse(&inputs).unwrap();
+        assert_eq!(
+            out.portfolio.layer_ylt(0).num_trials(),
+            0,
+            "{}",
+            engine.name()
+        );
+        assert!(RiskSummary::from_ylt(out.portfolio.layer_ylt(0)).is_none());
+    }
+}
+
+#[test]
+fn all_empty_trials_yield_zero_losses() {
+    let mut b = YearEventTableBuilder::new(100);
+    for _ in 0..50 {
+        b.push_trial(&[]).unwrap();
+    }
+    let inputs = Inputs {
+        yet: b.build(),
+        elts: vec![one_elt(&[(1, 10.0)])],
+        layers: vec![Layer::new(0, vec![0], LayerTerms::unlimited())],
+    };
+    for engine in engines() {
+        let out = engine.analyse(&inputs).unwrap();
+        assert!(out
+            .portfolio
+            .layer_ylt(0)
+            .year_losses()
+            .iter()
+            .all(|&l| l == 0.0));
+    }
+}
+
+#[test]
+fn events_with_no_losses_anywhere_cost_nothing() {
+    // Every trial full of events absent from the ELT.
+    let mut b = YearEventTableBuilder::new(1000);
+    for t in 0..20u32 {
+        let occs: Vec<_> = (0..10)
+            .map(|i| EventOccurrence::new(500 + t * 10 + i, i as f32 / 16.0))
+            .collect();
+        b.push_trial(&occs).unwrap();
+    }
+    let inputs = Inputs {
+        yet: b.build(),
+        elts: vec![one_elt(&[(1, 10.0), (2, 20.0)])],
+        layers: vec![Layer::new(0, vec![0], LayerTerms::unlimited())],
+    };
+    for engine in engines() {
+        let out = engine.analyse(&inputs).unwrap();
+        assert_eq!(out.portfolio.layer_ylt(0).max(), 0.0, "{}", engine.name());
+    }
+}
+
+#[test]
+fn duplicate_elt_coverage_double_counts_consistently() {
+    // A layer may list the same ELT twice (e.g. two participations):
+    // the combined loss doubles, identically on every engine.
+    let mut b = YearEventTableBuilder::new(10);
+    b.push_trial(&[EventOccurrence::new(1, 0.5)]).unwrap();
+    let elts = vec![one_elt(&[(1, 10.0)])];
+    let single = Inputs {
+        yet: b.clone().build(),
+        elts: elts.clone(),
+        layers: vec![Layer::new(0, vec![0], LayerTerms::unlimited())],
+    };
+    let double = Inputs {
+        yet: b.build(),
+        elts,
+        layers: vec![Layer::new(0, vec![0, 0], LayerTerms::unlimited())],
+    };
+    for engine in engines() {
+        let s = engine.analyse(&single).unwrap();
+        let d = engine.analyse(&double).unwrap();
+        assert_eq!(
+            s.portfolio.layer_ylt(0).year_losses()[0] * 2.0,
+            d.portfolio.layer_ylt(0).year_losses()[0],
+            "{}",
+            engine.name()
+        );
+    }
+}
+
+#[test]
+fn zero_limit_layer_produces_zero_losses() {
+    let mut b = YearEventTableBuilder::new(10);
+    b.push_trial(&[EventOccurrence::new(1, 0.5)]).unwrap();
+    let inputs = Inputs {
+        yet: b.build(),
+        elts: vec![one_elt(&[(1, 1e9)])],
+        layers: vec![Layer::new(
+            0,
+            vec![0],
+            LayerTerms {
+                occ_retention: 0.0,
+                occ_limit: 0.0,
+                agg_retention: 0.0,
+                agg_limit: 0.0,
+            },
+        )],
+    };
+    for engine in engines() {
+        let out = engine.analyse(&inputs).unwrap();
+        assert_eq!(out.portfolio.layer_ylt(0).year_losses(), &[0.0]);
+    }
+}
+
+#[test]
+fn huge_single_loss_saturates_terms_not_floats() {
+    let mut b = YearEventTableBuilder::new(10);
+    b.push_trial(&[EventOccurrence::new(1, 0.5)]).unwrap();
+    let inputs = Inputs {
+        yet: b.build(),
+        elts: vec![one_elt(&[(1, 1e300)])],
+        layers: vec![Layer::new(
+            0,
+            vec![0],
+            LayerTerms {
+                occ_retention: 1e6,
+                occ_limit: 5e7,
+                agg_retention: 0.0,
+                agg_limit: 1e8,
+            },
+        )],
+    };
+    let out = SequentialEngine::<f64>::new().analyse(&inputs).unwrap();
+    assert_eq!(out.portfolio.layer_ylt(0).year_losses(), &[5e7]);
+}
+
+#[test]
+fn snapshot_round_trip_preserves_engine_results() {
+    let inputs = ara_workload::Scenario::new(ara_workload::ScenarioShape::smoke(), 5)
+        .build()
+        .unwrap();
+    let restored = from_bytes(&to_bytes(&inputs).unwrap()).unwrap();
+    let a = SequentialEngine::<f64>::new().analyse(&inputs).unwrap();
+    let b = SequentialEngine::<f64>::new().analyse(&restored).unwrap();
+    for i in 0..a.portfolio.num_layers() {
+        assert_eq!(
+            a.portfolio.layer_ylt(i).year_losses(),
+            b.portfolio.layer_ylt(i).year_losses()
+        );
+    }
+}
+
+#[test]
+fn single_trial_single_event_minimal_case() {
+    let mut b = YearEventTableBuilder::new(2);
+    b.push_trial(&[EventOccurrence::new(0, 0.0)]).unwrap();
+    let inputs = Inputs {
+        yet: b.build(),
+        elts: vec![one_elt(&[(0, 42.0)])],
+        layers: vec![Layer::new(0, vec![0], LayerTerms::unlimited())],
+    };
+    for engine in engines() {
+        let out = engine.analyse(&inputs).unwrap();
+        assert_eq!(
+            out.portfolio.layer_ylt(0).year_losses(),
+            &[42.0],
+            "{}",
+            engine.name()
+        );
+        assert_eq!(
+            out.portfolio.layer_ylt(0).max_occurrence_losses(),
+            Some(&[42.0][..])
+        );
+    }
+}
+
+#[test]
+fn more_devices_than_trials_still_correct() {
+    let mut b = YearEventTableBuilder::new(10);
+    b.push_trial(&[EventOccurrence::new(1, 0.1)]).unwrap();
+    b.push_trial(&[EventOccurrence::new(1, 0.2)]).unwrap();
+    let inputs = Inputs {
+        yet: b.build(),
+        elts: vec![one_elt(&[(1, 7.0)])],
+        layers: vec![Layer::new(0, vec![0], LayerTerms::unlimited())],
+    };
+    let out = MultiGpuEngine::<f64>::new(8).analyse(&inputs).unwrap();
+    assert_eq!(out.portfolio.layer_ylt(0).year_losses(), &[7.0, 7.0]);
+}

@@ -1,0 +1,185 @@
+//! Cross-engine agreement: all five implementation variants must produce
+//! the same Year Loss Tables (bit-identically at f64, within
+//! single-precision tolerance at f32), across workload shapes.
+
+use aggregate_risk::engine::{
+    Engine, GpuBasicEngine, GpuOptimizedEngine, MultiGpuEngine, MulticoreEngine, SequentialEngine,
+};
+use aggregate_risk::workload::{Scenario, ScenarioShape};
+
+fn shapes() -> Vec<(&'static str, ScenarioShape)> {
+    vec![
+        ("smoke", ScenarioShape::smoke()),
+        (
+            "single-layer-wide",
+            ScenarioShape {
+                num_trials: 300,
+                events_per_trial: 40.0,
+                catalogue_size: 20_000,
+                num_elts: 15,
+                records_per_elt: 500,
+                num_layers: 1,
+                elts_per_layer: (15, 15),
+            },
+        ),
+        (
+            "many-small-layers",
+            ScenarioShape {
+                num_trials: 150,
+                events_per_trial: 10.0,
+                catalogue_size: 5_000,
+                num_elts: 8,
+                records_per_elt: 200,
+                num_layers: 5,
+                elts_per_layer: (3, 4),
+            },
+        ),
+        (
+            "sparse-trials",
+            ScenarioShape {
+                num_trials: 500,
+                events_per_trial: 2.0,
+                catalogue_size: 10_000,
+                num_elts: 4,
+                records_per_elt: 50,
+                num_layers: 2,
+                elts_per_layer: (2, 4),
+            },
+        ),
+    ]
+}
+
+#[test]
+fn f64_engines_agree_bitwise_with_sequential() {
+    for (name, shape) in shapes() {
+        let inputs = Scenario::new(shape, 1234).build().unwrap();
+        let reference = SequentialEngine::<f64>::new().analyse(&inputs).unwrap();
+        let exact: Vec<Box<dyn Engine>> = vec![
+            Box::new(MulticoreEngine::<f64>::new(4)),
+            Box::new(GpuBasicEngine::new()),
+        ];
+        for engine in &exact {
+            let out = engine.analyse(&inputs).unwrap();
+            for i in 0..reference.portfolio.num_layers() {
+                assert_eq!(
+                    out.portfolio.layer_ylt(i).year_losses(),
+                    reference.portfolio.layer_ylt(i).year_losses(),
+                    "{name}: {} layer {i}",
+                    engine.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chunked_engines_agree_within_reassociation_tolerance() {
+    for (name, shape) in shapes() {
+        let inputs = Scenario::new(shape, 1234).build().unwrap();
+        let reference = SequentialEngine::<f64>::new().analyse(&inputs).unwrap();
+        let near: Vec<Box<dyn Engine>> = vec![
+            Box::new(GpuOptimizedEngine::<f64>::new()),
+            Box::new(MultiGpuEngine::<f64>::new(3)),
+        ];
+        for engine in &near {
+            let out = engine.analyse(&inputs).unwrap();
+            for i in 0..reference.portfolio.num_layers() {
+                let d = out
+                    .portfolio
+                    .layer_ylt(i)
+                    .max_rel_diff(reference.portfolio.layer_ylt(i))
+                    .unwrap();
+                assert!(d < 1e-9, "{name}: {} layer {i} rel diff {d}", engine.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn f32_engines_track_f64_reference() {
+    for (name, shape) in shapes() {
+        let inputs = Scenario::new(shape, 99).build().unwrap();
+        let reference = SequentialEngine::<f64>::new().analyse(&inputs).unwrap();
+        let singles: Vec<Box<dyn Engine>> = vec![
+            Box::new(GpuOptimizedEngine::<f32>::new()),
+            Box::new(MultiGpuEngine::<f32>::new(4)),
+        ];
+        for engine in &singles {
+            let out = engine.analyse(&inputs).unwrap();
+            for i in 0..reference.portfolio.num_layers() {
+                let d = out
+                    .portfolio
+                    .layer_ylt(i)
+                    .max_rel_diff(reference.portfolio.layer_ylt(i))
+                    .unwrap();
+                assert!(d < 1e-3, "{name}: {} layer {i} rel diff {d}", engine.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn max_occurrence_column_agrees_too() {
+    let inputs = Scenario::new(ScenarioShape::smoke(), 5).build().unwrap();
+    let reference = SequentialEngine::<f64>::new().analyse(&inputs).unwrap();
+    let gpu = GpuBasicEngine::new().analyse(&inputs).unwrap();
+    for i in 0..reference.portfolio.num_layers() {
+        assert_eq!(
+            gpu.portfolio.layer_ylt(i).max_occurrence_losses(),
+            reference.portfolio.layer_ylt(i).max_occurrence_losses()
+        );
+    }
+}
+
+#[test]
+fn option_heavy_workloads_agree_across_engines() {
+    // Every generator option at once: clustered occurrences, correlated
+    // ELT footprints, non-trivial financial terms — the engines must
+    // still agree with the sequential oracle.
+    let shape = ScenarioShape {
+        num_trials: 400,
+        events_per_trial: 25.0,
+        catalogue_size: 10_000,
+        num_elts: 8,
+        records_per_elt: 400,
+        num_layers: 2,
+        elts_per_layer: (3, 8),
+    };
+    let inputs = Scenario::new(shape, 321)
+        .with_clustering(0.6)
+        .with_shared_footprint(0.7)
+        .with_random_financial_terms()
+        .build()
+        .unwrap();
+    let reference = SequentialEngine::<f64>::new().analyse(&inputs).unwrap();
+    let engines: Vec<Box<dyn Engine>> = vec![
+        Box::new(MulticoreEngine::<f64>::new(3)),
+        Box::new(GpuBasicEngine::new()),
+        Box::new(GpuOptimizedEngine::<f64>::new()),
+        Box::new(MultiGpuEngine::<f64>::new(4)),
+    ];
+    for engine in &engines {
+        let out = engine.analyse(&inputs).unwrap();
+        for i in 0..reference.portfolio.num_layers() {
+            let d = out
+                .portfolio
+                .layer_ylt(i)
+                .max_rel_diff(reference.portfolio.layer_ylt(i))
+                .unwrap();
+            assert!(d < 1e-9, "{} layer {i} rel diff {d}", engine.name());
+        }
+    }
+}
+
+#[test]
+fn engine_names_are_distinct() {
+    let engines: Vec<Box<dyn Engine>> = vec![
+        Box::new(SequentialEngine::<f64>::new()),
+        Box::new(MulticoreEngine::<f64>::new(2)),
+        Box::new(GpuBasicEngine::new()),
+        Box::new(GpuOptimizedEngine::<f32>::new()),
+        Box::new(MultiGpuEngine::<f32>::new(2)),
+    ];
+    let names: std::collections::HashSet<_> = engines.iter().map(|e| e.name()).collect();
+    assert_eq!(names.len(), engines.len());
+}

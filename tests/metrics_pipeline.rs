@@ -1,0 +1,165 @@
+//! End-to-end pipeline: workload generation → engine → YLT → risk
+//! metrics, with structural validation at each stage.
+
+use aggregate_risk::core::LayerTerms;
+use aggregate_risk::engine::{Engine, MultiGpuEngine, SequentialEngine};
+use aggregate_risk::metrics::{validate_ylt, EpCurve, RiskSummary};
+use aggregate_risk::workload::{Scenario, ScenarioShape};
+
+fn shape() -> ScenarioShape {
+    ScenarioShape {
+        num_trials: 2_000,
+        events_per_trial: 30.0,
+        catalogue_size: 20_000,
+        num_elts: 10,
+        records_per_elt: 800,
+        num_layers: 3,
+        elts_per_layer: (3, 8),
+    }
+}
+
+#[test]
+fn every_layer_ylt_passes_structural_validation() {
+    let inputs = Scenario::new(shape(), 7)
+        .with_random_financial_terms()
+        .build()
+        .unwrap();
+    let out = SequentialEngine::<f64>::new().analyse(&inputs).unwrap();
+    for (i, layer) in inputs.layers.iter().enumerate() {
+        let violations = validate_ylt(out.portfolio.layer_ylt(i), &layer.terms, 1e-6);
+        assert!(violations.is_empty(), "layer {i}: {violations:?}");
+    }
+}
+
+#[test]
+fn f32_multi_gpu_ylt_passes_validation_with_f32_tolerance() {
+    let inputs = Scenario::new(shape(), 7).build().unwrap();
+    let out = MultiGpuEngine::<f32>::new(4).analyse(&inputs).unwrap();
+    for (i, layer) in inputs.layers.iter().enumerate() {
+        // f32 rounding near the limits needs a proportional tolerance.
+        let tol = 1e-3 * layer.terms.agg_limit.max(1.0);
+        let violations = validate_ylt(out.portfolio.layer_ylt(i), &layer.terms, tol);
+        assert!(violations.is_empty(), "layer {i}: {violations:?}");
+    }
+}
+
+#[test]
+fn risk_summary_is_internally_consistent() {
+    let inputs = Scenario::new(shape(), 11).build().unwrap();
+    let out = SequentialEngine::<f64>::new().analyse(&inputs).unwrap();
+    for i in 0..out.portfolio.num_layers() {
+        let ylt = out.portfolio.layer_ylt(i);
+        let s = RiskSummary::from_ylt(ylt).unwrap();
+        assert!(s.aal >= 0.0);
+        assert!(s.tvar_99 >= s.var_99, "TVaR must dominate VaR");
+        assert!(
+            s.pml_250 >= s.var_99 - 1e-9,
+            "PML250 >= VaR99 (250yr vs 100yr tail)"
+        );
+        assert!((0.0..=1.0).contains(&s.attachment_probability));
+        assert!(s.aal <= ylt.max() + 1e-9);
+    }
+}
+
+#[test]
+fn oep_never_exceeds_aep_at_any_return_period() {
+    // A year's max occurrence loss can't exceed its aggregate loss when
+    // the aggregate terms are pass-through, so OEP losses sit at or
+    // below AEP losses.
+    let mut inputs = Scenario::new(shape(), 13).build().unwrap();
+    for layer in &mut inputs.layers {
+        layer.terms = LayerTerms {
+            occ_retention: layer.terms.occ_retention,
+            occ_limit: layer.terms.occ_limit,
+            agg_retention: 0.0,
+            agg_limit: f64::INFINITY,
+        };
+    }
+    let out = SequentialEngine::<f64>::new().analyse(&inputs).unwrap();
+    for i in 0..out.portfolio.num_layers() {
+        let ylt = out.portfolio.layer_ylt(i);
+        let aep = EpCurve::aep(ylt).unwrap();
+        let oep = EpCurve::oep(ylt).unwrap();
+        for t in [2.0, 5.0, 10.0, 50.0, 200.0] {
+            let a = aep.loss_at_return_period(t);
+            let o = oep.loss_at_return_period(t);
+            assert!(o <= a + 1e-9, "return period {t}: OEP {o} > AEP {a}");
+        }
+    }
+}
+
+#[test]
+fn portfolio_rollup_dominates_each_layer() {
+    let inputs = Scenario::new(shape(), 17).build().unwrap();
+    let out = SequentialEngine::<f64>::new().analyse(&inputs).unwrap();
+    let combined = out.portfolio.combined_ylt();
+    for i in 0..out.portfolio.num_layers() {
+        let layer = out.portfolio.layer_ylt(i);
+        for (c, l) in combined.year_losses().iter().zip(layer.year_losses()) {
+            assert!(c + 1e-9 >= *l, "portfolio loss below a component layer");
+        }
+    }
+    let combined_aal = RiskSummary::from_ylt(&combined).unwrap().aal;
+    let sum_aal: f64 = (0..out.portfolio.num_layers())
+        .map(|i| {
+            RiskSummary::from_ylt(out.portfolio.layer_ylt(i))
+                .unwrap()
+                .aal
+        })
+        .sum();
+    assert!(
+        (combined_aal - sum_aal).abs() < 1e-6 * sum_aal.max(1.0),
+        "AAL is additive"
+    );
+}
+
+#[test]
+fn seasonal_attribution_finds_the_hurricane_season() {
+    use aggregate_risk::core::{Inputs, Layer, PreparedLayer};
+    use aggregate_risk::metrics::seasonality::seasonal_profile;
+    use aggregate_risk::workload::{
+        catalogue::{Peril, PerilRegion},
+        EltGenerator, EventCatalogue, YetGenerator,
+    };
+
+    // A hurricane-only book: the paid-loss profile must peak near the
+    // peril's seasonal peak (year fraction 0.70 → bin 8 of 12).
+    let cat = EventCatalogue::from_regions(vec![PerilRegion {
+        peril: Peril::Hurricane,
+        first_event: 0,
+        num_events: 5_000,
+        annual_rate: 30.0,
+    }]);
+    let yet = YetGenerator::new(cat.clone(), 31).generate(500).unwrap();
+    let elts = EltGenerator::new(&cat, 800, 32).generate(4).unwrap();
+    let layer = Layer::new(0, vec![0, 1, 2, 3], LayerTerms::unlimited());
+    let inputs = Inputs {
+        yet,
+        elts,
+        layers: vec![layer.clone()],
+    };
+
+    let prepared = PreparedLayer::<f64>::prepare(&inputs, &layer).unwrap();
+    let profile = seasonal_profile(&inputs.yet, &prepared, 12);
+    let peak = profile.peak_bin();
+    assert!(
+        (6..=10).contains(&peak),
+        "hurricane loss peak in bin {peak}, shares {:?}",
+        profile.loss_shares()
+    );
+    // The peak month carries well above the uniform 1/12 share.
+    assert!(profile.loss_shares()[peak] > 1.5 / 12.0);
+}
+
+#[test]
+fn clustered_workloads_run_end_to_end() {
+    let inputs = Scenario::new(shape(), 23)
+        .with_clustering(0.8)
+        .with_random_financial_terms()
+        .build()
+        .unwrap();
+    let out = SequentialEngine::<f64>::new().analyse(&inputs).unwrap();
+    assert_eq!(out.portfolio.num_layers(), 3);
+    let combined = out.portfolio.combined_ylt();
+    assert!(RiskSummary::from_ylt(&combined).is_some());
+}

@@ -1,0 +1,151 @@
+//! The reproduction contract: every headline number of the paper's
+//! evaluation, asserted against the performance models. These are the
+//! same bands EXPERIMENTS.md documents.
+
+use aggregate_risk::engine::{
+    Engine, GpuBasicEngine, GpuOptimizedEngine, MultiGpuEngine, MulticoreEngine, SequentialEngine,
+};
+use aggregate_risk::simt::model::cpu::AraShape;
+
+fn paper() -> AraShape {
+    AraShape::paper()
+}
+
+type Band = (Box<dyn Engine>, f64, (f64, f64));
+
+#[test]
+fn figure_5_all_five_totals() {
+    // Paper: 337.47 / 123.5 / 38.49 / 20.63 / 4.35 seconds.
+    let bands: Vec<Band> = vec![
+        (
+            Box::new(SequentialEngine::<f64>::new()),
+            337.47,
+            (320.0, 350.0),
+        ),
+        (
+            Box::new(MulticoreEngine::<f64>::new(8)),
+            123.5,
+            (110.0, 140.0),
+        ),
+        (Box::new(GpuBasicEngine::new()), 38.49, (30.0, 46.0)),
+        (
+            Box::new(GpuOptimizedEngine::<f32>::new()),
+            20.63,
+            (17.0, 25.0),
+        ),
+        (Box::new(MultiGpuEngine::<f32>::new(4)), 4.35, (3.2, 5.6)),
+    ];
+    let mut previous = f64::INFINITY;
+    for (engine, paper_s, (lo, hi)) in bands {
+        let t = engine.model(&paper()).total_seconds;
+        assert!(
+            (lo..hi).contains(&t),
+            "{}: modeled {t:.2} s outside [{lo}, {hi}] (paper {paper_s})",
+            engine.name()
+        );
+        assert!(t < previous, "{}: ordering violated", engine.name());
+        previous = t;
+    }
+}
+
+#[test]
+fn headline_77x_speedup() {
+    let seq = SequentialEngine::<f64>::new().model(&paper()).total_seconds;
+    let multi = MultiGpuEngine::<f32>::new(4).model(&paper()).total_seconds;
+    let speedup = seq / multi;
+    assert!(
+        (60.0..95.0).contains(&speedup),
+        "headline speedup {speedup:.1}x (paper ~77x)"
+    );
+}
+
+#[test]
+fn figure_1a_cpu_saturation() {
+    let seq = SequentialEngine::<f64>::new().model(&paper()).total_seconds;
+    let s8 = seq / MulticoreEngine::<f64>::new(8).model(&paper()).total_seconds;
+    // Paper: only 2.6x at 8 threads — memory-bandwidth bound.
+    assert!((2.2..3.1).contains(&s8), "8-thread speedup {s8:.2}");
+}
+
+#[test]
+fn figure_2_best_block_is_256ish() {
+    let t = |b: u32| {
+        GpuBasicEngine::new()
+            .with_block_dim(b)
+            .model(&paper())
+            .total_seconds
+    };
+    assert!(t(128) > t(256));
+    assert!(t(640) >= t(256));
+}
+
+#[test]
+fn figure_3_near_linear_gpu_scaling() {
+    let t1 = MultiGpuEngine::<f32>::new(1).model(&paper()).total_seconds;
+    let t4 = MultiGpuEngine::<f32>::new(4).model(&paper()).total_seconds;
+    let eff = t1 / (4.0 * t4);
+    assert!(eff > 0.93, "4-GPU efficiency {eff:.3} (paper ~100%)");
+}
+
+#[test]
+fn figure_4_warp_sized_blocks_win() {
+    let t = |b: u32| {
+        MultiGpuEngine::<f32>::new(4)
+            .with_block_dim(b)
+            .model(&paper())
+    };
+    assert!(t(32).total_seconds < t(16).total_seconds);
+    assert!(t(32).total_seconds < t(64).total_seconds);
+    assert!(
+        !t(128).feasible,
+        "beyond 64 threads/block must be infeasible"
+    );
+}
+
+#[test]
+fn figure_6_lookup_shares() {
+    // Sequential: lookup > 65%; multi-GPU: lookup > 90% (paper 97.54%).
+    let seq = SequentialEngine::<f64>::new().model(&paper());
+    let (_, lookup_pct, _, _) = seq.breakdown.percentages();
+    assert!(
+        lookup_pct > 63.0,
+        "sequential lookup share {lookup_pct:.1}%"
+    );
+
+    let multi = MultiGpuEngine::<f32>::new(4).model(&paper());
+    let (_, lookup_pct, _, _) = multi.breakdown.percentages();
+    assert!(lookup_pct > 90.0, "multi-GPU lookup share {lookup_pct:.1}%");
+    // Numeric on 4 GPUs ~0.02-0.04 s (paper 0.02 s).
+    let numeric = multi.breakdown.financial + multi.breakdown.layer;
+    assert!(numeric < 0.1, "multi-GPU numeric {numeric:.3} s");
+}
+
+#[test]
+fn section_iv_b_optimisation_factor() {
+    let basic = GpuBasicEngine::new().model(&paper()).total_seconds;
+    let opt = GpuOptimizedEngine::<f32>::new()
+        .model(&paper())
+        .total_seconds;
+    let ratio = basic / opt;
+    assert!(
+        (1.4..2.4).contains(&ratio),
+        "optimisation factor {ratio:.2} (paper 1.9x)"
+    );
+}
+
+#[test]
+fn multi_gpu_lookup_time_drop() {
+    // Paper: lookup 20.1 s (1 GPU) -> 4.25 s (4 GPUs).
+    let one = MultiGpuEngine::<f32>::new(1).model(&paper());
+    let four = MultiGpuEngine::<f32>::new(4).model(&paper());
+    assert!(
+        (14.0..22.0).contains(&one.breakdown.lookup),
+        "1-GPU lookup {:.1}",
+        one.breakdown.lookup
+    );
+    assert!(
+        (3.0..5.6).contains(&four.breakdown.lookup),
+        "4-GPU lookup {:.1}",
+        four.breakdown.lookup
+    );
+}

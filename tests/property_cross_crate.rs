@@ -1,0 +1,131 @@
+//! Cross-crate property tests: randomly shaped workloads through the
+//! whole pipeline, asserting engine agreement and metric invariants.
+
+use aggregate_risk::engine::{Engine, GpuOptimizedEngine, MultiGpuEngine, SequentialEngine};
+use aggregate_risk::metrics::{tvar, validate_ylt, EpCurve};
+use aggregate_risk::workload::{Scenario, ScenarioShape};
+use proptest::prelude::*;
+
+fn arb_shape() -> impl Strategy<Value = ScenarioShape> {
+    (
+        10usize..200,     // trials
+        1.0..30.0f64,     // events per trial
+        1_000u32..20_000, // catalogue
+        1usize..8,        // ELT pool
+        10usize..300,     // records per ELT
+        1usize..4,        // layers
+    )
+        .prop_map(
+            |(trials, events, cat, elts, records, layers)| ScenarioShape {
+                num_trials: trials,
+                events_per_trial: events,
+                catalogue_size: cat,
+                num_elts: elts,
+                records_per_elt: records,
+                num_layers: layers,
+                elts_per_layer: (1, elts.max(1)),
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The chunked multi-device engine agrees with the sequential
+    /// reference on arbitrary workload shapes.
+    #[test]
+    fn multi_gpu_agrees_on_random_shapes(shape in arb_shape(), seed in 0u64..1000) {
+        let inputs = Scenario::new(shape, seed).build().unwrap();
+        let reference = SequentialEngine::<f64>::new().analyse(&inputs).unwrap();
+        let multi = MultiGpuEngine::<f64>::new(3).analyse(&inputs).unwrap();
+        for i in 0..reference.portfolio.num_layers() {
+            let d = multi
+                .portfolio
+                .layer_ylt(i)
+                .max_rel_diff(reference.portfolio.layer_ylt(i))
+                .unwrap();
+            prop_assert!(d < 1e-9, "layer {i} rel diff {d}");
+        }
+    }
+
+    /// Every YLT an engine produces satisfies the layer-term invariants.
+    #[test]
+    fn ylts_always_validate(shape in arb_shape(), seed in 0u64..1000) {
+        let inputs = Scenario::new(shape, seed)
+            .with_random_financial_terms()
+            .build()
+            .unwrap();
+        let out = GpuOptimizedEngine::<f64>::new().analyse(&inputs).unwrap();
+        for (i, layer) in inputs.layers.iter().enumerate() {
+            let violations = validate_ylt(out.portfolio.layer_ylt(i), &layer.terms, 1e-6);
+            prop_assert!(violations.is_empty(), "layer {i}: {violations:?}");
+        }
+    }
+
+    /// EP-curve and TVaR invariants hold on arbitrary YLTs produced by
+    /// the pipeline: exceedance probability is monotone, TVaR dominates
+    /// VaR, and the curve's endpoints bracket the losses.
+    #[test]
+    fn metric_invariants(shape in arb_shape(), seed in 0u64..1000) {
+        let inputs = Scenario::new(shape, seed).build().unwrap();
+        let out = SequentialEngine::<f64>::new().analyse(&inputs).unwrap();
+        let ylt = out.portfolio.combined_ylt();
+        if ylt.is_empty() {
+            return Ok(());
+        }
+        if let Some(curve) = EpCurve::aep(&ylt) {
+            let mut last = f64::NEG_INFINITY;
+            for t in [1.0, 2.0, 5.0, 10.0, 50.0, 200.0] {
+                let loss = curve.loss_at_return_period(t);
+                prop_assert!(loss >= -1e-9, "EP losses are non-negative");
+                prop_assert!(loss <= ylt.max() + 1e-9, "EP losses bounded by the worst year");
+                prop_assert!(loss + 1e-9 >= last, "EP losses must grow with return period");
+                last = loss;
+            }
+        }
+        let losses = ylt.year_losses();
+        for q in [0.5, 0.9, 0.99] {
+            prop_assert!(
+                tvar::tvar(losses, q) + 1e-9 >= tvar::value_at_risk(losses, q),
+                "TVaR must dominate VaR at q={q}"
+            );
+        }
+    }
+
+    /// The binary snapshot codec round-trips arbitrary generated books
+    /// exactly.
+    #[test]
+    fn snapshot_codec_round_trips(shape in arb_shape(), seed in 0u64..1000) {
+        let inputs = Scenario::new(shape, seed)
+            .with_random_financial_terms()
+            .build()
+            .unwrap();
+        let bytes = aggregate_risk::core::io::to_bytes(&inputs).unwrap();
+        let back = aggregate_risk::core::io::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back.yet, &inputs.yet);
+        prop_assert_eq!(&back.elts, &inputs.elts);
+        prop_assert_eq!(&back.layers, &inputs.layers);
+    }
+
+    /// Trial partitioning is exact: running the analysis per partition
+    /// and concatenating equals the full run.
+    #[test]
+    fn partitioned_analysis_concatenates(parts in 1usize..6, seed in 0u64..100) {
+        let shape = ScenarioShape {
+            num_trials: 97, // prime, so partitions are uneven
+            events_per_trial: 8.0,
+            catalogue_size: 2_000,
+            num_elts: 3,
+            records_per_elt: 100,
+            num_layers: 1,
+            elts_per_layer: (3, 3),
+        };
+        let inputs = Scenario::new(shape, seed).build().unwrap();
+        let full = MultiGpuEngine::<f64>::new(1).analyse(&inputs).unwrap();
+        let split = MultiGpuEngine::<f64>::new(parts).analyse(&inputs).unwrap();
+        prop_assert_eq!(
+            full.portfolio.layer_ylt(0).year_losses(),
+            split.portfolio.layer_ylt(0).year_losses()
+        );
+    }
+}

@@ -9,7 +9,7 @@ use ara_bench::report::{secs, speedup};
 use ara_bench::{bench_inputs, measure, measured_label, paper_shape, Table, MEASURED_SCALE_NOTE};
 use ara_engine::{Engine, MulticoreEngine, SequentialEngine};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let shape = paper_shape();
     let inputs = bench_inputs(2024);
 
@@ -70,13 +70,14 @@ fn main() {
             } else {
                 speedup(seq_measured / measured)
             },
-        ]);
+        ])?;
     }
-    table.print();
+    ara_bench::emit("fig1a", &[&table])?;
     println!("{MEASURED_SCALE_NOTE}");
     println!(
         "paper: 337.47 s sequential -> 123.5 s at 8 threads; modeled: {} -> {}",
         secs(seq_model),
         secs(MulticoreEngine::<f64>::new(8).model(&shape).total_seconds)
     );
+    Ok(())
 }

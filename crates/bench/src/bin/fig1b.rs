@@ -13,7 +13,7 @@ use ara_bench::report::secs;
 use ara_bench::{paper_shape, Table};
 use ara_engine::{Engine, MulticoreEngine};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let shape = paper_shape();
     let mut table = Table::new(
         "Figure 1b — total threads (8 cores) vs execution time",
@@ -35,8 +35,9 @@ fn main() {
             (8 * tpc).to_string(),
             secs(t),
             format!("{:.1}%", 100.0 * (1.0 - t / base)),
-        ]);
+        ])?;
     }
-    table.print();
+    ara_bench::emit("fig1b", &[&table])?;
     println!("paper: 135 s at 8 threads -> 125 s at 2048 threads (~8% gain, diminishing)");
+    Ok(())
 }

@@ -9,7 +9,7 @@ use ara_bench::report::secs;
 use ara_bench::{measure, measured_label, paper_shape, small_inputs, Table, MEASURED_SCALE_NOTE};
 use ara_engine::{Engine, GpuBasicEngine, PlatformDetail};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let shape = paper_shape();
     let inputs = small_inputs(2024);
 
@@ -35,11 +35,12 @@ fn main() {
             secs(m.total_seconds),
             warps,
             secs(measured),
-        ]);
+        ])?;
     }
-    table.print();
+    ara_bench::emit("fig2", &[&table])?;
     println!("{MEASURED_SCALE_NOTE}");
     println!("paper: best at 256 threads/block (38.49 s); below 128 the hardware is underused.");
     println!("note: the measured column exercises the functional SIMT executor, whose block size");
     println!("only affects host-side work partitioning, not memory-system behaviour.");
+    Ok(())
 }

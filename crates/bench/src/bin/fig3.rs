@@ -10,7 +10,7 @@ use ara_bench::report::{pct, secs, speedup};
 use ara_bench::{bench_inputs, measure, measured_label, paper_shape, Table, MEASURED_SCALE_NOTE};
 use ara_engine::{Engine, MultiGpuEngine};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let shape = paper_shape();
     let inputs = bench_inputs(2024);
 
@@ -40,9 +40,9 @@ fn main() {
             speedup(s),
             pct(100.0 * s / n as f64),
             secs(measured),
-        ]);
+        ])?;
     }
-    table.print();
+    ara_bench::emit("fig3", &[&table])?;
     println!("{MEASURED_SCALE_NOTE}");
     println!(
         "paper: 4 GPUs = 4.35 s (~4x one M2090, ~100% efficiency); lookup 20.1 s -> 4.25 s, \
@@ -50,4 +50,5 @@ fn main() {
     );
     println!("note: measured multi-GPU splits this host's cores between simulated devices, so");
     println!("measured wall time stays roughly flat; the modeled column shows the device scaling.");
+    Ok(())
 }

@@ -12,7 +12,7 @@ use ara_bench::report::secs;
 use ara_bench::{bench_inputs, measure, measured_label, paper_shape, Table, MEASURED_SCALE_NOTE};
 use ara_engine::{Engine, MultiGpuEngine, PlatformDetail};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let shape = paper_shape();
     let inputs = bench_inputs(2024);
 
@@ -56,9 +56,10 @@ fn main() {
                 "no (shared overflow)".into()
             },
             measured,
-        ]);
+        ])?;
     }
-    table.print();
+    ara_bench::emit("fig4", &[&table])?;
     println!("{MEASURED_SCALE_NOTE}");
     println!("paper: best 4.35 s at 32 threads/block; >64 impossible (shared-memory overflow).");
+    Ok(())
 }

@@ -16,7 +16,7 @@ use ara_engine::{
     Engine, GpuBasicEngine, GpuOptimizedEngine, MultiGpuEngine, MulticoreEngine, SequentialEngine,
 };
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let shape = paper_shape();
     let inputs = bench_inputs(2024);
 
@@ -59,10 +59,11 @@ fn main() {
             speedup(modeled_base / m.total_seconds),
             secs(measured),
             speedup(measured_base / measured),
-        ]);
+        ])?;
     }
-    table.print();
+    ara_bench::emit("fig5", &[&table])?;
     println!("{MEASURED_SCALE_NOTE}");
     println!("key result: the multi-GPU implementation is ~77x the sequential CPU (paper);");
     println!("the model reproduces the ordering and the approximate factors.");
+    Ok(())
 }

@@ -11,7 +11,7 @@ use ara_engine::{
     Engine, GpuBasicEngine, GpuOptimizedEngine, MultiGpuEngine, MulticoreEngine, SequentialEngine,
 };
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let shape = paper_shape();
     let engines: Vec<Box<dyn Engine>> = vec![
         Box::new(SequentialEngine::<f64>::new()),
@@ -46,12 +46,13 @@ fn main() {
             pct(la),
             secs(m.breakdown.lookup),
             secs(m.breakdown.financial + m.breakdown.layer),
-        ]);
+        ])?;
     }
-    table.print();
+    ara_bench::emit("fig6", &[&table])?;
     println!("paper anchors: sequential lookup 222.61 s (>65%), numeric 104.67 s (~31%);");
     println!("multi-GPU lookup 4.25 s (97.54% of 4.33 s), numeric 0.02 s (~5000x sequential);");
     println!(
         "fetch: >10 s (seq) -> ~6 s (multicore) -> ~4 s (GPU) -> <0.5 s (opt) -> <0.1 s (4 GPUs)."
     );
+    Ok(())
 }

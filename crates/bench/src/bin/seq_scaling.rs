@@ -42,7 +42,7 @@ fn run(shape: ScenarioShape) -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = simt_sim::model::cpu::CpuTimingModel::i7_2600();
     let mut table = Table::new(
         "Sequential scaling — time vs each workload axis (x1, x2, x4)",
@@ -112,11 +112,12 @@ fn main() {
             format!("{:.2}", measured[2] / measured[0]),
             format!("{:.2}", modeled[2] / modeled[0]),
             measured_label(),
-        ]);
+        ])?;
     }
-    table.print();
+    ara_bench::emit("seq_scaling", &[&table])?;
     println!("paper: linear in every axis (x4/x1 ~ 4.0; ELTs slightly sub-linear because the");
     println!("layer-terms stage is per-event, independent of the ELT count).");
     println!("note: measured ratios on a shared/single-core host carry scheduler noise and");
     println!("cache effects of a few tens of percent; the modeled column is the clean signal.");
+    Ok(())
 }

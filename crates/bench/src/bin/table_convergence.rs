@@ -15,7 +15,7 @@ use ara_engine::{Engine, GpuOptimizedEngine};
 use ara_metrics::{aal_ci, pml_ci};
 use ara_workload::{Scenario, ScenarioShape};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut table = Table::new(
         "Monte Carlo convergence — metric confidence vs trial count (95% bootstrap CIs)",
         &[
@@ -52,11 +52,12 @@ fn main() {
             format!("{:.3e}", pml.estimate),
             format!("{:.2}%", 100.0 * pml.relative_half_width()),
             secs(elapsed),
-        ]);
+        ])?;
     }
-    table.print();
+    ara_bench::emit("table_convergence", &[&table])?;
     println!("({})", measured_label());
     println!("reading: the AAL stabilises quickly, but the 250-year PML needs orders of");
     println!("magnitude more trials for the same relative precision — the reason production");
     println!("aggregate analysis runs 1M trials and the paper needs GPUs to do it in seconds.");
+    Ok(())
 }

@@ -33,7 +33,7 @@ fn lookup_benchmark<L: LossLookup<f64>>(table: &L, queries: &[EventId]) -> (f64,
     (sum, secs)
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's §III example: a 2,000,000-event catalogue and an ELT
     // of 20,000 non-zero records.
     let catalogue = EventCatalogue::uniform(CATALOGUE, 1000.0);
@@ -66,7 +66,12 @@ fn main() {
             "checksum",
         ],
     );
-    let mut row = |name: &str, mem: usize, acc: f64, sum: f64, secs_v: f64| {
+    let mut row = |name: &str,
+                   mem: usize,
+                   acc: f64,
+                   sum: f64,
+                   secs_v: f64|
+     -> Result<(), ara_bench::ReportError> {
         table.row(&[
             name.to_string(),
             bytes(mem),
@@ -74,7 +79,8 @@ fn main() {
             secs(secs_v),
             format!("{:.1}", secs_v * 1e9 / LOOKUPS as f64),
             format!("{sum:.3e}"),
-        ]);
+        ])?;
+        Ok(())
     };
     let (s, t) = lookup_benchmark(&direct, &queries);
     row(
@@ -83,7 +89,7 @@ fn main() {
         1.0,
         s,
         t,
-    );
+    )?;
     let (s, t) = lookup_benchmark(&sorted, &queries);
     row(
         "sorted + binary search",
@@ -91,7 +97,7 @@ fn main() {
         LossLookup::<f64>::accesses_per_lookup(&sorted),
         s,
         t,
-    );
+    )?;
     let (s, t) = lookup_benchmark(&hash, &queries);
     row(
         "std::HashMap (SipHash)",
@@ -99,7 +105,7 @@ fn main() {
         LossLookup::<f64>::accesses_per_lookup(&hash),
         s,
         t,
-    );
+    )?;
     let (s, t) = lookup_benchmark(&cuckoo, &queries);
     row(
         "cuckoo hash (Pagh & Rodler)",
@@ -107,7 +113,7 @@ fn main() {
         LossLookup::<f64>::accesses_per_lookup(&cuckoo),
         s,
         t,
-    );
+    )?;
     // The future-work compressed representations (paper, Section VI).
     let (s, t) = lookup_benchmark(&paged, &queries);
     row(
@@ -116,7 +122,7 @@ fn main() {
         LossLookup::<f64>::accesses_per_lookup(&paged),
         s,
         t,
-    );
+    )?;
     let (s, t) = lookup_benchmark(&delta, &queries);
     row(
         "block-delta (compressed, future work)",
@@ -124,8 +130,7 @@ fn main() {
         LossLookup::<f64>::accesses_per_lookup(&delta),
         s,
         t,
-    );
-    table.print();
+    )?;
 
     // The combined-table layout the paper rejects: 15 ELTs fused, whole
     // rows fetched per event.
@@ -166,15 +171,16 @@ fn main() {
         bytes(independents.iter().map(|t| t.memory_bytes()).sum()),
         secs(t_indep),
         format!("{sum_i:.3e}"),
-    ]);
+    ])?;
     table2.row(&[
         "combined row-major table (paper's second design)".into(),
         bytes(combined.memory_bytes()),
         secs(t_combined),
         format!("{sum_c:.3e}"),
-    ]);
-    table2.print();
+    ])?;
+    ara_bench::emit("table_ds", &[&table, &table2])?;
     println!("paper: direct access wins on accesses/lookup (1 vs log2(20000) ~ 14.3 vs 2-3 for");
     println!("hashing) at ~100x the memory; the combined table was slower on the GPU because");
     println!("threads must first publish which event they need before a row can be staged.");
+    Ok(())
 }

@@ -49,7 +49,7 @@ where
     (best, memory, checksum)
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let inputs = small_inputs(2024);
     let cat = inputs.yet.catalogue_size();
 
@@ -64,7 +64,9 @@ fn main() {
         ],
     );
     let mut baseline = 0.0;
-    let mut add = |name: &str, (secs_v, mem, sum): (f64, usize, f64)| {
+    let mut add = |name: &str,
+                   (secs_v, mem, sum): (f64, usize, f64)|
+     -> Result<(), ara_bench::ReportError> {
         if baseline == 0.0 {
             baseline = secs_v;
         }
@@ -74,7 +76,8 @@ fn main() {
             speedup(secs_v / baseline),
             bytes(mem),
             format!("{sum:.6e}"),
-        ]);
+        ])?;
+        Ok(())
     };
 
     add(
@@ -82,34 +85,35 @@ fn main() {
         run_with::<f64, _, _>(&inputs, |e| {
             DirectAccessTable::from_elt(e, cat).expect("fits catalogue")
         }),
-    );
+    )?;
     add(
         "paged direct (compressed)",
         run_with::<f64, _, _>(&inputs, |e| {
             PagedDirectTable::from_elt(e, cat).expect("fits catalogue")
         }),
-    );
+    )?;
     add(
         "cuckoo hash",
         run_with::<f64, _, _>(&inputs, |e| CuckooHashTable::from_elt(e).expect("builds")),
-    );
+    )?;
     add(
         "std HashMap",
         run_with::<f64, _, _>(&inputs, StdHashLookup::from_elt),
-    );
+    )?;
     add(
         "binary search",
         run_with::<f64, _, _>(&inputs, SortedLookup::from_elt),
-    );
+    )?;
     add(
         "block-delta (compressed)",
         run_with::<f64, _, _>(&inputs, BlockDeltaLookup::from_elt),
-    );
+    )?;
 
-    table.print();
+    ara_bench::emit("table_lookup_engines", &[&table])?;
     println!(
         "({}; 'vs direct' is the slowdown factor; identical checksums prove the",
         measured_label()
     );
     println!("structure choice is purely a performance decision, exactly as §III argues.)");
+    Ok(())
 }

@@ -13,7 +13,7 @@ use ara_bench::{measure, measured_label, Table};
 use ara_engine::{analyse_portfolio_parallel, Engine, MulticoreEngine, SequentialEngine};
 use ara_workload::{Scenario, ScenarioShape};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut table = Table::new(
         "Portfolio scaling — layers vs analysis time (multi-core decompositions)",
         &[
@@ -51,12 +51,13 @@ fn main() {
             secs(t_seq),
             secs(t_trial),
             secs(t_layer),
-        ]);
+        ])?;
     }
-    table.print();
+    ara_bench::emit("table_portfolio", &[&table])?;
     println!("({})", measured_label());
     println!("with many small layers the layer-granular split amortises each layer's");
     println!("direct-table preprocessing across workers; with one big layer the paper's");
     println!("trial-granular split is the only parallelism available. All three produce");
     println!("bit-identical YLTs.");
+    Ok(())
 }

@@ -17,7 +17,7 @@ use ara_engine::{
 use simt_sim::model::timing::estimate_kernel;
 use simt_sim::{DeviceSpec, Precision};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let shape = paper_shape();
     let dev = DeviceSpec::tesla_m2090();
 
@@ -37,14 +37,13 @@ fn main() {
         secs(point_single),
         secs(point_four),
         speedup(1.0),
-    ]);
+    ])?;
     table.row(&[
         "secondary uncertainty (capped log-normal)".into(),
         secs(unc_single),
         secs(unc_four),
         format!("{:.2}x slower", unc_single / point_single),
-    ]);
-    table.print();
+    ])?;
 
     // Measured: functional engines at small scale.
     let point_inputs = small_inputs(777);
@@ -69,18 +68,18 @@ fn main() {
         "point chunked kernel (f32)".into(),
         secs(t_point),
         speedup(1.0),
-    ]);
+    ])?;
     measured.row(&[
         "uncertain sequential (f64)".into(),
         secs(t_seq),
         format!("{:.2}x slower", t_seq / t_point),
-    ]);
+    ])?;
     measured.row(&[
         "uncertain chunked kernel, 4 devices (f32)".into(),
         secs(t_gpu),
         format!("{:.2}x slower", t_gpu / t_point),
-    ]);
-    measured.print();
+    ])?;
+    ara_bench::emit("table_uncertainty", &[&table, &measured])?;
 
     let drift = seq_ylt.max_rel_diff(&gpu_ylt).expect("equal trial counts");
     println!("{MEASURED_SCALE_NOTE}");
@@ -89,4 +88,5 @@ fn main() {
     );
     println!("takeaway: on a lookup-bound device the distribution columns (4 scattered reads");
     println!("instead of 1) set the price of secondary uncertainty; the quantile math is ~free.");
+    Ok(())
 }

@@ -33,7 +33,7 @@
 pub mod report;
 pub mod runner;
 
-pub use report::{bytes, pct, secs, speedup, Table};
+pub use report::{bytes, emit, pct, secs, speedup, write_sidecar, ReportError, Table};
 pub use runner::{
     bench_inputs, measure, measured_label, paper_shape, small_inputs, MEASURED_SCALE_NOTE,
 };

@@ -1,4 +1,41 @@
-//! Plain-text table rendering for the experiment binaries.
+//! Plain-text table rendering and JSON sidecar emission for the
+//! experiment binaries.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Failures of table construction or sidecar emission.
+#[derive(Debug)]
+pub enum ReportError {
+    /// A row's cell count does not match the table's header count.
+    WidthMismatch {
+        /// Header count of the table.
+        expected: usize,
+        /// Cell count of the offending row.
+        got: usize,
+    },
+    /// Sidecar write failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportError::WidthMismatch { expected, got } => {
+                write!(f, "row width mismatch: expected {expected} cells, got {got}")
+            }
+            ReportError::Io(e) => write!(f, "sidecar write failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+impl From<std::io::Error> for ReportError {
+    fn from(e: std::io::Error) -> Self {
+        ReportError::Io(e)
+    }
+}
 
 /// A fixed-width text table with a title, headers and rows.
 #[derive(Debug, Clone)]
@@ -18,14 +55,16 @@ impl Table {
         }
     }
 
-    /// Append a row (must match the header count).
-    ///
-    /// # Panics
-    /// Panics on column-count mismatch.
-    pub fn row(&mut self, cells: &[String]) -> &mut Self {
-        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+    /// Append a row; errors on column-count mismatch.
+    pub fn row(&mut self, cells: &[String]) -> Result<&mut Self, ReportError> {
+        if cells.len() != self.headers.len() {
+            return Err(ReportError::WidthMismatch {
+                expected: self.headers.len(),
+                got: cells.len(),
+            });
+        }
         self.rows.push(cells.to_vec());
-        self
+        Ok(self)
     }
 
     /// Number of data rows.
@@ -73,6 +112,76 @@ impl Table {
     pub fn print(&self) {
         println!("{}", self.render());
     }
+
+    /// Serialise as a JSON object: `{"title":…,"headers":[…],"rows":[[…]]}`.
+    pub fn to_json(&self) -> String {
+        use ara_trace::json::string;
+        let mut out = String::new();
+        out.push_str("{\"title\":");
+        out.push_str(&string(&self.title));
+        out.push_str(",\"headers\":[");
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&string(h));
+        }
+        out.push_str("],\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (j, cell) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&string(cell));
+            }
+            out.push(']');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Serialise a benchmark result set: `{"benchmark":…,"tables":[…]}`.
+pub fn results_json(name: &str, tables: &[&Table]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"benchmark\":");
+    out.push_str(&ara_trace::json::string(name));
+    out.push_str(",\"tables\":[");
+    for (i, t) in tables.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&t.to_json());
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Write a `BENCH_<name>.json` sidecar holding all of a binary's tables.
+///
+/// The file lands in the current working directory (or `$ARA_BENCH_DIR`
+/// if set) and is machine-readable via [`ara_trace::json::parse`].
+pub fn write_sidecar(name: &str, tables: &[&Table]) -> Result<PathBuf, ReportError> {
+    let dir = std::env::var_os("ARA_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, results_json(name, tables))?;
+    Ok(path)
+}
+
+/// Print every table, then write the JSON sidecar and report its path.
+pub fn emit(name: &str, tables: &[&Table]) -> Result<(), ReportError> {
+    for t in tables {
+        t.print();
+    }
+    let path = write_sidecar(name, tables)?;
+    println!("sidecar: {}", path.display());
+    Ok(())
 }
 
 /// Format seconds with three significant decimals (e.g. `4.350 s`).
@@ -117,8 +226,8 @@ mod tests {
     #[test]
     fn table_renders_aligned_columns() {
         let mut t = Table::new("demo", &["name", "value"]);
-        t.row(&["a".into(), "1".into()]);
-        t.row(&["long-name".into(), "22".into()]);
+        t.row(&["a".into(), "1".into()]).unwrap();
+        t.row(&["long-name".into(), "22".into()]).unwrap();
         let r = t.render();
         assert!(r.contains("== demo =="));
         assert!(r.contains("long-name"));
@@ -130,9 +239,55 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "row width")]
-    fn row_width_mismatch_panics() {
-        Table::new("t", &["a", "b"]).row(&["only-one".into()]);
+    fn row_width_mismatch_is_an_error() {
+        let err = Table::new("t", &["a", "b"])
+            .row(&["only-one".into()])
+            .unwrap_err();
+        match err {
+            ReportError::WidthMismatch { expected, got } => {
+                assert_eq!(expected, 2);
+                assert_eq!(got, 1);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        assert!(err.to_string().contains("expected 2"));
+    }
+
+    #[test]
+    fn to_json_round_trips_through_the_trace_parser() {
+        let mut t = Table::new("speed \"quoted\"", &["engine", "secs"]);
+        t.row(&["seq".into(), "4.35".into()]).unwrap();
+        t.row(&["multi-gpu".into(), "0.05".into()]).unwrap();
+        let doc = ara_trace::json::parse(&t.to_json()).expect("valid json");
+        assert_eq!(doc.get("title").and_then(|v| v.as_str()), Some("speed \"quoted\""));
+        let headers = doc.get("headers").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(headers.len(), 2);
+        let rows = doc.get("rows").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(rows.len(), 2);
+        let first = rows[0].as_array().unwrap();
+        assert_eq!(first[0].as_str(), Some("seq"));
+        assert_eq!(first[1].as_str(), Some("4.35"));
+    }
+
+    #[test]
+    fn sidecar_lands_in_ara_bench_dir() {
+        let dir = std::env::temp_dir().join(format!("ara-bench-sidecar-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("ARA_BENCH_DIR", &dir);
+        let mut a = Table::new("first", &["k"]);
+        a.row(&["v".into()]).unwrap();
+        let mut b = Table::new("second", &["k"]);
+        b.row(&["w".into()]).unwrap();
+        let path = write_sidecar("unit_test", &[&a, &b]).unwrap();
+        std::env::remove_var("ARA_BENCH_DIR");
+        assert_eq!(path.file_name().unwrap(), "BENCH_unit_test.json");
+        let body = std::fs::read_to_string(&path).unwrap();
+        let doc = ara_trace::json::parse(&body).expect("valid json");
+        assert_eq!(doc.get("benchmark").and_then(|v| v.as_str()), Some("unit_test"));
+        let tables = doc.get("tables").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[1].get("title").and_then(|v| v.as_str()), Some("second"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

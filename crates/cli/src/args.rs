@@ -92,6 +92,14 @@ pub struct RunOpts {
     pub layer: usize,
     /// Seasonal bins for `seasonal`.
     pub bins: usize,
+    /// Trace output path (`--trace-out`); tracing is enabled when set.
+    pub trace_out: Option<String>,
+    /// Trace export format (`--trace-format`, default `chrome`).
+    pub trace_format: ara_trace::TraceFormat,
+    /// Suppress the per-layer report body (`--quiet`).
+    pub quiet: bool,
+    /// Recorder verbosity: 0 → Info, 1 (`-v`) → Debug, 2 (`-vv`) → Trace.
+    pub verbosity: u8,
 }
 
 impl Default for RunOpts {
@@ -102,6 +110,10 @@ impl Default for RunOpts {
             devices: 4,
             layer: 0,
             bins: 12,
+            trace_out: None,
+            trace_format: ara_trace::TraceFormat::Chrome,
+            quiet: false,
+            verbosity: 0,
         }
     }
 }
@@ -165,6 +177,7 @@ USAGE:
   ara generate --out <path> [--trials N] [--events N] [--elts N]
                [--records N] [--catalogue N] [--layers N] [--seed N]
   ara analyse  --input <path> [--engine E] [--devices N]
+               [--trace-out <path> [--trace-format F]] [--quiet] [-v|-vv]
   ara metrics  --input <path> [--layer N]
   ara stream   --input <path.stream> [--layer N]
   ara seasonal --input <path> [--layer N] [--bins N]
@@ -174,7 +187,15 @@ USAGE:
 LAYOUTS (generate --layout): columnar (default) | interleaved (streamable)
 
 ENGINES: sequential | multicore | gpu-basic | gpu-optimised | multi-gpu
+
+TRACING: --trace-out enables the recorder and writes the drained trace;
+  --trace-format chrome (default, for chrome://tracing / Perfetto) |
+  jsonl | summary. -v keeps Debug spans, -vv keeps Trace spans.
+  --quiet suppresses the per-layer report body.
 ";
+
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["--quiet", "-v", "-vv"];
 
 struct Flags<'a> {
     pairs: Vec<(&'a str, &'a str)>,
@@ -186,6 +207,11 @@ impl<'a> Flags<'a> {
         let mut i = 0;
         while i < args.len() {
             let flag = args[i].as_str();
+            if BOOL_FLAGS.contains(&flag) {
+                pairs.push((flag, ""));
+                i += 1;
+                continue;
+            }
             if !flag.starts_with("--") {
                 return Err(ArgError::UnknownFlag(flag.to_string()));
             }
@@ -198,6 +224,10 @@ impl<'a> Flags<'a> {
 
     fn get(&self, name: &'static str) -> Option<&str> {
         self.pairs.iter().find(|(f, _)| *f == name).map(|(_, v)| *v)
+    }
+
+    fn has(&self, name: &'static str) -> bool {
+        self.pairs.iter().any(|(f, _)| *f == name)
     }
 
     fn num<T: std::str::FromStr>(&self, name: &'static str, default: T) -> Result<T, ArgError> {
@@ -261,7 +291,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
         }
         "analyse" | "analyze" | "metrics" | "model" | "stream" | "seasonal" => {
             let flags = Flags::parse(rest)?;
-            flags.ensure_known(&["--input", "--engine", "--devices", "--layer", "--bins"])?;
+            flags.ensure_known(&[
+                "--input",
+                "--engine",
+                "--devices",
+                "--layer",
+                "--bins",
+                "--trace-out",
+                "--trace-format",
+                "--quiet",
+                "-v",
+                "-vv",
+            ])?;
             let mut opts = RunOpts::default();
             if let Some(i) = flags.get("--input") {
                 opts.input = i.to_string();
@@ -272,6 +313,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
             opts.devices = flags.num("--devices", opts.devices)?;
             opts.layer = flags.num("--layer", opts.layer)?;
             opts.bins = flags.num("--bins", opts.bins)?;
+            opts.trace_out = flags.get("--trace-out").map(str::to_string);
+            if let Some(fmt) = flags.get("--trace-format") {
+                opts.trace_format = ara_trace::TraceFormat::parse(fmt)
+                    .ok_or_else(|| ArgError::BadValue("--trace-format", fmt.to_string()))?;
+            }
+            opts.quiet = flags.has("--quiet");
+            opts.verbosity = if flags.has("-vv") {
+                2
+            } else if flags.has("-v") {
+                1
+            } else {
+                0
+            };
             if cmd != "model" && opts.input.is_empty() {
                 return Err(ArgError::MissingFlag("--input"));
             }
@@ -411,5 +465,84 @@ mod tests {
         for h in ["help", "--help", "-h"] {
             assert_eq!(parse_args(&v(&[h])).unwrap(), Command::Help);
         }
+    }
+
+    #[test]
+    fn parse_trace_flags() {
+        let cmd = parse_args(&v(&[
+            "analyse",
+            "--input",
+            "b.ara",
+            "--trace-out",
+            "run.json",
+            "--quiet",
+            "-vv",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Analyse(o) => {
+                assert_eq!(o.trace_out.as_deref(), Some("run.json"));
+                // Chrome is the default format.
+                assert_eq!(o.trace_format, ara_trace::TraceFormat::Chrome);
+                assert!(o.quiet);
+                assert_eq!(o.verbosity, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_trace_format_values() {
+        for (token, want) in [
+            ("chrome", ara_trace::TraceFormat::Chrome),
+            ("jsonl", ara_trace::TraceFormat::Jsonl),
+            ("summary", ara_trace::TraceFormat::Summary),
+        ] {
+            let cmd = parse_args(&v(&[
+                "analyse",
+                "--input",
+                "b.ara",
+                "--trace-out",
+                "t",
+                "--trace-format",
+                token,
+            ]))
+            .unwrap();
+            match cmd {
+                Command::Analyse(o) => assert_eq!(o.trace_format, want),
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(matches!(
+            parse_args(&v(&[
+                "analyse",
+                "--input",
+                "b",
+                "--trace-format",
+                "xml"
+            ])),
+            Err(ArgError::BadValue("--trace-format", _))
+        ));
+    }
+
+    #[test]
+    fn single_v_maps_to_debug_verbosity() {
+        let cmd = parse_args(&v(&["analyse", "--input", "b.ara", "-v"])).unwrap();
+        match cmd {
+            Command::Analyse(o) => {
+                assert_eq!(o.verbosity, 1);
+                assert!(!o.quiet);
+                assert!(o.trace_out.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn generate_rejects_trace_flags() {
+        assert!(matches!(
+            parse_args(&v(&["generate", "--out", "x", "--quiet"])),
+            Err(ArgError::UnknownFlag(_))
+        ));
     }
 }

@@ -101,11 +101,34 @@ fn load(path: &str) -> Result<Inputs, CliError> {
     Ok(ara_core::io::read_inputs(&mut file)?)
 }
 
+/// The recorder level implied by the CLI verbosity flags: the default
+/// keeps Info spans, `-v` adds Debug (per-block) spans, `-vv` keeps
+/// everything.
+pub fn trace_level(verbosity: u8) -> ara_trace::Level {
+    match verbosity {
+        0 => ara_trace::Level::Info,
+        1 => ara_trace::Level::Debug,
+        _ => ara_trace::Level::Trace,
+    }
+}
+
 /// `ara analyse`: run the selected engine over a snapshot.
 pub fn run_analyse(opts: &RunOpts) -> Result<String, CliError> {
     let inputs = load(&opts.input)?;
     let engine = build_engine(opts);
-    let out = engine.analyse(&inputs)?;
+    let tracing = opts.trace_out.is_some() || opts.verbosity > 0;
+    if tracing {
+        ara_trace::recorder().enable(trace_level(opts.verbosity));
+    }
+    let result = engine.analyse(&inputs);
+    let trace = if tracing {
+        let t = ara_trace::recorder().drain();
+        ara_trace::recorder().disable();
+        Some(t)
+    } else {
+        None
+    };
+    let out = result?;
     let mut report = format!(
         "{}: analysed {} trials x {} layers in {:.1} ms ({:.1} ms preprocessing)\n",
         engine.name(),
@@ -114,15 +137,39 @@ pub fn run_analyse(opts: &RunOpts) -> Result<String, CliError> {
         out.wall.as_secs_f64() * 1e3,
         out.prepare.as_secs_f64() * 1e3,
     );
-    for (i, id) in out.portfolio.layer_ids().iter().enumerate() {
-        let ylt = out.portfolio.layer_ylt(i);
-        report.push_str(&format!(
-            "  layer {:>3}: AAL {:>16.2}  max year loss {:>16.2}  P(attach) {:.3}\n",
-            id.0,
-            ylt.mean(),
-            ylt.max(),
-            ylt.attachment_probability(),
-        ));
+    if !opts.quiet {
+        for (i, id) in out.portfolio.layer_ids().iter().enumerate() {
+            let ylt = out.portfolio.layer_ylt(i);
+            report.push_str(&format!(
+                "  layer {:>3}: AAL {:>16.2}  max year loss {:>16.2}  P(attach) {:.3}\n",
+                id.0,
+                ylt.mean(),
+                ylt.max(),
+                ylt.attachment_probability(),
+            ));
+        }
+        if let Some(m) = &out.measured {
+            let (fetch, lookup, financial, layer) = m.percentages();
+            report.push_str(&format!(
+                "  measured: fetch {fetch:.1}% | lookup {lookup:.1}% | financial {financial:.1}% | layer terms {layer:.1}%\n",
+            ));
+        }
+    }
+    if let Some(trace) = &trace {
+        match &opts.trace_out {
+            Some(path) => {
+                std::fs::write(path, opts.trace_format.render(trace))?;
+                report.push_str(&format!(
+                    "trace: {} spans written to {} ({})\n",
+                    trace.spans.len(),
+                    path,
+                    opts.trace_format.name(),
+                ));
+            }
+            // `-v`/`-vv` without an output file: append the human
+            // summary to the report.
+            None => report.push_str(&ara_trace::to_summary(trace)),
+        }
     }
     Ok(report)
 }
@@ -397,6 +444,74 @@ mod tests {
             .count();
         assert_eq!(bin_lines, 6, "one line per bin");
         assert!(report.contains("peak bin"));
+    }
+
+    #[test]
+    fn analyse_with_trace_out_writes_valid_chrome_trace() {
+        let _guard = ara_trace::testing::serial_guard();
+        ara_trace::testing::reset();
+        let book = tmp("book-trace.ara");
+        run_generate(&small_generate(&book)).unwrap();
+        let trace_path = tmp("run.json");
+        let report = run_analyse(&RunOpts {
+            input: book,
+            trace_out: Some(trace_path.clone()),
+            ..RunOpts::default()
+        })
+        .unwrap();
+        assert!(report.contains("trace:"), "report: {report}");
+
+        // The file is valid JSON in the Chrome trace_event schema, with
+        // spans for all four Algorithm-1 stages.
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        let doc = ara_trace::json::parse(&text).expect("valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(|e| e.as_array())
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
+        for stage in ara_trace::stage_names::ALL {
+            assert!(
+                events.iter().any(|e| {
+                    e.get("name").and_then(|n| n.as_str()) == Some(stage)
+                        && e.get("ph").and_then(|p| p.as_str()) == Some("X")
+                }),
+                "missing complete-event for stage {stage}"
+            );
+        }
+    }
+
+    #[test]
+    fn quiet_suppresses_layer_lines_and_v_appends_summary() {
+        let _guard = ara_trace::testing::serial_guard();
+        ara_trace::testing::reset();
+        let book = tmp("book-quiet.ara");
+        run_generate(&small_generate(&book)).unwrap();
+        let quiet = run_analyse(&RunOpts {
+            input: book.clone(),
+            quiet: true,
+            ..RunOpts::default()
+        })
+        .unwrap();
+        assert!(!quiet.contains("AAL"), "quiet report: {quiet}");
+
+        let verbose = run_analyse(&RunOpts {
+            input: book,
+            verbosity: 1,
+            ..RunOpts::default()
+        })
+        .unwrap();
+        // -v without --trace-out appends the human tree summary.
+        assert!(verbose.contains("engine.analyse"), "report: {verbose}");
+        assert!(verbose.contains("measured:"), "report: {verbose}");
+    }
+
+    #[test]
+    fn trace_level_mapping() {
+        assert_eq!(trace_level(0), ara_trace::Level::Info);
+        assert_eq!(trace_level(1), ara_trace::Level::Debug);
+        assert_eq!(trace_level(2), ara_trace::Level::Trace);
+        assert_eq!(trace_level(9), ara_trace::Level::Trace);
     }
 
     #[test]

@@ -21,5 +21,6 @@ pub mod commands;
 
 pub use args::{parse_args, ArgError, Command, EngineKind, GenerateOpts, Layout, RunOpts};
 pub use commands::{
-    run_analyse, run_generate, run_metrics, run_model, run_seasonal, run_stream, CliError,
+    run_analyse, run_generate, run_metrics, run_model, run_seasonal, run_stream, trace_level,
+    CliError,
 };

@@ -289,6 +289,142 @@ pub fn analyse_layer<R: Real, L: LossLookup<R>>(
         .expect("columns built together have equal length")
 }
 
+/// Scratch for the staged (instrumented) trial path: the combined-loss
+/// buffer plus a fetched-events copy and a flattened ground-up loss
+/// matrix, so each of Algorithm 1's four stages runs as its own timed
+/// loop. Stage times accumulate into [`StagedWorkspace::stages`] across
+/// every trial analysed with the same workspace.
+#[derive(Debug, Default, Clone)]
+pub struct StagedWorkspace<R> {
+    combined: Vec<R>,
+    events: Vec<EventId>,
+    ground: Vec<R>,
+    /// Per-stage nanoseconds accumulated across trials.
+    pub stages: ara_trace::StageNanos,
+}
+
+impl<R: Real> StagedWorkspace<R> {
+    /// Fresh empty workspace.
+    pub fn new() -> Self {
+        StagedWorkspace {
+            combined: Vec::new(),
+            events: Vec::new(),
+            ground: Vec::new(),
+            stages: ara_trace::StageNanos::ZERO,
+        }
+    }
+
+    /// Workspace pre-sized for trials of up to `max_events` occurrences
+    /// under a layer covering `num_elts` ELTs.
+    pub fn with_capacity(max_events: usize, num_elts: usize) -> Self {
+        StagedWorkspace {
+            combined: Vec::with_capacity(max_events),
+            events: Vec::with_capacity(max_events),
+            ground: Vec::with_capacity(max_events * num_elts),
+            stages: ara_trace::StageNanos::ZERO,
+        }
+    }
+}
+
+/// Analyse one trial with per-stage timing — the same arithmetic as
+/// [`analyse_trial`] restructured into Algorithm 1's four stages (fetch
+/// events, loss lookup, financial terms, layer terms), each bracketed by
+/// a clock read whose delta accumulates into `workspace.stages`.
+///
+/// The result is **bit-identical** to [`analyse_trial`]: the financial
+/// stage accumulates per-ELT net losses in exactly the fused loop's
+/// floating-point order (ELT-outer, occurrence-inner); only the
+/// ground-up lookups are hoisted into their own gather pass.
+pub fn analyse_trial_staged<R: Real, L: LossLookup<R>>(
+    prepared: &PreparedLayer<R, L>,
+    trial: TrialView<'_>,
+    workspace: &mut StagedWorkspace<R>,
+) -> TrialResult<R> {
+    let t0 = ara_trace::now_ns();
+
+    // Stage 1 — fetch events: read the trial's occurrences out of the
+    // YET (the paper's "fetching events from memory").
+    workspace.events.clear();
+    workspace.events.extend_from_slice(trial.events);
+    let len = workspace.events.len();
+    let t1 = ara_trace::now_ns();
+
+    // Stage 2 — loss lookup: gather every ground-up loss from each
+    // covered ELT's direct access table (the hot random-access stage).
+    workspace.ground.clear();
+    workspace.ground.resize(prepared.num_elts() * len, R::ZERO);
+    for (e, lookup) in prepared.lookups.iter().enumerate() {
+        let row = &mut workspace.ground[e * len..(e + 1) * len];
+        for (d, &event) in workspace.events.iter().enumerate() {
+            row[d] = lookup.loss(event);
+        }
+    }
+    let t2 = ara_trace::now_ns();
+
+    // Stage 3 — financial terms: apply each ELT's terms and accumulate
+    // across ELTs, in the same order as the fused loop.
+    workspace.combined.clear();
+    workspace.combined.resize(len, R::ZERO);
+    for (e, &(fx, ret, lim, share)) in prepared.fin_terms.iter().enumerate() {
+        let row = &workspace.ground[e * len..(e + 1) * len];
+        for d in 0..len {
+            workspace.combined[d] += share * crate::real::xl_clamp(row[d] * fx, ret, lim);
+        }
+    }
+    let t3 = ara_trace::now_ns();
+
+    // Stage 4 — layer terms: occurrence clamp per event, then aggregate
+    // terms over the running cumulative loss.
+    let mut max_occ = R::ZERO;
+    for l in workspace.combined.iter_mut() {
+        *l = prepared.terms.apply_occurrence(*l);
+        max_occ = max_occ.max(*l);
+    }
+    let year_loss = apply_aggregate_stepwise(&prepared.terms, &mut workspace.combined);
+    let t4 = ara_trace::now_ns();
+
+    workspace.stages.fetch += t1 - t0;
+    workspace.stages.lookup += t2 - t1;
+    workspace.stages.financial += t3 - t2;
+    workspace.stages.layer += t4 - t3;
+
+    TrialResult {
+        year_loss,
+        max_occ_loss: max_occ,
+    }
+}
+
+/// Analyse every trial of `yet` under a prepared layer with per-stage
+/// timing. Returns the YLT (bit-identical to [`analyse_layer`]) together
+/// with the accumulated per-stage nanoseconds, and bumps the
+/// `lookup.probes` / `trials.analysed` counters when the global recorder
+/// is enabled.
+pub fn analyse_layer_staged<R: Real, L: LossLookup<R>>(
+    prepared: &PreparedLayer<R, L>,
+    yet: &YearEventTable,
+) -> (YearLossTable, ara_trace::StageNanos) {
+    let n = yet.num_trials();
+    let mut year_loss = Vec::with_capacity(n);
+    let mut max_occ = Vec::with_capacity(n);
+    let mut ws =
+        StagedWorkspace::with_capacity(yet.max_events_per_trial(), prepared.num_elts());
+    for trial in yet.trials() {
+        let r = analyse_trial_staged(prepared, trial, &mut ws);
+        year_loss.push(r.year_loss.to_f64());
+        max_occ.push(r.max_occ_loss.to_f64());
+    }
+    if ara_trace::recorder().is_enabled() {
+        let metrics = ara_trace::metrics();
+        metrics
+            .counter("lookup.probes")
+            .add(prepared.num_elts() as u64 * yet.total_events() as u64);
+        metrics.counter("trials.analysed").add(n as u64);
+    }
+    let ylt = YearLossTable::with_max_occurrence(year_loss, max_occ)
+        .expect("columns built together have equal length");
+    (ylt, ws.stages)
+}
+
 /// Analyse a single trial given raw occurrence data — convenience for
 /// tests and doc examples.
 pub fn analyse_single<R: Real>(
@@ -487,6 +623,34 @@ mod tests {
     }
 
     #[test]
+    fn staged_trial_is_bit_identical_to_fused() {
+        let (inputs, layer) = fixture();
+        let prepared = PreparedLayer::<f64>::prepare(&inputs, &layer).unwrap();
+        let mut fused_ws = TrialWorkspace::new();
+        let mut staged_ws = StagedWorkspace::new();
+        for i in 0..inputs.yet.num_trials() {
+            let fused = analyse_trial(&prepared, inputs.yet.trial(i), &mut fused_ws);
+            let staged = analyse_trial_staged(&prepared, inputs.yet.trial(i), &mut staged_ws);
+            assert_eq!(fused, staged, "trial {i} diverged");
+        }
+    }
+
+    #[test]
+    fn staged_layer_matches_and_accumulates_stage_time() {
+        let (inputs, layer) = fixture();
+        let prepared = PreparedLayer::<f64>::prepare(&inputs, &layer).unwrap();
+        let plain = analyse_layer(&prepared, &inputs.yet);
+        let (staged, stages) = analyse_layer_staged(&prepared, &inputs.yet);
+        assert_eq!(plain.year_losses(), staged.year_losses());
+        assert_eq!(
+            plain.max_occurrence_losses(),
+            staged.max_occurrence_losses()
+        );
+        // Two trials, four clock brackets each: some time must register.
+        assert!(stages.total() > 0);
+    }
+
+    #[test]
     fn f32_analysis_close_to_f64() {
         let (inputs, layer) = fixture();
         let r64 = analyse_single::<f64>(&inputs, &layer, 0).unwrap();
@@ -623,6 +787,27 @@ mod tests {
                     prop_assert!(m >= 0.0);
                     prop_assert!(m <= s.terms.occ_limit + 1e-9);
                 }
+            }
+
+            /// The staged (instrumented) path must be bit-identical to
+            /// the fused reference path at both precisions — the f32 run
+            /// is the sensitive one, where any reassociation would show.
+            #[test]
+            fn staged_path_bit_identical(s in scenario()) {
+                let (inputs, layer) = build(&s);
+                let p64 = PreparedLayer::<f64>::prepare(&inputs, &layer).unwrap();
+                let plain64 = analyse_layer(&p64, &inputs.yet);
+                let (staged64, _) = analyse_layer_staged(&p64, &inputs.yet);
+                prop_assert_eq!(plain64.year_losses(), staged64.year_losses());
+
+                let p32 = PreparedLayer::<f32>::prepare(&inputs, &layer).unwrap();
+                let plain32 = analyse_layer(&p32, &inputs.yet);
+                let (staged32, _) = analyse_layer_staged(&p32, &inputs.yet);
+                prop_assert_eq!(plain32.year_losses(), staged32.year_losses());
+                prop_assert_eq!(
+                    plain32.max_occurrence_losses(),
+                    staged32.max_occurrence_losses()
+                );
             }
 
             /// f32 analysis tracks f64 within single-precision tolerance.

@@ -92,8 +92,8 @@ pub mod yet;
 pub mod ylt;
 
 pub use analysis::{
-    analyse_layer, analyse_single, analyse_trial, analyse_trial_attributed, Inputs, PreparedLayer,
-    TrialResult, TrialWorkspace,
+    analyse_layer, analyse_layer_staged, analyse_single, analyse_trial, analyse_trial_attributed,
+    analyse_trial_staged, Inputs, PreparedLayer, StagedWorkspace, TrialResult, TrialWorkspace,
 };
 pub use compressed::{BlockDeltaLookup, PagedDirectTable};
 pub use elt::{EventLoss, EventLossTable};

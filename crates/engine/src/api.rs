@@ -7,15 +7,19 @@ use std::time::Duration;
 
 /// Canonical stage names shared by the kernels, the profiles and the
 /// reports — the activity categories of the paper's Figure 6.
+///
+/// These are re-exports of [`ara_trace::stage_names`], so the strings
+/// the engines record as spans and the strings the models/reports use
+/// can never diverge.
 pub mod stage {
     /// Fetching events from memory (reading the YET).
-    pub const FETCH: &str = "fetch-events";
+    pub use ara_trace::stage_names::FETCH;
     /// Look-up of loss sets in the direct access table.
-    pub const LOOKUP: &str = "loss-lookup";
+    pub use ara_trace::stage_names::LOOKUP;
     /// Financial-terms computations.
-    pub const FINANCIAL: &str = "financial-terms";
+    pub use ara_trace::stage_names::FINANCIAL;
     /// Layer-terms (occurrence + aggregate) computations.
-    pub const LAYER: &str = "layer-terms";
+    pub use ara_trace::stage_names::LAYER;
 }
 
 /// Seconds attributed to each activity — Figure 6's categories.
@@ -62,6 +66,114 @@ impl ActivityBreakdown {
             layer: t.stage_seconds(stage::LAYER).unwrap_or(0.0) + t.sync_seconds + t.launch_seconds,
         }
     }
+
+    /// Build from measured per-stage nanoseconds (the span-derived
+    /// breakdown an instrumented engine accumulates). For parallel
+    /// engines this is *CPU time summed across workers*, so the total
+    /// can exceed wall clock; the percentages remain the meaningful
+    /// Figure-6 quantity.
+    pub fn from_stage_nanos(ns: &ara_trace::StageNanos) -> Self {
+        ActivityBreakdown {
+            fetch: ns.fetch as f64 / 1e9,
+            lookup: ns.lookup as f64 / 1e9,
+            financial: ns.financial as f64 / 1e9,
+            layer: ns.layer as f64 / 1e9,
+        }
+    }
+}
+
+/// Per-stage divergence between a modeled and a measured breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageDrift {
+    /// Canonical stage name.
+    pub stage: &'static str,
+    /// The stage's share of the modeled total, in percent.
+    pub modeled_pct: f64,
+    /// The stage's share of the measured total, in percent.
+    pub measured_pct: f64,
+    /// `|modeled_pct - measured_pct|`, in percentage points.
+    pub drift_pct: f64,
+}
+
+/// A modeled-vs-measured activity comparison (Figure 6 against the
+/// span-derived measurement), with stages whose share diverges by more
+/// than a threshold flagged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftReport {
+    /// Per-stage comparison, in pipeline order.
+    pub stages: Vec<StageDrift>,
+    /// Flagging threshold in percentage points.
+    pub threshold_pct: f64,
+}
+
+impl DriftReport {
+    /// Stages whose drift exceeds the threshold.
+    pub fn flagged(&self) -> Vec<&StageDrift> {
+        self.stages
+            .iter()
+            .filter(|s| s.drift_pct > self.threshold_pct)
+            .collect()
+    }
+
+    /// Whether any stage exceeds the threshold.
+    pub fn exceeds_threshold(&self) -> bool {
+        !self.flagged().is_empty()
+    }
+
+    /// Render as an aligned text table with flags on divergent rows.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<16} {:>10} {:>10} {:>8}",
+            "stage", "modeled%", "measured%", "drift"
+        );
+        for s in &self.stages {
+            let flag = if s.drift_pct > self.threshold_pct {
+                format!("  << drift > {:.0}pp", self.threshold_pct)
+            } else {
+                String::new()
+            };
+            let _ = writeln!(
+                out,
+                "{:<16} {:>9.2}% {:>9.2}% {:>6.1}pp{}",
+                s.stage, s.modeled_pct, s.measured_pct, s.drift_pct, flag
+            );
+        }
+        out
+    }
+}
+
+/// Compare a modeled activity breakdown against a measured one, stage by
+/// stage, as shares of their respective totals. A stage drifting by more
+/// than `threshold_pct` percentage points is flagged — the signal that
+/// the performance model and the implementation have diverged.
+pub fn modeled_vs_measured(
+    modeled: &ActivityBreakdown,
+    measured: &ActivityBreakdown,
+    threshold_pct: f64,
+) -> DriftReport {
+    let (mf, ml, mfi, mla) = modeled.percentages();
+    let (sf, sl, sfi, sla) = measured.percentages();
+    let stages = [
+        (stage::FETCH, mf, sf),
+        (stage::LOOKUP, ml, sl),
+        (stage::FINANCIAL, mfi, sfi),
+        (stage::LAYER, mla, sla),
+    ]
+    .into_iter()
+    .map(|(stage, modeled_pct, measured_pct)| StageDrift {
+        stage,
+        modeled_pct,
+        measured_pct,
+        drift_pct: (modeled_pct - measured_pct).abs(),
+    })
+    .collect();
+    DriftReport {
+        stages,
+        threshold_pct,
+    }
 }
 
 /// Platform-specific detail behind a modeled timing.
@@ -107,6 +219,12 @@ pub struct AnalysisOutput {
     /// Wall-clock time of the preprocessing stage alone (building the
     /// direct access tables — the paper's "loaded into local memory").
     pub prepare: Duration,
+    /// Span-derived per-stage breakdown, populated when the global
+    /// [`ara_trace`] recorder was enabled during the run; `None` on
+    /// untraced runs (the instrumented paths are skipped entirely).
+    /// Diffable against the engine's modeled breakdown via
+    /// [`modeled_vs_measured`].
+    pub measured: Option<ActivityBreakdown>,
 }
 
 /// One of the five implementation variants.
@@ -144,5 +262,116 @@ mod tests {
     fn empty_breakdown_percentages_are_zero() {
         let b = ActivityBreakdown::default();
         assert_eq!(b.percentages(), (0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn breakdown_from_stage_nanos_converts_to_seconds() {
+        let b = ActivityBreakdown::from_stage_nanos(&ara_trace::StageNanos {
+            fetch: 500_000_000,
+            lookup: 2_000_000_000,
+            financial: 250_000_000,
+            layer: 250_000_000,
+        });
+        assert_eq!(b.fetch, 0.5);
+        assert_eq!(b.lookup, 2.0);
+        assert_eq!(b.total(), 3.0);
+    }
+
+    #[test]
+    fn drift_report_flags_divergent_stages() {
+        let modeled = ActivityBreakdown {
+            fetch: 1.0,
+            lookup: 7.0,
+            financial: 1.0,
+            layer: 1.0,
+        };
+        let measured = ActivityBreakdown {
+            fetch: 0.1,
+            lookup: 0.4,
+            financial: 0.1,
+            layer: 0.4,
+        };
+        let report = modeled_vs_measured(&modeled, &measured, 10.0);
+        assert_eq!(report.stages.len(), 4);
+        // lookup: 70% vs 40% = 30pp; layer: 10% vs 40% = 30pp.
+        let flagged: Vec<_> = report.flagged().iter().map(|s| s.stage).collect();
+        assert_eq!(flagged, vec![stage::LOOKUP, stage::LAYER]);
+        assert!(report.exceeds_threshold());
+        let text = report.render();
+        assert!(text.contains(stage::LOOKUP));
+        assert!(text.contains("<<"));
+    }
+
+    #[test]
+    fn drift_report_quiet_when_breakdowns_agree() {
+        let b = ActivityBreakdown {
+            fetch: 0.2,
+            lookup: 1.3,
+            financial: 0.2,
+            layer: 0.3,
+        };
+        let scaled = ActivityBreakdown {
+            fetch: b.fetch * 3.0,
+            lookup: b.lookup * 3.0,
+            financial: b.financial * 3.0,
+            layer: b.layer * 3.0,
+        };
+        // Shares are scale-invariant: a parallel engine's summed CPU time
+        // drifts 0pp from the equivalent wall-clock breakdown.
+        let report = modeled_vs_measured(&b, &scaled, 1.0);
+        assert!(!report.exceeds_threshold());
+        for s in &report.stages {
+            assert!(s.drift_pct < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stage_names_match_trace_crate() {
+        assert_eq!(stage::FETCH, ara_trace::stage_names::FETCH);
+        assert_eq!(stage::LOOKUP, ara_trace::stage_names::LOOKUP);
+        assert_eq!(stage::FINANCIAL, ara_trace::stage_names::FINANCIAL);
+        assert_eq!(stage::LAYER, ara_trace::stage_names::LAYER);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// For any non-zero breakdown the four percentages sum to
+            /// ~100; for the zero breakdown they are all zero.
+            #[test]
+            fn percentages_sum_to_100_or_0(
+                fetch in 0.0..1e6f64,
+                lookup in 0.0..1e6f64,
+                financial in 0.0..1e6f64,
+                layer in 0.0..1e6f64,
+            ) {
+                let b = ActivityBreakdown { fetch, lookup, financial, layer };
+                let (f, l, fi, la) = b.percentages();
+                let sum = f + l + fi + la;
+                if b.total() == 0.0 {
+                    prop_assert_eq!(sum, 0.0);
+                } else {
+                    prop_assert!((sum - 100.0).abs() < 1e-6, "sum {sum}");
+                    for p in [f, l, fi, la] {
+                        prop_assert!((0.0..=100.0 + 1e-9).contains(&p));
+                    }
+                }
+            }
+
+            /// Drift is symmetric and zero against itself.
+            #[test]
+            fn drift_is_zero_against_self(
+                fetch in 0.0..1e3f64,
+                lookup in 1e-3..1e3f64,
+                financial in 0.0..1e3f64,
+                layer in 0.0..1e3f64,
+            ) {
+                let b = ActivityBreakdown { fetch, lookup, financial, layer };
+                let report = modeled_vs_measured(&b, &b, 0.5);
+                prop_assert!(!report.exceeds_threshold());
+            }
+        }
     }
 }

@@ -73,21 +73,42 @@ impl Engine for GpuBasicEngine {
 
     fn analyse(&self, inputs: &Inputs) -> Result<AnalysisOutput, AraError> {
         inputs.validate()?;
+        let tracing = ara_trace::recorder().is_enabled();
+        let _engine_span = ara_trace::recorder()
+            .span("engine.analyse")
+            .with_field("engine", self.name())
+            .with_field("block_dim", self.block_dim)
+            .with_field("layers", inputs.layers.len());
         let start = Instant::now();
         let mut prepare_total = std::time::Duration::ZERO;
         let n = inputs.yet.num_trials();
         let mut ids = Vec::with_capacity(inputs.layers.len());
         let mut ylts = Vec::with_capacity(inputs.layers.len());
-        for layer in &inputs.layers {
+        let mut total_stages = ara_trace::StageNanos::ZERO;
+        for (li, layer) in inputs.layers.iter().enumerate() {
+            let _layer_span = ara_trace::recorder().span("layer").with_field("layer", li);
             let p0 = Instant::now();
             // The preprocessing stage: expand the layer's ELTs into the
             // dense "device global memory" tables.
-            let prepared = PreparedLayer::<f64>::prepare(inputs, layer)?;
+            let prepared = {
+                let _prepare_span = ara_trace::recorder().span("prepare");
+                PreparedLayer::<f64>::prepare(inputs, layer)?
+            };
             prepare_total += p0.elapsed();
 
-            let kernel = AraBasicKernel::new(&inputs.yet, &prepared, 0);
+            let acc = ara_trace::AtomicStageNanos::new();
+            let mut kernel = AraBasicKernel::new(&inputs.yet, &prepared, 0);
+            if tracing {
+                kernel = kernel.with_stage_accumulator(&acc);
+            }
             let mut out: Vec<TrialLoss> = vec![(0.0, 0.0); n];
+            let stages_t0 = ara_trace::now_ns();
             launch(LaunchConfig::new(n, self.block_dim), &kernel, &mut out);
+            if tracing {
+                let stages = acc.load();
+                stages.emit_spans(stages_t0);
+                total_stages.merge(&stages);
+            }
 
             let (year, max_occ) = out.into_iter().unzip();
             ids.push(layer.id);
@@ -97,6 +118,7 @@ impl Engine for GpuBasicEngine {
             portfolio: Portfolio::from_layer_results(ids, ylts)?,
             wall: start.elapsed(),
             prepare: prepare_total,
+            measured: tracing.then(|| ActivityBreakdown::from_stage_nanos(&total_stages)),
         })
     }
 

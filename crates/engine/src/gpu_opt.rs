@@ -110,14 +110,21 @@ impl<R: Real> GpuOptimizedEngine<R> {
     }
 
     /// Run the chunked kernel for one prepared layer over trials
-    /// `range` (used directly by the multi-GPU engine).
+    /// `range` (used directly by the multi-GPU engine). When `stages`
+    /// is set the kernel runs instrumented and accumulates per-stage
+    /// time into it.
     pub(crate) fn run_layer_partition(
         &self,
         inputs: &Inputs,
         prepared: &PreparedLayer<R>,
         range: std::ops::Range<usize>,
+        stages: Option<&ara_trace::AtomicStageNanos>,
     ) -> Vec<TrialLoss> {
-        let kernel = AraChunkedKernel::new(&inputs.yet, prepared, range.start, self.chunk as usize);
+        let mut kernel =
+            AraChunkedKernel::new(&inputs.yet, prepared, range.start, self.chunk as usize);
+        if let Some(acc) = stages {
+            kernel = kernel.with_stage_accumulator(acc);
+        }
         let mut out: Vec<TrialLoss> = vec![(0.0, 0.0); range.len()];
         launch(
             LaunchConfig::new(range.len(), self.block_dim),
@@ -141,17 +148,36 @@ impl<R: Real> Engine for GpuOptimizedEngine<R> {
 
     fn analyse(&self, inputs: &Inputs) -> Result<AnalysisOutput, AraError> {
         inputs.validate()?;
+        let tracing = ara_trace::recorder().is_enabled();
+        let _engine_span = ara_trace::recorder()
+            .span("engine.analyse")
+            .with_field("engine", self.name())
+            .with_field("block_dim", self.block_dim)
+            .with_field("chunk", self.chunk)
+            .with_field("layers", inputs.layers.len());
         let start = Instant::now();
         let mut prepare_total = std::time::Duration::ZERO;
         let n = inputs.yet.num_trials();
         let mut ids = Vec::with_capacity(inputs.layers.len());
         let mut ylts = Vec::with_capacity(inputs.layers.len());
-        for layer in &inputs.layers {
+        let mut total_stages = ara_trace::StageNanos::ZERO;
+        for (li, layer) in inputs.layers.iter().enumerate() {
+            let _layer_span = ara_trace::recorder().span("layer").with_field("layer", li);
             let p0 = Instant::now();
-            let prepared = PreparedLayer::<R>::prepare(inputs, layer)?;
+            let prepared = {
+                let _prepare_span = ara_trace::recorder().span("prepare");
+                PreparedLayer::<R>::prepare(inputs, layer)?
+            };
             prepare_total += p0.elapsed();
 
-            let out = self.run_layer_partition(inputs, &prepared, 0..n);
+            let acc = ara_trace::AtomicStageNanos::new();
+            let stages_t0 = ara_trace::now_ns();
+            let out = self.run_layer_partition(inputs, &prepared, 0..n, tracing.then_some(&acc));
+            if tracing {
+                let stages = acc.load();
+                stages.emit_spans(stages_t0);
+                total_stages.merge(&stages);
+            }
             let (year, max_occ) = out.into_iter().unzip();
             ids.push(layer.id);
             ylts.push(YearLossTable::with_max_occurrence(year, max_occ)?);
@@ -160,6 +186,7 @@ impl<R: Real> Engine for GpuOptimizedEngine<R> {
             portfolio: Portfolio::from_layer_results(ids, ylts)?,
             wall: start.elapsed(),
             prepare: prepare_total,
+            measured: tracing.then(|| ActivityBreakdown::from_stage_nanos(&total_stages)),
         })
     }
 

@@ -18,10 +18,26 @@
 use ara_core::{
     apply_aggregate_stepwise, xl_clamp, LossLookup, PreparedLayer, Real, YearEventTable,
 };
+use ara_trace::{AtomicStageNanos, StageNanos};
 use simt_sim::{BlockCtx, Kernel};
 
 /// Per-trial kernel output: `(year_loss, max_occurrence_loss)`.
 pub type TrialLoss = (f64, f64);
+
+/// Shared memory of one [`AraBasicKernel`] block: the per-event scratch
+/// buffer (`lox_d`), a ground-up loss matrix used only by the
+/// instrumented path, and the block's accumulated stage times.
+#[derive(Debug)]
+pub struct BasicShared<R> {
+    /// Per-event combined loss — the stand-in for the basic
+    /// implementation's global-memory `lox_d` array. (Threads of a
+    /// phase run in sequence, so one buffer serves the whole block.)
+    lox: Vec<R>,
+    /// Ground-up losses gathered ELT-major (instrumented path only).
+    ground: Vec<R>,
+    /// Block-local per-stage nanoseconds, flushed once per block.
+    stages: StageNanos,
+}
 
 /// The basic one-thread-per-trial kernel (implementation iii).
 pub struct AraBasicKernel<'a, R: Real> {
@@ -29,6 +45,7 @@ pub struct AraBasicKernel<'a, R: Real> {
     prepared: &'a PreparedLayer<R>,
     /// First trial this launch covers (multi-device partitioning).
     base_trial: usize,
+    stages: Option<&'a AtomicStageNanos>,
 }
 
 impl<'a, R: Real> AraBasicKernel<'a, R> {
@@ -38,23 +55,95 @@ impl<'a, R: Real> AraBasicKernel<'a, R> {
             yet,
             prepared,
             base_trial,
+            stages: None,
         }
+    }
+
+    /// Accumulate per-stage nanoseconds into `acc` (switches the kernel
+    /// to the instrumented four-stage loop structure; results stay
+    /// bit-identical to the fused loop).
+    pub fn with_stage_accumulator(mut self, acc: &'a AtomicStageNanos) -> Self {
+        self.stages = Some(acc);
+        self
+    }
+
+    fn run_block_traced(&self, ctx: &mut BlockCtx<'_, BasicShared<R>>, out: &mut [TrialLoss]) {
+        let terms = *self.prepared.terms();
+        let num_elts = self.prepared.num_elts();
+        ctx.for_each_thread(|t, s| {
+            // Stage 1 — fetch events from the YET.
+            let t0 = ara_trace::now_ns();
+            let trial = self.yet.trial(self.base_trial + t.global);
+            let len = trial.len();
+            s.lox.clear();
+            s.lox.resize(len, R::ZERO);
+            let t1 = ara_trace::now_ns();
+
+            // Stage 2 — loss lookup: gather every ground-up loss.
+            s.ground.clear();
+            s.ground.resize(num_elts * len, R::ZERO);
+            for (e, lookup) in self.prepared.lookups().iter().enumerate() {
+                let row = &mut s.ground[e * len..(e + 1) * len];
+                for (d, &event) in trial.events.iter().enumerate() {
+                    row[d] = lookup.loss(event);
+                }
+            }
+            let t2 = ara_trace::now_ns();
+
+            // Stage 3 — financial terms, accumulated in the fused
+            // loop's exact order (ELT-outer, occurrence-inner).
+            for (e, &(fx, ret, lim, share)) in
+                self.prepared.financial_terms().iter().enumerate()
+            {
+                let row = &s.ground[e * len..(e + 1) * len];
+                for (l, &g) in s.lox.iter_mut().zip(row) {
+                    *l += share * xl_clamp(g * fx, ret, lim);
+                }
+            }
+            let t3 = ara_trace::now_ns();
+
+            // Stage 4 — layer terms: occurrence clamp + the literal
+            // prefix-sum / clamp / difference / sum passes.
+            let mut max_occ = R::ZERO;
+            for l in s.lox.iter_mut() {
+                *l = terms.apply_occurrence(*l);
+                max_occ = max_occ.max(*l);
+            }
+            let year = apply_aggregate_stepwise(&terms, &mut s.lox);
+            let t4 = ara_trace::now_ns();
+
+            s.stages.fetch += t1 - t0;
+            s.stages.lookup += t2 - t1;
+            s.stages.financial += t3 - t2;
+            s.stages.layer += t4 - t3;
+            out[t.local as usize] = (year.to_f64(), max_occ.to_f64());
+        });
     }
 }
 
 impl<R: Real> Kernel<TrialLoss> for AraBasicKernel<'_, R> {
-    /// One per-event scratch buffer per block — the stand-in for the
-    /// basic implementation's global-memory `lox_d` array. (Threads of a
-    /// phase run in sequence, so one buffer serves the whole block.)
-    type Shared = Vec<R>;
+    type Shared = BasicShared<R>;
 
-    fn init_shared(&self, _block: u32) -> Vec<R> {
-        Vec::new()
+    fn init_shared(&self, _block: u32) -> BasicShared<R> {
+        BasicShared {
+            lox: Vec::new(),
+            ground: Vec::new(),
+            stages: StageNanos::ZERO,
+        }
     }
 
-    fn run_block(&self, ctx: &mut BlockCtx<'_, Vec<R>>, out: &mut [TrialLoss]) {
+    fn run_block(&self, ctx: &mut BlockCtx<'_, BasicShared<R>>, out: &mut [TrialLoss]) {
+        if self.stages.is_some() {
+            self.run_block_traced(ctx, out);
+            if let Some(acc) = self.stages {
+                acc.add(&ctx.shared().stages);
+                ctx.shared().stages = StageNanos::ZERO;
+            }
+            return;
+        }
         let terms = *self.prepared.terms();
-        ctx.for_each_thread(|t, lox| {
+        ctx.for_each_thread(|t, s| {
+            let lox = &mut s.lox;
             let trial = self.yet.trial(self.base_trial + t.global);
             lox.clear();
             lox.resize(trial.len(), R::ZERO);
@@ -99,6 +188,14 @@ pub struct ChunkShared<R> {
     acc: Vec<R>,
     /// Running maximum occurrence loss, per thread ("registers").
     max_occ: Vec<R>,
+    /// Ground-up losses of the staged chunk, ELT-major (instrumented
+    /// path only): `chunk` slots per thread per ELT.
+    ground: Vec<R>,
+    /// Combined per-event losses of the staged chunk (instrumented
+    /// path only): `chunk` slots per thread.
+    combined: Vec<R>,
+    /// Block-local per-stage nanoseconds, flushed once per block.
+    stages: StageNanos,
 }
 
 /// The optimised chunked kernel (implementation iv).
@@ -107,6 +204,7 @@ pub struct AraChunkedKernel<'a, R: Real> {
     prepared: &'a PreparedLayer<R>,
     base_trial: usize,
     chunk: usize,
+    stages: Option<&'a AtomicStageNanos>,
 }
 
 impl<'a, R: Real> AraChunkedKernel<'a, R> {
@@ -127,7 +225,72 @@ impl<'a, R: Real> AraChunkedKernel<'a, R> {
             prepared,
             base_trial,
             chunk,
+            stages: None,
         }
+    }
+
+    /// Accumulate per-stage nanoseconds into `acc` (switches phase B to
+    /// the instrumented gather/combine split; results stay bit-identical
+    /// to the fused phase B).
+    pub fn with_stage_accumulator(mut self, acc: &'a AtomicStageNanos) -> Self {
+        self.stages = Some(acc);
+        self
+    }
+
+    /// Instrumented phase B: the fused event loop split into its
+    /// lookup / financial / layer stages, each timed. The combined loss
+    /// per event is accumulated ELT-outer→inner exactly as in the fused
+    /// loop, so results are bit-identical.
+    fn phase_b_traced(&self, ctx: &mut BlockCtx<'_, ChunkShared<R>>) {
+        let chunk = self.chunk;
+        let terms = *self.prepared.terms();
+        ctx.for_each_thread(|t, s| {
+            let slot = t.local as usize * chunk;
+            let len = s.staged_len[t.local as usize] as usize;
+            // `ground` is laid out [elt][thread × chunk].
+            let n_chunk = s.combined.len();
+
+            // Stage 2 — loss lookup: gather ground-up losses ELT-major.
+            let t1 = ara_trace::now_ns();
+            for (e, lookup) in self.prepared.lookups().iter().enumerate() {
+                let base = e * n_chunk + slot;
+                for (i, &event) in s.staged[slot..slot + len].iter().enumerate() {
+                    s.ground[base + i] = lookup.loss(ara_core::EventId(event));
+                }
+            }
+            let t2 = ara_trace::now_ns();
+
+            // Stage 3 — financial terms: combine per event in the fused
+            // loop's ELT order.
+            for i in 0..len {
+                let mut combined = R::ZERO;
+                for (e, &(fx, ret, lim, share)) in
+                    self.prepared.financial_terms().iter().enumerate()
+                {
+                    let ground_up = s.ground[e * n_chunk + slot + i];
+                    combined += share * xl_clamp(ground_up * fx, ret, lim);
+                }
+                s.combined[slot + i] = combined;
+            }
+            let t3 = ara_trace::now_ns();
+
+            // Stage 4 — layer terms: occurrence clamp into the running
+            // aggregate and max.
+            let mut acc = s.acc[t.local as usize];
+            let mut max_occ = s.max_occ[t.local as usize];
+            for &combined in &s.combined[slot..slot + len] {
+                let occ = terms.apply_occurrence(combined);
+                max_occ = max_occ.max(occ);
+                acc += occ;
+            }
+            s.acc[t.local as usize] = acc;
+            s.max_occ[t.local as usize] = max_occ;
+            let t4 = ara_trace::now_ns();
+
+            s.stages.lookup += t2 - t1;
+            s.stages.financial += t3 - t2;
+            s.stages.layer += t4 - t3;
+        });
     }
 }
 
@@ -140,6 +303,9 @@ impl<R: Real> Kernel<TrialLoss> for AraChunkedKernel<'_, R> {
             staged_len: Vec::new(),
             acc: Vec::new(),
             max_occ: Vec::new(),
+            ground: Vec::new(),
+            combined: Vec::new(),
+            stages: StageNanos::ZERO,
         }
     }
 
@@ -147,6 +313,7 @@ impl<R: Real> Kernel<TrialLoss> for AraChunkedKernel<'_, R> {
         let n = ctx.active_threads() as usize;
         let chunk = self.chunk;
         let terms = *self.prepared.terms();
+        let traced = self.stages.is_some();
         {
             let s = ctx.shared();
             s.staged.clear();
@@ -157,6 +324,13 @@ impl<R: Real> Kernel<TrialLoss> for AraChunkedKernel<'_, R> {
             s.acc.resize(n, R::ZERO);
             s.max_occ.clear();
             s.max_occ.resize(n, R::ZERO);
+            if traced {
+                s.ground.clear();
+                s.ground.resize(self.prepared.num_elts() * n * chunk, R::ZERO);
+                s.combined.clear();
+                s.combined.resize(n * chunk, R::ZERO);
+                s.stages = StageNanos::ZERO;
+            }
         }
 
         // The block iterates in lock-step over chunks up to the longest
@@ -175,7 +349,9 @@ impl<R: Real> Kernel<TrialLoss> for AraChunkedKernel<'_, R> {
         let mut start = 0;
         while start < max_len {
             // Phase A: cooperatively stage the next chunk of event ids
-            // from the YET (coalesced read) into shared memory.
+            // from the YET (coalesced read) into shared memory. Under
+            // instrumentation this is the fetch-events stage.
+            let a0 = if traced { ara_trace::now_ns() } else { 0 };
             ctx.for_each_thread(|t, s| {
                 let trial = self.yet.trial(base + t.global);
                 // A thread whose trial is already exhausted stages
@@ -188,46 +364,60 @@ impl<R: Real> Kernel<TrialLoss> for AraChunkedKernel<'_, R> {
                 }
                 s.staged_len[t.local as usize] = (hi - lo) as u32;
             });
+            if traced {
+                ctx.shared().stages.fetch += ara_trace::now_ns() - a0;
+            }
 
             // Phase B: each thread processes its staged events —
             // event-outer loop, lookups unrolled by the compiler, the
             // combined loss held in a register before the occurrence
             // clamp folds it into the running aggregate.
-            ctx.for_each_thread(|t, s| {
-                let slot = t.local as usize * chunk;
-                let len = s.staged_len[t.local as usize] as usize;
-                let mut acc = s.acc[t.local as usize];
-                let mut max_occ = s.max_occ[t.local as usize];
-                for &event in &s.staged[slot..slot + len] {
-                    let event = ara_core::EventId(event);
-                    let mut combined = R::ZERO;
-                    for (lookup, &(fx, ret, lim, share)) in self
-                        .prepared
-                        .lookups()
-                        .iter()
-                        .zip(self.prepared.financial_terms())
-                    {
-                        let ground_up = lookup.loss(event);
-                        combined += share * xl_clamp(ground_up * fx, ret, lim);
+            if traced {
+                self.phase_b_traced(ctx);
+            } else {
+                ctx.for_each_thread(|t, s| {
+                    let slot = t.local as usize * chunk;
+                    let len = s.staged_len[t.local as usize] as usize;
+                    let mut acc = s.acc[t.local as usize];
+                    let mut max_occ = s.max_occ[t.local as usize];
+                    for &event in &s.staged[slot..slot + len] {
+                        let event = ara_core::EventId(event);
+                        let mut combined = R::ZERO;
+                        for (lookup, &(fx, ret, lim, share)) in self
+                            .prepared
+                            .lookups()
+                            .iter()
+                            .zip(self.prepared.financial_terms())
+                        {
+                            let ground_up = lookup.loss(event);
+                            combined += share * xl_clamp(ground_up * fx, ret, lim);
+                        }
+                        let occ = terms.apply_occurrence(combined);
+                        max_occ = max_occ.max(occ);
+                        acc += occ;
                     }
-                    let occ = terms.apply_occurrence(combined);
-                    max_occ = max_occ.max(occ);
-                    acc += occ;
-                }
-                s.acc[t.local as usize] = acc;
-                s.max_occ[t.local as usize] = max_occ;
-            });
+                    s.acc[t.local as usize] = acc;
+                    s.max_occ[t.local as usize] = max_occ;
+                });
+            }
 
             start += chunk;
         }
 
         // Epilogue: the aggregate terms collapse to one clamp of the
         // accumulated total (telescoping identity of Algorithm 1's
-        // lines 18–29).
+        // lines 18–29). Counted as layer-terms time when instrumented.
+        let e0 = if traced { ara_trace::now_ns() } else { 0 };
         ctx.for_each_thread(|t, s| {
             let year = terms.apply_aggregate(s.acc[t.local as usize]);
             out[t.local as usize] = (year.to_f64(), s.max_occ[t.local as usize].to_f64());
         });
+        if let Some(acc) = self.stages {
+            let s = ctx.shared();
+            s.stages.layer += ara_trace::now_ns() - e0;
+            acc.add(&s.stages);
+            s.stages = StageNanos::ZERO;
+        }
     }
 }
 
@@ -344,5 +534,47 @@ mod tests {
         let inputs = fixture();
         let prepared = PreparedLayer::<f64>::prepare(&inputs, &inputs.layers[0]).unwrap();
         AraChunkedKernel::new(&inputs.yet, &prepared, 0, 0);
+    }
+
+    #[test]
+    fn basic_kernel_instrumented_is_bit_identical() {
+        let inputs = fixture();
+        let layer = &inputs.layers[0];
+        let prepared = PreparedLayer::<f64>::prepare(&inputs, layer).unwrap();
+        let n = inputs.yet.num_trials();
+        let plain = run_kernel(&AraBasicKernel::new(&inputs.yet, &prepared, 0), n, 64);
+        let acc = ara_trace::AtomicStageNanos::new();
+        let traced = run_kernel(
+            &AraBasicKernel::new(&inputs.yet, &prepared, 0).with_stage_accumulator(&acc),
+            n,
+            64,
+        );
+        assert_eq!(plain, traced);
+        let stages = acc.load();
+        assert!(stages.total() > 0, "instrumented run recorded no time");
+    }
+
+    #[test]
+    fn chunked_kernel_instrumented_is_bit_identical() {
+        let inputs = fixture();
+        let layer = &inputs.layers[0];
+        let prepared = PreparedLayer::<f64>::prepare(&inputs, layer).unwrap();
+        let n = inputs.yet.num_trials();
+        for (chunk, block) in [(1, 16), (8, 32), (1000, 64)] {
+            let plain = run_kernel(
+                &AraChunkedKernel::new(&inputs.yet, &prepared, 0, chunk),
+                n,
+                block,
+            );
+            let acc = ara_trace::AtomicStageNanos::new();
+            let traced = run_kernel(
+                &AraChunkedKernel::new(&inputs.yet, &prepared, 0, chunk)
+                    .with_stage_accumulator(&acc),
+                n,
+                block,
+            );
+            assert_eq!(plain, traced, "chunk={chunk}, block={block}");
+            assert!(acc.load().total() > 0);
+        }
     }
 }

@@ -37,7 +37,10 @@ pub mod profiles;
 pub mod seq;
 pub mod uncertain;
 
-pub use api::{stage, ActivityBreakdown, AnalysisOutput, Engine, ModeledTiming, PlatformDetail};
+pub use api::{
+    modeled_vs_measured, stage, ActivityBreakdown, AnalysisOutput, DriftReport, Engine,
+    ModeledTiming, PlatformDetail, StageDrift,
+};
 pub use divergence::{chunked_kernel_divergence, DivergenceStats};
 pub use gpu_basic::GpuBasicEngine;
 pub use gpu_opt::{GpuOptimizedEngine, OptFlags};

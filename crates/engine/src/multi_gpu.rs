@@ -88,6 +88,13 @@ impl<R: Real> Engine for MultiGpuEngine<R> {
 
     fn analyse(&self, inputs: &Inputs) -> Result<AnalysisOutput, AraError> {
         inputs.validate()?;
+        let tracing = ara_trace::recorder().is_enabled();
+        let _engine_span = ara_trace::recorder()
+            .span("engine.analyse")
+            .with_field("engine", self.name())
+            .with_field("devices", self.devices.len())
+            .with_field("block_dim", self.block_dim)
+            .with_field("layers", inputs.layers.len());
         let start = Instant::now();
         let mut prepare_total = std::time::Duration::ZERO;
         let n_dev = self.devices.len();
@@ -107,15 +114,23 @@ impl<R: Real> Engine for MultiGpuEngine<R> {
 
         let mut ids = Vec::with_capacity(inputs.layers.len());
         let mut ylts = Vec::with_capacity(inputs.layers.len());
-        for layer in &inputs.layers {
+        let mut total_stages = ara_trace::StageNanos::ZERO;
+        for (li, layer) in inputs.layers.iter().enumerate() {
+            let _layer_span = ara_trace::recorder().span("layer").with_field("layer", li);
             let p0 = Instant::now();
             // Preprocessing: each device receives a replica of the dense
             // tables (we build one and share it read-only, as the replica
             // contents are identical).
-            let prepared = PreparedLayer::<R>::prepare(inputs, layer)?;
+            let prepared = {
+                let _prepare_span = ara_trace::recorder().span("prepare");
+                PreparedLayer::<R>::prepare(inputs, layer)?
+            };
             prepare_total += p0.elapsed();
 
             let partitions = inputs.yet.partition_trials(n_dev);
+            // One stage accumulator shared by all device host threads.
+            let acc = ara_trace::AtomicStageNanos::new();
+            let stages_t0 = ara_trace::now_ns();
             // One CPU thread invokes and manages each device.
             let mut parts: Vec<Vec<TrialLoss>> = Vec::with_capacity(n_dev);
             crossbeam::scope(|scope| {
@@ -128,8 +143,13 @@ impl<R: Real> Engine for MultiGpuEngine<R> {
                         let range = range.clone();
                         let block_dim = self.block_dim;
                         let chunk = self.chunk as usize;
+                        let acc = &acc;
                         scope.spawn(move |_| {
-                            let kernel = AraChunkedKernel::new(yet, prepared, range.start, chunk);
+                            let mut kernel =
+                                AraChunkedKernel::new(yet, prepared, range.start, chunk);
+                            if tracing {
+                                kernel = kernel.with_stage_accumulator(acc);
+                            }
                             let mut out: Vec<TrialLoss> = vec![(0.0, 0.0); range.len()];
                             launch_in(
                                 pool,
@@ -146,6 +166,11 @@ impl<R: Real> Engine for MultiGpuEngine<R> {
                 }
             })
             .expect("crossbeam scope panicked");
+            if tracing {
+                let stages = acc.load();
+                stages.emit_spans(stages_t0);
+                total_stages.merge(&stages);
+            }
 
             let ylt = YearLossTable::concat(
                 parts
@@ -164,6 +189,7 @@ impl<R: Real> Engine for MultiGpuEngine<R> {
             portfolio: Portfolio::from_layer_results(ids, ylts)?,
             wall: start.elapsed(),
             prepare: prepare_total,
+            measured: tracing.then(|| ActivityBreakdown::from_stage_nanos(&total_stages)),
         })
     }
 

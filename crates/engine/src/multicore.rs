@@ -89,26 +89,59 @@ impl<R: Real> MulticoreEngine<R> {
         pool: &rayon::ThreadPool,
         inputs: &Inputs,
         prepared: &PreparedLayer<R>,
-    ) -> YearLossTable {
+    ) -> (YearLossTable, ara_trace::StageNanos) {
         let n = inputs.yet.num_trials();
         let grain = match self.schedule {
             Schedule::Dynamic => 1,
             Schedule::Static => n.div_ceil(self.threads.max(1)).max(1),
             Schedule::Chunked(g) => g.max(1),
         };
+        let tracing = ara_trace::recorder().is_enabled();
+        let stage_acc = ara_trace::AtomicStageNanos::new();
         let results: Vec<(f64, f64)> = pool.install(|| {
-            (0..n)
-                .into_par_iter()
-                .with_min_len(grain)
-                .map_init(TrialWorkspace::<R>::new, |ws, i| {
-                    let r = ara_core::analysis::analyse_trial(prepared, inputs.yet.trial(i), ws);
-                    (r.year_loss.to_f64(), r.max_occ_loss.to_f64())
-                })
-                .collect()
+            if tracing {
+                // The instrumented path: each worker times the four
+                // stages per trial and folds the totals into a shared
+                // atomic accumulator (4 relaxed adds per trial —
+                // negligible against the trial's work). Results stay
+                // bit-identical to the fused loop.
+                (0..n)
+                    .into_par_iter()
+                    .with_min_len(grain)
+                    .map_init(ara_core::StagedWorkspace::<R>::new, |ws, i| {
+                        ws.stages = ara_trace::StageNanos::ZERO;
+                        let r = ara_core::analysis::analyse_trial_staged(
+                            prepared,
+                            inputs.yet.trial(i),
+                            ws,
+                        );
+                        stage_acc.add(&ws.stages);
+                        (r.year_loss.to_f64(), r.max_occ_loss.to_f64())
+                    })
+                    .collect()
+            } else {
+                (0..n)
+                    .into_par_iter()
+                    .with_min_len(grain)
+                    .map_init(TrialWorkspace::<R>::new, |ws, i| {
+                        let r =
+                            ara_core::analysis::analyse_trial(prepared, inputs.yet.trial(i), ws);
+                        (r.year_loss.to_f64(), r.max_occ_loss.to_f64())
+                    })
+                    .collect()
+            }
         });
+        if tracing {
+            let metrics = ara_trace::metrics();
+            metrics
+                .counter("lookup.probes")
+                .add(prepared.num_elts() as u64 * inputs.yet.total_events() as u64);
+            metrics.counter("trials.analysed").add(n as u64);
+        }
         let (year, max_occ): (Vec<f64>, Vec<f64>) = results.into_iter().unzip();
-        YearLossTable::with_max_occurrence(year, max_occ)
-            .expect("parallel columns have equal length")
+        let ylt = YearLossTable::with_max_occurrence(year, max_occ)
+            .expect("parallel columns have equal length");
+        (ylt, stage_acc.load())
     }
 }
 
@@ -119,6 +152,12 @@ impl<R: Real> Engine for MulticoreEngine<R> {
 
     fn analyse(&self, inputs: &Inputs) -> Result<AnalysisOutput, AraError> {
         inputs.validate()?;
+        let tracing = ara_trace::recorder().is_enabled();
+        let _engine_span = ara_trace::recorder()
+            .span("engine.analyse")
+            .with_field("engine", self.name())
+            .with_field("threads", self.threads)
+            .with_field("layers", inputs.layers.len());
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(self.threads)
             .build()
@@ -127,17 +166,29 @@ impl<R: Real> Engine for MulticoreEngine<R> {
         let mut prepare_total = std::time::Duration::ZERO;
         let mut ids = Vec::with_capacity(inputs.layers.len());
         let mut ylts = Vec::with_capacity(inputs.layers.len());
-        for layer in &inputs.layers {
+        let mut total_stages = ara_trace::StageNanos::ZERO;
+        for (li, layer) in inputs.layers.iter().enumerate() {
+            let _layer_span = ara_trace::recorder().span("layer").with_field("layer", li);
             let p0 = Instant::now();
-            let prepared = PreparedLayer::<R>::prepare(inputs, layer)?;
+            let prepared = {
+                let _prepare_span = ara_trace::recorder().span("prepare");
+                PreparedLayer::<R>::prepare(inputs, layer)?
+            };
             prepare_total += p0.elapsed();
             ids.push(layer.id);
-            ylts.push(self.analyse_layer_parallel(&pool, inputs, &prepared));
+            let stages_t0 = ara_trace::now_ns();
+            let (ylt, stages) = self.analyse_layer_parallel(&pool, inputs, &prepared);
+            if tracing {
+                stages.emit_spans(stages_t0);
+                total_stages.merge(&stages);
+            }
+            ylts.push(ylt);
         }
         Ok(AnalysisOutput {
             portfolio: Portfolio::from_layer_results(ids, ylts)?,
             wall: start.elapsed(),
             prepare: prepare_total,
+            measured: tracing.then(|| ActivityBreakdown::from_stage_nanos(&total_stages)),
         })
     }
 

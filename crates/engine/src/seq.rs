@@ -45,21 +45,41 @@ impl<R: Real> Engine for SequentialEngine<R> {
 
     fn analyse(&self, inputs: &Inputs) -> Result<AnalysisOutput, AraError> {
         inputs.validate()?;
+        let tracing = ara_trace::recorder().is_enabled();
+        let _engine_span = ara_trace::recorder()
+            .span("engine.analyse")
+            .with_field("engine", self.name())
+            .with_field("layers", inputs.layers.len());
         let start = Instant::now();
         let mut prepare_total = std::time::Duration::ZERO;
         let mut ids = Vec::with_capacity(inputs.layers.len());
         let mut ylts = Vec::with_capacity(inputs.layers.len());
-        for layer in &inputs.layers {
+        let mut total_stages = ara_trace::StageNanos::ZERO;
+        for (li, layer) in inputs.layers.iter().enumerate() {
+            let _layer_span = ara_trace::recorder().span("layer").with_field("layer", li);
             let p0 = Instant::now();
-            let prepared = PreparedLayer::<R>::prepare(inputs, layer)?;
+            let prepared = {
+                let _prepare_span = ara_trace::recorder().span("prepare");
+                PreparedLayer::<R>::prepare(inputs, layer)?
+            };
             prepare_total += p0.elapsed();
             ids.push(layer.id);
-            ylts.push(ara_core::analysis::analyse_layer(&prepared, &inputs.yet));
+            if tracing {
+                let stages_t0 = ara_trace::now_ns();
+                let (ylt, stages) =
+                    ara_core::analysis::analyse_layer_staged(&prepared, &inputs.yet);
+                stages.emit_spans(stages_t0);
+                total_stages.merge(&stages);
+                ylts.push(ylt);
+            } else {
+                ylts.push(ara_core::analysis::analyse_layer(&prepared, &inputs.yet));
+            }
         }
         Ok(AnalysisOutput {
             portfolio: Portfolio::from_layer_results(ids, ylts)?,
             wall: start.elapsed(),
             prepare: prepare_total,
+            measured: tracing.then(|| ActivityBreakdown::from_stage_nanos(&total_stages)),
         })
     }
 

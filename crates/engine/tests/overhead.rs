@@ -1,0 +1,62 @@
+//! The instrumentation must be free when the recorder is off: the
+//! sequential engine's gated analyse path may cost at most 5% over the
+//! raw core analysis loop at bench scale.
+
+use ara_engine::{Engine, SequentialEngine};
+use ara_trace::testing;
+use ara_workload::{Scenario, ScenarioShape};
+use std::time::{Duration, Instant};
+
+fn min_of<F: FnMut() -> Duration>(reps: usize, mut f: F) -> Duration {
+    (0..reps).map(|_| f()).min().expect("reps > 0")
+}
+
+#[test]
+fn disabled_tracing_costs_under_five_percent() {
+    let _guard = testing::serial_guard();
+    testing::reset();
+
+    // Bench-scale: enough per-trial work that the timing is stable, and
+    // any fixed per-call overhead is amortised to nothing.
+    let shape = ScenarioShape {
+        num_trials: 400,
+        events_per_trial: 100.0,
+        catalogue_size: 100_000,
+        num_elts: 6,
+        records_per_elt: 10_000,
+        num_layers: 2,
+        elts_per_layer: (3, 6),
+    };
+    let inputs = Scenario::new(shape, 17).build().unwrap();
+    let engine = SequentialEngine::<f64>::new();
+
+    // Warm up caches and the allocator once on each path.
+    let _ = ara_core::Portfolio::analyse::<f64>(&inputs).unwrap();
+    let _ = engine.analyse(&inputs).unwrap();
+
+    // Baseline: the core analysis loop with no instrumentation at all.
+    let baseline = min_of(5, || {
+        let t0 = Instant::now();
+        let p = ara_core::Portfolio::analyse::<f64>(&inputs).unwrap();
+        assert!(p.num_layers() > 0);
+        t0.elapsed()
+    });
+
+    // The gated engine path with the recorder disabled.
+    let gated = min_of(5, || {
+        let t0 = Instant::now();
+        let out = engine.analyse(&inputs).unwrap();
+        assert!(out.measured.is_none());
+        t0.elapsed()
+    });
+
+    // <5% relative, with a small absolute floor so sub-millisecond
+    // scheduler jitter cannot fail the test on its own.
+    let limit = baseline.mul_f64(1.05) + Duration::from_millis(5);
+    assert!(
+        gated <= limit,
+        "disabled instrumentation overhead too high: gated {:?} vs baseline {:?}",
+        gated,
+        baseline
+    );
+}

@@ -1,0 +1,200 @@
+//! Cross-engine tracing integration tests: every engine produces a
+//! measured [`ActivityBreakdown`] when the recorder is on, emits spans
+//! for the four Algorithm-1 stages, and returns bit-identical results
+//! traced and untraced.
+
+use ara_engine::{
+    Engine, GpuBasicEngine, GpuOptimizedEngine, MultiGpuEngine, MulticoreEngine, SequentialEngine,
+};
+use ara_trace::{recorder, stage_names, testing, Level, Trace};
+use ara_workload::{Scenario, ScenarioShape};
+
+fn engines() -> Vec<(&'static str, Box<dyn Engine>)> {
+    vec![
+        ("sequential", Box::new(SequentialEngine::<f64>::new())),
+        ("multicore", Box::new(MulticoreEngine::<f64>::new(4))),
+        ("gpu-basic", Box::new(GpuBasicEngine::new())),
+        ("gpu-opt", Box::new(GpuOptimizedEngine::<f64>::new())),
+        ("multi-gpu", Box::new(MultiGpuEngine::<f64>::new(2))),
+    ]
+}
+
+fn run_traced(engine: &dyn Engine, inputs: &ara_core::Inputs) -> (ara_engine::AnalysisOutput, Trace) {
+    testing::reset();
+    recorder().enable(Level::Trace);
+    let out = engine.analyse(inputs).unwrap();
+    let trace = recorder().drain();
+    recorder().disable();
+    (out, trace)
+}
+
+#[test]
+fn every_engine_exposes_measured_breakdown_when_traced() {
+    let _guard = testing::serial_guard();
+    let inputs = Scenario::new(ScenarioShape::smoke(), 7).build().unwrap();
+    for (name, engine) in engines() {
+        let untraced = engine.analyse(&inputs).unwrap();
+        assert!(
+            untraced.measured.is_none(),
+            "{name}: measured must be None when the recorder is off"
+        );
+
+        let (traced, trace) = run_traced(engine.as_ref(), &inputs);
+        let measured = traced
+            .measured
+            .unwrap_or_else(|| panic!("{name}: traced run must expose a measured breakdown"));
+        assert!(
+            measured.total() > 0.0,
+            "{name}: measured breakdown is empty"
+        );
+
+        // Tracing must not perturb the numerics.
+        for i in 0..untraced.portfolio.num_layers() {
+            assert_eq!(
+                traced.portfolio.layer_ylt(i).year_losses(),
+                untraced.portfolio.layer_ylt(i).year_losses(),
+                "{name}: layer {i} differs traced vs untraced"
+            );
+        }
+
+        // All four Algorithm-1 stages appear as spans.
+        for stage in stage_names::ALL {
+            assert!(
+                !trace.spans_named(stage).is_empty(),
+                "{name}: no '{stage}' span in trace"
+            );
+        }
+        assert!(
+            !trace.spans_named("engine.analyse").is_empty(),
+            "{name}: no engine.analyse span"
+        );
+    }
+}
+
+#[test]
+fn stage_spans_nest_under_layer_spans_in_pipeline_order() {
+    let _guard = testing::serial_guard();
+    let inputs = Scenario::new(ScenarioShape::smoke(), 8).build().unwrap();
+    let (_, trace) = run_traced(&SequentialEngine::<f64>::new(), &inputs);
+
+    let layers = trace.spans_named("layer");
+    assert_eq!(layers.len(), inputs.layers.len());
+    for layer_span in &layers {
+        let children = trace.children_of(layer_span.id);
+        let names: Vec<&str> = children.iter().map(|s| s.name.as_ref()).collect();
+        // prepare first, then the four stages back-to-back.
+        assert_eq!(
+            names,
+            vec![
+                "prepare",
+                stage_names::FETCH,
+                stage_names::LOOKUP,
+                stage_names::FINANCIAL,
+                stage_names::LAYER,
+            ],
+            "layer children out of order"
+        );
+        // Drain order is (start_ns, id): starts must be monotone.
+        for pair in children.windows(2) {
+            assert!(pair[0].start_ns <= pair[1].start_ns);
+        }
+    }
+}
+
+#[test]
+fn spans_nest_correctly_under_rayon_parallelism() {
+    let _guard = testing::serial_guard();
+    testing::reset();
+    recorder().enable(Level::Trace);
+
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .unwrap();
+    pool.install(|| {
+        use rayon::prelude::*;
+        (0..64u64).into_par_iter().for_each(|i| {
+            let outer = recorder().span("outer").with_field("i", i);
+            {
+                let _inner = recorder().span("inner").with_field("i", i);
+            }
+            drop(outer);
+        });
+    });
+
+    let trace = recorder().drain();
+    recorder().disable();
+
+    let outers = trace.spans_named("outer");
+    let inners = trace.spans_named("inner");
+    assert_eq!(outers.len(), 64);
+    assert_eq!(inners.len(), 64);
+    for inner in &inners {
+        // Each inner span is parented to the outer span with the same
+        // work item and thread, even with workers interleaving.
+        let parent = inner.parent.expect("inner span has a parent");
+        let outer = outers
+            .iter()
+            .find(|o| o.id == parent)
+            .expect("parent is an outer span");
+        assert_eq!(outer.field("i"), inner.field("i"));
+        assert_eq!(outer.thread, inner.thread);
+        assert!(outer.start_ns <= inner.start_ns);
+        assert!(outer.end_ns >= inner.end_ns);
+    }
+    // Drain is globally sorted by (start_ns, id).
+    for pair in trace.spans.windows(2) {
+        assert!(
+            (pair[0].start_ns, pair[0].id) <= (pair[1].start_ns, pair[1].id),
+            "drain not sorted"
+        );
+    }
+}
+
+#[test]
+fn measured_breakdown_is_lookup_dominant_at_bench_scale() {
+    let _guard = testing::serial_guard();
+    // Bench-like shape: dense direct tables far larger than cache, so
+    // the random event-id probes of the lookup stage dominate — the
+    // paper's Figure 6 behaviour (65% sequential … 97.5% multi-GPU).
+    let shape = ScenarioShape {
+        num_trials: 300,
+        events_per_trial: 120.0,
+        catalogue_size: 1 << 21,
+        num_elts: 4,
+        records_per_elt: 20_000,
+        num_layers: 1,
+        elts_per_layer: (4, 4),
+    };
+    let inputs = Scenario::new(shape, 9).build().unwrap();
+    let (out, _) = run_traced(&SequentialEngine::<f64>::new(), &inputs);
+    let m = out.measured.unwrap();
+    assert!(
+        m.lookup > m.fetch && m.lookup > m.financial && m.lookup > m.layer,
+        "lookup ({:.2e}s) should dominate fetch {:.2e} / financial {:.2e} / layer {:.2e}",
+        m.lookup,
+        m.fetch,
+        m.financial,
+        m.layer
+    );
+    let (_, lookup_pct, _, _) = m.percentages();
+    assert!(lookup_pct > 40.0, "lookup share only {lookup_pct:.1}%");
+}
+
+#[test]
+fn drift_report_between_modeled_and_measured_runs() {
+    let _guard = testing::serial_guard();
+    let inputs = Scenario::new(ScenarioShape::smoke(), 10).build().unwrap();
+    let engine = SequentialEngine::<f64>::new();
+    let (out, _) = run_traced(&engine, &inputs);
+    let modeled = engine
+        .model(&ara_engine::shape_of_inputs(&inputs))
+        .breakdown;
+    let report = ara_engine::modeled_vs_measured(&modeled, &out.measured.unwrap(), 25.0);
+    assert_eq!(report.stages.len(), 4);
+    // The render is a four-row table regardless of drift.
+    let text = report.render();
+    for stage in stage_names::ALL {
+        assert!(text.contains(stage), "render missing {stage}");
+    }
+}

@@ -54,6 +54,11 @@ where
         cfg.num_items,
         "output slice must match num_items"
     );
+    let _launch_span = ara_trace::recorder()
+        .span("simt.launch")
+        .with_field("grid_dim", cfg.grid_dim())
+        .with_field("block_dim", cfg.block_dim)
+        .with_field("num_items", cfg.num_items);
     let start = Instant::now();
     let block_dim = cfg.block_dim as usize;
     let total_phases: u64 = if cfg.num_items == 0 {
@@ -62,6 +67,12 @@ where
         out.par_chunks_mut(block_dim)
             .enumerate()
             .map(|(b, chunk)| {
+                // Per-block spans are Debug-level: a launch can dispatch
+                // thousands of blocks, so they are kept only when
+                // explicitly asked for.
+                let _block_span = ara_trace::recorder()
+                    .span_at(ara_trace::Level::Debug, "simt.block")
+                    .with_field("block", b);
                 let mut shared = kernel.init_shared(b as u32);
                 let mut ctx = BlockCtx::new(b as u32, cfg, &mut shared);
                 kernel.run_block(&mut ctx, chunk);
@@ -69,6 +80,12 @@ where
             })
             .sum()
     };
+    if ara_trace::recorder().is_enabled() {
+        let m = ara_trace::metrics();
+        m.counter("simt.launches").incr();
+        m.counter("simt.blocks").add(cfg.grid_dim() as u64);
+        m.counter("simt.phases").add(total_phases);
+    }
     LaunchStats {
         grid_dim: cfg.grid_dim(),
         block_dim: cfg.block_dim,
@@ -191,5 +208,47 @@ mod tests {
         let mut out = vec![0u32; 100];
         launch(LaunchConfig::new(100, 7), &AddOne, &mut out);
         assert!(out.iter().enumerate().all(|(i, &v)| v == i as u32 + 1));
+    }
+
+    #[test]
+    fn launch_records_spans_and_counters_when_traced() {
+        let _guard = ara_trace::testing::serial_guard();
+        ara_trace::testing::reset();
+        ara_trace::recorder().enable(ara_trace::Level::Debug);
+        let mut out = vec![0u64; 1000];
+        let stats = launch(LaunchConfig::new(1000, 128), &SquareKernel, &mut out);
+        let trace = ara_trace::recorder().drain();
+        ara_trace::recorder().disable();
+
+        assert_eq!(trace.spans_named("simt.launch").len(), 1);
+        // One Debug-level span per block.
+        assert_eq!(
+            trace.spans_named("simt.block").len(),
+            stats.grid_dim as usize
+        );
+        assert_eq!(trace.metrics.counter("simt.launches"), Some(1));
+        assert_eq!(
+            trace.metrics.counter("simt.blocks"),
+            Some(stats.grid_dim as u64)
+        );
+        assert_eq!(
+            trace.metrics.counter("simt.phases"),
+            Some(stats.total_phases)
+        );
+        // Results are unaffected by tracing.
+        assert!(out.iter().enumerate().all(|(i, &v)| v == (i * i) as u64));
+    }
+
+    #[test]
+    fn info_level_skips_per_block_spans() {
+        let _guard = ara_trace::testing::serial_guard();
+        ara_trace::testing::reset();
+        ara_trace::recorder().enable(ara_trace::Level::Info);
+        let mut out = vec![0u64; 100];
+        launch(LaunchConfig::new(100, 32), &SquareKernel, &mut out);
+        let trace = ara_trace::recorder().drain();
+        ara_trace::recorder().disable();
+        assert_eq!(trace.spans_named("simt.launch").len(), 1);
+        assert!(trace.spans_named("simt.block").is_empty());
     }
 }

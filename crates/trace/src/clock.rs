@@ -1,0 +1,39 @@
+//! Monotonic nanosecond clock shared by every recording site.
+//!
+//! All timestamps are nanoseconds since a process-wide epoch (the first
+//! call into this module), so spans recorded by different threads line
+//! up on one timeline and exporters never deal with absolute time.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// The process-wide trace epoch. First call pins it; later calls are a
+/// single atomic load.
+pub fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds elapsed since the trace epoch.
+#[inline]
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn epoch_is_stable() {
+        assert_eq!(epoch(), epoch());
+    }
+}

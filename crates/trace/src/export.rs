@@ -1,0 +1,390 @@
+//! Trace exporters: Chrome `trace_event`, JSON Lines, and a
+//! human-readable tree summary.
+
+use crate::json;
+use crate::recorder::Trace;
+use crate::span::SpanRecord;
+use std::fmt::Write as _;
+
+/// Output format for a drained [`Trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Human-readable span tree plus metrics (stderr-friendly).
+    Summary,
+    /// One JSON object per line: spans, then counters/gauges/histograms.
+    Jsonl,
+    /// Chrome `trace_event` JSON — load into `chrome://tracing` or
+    /// [Perfetto](https://ui.perfetto.dev).
+    Chrome,
+}
+
+impl TraceFormat {
+    /// Parse a CLI token (`"summary"`, `"jsonl"`, `"chrome"`).
+    pub fn parse(s: &str) -> Option<TraceFormat> {
+        match s {
+            "summary" => Some(TraceFormat::Summary),
+            "jsonl" => Some(TraceFormat::Jsonl),
+            "chrome" => Some(TraceFormat::Chrome),
+            _ => None,
+        }
+    }
+
+    /// The CLI token for this format.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceFormat::Summary => "summary",
+            TraceFormat::Jsonl => "jsonl",
+            TraceFormat::Chrome => "chrome",
+        }
+    }
+
+    /// Render `trace` in this format.
+    pub fn render(&self, trace: &Trace) -> String {
+        match self {
+            TraceFormat::Summary => to_summary(trace),
+            TraceFormat::Jsonl => to_jsonl(trace),
+            TraceFormat::Chrome => to_chrome(trace),
+        }
+    }
+}
+
+fn span_args_json(span: &SpanRecord) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in span.fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json::string(k));
+        out.push(':');
+        out.push_str(&v.to_json());
+    }
+    out.push('}');
+    out
+}
+
+/// Export as Chrome `trace_event` JSON: one complete (`"ph":"X"`) event
+/// per span — timestamps/durations in microseconds as the format
+/// requires — followed by one counter (`"ph":"C"`) event per metric
+/// counter and gauge, stamped at the end of the trace.
+pub fn to_chrome(trace: &Trace) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |event: String, out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('\n');
+        out.push_str(&event);
+    };
+    for span in &trace.spans {
+        let event = format!(
+            "{{\"name\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"cat\":{},\"args\":{}}}",
+            json::string(&span.name),
+            json::number(span.start_ns as f64 / 1000.0),
+            json::number(span.duration_ns() as f64 / 1000.0),
+            span.thread,
+            json::string(span.level.name()),
+            span_args_json(span),
+        );
+        push(event, &mut out);
+    }
+    let end_us = trace
+        .spans
+        .iter()
+        .map(|s| s.end_ns)
+        .max()
+        .unwrap_or(0) as f64
+        / 1000.0;
+    for (name, value) in &trace.metrics.counters {
+        let event = format!(
+            "{{\"name\":{},\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":0,\"args\":{{\"value\":{}}}}}",
+            json::string(name),
+            json::number(end_us),
+            value,
+        );
+        push(event, &mut out);
+    }
+    for (name, value) in &trace.metrics.gauges {
+        let event = format!(
+            "{{\"name\":{},\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":0,\"args\":{{\"value\":{}}}}}",
+            json::string(name),
+            json::number(end_us),
+            json::number(*value),
+        );
+        push(event, &mut out);
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Export as JSON Lines: one `{"type":"span",...}` object per span, then
+/// one `{"type":"counter"|"gauge"|"histogram",...}` per metric.
+pub fn to_jsonl(trace: &Trace) -> String {
+    let mut out = String::new();
+    for span in &trace.spans {
+        let parent = match span.parent {
+            Some(p) => p.to_string(),
+            None => "null".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"name\":{},\"start_ns\":{},\"end_ns\":{},\"thread\":{},\"level\":{},\"fields\":{}}}",
+            span.id,
+            parent,
+            json::string(&span.name),
+            span.start_ns,
+            span.end_ns,
+            span.thread,
+            json::string(span.level.name()),
+            span_args_json(span),
+        );
+    }
+    for (name, value) in &trace.metrics.counters {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"name\":{},\"value\":{}}}",
+            json::string(name),
+            value
+        );
+    }
+    for (name, value) in &trace.metrics.gauges {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"gauge\",\"name\":{},\"value\":{}}}",
+            json::string(name),
+            json::number(*value)
+        );
+    }
+    for (name, h) in &trace.metrics.histograms {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"histogram\",\"name\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            json::string(name),
+            h.count,
+            h.sum,
+            h.min,
+            h.max,
+            h.quantile(0.50),
+            h.quantile(0.95),
+            h.quantile(0.99),
+        );
+    }
+    out
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn summarise_subtree(
+    trace: &Trace,
+    span: &SpanRecord,
+    depth: usize,
+    max_children: usize,
+    out: &mut String,
+) {
+    let indent = "  ".repeat(depth);
+    let mut fields = String::new();
+    for (k, v) in &span.fields {
+        let _ = write!(fields, " {k}={}", v.to_json());
+    }
+    let _ = writeln!(
+        out,
+        "{indent}{} {} [t{}]{}",
+        span.name,
+        fmt_ns(span.duration_ns()),
+        span.thread,
+        fields
+    );
+    let children = trace.children_of(span.id);
+    for child in children.iter().take(max_children) {
+        summarise_subtree(trace, child, depth + 1, max_children, out);
+    }
+    if children.len() > max_children {
+        let _ = writeln!(
+            out,
+            "{indent}  … {} more children elided",
+            children.len() - max_children
+        );
+    }
+}
+
+/// Render a human-readable tree of spans (children indented under
+/// parents, large fan-outs elided) followed by the metrics.
+pub fn to_summary(trace: &Trace) -> String {
+    const MAX_CHILDREN: usize = 12;
+    let mut out = String::new();
+    let _ = writeln!(out, "trace: {} spans", trace.spans.len());
+    for root in trace.spans.iter().filter(|s| {
+        s.parent.is_none()
+            || !trace.spans.iter().any(|p| Some(p.id) == s.parent)
+    }) {
+        summarise_subtree(trace, root, 1, MAX_CHILDREN, &mut out);
+    }
+    if !trace.metrics.counters.is_empty() {
+        let _ = writeln!(out, "counters:");
+        for (name, value) in &trace.metrics.counters {
+            let _ = writeln!(out, "  {name} = {value}");
+        }
+    }
+    if !trace.metrics.gauges.is_empty() {
+        let _ = writeln!(out, "gauges:");
+        for (name, value) in &trace.metrics.gauges {
+            let _ = writeln!(out, "  {name} = {value}");
+        }
+    }
+    if !trace.metrics.histograms.is_empty() {
+        let _ = writeln!(out, "histograms:");
+        for (name, h) in &trace.metrics.histograms {
+            let _ = writeln!(
+                out,
+                "  {name}: count={} mean={:.1} min={} p50={} p95={} max={}",
+                h.count,
+                h.mean(),
+                h.min,
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.max
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+    use crate::testing::serial_guard;
+    use crate::{metrics, recorder, Level};
+
+    fn sample_trace() -> Trace {
+        crate::testing::reset();
+        recorder().enable(Level::Info);
+        {
+            let _outer = recorder().span("engine").with_field("layers", 2i64);
+            {
+                let _inner = recorder()
+                    .span("loss-lookup")
+                    .with_field("note", "dense \"table\"");
+            }
+            metrics().counter("lookup.probes").add(1234);
+            metrics().gauge("simt.occupancy").set(0.5);
+            metrics().histogram("block.ns").record(4096);
+        }
+        let trace = recorder().drain();
+        crate::testing::reset();
+        trace
+    }
+
+    #[test]
+    fn chrome_export_is_valid_and_complete() {
+        let _g = serial_guard();
+        let trace = sample_trace();
+        let doc = parse(&to_chrome(&trace)).expect("chrome output parses as JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        // 2 spans + 1 counter + 1 gauge.
+        assert_eq!(events.len(), 4);
+        let span_events: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .collect();
+        assert_eq!(span_events.len(), 2);
+        for e in &span_events {
+            assert!(e.get("ts").and_then(Json::as_f64).is_some());
+            assert!(e.get("dur").and_then(Json::as_f64).is_some());
+            assert!(e.get("pid").is_some() && e.get("tid").is_some());
+        }
+        let names: Vec<_> = span_events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        assert!(names.contains(&"engine") && names.contains(&"loss-lookup"));
+        let counter = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("lookup.probes"))
+            .expect("counter event present");
+        assert_eq!(counter.get("ph").and_then(Json::as_str), Some("C"));
+        assert_eq!(
+            counter.get("args").and_then(|a| a.get("value")).and_then(Json::as_f64),
+            Some(1234.0)
+        );
+    }
+
+    #[test]
+    fn chrome_export_of_empty_trace_is_valid() {
+        let trace = Trace {
+            spans: Vec::new(),
+            metrics: Default::default(),
+        };
+        let doc = parse(&to_chrome(&trace)).unwrap();
+        assert_eq!(
+            doc.get("traceEvents").and_then(Json::as_array).map(<[Json]>::len),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn jsonl_lines_each_parse() {
+        let _g = serial_guard();
+        let trace = sample_trace();
+        let out = to_jsonl(&trace);
+        let lines: Vec<_> = out.lines().collect();
+        // 2 spans + counter + gauge + histogram.
+        assert_eq!(lines.len(), 5);
+        for line in &lines {
+            let doc = parse(line).expect("each line is standalone JSON");
+            assert!(doc.get("type").is_some());
+        }
+        let hist_line = lines
+            .iter()
+            .find(|l| l.contains("\"histogram\""))
+            .expect("histogram line");
+        let doc = parse(hist_line).unwrap();
+        assert_eq!(doc.get("count").and_then(Json::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn summary_shows_tree_and_metrics() {
+        let _g = serial_guard();
+        let trace = sample_trace();
+        let out = to_summary(&trace);
+        assert!(out.contains("engine"));
+        assert!(out.contains("  loss-lookup") || out.contains("loss-lookup"));
+        assert!(out.contains("lookup.probes = 1234"));
+        assert!(out.contains("simt.occupancy = 0.5"));
+        assert!(out.contains("block.ns"));
+        // Child is indented deeper than its parent.
+        let engine_indent = out
+            .lines()
+            .find(|l| l.trim_start().starts_with("engine"))
+            .map(|l| l.len() - l.trim_start().len())
+            .unwrap();
+        let lookup_indent = out
+            .lines()
+            .find(|l| l.trim_start().starts_with("loss-lookup"))
+            .map(|l| l.len() - l.trim_start().len())
+            .unwrap();
+        assert!(lookup_indent > engine_indent);
+    }
+
+    #[test]
+    fn format_tokens_round_trip() {
+        for f in [TraceFormat::Summary, TraceFormat::Jsonl, TraceFormat::Chrome] {
+            assert_eq!(TraceFormat::parse(f.name()), Some(f));
+        }
+        assert_eq!(TraceFormat::parse("bogus"), None);
+    }
+}

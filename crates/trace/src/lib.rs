@@ -1,0 +1,96 @@
+//! # ara-trace — zero-dependency tracing, metrics and profiling
+//!
+//! The observability substrate of the workspace: every engine, the SIMT
+//! executor and the CLI record into this crate, and every exporter reads
+//! back out of it. Three pillars:
+//!
+//! * **Spans** — hierarchical, nanosecond-timed regions with key-value
+//!   fields ([`Recorder::span`]). Each thread records into its own
+//!   buffer (registered once with the global recorder), so rayon-
+//!   parallel engines record without contention; a drain flushes and
+//!   sorts every buffer into one deterministic [`Trace`].
+//! * **Metrics** — named counters, gauges and log-bucketed histograms
+//!   ([`MetricsRegistry`]), snapshotted alongside the spans.
+//! * **Exporters** — a human-readable tree summary, JSON Lines run
+//!   records, and the Chrome `trace_event` format, so a run opens
+//!   directly in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+//!
+//! The whole layer is gated on one `AtomicBool`: with the recorder
+//! disabled, [`Recorder::span`] is a single relaxed load and a `None`
+//! guard — cheap enough to leave in the hottest loops.
+//!
+//! ```
+//! use ara_trace::{recorder, metrics, Level};
+//!
+//! let _g = ara_trace::testing::serial_guard();
+//! recorder().enable(Level::Info);
+//! {
+//!     let _outer = recorder().span("analyse").with_field("layer", 0i64);
+//!     let _inner = recorder().span("loss-lookup");
+//!     metrics().counter("lookup.probes").add(1500);
+//! }
+//! let trace = recorder().drain();
+//! assert_eq!(trace.spans.len(), 2);
+//! assert_eq!(trace.spans[0].name, "analyse");
+//! recorder().disable();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod clock;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+pub mod span;
+pub mod stage;
+
+pub use clock::now_ns;
+pub use export::{to_chrome, to_jsonl, to_summary, TraceFormat};
+pub use metrics::{
+    metrics, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+};
+pub use recorder::{recorder, Level, Recorder, Trace};
+pub use span::{SpanGuard, SpanRecord, Value};
+pub use stage::{AtomicStageNanos, StageNanos};
+
+/// Canonical span names of the four Algorithm-1 activity stages — the
+/// categories of the paper's Figure 6. Engine code and exporters must
+/// agree on these strings, so they live here at the bottom of the
+/// dependency tree.
+pub mod stage_names {
+    /// Fetching events from memory (reading the YET).
+    pub const FETCH: &str = "fetch-events";
+    /// Look-up of loss sets in the direct access table.
+    pub const LOOKUP: &str = "loss-lookup";
+    /// Financial-terms computations.
+    pub const FINANCIAL: &str = "financial-terms";
+    /// Layer-terms (occurrence + aggregate) computations.
+    pub const LAYER: &str = "layer-terms";
+    /// All four, in pipeline order.
+    pub const ALL: [&str; 4] = [FETCH, LOOKUP, FINANCIAL, LAYER];
+}
+
+/// Test-only helpers.
+///
+/// The recorder and metrics registry are global; tests that enable,
+/// drain or reset them must not interleave. Every such test takes
+/// [`testing::serial_guard`] first.
+pub mod testing {
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    /// Serialise tests that touch the global recorder/metrics state.
+    pub fn serial_guard() -> MutexGuard<'static, ()> {
+        SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Reset recorder and metrics to a pristine state (disabled, empty).
+    pub fn reset() {
+        crate::recorder().disable();
+        crate::recorder().drain();
+        crate::metrics().reset();
+    }
+}

@@ -1,0 +1,417 @@
+//! Named counters, gauges and histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc`s
+//! around atomics: look one up once outside a hot loop, then update it
+//! lock-free. The registry itself is only locked on first lookup of a
+//! name and on [`MetricsRegistry::snapshot`].
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// A monotonically increasing counter (e.g. `lookup.probes`).
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge (e.g. `simt.occupancy`). Stores `f64` bits in
+/// an atomic, so sets from any thread are safe.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+const BUCKETS: usize = 64;
+
+/// A lock-free histogram over `u64` samples with power-of-two buckets:
+/// bucket `i` counts samples whose bit length is `i` (i.e. value 0 goes
+/// to bucket 0, 1 to bucket 1, 2–3 to bucket 2, …). Coarse, but enough
+/// for latency/size distributions and exact count/sum/min/max.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Record one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value).min(BUCKETS - 1)]
+            .fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An immutable copy of a [`Histogram`] at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (bucket `i` = values with bit length `i`).
+    pub buckets: [u64; BUCKETS],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`): the upper bound of the
+    /// bucket containing the `q`-th ranked sample, clamped to
+    /// `[min, max]`. Exact for the extremes (`q = 0` → min, `q = 1` →
+    /// max); within a factor of two elsewhere, by construction of the
+    /// power-of-two buckets.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        // Rank of the target sample, 1-based.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper bound of bucket i is 2^i - 1 (bucket 0 holds
+                // only the value 0).
+                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Arc<Histogram>),
+}
+
+/// The process-wide named-metrics registry.
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<&'static str, Metric>>,
+}
+
+static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+
+/// The global registry.
+pub fn metrics() -> &'static MetricsRegistry {
+    REGISTRY.get_or_init(|| MetricsRegistry {
+        metrics: Mutex::new(BTreeMap::new()),
+    })
+}
+
+impl MetricsRegistry {
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<&'static str, Metric>> {
+        self.metrics.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Look up (registering on first use) the counter named `name`.
+    /// A name registered as a different metric kind is replaced.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        let mut map = self.lock();
+        if let Some(Metric::Counter(c)) = map.get(name) {
+            return c.clone();
+        }
+        let c = Counter(Arc::new(AtomicU64::new(0)));
+        map.insert(name, Metric::Counter(c.clone()));
+        c
+    }
+
+    /// Look up (registering on first use) the gauge named `name`.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        let mut map = self.lock();
+        if let Some(Metric::Gauge(g)) = map.get(name) {
+            return g.clone();
+        }
+        let g = Gauge(Arc::new(AtomicU64::new(0f64.to_bits())));
+        map.insert(name, Metric::Gauge(g.clone()));
+        g
+    }
+
+    /// Look up (registering on first use) the histogram named `name`.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        let mut map = self.lock();
+        if let Some(Metric::Histogram(h)) = map.get(name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new());
+        map.insert(name, Metric::Histogram(Arc::clone(&h)));
+        h
+    }
+
+    /// Point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.lock();
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for (&name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => counters.push((name, c.get())),
+                Metric::Gauge(g) => gauges.push((name, g.get())),
+                Metric::Histogram(h) => histograms.push((name, h.snapshot())),
+            }
+        }
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Zero every metric (handles stay valid) and drop the name table.
+    pub fn reset(&self) {
+        let mut map = self.lock();
+        for metric in map.values() {
+            match metric {
+                Metric::Counter(c) => c.0.store(0, Ordering::Relaxed),
+                Metric::Gauge(g) => g.0.store(0f64.to_bits(), Ordering::Relaxed),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+        map.clear();
+    }
+}
+
+/// All metrics at snapshot time, each list sorted by name (the registry
+/// is a `BTreeMap`).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(&'static str, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(&'static str, f64)>,
+    /// `(name, snapshot)` for every histogram.
+    pub histograms: Vec<(&'static str, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value by name, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Gauge value by name, if registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Histogram snapshot by name, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// True when nothing was registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::serial_guard;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let _g = serial_guard();
+        crate::testing::reset();
+        metrics().counter("t.counter").add(41);
+        metrics().counter("t.counter").incr();
+        metrics().gauge("t.gauge").set(0.75);
+        let snap = metrics().snapshot();
+        assert_eq!(snap.counter("t.counter"), Some(42));
+        assert_eq!(snap.gauge("t.gauge"), Some(0.75));
+        assert_eq!(snap.counter("absent"), None);
+        crate::testing::reset();
+    }
+
+    #[test]
+    fn counters_are_shared_across_threads() {
+        let _g = serial_guard();
+        crate::testing::reset();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let c = metrics().counter("t.shared");
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(metrics().counter("t.shared").get(), 4000);
+        crate::testing::reset();
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_min_max() {
+        let h = Histogram::new();
+        for v in [3u64, 9, 1, 100, 7] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 120);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert!((s.mean() - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_the_data() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), 1);
+        assert_eq!(s.quantile(1.0), 1000);
+        // Median of 1..=1000 is ~500; the bucket upper bound containing
+        // rank 500 is 511 (bucket 9: values 256..=511).
+        assert_eq!(s.quantile(0.5), 511);
+        // Quantiles are monotone in q and within [min, max].
+        let mut prev = 0;
+        for i in 0..=10 {
+            let q = s.quantile(i as f64 / 10.0);
+            assert!(q >= prev && q >= s.min && q <= s.max);
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_benign() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn zero_and_one_land_in_distinct_buckets() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.quantile(1.0), 1);
+    }
+
+    #[test]
+    fn reset_clears_registry() {
+        let _g = serial_guard();
+        crate::testing::reset();
+        metrics().counter("t.reset").add(5);
+        metrics().histogram("t.reset.h").record(9);
+        metrics().reset();
+        let snap = metrics().snapshot();
+        assert!(snap.is_empty());
+    }
+}

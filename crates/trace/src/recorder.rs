@@ -1,0 +1,465 @@
+//! The global span recorder.
+//!
+//! Recording is contention-free in the steady state: each thread owns an
+//! `Arc`'d buffer it registers with the recorder once (first span on
+//! that thread), then every span push locks only that thread's own
+//! mutex — never contended except against a concurrent [`Recorder::drain`].
+//! The enabled check is a single relaxed atomic load, so instrumentation
+//! can stay in hot loops unconditionally.
+
+use crate::span::{OpenSpan, SpanGuard, SpanRecord, Value};
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// Verbosity levels, ordered: a recorder at level `L` keeps spans
+/// recorded at any level `<= L`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Nothing is recorded.
+    Off = 0,
+    /// Coarse run structure: engines, layers, stages, launches.
+    Info = 1,
+    /// Fine structure: per-block spans, per-device detail (`-v`).
+    Debug = 2,
+    /// Everything, including experimental high-volume sites (`-vv`).
+    Trace = 3,
+}
+
+impl Level {
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Off,
+            1 => Level::Info,
+            2 => Level::Debug,
+            _ => Level::Trace,
+        }
+    }
+
+    /// Short lowercase name (`"info"`, `"debug"`, …).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+/// One thread's span buffer, registered with the global recorder.
+#[derive(Debug)]
+struct ThreadBuffer {
+    thread: u64,
+    records: Mutex<Vec<SpanRecord>>,
+}
+
+#[derive(Debug, Default)]
+struct ThreadState {
+    buffer: Option<Arc<ThreadBuffer>>,
+    stack: Vec<u64>,
+}
+
+thread_local! {
+    static TLS: RefCell<ThreadState> = RefCell::new(ThreadState::default());
+}
+
+static THREAD_IDS: AtomicU64 = AtomicU64::new(0);
+
+/// The global recorder singleton.
+#[derive(Debug)]
+pub struct Recorder {
+    enabled: AtomicBool,
+    level: AtomicU8,
+    next_id: AtomicU64,
+    buffers: Mutex<Vec<Arc<ThreadBuffer>>>,
+}
+
+static RECORDER: OnceLock<Recorder> = OnceLock::new();
+
+/// The process-wide recorder. Disabled until [`Recorder::enable`] is
+/// called.
+pub fn recorder() -> &'static Recorder {
+    RECORDER.get_or_init(|| Recorder {
+        enabled: AtomicBool::new(false),
+        level: AtomicU8::new(Level::Off as u8),
+        next_id: AtomicU64::new(1),
+        buffers: Mutex::new(Vec::new()),
+    })
+}
+
+impl Recorder {
+    /// Turn recording on at `level`, discarding anything previously
+    /// buffered so the next [`Recorder::drain`] sees exactly this run.
+    pub fn enable(&self, level: Level) {
+        let buffers = self
+            .buffers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        for b in buffers.iter() {
+            b.records
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clear();
+        }
+        drop(buffers);
+        self.level.store(level as u8, Ordering::Relaxed);
+        self.enabled
+            .store(level != Level::Off, Ordering::Release);
+    }
+
+    /// Turn recording off. Buffered spans stay available to
+    /// [`Recorder::drain`].
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Release);
+        self.level.store(Level::Off as u8, Ordering::Relaxed);
+    }
+
+    /// The single-branch hot-path check.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Whether spans at `level` are currently kept.
+    #[inline]
+    pub fn enabled_at(&self, level: Level) -> bool {
+        self.is_enabled() && level as u8 <= self.level.load(Ordering::Relaxed)
+    }
+
+    /// The current level filter.
+    pub fn level(&self) -> Level {
+        Level::from_u8(self.level.load(Ordering::Relaxed))
+    }
+
+    /// Open a span at [`Level::Info`]. Inert (a single atomic load) when
+    /// the recorder is disabled.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        self.span_at(Level::Info, name)
+    }
+
+    /// Open a span at an explicit level.
+    #[inline]
+    pub fn span_at(&self, level: Level, name: &'static str) -> SpanGuard {
+        if !self.enabled_at(level) {
+            return SpanGuard::INERT;
+        }
+        self.open_span(level, Cow::Borrowed(name))
+    }
+
+    /// Open a span with an owned (runtime-built) name.
+    pub fn span_owned(&self, level: Level, name: String) -> SpanGuard {
+        if !self.enabled_at(level) {
+            return SpanGuard::INERT;
+        }
+        self.open_span(level, Cow::Owned(name))
+    }
+
+    fn open_span(&self, level: Level, name: Cow<'static, str>) -> SpanGuard {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (parent, start_ns) = TLS.with(|tls| {
+            let mut tls = tls.borrow_mut();
+            let parent = tls.stack.last().copied();
+            tls.stack.push(id);
+            (parent, crate::clock::now_ns())
+        });
+        SpanGuard {
+            open: Some(OpenSpan {
+                id,
+                parent,
+                name,
+                start_ns,
+                level,
+                fields: Vec::new(),
+            }),
+        }
+    }
+
+    /// Record an already-timed span (synthetic aggregates, e.g. the
+    /// per-stage totals an engine accumulated with raw clock reads).
+    /// Parented under the calling thread's current span.
+    pub fn record_complete(
+        &self,
+        name: &'static str,
+        start_ns: u64,
+        end_ns: u64,
+        fields: Vec<(Cow<'static, str>, Value)>,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (parent, thread) = TLS.with(|tls| {
+            let tls = tls.borrow();
+            (tls.stack.last().copied(), thread_index_of(&tls))
+        });
+        push_record(SpanRecord {
+            id,
+            parent,
+            name: Cow::Borrowed(name),
+            start_ns,
+            end_ns,
+            thread,
+            level: Level::Info,
+            fields,
+        });
+    }
+
+    /// Flush every thread's buffer into one [`Trace`], sorted by
+    /// `(start_ns, id)` so the output is deterministic regardless of
+    /// which rayon worker recorded what. Buffers are left empty; the
+    /// metrics registry is snapshotted (not reset) alongside.
+    pub fn drain(&self) -> Trace {
+        let buffers = self
+            .buffers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut spans = Vec::new();
+        for b in buffers.iter() {
+            spans.append(&mut b.records.lock().unwrap_or_else(PoisonError::into_inner));
+        }
+        drop(buffers);
+        spans.sort_by_key(|s| (s.start_ns, s.id));
+        Trace {
+            spans,
+            metrics: crate::metrics().snapshot(),
+        }
+    }
+
+    fn register_buffer(&self, buf: Arc<ThreadBuffer>) {
+        self.buffers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(buf);
+    }
+}
+
+fn thread_index_of(tls: &ThreadState) -> u64 {
+    match &tls.buffer {
+        Some(b) => b.thread,
+        None => THREAD_IDS.load(Ordering::Relaxed),
+    }
+}
+
+/// Called by [`SpanGuard::drop`]: stamp the end time, pop the stack and
+/// push the record into this thread's buffer.
+pub(crate) fn finish_span(open: OpenSpan) {
+    let end_ns = crate::clock::now_ns();
+    TLS.with(|tls| {
+        let mut tls = tls.borrow_mut();
+        // Guards normally drop LIFO; tolerate out-of-order drops by
+        // removing the matching id wherever it sits.
+        if let Some(pos) = tls.stack.iter().rposition(|&id| id == open.id) {
+            tls.stack.remove(pos);
+        }
+        let buf = buffer_of(&mut tls);
+        let record = SpanRecord {
+            id: open.id,
+            parent: open.parent,
+            name: open.name,
+            start_ns: open.start_ns,
+            end_ns,
+            thread: buf.thread,
+            level: open.level,
+            fields: open.fields,
+        };
+        buf.records
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(record);
+    });
+}
+
+fn push_record(record: SpanRecord) {
+    TLS.with(|tls| {
+        let mut tls = tls.borrow_mut();
+        let buf = buffer_of(&mut tls);
+        let record = SpanRecord {
+            thread: buf.thread,
+            ..record
+        };
+        buf.records
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(record);
+    });
+}
+
+fn buffer_of(tls: &mut ThreadState) -> Arc<ThreadBuffer> {
+    if let Some(b) = &tls.buffer {
+        return Arc::clone(b);
+    }
+    let buf = Arc::new(ThreadBuffer {
+        thread: THREAD_IDS.fetch_add(1, Ordering::Relaxed),
+        records: Mutex::new(Vec::new()),
+    });
+    recorder().register_buffer(Arc::clone(&buf));
+    tls.buffer = Some(Arc::clone(&buf));
+    buf
+}
+
+/// A drained run record: every span flushed so far plus a metrics
+/// snapshot, ready for an exporter.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// All spans, sorted by `(start_ns, id)`.
+    pub spans: Vec<SpanRecord>,
+    /// Counters, gauges and histograms at drain time.
+    pub metrics: crate::MetricsSnapshot,
+}
+
+impl Trace {
+    /// Spans with the given name, in timeline order.
+    pub fn spans_named(&self, name: &str) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.name == name).collect()
+    }
+
+    /// Total nanoseconds across all spans with the given name.
+    pub fn total_ns(&self, name: &str) -> u64 {
+        self.spans_named(name)
+            .iter()
+            .map(|s| s.duration_ns())
+            .sum()
+    }
+
+    /// Direct children of `parent`, in timeline order.
+    pub fn children_of(&self, parent: u64) -> Vec<&SpanRecord> {
+        self.spans
+            .iter()
+            .filter(|s| s.parent == Some(parent))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::serial_guard;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let _g = serial_guard();
+        crate::testing::reset();
+        {
+            let _s = recorder().span("ignored");
+        }
+        assert!(recorder().drain().spans.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_sort() {
+        let _g = serial_guard();
+        crate::testing::reset();
+        recorder().enable(Level::Info);
+        {
+            let _outer = recorder().span("outer");
+            let _inner = recorder().span("inner").with_field("k", 7i64);
+        }
+        let trace = recorder().drain();
+        recorder().disable();
+        assert_eq!(trace.spans.len(), 2);
+        let outer = &trace.spans[0];
+        let inner = &trace.spans[1];
+        assert_eq!(outer.name, "outer");
+        assert_eq!(inner.parent, Some(outer.id));
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.end_ns <= outer.end_ns);
+        assert_eq!(inner.field("k"), Some(&crate::Value::Int(7)));
+    }
+
+    #[test]
+    fn level_filter_drops_fine_spans() {
+        let _g = serial_guard();
+        crate::testing::reset();
+        recorder().enable(Level::Info);
+        {
+            let _a = recorder().span_at(Level::Info, "kept");
+            let _b = recorder().span_at(Level::Debug, "dropped");
+        }
+        let trace = recorder().drain();
+        recorder().disable();
+        assert_eq!(trace.spans.len(), 1);
+        assert_eq!(trace.spans[0].name, "kept");
+        assert!(!recorder().enabled_at(Level::Info));
+    }
+
+    #[test]
+    fn enable_discards_stale_spans() {
+        let _g = serial_guard();
+        crate::testing::reset();
+        recorder().enable(Level::Info);
+        {
+            let _s = recorder().span("stale");
+        }
+        recorder().enable(Level::Info);
+        {
+            let _s = recorder().span("fresh");
+        }
+        let trace = recorder().drain();
+        recorder().disable();
+        assert_eq!(trace.spans.len(), 1);
+        assert_eq!(trace.spans[0].name, "fresh");
+    }
+
+    #[test]
+    fn record_complete_parents_under_current_span() {
+        let _g = serial_guard();
+        crate::testing::reset();
+        recorder().enable(Level::Info);
+        {
+            let _outer = recorder().span("outer");
+            recorder().record_complete("synthetic", 10, 20, Vec::new());
+        }
+        let trace = recorder().drain();
+        recorder().disable();
+        let outer_id = trace.spans_named("outer")[0].id;
+        let synth = trace.spans_named("synthetic")[0];
+        assert_eq!(synth.parent, Some(outer_id));
+        assert_eq!(synth.duration_ns(), 10);
+    }
+
+    #[test]
+    fn spans_from_many_threads_merge_deterministically() {
+        let _g = serial_guard();
+        crate::testing::reset();
+        recorder().enable(Level::Info);
+        std::thread::scope(|scope| {
+            for w in 0..4u32 {
+                scope.spawn(move || {
+                    let _outer = recorder()
+                        .span("worker")
+                        .with_field("w", w as i64);
+                    for _ in 0..10 {
+                        let _inner = recorder().span("unit");
+                    }
+                });
+            }
+        });
+        let trace = recorder().drain();
+        recorder().disable();
+        assert_eq!(trace.spans_named("worker").len(), 4);
+        assert_eq!(trace.spans_named("unit").len(), 40);
+        // Sorted flush: strictly non-decreasing start times, ties broken
+        // by id, so two drains of the same data agree.
+        for pair in trace.spans.windows(2) {
+            assert!(
+                (pair[0].start_ns, pair[0].id) < (pair[1].start_ns, pair[1].id),
+                "unsorted drain"
+            );
+        }
+        // Every inner span is parented under a worker span recorded on
+        // the same thread.
+        for unit in trace.spans_named("unit") {
+            let parent = trace
+                .spans
+                .iter()
+                .find(|s| Some(s.id) == unit.parent)
+                .expect("parent present");
+            assert_eq!(parent.name, "worker");
+            assert_eq!(parent.thread, unit.thread);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Span records and the RAII recording guard.
+
+use crate::recorder::Level;
+use std::borrow::Cow;
+
+/// A typed field value attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Signed integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// Text.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Render as a bare JSON token (numbers/bools unquoted, strings
+    /// escaped and quoted).
+    pub fn to_json(&self) -> String {
+        match self {
+            Value::Int(v) => v.to_string(),
+            Value::Float(v) => crate::json::number(*v),
+            Value::Str(s) => crate::json::string(s),
+            Value::Bool(b) => b.to_string(),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// One finished span, as stored in a thread buffer and exported.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Unique id within the process (monotonically assigned).
+    pub id: u64,
+    /// Enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Span name (e.g. `"loss-lookup"`).
+    pub name: Cow<'static, str>,
+    /// Start, nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// End, nanoseconds since the trace epoch.
+    pub end_ns: u64,
+    /// Recording thread (small dense index, not the OS thread id).
+    pub thread: u64,
+    /// Verbosity level the span was recorded at.
+    pub level: Level,
+    /// Key-value fields.
+    pub fields: Vec<(Cow<'static, str>, Value)>,
+}
+
+impl SpanRecord {
+    /// Span duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Field value by key, if present.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// An in-flight span (not yet flushed to a buffer).
+#[derive(Debug)]
+pub(crate) struct OpenSpan {
+    pub id: u64,
+    pub parent: Option<u64>,
+    pub name: Cow<'static, str>,
+    pub start_ns: u64,
+    pub level: Level,
+    pub fields: Vec<(Cow<'static, str>, Value)>,
+}
+
+/// RAII guard returned by [`crate::Recorder::span`]: the span covers the
+/// guard's lifetime and is recorded on drop. With the recorder disabled
+/// the guard is inert (a `None` and no further work).
+#[derive(Debug)]
+#[must_use = "a span guard records when dropped; binding it to `_` ends the span immediately"]
+pub struct SpanGuard {
+    pub(crate) open: Option<OpenSpan>,
+}
+
+impl SpanGuard {
+    /// An inert guard (disabled recorder).
+    pub(crate) const INERT: SpanGuard = SpanGuard { open: None };
+
+    /// Whether this guard will record anything.
+    pub fn is_recording(&self) -> bool {
+        self.open.is_some()
+    }
+
+    /// Attach a field (builder style).
+    pub fn with_field(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        self.add_field(key, value);
+        self
+    }
+
+    /// Attach a field to an already-bound guard.
+    pub fn add_field(&mut self, key: &'static str, value: impl Into<Value>) {
+        if let Some(open) = &mut self.open {
+            open.fields.push((Cow::Borrowed(key), value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(open) = self.open.take() {
+            crate::recorder::finish_span(open);
+        }
+    }
+}

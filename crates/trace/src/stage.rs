@@ -1,0 +1,186 @@
+//! Per-stage nanosecond accumulators for the four Algorithm-1 stages.
+//!
+//! Engines accumulate raw clock reads into a [`StageNanos`] on each
+//! worker (no atomics in the inner loop), merge the workers' totals into
+//! one [`AtomicStageNanos`], and finally emit the totals as four
+//! synthetic stage spans plus a measured activity breakdown.
+
+use crate::span::Value;
+use crate::stage_names;
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Plain (non-atomic) per-stage nanosecond totals. Cheap to keep on a
+/// worker's stack and merge once per trial or per block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageNanos {
+    /// Fetching events from memory (reading the YET).
+    pub fetch: u64,
+    /// Loss-set look-up in the direct access table.
+    pub lookup: u64,
+    /// Financial-terms computations.
+    pub financial: u64,
+    /// Layer-terms (occurrence + aggregate) computations.
+    pub layer: u64,
+}
+
+impl StageNanos {
+    /// All-zero totals.
+    pub const ZERO: StageNanos = StageNanos {
+        fetch: 0,
+        lookup: 0,
+        financial: 0,
+        layer: 0,
+    };
+
+    /// Add another accumulator's totals into this one.
+    pub fn merge(&mut self, other: &StageNanos) {
+        self.fetch += other.fetch;
+        self.lookup += other.lookup;
+        self.financial += other.financial;
+        self.layer += other.layer;
+    }
+
+    /// Sum across the four stages.
+    pub fn total(&self) -> u64 {
+        self.fetch + self.lookup + self.financial + self.layer
+    }
+
+    /// `(canonical stage name, nanoseconds)` in pipeline order.
+    pub fn named(&self) -> [(&'static str, u64); 4] {
+        [
+            (stage_names::FETCH, self.fetch),
+            (stage_names::LOOKUP, self.lookup),
+            (stage_names::FINANCIAL, self.financial),
+            (stage_names::LAYER, self.layer),
+        ]
+    }
+
+    /// Record the totals as four back-to-back synthetic spans (one per
+    /// stage, canonical names) starting at `start_ns`, parented under
+    /// the calling thread's current span. Each span carries a
+    /// `total_ns` field with the accumulated (possibly cross-thread)
+    /// stage time; the span extents lay the stages out sequentially so
+    /// Chrome/Perfetto renders them as a breakdown bar.
+    pub fn emit_spans(&self, start_ns: u64) {
+        let rec = crate::recorder();
+        if !rec.is_enabled() {
+            return;
+        }
+        let mut cursor = start_ns;
+        for (name, ns) in self.named() {
+            let fields: Vec<(Cow<'static, str>, Value)> =
+                vec![(Cow::Borrowed("total_ns"), Value::from(ns))];
+            rec.record_complete(name, cursor, cursor + ns, fields);
+            cursor += ns;
+        }
+    }
+}
+
+/// Thread-safe per-stage totals shared by parallel workers (and, for the
+/// multi-GPU engine, by per-device threads).
+#[derive(Debug, Default)]
+pub struct AtomicStageNanos {
+    fetch: AtomicU64,
+    lookup: AtomicU64,
+    financial: AtomicU64,
+    layer: AtomicU64,
+}
+
+impl AtomicStageNanos {
+    /// A zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold a worker's plain totals in.
+    pub fn add(&self, local: &StageNanos) {
+        self.fetch.fetch_add(local.fetch, Ordering::Relaxed);
+        self.lookup.fetch_add(local.lookup, Ordering::Relaxed);
+        self.financial.fetch_add(local.financial, Ordering::Relaxed);
+        self.layer.fetch_add(local.layer, Ordering::Relaxed);
+    }
+
+    /// Read the current totals.
+    pub fn load(&self) -> StageNanos {
+        StageNanos {
+            fetch: self.fetch.load(Ordering::Relaxed),
+            lookup: self.lookup.load(Ordering::Relaxed),
+            financial: self.financial.load(Ordering::Relaxed),
+            layer: self.layer.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_and_total() {
+        let mut a = StageNanos {
+            fetch: 1,
+            lookup: 2,
+            financial: 3,
+            layer: 4,
+        };
+        a.merge(&StageNanos {
+            fetch: 10,
+            lookup: 20,
+            financial: 30,
+            layer: 40,
+        });
+        assert_eq!(a.total(), 110);
+        assert_eq!(a.named()[1], (stage_names::LOOKUP, 22));
+    }
+
+    #[test]
+    fn atomic_accumulates_from_threads() {
+        let acc = AtomicStageNanos::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    acc.add(&StageNanos {
+                        fetch: 1,
+                        lookup: 2,
+                        financial: 3,
+                        layer: 4,
+                    });
+                });
+            }
+        });
+        assert_eq!(
+            acc.load(),
+            StageNanos {
+                fetch: 4,
+                lookup: 8,
+                financial: 12,
+                layer: 16,
+            }
+        );
+    }
+
+    #[test]
+    fn emit_spans_lays_stages_out_sequentially() {
+        let _g = crate::testing::serial_guard();
+        crate::testing::reset();
+        crate::recorder().enable(crate::Level::Info);
+        StageNanos {
+            fetch: 5,
+            lookup: 50,
+            financial: 10,
+            layer: 20,
+        }
+        .emit_spans(100);
+        let trace = crate::recorder().drain();
+        crate::recorder().disable();
+        assert_eq!(trace.spans.len(), 4);
+        let names: Vec<_> = trace.spans.iter().map(|s| s.name.as_ref()).collect();
+        assert_eq!(names, stage_names::ALL.to_vec());
+        assert_eq!(trace.spans[0].start_ns, 100);
+        assert_eq!(trace.spans[0].end_ns, 105);
+        assert_eq!(trace.spans[1].start_ns, 105);
+        assert_eq!(trace.spans[3].end_ns, 185);
+        assert_eq!(trace.total_ns(stage_names::LOOKUP), 50);
+    }
+}

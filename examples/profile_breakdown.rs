@@ -6,7 +6,8 @@
 //! ```
 
 use aggregate_risk::engine::{
-    Engine, GpuBasicEngine, GpuOptimizedEngine, MultiGpuEngine, MulticoreEngine, SequentialEngine,
+    modeled_vs_measured, shape_of_inputs, Engine, GpuBasicEngine, GpuOptimizedEngine,
+    MultiGpuEngine, MulticoreEngine, SequentialEngine,
 };
 use aggregate_risk::prelude::*;
 use aggregate_risk::simt::model::cpu::AraShape;
@@ -61,4 +62,27 @@ fn main() {
         }
         println!("  {:<16} {:.2e}", engine.name(), worst);
     }
+
+    // Measured vs modeled: run one engine with tracing enabled, pull the
+    // span-derived breakdown out of the output, and diff it against the
+    // performance model's prediction for this host-shaped workload.
+    let traced_inputs = Scenario::new(ScenarioShape::bench(), 8)
+        .build()
+        .expect("valid scenario");
+    let engine = SequentialEngine::<f64>::new();
+    aggregate_risk::trace::recorder().enable(aggregate_risk::trace::Level::Info);
+    let out = engine.analyse(&traced_inputs).expect("valid inputs");
+    aggregate_risk::trace::recorder().disable();
+    aggregate_risk::trace::recorder().drain();
+
+    let measured = out
+        .measured
+        .expect("tracing was enabled, so the output carries a measured breakdown");
+    let modeled = engine.model(&shape_of_inputs(&traced_inputs)).breakdown;
+    println!();
+    println!("modeled vs measured (sequential engine, bench scale, 25% drift threshold):");
+    print!(
+        "{}",
+        modeled_vs_measured(&modeled, &measured, 25.0).render()
+    );
 }

@@ -11,6 +11,8 @@
 //!   standing in for the paper's CUDA platforms.
 //! * [`engine`] (`ara-engine`) — the five implementation variants the
 //!   paper evaluates.
+//! * [`trace`] (`ara-trace`) — zero-dependency spans, metrics, and
+//!   Chrome/Perfetto trace export for every engine and the simulator.
 //!
 //! ```
 //! use aggregate_risk::prelude::*;
@@ -28,6 +30,7 @@
 pub use ara_core as core;
 pub use ara_engine as engine;
 pub use ara_metrics as metrics;
+pub use ara_trace as trace;
 pub use ara_workload as workload;
 pub use simt_sim as simt;
 

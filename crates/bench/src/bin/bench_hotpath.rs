@@ -1,0 +1,248 @@
+//! Hot-path gather microbenchmark: scalar vs batched vs blocked.
+//!
+//! Measures event-loss lookups per second over the bench workload's full
+//! event stream (10 k trials × ~100 events × 15 ELTs ≈ 15 M lookups per
+//! pass) for all four lookup strategies, three ways:
+//!
+//! * **scalar** — the pre-batching hot loop: trial by trial, one
+//!   `LossLookup::loss(event)` call per lookup (the shape every engine
+//!   executed before the batch API). Its working set is *all* of the
+//!   layer's tables at once, cycled per ~100-event trial.
+//! * **batched** — `LossLookup::loss_batch` over the whole event stream,
+//!   one ELT at a time: unrolled, autovectorization-friendly, and each
+//!   table streams through the cache once per pass.
+//! * **blocked** — `BlockedGather` over bounded sub-batches: events are
+//!   counting-sorted by table region so every ELT's slab for the current
+//!   region stays cache-resident until the region drains (direct-access
+//!   tables only — the other strategies have no contiguous slab to
+//!   block).
+//!
+//! A second table times the fused per-trial paths end to end
+//! (`analyse_layer_scalar` vs `analyse_layer` vs `analyse_layer_blocked`),
+//! whose outputs are bit-identical by construction (asserted here).
+//!
+//! Flags: `--repeat N` (timed repeats after one warmup, default 3),
+//! `--small` (2 k-trial workload for CI smoke), `--check` (exit non-zero
+//! if batched direct-access gather throughput falls below scalar).
+//!
+//! Writes `BENCH_hotpath.json`.
+
+use ara_bench::{emit, measure_min, repeat_from_args, speedup, Table, MEASURED_SCALE_NOTE};
+use ara_core::{
+    analyse_layer, analyse_layer_blocked, analyse_layer_scalar, BlockedGather, CuckooHashTable,
+    DirectAccessTable, EventId, LossLookup, PreparedLayer, SortedLookup, StdHashLookup,
+    YearEventTable, DEFAULT_REGION_SLOTS,
+};
+
+/// Events per blocked sub-batch: bounds the ELT-major scratch to a few
+/// MB so the gather's own output stays cache-resident.
+const BLOCK_BATCH: usize = 1 << 17;
+
+/// The pre-change hot loop: per trial, per ELT, scalar `loss()` calls.
+fn scalar_pass<L: LossLookup<f64>>(lookups: &[L], yet: &YearEventTable) -> f64 {
+    let mut sink = 0.0;
+    for ti in 0..yet.num_trials() {
+        let trial = yet.trial(ti);
+        for l in lookups {
+            for &e in trial.events {
+                sink += l.loss(e);
+            }
+        }
+    }
+    sink
+}
+
+/// The batched hot loop: `loss_batch` over the whole stream, ELT-outer.
+fn batched_pass<L: LossLookup<f64>>(lookups: &[L], events: &[EventId], out: &mut [f64]) -> f64 {
+    let mut sink = 0.0;
+    for l in lookups {
+        l.loss_batch(events, out);
+        sink += out[0];
+    }
+    sink
+}
+
+fn rate_row(
+    table: &mut Table,
+    strategy: &str,
+    path: &str,
+    lookups: f64,
+    secs: f64,
+    scalar_secs: f64,
+) -> Result<f64, ara_bench::ReportError> {
+    let rate = lookups / secs;
+    table.row(&[
+        strategy.to_string(),
+        path.to_string(),
+        format!("{:.1}", rate / 1e6),
+        speedup(scalar_secs / secs),
+    ])?;
+    Ok(rate)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let repeats = repeat_from_args();
+    let small = std::env::args().any(|a| a == "--small");
+    let check = std::env::args().any(|a| a == "--check");
+    let inputs = if small {
+        ara_bench::small_inputs(7)
+    } else {
+        ara_bench::bench_inputs(7)
+    };
+    let layer = &inputs.layers[0];
+    let cat = inputs.yet.catalogue_size();
+    let events = inputs.yet.packed_events();
+    let n = events.len();
+
+    let elts: Vec<_> = layer.elt_indices.iter().map(|&i| &inputs.elts[i]).collect();
+    let direct: Vec<DirectAccessTable<f64>> = elts
+        .iter()
+        .map(|e| DirectAccessTable::from_elt(e, cat))
+        .collect::<Result<_, _>>()?;
+    let sorted: Vec<SortedLookup<f64>> = elts.iter().map(|e| SortedLookup::from_elt(e)).collect();
+    let hash: Vec<StdHashLookup<f64>> = elts.iter().map(|e| StdHashLookup::from_elt(e)).collect();
+    let cuckoo: Vec<CuckooHashTable<f64>> = elts
+        .iter()
+        .map(|e| CuckooHashTable::from_elt(e))
+        .collect::<Result<_, _>>()?;
+
+    let total_lookups = (n * direct.len()) as f64;
+    println!(
+        "hotpath: {} events x {} ELTs = {:.1} M lookups/pass, {} timed repeats",
+        n,
+        direct.len(),
+        total_lookups / 1e6,
+        repeats
+    );
+
+    let mut gather = Table::new(
+        "gather throughput (event-loss lookups)",
+        &["strategy", "path", "Mlookups/s", "vs scalar"],
+    );
+
+    let mut out = vec![0.0f64; n];
+    let mut wide = vec![0.0f64; BLOCK_BATCH.min(n) * direct.len()];
+
+    // Direct-access table: the paper's structure and the blocked target.
+    let (_, dir_scalar) = measure_min(repeats, || scalar_pass(&direct, &inputs.yet));
+    let dir_scalar_rate = rate_row(
+        &mut gather,
+        "direct",
+        "scalar",
+        total_lookups,
+        dir_scalar,
+        dir_scalar,
+    )?;
+    let (_, dir_batched) = measure_min(repeats, || batched_pass(&direct, events, &mut out));
+    let dir_batched_rate = rate_row(
+        &mut gather,
+        "direct",
+        "batched",
+        total_lookups,
+        dir_batched,
+        dir_scalar,
+    )?;
+    let mut plan = BlockedGather::new();
+    let (_, dir_blocked) = measure_min(repeats, || {
+        // Plan + gather per sub-batch: planning is part of the blocked
+        // cost, amortized across the layer's tables.
+        let mut sink = 0.0;
+        for batch in events.chunks(BLOCK_BATCH) {
+            plan.plan(batch, cat as usize, DEFAULT_REGION_SLOTS);
+            let w = &mut wide[..batch.len() * direct.len()];
+            plan.gather(&direct, w);
+            sink += w[0];
+        }
+        sink
+    });
+    let dir_blocked_rate = rate_row(
+        &mut gather,
+        "direct",
+        "blocked",
+        total_lookups,
+        dir_blocked,
+        dir_scalar,
+    )?;
+
+    // The rejected strategies, scalar vs batched.
+    let (_, s) = measure_min(repeats, || scalar_pass(&sorted, &inputs.yet));
+    rate_row(&mut gather, "sorted", "scalar", total_lookups, s, s)?;
+    let (_, b) = measure_min(repeats, || batched_pass(&sorted, events, &mut out));
+    rate_row(&mut gather, "sorted", "batched", total_lookups, b, s)?;
+    let (_, s) = measure_min(repeats, || scalar_pass(&hash, &inputs.yet));
+    rate_row(&mut gather, "std-hash", "scalar", total_lookups, s, s)?;
+    let (_, b) = measure_min(repeats, || batched_pass(&hash, events, &mut out));
+    rate_row(&mut gather, "std-hash", "batched", total_lookups, b, s)?;
+    let (_, s) = measure_min(repeats, || scalar_pass(&cuckoo, &inputs.yet));
+    rate_row(&mut gather, "cuckoo", "scalar", total_lookups, s, s)?;
+    let (_, b) = measure_min(repeats, || batched_pass(&cuckoo, events, &mut out));
+    rate_row(&mut gather, "cuckoo", "batched", total_lookups, b, s)?;
+
+    // Fused per-trial paths, end to end; outputs must stay bit-identical.
+    let prepared = PreparedLayer::<f64>::prepare(&inputs, layer)?;
+    let streamed = PreparedLayer::<f64>::prepare(&inputs, layer)?.with_region_slots(cat as usize);
+    let (ylt_scalar, fused_scalar) =
+        measure_min(repeats, || analyse_layer_scalar(&prepared, &inputs.yet));
+    let (ylt_batched, fused_batched) = measure_min(repeats, || analyse_layer(&prepared, &inputs.yet));
+    let (ylt_blocked, fused_blocked) =
+        measure_min(repeats, || analyse_layer_blocked(&prepared, &inputs.yet));
+    let (ylt_streamed, fused_streamed) =
+        measure_min(repeats, || analyse_layer_blocked(&streamed, &inputs.yet));
+    assert_eq!(
+        ylt_scalar.year_losses(),
+        ylt_batched.year_losses(),
+        "batched fused path diverged from scalar"
+    );
+    assert_eq!(
+        ylt_scalar.year_losses(),
+        ylt_blocked.year_losses(),
+        "blocked fused path diverged from scalar"
+    );
+    assert_eq!(
+        ylt_scalar.year_losses(),
+        ylt_streamed.year_losses(),
+        "streamed fused path diverged from scalar"
+    );
+
+    let mut fused = Table::new(
+        "fused layer analysis (lookup + financial + occurrence + aggregate)",
+        &["path", "secs", "vs scalar"],
+    );
+    fused.row(&["scalar".into(), format!("{fused_scalar:.3}"), speedup(1.0)])?;
+    fused.row(&[
+        "batched (per trial)".into(),
+        format!("{fused_batched:.3}"),
+        speedup(fused_scalar / fused_batched),
+    ])?;
+    fused.row(&[
+        "blocked (regions)".into(),
+        format!("{fused_blocked:.3}"),
+        speedup(fused_scalar / fused_blocked),
+    ])?;
+    fused.row(&[
+        "blocked (streaming)".into(),
+        format!("{fused_streamed:.3}"),
+        speedup(fused_scalar / fused_streamed),
+    ])?;
+
+    emit("hotpath", &[&gather, &fused])?;
+    println!("note: {MEASURED_SCALE_NOTE}");
+
+    if check {
+        // CI smoke gate: batching must never be a regression.
+        if dir_batched_rate < dir_scalar_rate {
+            eprintln!(
+                "FAIL: batched direct gather ({:.1} M/s) below scalar ({:.1} M/s)",
+                dir_batched_rate / 1e6,
+                dir_scalar_rate / 1e6
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "check ok: batched {:.2}x, blocked {:.2}x vs scalar",
+            dir_batched_rate / dir_scalar_rate,
+            dir_blocked_rate / dir_scalar_rate
+        );
+    }
+    Ok(())
+}

@@ -6,7 +6,7 @@
 //! memory-bandwidth-bound.
 
 use ara_bench::report::{secs, speedup};
-use ara_bench::{bench_inputs, measure, measured_label, paper_shape, Table, MEASURED_SCALE_NOTE};
+use ara_bench::{bench_inputs, measure_min, repeat_from_args, measured_label, paper_shape, Table, MEASURED_SCALE_NOTE};
 use ara_engine::{Engine, MulticoreEngine, SequentialEngine};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -14,7 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let inputs = bench_inputs(2024);
 
     let seq_model = SequentialEngine::<f64>::new().model(&shape).total_seconds;
-    let (_, seq_measured) = measure(|| {
+    let (_, seq_measured) = measure_min(repeat_from_args(), || {
         SequentialEngine::<f64>::new()
             .analyse(&inputs)
             .expect("valid inputs")
@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let measured = if n == 1 {
             seq_measured
         } else {
-            measure(|| {
+            measure_min(repeat_from_args(), || {
                 MulticoreEngine::<f64>::new(n as usize)
                     .analyse(&inputs)
                     .expect("valid inputs")

@@ -9,7 +9,7 @@
 //! bench-scale hit density.
 
 use ara_bench::report::{bytes, secs};
-use ara_bench::{measure, Table};
+use ara_bench::{measure_min, repeat_from_args, Table};
 use ara_core::{
     BlockDeltaLookup, CombinedDirectTable, CuckooHashTable, DirectAccessTable, EventId,
     EventLossTable, LossLookup, PagedDirectTable, SortedLookup, StdHashLookup,
@@ -23,7 +23,7 @@ const RECORDS: usize = 20_000;
 const LOOKUPS: usize = 4_000_000;
 
 fn lookup_benchmark<L: LossLookup<f64>>(table: &L, queries: &[EventId]) -> (f64, f64) {
-    let (sum, secs) = measure(|| {
+    let (sum, secs) = measure_min(repeat_from_args(), || {
         let mut acc = 0.0;
         for &q in queries {
             acc += table.loss(q);
@@ -144,7 +144,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|e| DirectAccessTable::from_elt(e, CATALOGUE).expect("fits"))
         .collect();
 
-    let (sum_c, t_combined) = measure(|| {
+    let (sum_c, t_combined) = measure_min(repeat_from_args(), || {
         let mut acc = 0.0;
         for &q in &queries[..LOOKUPS / 4] {
             for &l in combined.row(q) {
@@ -153,7 +153,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         acc
     });
-    let (sum_i, t_indep) = measure(|| {
+    let (sum_i, t_indep) = measure_min(repeat_from_args(), || {
         let mut acc = 0.0;
         for &q in &queries[..LOOKUPS / 4] {
             for t in &independents {

@@ -9,7 +9,7 @@
 //! structures.
 
 use ara_bench::report::{bytes, secs, speedup};
-use ara_bench::{measure, measured_label, small_inputs, Table};
+use ara_bench::{measure_min, repeat_from_args, measured_label, small_inputs, Table};
 use ara_core::{
     analyse_layer, BlockDeltaLookup, CuckooHashTable, DirectAccessTable, LossLookup,
     PagedDirectTable, PreparedLayer, Real, SortedLookup, StdHashLookup,
@@ -42,7 +42,7 @@ where
     let mut best = f64::INFINITY;
     let mut checksum = 0.0;
     for _ in 0..3 {
-        let (ylt, secs) = measure(|| analyse_layer(&prepared, &inputs.yet));
+        let (ylt, secs) = measure_min(repeat_from_args(), || analyse_layer(&prepared, &inputs.yet));
         best = best.min(secs);
         checksum = ylt.year_losses().iter().sum();
     }

@@ -7,7 +7,7 @@
 //! table adds a leave-one-out ablation from the performance model.
 
 use ara_bench::report::{secs, speedup};
-use ara_bench::{bench_inputs, measure, measured_label, paper_shape, Table, MEASURED_SCALE_NOTE};
+use ara_bench::{bench_inputs, measure_min, repeat_from_args, measured_label, paper_shape, Table, MEASURED_SCALE_NOTE};
 use ara_engine::{Engine, GpuBasicEngine, GpuOptimizedEngine, OptFlags};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -79,17 +79,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Measured: the two functional kernels really differ (per-event
     // global intermediates vs chunked register accumulation), and the
     // f32/f64 code paths really differ.
-    let (_, t_basic) = measure(|| {
+    let (_, t_basic) = measure_min(repeat_from_args(), || {
         GpuBasicEngine::new()
             .analyse(&inputs)
             .expect("valid inputs")
     });
-    let (_, t_opt64) = measure(|| {
+    let (_, t_opt64) = measure_min(repeat_from_args(), || {
         GpuOptimizedEngine::<f64>::new()
             .analyse(&inputs)
             .expect("valid inputs")
     });
-    let (_, t_opt32) = measure(|| {
+    let (_, t_opt32) = measure_min(repeat_from_args(), || {
         GpuOptimizedEngine::<f32>::new()
             .analyse(&inputs)
             .expect("valid inputs")

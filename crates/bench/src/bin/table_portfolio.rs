@@ -9,7 +9,7 @@
 //! the per-layer direct-table preprocessing).
 
 use ara_bench::report::secs;
-use ara_bench::{measure, measured_label, Table};
+use ara_bench::{measure_min, repeat_from_args, measured_label, Table};
 use ara_engine::{analyse_portfolio_parallel, Engine, MulticoreEngine, SequentialEngine};
 use ara_workload::{Scenario, ScenarioShape};
 
@@ -34,18 +34,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             elts_per_layer: (3, 10),
         };
         let inputs = Scenario::new(shape, 8).build().expect("valid scenario");
-        let (_, t_seq) = measure(|| {
+        let (_, t_seq) = measure_min(repeat_from_args(), || {
             SequentialEngine::<f64>::new()
                 .analyse(&inputs)
                 .expect("valid inputs")
         });
-        let (_, t_trial) = measure(|| {
+        let (_, t_trial) = measure_min(repeat_from_args(), || {
             MulticoreEngine::<f64>::new(4)
                 .analyse(&inputs)
                 .expect("valid inputs")
         });
         let (_, t_layer) =
-            measure(|| analyse_portfolio_parallel::<f64>(&inputs, 4).expect("valid inputs"));
+            measure_min(repeat_from_args(), || analyse_portfolio_parallel::<f64>(&inputs, 4).expect("valid inputs"));
         table.row(&[
             layers.to_string(),
             secs(t_seq),

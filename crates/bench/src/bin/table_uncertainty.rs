@@ -9,7 +9,7 @@
 //! runs.
 
 use ara_bench::report::{secs, speedup};
-use ara_bench::{measure, measured_label, paper_shape, small_inputs, Table, MEASURED_SCALE_NOTE};
+use ara_bench::{measure_min, repeat_from_args, measured_label, paper_shape, small_inputs, Table, MEASURED_SCALE_NOTE};
 use ara_engine::{
     analyse_uncertain_gpu, analyse_uncertain_sequential, uncertain_kernel_profile, Engine,
     GpuOptimizedEngine, MultiGpuEngine, UncertainLayerInputs,
@@ -50,15 +50,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let unc = UncertainLayerInputs::from_point_inputs(&point_inputs, 0, 0.8, 10.0, 99)
         .expect("valid point inputs");
 
-    let (_, t_point) = measure(|| {
+    let (_, t_point) = measure_min(repeat_from_args(), || {
         GpuOptimizedEngine::<f32>::new()
             .analyse(&point_inputs)
             .expect("valid inputs")
     });
     let (seq_ylt, t_seq) =
-        measure(|| analyse_uncertain_sequential::<f64>(&unc).expect("valid inputs"));
+        measure_min(repeat_from_args(), || analyse_uncertain_sequential::<f64>(&unc).expect("valid inputs"));
     let (gpu_ylt, t_gpu) =
-        measure(|| analyse_uncertain_gpu::<f32>(&unc, 4, 32).expect("valid inputs"));
+        measure_min(repeat_from_args(), || analyse_uncertain_gpu::<f32>(&unc, 4, 32).expect("valid inputs"));
 
     let mut measured = Table::new(
         format!("Functional uncertain engines, {}", measured_label()),

@@ -26,6 +26,11 @@
 //! | `fig6` | Figure 6: % time per activity per platform |
 //! | `table_opt` | §IV-B: GPU optimisation ablation (38.47 s → 20.63 s) |
 //! | `table_ds` | §III: ELT lookup data-structure comparison |
+//! | `bench_hotpath` | scalar vs batched vs blocked gather throughput |
+//!
+//! All timing binaries take `--repeat N` (default 3): each measurement
+//! runs once untimed as warmup, then `N` timed repeats, reporting the
+//! minimum (the least-interfered-with run on a shared machine).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -35,5 +40,6 @@ pub mod runner;
 
 pub use report::{bytes, emit, pct, secs, speedup, write_sidecar, ReportError, Table};
 pub use runner::{
-    bench_inputs, measure, measured_label, paper_shape, small_inputs, MEASURED_SCALE_NOTE,
+    bench_inputs, measure, measure_min, measured_label, paper_shape, repeat_from_args,
+    small_inputs, MEASURED_SCALE_NOTE,
 };

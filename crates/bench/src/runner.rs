@@ -47,6 +47,44 @@ pub fn measure<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64())
 }
 
+/// Wall-clock a closure with one untimed warmup run followed by
+/// `repeats` timed runs, returning the final result and the **minimum**
+/// wall time observed. The warmup faults in lazily-allocated pages and
+/// populates caches; min-of-N suppresses host-scheduler noise in the
+/// measured columns (see EXPERIMENTS.md).
+pub fn measure_min<T>(repeats: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let repeats = repeats.max(1);
+    f(); // warmup, untimed
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..repeats {
+        let (v, secs) = measure(&mut f);
+        if secs < best {
+            best = secs;
+        }
+        out = Some(v);
+    }
+    (out.expect("repeats >= 1"), best)
+}
+
+/// Parse `--repeat N` (or `--repeat=N`) from the process arguments;
+/// defaults to 3 timed runs, clamped to at least 1.
+pub fn repeat_from_args() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--repeat" {
+            if let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) {
+                return n.max(1);
+            }
+        } else if let Some(v) = a.strip_prefix("--repeat=") {
+            if let Ok(n) = v.parse::<usize>() {
+                return n.max(1);
+            }
+        }
+    }
+    3
+}
+
 /// Label for measured columns including the host's core count.
 pub fn measured_label() -> String {
     let cores = std::thread::available_parallelism()
@@ -78,5 +116,30 @@ mod tests {
     fn small_inputs_are_smaller() {
         let s = small_inputs(1);
         assert_eq!(s.yet.num_trials(), 2_000);
+    }
+
+    #[test]
+    fn measure_min_returns_result_and_min_time() {
+        let mut calls = 0u32;
+        let (v, secs) = measure_min(3, || {
+            calls += 1;
+            calls
+        });
+        // 1 warmup + 3 timed runs.
+        assert_eq!(calls, 4);
+        assert_eq!(v, 4);
+        assert!(secs >= 0.0 && secs.is_finite());
+    }
+
+    #[test]
+    fn measure_min_clamps_zero_repeats() {
+        let (v, _) = measure_min(0, || 7);
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn repeat_default_is_three() {
+        // The test binary's args carry no --repeat flag.
+        assert_eq!(repeat_from_args(), 3);
     }
 }

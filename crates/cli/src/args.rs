@@ -79,6 +79,42 @@ pub struct GenerateOpts {
     pub layout: Layout,
 }
 
+/// Multicore trial-loop schedule (`--schedule`), mirroring
+/// [`ara_engine::Schedule`] without pulling the engine crate into the
+/// parser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScheduleOpt {
+    /// Grain autotuned from the host cache hierarchy (the default).
+    #[default]
+    Auto,
+    /// Fine-grained work stealing (grain 1).
+    Dynamic,
+    /// One contiguous slab per worker.
+    Static,
+    /// Work stealing with a fixed minimum grain of `n` trials.
+    Chunked(usize),
+}
+
+impl ScheduleOpt {
+    /// Parse from the `--schedule` value: `auto`, `dynamic`, `static`,
+    /// or `chunked:N` (a bare integer is accepted as shorthand for
+    /// `chunked:N`).
+    pub fn parse(s: &str) -> Result<Self, ArgError> {
+        match s {
+            "auto" => Ok(ScheduleOpt::Auto),
+            "dynamic" => Ok(ScheduleOpt::Dynamic),
+            "static" => Ok(ScheduleOpt::Static),
+            other => {
+                let digits = other.strip_prefix("chunked:").unwrap_or(other);
+                match digits.parse::<usize>() {
+                    Ok(n) if n > 0 => Ok(ScheduleOpt::Chunked(n)),
+                    _ => Err(ArgError::BadValue("--schedule", other.to_string())),
+                }
+            }
+        }
+    }
+}
+
 /// Options of `ara analyse` / `ara metrics` / `ara model`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunOpts {
@@ -88,6 +124,11 @@ pub struct RunOpts {
     pub engine: EngineKind,
     /// Worker threads (multicore) / devices (multi-gpu).
     pub devices: usize,
+    /// Multicore trial-loop schedule (`--schedule`, default `auto`).
+    pub schedule: ScheduleOpt,
+    /// Events staged per thread per pass for the optimised GPU kernel
+    /// (`--chunk`); `None` keeps the engine default.
+    pub chunk: Option<u32>,
     /// Layer index for `metrics`.
     pub layer: usize,
     /// Seasonal bins for `seasonal`.
@@ -108,6 +149,8 @@ impl Default for RunOpts {
             input: String::new(),
             engine: EngineKind::Sequential,
             devices: 4,
+            schedule: ScheduleOpt::Auto,
+            chunk: None,
             layer: 0,
             bins: 12,
             trace_out: None,
@@ -177,6 +220,7 @@ USAGE:
   ara generate --out <path> [--trials N] [--events N] [--elts N]
                [--records N] [--catalogue N] [--layers N] [--seed N]
   ara analyse  --input <path> [--engine E] [--devices N]
+               [--schedule auto|dynamic|static|chunked:N] [--chunk N]
                [--trace-out <path> [--trace-format F]] [--quiet] [-v|-vv]
   ara metrics  --input <path> [--layer N]
   ara stream   --input <path.stream> [--layer N]
@@ -187,6 +231,10 @@ USAGE:
 LAYOUTS (generate --layout): columnar (default) | interleaved (streamable)
 
 ENGINES: sequential | multicore | gpu-basic | gpu-optimised | multi-gpu
+
+TUNING: --schedule picks the multicore trial-loop grain (auto, the
+  default, sizes it from the host cache hierarchy); --chunk overrides
+  the optimised GPU kernel's events-staged-per-thread.
 
 TRACING: --trace-out enables the recorder and writes the drained trace;
   --trace-format chrome (default, for chrome://tracing / Perfetto) |
@@ -295,6 +343,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                 "--input",
                 "--engine",
                 "--devices",
+                "--schedule",
+                "--chunk",
                 "--layer",
                 "--bins",
                 "--trace-out",
@@ -311,6 +361,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                 opts.engine = EngineKind::parse(e)?;
             }
             opts.devices = flags.num("--devices", opts.devices)?;
+            if let Some(s) = flags.get("--schedule") {
+                opts.schedule = ScheduleOpt::parse(s)?;
+            }
+            if flags.has("--chunk") {
+                opts.chunk = Some(flags.num("--chunk", 0u32)?);
+                if opts.chunk == Some(0) {
+                    return Err(ArgError::BadValue("--chunk", "0".to_string()));
+                }
+            }
             opts.layer = flags.num("--layer", opts.layer)?;
             opts.bins = flags.num("--bins", opts.bins)?;
             opts.trace_out = flags.get("--trace-out").map(str::to_string);
@@ -457,6 +516,39 @@ mod tests {
         assert!(matches!(
             parse_args(&v(&["analyse", "--input", "x", "--devices", "two"])),
             Err(ArgError::BadValue("--devices", _))
+        ));
+    }
+
+    #[test]
+    fn parse_tuning_flags() {
+        let cmd = parse_args(&v(&[
+            "analyse", "--input", "b.ara", "--engine", "cpu", "--schedule", "chunked:64",
+            "--chunk", "50",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Analyse(o) => {
+                assert_eq!(o.schedule, ScheduleOpt::Chunked(64));
+                assert_eq!(o.chunk, Some(50));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults: autotuned schedule, engine-default chunk.
+        match parse_args(&v(&["analyse", "--input", "b.ara"])).unwrap() {
+            Command::Analyse(o) => {
+                assert_eq!(o.schedule, ScheduleOpt::Auto);
+                assert_eq!(o.chunk, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        for s in ["auto", "dynamic", "static", "128"] {
+            assert!(ScheduleOpt::parse(s).is_ok(), "{s}");
+        }
+        assert!(ScheduleOpt::parse("chunked:0").is_err());
+        assert!(ScheduleOpt::parse("guided").is_err());
+        assert!(matches!(
+            parse_args(&v(&["analyse", "--input", "b", "--chunk", "0"])),
+            Err(ArgError::BadValue("--chunk", _))
         ));
     }
 

@@ -59,9 +59,23 @@ impl From<std::io::Error> for CliError {
 pub fn build_engine(opts: &RunOpts) -> Box<dyn Engine> {
     match opts.engine {
         EngineKind::Sequential => Box::new(SequentialEngine::<f64>::new()),
-        EngineKind::Multicore => Box::new(MulticoreEngine::<f64>::new(opts.devices.max(1))),
+        EngineKind::Multicore => {
+            let schedule = match opts.schedule {
+                crate::args::ScheduleOpt::Auto => ara_engine::Schedule::Auto,
+                crate::args::ScheduleOpt::Dynamic => ara_engine::Schedule::Dynamic,
+                crate::args::ScheduleOpt::Static => ara_engine::Schedule::Static,
+                crate::args::ScheduleOpt::Chunked(n) => ara_engine::Schedule::Chunked(n),
+            };
+            Box::new(MulticoreEngine::<f64>::new(opts.devices.max(1)).with_schedule(schedule))
+        }
         EngineKind::GpuBasic => Box::new(GpuBasicEngine::new()),
-        EngineKind::GpuOptimised => Box::new(GpuOptimizedEngine::<f32>::new()),
+        EngineKind::GpuOptimised => {
+            let mut engine = GpuOptimizedEngine::<f32>::new();
+            if let Some(chunk) = opts.chunk {
+                engine = engine.with_chunk(chunk);
+            }
+            Box::new(engine)
+        }
         EngineKind::MultiGpu => Box::new(MultiGpuEngine::<f32>::new(opts.devices.max(1))),
     }
 }

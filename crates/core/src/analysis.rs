@@ -11,10 +11,20 @@ use crate::elt::EventLossTable;
 use crate::error::AraError;
 use crate::event::EventId;
 use crate::layer::{apply_aggregate_stepwise, Layer, LayerTerms};
-use crate::lookup::{DirectAccessTable, LossLookup};
+use crate::lookup::{BlockedGather, DirectAccessTable, LossLookup, DEFAULT_REGION_SLOTS};
 use crate::real::Real;
 use crate::yet::{TrialView, YearEventTable};
 use crate::ylt::YearLossTable;
+
+/// Default events per cache-blocked combine chunk when no tuned value is
+/// supplied: the chunk's accumulator row plus its plan slice stay within
+/// a ~32 KB L1 half.
+pub const DEFAULT_GATHER_CHUNK: usize = 1024;
+
+/// Ceiling on the number of events one blocked trial batch plans at once,
+/// bounding the plan and combined scratch to a few MB regardless of YET
+/// size (batch boundaries always fall on trial boundaries).
+const MAX_BLOCK_EVENTS: usize = 1 << 20;
 
 /// The three inputs of aggregate risk analysis (paper, Section II): the
 /// YET, the collection of ELTs, and the layers.
@@ -80,6 +90,8 @@ pub struct PreparedLayer<R: Real, L: LossLookup<R> = DirectAccessTable<R>> {
     lookups: Vec<L>,
     fin_terms: Vec<(R, R, R, R)>,
     terms: LayerTerms,
+    gather_chunk: usize,
+    region_slots: usize,
 }
 
 impl<R: Real> PreparedLayer<R, DirectAccessTable<R>> {
@@ -101,6 +113,8 @@ impl<R: Real> PreparedLayer<R, DirectAccessTable<R>> {
             lookups,
             fin_terms,
             terms: layer.terms,
+            gather_chunk: DEFAULT_GATHER_CHUNK,
+            region_slots: DEFAULT_REGION_SLOTS,
         })
     }
 }
@@ -123,7 +137,38 @@ impl<R: Real, L: LossLookup<R>> PreparedLayer<R, L> {
             lookups,
             fin_terms,
             terms,
+            gather_chunk: DEFAULT_GATHER_CHUNK,
+            region_slots: DEFAULT_REGION_SLOTS,
         }
+    }
+
+    /// Override the cache-blocked combine chunk (events per inner block);
+    /// engines set this to an autotuned value at prepare time. Purely a
+    /// performance knob: results are bit-identical for any chunk ≥ 1.
+    pub fn with_gather_chunk(mut self, chunk: usize) -> Self {
+        self.gather_chunk = chunk.max(1);
+        self
+    }
+
+    /// Events per cache-blocked combine chunk.
+    #[inline]
+    pub fn gather_chunk(&self) -> usize {
+        self.gather_chunk
+    }
+
+    /// Override the blocked-gather region size (catalogue slots per
+    /// region); engines set this to an autotuned value at prepare time.
+    /// Purely a performance knob: results are bit-identical for any
+    /// region ≥ 1 slot.
+    pub fn with_region_slots(mut self, slots: usize) -> Self {
+        self.region_slots = slots.max(1);
+        self
+    }
+
+    /// Catalogue slots per blocked-gather region.
+    #[inline]
+    pub fn region_slots(&self) -> usize {
+        self.region_slots
     }
 
     /// The lookup structures, one per covered ELT.
@@ -157,11 +202,13 @@ impl<R: Real, L: LossLookup<R>> PreparedLayer<R, L> {
     }
 }
 
-/// Reusable per-trial scratch buffer, so the hot loop performs no
-/// allocation (workhorse-collection pattern).
+/// Reusable per-trial scratch (SoA): the combined-loss accumulator plus a
+/// ground-up gather row for the batch lookups, so the hot loop performs
+/// no allocation in steady state (workhorse-collection pattern).
 #[derive(Debug, Default, Clone)]
 pub struct TrialWorkspace<R> {
     combined: Vec<R>,
+    ground: Vec<R>,
 }
 
 impl<R: Real> TrialWorkspace<R> {
@@ -169,6 +216,7 @@ impl<R: Real> TrialWorkspace<R> {
     pub fn new() -> Self {
         TrialWorkspace {
             combined: Vec::new(),
+            ground: Vec::new(),
         }
     }
 
@@ -176,14 +224,17 @@ impl<R: Real> TrialWorkspace<R> {
     pub fn with_capacity(max_events: usize) -> Self {
         TrialWorkspace {
             combined: Vec::with_capacity(max_events),
+            ground: Vec::with_capacity(max_events),
         }
     }
 
     #[inline]
-    fn reset(&mut self, len: usize) -> &mut [R] {
+    fn reset(&mut self, len: usize) -> (&mut [R], &mut [R]) {
         self.combined.clear();
         self.combined.resize(len, R::ZERO);
-        &mut self.combined
+        self.ground.clear();
+        self.ground.resize(len, R::ZERO);
+        (&mut self.combined, &mut self.ground)
     }
 }
 
@@ -196,18 +247,63 @@ pub struct TrialResult<R> {
     pub max_occ_loss: R,
 }
 
+/// Steps 3 & 4 shared by every trial path: occurrence terms per combined
+/// event loss, then aggregate terms over the running cumulative loss.
+#[inline]
+fn finish_trial<R: Real>(terms: &LayerTerms, combined: &mut [R]) -> TrialResult<R> {
+    let mut max_occ = R::ZERO;
+    for l in combined.iter_mut() {
+        *l = terms.apply_occurrence(*l);
+        max_occ = max_occ.max(*l);
+    }
+    let year_loss = apply_aggregate_stepwise(terms, combined);
+    TrialResult {
+        year_loss,
+        max_occ_loss: max_occ,
+    }
+}
+
 /// Analyse one trial under a prepared layer — Algorithm 1 lines 4–29,
 /// structured exactly as the paper's four steps.
+///
+/// The lookup stage runs through [`LossLookup::loss_batch`] (one gather
+/// per ELT over the whole trial); the per-element accumulation keeps the
+/// ELT-outer order, so the result is bit-identical to
+/// [`analyse_trial_scalar`].
 pub fn analyse_trial<R: Real, L: LossLookup<R>>(
     prepared: &PreparedLayer<R, L>,
     trial: TrialView<'_>,
     workspace: &mut TrialWorkspace<R>,
 ) -> TrialResult<R> {
-    let combined = workspace.reset(trial.len());
+    let (combined, ground) = workspace.reset(trial.len());
 
-    // Steps 1 & 2 (lines 4–13): for each covered ELT, look up each
-    // event's loss, apply the ELT's financial terms, and accumulate the
-    // net losses across ELTs into a single combined loss per occurrence.
+    // Steps 1 & 2 (lines 4–13): for each covered ELT, gather every
+    // event's ground-up loss in one batch, apply the ELT's financial
+    // terms, and accumulate the net losses across ELTs into a single
+    // combined loss per occurrence. Per element, contributions arrive in
+    // ELT order exactly as in the scalar loop.
+    for (lookup, &(fx, ret, lim, share)) in prepared.lookups.iter().zip(&prepared.fin_terms) {
+        lookup.loss_batch(trial.events, ground);
+        for (c, &g) in combined.iter_mut().zip(ground.iter()) {
+            *c += share * crate::real::xl_clamp(g * fx, ret, lim);
+        }
+    }
+
+    // Steps 3 & 4 (lines 15–29).
+    finish_trial(&prepared.terms, combined)
+}
+
+/// The pre-batching scalar hot loop: one [`LossLookup::loss`] call per
+/// event per ELT, fused with the financial terms.
+///
+/// Kept as the oracle the batched paths are tested (and benchmarked)
+/// against — [`analyse_trial`] must return bit-identical results.
+pub fn analyse_trial_scalar<R: Real, L: LossLookup<R>>(
+    prepared: &PreparedLayer<R, L>,
+    trial: TrialView<'_>,
+    workspace: &mut TrialWorkspace<R>,
+) -> TrialResult<R> {
+    let (combined, _) = workspace.reset(trial.len());
     for (lookup, &(fx, ret, lim, share)) in prepared.lookups.iter().zip(&prepared.fin_terms) {
         for (d, &event) in trial.events.iter().enumerate() {
             let ground_up = lookup.loss(event);
@@ -215,22 +311,7 @@ pub fn analyse_trial<R: Real, L: LossLookup<R>>(
             combined[d] += net;
         }
     }
-
-    // Step 3 (lines 15–17): occurrence terms per combined event loss.
-    let mut max_occ = R::ZERO;
-    for l in combined.iter_mut() {
-        *l = prepared.terms.apply_occurrence(*l);
-        max_occ = max_occ.max(*l);
-    }
-
-    // Step 4 (lines 18–29): aggregate terms over the running cumulative
-    // loss, yielding the trial's year loss.
-    let year_loss = apply_aggregate_stepwise(&prepared.terms, combined);
-
-    TrialResult {
-        year_loss,
-        max_occ_loss: max_occ,
-    }
+    finish_trial(&prepared.terms, combined)
 }
 
 /// Analyse one trial and attribute the year loss back to the individual
@@ -247,24 +328,22 @@ pub fn analyse_trial_attributed<R: Real, L: LossLookup<R>>(
     workspace: &mut TrialWorkspace<R>,
     attribution: &mut Vec<(crate::Timestamp, R)>,
 ) -> TrialResult<R> {
-    let combined = workspace.reset(trial.len());
+    let (combined, ground) = workspace.reset(trial.len());
     for (lookup, &(fx, ret, lim, share)) in prepared.lookups.iter().zip(&prepared.fin_terms) {
-        for (d, &event) in trial.events.iter().enumerate() {
-            let ground_up = lookup.loss(event);
-            combined[d] += share * crate::real::xl_clamp(ground_up * fx, ret, lim);
+        lookup.loss_batch(trial.events, ground);
+        for (c, &g) in combined.iter_mut().zip(ground.iter()) {
+            *c += share * crate::real::xl_clamp(g * fx, ret, lim);
         }
     }
-    let mut max_occ = R::ZERO;
-    for l in combined.iter_mut() {
-        *l = prepared.terms.apply_occurrence(*l);
-        max_occ = max_occ.max(*l);
-    }
-    let year_loss = apply_aggregate_stepwise(&prepared.terms, combined);
-    attribution.extend(trial.times.iter().copied().zip(combined.iter().copied()));
-    TrialResult {
-        year_loss,
-        max_occ_loss: max_occ,
-    }
+    let result = finish_trial(&prepared.terms, combined);
+    attribution.extend(
+        trial
+            .times
+            .iter()
+            .copied()
+            .zip(workspace.combined.iter().copied()),
+    );
+    result
 }
 
 /// Analyse every trial of `yet` under a prepared layer, sequentially —
@@ -285,6 +364,156 @@ pub fn analyse_layer<R: Real, L: LossLookup<R>>(
         year_loss.push(r.year_loss.to_f64());
         max_occ.push(r.max_occ_loss.to_f64());
     }
+    YearLossTable::with_max_occurrence(year_loss, max_occ)
+        .expect("columns built together have equal length")
+}
+
+/// [`analyse_layer`] through the pre-batching scalar hot loop
+/// ([`analyse_trial_scalar`]) — the oracle and benchmark baseline for
+/// the batched and blocked paths.
+pub fn analyse_layer_scalar<R: Real, L: LossLookup<R>>(
+    prepared: &PreparedLayer<R, L>,
+    yet: &YearEventTable,
+) -> YearLossTable {
+    let n = yet.num_trials();
+    let mut year_loss = Vec::with_capacity(n);
+    let mut max_occ = Vec::with_capacity(n);
+    let mut ws = TrialWorkspace::with_capacity(yet.max_events_per_trial());
+    for trial in yet.trials() {
+        let r = analyse_trial_scalar(prepared, trial, &mut ws);
+        year_loss.push(r.year_loss.to_f64());
+        max_occ.push(r.max_occ_loss.to_f64());
+    }
+    YearLossTable::with_max_occurrence(year_loss, max_occ)
+        .expect("columns built together have equal length")
+}
+
+/// Scratch for the cache-blocked layer path: the region-sorted gather
+/// plan, the L1-sized chunk accumulator, and the flat combined losses of
+/// the trial batch in flight. Reused across batches — no steady-state
+/// allocation.
+#[derive(Debug, Default, Clone)]
+pub struct BlockedWorkspace<R> {
+    plan: BlockedGather,
+    acc: Vec<R>,
+    combined: Vec<R>,
+}
+
+impl<R: Real> BlockedWorkspace<R> {
+    /// Fresh empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Analyse the trials `range` of `yet` with the region-blocked gather,
+/// appending per-trial year and max-occurrence losses to `year_loss` /
+/// `max_occ`.
+///
+/// The batch's events are counting-sorted by direct-table region
+/// ([`BlockedGather`]), then combined chunk by chunk: within a chunk the
+/// accumulation is ELT-outer — each element still receives its per-ELT
+/// contributions in layer order — and each element's combined loss is
+/// scattered back to its home trial before the (order-sensitive)
+/// occurrence and aggregate stages run per trial, in occurrence order.
+/// Results are therefore **bit-identical** to [`analyse_trial_scalar`];
+/// only the order in which *independent elements* are processed changes.
+pub fn analyse_trials_blocked<R: Real>(
+    prepared: &PreparedLayer<R, DirectAccessTable<R>>,
+    yet: &YearEventTable,
+    range: std::ops::Range<usize>,
+    ws: &mut BlockedWorkspace<R>,
+    year_loss: &mut Vec<f64>,
+    max_occ: &mut Vec<f64>,
+) {
+    let offsets = yet.offsets();
+    let mut first = range.start;
+    while first < range.end {
+        // Grow the batch trial by trial up to the event budget (a single
+        // oversized trial still goes through alone).
+        let mut last = first;
+        let base = offsets[first] as usize;
+        while last < range.end {
+            let end = offsets[last + 1] as usize;
+            if end - base > MAX_BLOCK_EVENTS && last > first {
+                break;
+            }
+            last += 1;
+        }
+        let events = &yet.packed_events()[base..offsets[last] as usize];
+        let cat = yet.catalogue_size() as usize;
+        ws.combined.clear();
+        ws.combined.resize(events.len(), R::ZERO);
+
+        if prepared.region_slots >= cat {
+            // Streaming fast path: one region covers the whole catalogue,
+            // so the counting sort would be the identity permutation.
+            // Combine ELT-outer over the batch in original order — each
+            // table streams through the cache once per batch with no
+            // plan, pair indirection, or scatter. Chosen by the autotuner
+            // on hosts whose caches hold a full table.
+            for (table, &(fx, ret, lim, share)) in
+                prepared.lookups.iter().zip(&prepared.fin_terms)
+            {
+                let t = table.as_slice();
+                for (c, &e) in ws.combined.iter_mut().zip(events) {
+                    let g = t.get(e.index()).copied().unwrap_or(R::ZERO);
+                    *c += share * crate::real::xl_clamp(g * fx, ret, lim);
+                }
+            }
+        } else {
+            ws.plan.plan(events, cat, prepared.region_slots);
+            let chunk = prepared.gather_chunk.max(1);
+            ws.acc.clear();
+            ws.acc.resize(chunk, R::ZERO);
+            for pairs in ws.plan.pairs().chunks(chunk) {
+                let acc = &mut ws.acc[..pairs.len()];
+                acc.fill(R::ZERO);
+                // ELT-outer over the chunk: the per-element FP order
+                // matches the scalar loop; the chunk's table slots sit in
+                // the current region, whose slabs stay cache-resident
+                // across all ELTs.
+                for (table, &(fx, ret, lim, share)) in
+                    prepared.lookups.iter().zip(&prepared.fin_terms)
+                {
+                    let t = table.as_slice();
+                    for (a, p) in acc.iter_mut().zip(pairs) {
+                        let g = t.get(p.0 as usize).copied().unwrap_or(R::ZERO);
+                        *a += share * crate::real::xl_clamp(g * fx, ret, lim);
+                    }
+                }
+                // Scatter each element's finished combined loss home —
+                // the only non-sequential write, one per event.
+                for (a, p) in acc.iter().zip(pairs) {
+                    ws.combined[p.1 as usize] = *a;
+                }
+            }
+        }
+
+        for i in first..last {
+            let lo = offsets[i] as usize - base;
+            let hi = offsets[i + 1] as usize - base;
+            let r = finish_trial(&prepared.terms, &mut ws.combined[lo..hi]);
+            year_loss.push(r.year_loss.to_f64());
+            max_occ.push(r.max_occ_loss.to_f64());
+        }
+        first = last;
+    }
+}
+
+/// [`analyse_layer`] through the cache-blocked gather — bit-identical
+/// output, but the hot gather runs region by region instead of trial by
+/// trial, so each table slab is loaded into cache once per batch instead
+/// of once per touching event.
+pub fn analyse_layer_blocked<R: Real>(
+    prepared: &PreparedLayer<R, DirectAccessTable<R>>,
+    yet: &YearEventTable,
+) -> YearLossTable {
+    let n = yet.num_trials();
+    let mut year_loss = Vec::with_capacity(n);
+    let mut max_occ = Vec::with_capacity(n);
+    let mut ws = BlockedWorkspace::new();
+    analyse_trials_blocked(prepared, yet, 0..n, &mut ws, &mut year_loss, &mut max_occ);
     YearLossTable::with_max_occurrence(year_loss, max_occ)
         .expect("columns built together have equal length")
 }
@@ -350,14 +579,12 @@ pub fn analyse_trial_staged<R: Real, L: LossLookup<R>>(
     let t1 = ara_trace::now_ns();
 
     // Stage 2 — loss lookup: gather every ground-up loss from each
-    // covered ELT's direct access table (the hot random-access stage).
+    // covered ELT in one batch call (the hot random-access stage).
     workspace.ground.clear();
     workspace.ground.resize(prepared.num_elts() * len, R::ZERO);
     for (e, lookup) in prepared.lookups.iter().enumerate() {
         let row = &mut workspace.ground[e * len..(e + 1) * len];
-        for (d, &event) in workspace.events.iter().enumerate() {
-            row[d] = lookup.loss(event);
-        }
+        lookup.loss_batch(&workspace.events, row);
     }
     let t2 = ara_trace::now_ns();
 
@@ -623,6 +850,37 @@ mod tests {
     }
 
     #[test]
+    fn batched_trial_is_bit_identical_to_scalar() {
+        let (inputs, layer) = fixture();
+        let prepared = PreparedLayer::<f64>::prepare(&inputs, &layer).unwrap();
+        let mut batched_ws = TrialWorkspace::new();
+        let mut scalar_ws = TrialWorkspace::new();
+        for i in 0..inputs.yet.num_trials() {
+            let batched = analyse_trial(&prepared, inputs.yet.trial(i), &mut batched_ws);
+            let scalar = analyse_trial_scalar(&prepared, inputs.yet.trial(i), &mut scalar_ws);
+            assert_eq!(batched, scalar, "trial {i} diverged");
+        }
+    }
+
+    #[test]
+    fn blocked_layer_is_bit_identical_to_scalar() {
+        let (inputs, layer) = fixture();
+        for (chunk, region) in [(1, 1), (2, 3), (1024, 8192)] {
+            let prepared = PreparedLayer::<f64>::prepare(&inputs, &layer)
+                .unwrap()
+                .with_gather_chunk(chunk)
+                .with_region_slots(region);
+            let scalar = analyse_layer_scalar(&prepared, &inputs.yet);
+            let blocked = analyse_layer_blocked(&prepared, &inputs.yet);
+            assert_eq!(scalar.year_losses(), blocked.year_losses());
+            assert_eq!(
+                scalar.max_occurrence_losses(),
+                blocked.max_occurrence_losses()
+            );
+        }
+    }
+
+    #[test]
     fn staged_trial_is_bit_identical_to_fused() {
         let (inputs, layer) = fixture();
         let prepared = PreparedLayer::<f64>::prepare(&inputs, &layer).unwrap();
@@ -787,6 +1045,46 @@ mod tests {
                     prop_assert!(m >= 0.0);
                     prop_assert!(m <= s.terms.occ_limit + 1e-9);
                 }
+            }
+
+            /// The batched fused path and the cache-blocked path must be
+            /// bit-identical to the pre-batching scalar loop at both
+            /// precisions, for arbitrary chunk/region sizes — the f32 run
+            /// is the sensitive one, where any reassociation would show.
+            #[test]
+            fn batched_and_blocked_bit_identical_to_scalar(
+                s in scenario(),
+                chunk in 1usize..40,
+                region in 1usize..70,
+            ) {
+                let (inputs, layer) = build(&s);
+                let p64 = PreparedLayer::<f64>::prepare(&inputs, &layer)
+                    .unwrap()
+                    .with_gather_chunk(chunk)
+                    .with_region_slots(region);
+                let scalar64 = analyse_layer_scalar(&p64, &inputs.yet);
+                let batched64 = analyse_layer(&p64, &inputs.yet);
+                let blocked64 = analyse_layer_blocked(&p64, &inputs.yet);
+                prop_assert_eq!(scalar64.year_losses(), batched64.year_losses());
+                prop_assert_eq!(scalar64.year_losses(), blocked64.year_losses());
+                prop_assert_eq!(
+                    scalar64.max_occurrence_losses(),
+                    blocked64.max_occurrence_losses()
+                );
+
+                let p32 = PreparedLayer::<f32>::prepare(&inputs, &layer)
+                    .unwrap()
+                    .with_gather_chunk(chunk)
+                    .with_region_slots(region);
+                let scalar32 = analyse_layer_scalar(&p32, &inputs.yet);
+                let batched32 = analyse_layer(&p32, &inputs.yet);
+                let blocked32 = analyse_layer_blocked(&p32, &inputs.yet);
+                prop_assert_eq!(scalar32.year_losses(), batched32.year_losses());
+                prop_assert_eq!(scalar32.year_losses(), blocked32.year_losses());
+                prop_assert_eq!(
+                    scalar32.max_occurrence_losses(),
+                    blocked32.max_occurrence_losses()
+                );
             }
 
             /// The staged (instrumented) path must be bit-identical to

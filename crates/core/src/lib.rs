@@ -92,8 +92,10 @@ pub mod yet;
 pub mod ylt;
 
 pub use analysis::{
-    analyse_layer, analyse_layer_staged, analyse_single, analyse_trial, analyse_trial_attributed,
-    analyse_trial_staged, Inputs, PreparedLayer, StagedWorkspace, TrialResult, TrialWorkspace,
+    analyse_layer, analyse_layer_blocked, analyse_layer_scalar, analyse_layer_staged,
+    analyse_single, analyse_trial, analyse_trial_attributed, analyse_trial_scalar,
+    analyse_trial_staged, analyse_trials_blocked, BlockedWorkspace, Inputs, PreparedLayer,
+    StagedWorkspace, TrialResult, TrialWorkspace, DEFAULT_GATHER_CHUNK,
 };
 pub use compressed::{BlockDeltaLookup, PagedDirectTable};
 pub use elt::{EventLoss, EventLossTable};
@@ -103,8 +105,8 @@ pub use financial::FinancialTerms;
 pub use io::{SnapshotError, StreamedTrial, YetStreamReader};
 pub use layer::{apply_aggregate_stepwise, year_loss_direct, Layer, LayerId, LayerTerms};
 pub use lookup::{
-    CombinedDirectTable, CuckooHashTable, DirectAccessTable, LossLookup, SortedLookup,
-    StdHashLookup,
+    BlockedGather, CombinedDirectTable, CuckooHashTable, DirectAccessTable, LossLookup,
+    SortedLookup, StdHashLookup, DEFAULT_REGION_SLOTS,
 };
 pub use portfolio::Portfolio;
 pub use real::{xl_clamp, Real};

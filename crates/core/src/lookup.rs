@@ -44,6 +44,26 @@ pub trait LossLookup<R: Real>: Send + Sync {
     /// quantity the paper's Section III argument is about. Used by the GPU
     /// timing model.
     fn accesses_per_lookup(&self) -> f64;
+
+    /// Gather a batch of losses: `out[i]` becomes `self.loss(events[i])`.
+    ///
+    /// Contract: **bit-identical** to calling [`loss`] per event, for any
+    /// batch — including out-of-catalogue ids (which yield `R::ZERO`) and
+    /// empty slices. Implementations may reorder *independent memory
+    /// accesses* (unrolling, software pipelining) but never per-element
+    /// arithmetic; there is nothing to reassociate in a pure gather, so
+    /// overriding cannot change results. The default simply loops.
+    ///
+    /// # Panics
+    /// Panics if `events.len() != out.len()`.
+    ///
+    /// [`loss`]: LossLookup::loss
+    fn loss_batch(&self, events: &[EventId], out: &mut [R]) {
+        assert_eq!(events.len(), out.len(), "one output slot per event");
+        for (o, &e) in out.iter_mut().zip(events) {
+            *o = self.loss(e);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -120,6 +140,30 @@ impl<R: Real> LossLookup<R> for DirectAccessTable<R> {
     fn accesses_per_lookup(&self) -> f64 {
         1.0
     }
+
+    fn loss_batch(&self, events: &[EventId], out: &mut [R]) {
+        assert_eq!(events.len(), out.len(), "one output slot per event");
+        let table = self.losses.as_slice();
+        // Eight independent gathers per iteration: the scalar loop chains
+        // one bounds-checked access per event, while this form lets the
+        // CPU keep eight cache misses in flight (memory-level parallelism)
+        // — the entire win for a pure gather.
+        let mut ev = events.chunks_exact(8);
+        let mut ot = out.chunks_exact_mut(8);
+        for (es, os) in (&mut ev).zip(&mut ot) {
+            os[0] = table.get(es[0].index()).copied().unwrap_or(R::ZERO);
+            os[1] = table.get(es[1].index()).copied().unwrap_or(R::ZERO);
+            os[2] = table.get(es[2].index()).copied().unwrap_or(R::ZERO);
+            os[3] = table.get(es[3].index()).copied().unwrap_or(R::ZERO);
+            os[4] = table.get(es[4].index()).copied().unwrap_or(R::ZERO);
+            os[5] = table.get(es[5].index()).copied().unwrap_or(R::ZERO);
+            os[6] = table.get(es[6].index()).copied().unwrap_or(R::ZERO);
+            os[7] = table.get(es[7].index()).copied().unwrap_or(R::ZERO);
+        }
+        for (o, &e) in ot.into_remainder().iter_mut().zip(ev.remainder()) {
+            *o = table.get(e.index()).copied().unwrap_or(R::ZERO);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -177,6 +221,50 @@ impl<R: Real> LossLookup<R> for SortedLookup<R> {
     fn accesses_per_lookup(&self) -> f64 {
         // log2(n) probes into the key array plus the loss fetch on a hit.
         (self.events.len().max(2) as f64).log2() + 1.0
+    }
+
+    fn loss_batch(&self, events: &[EventId], out: &mut [R]) {
+        assert_eq!(events.len(), out.len(), "one output slot per event");
+        let keys = self.events.as_slice();
+        let n = keys.len();
+        if n == 0 {
+            out.fill(R::ZERO);
+            return;
+        }
+        // Four branchless binary searches advance in lockstep: every
+        // round issues four independent key loads, where one-at-a-time
+        // `binary_search` serialises them. Invariant per lane: `lo` is the
+        // last index whose key is <= the target (or 0), so the final slot
+        // holds exactly the record `binary_search` would find — keys are
+        // deduplicated, hence the gathered value is identical.
+        let mut ev = events.chunks_exact(4);
+        let mut ot = out.chunks_exact_mut(4);
+        for (es, os) in (&mut ev).zip(&mut ot) {
+            let mut lo = [0usize; 4];
+            let mut size = n;
+            while size > 1 {
+                let half = size / 2;
+                for l in 0..4 {
+                    // `lo[l] + size <= n` is maintained, so `mid` is in
+                    // bounds; the compare compiles to a conditional move.
+                    let mid = lo[l] + half;
+                    if keys[mid] <= es[l].0 {
+                        lo[l] = mid;
+                    }
+                }
+                size -= half;
+            }
+            for l in 0..4 {
+                os[l] = if keys[lo[l]] == es[l].0 {
+                    self.losses[lo[l]]
+                } else {
+                    R::ZERO
+                };
+            }
+        }
+        for (o, &e) in ot.into_remainder().iter_mut().zip(ev.remainder()) {
+            *o = self.loss(e);
+        }
     }
 }
 
@@ -236,6 +324,23 @@ impl<R: Real> LossLookup<R> for StdHashLookup<R> {
         // Probe the control bytes + fetch the slot; SipHash cost is
         // compute, not memory.
         2.0
+    }
+
+    fn loss_batch(&self, events: &[EventId], out: &mut [R]) {
+        assert_eq!(events.len(), out.len(), "one output slot per event");
+        // Four probes per iteration so the SipHash computation of the
+        // next keys overlaps the bucket walks of the previous ones.
+        let mut ev = events.chunks_exact(4);
+        let mut ot = out.chunks_exact_mut(4);
+        for (es, os) in (&mut ev).zip(&mut ot) {
+            os[0] = self.map.get(&es[0].0).copied().unwrap_or(R::ZERO);
+            os[1] = self.map.get(&es[1].0).copied().unwrap_or(R::ZERO);
+            os[2] = self.map.get(&es[2].0).copied().unwrap_or(R::ZERO);
+            os[3] = self.map.get(&es[3].0).copied().unwrap_or(R::ZERO);
+        }
+        for (o, &e) in ot.into_remainder().iter_mut().zip(ev.remainder()) {
+            *o = self.map.get(&e.0).copied().unwrap_or(R::ZERO);
+        }
     }
 }
 
@@ -447,6 +552,191 @@ impl<R: Real> LossLookup<R> for CuckooHashTable<R> {
         // probe both sides. Average ≈ 1.5 key probes + 1 value fetch.
         2.5
     }
+
+    fn loss_batch(&self, events: &[EventId], out: &mut [R]) {
+        assert_eq!(events.len(), out.len(), "one output slot per event");
+        // The first-side slots of four keys are pure arithmetic, computed
+        // up front so their four key probes issue together; only misses
+        // pay the (dependent) second-side probe.
+        let mut ev = events.chunks_exact(4);
+        let mut ot = out.chunks_exact_mut(4);
+        for (es, os) in (&mut ev).zip(&mut ot) {
+            let s = [
+                self.slot(0, es[0].0),
+                self.slot(0, es[1].0),
+                self.slot(0, es[2].0),
+                self.slot(0, es[3].0),
+            ];
+            for l in 0..4 {
+                let k = es[l].0;
+                os[l] = if self.keys[0][s[l]] == k {
+                    self.vals[0][s[l]]
+                } else {
+                    let i1 = self.slot(1, k);
+                    if self.keys[1][i1] == k {
+                        self.vals[1][i1]
+                    } else {
+                        R::ZERO
+                    }
+                };
+            }
+        }
+        for (o, &e) in ot.into_remainder().iter_mut().zip(ev.remainder()) {
+            *o = self.loss(e);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache-blocked gather across a layer's direct tables
+// ---------------------------------------------------------------------------
+
+/// Default direct-table slots per blocked-gather region when no tuned
+/// value is supplied: 8 Ki slots keeps a 15-ELT layer's f64 slabs
+/// (15 × 64 KB) inside a ~2 MB L2.
+pub const DEFAULT_REGION_SLOTS: usize = 8 * 1024;
+
+/// Region-blocked gather plan over a flat batch of events.
+///
+/// The scalar hot path visits each trial's events in occurrence order, so
+/// consecutive gathers land on unrelated slots of catalogue-sized tables;
+/// with a 15-ELT layer the tables cycle many megabytes through the cache
+/// and nearly every access pays a slow-level miss. [`plan`] counting-sorts
+/// a large batch of events (typically many trials' worth) by table
+/// *region* — `region_slots` catalogue slots each — so a consumer walking
+/// the plan in order touches the tables one cache-sized slab at a time,
+/// and every ELT's slab for the current region stays resident until the
+/// region's events are exhausted.
+///
+/// Each plan entry carries the event's original position in the batch, so
+/// results scatter back with one write per event. Blocking reorders only
+/// whole (independent) elements, never the arithmetic *within* an
+/// element, so consumers that accumulate per element in ELT order remain
+/// bit-identical to the scalar path.
+///
+/// [`plan`]: BlockedGather::plan
+#[derive(Debug, Default, Clone)]
+pub struct BlockedGather {
+    /// `(table slot, original position)` pairs, stably sorted by region.
+    pairs: Vec<(u32, u32)>,
+    /// Counting-sort scratch: running offset per region.
+    offsets: Vec<u32>,
+    region_slots: usize,
+}
+
+impl BlockedGather {
+    /// Fresh plan; buffers grow on first use and are reused afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build the plan for `events` over tables of `catalogue_size` slots,
+    /// reusing this value's buffers (no steady-state allocation). Ids at
+    /// or beyond the catalogue land in a final overflow region; they
+    /// gather `R::ZERO` exactly like the scalar path.
+    pub fn plan(&mut self, events: &[EventId], catalogue_size: usize, region_slots: usize) {
+        assert!(events.len() <= u32::MAX as usize, "batch exceeds u32 positions");
+        let region_slots = region_slots.max(1);
+        self.region_slots = region_slots;
+        // One region per full slab, plus the catalogue tail, plus the
+        // out-of-catalogue overflow.
+        let num_regions = catalogue_size / region_slots + 2;
+        let last = num_regions - 1;
+        self.offsets.clear();
+        self.offsets.resize(num_regions + 1, 0);
+        for &e in events {
+            let r = (e.index() / region_slots).min(last);
+            self.offsets[r + 1] += 1;
+        }
+        for r in 0..num_regions {
+            self.offsets[r + 1] += self.offsets[r];
+        }
+        self.pairs.clear();
+        self.pairs.resize(events.len(), (0, 0));
+        for (pos, &e) in events.iter().enumerate() {
+            let r = (e.index() / region_slots).min(last);
+            let at = self.offsets[r] as usize;
+            self.pairs[at] = (e.0, pos as u32);
+            self.offsets[r] += 1;
+        }
+    }
+
+    /// The planned `(table slot, original position)` pairs, region order.
+    #[inline]
+    pub fn pairs(&self) -> &[(u32, u32)] {
+        &self.pairs
+    }
+
+    /// Events in the current plan.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if the current plan is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Slots per region of the current plan.
+    #[inline]
+    pub fn region_slots(&self) -> usize {
+        self.region_slots
+    }
+
+    /// Iterate the plan's non-empty regions as index ranges into
+    /// [`pairs`](BlockedGather::pairs), in region order. All slots of one
+    /// region fall within the same `region_slots`-sized slab of every
+    /// direct table (the final ranges cover the catalogue tail and the
+    /// out-of-catalogue overflow).
+    pub fn regions(&self) -> impl Iterator<Item = std::ops::Range<usize>> + '_ {
+        let num = self.offsets.len().saturating_sub(1);
+        let mut start = 0usize;
+        (0..num).filter_map(move |r| {
+            let end = self.offsets[r] as usize;
+            let range = start..end;
+            start = end;
+            if range.is_empty() {
+                None
+            } else {
+                Some(range)
+            }
+        })
+    }
+
+    /// Gather every table's losses in plan order: `out[e * n + j]` is
+    /// table `e`'s loss for the event in plan slot `j` (`n = self.len()`;
+    /// its original batch position is `self.pairs()[j].1`). Writes are
+    /// purely sequential; reads proceed region-major — every table's
+    /// slab for the current region stays cache-resident until the
+    /// region's events are exhausted.
+    pub fn gather<R: Real>(&self, tables: &[DirectAccessTable<R>], out: &mut [R]) {
+        let n = self.pairs.len();
+        assert_eq!(
+            out.len(),
+            tables.len() * n,
+            "out must be ELT-major over the plan"
+        );
+        for range in self.regions() {
+            let ps = &self.pairs[range.clone()];
+            for (ti, table) in tables.iter().enumerate() {
+                let t = table.as_slice();
+                let row = &mut out[ti * n + range.start..ti * n + range.end];
+                let mut pr = ps.chunks_exact(4);
+                let mut ot = row.chunks_exact_mut(4);
+                for (pc, os) in (&mut pr).zip(&mut ot) {
+                    os[0] = t.get(pc[0].0 as usize).copied().unwrap_or(R::ZERO);
+                    os[1] = t.get(pc[1].0 as usize).copied().unwrap_or(R::ZERO);
+                    os[2] = t.get(pc[2].0 as usize).copied().unwrap_or(R::ZERO);
+                    os[3] = t.get(pc[3].0 as usize).copied().unwrap_or(R::ZERO);
+                }
+                for (o, p) in ot.into_remainder().iter_mut().zip(pr.remainder()) {
+                    *o = t.get(p.0 as usize).copied().unwrap_or(R::ZERO);
+                }
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -551,6 +841,31 @@ mod tests {
                 "strategy {} disagrees at event {id}",
                 lookup.strategy_name()
             );
+        }
+        check_batch_identity(lookup, cat);
+    }
+
+    /// `loss_batch` must be bit-identical to per-event `loss` at every
+    /// batch length (exercising the unrolled bodies and their remainder
+    /// tails), including the boundary id `cat - 1`, out-of-catalogue ids,
+    /// and duplicates within one batch.
+    fn check_batch_identity<L: LossLookup<f64>>(lookup: &L, cat: u32) {
+        let ids: Vec<EventId> = (0..cat + 10)
+            .chain([cat - 1, 0, cat - 1, 3, cat + 9, 3])
+            .map(EventId)
+            .collect();
+        for len in [0, 1, 2, 3, 4, 5, 7, 8, 9, 11, 13, 16, ids.len()] {
+            let batch = &ids[..len.min(ids.len())];
+            let mut out = vec![f64::NAN; batch.len()];
+            lookup.loss_batch(batch, &mut out);
+            for (o, &e) in out.iter().zip(batch) {
+                assert_eq!(
+                    *o,
+                    lookup.loss(e),
+                    "strategy {} batch disagrees at event {e:?} (len {len})",
+                    lookup.strategy_name()
+                );
+            }
         }
     }
 
@@ -716,6 +1031,146 @@ mod tests {
         assert_eq!(d.accesses_per_lookup(), 1.0);
         assert!(c.accesses_per_lookup() < s.accesses_per_lookup());
         assert!(s.accesses_per_lookup() > 14.0); // log2(20000) ≈ 14.3
+    }
+
+    #[test]
+    fn loss_batch_on_empty_elts_is_all_zero() {
+        let e = elt(&[]);
+        let events: Vec<EventId> = (0..23).map(EventId).collect();
+        let mut out = vec![f64::NAN; events.len()];
+        let d = DirectAccessTable::<f64>::from_elt(&e, 50).unwrap();
+        d.loss_batch(&events, &mut out);
+        assert!(out.iter().all(|&v| v == 0.0));
+        let s = SortedLookup::<f64>::from_elt(&e);
+        s.loss_batch(&events, &mut out);
+        assert!(out.iter().all(|&v| v == 0.0));
+        let h = StdHashLookup::<f64>::from_elt(&e);
+        h.loss_batch(&events, &mut out);
+        assert!(out.iter().all(|&v| v == 0.0));
+        let c = CuckooHashTable::<f64>::from_elt(&e).unwrap();
+        c.loss_batch(&events, &mut out);
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one output slot per event")]
+    fn loss_batch_rejects_mismatched_lengths() {
+        let e = sample_elt();
+        let d = DirectAccessTable::<f64>::from_elt(&e, 50).unwrap();
+        let mut out = vec![0.0; 3];
+        d.loss_batch(&[EventId(1), EventId(2)], &mut out);
+    }
+
+    #[test]
+    fn blocked_gather_matches_scalar_in_any_region_size() {
+        let a = elt(&[(2, 20.0), (7, 70.0), (11, 110.0), (40, 400.0)]);
+        let b = elt(&[(0, 5.0), (11, 11.0), (49, 49.0)]);
+        let tables = [
+            DirectAccessTable::<f64>::from_elt(&a, 50).unwrap(),
+            DirectAccessTable::<f64>::from_elt(&b, 50).unwrap(),
+        ];
+        // Include duplicates, the boundary id 49, and out-of-catalogue ids.
+        let events: Vec<EventId> = [3u32, 11, 0, 49, 11, 57, 2, 40, 40, 7, 49, 55]
+            .into_iter()
+            .map(EventId)
+            .collect();
+        let n = events.len();
+        for region_slots in [1, 3, 8, 16, 64, 1024] {
+            let mut plan = BlockedGather::new();
+            plan.plan(&events, 50, region_slots);
+            assert_eq!(plan.len(), n);
+            assert_eq!(plan.region_slots(), region_slots);
+            let mut out = vec![f64::NAN; 2 * n];
+            plan.gather(&tables, &mut out);
+            // Scatter back through the recorded positions and compare
+            // against the scalar lookups.
+            for (e, table) in tables.iter().enumerate() {
+                let mut unscattered = vec![f64::NAN; n];
+                for (j, &(_, pos)) in plan.pairs().iter().enumerate() {
+                    unscattered[pos as usize] = out[e * n + j];
+                }
+                for (d, &ev) in events.iter().enumerate() {
+                    assert_eq!(unscattered[d], table.loss(ev), "region {region_slots}");
+                }
+            }
+            // The plan must be sorted by region and stable within one.
+            let regions: Vec<usize> = plan
+                .pairs()
+                .iter()
+                .map(|&(s, _)| ((s as usize) / region_slots).min(50 / region_slots + 1))
+                .collect();
+            assert!(regions.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn blocked_gather_empty_plan() {
+        let mut plan = BlockedGather::new();
+        plan.plan(&[], 100, 8);
+        assert!(plan.is_empty());
+        let tables: [DirectAccessTable<f64>; 0] = [];
+        plan.gather(&tables, &mut []);
+    }
+
+    mod batch_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The batch gather contract, fuzzed: for random ELTs and
+            /// random id batches (hits, misses, out-of-catalogue), every
+            /// strategy's `loss_batch` equals the per-event scalar loop
+            /// bit for bit.
+            #[test]
+            fn loss_batch_matches_scalar_loss(
+                pairs in prop::collection::btree_map(0u32..300, 0.0..1e6f64, 0..40),
+                ids in prop::collection::vec(0u32..400, 0..70),
+            ) {
+                let pairs: Vec<(u32, f64)> = pairs.into_iter().collect();
+                let e = elt(&pairs);
+                let events: Vec<EventId> = ids.into_iter().map(EventId).collect();
+                let cat = 300;
+
+                fn check<L: LossLookup<f64>>(lookup: &L, events: &[EventId]) {
+                    let mut out = vec![f64::NAN; events.len()];
+                    lookup.loss_batch(events, &mut out);
+                    let scalar: Vec<f64> = events.iter().map(|&e| lookup.loss(e)).collect();
+                    assert_eq!(out, scalar, "strategy {}", lookup.strategy_name());
+                }
+
+                check(&DirectAccessTable::<f64>::from_elt(&e, cat).unwrap(), &events);
+                check(&SortedLookup::<f64>::from_elt(&e), &events);
+                check(&StdHashLookup::<f64>::from_elt(&e), &events);
+                check(&CuckooHashTable::<f64>::from_elt(&e).unwrap(), &events);
+            }
+
+            /// The blocked plan is a permutation of the batch, and its
+            /// gather scatters back to exactly the scalar row.
+            #[test]
+            fn blocked_gather_matches_scalar(
+                pairs in prop::collection::btree_map(0u32..300, 0.0..1e6f64, 0..40),
+                ids in prop::collection::vec(0u32..400, 0..70),
+                region_slots in 1usize..512,
+            ) {
+                let pairs: Vec<(u32, f64)> = pairs.into_iter().collect();
+                let e = elt(&pairs);
+                let table = DirectAccessTable::<f64>::from_elt(&e, 300).unwrap();
+                let events: Vec<EventId> = ids.into_iter().map(EventId).collect();
+                let mut plan = BlockedGather::new();
+                plan.plan(&events, 300, region_slots);
+                let mut seen = vec![false; events.len()];
+                for &(slot, pos) in plan.pairs() {
+                    prop_assert!(!seen[pos as usize], "position {pos} planned twice");
+                    seen[pos as usize] = true;
+                    prop_assert_eq!(slot, events[pos as usize].0);
+                }
+                let mut out = vec![f64::NAN; events.len()];
+                plan.gather(std::slice::from_ref(&table), &mut out);
+                for (j, &(_, pos)) in plan.pairs().iter().enumerate() {
+                    prop_assert_eq!(out[j], table.loss(events[pos as usize]));
+                }
+            }
+        }
     }
 
     #[test]

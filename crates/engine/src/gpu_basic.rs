@@ -74,14 +74,23 @@ impl Engine for GpuBasicEngine {
     fn analyse(&self, inputs: &Inputs) -> Result<AnalysisOutput, AraError> {
         inputs.validate()?;
         let tracing = ara_trace::recorder().is_enabled();
+        let n = inputs.yet.num_trials();
+        // Amortise per-block dispatch: each simulated worker claims a run
+        // of several blocks and recycles one shared-memory arena across
+        // them.
+        let cfg = LaunchConfig::new(n, self.block_dim);
+        let cfg = cfg.with_blocks_per_run(simt_sim::tune_blocks_per_run(
+            cfg.grid_dim(),
+            rayon::current_num_threads(),
+        ));
         let _engine_span = ara_trace::recorder()
             .span("engine.analyse")
             .with_field("engine", self.name())
             .with_field("block_dim", self.block_dim)
+            .with_field("blocks_per_run", cfg.blocks_per_run)
             .with_field("layers", inputs.layers.len());
         let start = Instant::now();
         let mut prepare_total = std::time::Duration::ZERO;
-        let n = inputs.yet.num_trials();
         let mut ids = Vec::with_capacity(inputs.layers.len());
         let mut ylts = Vec::with_capacity(inputs.layers.len());
         let mut total_stages = ara_trace::StageNanos::ZERO;
@@ -103,7 +112,7 @@ impl Engine for GpuBasicEngine {
             }
             let mut out: Vec<TrialLoss> = vec![(0.0, 0.0); n];
             let stages_t0 = ara_trace::now_ns();
-            launch(LaunchConfig::new(n, self.block_dim), &kernel, &mut out);
+            launch(cfg, &kernel, &mut out);
             if tracing {
                 let stages = acc.load();
                 stages.emit_spans(stages_t0);

@@ -126,11 +126,12 @@ impl<R: Real> GpuOptimizedEngine<R> {
             kernel = kernel.with_stage_accumulator(acc);
         }
         let mut out: Vec<TrialLoss> = vec![(0.0, 0.0); range.len()];
-        launch(
-            LaunchConfig::new(range.len(), self.block_dim),
-            &kernel,
-            &mut out,
-        );
+        let cfg = LaunchConfig::new(range.len(), self.block_dim);
+        let cfg = cfg.with_blocks_per_run(simt_sim::tune_blocks_per_run(
+            cfg.grid_dim(),
+            rayon::current_num_threads(),
+        ));
+        launch(cfg, &kernel, &mut out);
         out
     }
 }
@@ -154,6 +155,13 @@ impl<R: Real> Engine for GpuOptimizedEngine<R> {
             .with_field("engine", self.name())
             .with_field("block_dim", self.block_dim)
             .with_field("chunk", self.chunk)
+            .with_field(
+                "blocks_per_run",
+                simt_sim::tune_blocks_per_run(
+                    LaunchConfig::new(inputs.yet.num_trials(), self.block_dim).grid_dim(),
+                    rayon::current_num_threads(),
+                ),
+            )
             .with_field("layers", inputs.layers.len());
         let start = Instant::now();
         let mut prepare_total = std::time::Duration::ZERO;

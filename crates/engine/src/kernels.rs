@@ -79,14 +79,12 @@ impl<'a, R: Real> AraBasicKernel<'a, R> {
             s.lox.resize(len, R::ZERO);
             let t1 = ara_trace::now_ns();
 
-            // Stage 2 — loss lookup: gather every ground-up loss.
+            // Stage 2 — loss lookup: gather every ground-up loss with the
+            // batch API (one unrolled pass per ELT).
             s.ground.clear();
             s.ground.resize(num_elts * len, R::ZERO);
             for (e, lookup) in self.prepared.lookups().iter().enumerate() {
-                let row = &mut s.ground[e * len..(e + 1) * len];
-                for (d, &event) in trial.events.iter().enumerate() {
-                    row[d] = lookup.loss(event);
-                }
+                lookup.loss_batch(trial.events, &mut s.ground[e * len..(e + 1) * len]);
             }
             let t2 = ara_trace::now_ns();
 
@@ -132,6 +130,13 @@ impl<R: Real> Kernel<TrialLoss> for AraBasicKernel<'_, R> {
         }
     }
 
+    fn reset_shared(&self, _block: u32, shared: &mut BasicShared<R>) {
+        // Keep the arena's capacity: every buffer is cleared and resized
+        // per thread in run_block, so recycling is allocation-free once
+        // the first block of a run has grown them.
+        shared.stages = StageNanos::ZERO;
+    }
+
     fn run_block(&self, ctx: &mut BlockCtx<'_, BasicShared<R>>, out: &mut [TrialLoss]) {
         if self.stages.is_some() {
             self.run_block_traced(ctx, out);
@@ -143,35 +148,39 @@ impl<R: Real> Kernel<TrialLoss> for AraBasicKernel<'_, R> {
         }
         let terms = *self.prepared.terms();
         ctx.for_each_thread(|t, s| {
-            let lox = &mut s.lox;
             let trial = self.yet.trial(self.base_trial + t.global);
-            lox.clear();
-            lox.resize(trial.len(), R::ZERO);
+            let len = trial.len();
+            s.lox.clear();
+            s.lox.resize(len, R::ZERO);
+            s.ground.clear();
+            s.ground.resize(len, R::ZERO);
 
-            // Steps 1–2 (ELT-outer, exactly like Algorithm 1): look up
-            // each event in each ELT, apply financial terms, accumulate.
+            // Steps 1–2 (ELT-outer, exactly like Algorithm 1): batch-
+            // gather the trial's ground-up losses from each ELT, apply
+            // financial terms, accumulate. Per-element combination order
+            // is identical to the scalar loop, so results are bit-equal.
             for (lookup, &(fx, ret, lim, share)) in self
                 .prepared
                 .lookups()
                 .iter()
                 .zip(self.prepared.financial_terms())
             {
-                for (d, &event) in trial.events.iter().enumerate() {
-                    let ground_up = lookup.loss(event);
-                    lox[d] += share * xl_clamp(ground_up * fx, ret, lim);
+                lookup.loss_batch(trial.events, &mut s.ground);
+                for (l, &ground_up) in s.lox.iter_mut().zip(s.ground.iter()) {
+                    *l += share * xl_clamp(ground_up * fx, ret, lim);
                 }
             }
 
             // Step 3: occurrence terms.
             let mut max_occ = R::ZERO;
-            for l in lox.iter_mut() {
+            for l in s.lox.iter_mut() {
                 *l = terms.apply_occurrence(*l);
                 max_occ = max_occ.max(*l);
             }
 
             // Step 4: the literal prefix-sum / clamp / difference / sum
             // passes (lines 18–29).
-            let year = apply_aggregate_stepwise(&terms, lox);
+            let year = apply_aggregate_stepwise(&terms, &mut s.lox);
             out[t.local as usize] = (year.to_f64(), max_occ.to_f64());
         });
     }
@@ -181,15 +190,15 @@ impl<R: Real> Kernel<TrialLoss> for AraBasicKernel<'_, R> {
 #[derive(Debug)]
 pub struct ChunkShared<R> {
     /// Staged event ids: `chunk` slots per thread.
-    staged: Vec<u32>,
+    staged: Vec<ara_core::EventId>,
     /// Events staged this chunk, per thread.
     staged_len: Vec<u32>,
     /// Running aggregate loss accumulator, per thread ("registers").
     acc: Vec<R>,
     /// Running maximum occurrence loss, per thread ("registers").
     max_occ: Vec<R>,
-    /// Ground-up losses of the staged chunk, ELT-major (instrumented
-    /// path only): `chunk` slots per thread per ELT.
+    /// Ground-up losses of the staged chunk, ELT-major: `chunk` slots
+    /// per thread per ELT (the batch-gather target).
     ground: Vec<R>,
     /// Combined per-event losses of the staged chunk (instrumented
     /// path only): `chunk` slots per thread.
@@ -250,13 +259,12 @@ impl<'a, R: Real> AraChunkedKernel<'a, R> {
             // `ground` is laid out [elt][thread × chunk].
             let n_chunk = s.combined.len();
 
-            // Stage 2 — loss lookup: gather ground-up losses ELT-major.
+            // Stage 2 — loss lookup: batch-gather ground-up losses
+            // ELT-major.
             let t1 = ara_trace::now_ns();
             for (e, lookup) in self.prepared.lookups().iter().enumerate() {
                 let base = e * n_chunk + slot;
-                for (i, &event) in s.staged[slot..slot + len].iter().enumerate() {
-                    s.ground[base + i] = lookup.loss(ara_core::EventId(event));
-                }
+                lookup.loss_batch(&s.staged[slot..slot + len], &mut s.ground[base..base + len]);
             }
             let t2 = ara_trace::now_ns();
 
@@ -309,6 +317,12 @@ impl<R: Real> Kernel<TrialLoss> for AraChunkedKernel<'_, R> {
         }
     }
 
+    fn reset_shared(&self, _block: u32, shared: &mut ChunkShared<R>) {
+        // Keep the arena's capacity: run_block clears and resizes every
+        // buffer, so blocks after the first in a run allocate nothing.
+        shared.stages = StageNanos::ZERO;
+    }
+
     fn run_block(&self, ctx: &mut BlockCtx<'_, ChunkShared<R>>, out: &mut [TrialLoss]) {
         let n = ctx.active_threads() as usize;
         let chunk = self.chunk;
@@ -317,16 +331,16 @@ impl<R: Real> Kernel<TrialLoss> for AraChunkedKernel<'_, R> {
         {
             let s = ctx.shared();
             s.staged.clear();
-            s.staged.resize(n * chunk, 0);
+            s.staged.resize(n * chunk, ara_core::EventId(0));
             s.staged_len.clear();
             s.staged_len.resize(n, 0);
             s.acc.clear();
             s.acc.resize(n, R::ZERO);
             s.max_occ.clear();
             s.max_occ.resize(n, R::ZERO);
+            s.ground.clear();
+            s.ground.resize(self.prepared.num_elts() * n * chunk, R::ZERO);
             if traced {
-                s.ground.clear();
-                s.ground.resize(self.prepared.num_elts() * n * chunk, R::ZERO);
                 s.combined.clear();
                 s.combined.resize(n * chunk, R::ZERO);
                 s.stages = StageNanos::ZERO;
@@ -359,37 +373,39 @@ impl<R: Real> Kernel<TrialLoss> for AraChunkedKernel<'_, R> {
                 let lo = start.min(trial.len());
                 let hi = (start + chunk).min(trial.len());
                 let slot = t.local as usize * chunk;
-                for (i, &event) in trial.events[lo..hi].iter().enumerate() {
-                    s.staged[slot + i] = event.0;
-                }
+                s.staged[slot..slot + (hi - lo)].copy_from_slice(&trial.events[lo..hi]);
                 s.staged_len[t.local as usize] = (hi - lo) as u32;
             });
             if traced {
                 ctx.shared().stages.fetch += ara_trace::now_ns() - a0;
             }
 
-            // Phase B: each thread processes its staged events —
-            // event-outer loop, lookups unrolled by the compiler, the
-            // combined loss held in a register before the occurrence
-            // clamp folds it into the running aggregate.
+            // Phase B: each thread batch-gathers its staged events from
+            // every ELT (unrolled `loss_batch` passes into the shared
+            // ground matrix), then combines per event with the loss held
+            // in a register before the occurrence clamp folds it into
+            // the running aggregate. Per-event ELT order matches the old
+            // scalar loop, so results are unchanged bit for bit.
             if traced {
                 self.phase_b_traced(ctx);
             } else {
                 ctx.for_each_thread(|t, s| {
                     let slot = t.local as usize * chunk;
                     let len = s.staged_len[t.local as usize] as usize;
+                    let n_chunk = s.staged.len();
+                    for (e, lookup) in self.prepared.lookups().iter().enumerate() {
+                        let base = e * n_chunk + slot;
+                        lookup
+                            .loss_batch(&s.staged[slot..slot + len], &mut s.ground[base..base + len]);
+                    }
                     let mut acc = s.acc[t.local as usize];
                     let mut max_occ = s.max_occ[t.local as usize];
-                    for &event in &s.staged[slot..slot + len] {
-                        let event = ara_core::EventId(event);
+                    for i in 0..len {
                         let mut combined = R::ZERO;
-                        for (lookup, &(fx, ret, lim, share)) in self
-                            .prepared
-                            .lookups()
-                            .iter()
-                            .zip(self.prepared.financial_terms())
+                        for (e, &(fx, ret, lim, share)) in
+                            self.prepared.financial_terms().iter().enumerate()
                         {
-                            let ground_up = lookup.loss(event);
+                            let ground_up = s.ground[e * n_chunk + slot + i];
                             combined += share * xl_clamp(ground_up * fx, ret, lim);
                         }
                         let occ = terms.apply_occurrence(combined);

@@ -103,10 +103,11 @@ impl<R: Real> Engine for MultiGpuEngine<R> {
         let host_cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
+        let pool_threads = (host_cores / n_dev).max(1);
         let pools: Vec<rayon::ThreadPool> = (0..n_dev)
             .map(|_| {
                 rayon::ThreadPoolBuilder::new()
-                    .num_threads((host_cores / n_dev).max(1))
+                    .num_threads(pool_threads)
                     .build()
                     .expect("pool construction cannot fail for positive sizes")
             })
@@ -151,12 +152,12 @@ impl<R: Real> Engine for MultiGpuEngine<R> {
                                 kernel = kernel.with_stage_accumulator(acc);
                             }
                             let mut out: Vec<TrialLoss> = vec![(0.0, 0.0); range.len()];
-                            launch_in(
-                                pool,
-                                LaunchConfig::new(range.len(), block_dim),
-                                &kernel,
-                                &mut out,
-                            );
+                            let cfg = LaunchConfig::new(range.len(), block_dim);
+                            let cfg = cfg.with_blocks_per_run(simt_sim::tune_blocks_per_run(
+                                cfg.grid_dim(),
+                                pool_threads,
+                            ));
+                            launch_in(pool, cfg, &kernel, &mut out);
                             out
                         })
                     })

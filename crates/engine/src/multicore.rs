@@ -2,7 +2,7 @@
 //! thread per trial — the paper's OpenMP design).
 
 use crate::api::{ActivityBreakdown, AnalysisOutput, Engine, ModeledTiming, PlatformDetail};
-use ara_core::{AraError, Inputs, Portfolio, PreparedLayer, Real, TrialWorkspace, YearLossTable};
+use ara_core::{AraError, Inputs, Portfolio, PreparedLayer, Real, YearLossTable};
 use rayon::prelude::*;
 use simt_sim::model::cpu::{AraShape, CpuTimingModel};
 use std::marker::PhantomData;
@@ -13,9 +13,13 @@ use std::time::Instant;
 /// rayon.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Schedule {
+    /// Grain chosen at prepare time from the host cache hierarchy and
+    /// the workload shape ([`simt_sim::tune_schedule_grain`]): coarse
+    /// enough to amortise per-chunk planning, fine enough to balance.
+    #[default]
+    Auto,
     /// Fine-grained work stealing (OpenMP `dynamic`): rayon's default
     /// splitting. Best when trial costs vary (clustered YETs).
-    #[default]
     Dynamic,
     /// One contiguous slab per worker (OpenMP `static`): minimal
     /// scheduling overhead, no load balancing.
@@ -52,7 +56,7 @@ impl<R: Real> MulticoreEngine<R> {
         MulticoreEngine {
             threads,
             threads_per_core: 1,
-            schedule: Schedule::Dynamic,
+            schedule: Schedule::Auto,
             model: CpuTimingModel::i7_2600(),
             _precision: PhantomData,
         }
@@ -89,9 +93,11 @@ impl<R: Real> MulticoreEngine<R> {
         pool: &rayon::ThreadPool,
         inputs: &Inputs,
         prepared: &PreparedLayer<R>,
+        tuned_grain: usize,
     ) -> (YearLossTable, ara_trace::StageNanos) {
         let n = inputs.yet.num_trials();
         let grain = match self.schedule {
+            Schedule::Auto => tuned_grain.max(1),
             Schedule::Dynamic => 1,
             Schedule::Static => n.div_ceil(self.threads.max(1)).max(1),
             Schedule::Chunked(g) => g.max(1),
@@ -120,15 +126,27 @@ impl<R: Real> MulticoreEngine<R> {
                     })
                     .collect()
             } else {
-                (0..n)
+                // Batched path: each worker claims a contiguous chunk of
+                // `grain` trials and runs the cache-blocked gather over
+                // it, reusing one plan/accumulator workspace per worker.
+                // Chunk results come back in index order, so the
+                // flattened columns match the sequential engine
+                // bit-for-bit.
+                let num_chunks = n.div_ceil(grain.max(1));
+                let per_chunk: Vec<Vec<(f64, f64)>> = (0..num_chunks)
                     .into_par_iter()
-                    .with_min_len(grain)
-                    .map_init(TrialWorkspace::<R>::new, |ws, i| {
-                        let r =
-                            ara_core::analysis::analyse_trial(prepared, inputs.yet.trial(i), ws);
-                        (r.year_loss.to_f64(), r.max_occ_loss.to_f64())
+                    .map_init(ara_core::BlockedWorkspace::<R>::new, |ws, c| {
+                        let lo = c * grain;
+                        let hi = (lo + grain).min(n);
+                        let mut year = Vec::with_capacity(hi - lo);
+                        let mut occ = Vec::with_capacity(hi - lo);
+                        ara_core::analyse_trials_blocked(
+                            prepared, &inputs.yet, lo..hi, ws, &mut year, &mut occ,
+                        );
+                        year.into_iter().zip(occ).collect()
                     })
-                    .collect()
+                    .collect();
+                per_chunk.into_iter().flatten().collect()
             }
         });
         if tracing {
@@ -163,21 +181,43 @@ impl<R: Real> Engine for MulticoreEngine<R> {
             .build()
             .expect("thread pool construction cannot fail for positive sizes");
         let start = Instant::now();
+        let cache = simt_sim::CacheModel::detect();
         let mut prepare_total = std::time::Duration::ZERO;
         let mut ids = Vec::with_capacity(inputs.layers.len());
         let mut ylts = Vec::with_capacity(inputs.layers.len());
         let mut total_stages = ara_trace::StageNanos::ZERO;
         for (li, layer) in inputs.layers.iter().enumerate() {
-            let _layer_span = ara_trace::recorder().span("layer").with_field("layer", li);
+            let tuning = simt_sim::tune_host(
+                &cache,
+                &simt_sim::HostWorkload {
+                    catalogue_size: inputs.yet.catalogue_size() as usize,
+                    num_elts: layer.num_elts(),
+                    num_trials: inputs.yet.num_trials(),
+                    events_per_trial: (inputs.yet.total_events() as usize
+                        / inputs.yet.num_trials().max(1))
+                    .max(1),
+                    value_bytes: R::BYTES,
+                    num_threads: self.threads,
+                },
+            );
+            let _layer_span = ara_trace::recorder()
+                .span("layer")
+                .with_field("layer", li)
+                .with_field("grain", tuning.schedule_grain)
+                .with_field("region_slots", tuning.region_slots)
+                .with_field("gather_chunk", tuning.gather_chunk);
             let p0 = Instant::now();
             let prepared = {
                 let _prepare_span = ara_trace::recorder().span("prepare");
                 PreparedLayer::<R>::prepare(inputs, layer)?
+                    .with_region_slots(tuning.region_slots)
+                    .with_gather_chunk(tuning.gather_chunk)
             };
             prepare_total += p0.elapsed();
             ids.push(layer.id);
             let stages_t0 = ara_trace::now_ns();
-            let (ylt, stages) = self.analyse_layer_parallel(&pool, inputs, &prepared);
+            let (ylt, stages) =
+                self.analyse_layer_parallel(&pool, inputs, &prepared, tuning.schedule_grain);
             if tracing {
                 stages.emit_spans(stages_t0);
                 total_stages.merge(&stages);
@@ -352,6 +392,7 @@ mod tests {
         let inputs = Scenario::new(ScenarioShape::smoke(), 13).build().unwrap();
         let reference = MulticoreEngine::<f64>::new(4).analyse(&inputs).unwrap();
         for schedule in [
+            Schedule::Dynamic,
             Schedule::Static,
             Schedule::Chunked(7),
             Schedule::Chunked(1000),

@@ -51,16 +51,38 @@ impl<R: Real> Engine for SequentialEngine<R> {
             .with_field("engine", self.name())
             .with_field("layers", inputs.layers.len());
         let start = Instant::now();
+        let cache = simt_sim::CacheModel::detect();
         let mut prepare_total = std::time::Duration::ZERO;
         let mut ids = Vec::with_capacity(inputs.layers.len());
         let mut ylts = Vec::with_capacity(inputs.layers.len());
         let mut total_stages = ara_trace::StageNanos::ZERO;
         for (li, layer) in inputs.layers.iter().enumerate() {
-            let _layer_span = ara_trace::recorder().span("layer").with_field("layer", li);
+            // Tune the blocked-gather knobs for this layer's table set
+            // before preparing (the shape is known from the layer alone).
+            let tuning = simt_sim::tune_host(
+                &cache,
+                &simt_sim::HostWorkload {
+                    catalogue_size: inputs.yet.catalogue_size() as usize,
+                    num_elts: layer.num_elts(),
+                    num_trials: inputs.yet.num_trials(),
+                    events_per_trial: (inputs.yet.total_events() as usize
+                        / inputs.yet.num_trials().max(1))
+                    .max(1),
+                    value_bytes: R::BYTES,
+                    num_threads: 1,
+                },
+            );
+            let _layer_span = ara_trace::recorder()
+                .span("layer")
+                .with_field("layer", li)
+                .with_field("region_slots", tuning.region_slots)
+                .with_field("gather_chunk", tuning.gather_chunk);
             let p0 = Instant::now();
             let prepared = {
                 let _prepare_span = ara_trace::recorder().span("prepare");
                 PreparedLayer::<R>::prepare(inputs, layer)?
+                    .with_region_slots(tuning.region_slots)
+                    .with_gather_chunk(tuning.gather_chunk)
             };
             prepare_total += p0.elapsed();
             ids.push(layer.id);
@@ -72,7 +94,13 @@ impl<R: Real> Engine for SequentialEngine<R> {
                 total_stages.merge(&stages);
                 ylts.push(ylt);
             } else {
-                ylts.push(ara_core::analysis::analyse_layer(&prepared, &inputs.yet));
+                // The cache-blocked batch path — bit-identical to the
+                // per-trial loop, but each table slab is loaded once per
+                // batch instead of once per touching event.
+                ylts.push(ara_core::analysis::analyse_layer_blocked(
+                    &prepared,
+                    &inputs.yet,
+                ));
             }
         }
         Ok(AnalysisOutput {

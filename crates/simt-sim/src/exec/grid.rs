@@ -1,5 +1,10 @@
 //! Launch geometry.
 
+/// Default blocks dispatched per worker run: enough to amortize the
+/// per-task dispatch and shared-memory setup cost while still leaving
+/// plenty of runs for work stealing to balance.
+pub const DEFAULT_BLOCKS_PER_RUN: u32 = 8;
+
 /// Geometry of one kernel launch: how many work items to cover and how
 /// many threads per block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -8,6 +13,10 @@ pub struct LaunchConfig {
     pub num_items: usize,
     /// Threads per block (CUDA `blockDim.x`).
     pub block_dim: u32,
+    /// Consecutive blocks executed by one worker task, sharing one
+    /// shared-memory arena (host-side dispatch batching; invisible to the
+    /// kernel's semantics). Never zero.
+    pub blocks_per_run: u32,
 }
 
 impl LaunchConfig {
@@ -21,7 +30,22 @@ impl LaunchConfig {
         LaunchConfig {
             num_items,
             block_dim,
+            blocks_per_run: DEFAULT_BLOCKS_PER_RUN,
         }
+    }
+
+    /// Set how many consecutive blocks each worker task executes
+    /// (clamped to at least 1). Larger runs amortize dispatch and reuse
+    /// one shared-memory arena across the run's blocks; smaller runs
+    /// give the scheduler more pieces to balance.
+    pub fn with_blocks_per_run(mut self, blocks_per_run: u32) -> Self {
+        self.blocks_per_run = blocks_per_run.max(1);
+        self
+    }
+
+    /// Number of worker runs: `ceil(grid_dim / blocks_per_run)`.
+    pub fn num_runs(&self) -> u32 {
+        self.grid_dim().div_ceil(self.blocks_per_run.max(1))
     }
 
     /// Number of blocks: `ceil(num_items / block_dim)` (CUDA
@@ -86,5 +110,16 @@ mod tests {
     #[should_panic(expected = "block_dim")]
     fn zero_block_dim_panics() {
         LaunchConfig::new(10, 0);
+    }
+
+    #[test]
+    fn runs_round_up_and_clamp() {
+        let cfg = LaunchConfig::new(1000, 256); // 4 blocks
+        assert_eq!(cfg.with_blocks_per_run(1).num_runs(), 4);
+        assert_eq!(cfg.with_blocks_per_run(3).num_runs(), 2);
+        assert_eq!(cfg.with_blocks_per_run(100).num_runs(), 1);
+        // Zero is clamped to one block per run.
+        assert_eq!(cfg.with_blocks_per_run(0).num_runs(), 4);
+        assert_eq!(LaunchConfig::new(0, 256).num_runs(), 0);
     }
 }

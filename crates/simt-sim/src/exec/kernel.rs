@@ -41,6 +41,19 @@ pub trait Kernel<Out: Send>: Sync {
     /// declarations).
     fn init_shared(&self, block: u32) -> Self::Shared;
 
+    /// Recycle a previous block's shared memory for block `block`. The
+    /// launcher runs several consecutive blocks per worker task and calls
+    /// this between them, so kernels with large shared arenas can clear
+    /// in place instead of reallocating. The default reallocates via
+    /// [`Kernel::init_shared`], which is always correct.
+    ///
+    /// Implementations must leave `shared` exactly as `init_shared(block)`
+    /// would have produced it — block results may not depend on which
+    /// path allocated their shared memory.
+    fn reset_shared(&self, block: u32, shared: &mut Self::Shared) {
+        *shared = self.init_shared(block);
+    }
+
     /// Execute one block. `out` is the block's slice of the launch
     /// output: `out[t.local]` is thread `t`'s slot (`out.len()` equals
     /// the block's *active* thread count — shorter than `block_dim` in

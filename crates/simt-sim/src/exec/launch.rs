@@ -25,6 +25,12 @@ pub struct LaunchStats {
 /// item into `out`. Blocks run in parallel on the current rayon pool;
 /// the result is identical to sequential block execution.
 ///
+/// Dispatch is batched: each worker task executes a *run* of
+/// `cfg.blocks_per_run` consecutive blocks, allocating shared memory once
+/// per run and recycling it between blocks via [`Kernel::reset_shared`].
+/// This amortizes task dispatch and shared-arena allocation without
+/// changing any block's inputs or outputs.
+///
 /// ```
 /// use simt_sim::{launch, BlockCtx, Kernel, LaunchConfig};
 ///
@@ -58,25 +64,38 @@ where
         .span("simt.launch")
         .with_field("grid_dim", cfg.grid_dim())
         .with_field("block_dim", cfg.block_dim)
+        .with_field("blocks_per_run", cfg.blocks_per_run)
         .with_field("num_items", cfg.num_items);
     let start = Instant::now();
     let block_dim = cfg.block_dim as usize;
+    let blocks_per_run = cfg.blocks_per_run.max(1) as usize;
     let total_phases: u64 = if cfg.num_items == 0 {
         0
     } else {
-        out.par_chunks_mut(block_dim)
+        out.par_chunks_mut(block_dim * blocks_per_run)
             .enumerate()
-            .map(|(b, chunk)| {
-                // Per-block spans are Debug-level: a launch can dispatch
-                // thousands of blocks, so they are kept only when
-                // explicitly asked for.
-                let _block_span = ara_trace::recorder()
-                    .span_at(ara_trace::Level::Debug, "simt.block")
-                    .with_field("block", b);
-                let mut shared = kernel.init_shared(b as u32);
-                let mut ctx = BlockCtx::new(b as u32, cfg, &mut shared);
-                kernel.run_block(&mut ctx, chunk);
-                ctx.phase_count() as u64
+            .map(|(run, run_out)| {
+                let first = run * blocks_per_run;
+                let mut shared: Option<K::Shared> = None;
+                let mut phases = 0u64;
+                for (i, chunk) in run_out.chunks_mut(block_dim).enumerate() {
+                    let b = (first + i) as u32;
+                    // Per-block spans are Debug-level: a launch can
+                    // dispatch thousands of blocks, so they are kept only
+                    // when explicitly asked for.
+                    let _block_span = ara_trace::recorder()
+                        .span_at(ara_trace::Level::Debug, "simt.block")
+                        .with_field("block", b);
+                    match shared.as_mut() {
+                        Some(s) => kernel.reset_shared(b, s),
+                        None => shared = Some(kernel.init_shared(b)),
+                    }
+                    let arena = shared.as_mut().expect("arena initialized above");
+                    let mut ctx = BlockCtx::new(b, cfg, arena);
+                    kernel.run_block(&mut ctx, chunk);
+                    phases += ctx.phase_count() as u64;
+                }
+                phases
             })
             .sum()
     };
@@ -200,6 +219,79 @@ mod tests {
         fn init_shared(&self, _b: u32) {}
         fn run_block(&self, ctx: &mut BlockCtx<'_, ()>, out: &mut [u32]) {
             ctx.for_each_thread(|t, _| out[t.local as usize] = t.global as u32 + 1);
+        }
+    }
+
+    /// Kernel that counts arena allocations vs recycles, with an in-place
+    /// `reset_shared` override.
+    struct ArenaKernel {
+        inits: std::sync::atomic::AtomicUsize,
+        resets: std::sync::atomic::AtomicUsize,
+    }
+
+    impl ArenaKernel {
+        fn new() -> Self {
+            ArenaKernel {
+                inits: std::sync::atomic::AtomicUsize::new(0),
+                resets: std::sync::atomic::AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl Kernel<u64> for ArenaKernel {
+        type Shared = Vec<u64>;
+
+        fn init_shared(&self, _block: u32) -> Vec<u64> {
+            self.inits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Vec::new()
+        }
+
+        fn reset_shared(&self, _block: u32, shared: &mut Vec<u64>) {
+            self.resets.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            shared.clear();
+        }
+
+        fn run_block(&self, ctx: &mut BlockCtx<'_, Vec<u64>>, out: &mut [u64]) {
+            let n = ctx.active_threads() as usize;
+            ctx.shared().resize(n, 0);
+            ctx.for_each_thread(|t, s| s[t.local as usize] = t.global as u64 + 1);
+            ctx.for_each_thread(|t, s| out[t.local as usize] = s[t.local as usize]);
+        }
+    }
+
+    #[test]
+    fn runs_allocate_one_arena_and_recycle_the_rest() {
+        let kernel = ArenaKernel::new();
+        let cfg = LaunchConfig::new(1000, 128).with_blocks_per_run(3);
+        // 8 blocks in runs of 3 → 3 runs: one allocation each, the other
+        // five blocks recycle.
+        let mut out = vec![0u64; 1000];
+        let stats = launch(cfg, &kernel, &mut out);
+        assert_eq!(stats.grid_dim, 8);
+        assert_eq!(cfg.num_runs(), 3);
+        assert_eq!(kernel.inits.load(std::sync::atomic::Ordering::Relaxed), 3);
+        assert_eq!(kernel.resets.load(std::sync::atomic::Ordering::Relaxed), 5);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
+    }
+
+    #[test]
+    fn results_identical_across_blocks_per_run() {
+        let mut reference = vec![0u64; 777];
+        launch(
+            LaunchConfig::new(777, 32).with_blocks_per_run(1),
+            &SquareKernel,
+            &mut reference,
+        );
+        for bpr in [2, 3, 8, 64] {
+            let mut out = vec![0u64; 777];
+            let stats = launch(
+                LaunchConfig::new(777, 32).with_blocks_per_run(bpr),
+                &SquareKernel,
+                &mut out,
+            );
+            assert_eq!(out, reference, "blocks_per_run = {bpr}");
+            // Phase accounting is per block, not per run.
+            assert_eq!(stats.total_phases, 3 * stats.grid_dim as u64);
         }
     }
 

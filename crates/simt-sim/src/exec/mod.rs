@@ -23,6 +23,6 @@ mod kernel;
 mod launch;
 
 pub use block::BlockCtx;
-pub use grid::LaunchConfig;
+pub use grid::{LaunchConfig, DEFAULT_BLOCKS_PER_RUN};
 pub use kernel::{Kernel, ThreadCtx};
 pub use launch::{launch, launch_in, LaunchStats};

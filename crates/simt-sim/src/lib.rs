@@ -31,8 +31,12 @@ pub mod exec;
 pub mod model;
 
 pub use device::{CpuSpec, DeviceSpec};
-pub use exec::{launch, launch_in, BlockCtx, Kernel, LaunchConfig, LaunchStats, ThreadCtx};
+pub use exec::{
+    launch, launch_in, BlockCtx, Kernel, LaunchConfig, LaunchStats, ThreadCtx,
+    DEFAULT_BLOCKS_PER_RUN,
+};
 pub use model::{
-    CpuTimingModel, KernelProfile, KernelTiming, MemSpace, MultiGpuTiming, Occupancy, Precision,
-    TraceOp,
+    tune_blocks_per_run, tune_gather_chunk, tune_host, tune_region_slots, tune_schedule_grain,
+    CacheModel, CpuTimingModel, HostTuning, HostWorkload, KernelProfile, KernelTiming, MemSpace,
+    MultiGpuTiming, Occupancy, Precision, TraceOp,
 };

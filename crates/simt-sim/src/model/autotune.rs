@@ -1,10 +1,17 @@
-//! Launch-configuration autotuning.
+//! Launch-configuration and host-side autotuning.
 //!
 //! The paper finds its block sizes empirically (Figures 2 and 4: sweep,
 //! pick the fastest feasible). With a performance model the sweep is
 //! free, so the tuner does exactly that: evaluate the candidate block
 //! sizes, discard infeasible ones (shared-memory overflow), and return
 //! the fastest.
+//!
+//! A second family of tuners ([`tune_host`] and friends) sizes the
+//! *host*-side hot-path knobs — gather chunk, region slots, multicore
+//! schedule grain, blocks per worker run — from the machine's cache
+//! hierarchy ([`CacheModel::detect`]) and the workload's shape. Engines
+//! call these once at prepare time and record the chosen values as trace
+//! span fields.
 
 use crate::device::DeviceSpec;
 use crate::model::timing::{estimate_kernel, KernelTiming};
@@ -59,6 +66,187 @@ pub fn best_block_dim(
                 .expect("feasible timings are finite")
         })
         .map(|p| (p.block_dim, p.timing))
+}
+
+/// The host's cache hierarchy, as seen by the hot-path tuners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheModel {
+    /// Per-core L1 data cache in bytes.
+    pub l1d_bytes: usize,
+    /// Per-core L2 cache in bytes.
+    pub l2_bytes: usize,
+    /// Last-level (shared) cache in bytes.
+    pub llc_bytes: usize,
+}
+
+impl CacheModel {
+    /// Conservative defaults used when detection is unavailable: a small
+    /// desktop part (32 KiB / 1 MiB / 8 MiB). Erring small only shrinks
+    /// blocks, which is correct everywhere.
+    pub const FALLBACK: CacheModel = CacheModel {
+        l1d_bytes: 32 << 10,
+        l2_bytes: 1 << 20,
+        llc_bytes: 8 << 20,
+    };
+
+    /// Detect the cache hierarchy from `/sys/devices/system/cpu` (Linux);
+    /// falls back to [`CacheModel::FALLBACK`] per missing level.
+    pub fn detect() -> CacheModel {
+        Self::from_sysfs("/sys/devices/system/cpu/cpu0/cache")
+    }
+
+    fn from_sysfs(dir: &str) -> CacheModel {
+        let mut model = Self::FALLBACK;
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return model;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let read = |name: &str| {
+                std::fs::read_to_string(path.join(name))
+                    .map(|s| s.trim().to_string())
+                    .unwrap_or_default()
+            };
+            let level = read("level");
+            let ty = read("type");
+            let Some(size) = parse_cache_size(&read("size")) else {
+                continue;
+            };
+            match (level.as_str(), ty.as_str()) {
+                ("1", "Data") | ("1", "Unified") => model.l1d_bytes = size,
+                ("2", _) if ty != "Instruction" => model.l2_bytes = size,
+                ("3" | "4", _) if ty != "Instruction" => {
+                    model.llc_bytes = model.llc_bytes.max(size)
+                }
+                _ => {}
+            }
+        }
+        // A two-level hierarchy's LLC is its L2.
+        model.llc_bytes = model.llc_bytes.max(model.l2_bytes);
+        model
+    }
+}
+
+/// Parse sysfs cache sizes like `48K` or `2M` into bytes.
+fn parse_cache_size(s: &str) -> Option<usize> {
+    let s = s.trim();
+    let (digits, mult) = match s.as_bytes().last()? {
+        b'K' => (&s[..s.len() - 1], 1usize << 10),
+        b'M' => (&s[..s.len() - 1], 1 << 20),
+        b'G' => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    digits.parse::<usize>().ok().map(|v| v * mult)
+}
+
+/// Shape of the hot path as seen by the host-side tuners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostWorkload {
+    /// Event-catalogue size (slots per direct-access table).
+    pub catalogue_size: usize,
+    /// ELTs in the layer (tables gathered per event).
+    pub num_elts: usize,
+    /// Trials in the year-event table.
+    pub num_trials: usize,
+    /// Average events per trial.
+    pub events_per_trial: usize,
+    /// Bytes per loss value (4 for `f32`, 8 for `f64`).
+    pub value_bytes: usize,
+    /// Worker threads the analysis will run on.
+    pub num_threads: usize,
+}
+
+/// The knobs chosen by [`tune_host`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostTuning {
+    /// Events per gather chunk in the staged per-trial paths.
+    pub gather_chunk: usize,
+    /// Catalogue slots per blocked-gather region.
+    pub region_slots: usize,
+    /// Trials per multicore schedule grain.
+    pub schedule_grain: usize,
+    /// Blocks per worker run for simulated-GPU launches covering
+    /// `num_trials` items at the workload's block size.
+    pub blocks_per_run: u32,
+}
+
+/// Largest power of two `<= x` (1 for `x == 0`).
+fn floor_pow2(x: usize) -> usize {
+    if x == 0 {
+        1
+    } else {
+        1 << (usize::BITS - 1 - x.leading_zeros())
+    }
+}
+
+/// Events per gather chunk: the staged paths hold two `value_bytes`
+/// scratch rows (ground-up and combined) per in-flight event, which
+/// should sit in L1d with room left for the table lines the gather pulls
+/// in. Power of two in `[256, 8192]`.
+pub fn tune_gather_chunk(cache: &CacheModel, workload: &HostWorkload) -> usize {
+    let per_event = 4 * workload.value_bytes.max(1);
+    floor_pow2(cache.l1d_bytes / per_event.max(1)).clamp(256, 8192)
+}
+
+/// Catalogue slots per blocked-gather region.
+///
+/// If the layer's direct-access tables all fit in half the last-level
+/// cache, region blocking is pure overhead: return the catalogue size so
+/// the blocked path takes its single-region streaming fast path. On
+/// cache-starved hosts, size regions so one slab per table fits in half
+/// the L2. Power of two in `[1024, 65536]` (or the catalogue, if
+/// smaller).
+pub fn tune_region_slots(cache: &CacheModel, workload: &HostWorkload) -> usize {
+    let table_bytes = workload
+        .num_elts
+        .max(1)
+        .saturating_mul(workload.catalogue_size)
+        .saturating_mul(workload.value_bytes.max(1));
+    if table_bytes * 2 <= cache.llc_bytes {
+        return workload.catalogue_size.max(1);
+    }
+    let slab = workload.num_elts.max(1) * workload.value_bytes.max(1);
+    let slots = floor_pow2(cache.l2_bytes / 2 / slab.max(1)).clamp(1024, 65536);
+    slots.min(workload.catalogue_size.max(1))
+}
+
+/// Trials per multicore schedule grain: coarse enough that each grain
+/// amortizes its workspace (a few thousand events), fine enough to leave
+/// roughly eight grains per thread for work stealing to balance.
+pub fn tune_schedule_grain(workload: &HostWorkload) -> usize {
+    if workload.num_trials == 0 {
+        return 1;
+    }
+    let balance = workload
+        .num_trials
+        .div_ceil(workload.num_threads.max(1) * 8);
+    let amortize = 4096usize.div_ceil(workload.events_per_trial.max(1));
+    balance.max(amortize).min(workload.num_trials)
+}
+
+/// Blocks per worker run for a `grid_dim`-block launch: batch dispatch so
+/// there are about four runs per worker thread, capped at 64 blocks so a
+/// single run never grows unboundedly.
+pub fn tune_blocks_per_run(grid_dim: u32, num_threads: usize) -> u32 {
+    if grid_dim == 0 {
+        return 1;
+    }
+    let target_runs = (num_threads.max(1) * 4) as u32;
+    grid_dim.div_ceil(target_runs).clamp(1, 64)
+}
+
+/// All host-side knobs at once, for a launch whose grid covers
+/// `workload.num_trials` items in blocks of 256 threads (the blocks-per-
+/// run choice is insensitive to the exact block size; engines with a
+/// different geometry call [`tune_blocks_per_run`] directly).
+pub fn tune_host(cache: &CacheModel, workload: &HostWorkload) -> HostTuning {
+    let grid_dim = (workload.num_trials.div_ceil(256)) as u32;
+    HostTuning {
+        gather_chunk: tune_gather_chunk(cache, workload),
+        region_slots: tune_region_slots(cache, workload),
+        schedule_grain: tune_schedule_grain(workload),
+        blocks_per_run: tune_blocks_per_run(grid_dim, workload.num_threads),
+    }
 }
 
 #[cfg(test)]
@@ -124,5 +312,99 @@ mod tests {
         // 4 KB of shared per thread: even 16 threads need 64 KB.
         let dev = crate::DeviceSpec::tesla_c2075();
         assert!(best_block_dim(&dev, &profile(4096, 40, 24.0), 1000).is_none());
+    }
+
+    /// The bench workload: 200 k-slot catalogue × 15 ELTs of f64 = 24 MB
+    /// of tables.
+    fn bench_workload() -> HostWorkload {
+        HostWorkload {
+            catalogue_size: 200_000,
+            num_elts: 15,
+            num_trials: 10_000,
+            events_per_trial: 100,
+            value_bytes: 8,
+            num_threads: 8,
+        }
+    }
+
+    #[test]
+    fn big_llc_hosts_stream_the_whole_catalogue() {
+        // 24 MB of tables ≪ a 64 MB LLC: one region, streaming path.
+        let cache = CacheModel {
+            l1d_bytes: 48 << 10,
+            l2_bytes: 2 << 20,
+            llc_bytes: 64 << 20,
+        };
+        assert_eq!(tune_region_slots(&cache, &bench_workload()), 200_000);
+    }
+
+    #[test]
+    fn cache_starved_hosts_get_l2_sized_regions() {
+        let cache = CacheModel::FALLBACK; // 8 MB LLC < 2 × 24 MB of tables
+        let slots = tune_region_slots(&cache, &bench_workload());
+        assert!(slots.is_power_of_two());
+        assert!((1024..=65536).contains(&slots));
+        // One slab per table must fit in half the L2.
+        assert!(slots * 15 * 8 <= cache.l2_bytes / 2);
+    }
+
+    #[test]
+    fn tiny_catalogues_never_get_oversized_regions() {
+        let mut w = bench_workload();
+        w.catalogue_size = 500;
+        let slots = tune_region_slots(&CacheModel::FALLBACK, &w);
+        assert_eq!(slots, 500);
+    }
+
+    #[test]
+    fn gather_chunk_is_l1_sized() {
+        let chunk = tune_gather_chunk(&CacheModel::FALLBACK, &bench_workload());
+        assert!(chunk.is_power_of_two());
+        assert!((256..=8192).contains(&chunk));
+        // 32 KiB L1, 32 B per in-flight f64 event → 1024.
+        assert_eq!(chunk, 1024);
+    }
+
+    #[test]
+    fn schedule_grain_balances_and_amortizes() {
+        let w = bench_workload();
+        // 10 k trials / (8 threads × 8) → ~157; amortize floor is
+        // 4096 events / 100 per trial → 41.
+        assert_eq!(tune_schedule_grain(&w), 157);
+        let mut single = w;
+        single.num_threads = 1;
+        assert_eq!(tune_schedule_grain(&single), 1250);
+        let mut sparse = w;
+        sparse.events_per_trial = 2;
+        // Amortization dominates: 4096 / 2 = 2048 trials per grain.
+        assert_eq!(tune_schedule_grain(&sparse), 2048);
+        let mut empty = w;
+        empty.num_trials = 0;
+        assert_eq!(tune_schedule_grain(&empty), 1);
+    }
+
+    #[test]
+    fn blocks_per_run_targets_four_runs_per_thread() {
+        // 3907 blocks on 8 threads → 123, capped at 64.
+        assert_eq!(tune_blocks_per_run(3907, 8), 64);
+        assert_eq!(tune_blocks_per_run(40, 8), 2);
+        // Fewer blocks than run slots: one block per run.
+        assert_eq!(tune_blocks_per_run(8, 8), 1);
+        assert_eq!(tune_blocks_per_run(0, 8), 1);
+    }
+
+    #[test]
+    fn detect_returns_positive_sizes() {
+        let c = CacheModel::detect();
+        assert!(c.l1d_bytes > 0 && c.l2_bytes > 0 && c.llc_bytes >= c.l2_bytes);
+    }
+
+    #[test]
+    fn cache_size_parsing() {
+        assert_eq!(parse_cache_size("48K"), Some(48 << 10));
+        assert_eq!(parse_cache_size("2M"), Some(2 << 20));
+        assert_eq!(parse_cache_size("262144"), Some(262_144));
+        assert_eq!(parse_cache_size(""), None);
+        assert_eq!(parse_cache_size("weird"), None);
     }
 }

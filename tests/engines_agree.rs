@@ -171,6 +171,95 @@ fn option_heavy_workloads_agree_across_engines() {
     }
 }
 
+/// The scalar per-trial loop (`analyse_layer_scalar`) is the pre-batching
+/// reference semantics. Every engine now runs the batched/blocked hot
+/// path, so this is the direct check that the rewrite changed speed, not
+/// results.
+#[test]
+fn engines_match_the_scalar_oracle_through_the_batched_path() {
+    use aggregate_risk::core::analysis::analyse_layer_scalar;
+    use aggregate_risk::core::PreparedLayer;
+
+    for (name, shape) in shapes() {
+        let inputs = Scenario::new(shape, 1234).build().unwrap();
+        let oracle: Vec<_> = inputs
+            .layers
+            .iter()
+            .map(|layer| {
+                let prepared = PreparedLayer::<f64>::prepare(&inputs, layer).unwrap();
+                analyse_layer_scalar(&prepared, &inputs.yet)
+            })
+            .collect();
+
+        // Bit-identical engines: their element-wise stages and reduction
+        // order are unchanged by batching.
+        let exact: Vec<Box<dyn Engine>> = vec![
+            Box::new(SequentialEngine::<f64>::new()),
+            Box::new(MulticoreEngine::<f64>::new(4)),
+            Box::new(GpuBasicEngine::new()),
+        ];
+        for engine in &exact {
+            let out = engine.analyse(&inputs).unwrap();
+            for (i, reference) in oracle.iter().enumerate() {
+                assert_eq!(
+                    out.portfolio.layer_ylt(i).year_losses(),
+                    reference.year_losses(),
+                    "{name}: {} layer {i} vs scalar oracle",
+                    engine.name()
+                );
+                assert_eq!(
+                    out.portfolio.layer_ylt(i).max_occurrence_losses(),
+                    reference.max_occurrence_losses(),
+                    "{name}: {} layer {i} max-occ vs scalar oracle",
+                    engine.name()
+                );
+            }
+        }
+
+        // Chunked engines reassociate the aggregate reduction across
+        // chunk boundaries (pre-existing behaviour, not batching).
+        let near: Vec<Box<dyn Engine>> = vec![
+            Box::new(GpuOptimizedEngine::<f64>::new()),
+            Box::new(MultiGpuEngine::<f64>::new(3)),
+        ];
+        for engine in &near {
+            let out = engine.analyse(&inputs).unwrap();
+            for (i, reference) in oracle.iter().enumerate() {
+                let d = out.portfolio.layer_ylt(i).max_rel_diff(reference).unwrap();
+                assert!(d < 1e-9, "{name}: {} layer {i} rel diff {d}", engine.name());
+            }
+        }
+    }
+}
+
+/// Every multicore schedule — including the autotuned default — must
+/// route through the blocked gather to the same bits.
+#[test]
+fn multicore_schedules_agree_with_scalar_oracle() {
+    use aggregate_risk::engine::Schedule;
+
+    let inputs = Scenario::new(ScenarioShape::smoke(), 77).build().unwrap();
+    let reference = SequentialEngine::<f64>::new().analyse(&inputs).unwrap();
+    for schedule in [
+        Schedule::Auto,
+        Schedule::Dynamic,
+        Schedule::Static,
+        Schedule::Chunked(13),
+    ] {
+        let out = MulticoreEngine::<f64>::new(4)
+            .with_schedule(schedule)
+            .analyse(&inputs)
+            .unwrap();
+        for i in 0..reference.portfolio.num_layers() {
+            assert_eq!(
+                out.portfolio.layer_ylt(i).year_losses(),
+                reference.portfolio.layer_ylt(i).year_losses(),
+                "{schedule:?} layer {i}"
+            );
+        }
+    }
+}
+
 #[test]
 fn engine_names_are_distinct() {
     let engines: Vec<Box<dyn Engine>> = vec![

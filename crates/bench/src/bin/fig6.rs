@@ -6,7 +6,10 @@
 //! the numeric computations take 0.02 s (≈5000× the sequential rate).
 
 use ara_bench::report::{pct, secs};
-use ara_bench::{paper_shape, Table};
+use ara_bench::{
+    measure_labelled, measured_label, paper_shape, repeat_from_args, small_inputs, Table,
+    MEASURED_SCALE_NOTE,
+};
 use ara_engine::{
     Engine, GpuBasicEngine, GpuOptimizedEngine, MultiGpuEngine, MulticoreEngine, SequentialEngine,
 };
@@ -48,7 +51,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             secs(m.breakdown.financial + m.breakdown.layer),
         ])?;
     }
-    ara_bench::emit("fig6", &[&table])?;
+    // Measured companion: the same percentage split from the real
+    // engines' stage instrumentation (ara-trace) on the small workload.
+    // The recorder stays enabled across the timed repeats so every run
+    // reports `measured` — the sidecar samples therefore include the
+    // (gated, small) instrumentation cost.
+    let inputs = small_inputs(42);
+    let repeats = repeat_from_args();
+    let mut measured = Table::new(
+        format!("Figure 6 companion — {}", measured_label()),
+        &[
+            "implementation",
+            "total",
+            "fetch events",
+            "loss lookup",
+            "financial terms",
+            "layer terms",
+        ],
+    );
+    ara_trace::recorder().enable(ara_trace::Level::Info);
+    for engine in &engines {
+        let (out, total) = measure_labelled(&format!("fig6.{}", engine.name()), repeats, || {
+            engine.analyse(&inputs).expect("valid inputs")
+        });
+        let b = out
+            .measured
+            .expect("recorder enabled, engines report stage times");
+        let (f, l, fi, la) = b.percentages();
+        measured.row(&[
+            engine.name().to_string(),
+            secs(total),
+            pct(f),
+            pct(l),
+            pct(fi),
+            pct(la),
+        ])?;
+    }
+    let _ = ara_trace::recorder().drain();
+    ara_trace::recorder().disable();
+
+    ara_bench::emit("fig6", &[&table, &measured])?;
+    println!("{MEASURED_SCALE_NOTE}");
     println!("paper anchors: sequential lookup 222.61 s (>65%), numeric 104.67 s (~31%);");
     println!("multi-GPU lookup 4.25 s (97.54% of 4.33 s), numeric 0.02 s (~5000x sequential);");
     println!(

@@ -8,9 +8,13 @@
 //! lookup latency — predicting how the 77× headline would have moved.
 
 use ara_bench::report::{secs, speedup};
-use ara_bench::{paper_shape, Table};
+use ara_bench::{
+    measure_labelled, measured_label, paper_shape, repeat_from_args, small_inputs, Table,
+    MEASURED_SCALE_NOTE,
+};
 use ara_engine::{
-    basic_kernel_profile, optimised_kernel_profile, Engine, OptFlags, SequentialEngine,
+    basic_kernel_profile, optimised_kernel_profile, Engine, GpuOptimizedEngine, MultiGpuEngine,
+    MulticoreEngine, OptFlags, SequentialEngine,
 };
 use simt_sim::model::autotune::best_block_dim;
 use simt_sim::model::multi_gpu::multi_gpu_timing;
@@ -79,7 +83,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             speedup(seq / four.compute_seconds),
         ])?;
     }
-    ara_bench::emit("table_hardware", &[&table])?;
+    // Measured anchor: the functional engines on *this* host at small
+    // scale. The projection table above is a model; this pins the model
+    // run to real wall times so a sidecar reader can tell how fast the
+    // machine that produced the projection actually was.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let inputs = small_inputs(42);
+    let repeats = repeat_from_args();
+    let anchors: Vec<Box<dyn Engine>> = vec![
+        Box::new(SequentialEngine::<f64>::new()),
+        Box::new(MulticoreEngine::<f64>::new(cores)),
+        Box::new(GpuOptimizedEngine::<f32>::new()),
+        Box::new(MultiGpuEngine::<f32>::new(4)),
+    ];
+    let mut anchor_table = Table::new(
+        format!("Host anchor — {}", measured_label()),
+        &["engine", "measured", "speedup vs sequential"],
+    );
+    let mut seq_host = None;
+    for engine in &anchors {
+        let (_, t) = measure_labelled(
+            &format!("table_hardware.{}", engine.name()),
+            repeats,
+            || engine.analyse(&inputs).expect("valid inputs"),
+        );
+        let seq_host = *seq_host.get_or_insert(t);
+        anchor_table.row(&[
+            engine.name().to_string(),
+            secs(t),
+            speedup(seq_host / t),
+        ])?;
+    }
+
+    ara_bench::emit("table_hardware", &[&table, &anchor_table])?;
+    println!("{MEASURED_SCALE_NOTE}");
     println!("paper anchors: C2075 basic 38.49 s / optimised 20.63 s; 4x M2090 = 4.35 s = 77x.");
     println!("projection: the Fermi-tuned 86-event chunk must shrink on Kepler — the SMX");
     println!("doubled resident warps but kept 48 KB of shared memory, so occupancy (not");

@@ -30,16 +30,23 @@
 //!
 //! All timing binaries take `--repeat N` (default 3): each measurement
 //! runs once untimed as warmup, then `N` timed repeats, reporting the
-//! minimum (the least-interfered-with run on a shared machine).
+//! minimum (the least-interfered-with run on a shared machine). Every
+//! repeat sample is additionally retained and lands, together with a
+//! [`perf::RunManifest`] provenance block, in the binary's
+//! `BENCH_*.json` sidecar — the raw material of the [`perf`] baseline
+//! store and regression gate (`ara perf record|compare|gate|report`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod perf;
 pub mod report;
 pub mod runner;
 
-pub use report::{bytes, emit, pct, secs, speedup, write_sidecar, ReportError, Table};
+pub use report::{
+    bytes, emit, pct, results_json_full, secs, speedup, write_sidecar, ReportError, Table,
+};
 pub use runner::{
-    bench_inputs, measure, measure_min, measured_label, paper_shape, repeat_from_args,
-    small_inputs, MEASURED_SCALE_NOTE,
+    bench_inputs, drain_samples, measure, measure_labelled, measure_min, measured_label,
+    paper_shape, repeat_from_args, small_inputs, MEASURED_SCALE_NOTE,
 };

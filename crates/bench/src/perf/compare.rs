@@ -1,0 +1,310 @@
+//! Statistical run comparison: bootstrap CIs over the repeat samples,
+//! with a noise band, so the gate fails only on regressions the data can
+//! actually support.
+//!
+//! The rule: bootstrap a confidence interval on each side's *median*
+//! wall time. A regression is confirmed only when the candidate's lower
+//! CI bound clears the baseline's upper bound scaled by the
+//! allowed-regression threshold — i.e. the interval itself excludes the
+//! allowed slowdown — *and* the median moved by more than an absolute
+//! noise floor (sub-millisecond scheduler jitter can never fail a
+//! build on its own). Symmetrically, an improvement is only claimed
+//! when the intervals separate the other way.
+
+use super::history::RunRecord;
+use ara_metrics::bootstrap::{bootstrap_ci, ConfidenceInterval};
+use ara_metrics::stats;
+
+/// Stage labels, in [`RunRecord::stage_secs`] order.
+pub const STAGE_LABELS: [&str; 4] = [
+    ara_trace::stage_names::FETCH,
+    ara_trace::stage_names::LOOKUP,
+    ara_trace::stage_names::FINANCIAL,
+    ara_trace::stage_names::LAYER,
+];
+
+/// What the gate tolerates before failing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatePolicy {
+    /// Allowed median slowdown, in percent. The default (25%) is
+    /// deliberately tolerant: wall-clock on shared runners wobbles
+    /// double-digit percent between back-to-back runs, and the gate's
+    /// job is to catch 2×-class accidents (an un-gated recorder, an
+    /// accidentally quadratic loop), not to certify single-digit
+    /// deltas. Tighten with `--threshold` on a quiet dedicated host.
+    pub allowed_regression_pct: f64,
+    /// Absolute noise floor in seconds: median deltas below this never
+    /// gate, whatever the intervals say (default 500 µs).
+    pub noise_floor_secs: f64,
+    /// Bootstrap confidence level (default 0.95).
+    pub confidence: f64,
+    /// Bootstrap replicates per side (default 400).
+    pub replicates: usize,
+}
+
+impl Default for GatePolicy {
+    fn default() -> Self {
+        GatePolicy {
+            allowed_regression_pct: 25.0,
+            noise_floor_secs: 5e-4,
+            confidence: 0.95,
+            replicates: 400,
+        }
+    }
+}
+
+/// Outcome of one benchmark's baseline-vs-candidate comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The intervals overlap the allowed band: no statistically
+    /// supported movement beyond the threshold.
+    Pass,
+    /// The candidate's CI excludes the allowed regression: fail.
+    Regressed,
+    /// The candidate's CI sits wholly below the baseline's.
+    Improved,
+    /// The benchmark has no baseline on this host yet.
+    NoBaseline,
+}
+
+/// The worst-moving stage of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageDelta {
+    /// Canonical stage name.
+    pub stage: &'static str,
+    /// Baseline stage seconds.
+    pub baseline_secs: f64,
+    /// Candidate stage seconds.
+    pub candidate_secs: f64,
+}
+
+impl StageDelta {
+    /// Candidate minus baseline, seconds.
+    pub fn delta_secs(&self) -> f64 {
+        self.candidate_secs - self.baseline_secs
+    }
+}
+
+/// One benchmark's full comparison record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Bootstrap CI of the baseline median (absent for [`Verdict::NoBaseline`]).
+    pub baseline: Option<ConfidenceInterval>,
+    /// Bootstrap CI of the candidate median.
+    pub candidate: ConfidenceInterval,
+    /// Candidate median over baseline median (1.0 when no baseline).
+    pub ratio: f64,
+    /// The verdict under the policy used.
+    pub verdict: Verdict,
+    /// The stage whose absolute time moved the most, when stage data is
+    /// present on both sides.
+    pub worst_stage: Option<StageDelta>,
+}
+
+/// Deterministic per-benchmark bootstrap seed (FNV-1a of the name), so
+/// reruns of the gate are reproducible.
+fn seed_for(benchmark: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in benchmark.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Bootstrap CI of a sample's median under `policy`.
+pub fn median_ci(samples: &[f64], policy: &GatePolicy, seed: u64) -> ConfidenceInterval {
+    bootstrap_ci(
+        samples,
+        |s| stats::quantile(s, 0.5),
+        policy.replicates,
+        policy.confidence,
+        seed,
+    )
+}
+
+/// Compare one benchmark's candidate record against its baseline.
+pub fn compare_records(
+    baseline: &RunRecord,
+    candidate: &RunRecord,
+    policy: &GatePolicy,
+) -> Comparison {
+    let seed = seed_for(&candidate.benchmark);
+    let base_ci = median_ci(&baseline.samples_secs, policy, seed);
+    let cand_ci = median_ci(&candidate.samples_secs, policy, seed.wrapping_add(1));
+    let allowed = 1.0 + policy.allowed_regression_pct / 100.0;
+    let delta = cand_ci.estimate - base_ci.estimate;
+    let verdict = if cand_ci.lo > base_ci.hi * allowed && delta > policy.noise_floor_secs {
+        Verdict::Regressed
+    } else if cand_ci.hi < base_ci.lo && -delta > policy.noise_floor_secs {
+        Verdict::Improved
+    } else {
+        Verdict::Pass
+    };
+    let worst_stage = worst_stage(baseline, candidate);
+    Comparison {
+        benchmark: candidate.benchmark.clone(),
+        baseline: Some(base_ci),
+        candidate: cand_ci,
+        ratio: if base_ci.estimate > 0.0 {
+            cand_ci.estimate / base_ci.estimate
+        } else {
+            1.0
+        },
+        verdict,
+        worst_stage,
+    }
+}
+
+/// The stage whose absolute seconds moved the most between two records,
+/// `None` when neither side carries stage data.
+fn worst_stage(baseline: &RunRecord, candidate: &RunRecord) -> Option<StageDelta> {
+    if baseline.stage_secs.iter().all(|&s| s == 0.0)
+        && candidate.stage_secs.iter().all(|&s| s == 0.0)
+    {
+        return None;
+    }
+    (0..4)
+        .map(|i| StageDelta {
+            stage: STAGE_LABELS[i],
+            baseline_secs: baseline.stage_secs[i],
+            candidate_secs: candidate.stage_secs[i],
+        })
+        .max_by(|a, b| {
+            a.delta_secs()
+                .abs()
+                .partial_cmp(&b.delta_secs().abs())
+                .expect("finite stage seconds")
+        })
+}
+
+/// Compare a whole candidate run against a whole baseline run, matched
+/// by benchmark name. Candidate benchmarks absent from the baseline get
+/// [`Verdict::NoBaseline`]; baseline-only benchmarks are dropped (a
+/// removed benchmark is not a perf regression).
+pub fn compare_runs(
+    baseline: &[&RunRecord],
+    candidate: &[&RunRecord],
+    policy: &GatePolicy,
+) -> Vec<Comparison> {
+    candidate
+        .iter()
+        .map(|cand| {
+            match baseline.iter().find(|b| b.benchmark == cand.benchmark) {
+                Some(base) => compare_records(base, cand, policy),
+                None => Comparison {
+                    benchmark: cand.benchmark.clone(),
+                    baseline: None,
+                    candidate: median_ci(
+                        &cand.samples_secs,
+                        policy,
+                        seed_for(&cand.benchmark),
+                    ),
+                    ratio: 1.0,
+                    verdict: Verdict::NoBaseline,
+                    worst_stage: None,
+                },
+            }
+        })
+        .collect()
+}
+
+/// True when any comparison regressed — the gate's exit status.
+pub fn any_regression(comparisons: &[Comparison]) -> bool {
+    comparisons.iter().any(|c| c.verdict == Verdict::Regressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf::RunManifest;
+
+    fn record(benchmark: &str, samples: &[f64], stages: [f64; 4]) -> RunRecord {
+        RunRecord {
+            run_id: "r-test".to_string(),
+            benchmark: benchmark.to_string(),
+            recorded_unix: 0,
+            samples_secs: samples.to_vec(),
+            stage_secs: stages,
+            manifest: RunManifest::collect("small", samples.len()),
+        }
+    }
+
+    #[test]
+    fn identical_samples_pass() {
+        let base = record("e", &[0.010, 0.011, 0.0105], [0.1, 0.6, 0.2, 0.1]);
+        let cand = record("e", &[0.0105, 0.010, 0.011], [0.1, 0.6, 0.2, 0.1]);
+        let c = compare_records(&base, &cand, &GatePolicy::default());
+        assert_eq!(c.verdict, Verdict::Pass);
+        assert!((c.ratio - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn clear_slowdown_regresses_and_names_the_stage() {
+        let base = record("e", &[0.010, 0.011, 0.0105], [0.01, 0.06, 0.02, 0.01]);
+        // 2× slower, driven by the lookup stage.
+        let cand = record("e", &[0.021, 0.022, 0.0215], [0.01, 0.17, 0.02, 0.01]);
+        let c = compare_records(&base, &cand, &GatePolicy::default());
+        assert_eq!(c.verdict, Verdict::Regressed);
+        assert!(c.ratio > 1.8, "ratio {}", c.ratio);
+        let stage = c.worst_stage.as_ref().expect("stage data present");
+        assert_eq!(stage.stage, ara_trace::stage_names::LOOKUP);
+        assert!(stage.delta_secs() > 0.0);
+        assert!(any_regression(&[c]));
+    }
+
+    #[test]
+    fn clear_speedup_is_improved() {
+        let base = record("e", &[0.020, 0.021, 0.0205], [0.0; 4]);
+        let cand = record("e", &[0.010, 0.011, 0.0105], [0.0; 4]);
+        let c = compare_records(&base, &cand, &GatePolicy::default());
+        assert_eq!(c.verdict, Verdict::Improved);
+        assert!(c.worst_stage.is_none(), "no stage data → no attribution");
+    }
+
+    #[test]
+    fn sub_noise_floor_deltas_never_gate() {
+        // 50% relative slowdown but only 50 µs absolute: scheduler
+        // jitter territory, must pass.
+        let base = record("e", &[0.0001, 0.0001, 0.0001], [0.0; 4]);
+        let cand = record("e", &[0.00015, 0.00015, 0.00015], [0.0; 4]);
+        let c = compare_records(&base, &cand, &GatePolicy::default());
+        assert_eq!(c.verdict, Verdict::Pass);
+    }
+
+    #[test]
+    fn slowdown_within_allowed_band_passes() {
+        // 5% slower with tight samples: inside the 25% allowance.
+        let base = record("e", &[0.0100, 0.0100, 0.0100], [0.0; 4]);
+        let cand = record("e", &[0.0105, 0.0105, 0.0105], [0.0; 4]);
+        let c = compare_records(&base, &cand, &GatePolicy::default());
+        assert_eq!(c.verdict, Verdict::Pass);
+    }
+
+    #[test]
+    fn comparisons_are_deterministic() {
+        let base = record("e", &[0.010, 0.012, 0.011, 0.013], [0.0; 4]);
+        let cand = record("e", &[0.014, 0.013, 0.015, 0.012], [0.0; 4]);
+        let a = compare_records(&base, &cand, &GatePolicy::default());
+        let b = compare_records(&base, &cand, &GatePolicy::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_matching_handles_new_benchmarks() {
+        let base = record("old", &[0.01, 0.01, 0.01], [0.0; 4]);
+        let cand_old = record("old", &[0.01, 0.01, 0.01], [0.0; 4]);
+        let cand_new = record("new", &[0.02, 0.02, 0.02], [0.0; 4]);
+        let out = compare_runs(
+            &[&base],
+            &[&cand_old, &cand_new],
+            &GatePolicy::default(),
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].verdict, Verdict::Pass);
+        assert_eq!(out[1].verdict, Verdict::NoBaseline);
+        assert!(!any_regression(&out));
+    }
+}

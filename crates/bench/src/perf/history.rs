@@ -1,0 +1,330 @@
+//! The append-only baseline store: `perf/history.jsonl`.
+//!
+//! One JSON object per line, one line per benchmark per recorded run.
+//! Append-only so concurrent writers can't corrupt each other beyond a
+//! single line — and a single corrupt line is *skipped with a warning*,
+//! never a panic: a perf history that bricks the perf tooling would be
+//! worse than no history.
+
+use super::manifest::RunManifest;
+use ara_trace::json::{self, Json};
+use std::path::{Path, PathBuf};
+
+/// The timings of one benchmark within one recorded run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Groups the records of a single `ara perf record` invocation.
+    pub run_id: String,
+    /// Benchmark name, e.g. `"engine.multi-gpu"`.
+    pub benchmark: String,
+    /// Unix seconds when the run was recorded.
+    pub recorded_unix: u64,
+    /// Every timed repeat, wall seconds, in execution order. *All*
+    /// samples are retained (not just the min) so later comparisons
+    /// have a distribution to bootstrap over.
+    pub samples_secs: Vec<f64>,
+    /// Per-stage seconds `[fetch, lookup, financial, layer]` from the
+    /// span-derived breakdown (summed across workers for parallel
+    /// engines), attributing *where* a regression lives.
+    pub stage_secs: [f64; 4],
+    /// Provenance of the run.
+    pub manifest: RunManifest,
+}
+
+impl RunRecord {
+    /// Median of the repeat samples (0.0 when empty — never expected).
+    pub fn median_secs(&self) -> f64 {
+        if self.samples_secs.is_empty() {
+            return 0.0;
+        }
+        ara_metrics::stats::quantile(&self.samples_secs, 0.5)
+    }
+
+    /// Serialise as a single JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut samples = String::from("[");
+        for (i, s) in self.samples_secs.iter().enumerate() {
+            if i > 0 {
+                samples.push(',');
+            }
+            samples.push_str(&json::number(*s));
+        }
+        samples.push(']');
+        format!(
+            "{{\"type\":\"run\",\"run_id\":{},\"benchmark\":{},\"recorded_unix\":{},\
+             \"samples_secs\":{},\"stage_secs\":{{\"fetch\":{},\"lookup\":{},\"financial\":{},\"layer\":{}}},\
+             \"manifest\":{}}}",
+            json::string(&self.run_id),
+            json::string(&self.benchmark),
+            self.recorded_unix,
+            samples,
+            json::number(self.stage_secs[0]),
+            json::number(self.stage_secs[1]),
+            json::number(self.stage_secs[2]),
+            json::number(self.stage_secs[3]),
+            self.manifest.to_json(),
+        )
+    }
+
+    /// Re-parse one history line.
+    pub fn from_json(doc: &Json) -> Result<RunRecord, String> {
+        let s = |key: &str| -> Result<String, String> {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("record missing string field `{key}`"))
+        };
+        let samples = doc
+            .get("samples_secs")
+            .and_then(Json::as_array)
+            .ok_or_else(|| "record missing `samples_secs`".to_string())?
+            .iter()
+            .map(|v| v.as_f64().ok_or_else(|| "non-numeric sample".to_string()))
+            .collect::<Result<Vec<f64>, String>>()?;
+        let stages = doc
+            .get("stage_secs")
+            .ok_or_else(|| "record missing `stage_secs`".to_string())?;
+        let stage = |key: &str| -> Result<f64, String> {
+            stages
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("record missing stage `{key}`"))
+        };
+        Ok(RunRecord {
+            run_id: s("run_id")?,
+            benchmark: s("benchmark")?,
+            recorded_unix: doc
+                .get("recorded_unix")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| "record missing `recorded_unix`".to_string())?
+                as u64,
+            samples_secs: samples,
+            stage_secs: [
+                stage("fetch")?,
+                stage("lookup")?,
+                stage("financial")?,
+                stage("layer")?,
+            ],
+            manifest: RunManifest::from_json(
+                doc.get("manifest")
+                    .ok_or_else(|| "record missing `manifest`".to_string())?,
+            )?,
+        })
+    }
+}
+
+/// Result of loading a history file: the parseable records plus one
+/// warning per line that wasn't.
+#[derive(Debug, Default)]
+pub struct HistoryLoad {
+    /// Every record that parsed, in file (append) order.
+    pub records: Vec<RunRecord>,
+    /// One human-readable warning per skipped line.
+    pub warnings: Vec<String>,
+}
+
+/// The append-only run-history file.
+#[derive(Debug, Clone)]
+pub struct BaselineStore {
+    path: PathBuf,
+}
+
+impl BaselineStore {
+    /// The default history path: `$ARA_PERF_HISTORY` if set, else
+    /// `perf/history.jsonl` under the current directory.
+    pub fn default_path() -> PathBuf {
+        std::env::var_os("ARA_PERF_HISTORY")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("perf/history.jsonl"))
+    }
+
+    /// A store at an explicit path.
+    pub fn open(path: impl Into<PathBuf>) -> BaselineStore {
+        BaselineStore { path: path.into() }
+    }
+
+    /// The file this store appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append records (one line each), creating parent directories and
+    /// the file as needed.
+    pub fn append(&self, records: &[RunRecord]) -> std::io::Result<()> {
+        use std::io::Write as _;
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        for r in records {
+            writeln!(file, "{}", r.to_json())?;
+        }
+        Ok(())
+    }
+
+    /// Load every record. A missing file is an empty history; a corrupt
+    /// line is skipped and reported in [`HistoryLoad::warnings`].
+    pub fn load(&self) -> HistoryLoad {
+        let mut out = HistoryLoad::default();
+        let text = match std::fs::read_to_string(&self.path) {
+            Ok(t) => t,
+            Err(_) => return out,
+        };
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match json::parse(line).and_then(|doc| RunRecord::from_json(&doc)) {
+                Ok(r) => out.records.push(r),
+                Err(e) => out.warnings.push(format!(
+                    "{}:{}: skipped malformed history line ({e})",
+                    self.path.display(),
+                    i + 1
+                )),
+            }
+        }
+        out
+    }
+}
+
+/// Group records by `run_id`, keeping only runs whose host fingerprint
+/// matches, ordered oldest → newest (by recorded time, then run id).
+pub fn group_runs<'a>(
+    records: &'a [RunRecord],
+    fingerprint: &str,
+) -> Vec<(String, Vec<&'a RunRecord>)> {
+    let mut runs: Vec<(String, Vec<&RunRecord>)> = Vec::new();
+    for r in records {
+        if r.manifest.host_fingerprint() != fingerprint {
+            continue;
+        }
+        match runs.iter_mut().find(|(id, _)| *id == r.run_id) {
+            Some((_, group)) => group.push(r),
+            None => runs.push((r.run_id.clone(), vec![r])),
+        }
+    }
+    runs.sort_by_key(|(id, group)| {
+        (
+            group.iter().map(|r| r.recorded_unix).min().unwrap_or(0),
+            id.clone(),
+        )
+    });
+    runs
+}
+
+/// A fresh run id: unix seconds, pid, and a process-local counter (so
+/// two suite runs within the same second stay distinct runs).
+pub fn new_run_id() -> String {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    format!("r{unix:x}-{}-{n}", std::process::id())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(benchmark: &str, run_id: &str, at: u64, samples: &[f64]) -> RunRecord {
+        RunRecord {
+            run_id: run_id.to_string(),
+            benchmark: benchmark.to_string(),
+            recorded_unix: at,
+            samples_secs: samples.to_vec(),
+            stage_secs: [0.1, 0.6, 0.2, 0.1],
+            manifest: RunManifest::collect("small", samples.len()),
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ara-perf-history-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn record_json_round_trips() {
+        let r = record("engine.sequential", "r1", 1000, &[0.011, 0.0105, 0.012]);
+        let doc = json::parse(&r.to_json()).expect("valid JSON line");
+        let back = RunRecord::from_json(&doc).expect("record re-parses");
+        assert_eq!(back, r);
+        assert!((r.median_secs() - 0.011).abs() < 1e-12);
+    }
+
+    #[test]
+    fn append_accumulates_and_loads_in_order() {
+        let store = BaselineStore::open(tmp("accumulate.jsonl"));
+        std::fs::remove_file(store.path()).ok();
+        store
+            .append(&[record("a", "r1", 10, &[1.0]), record("b", "r1", 10, &[2.0])])
+            .unwrap();
+        store.append(&[record("a", "r2", 20, &[1.1])]).unwrap();
+        let loaded = store.load();
+        assert!(loaded.warnings.is_empty());
+        assert_eq!(loaded.records.len(), 3);
+        assert_eq!(loaded.records[2].run_id, "r2");
+        let fp = loaded.records[0].manifest.host_fingerprint();
+        let runs = group_runs(&loaded.records, &fp);
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].0, "r1");
+        assert_eq!(runs[0].1.len(), 2);
+        assert_eq!(runs[1].0, "r2");
+    }
+
+    #[test]
+    fn corrupt_lines_are_skipped_with_a_warning() {
+        let store = BaselineStore::open(tmp("corrupt.jsonl"));
+        std::fs::remove_file(store.path()).ok();
+        store.append(&[record("a", "r1", 10, &[1.0])]).unwrap();
+        // Simulate a torn write and a wrong-schema line.
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(store.path())
+            .unwrap();
+        writeln!(f, "{{\"type\":\"run\",\"benchmark\":\"tor").unwrap();
+        writeln!(f, "{{\"type\":\"run\",\"benchmark\":42}}").unwrap();
+        drop(f);
+        store.append(&[record("b", "r2", 20, &[2.0])]).unwrap();
+        let loaded = store.load();
+        assert_eq!(loaded.records.len(), 2, "good lines survive");
+        assert_eq!(loaded.warnings.len(), 2, "one warning per bad line");
+        assert!(loaded.warnings[0].contains("skipped malformed"));
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_history() {
+        let store = BaselineStore::open(tmp("never-created.jsonl"));
+        std::fs::remove_file(store.path()).ok();
+        let loaded = store.load();
+        assert!(loaded.records.is_empty() && loaded.warnings.is_empty());
+    }
+
+    #[test]
+    fn group_runs_filters_foreign_fingerprints() {
+        let mine = record("a", "r1", 10, &[1.0]);
+        let mut foreign = record("a", "r2", 20, &[9.0]);
+        foreign.manifest.threads += 1;
+        let records = vec![mine.clone(), foreign];
+        let runs = group_runs(&records, &mine.manifest.host_fingerprint());
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].0, "r1");
+    }
+
+    #[test]
+    fn run_ids_are_well_formed_and_unique() {
+        let a = new_run_id();
+        let b = new_run_id();
+        assert!(a.starts_with('r') && a.contains('-'));
+        assert_ne!(a, b, "same-second run ids must stay distinct");
+    }
+}

@@ -1,0 +1,231 @@
+//! Run provenance: everything a future reader needs to interpret (and
+//! trust, or distrust) a timing.
+
+use ara_trace::json::{self, Json};
+use simt_sim::model::autotune::{
+    cpu_model_name, tune_host, CacheModel, HostTuning, HostWorkload,
+};
+
+/// Provenance of one benchmark run, embedded in every `BENCH_*.json`
+/// sidecar and every [`super::RunRecord`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunManifest {
+    /// `git rev-parse --short HEAD`, or `"unknown"` outside a checkout.
+    pub git_sha: String,
+    /// `rustc --version`, or `"unknown"`.
+    pub rustc: String,
+    /// Operating system family (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU marketing name from `/proc/cpuinfo`.
+    pub cpu_model: String,
+    /// Available worker threads on the host.
+    pub threads: usize,
+    /// Detected cache hierarchy (L1d / L2 / LLC bytes).
+    pub cache: CacheModel,
+    /// The autotuned hot-path knobs for this host × workload.
+    pub tuning: HostTuning,
+    /// Scenario preset the run used (`"small"`, `"bench"`, `"bin:<name>"`).
+    pub preset: String,
+    /// Timed repeats per measurement.
+    pub repeats: usize,
+}
+
+/// FNV-1a 64-bit hash, the workspace's stock dependency-free hash.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run `cmd args…` and return its trimmed stdout, or `None` on any
+/// failure (missing binary, sandbox, non-zero exit).
+fn capture(cmd: &str, args: &[&str]) -> Option<String> {
+    let out = std::process::Command::new(cmd).args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let s = String::from_utf8_lossy(&out.stdout).trim().to_string();
+    (!s.is_empty()).then_some(s)
+}
+
+impl RunManifest {
+    /// Collect provenance for a run at `preset` with `repeats` timed
+    /// repeats, autotuning against `workload`. Every probe degrades to
+    /// `"unknown"` rather than failing: a manifest must never be the
+    /// reason a benchmark doesn't run.
+    pub fn collect_for(preset: &str, repeats: usize, workload: &HostWorkload) -> RunManifest {
+        let cache = CacheModel::detect();
+        RunManifest {
+            git_sha: std::env::var("ARA_GIT_SHA")
+                .ok()
+                .or_else(|| capture("git", &["rev-parse", "--short", "HEAD"]))
+                .unwrap_or_else(|| "unknown".to_string()),
+            rustc: capture("rustc", &["--version"]).unwrap_or_else(|| "unknown".to_string()),
+            os: std::env::consts::OS.to_string(),
+            cpu_model: cpu_model_name(),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            cache,
+            tuning: tune_host(&cache, workload),
+            preset: preset.to_string(),
+            repeats,
+        }
+    }
+
+    /// [`RunManifest::collect_for`] against the standard bench-scale
+    /// workload shape (10 k trials × 100 events × 15 ELTs, f64).
+    pub fn collect(preset: &str, repeats: usize) -> RunManifest {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::collect_for(
+            preset,
+            repeats,
+            &HostWorkload {
+                catalogue_size: 200_000,
+                num_elts: 15,
+                num_trials: 10_000,
+                events_per_trial: 100,
+                value_bytes: 8,
+                num_threads: threads,
+            },
+        )
+    }
+
+    /// Stable identity of the *hardware* this run executed on: hash of
+    /// CPU model, thread count, cache hierarchy and OS. Two runs compare
+    /// only when their fingerprints match — timings from different
+    /// machines are incommensurable.
+    pub fn host_fingerprint(&self) -> String {
+        let key = format!(
+            "{}|{}|{}|{}|{}|{}",
+            self.cpu_model,
+            self.threads,
+            self.cache.l1d_bytes,
+            self.cache.l2_bytes,
+            self.cache.llc_bytes,
+            self.os,
+        );
+        format!("{:016x}", fnv1a(key.as_bytes()))
+    }
+
+    /// Serialise as a JSON object (one line, no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"git_sha\":{},\"rustc\":{},\"os\":{},\"cpu_model\":{},\"threads\":{},\
+             \"cache\":{{\"l1d\":{},\"l2\":{},\"llc\":{}}},\
+             \"autotune\":{{\"gather_chunk\":{},\"region_slots\":{},\"schedule_grain\":{},\"blocks_per_run\":{}}},\
+             \"preset\":{},\"repeats\":{},\"fingerprint\":{}}}",
+            json::string(&self.git_sha),
+            json::string(&self.rustc),
+            json::string(&self.os),
+            json::string(&self.cpu_model),
+            self.threads,
+            self.cache.l1d_bytes,
+            self.cache.l2_bytes,
+            self.cache.llc_bytes,
+            self.tuning.gather_chunk,
+            self.tuning.region_slots,
+            self.tuning.schedule_grain,
+            self.tuning.blocks_per_run,
+            json::string(&self.preset),
+            self.repeats,
+            json::string(&self.host_fingerprint()),
+        )
+    }
+
+    /// Re-parse a manifest from a [`Json`] object (as produced by
+    /// [`RunManifest::to_json`] and read back with
+    /// [`ara_trace::json::parse`]).
+    pub fn from_json(doc: &Json) -> Result<RunManifest, String> {
+        let s = |key: &str| -> Result<String, String> {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("manifest missing string field `{key}`"))
+        };
+        let n = |obj: &Json, key: &str| -> Result<usize, String> {
+            obj.get(key)
+                .and_then(Json::as_f64)
+                .map(|v| v as usize)
+                .ok_or_else(|| format!("manifest missing numeric field `{key}`"))
+        };
+        let cache = doc
+            .get("cache")
+            .ok_or_else(|| "manifest missing `cache`".to_string())?;
+        let tune = doc
+            .get("autotune")
+            .ok_or_else(|| "manifest missing `autotune`".to_string())?;
+        Ok(RunManifest {
+            git_sha: s("git_sha")?,
+            rustc: s("rustc")?,
+            os: s("os")?,
+            cpu_model: s("cpu_model")?,
+            threads: n(doc, "threads")?,
+            cache: CacheModel {
+                l1d_bytes: n(cache, "l1d")?,
+                l2_bytes: n(cache, "l2")?,
+                llc_bytes: n(cache, "llc")?,
+            },
+            tuning: HostTuning {
+                gather_chunk: n(tune, "gather_chunk")?,
+                region_slots: n(tune, "region_slots")?,
+                schedule_grain: n(tune, "schedule_grain")?,
+                blocks_per_run: n(tune, "blocks_per_run")? as u32,
+            },
+            preset: s("preset")?,
+            repeats: n(doc, "repeats")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_round_trips_through_the_trace_parser() {
+        let m = RunManifest::collect("small", 3);
+        let doc = json::parse(&m.to_json()).expect("manifest is valid JSON");
+        let back = RunManifest::from_json(&doc).expect("manifest re-parses");
+        assert_eq!(back, m);
+        assert_eq!(
+            doc.get("fingerprint").and_then(Json::as_str),
+            Some(m.host_fingerprint().as_str())
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_hardware_keyed() {
+        let a = RunManifest::collect("small", 3);
+        let mut b = a.clone();
+        // Software provenance must not move the fingerprint…
+        b.git_sha = "deadbeef".to_string();
+        b.preset = "bench".to_string();
+        b.repeats = 9;
+        assert_eq!(a.host_fingerprint(), b.host_fingerprint());
+        // …but hardware must.
+        b.threads += 1;
+        assert_ne!(a.host_fingerprint(), b.host_fingerprint());
+        assert_eq!(a.host_fingerprint().len(), 16);
+    }
+
+    #[test]
+    fn from_json_rejects_truncated_manifests() {
+        let doc = json::parse(r#"{"git_sha":"x","rustc":"r"}"#).unwrap();
+        let err = RunManifest::from_json(&doc).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn probes_never_panic() {
+        let m = RunManifest::collect("bin:test", 1);
+        assert!(!m.cpu_model.is_empty());
+        assert!(m.threads >= 1);
+        assert!(m.tuning.gather_chunk >= 256);
+    }
+}

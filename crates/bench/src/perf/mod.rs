@@ -1,0 +1,34 @@
+//! # ara-perf — run provenance, baselines, and statistical gating
+//!
+//! The paper's contribution is a performance *trajectory* (337.47 s
+//! sequential → 4.35 s on four GPUs); this module is what lets the repo
+//! defend its own trajectory. Four pieces:
+//!
+//! * [`RunManifest`] — who/where/how provenance (git sha, rustc, CPU
+//!   model and cache hierarchy, thread count, autotuned knobs, scenario
+//!   preset) embedded in every `BENCH_*.json` sidecar and every history
+//!   record. Baselines are keyed by its
+//!   [`host fingerprint`](RunManifest::host_fingerprint) so a laptop
+//!   never gates against a CI runner.
+//! * [`BaselineStore`] — an append-only `perf/history.jsonl` of
+//!   [`RunRecord`]s, each retaining *all* repeat samples (not just the
+//!   min) plus the per-stage breakdown, so later comparisons have a
+//!   distribution and an attribution to work with.
+//! * [`compare`] — bootstrap confidence intervals (via
+//!   [`ara_metrics::bootstrap`]) on the per-repeat samples; a regression
+//!   is only confirmed when the candidate's CI clears the baseline's CI
+//!   by more than the allowed-regression threshold *and* the noise
+//!   floor. Each confirmed regression names its worst-moving stage.
+//! * [`suite`] — the fixed five-engine benchmark suite that `ara perf
+//!   record` / `gate` run in-process at the `--small` or bench preset.
+
+pub mod compare;
+pub mod history;
+pub mod manifest;
+pub mod render;
+pub mod suite;
+
+pub use compare::{any_regression, compare_records, compare_runs, Comparison, GatePolicy, Verdict};
+pub use history::{group_runs, BaselineStore, HistoryLoad, RunRecord};
+pub use manifest::RunManifest;
+pub use suite::{run_suite, Preset};

@@ -1,0 +1,280 @@
+//! Renderers for `ara perf` output: human summary, markdown table,
+//! machine JSON, and the history trajectory view.
+
+use super::compare::{Comparison, GatePolicy, Verdict};
+use super::history::RunRecord;
+use ara_trace::json;
+use std::fmt::Write as _;
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+fn verdict_tag(v: Verdict) -> &'static str {
+    match v {
+        Verdict::Pass => "pass",
+        Verdict::Regressed => "REGRESSED",
+        Verdict::Improved => "improved",
+        Verdict::NoBaseline => "no-baseline",
+    }
+}
+
+/// Human-readable comparison summary, one block per benchmark.
+pub fn summary(comparisons: &[Comparison], policy: &GatePolicy) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "perf gate: allowed regression {:.0}%, noise floor {}, {:.0}% CI",
+        policy.allowed_regression_pct,
+        fmt_secs(policy.noise_floor_secs),
+        policy.confidence * 100.0
+    );
+    for c in comparisons {
+        let _ = match &c.baseline {
+            Some(base) => writeln!(
+                out,
+                "  {:<24} {:>10} -> {:>10}  x{:.3}  [{}]",
+                c.benchmark,
+                fmt_secs(base.estimate),
+                fmt_secs(c.candidate.estimate),
+                c.ratio,
+                verdict_tag(c.verdict),
+            ),
+            None => writeln!(
+                out,
+                "  {:<24} {:>10} -> {:>10}  [{}]",
+                c.benchmark,
+                "(none)",
+                fmt_secs(c.candidate.estimate),
+                verdict_tag(c.verdict),
+            ),
+        };
+        if c.verdict == Verdict::Regressed {
+            if let Some(stage) = &c.worst_stage {
+                let _ = writeln!(
+                    out,
+                    "      worst-moving stage: {} ({} -> {}, {:+.1}ms)",
+                    stage.stage,
+                    fmt_secs(stage.baseline_secs),
+                    fmt_secs(stage.candidate_secs),
+                    stage.delta_secs() * 1e3,
+                );
+            }
+        }
+    }
+    let regressed = comparisons
+        .iter()
+        .filter(|c| c.verdict == Verdict::Regressed)
+        .count();
+    let _ = writeln!(
+        out,
+        "  {} benchmark(s), {} regressed",
+        comparisons.len(),
+        regressed
+    );
+    out
+}
+
+/// GitHub-flavoured markdown comparison table.
+pub fn markdown(comparisons: &[Comparison]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| benchmark | baseline (median) | candidate (median) | ratio | verdict | worst stage |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|");
+    for c in comparisons {
+        let base = c
+            .baseline
+            .map(|b| fmt_secs(b.estimate))
+            .unwrap_or_else(|| "—".to_string());
+        let stage = c
+            .worst_stage
+            .as_ref()
+            .map(|s| format!("{} ({:+.1}ms)", s.stage, s.delta_secs() * 1e3))
+            .unwrap_or_else(|| "—".to_string());
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | x{:.3} | {} | {} |",
+            c.benchmark,
+            base,
+            fmt_secs(c.candidate.estimate),
+            c.ratio,
+            verdict_tag(c.verdict),
+            stage,
+        );
+    }
+    out
+}
+
+/// Machine-readable comparison report (a JSON array, round-trippable
+/// through [`ara_trace::json::parse`]).
+pub fn json_report(comparisons: &[Comparison]) -> String {
+    let mut out = String::from("[");
+    for (i, c) in comparisons.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let base = match &c.baseline {
+            Some(b) => format!(
+                "{{\"estimate\":{},\"lo\":{},\"hi\":{}}}",
+                json::number(b.estimate),
+                json::number(b.lo),
+                json::number(b.hi)
+            ),
+            None => "null".to_string(),
+        };
+        let stage = match &c.worst_stage {
+            Some(s) => format!(
+                "{{\"stage\":{},\"baseline_secs\":{},\"candidate_secs\":{}}}",
+                json::string(s.stage),
+                json::number(s.baseline_secs),
+                json::number(s.candidate_secs)
+            ),
+            None => "null".to_string(),
+        };
+        let _ = write!(
+            out,
+            "{{\"benchmark\":{},\"baseline\":{},\"candidate\":{{\"estimate\":{},\"lo\":{},\"hi\":{}}},\
+             \"ratio\":{},\"verdict\":{},\"worst_stage\":{}}}",
+            json::string(&c.benchmark),
+            base,
+            json::number(c.candidate.estimate),
+            json::number(c.candidate.lo),
+            json::number(c.candidate.hi),
+            json::number(c.ratio),
+            json::string(verdict_tag(c.verdict)),
+            stage,
+        );
+    }
+    out.push(']');
+    out
+}
+
+/// Render the history trajectory: one line per benchmark per run (runs
+/// as grouped by [`super::group_runs`], oldest first), with the median
+/// and the change against the previous run of the same benchmark.
+pub fn trajectory(runs: &[(String, Vec<&RunRecord>)]) -> String {
+    let mut out = String::new();
+    if runs.is_empty() {
+        let _ = writeln!(out, "perf history: no runs recorded for this host yet");
+        return out;
+    }
+    let _ = writeln!(out, "perf history: {} run(s) on this host", runs.len());
+    let mut last_median: Vec<(String, f64)> = Vec::new();
+    for (run_id, records) in runs {
+        let first = records.first().expect("runs are non-empty groups");
+        let _ = writeln!(
+            out,
+            "run {run_id}  (git {}, preset {}, {} repeats)",
+            first.manifest.git_sha, first.manifest.preset, first.manifest.repeats
+        );
+        for r in records {
+            let median = r.median_secs();
+            let prev = last_median
+                .iter_mut()
+                .find(|(name, _)| *name == r.benchmark);
+            let delta = match &prev {
+                Some((_, p)) if *p > 0.0 => format!("  x{:.3} vs prev", median / *p),
+                _ => String::new(),
+            };
+            match prev {
+                Some((_, p)) => *p = median,
+                None => last_median.push((r.benchmark.clone(), median)),
+            }
+            let _ = writeln!(
+                out,
+                "  {:<24} median {:>10}  ({} samples){delta}",
+                r.benchmark,
+                fmt_secs(median),
+                r.samples_secs.len(),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf::compare::{compare_records, GatePolicy};
+    use crate::perf::RunManifest;
+
+    fn record(benchmark: &str, run_id: &str, at: u64, samples: &[f64]) -> RunRecord {
+        RunRecord {
+            run_id: run_id.to_string(),
+            benchmark: benchmark.to_string(),
+            recorded_unix: at,
+            samples_secs: samples.to_vec(),
+            stage_secs: [0.001, 0.006, 0.002, 0.001],
+            manifest: RunManifest::collect("small", samples.len()),
+        }
+    }
+
+    fn regressed_comparison() -> Comparison {
+        let base = record("engine.sequential-cpu", "r1", 10, &[0.010, 0.011, 0.0105]);
+        let mut cand = record("engine.sequential-cpu", "r2", 20, &[0.021, 0.022, 0.0215]);
+        cand.stage_secs = [0.001, 0.017, 0.002, 0.001];
+        compare_records(&base, &cand, &GatePolicy::default())
+    }
+
+    #[test]
+    fn summary_names_benchmark_and_stage_on_regression() {
+        let c = regressed_comparison();
+        let text = summary(&[c], &GatePolicy::default());
+        assert!(text.contains("engine.sequential-cpu"));
+        assert!(text.contains("REGRESSED"));
+        assert!(text.contains("worst-moving stage"));
+        assert!(text.contains(ara_trace::stage_names::LOOKUP));
+        assert!(text.contains("1 regressed"));
+    }
+
+    #[test]
+    fn markdown_renders_a_table() {
+        let c = regressed_comparison();
+        let text = markdown(&[c]);
+        assert!(text.starts_with("| benchmark |"));
+        assert!(text.contains("| engine.sequential-cpu |"));
+        assert!(text.contains("REGRESSED"));
+    }
+
+    #[test]
+    fn json_report_parses_back() {
+        let c = regressed_comparison();
+        let doc = json::parse(&json_report(&[c])).expect("report is valid JSON");
+        let arr = doc.as_array().expect("array");
+        assert_eq!(arr.len(), 1);
+        assert_eq!(
+            arr[0].get("verdict").and_then(json::Json::as_str),
+            Some("REGRESSED")
+        );
+        assert!(arr[0].get("worst_stage").unwrap().get("stage").is_some());
+    }
+
+    #[test]
+    fn trajectory_shows_run_over_run_movement() {
+        let r1 = record("engine.multi-gpu", "r1", 10, &[0.010, 0.010]);
+        let r2 = record("engine.multi-gpu", "r2", 20, &[0.020, 0.020]);
+        let runs = vec![
+            ("r1".to_string(), vec![&r1]),
+            ("r2".to_string(), vec![&r2]),
+        ];
+        let text = trajectory(&runs);
+        assert!(text.contains("2 run(s)"));
+        assert!(text.contains("x2.000 vs prev"));
+        assert!(trajectory(&[]).contains("no runs recorded"));
+    }
+
+    #[test]
+    fn seconds_formatting_scales() {
+        assert_eq!(fmt_secs(2.5), "2.500s");
+        assert_eq!(fmt_secs(0.0025), "2.500ms");
+        assert_eq!(fmt_secs(0.0000025), "2.5us");
+    }
+}

@@ -1,0 +1,196 @@
+//! The fixed benchmark suite behind `ara perf record` / `gate`: all five
+//! engine implementations over a deterministic scenario, with warmup,
+//! all repeat samples retained, and a traced pass for stage attribution.
+
+use super::history::{new_run_id, RunRecord};
+use super::manifest::RunManifest;
+use ara_core::Inputs;
+use ara_engine::{
+    Engine, GpuBasicEngine, GpuOptimizedEngine, MultiGpuEngine, MulticoreEngine, SequentialEngine,
+};
+use ara_workload::{Scenario, ScenarioShape};
+use simt_sim::model::autotune::HostWorkload;
+
+/// Scenario preset the suite runs at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// 2 k trials × 100 events — the CI smoke scale (`--small`).
+    Small,
+    /// 10 k trials × 100 events — the standard measured bench scale.
+    Bench,
+}
+
+impl Preset {
+    /// CLI token (`"small"` / `"bench"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Preset::Small => "small",
+            Preset::Bench => "bench",
+        }
+    }
+
+    /// The scenario shape of this preset.
+    pub fn shape(&self) -> ScenarioShape {
+        match self {
+            Preset::Small => ScenarioShape {
+                num_trials: 2_000,
+                events_per_trial: 100.0,
+                catalogue_size: 200_000,
+                num_elts: 15,
+                records_per_elt: 2_000,
+                num_layers: 1,
+                elts_per_layer: (15, 15),
+            },
+            Preset::Bench => ScenarioShape::bench(),
+        }
+    }
+
+    /// The equivalent [`HostWorkload`] for the autotune fields of the
+    /// manifest.
+    pub fn host_workload(&self) -> HostWorkload {
+        let shape = self.shape();
+        HostWorkload {
+            catalogue_size: shape.catalogue_size as usize,
+            num_elts: shape.num_elts,
+            num_trials: shape.num_trials,
+            events_per_trial: shape.events_per_trial as usize,
+            value_bytes: 8,
+            num_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// Deterministic inputs for this preset.
+    pub fn inputs(&self) -> Inputs {
+        Scenario::new(self.shape(), 0xa5a5)
+            .build()
+            .expect("preset scenarios generate valid inputs")
+    }
+}
+
+/// The five suite engines, in paper order.
+fn engines() -> Vec<Box<dyn Engine>> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    vec![
+        Box::new(SequentialEngine::<f64>::new()),
+        Box::new(MulticoreEngine::<f64>::new(threads)),
+        Box::new(GpuBasicEngine::new()),
+        Box::new(GpuOptimizedEngine::<f32>::new()),
+        Box::new(MultiGpuEngine::<f32>::new(4)),
+    ]
+}
+
+/// Parse the `ARA_PERF_PERTURB` test hook: either a bare factor
+/// (applied to every benchmark) or comma-separated `name:factor` pairs.
+/// Returns the factor for `benchmark` (1.0 when unset). This exists so
+/// the gate's failure path is testable without actually slowing the
+/// machine down — see DESIGN.md.
+fn perturb_factor(benchmark: &str, spec: Option<&str>) -> f64 {
+    let Some(spec) = spec else { return 1.0 };
+    for part in spec.split(',') {
+        let part = part.trim();
+        match part.split_once(':') {
+            Some((name, factor)) => {
+                if name == benchmark {
+                    if let Ok(f) = factor.parse::<f64>() {
+                        return f;
+                    }
+                }
+            }
+            None => {
+                if let Ok(f) = part.parse::<f64>() {
+                    return f;
+                }
+            }
+        }
+    }
+    1.0
+}
+
+/// Run the full suite: for each engine one untimed warmup, `repeats`
+/// timed repeats (all samples kept), then one traced run for the
+/// span-derived stage breakdown. Returns one [`RunRecord`] per engine,
+/// all sharing a fresh run id and manifest.
+pub fn run_suite(preset: Preset, repeats: usize) -> Vec<RunRecord> {
+    let repeats = repeats.max(1);
+    let inputs = preset.inputs();
+    let manifest = RunManifest::collect_for(preset.name(), repeats, &preset.host_workload());
+    let run_id = new_run_id();
+    let recorded_unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let perturb = std::env::var("ARA_PERF_PERTURB").ok();
+
+    let mut records = Vec::new();
+    for engine in engines() {
+        let benchmark = format!("engine.{}", engine.name());
+        // Warmup: fault in lazily-allocated pages, populate caches.
+        let _ = engine.analyse(&inputs).expect("suite inputs are valid");
+        let factor = perturb_factor(&benchmark, perturb.as_deref());
+        let samples: Vec<f64> = (0..repeats)
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                let _ = engine.analyse(&inputs).expect("suite inputs are valid");
+                t0.elapsed().as_secs_f64() * factor
+            })
+            .collect();
+        // One traced pass for stage attribution — separate from the
+        // timed repeats so instrumentation never pollutes the samples.
+        ara_trace::recorder().enable(ara_trace::Level::Info);
+        let out = engine.analyse(&inputs).expect("suite inputs are valid");
+        let _ = ara_trace::recorder().drain();
+        ara_trace::recorder().disable();
+        let stage_secs = out
+            .measured
+            .map(|m| [m.fetch, m.lookup, m.financial, m.layer])
+            .unwrap_or([0.0; 4]);
+        records.push(RunRecord {
+            run_id: run_id.clone(),
+            benchmark,
+            recorded_unix,
+            samples_secs: samples,
+            stage_secs,
+            manifest: manifest.clone(),
+        });
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perturb_spec_parsing() {
+        assert_eq!(perturb_factor("engine.sequential", None), 1.0);
+        assert_eq!(perturb_factor("engine.sequential", Some("1.5")), 1.5);
+        assert_eq!(
+            perturb_factor("engine.multicore", Some("engine.multicore:2.0")),
+            2.0
+        );
+        assert_eq!(
+            perturb_factor("engine.sequential", Some("engine.multicore:2.0")),
+            1.0
+        );
+        assert_eq!(
+            perturb_factor(
+                "engine.gpu-basic",
+                Some("engine.multicore:2.0, engine.gpu-basic:3.0")
+            ),
+            3.0
+        );
+        assert_eq!(perturb_factor("engine.sequential", Some("garbage")), 1.0);
+    }
+
+    #[test]
+    fn presets_parse_and_shape() {
+        assert_eq!(Preset::Small.name(), "small");
+        assert_eq!(Preset::Small.shape().num_trials, 2_000);
+        assert_eq!(Preset::Bench.shape().num_trials, 10_000);
+        assert!(Preset::Small.host_workload().num_threads >= 1);
+    }
+}

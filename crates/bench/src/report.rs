@@ -161,7 +161,56 @@ pub fn results_json(name: &str, tables: &[&Table]) -> String {
     out
 }
 
-/// Write a `BENCH_<name>.json` sidecar holding all of a binary's tables.
+/// Serialise a benchmark result set with full provenance:
+/// `{"benchmark":…,"manifest":{…},"measurements":[…],"tables":[…]}`.
+/// Each measurement carries *every* repeat sample plus the min the
+/// printed tables report.
+pub fn results_json_full(
+    name: &str,
+    tables: &[&Table],
+    manifest: &crate::perf::RunManifest,
+    measurements: &[(String, Vec<f64>)],
+) -> String {
+    use ara_trace::json::{number, string};
+    let mut out = String::new();
+    out.push_str("{\"benchmark\":");
+    out.push_str(&string(name));
+    out.push_str(",\"manifest\":");
+    out.push_str(&manifest.to_json());
+    out.push_str(",\"measurements\":[");
+    for (i, (label, samples)) in measurements.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"label\":");
+        out.push_str(&string(label));
+        out.push_str(",\"samples\":[");
+        for (j, s) in samples.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&number(*s));
+        }
+        out.push_str("],\"min\":");
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        out.push_str(&number(if min.is_finite() { min } else { 0.0 }));
+        out.push('}');
+    }
+    out.push_str("],\"tables\":[");
+    for (i, t) in tables.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&t.to_json());
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Write a `BENCH_<name>.json` sidecar holding all of a binary's tables,
+/// its [`RunManifest`](crate::perf::RunManifest) provenance, and every
+/// repeat sample recorded through [`crate::runner::measure_labelled`] /
+/// [`crate::runner::measure_min`] (the sample log is drained here).
 ///
 /// The file lands in the current working directory (or `$ARA_BENCH_DIR`
 /// if set) and is machine-readable via [`ara_trace::json::parse`].
@@ -170,7 +219,15 @@ pub fn write_sidecar(name: &str, tables: &[&Table]) -> Result<PathBuf, ReportErr
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("."));
     let path = dir.join(format!("BENCH_{name}.json"));
-    std::fs::write(&path, results_json(name, tables))?;
+    let manifest = crate::perf::RunManifest::collect(
+        &format!("bin:{name}"),
+        crate::runner::repeat_from_args(),
+    );
+    let measurements = crate::runner::drain_samples();
+    std::fs::write(
+        &path,
+        results_json_full(name, tables, &manifest, &measurements),
+    )?;
     Ok(path)
 }
 
@@ -270,7 +327,11 @@ mod tests {
     }
 
     #[test]
-    fn sidecar_lands_in_ara_bench_dir() {
+    fn sidecar_lands_in_ara_bench_dir_with_provenance() {
+        let _guard = crate::runner::TEST_SAMPLE_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        crate::runner::drain_samples();
         let dir = std::env::temp_dir().join(format!("ara-bench-sidecar-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         std::env::set_var("ARA_BENCH_DIR", &dir);
@@ -278,6 +339,7 @@ mod tests {
         a.row(&["v".into()]).unwrap();
         let mut b = Table::new("second", &["k"]);
         b.row(&["w".into()]).unwrap();
+        let (_, _) = crate::runner::measure_labelled("sidecar.case", 2, || 42);
         let path = write_sidecar("unit_test", &[&a, &b]).unwrap();
         std::env::remove_var("ARA_BENCH_DIR");
         assert_eq!(path.file_name().unwrap(), "BENCH_unit_test.json");
@@ -287,6 +349,21 @@ mod tests {
         let tables = doc.get("tables").and_then(|v| v.as_array()).unwrap();
         assert_eq!(tables.len(), 2);
         assert_eq!(tables[1].get("title").and_then(|v| v.as_str()), Some("second"));
+        // Provenance: a manifest tagged with the binary name…
+        let manifest = doc.get("manifest").expect("sidecar carries a manifest");
+        assert_eq!(
+            manifest.get("preset").and_then(|v| v.as_str()),
+            Some("bin:unit_test")
+        );
+        assert!(manifest.get("fingerprint").is_some());
+        // …and the full repeat samples of every measurement.
+        let measurements = doc.get("measurements").and_then(|v| v.as_array()).unwrap();
+        let m = measurements
+            .iter()
+            .find(|m| m.get("label").and_then(|v| v.as_str()) == Some("sidecar.case"))
+            .expect("labelled measurement present");
+        assert_eq!(m.get("samples").and_then(|v| v.as_array()).unwrap().len(), 2);
+        assert!(m.get("min").and_then(|v| v.as_f64()).unwrap() >= 0.0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

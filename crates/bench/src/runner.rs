@@ -3,7 +3,18 @@
 use ara_core::Inputs;
 use ara_workload::{Scenario, ScenarioShape};
 use simt_sim::model::cpu::AraShape;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
+
+/// Process-wide log of every timed repeat, `(label, samples_secs)` per
+/// measurement, drained into the `BENCH_*.json` sidecar by
+/// [`crate::report::write_sidecar`] so the perf history keeps the full
+/// distribution — not just the min the printed tables show.
+static SAMPLE_LOG: Mutex<Vec<(String, Vec<f64>)>> = Mutex::new(Vec::new());
+
+/// Counter behind the auto-generated `measure#N` labels.
+static ANON_MEASUREMENTS: AtomicUsize = AtomicUsize::new(0);
 
 /// The footnote every binary prints under its measured columns.
 pub const MEASURED_SCALE_NOTE: &str =
@@ -51,20 +62,39 @@ pub fn measure<T>(f: impl FnOnce() -> T) -> (T, f64) {
 /// `repeats` timed runs, returning the final result and the **minimum**
 /// wall time observed. The warmup faults in lazily-allocated pages and
 /// populates caches; min-of-N suppresses host-scheduler noise in the
-/// measured columns (see EXPERIMENTS.md).
-pub fn measure_min<T>(repeats: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+/// measured columns (see EXPERIMENTS.md). All repeat samples — not just
+/// the min — are retained under `label` for the sidecar/perf history.
+pub fn measure_labelled<T>(label: &str, repeats: usize, mut f: impl FnMut() -> T) -> (T, f64) {
     let repeats = repeats.max(1);
     f(); // warmup, untimed
-    let mut best = f64::INFINITY;
+    let mut samples = Vec::with_capacity(repeats);
     let mut out = None;
     for _ in 0..repeats {
         let (v, secs) = measure(&mut f);
-        if secs < best {
-            best = secs;
-        }
+        samples.push(secs);
         out = Some(v);
     }
+    let best = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    if let Ok(mut log) = SAMPLE_LOG.lock() {
+        log.push((label.to_string(), samples));
+    }
     (out.expect("repeats >= 1"), best)
+}
+
+/// [`measure_labelled`] under an auto-generated `measure#N` label, for
+/// call sites that don't need a stable name in the sample log.
+pub fn measure_min<T>(repeats: usize, f: impl FnMut() -> T) -> (T, f64) {
+    let n = ANON_MEASUREMENTS.fetch_add(1, Ordering::Relaxed);
+    measure_labelled(&format!("measure#{n}"), repeats, f)
+}
+
+/// Take (and clear) every `(label, samples)` measurement recorded so
+/// far. Called once per binary when the sidecar is written.
+pub fn drain_samples() -> Vec<(String, Vec<f64>)> {
+    SAMPLE_LOG
+        .lock()
+        .map(|mut log| std::mem::take(&mut *log))
+        .unwrap_or_default()
 }
 
 /// Parse `--repeat N` (or `--repeat=N`) from the process arguments;
@@ -93,6 +123,12 @@ pub fn measured_label() -> String {
     format!("measured ({cores}-core host)")
 }
 
+/// Serialises tests that touch the process-wide [`SAMPLE_LOG`] (the
+/// runner's own tests and the sidecar tests in [`crate::report`]), so a
+/// concurrent drain can't steal another test's samples.
+#[cfg(test)]
+pub(crate) static TEST_SAMPLE_LOCK: Mutex<()> = Mutex::new(());
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,6 +156,7 @@ mod tests {
 
     #[test]
     fn measure_min_returns_result_and_min_time() {
+        let _guard = TEST_SAMPLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let mut calls = 0u32;
         let (v, secs) = measure_min(3, || {
             calls += 1;
@@ -129,12 +166,34 @@ mod tests {
         assert_eq!(calls, 4);
         assert_eq!(v, 4);
         assert!(secs >= 0.0 && secs.is_finite());
+        drain_samples();
     }
 
     #[test]
     fn measure_min_clamps_zero_repeats() {
+        let _guard = TEST_SAMPLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let (v, _) = measure_min(0, || 7);
         assert_eq!(v, 7);
+        drain_samples();
+    }
+
+    #[test]
+    fn labelled_measurements_retain_every_sample() {
+        let _guard = TEST_SAMPLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        drain_samples();
+        let (_, min) = measure_labelled("unit.labelled", 4, || {
+            std::hint::black_box(1 + 1)
+        });
+        let (_, _) = measure_min(2, || 0);
+        let drained = drain_samples();
+        let (label, samples) = &drained[0];
+        assert_eq!(label, "unit.labelled");
+        assert_eq!(samples.len(), 4, "all repeats retained, not just min");
+        let sample_min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        assert_eq!(sample_min, min);
+        assert!(drained[1].0.starts_with("measure#"));
+        assert_eq!(drained[1].1.len(), 2);
+        assert!(drain_samples().is_empty(), "drain clears the log");
     }
 
     #[test]

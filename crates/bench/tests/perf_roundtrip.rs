@@ -1,0 +1,133 @@
+//! End-to-end checks of the perf subsystem at the library level: the
+//! manifest and history records must survive a serialise → parse round
+//! trip through `ara_trace::json`, the store must shrug off corrupt
+//! lines, and the gate must move both ways on records it just produced.
+
+use ara_bench::perf::{
+    any_regression, compare_runs, group_runs, run_suite, BaselineStore, GatePolicy, Preset,
+    RunManifest, RunRecord, Verdict,
+};
+use ara_trace::json;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ara-perf-roundtrip-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn manifest_round_trips_and_keeps_its_fingerprint() {
+    let m = RunManifest::collect("small", 5);
+    let doc = json::parse(&m.to_json()).expect("manifest serialises to valid JSON");
+    let back = RunManifest::from_json(&doc).expect("manifest re-parses");
+    assert_eq!(back, m);
+    assert_eq!(back.host_fingerprint(), m.host_fingerprint());
+    assert_eq!(back.host_fingerprint().len(), 16, "16-hex FNV fingerprint");
+}
+
+#[test]
+fn suite_records_survive_the_store_and_gate_both_ways() {
+    // The suite toggles the global trace recorder and reads the
+    // ARA_PERF_PERTURB hook, so everything here runs under one guard.
+    let _g = ara_trace::testing::serial_guard();
+    ara_trace::testing::reset();
+    let store = BaselineStore::open(tmp("gate.jsonl"));
+    std::fs::remove_file(store.path()).ok();
+
+    // Baseline: one real small-preset suite run.
+    std::env::remove_var("ARA_PERF_PERTURB");
+    let baseline = run_suite(Preset::Small, 3);
+    assert_eq!(baseline.len(), 5, "one record per engine");
+    for r in &baseline {
+        assert_eq!(r.run_id, baseline[0].run_id, "records share one run id");
+        assert_eq!(r.samples_secs.len(), 3, "every repeat sample retained");
+        assert_eq!(r.manifest.preset, "small");
+        assert!(r.samples_secs.iter().all(|&s| s > 0.0 && s.is_finite()));
+    }
+    store.append(&baseline).unwrap();
+
+    // Candidate: a second clean run must pass the gate...
+    let clean = run_suite(Preset::Small, 3);
+    assert_ne!(clean[0].run_id, baseline[0].run_id);
+    store.append(&clean).unwrap();
+
+    // ...and a 20x perturbed run must fail it, naming the benchmark.
+    std::env::set_var("ARA_PERF_PERTURB", "engine.sequential-cpu:20.0");
+    let slowed = run_suite(Preset::Small, 3);
+    std::env::remove_var("ARA_PERF_PERTURB");
+    store.append(&slowed).unwrap();
+
+    let loaded = store.load();
+    assert!(loaded.warnings.is_empty(), "warnings: {:?}", loaded.warnings);
+    assert_eq!(loaded.records.len(), 15, "3 runs x 5 engines");
+
+    let fp = baseline[0].manifest.host_fingerprint();
+    let runs = group_runs(&loaded.records, &fp);
+    assert_eq!(runs.len(), 3, "history accumulated three distinct runs");
+
+    // A wide allowance so host noise can never fail the clean pass; the
+    // 20x injection clears any sane threshold.
+    let policy = GatePolicy {
+        allowed_regression_pct: 50.0,
+        ..GatePolicy::default()
+    };
+    let clean_cmp = compare_runs(&runs[0].1, &runs[1].1, &policy);
+    assert_eq!(clean_cmp.len(), 5);
+    assert!(
+        !any_regression(&clean_cmp),
+        "clean rerun regressed: {clean_cmp:?}"
+    );
+
+    let slow_cmp = compare_runs(&runs[0].1, &runs[2].1, &policy);
+    let regressed: Vec<_> = slow_cmp
+        .iter()
+        .filter(|c| c.verdict == Verdict::Regressed)
+        .collect();
+    assert_eq!(regressed.len(), 1, "exactly the perturbed benchmark fails");
+    assert_eq!(regressed[0].benchmark, "engine.sequential-cpu");
+    assert!(regressed[0].ratio > 5.0, "ratio {}", regressed[0].ratio);
+    ara_trace::testing::reset();
+}
+
+#[test]
+fn history_records_round_trip_through_json_and_skip_garbage() {
+    let store = BaselineStore::open(tmp("garbage.jsonl"));
+    std::fs::remove_file(store.path()).ok();
+    let record = RunRecord {
+        run_id: "r-rt".to_string(),
+        benchmark: "engine.gpu-basic".to_string(),
+        recorded_unix: 1_700_000_000,
+        samples_secs: vec![0.031, 0.029, 0.030],
+        stage_secs: [0.002, 0.021, 0.004, 0.003],
+        manifest: RunManifest::collect("bench", 3),
+    };
+
+    // Line-level round trip through the shared JSON parser.
+    let doc = json::parse(&record.to_json()).expect("record line is valid JSON");
+    assert_eq!(RunRecord::from_json(&doc).unwrap(), record);
+
+    // Store-level: good lines bracketing garbage all survive a load.
+    store.append(std::slice::from_ref(&record)).unwrap();
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(store.path())
+        .unwrap();
+    writeln!(f, "not json at all").unwrap();
+    writeln!(f, "{{\"type\":\"run\"}}").unwrap();
+    drop(f);
+    store.append(std::slice::from_ref(&record)).unwrap();
+
+    let loaded = store.load();
+    assert_eq!(loaded.records.len(), 2);
+    assert_eq!(loaded.warnings.len(), 2);
+    for (i, w) in loaded.warnings.iter().enumerate() {
+        assert!(
+            w.contains("skipped malformed history line"),
+            "warning {i} unexpected: {w}"
+        );
+    }
+    assert_eq!(loaded.records[0], loaded.records[1]);
+    assert!((loaded.records[0].median_secs() - 0.030).abs() < 1e-12);
+}

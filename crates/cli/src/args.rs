@@ -161,6 +161,76 @@ impl Default for RunOpts {
     }
 }
 
+/// What `ara perf` should do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PerfAction {
+    /// Run the engine suite and append the results to the history.
+    Record,
+    /// Compare the two most recent history runs on this host.
+    Compare,
+    /// Run the suite now and fail on a statistically supported
+    /// regression against the latest history baseline.
+    Gate,
+    /// Render the recorded history trajectory for this host.
+    Report,
+}
+
+impl PerfAction {
+    /// Parse the `perf` action token.
+    pub fn parse(s: &str) -> Result<Self, ArgError> {
+        match s {
+            "record" => Ok(PerfAction::Record),
+            "compare" => Ok(PerfAction::Compare),
+            "gate" => Ok(PerfAction::Gate),
+            "report" => Ok(PerfAction::Report),
+            other => Err(ArgError::BadValue("perf action", other.to_string())),
+        }
+    }
+}
+
+/// Output format for `ara perf` (`--format`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PerfFormat {
+    /// Human-readable text (the default).
+    #[default]
+    Summary,
+    /// Machine-readable JSON.
+    Json,
+    /// GitHub-flavoured markdown table.
+    Markdown,
+}
+
+impl PerfFormat {
+    /// Parse the `--format` value.
+    pub fn parse(s: &str) -> Result<Self, ArgError> {
+        match s {
+            "summary" | "text" => Ok(PerfFormat::Summary),
+            "json" => Ok(PerfFormat::Json),
+            "markdown" | "md" => Ok(PerfFormat::Markdown),
+            other => Err(ArgError::BadValue("--format", other.to_string())),
+        }
+    }
+}
+
+/// Options of `ara perf`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfOpts {
+    /// Which perf operation to run.
+    pub action: PerfAction,
+    /// Run the small (CI smoke) preset instead of the bench preset.
+    pub small: bool,
+    /// Timed repeats per benchmark (`--repeat`, default 5).
+    pub repeats: usize,
+    /// History file override (`--history`); defaults to
+    /// `$ARA_PERF_HISTORY` or `perf/history.jsonl`.
+    pub history: Option<String>,
+    /// Output format.
+    pub format: PerfFormat,
+    /// Allowed median regression percentage for `gate` (`--threshold`,
+    /// default 25).
+    pub threshold_pct: f64,
+}
+
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -176,6 +246,8 @@ pub enum Command {
     Stream(RunOpts),
     /// `ara seasonal …` — seasonal occurrence/loss attribution.
     Seasonal(RunOpts),
+    /// `ara perf …` — record, compare, gate, or report perf history.
+    Perf(PerfOpts),
     /// `ara help`.
     Help,
 }
@@ -226,6 +298,9 @@ USAGE:
   ara stream   --input <path.stream> [--layer N]
   ara seasonal --input <path> [--layer N] [--bins N]
   ara model    [--engine E] [--devices N]
+  ara perf     record|compare|gate|report [--small] [--repeat N]
+               [--history <path>] [--format summary|json|markdown]
+               [--threshold PCT]
   ara help
 
 LAYOUTS (generate --layout): columnar (default) | interleaved (streamable)
@@ -240,10 +315,18 @@ TRACING: --trace-out enables the recorder and writes the drained trace;
   --trace-format chrome (default, for chrome://tracing / Perfetto) |
   jsonl | summary. -v keeps Debug spans, -vv keeps Trace spans.
   --quiet suppresses the per-layer report body.
+
+PERF: `record` runs the five-engine suite and appends every repeat
+  sample (plus a provenance manifest) to the history; `gate` reruns the
+  suite and fails only when a bootstrap CI on the medians excludes the
+  allowed regression (--threshold, default 25%) beyond the noise floor,
+  naming the worst-moving stage; `compare` diffs the last two recorded
+  runs; `report` renders the host's trajectory. Baselines are keyed by
+  host fingerprint. --history overrides perf/history.jsonl.
 ";
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["--quiet", "-v", "-vv"];
+const BOOL_FLAGS: &[&str] = &["--quiet", "-v", "-vv", "--small"];
 
 struct Flags<'a> {
     pairs: Vec<(&'a str, &'a str)>,
@@ -395,6 +478,38 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                 "seasonal" => Command::Seasonal(opts),
                 _ => Command::Model(opts),
             })
+        }
+        "perf" => {
+            let Some(action) = rest.first() else {
+                return Err(ArgError::MissingFlag("record|compare|gate|report"));
+            };
+            let action = PerfAction::parse(action)?;
+            let flags = Flags::parse(&rest[1..])?;
+            flags.ensure_known(&[
+                "--small",
+                "--repeat",
+                "--history",
+                "--format",
+                "--threshold",
+            ])?;
+            let threshold_pct: f64 = flags.num("--threshold", 25.0)?;
+            if !(threshold_pct.is_finite() && threshold_pct >= 0.0) {
+                return Err(ArgError::BadValue(
+                    "--threshold",
+                    threshold_pct.to_string(),
+                ));
+            }
+            Ok(Command::Perf(PerfOpts {
+                action,
+                small: flags.has("--small"),
+                repeats: flags.num("--repeat", 5usize)?.max(1),
+                history: flags.get("--history").map(str::to_string),
+                format: match flags.get("--format") {
+                    None => PerfFormat::Summary,
+                    Some(v) => PerfFormat::parse(v)?,
+                },
+                threshold_pct,
+            }))
         }
         other => Err(ArgError::UnknownCommand(other.to_string())),
     }
@@ -626,6 +741,78 @@ mod tests {
                 assert!(!o.quiet);
                 assert!(o.trace_out.is_none());
             }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_perf_subcommands() {
+        let cmd = parse_args(&v(&["perf", "gate", "--small", "--repeat", "7"])).unwrap();
+        match cmd {
+            Command::Perf(p) => {
+                assert_eq!(p.action, PerfAction::Gate);
+                assert!(p.small);
+                assert_eq!(p.repeats, 7);
+                assert_eq!(p.format, PerfFormat::Summary);
+                assert_eq!(p.threshold_pct, 25.0);
+                assert!(p.history.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse_args(&v(&[
+            "perf",
+            "report",
+            "--history",
+            "h.jsonl",
+            "--format",
+            "markdown",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Perf(p) => {
+                assert_eq!(p.action, PerfAction::Report);
+                assert_eq!(p.history.as_deref(), Some("h.jsonl"));
+                assert_eq!(p.format, PerfFormat::Markdown);
+                assert!(!p.small);
+            }
+            other => panic!("{other:?}"),
+        }
+        for (token, want) in [
+            ("record", PerfAction::Record),
+            ("compare", PerfAction::Compare),
+        ] {
+            match parse_args(&v(&["perf", token])).unwrap() {
+                Command::Perf(p) => assert_eq!(p.action, want),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn perf_rejects_bad_input() {
+        assert!(matches!(
+            parse_args(&v(&["perf"])),
+            Err(ArgError::MissingFlag(_))
+        ));
+        assert!(matches!(
+            parse_args(&v(&["perf", "tune"])),
+            Err(ArgError::BadValue("perf action", _))
+        ));
+        assert!(matches!(
+            parse_args(&v(&["perf", "gate", "--format", "xml"])),
+            Err(ArgError::BadValue("--format", _))
+        ));
+        assert!(matches!(
+            parse_args(&v(&["perf", "gate", "--threshold", "-3"])),
+            Err(ArgError::BadValue("--threshold", _))
+        ));
+        assert!(matches!(
+            parse_args(&v(&["perf", "gate", "--engine", "seq"])),
+            Err(ArgError::UnknownFlag(_))
+        ));
+        // Repeats clamp to at least one timed run.
+        match parse_args(&v(&["perf", "record", "--repeat", "0"])).unwrap() {
+            Command::Perf(p) => assert_eq!(p.repeats, 1),
             other => panic!("{other:?}"),
         }
     }

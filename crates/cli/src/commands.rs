@@ -3,7 +3,11 @@
 //! Each command returns its report as a `String` so the binary stays a
 //! thin printing shell and the behaviour is unit-testable.
 
-use crate::args::{EngineKind, GenerateOpts, Layout, RunOpts};
+use crate::args::{EngineKind, GenerateOpts, Layout, PerfAction, PerfFormat, PerfOpts, RunOpts};
+use ara_bench::perf::{
+    any_regression, compare_runs, group_runs, render, run_suite, BaselineStore, GatePolicy,
+    Preset, RunRecord,
+};
 use ara_core::io::SnapshotError;
 use ara_core::Inputs;
 use ara_engine::{
@@ -329,6 +333,177 @@ pub fn run_seasonal(opts: &RunOpts) -> Result<String, CliError> {
     Ok(report)
 }
 
+/// The outcome of `ara perf`: the rendered report plus whether the
+/// regression gate failed (drives the process exit code).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfOutcome {
+    /// Rendered report in the requested format.
+    pub report: String,
+    /// True when `gate` found a statistically supported regression.
+    pub gate_failed: bool,
+}
+
+fn perf_store(opts: &PerfOpts) -> BaselineStore {
+    match &opts.history {
+        Some(p) => BaselineStore::open(p.as_str()),
+        None => BaselineStore::open(BaselineStore::default_path()),
+    }
+}
+
+fn perf_policy(opts: &PerfOpts) -> GatePolicy {
+    GatePolicy {
+        allowed_regression_pct: opts.threshold_pct,
+        ..GatePolicy::default()
+    }
+}
+
+fn render_comparisons(
+    comparisons: &[ara_bench::perf::Comparison],
+    format: PerfFormat,
+    policy: &GatePolicy,
+) -> String {
+    match format {
+        PerfFormat::Summary => render::summary(comparisons, policy),
+        PerfFormat::Json => render::json_report(comparisons),
+        PerfFormat::Markdown => render::markdown(comparisons),
+    }
+}
+
+fn warnings_preamble(warnings: &[String]) -> String {
+    warnings
+        .iter()
+        .map(|w| format!("warning: {w}\n"))
+        .collect()
+}
+
+/// `ara perf`: record the engine-suite timings, compare or gate against
+/// the host's recorded baseline, or report the history trajectory.
+pub fn run_perf(opts: &PerfOpts) -> Result<PerfOutcome, CliError> {
+    let store = perf_store(opts);
+    let policy = perf_policy(opts);
+    let preset = if opts.small {
+        Preset::Small
+    } else {
+        Preset::Bench
+    };
+    match opts.action {
+        PerfAction::Record => {
+            let records = run_suite(preset, opts.repeats);
+            store.append(&records)?;
+            let mut report = format!(
+                "recorded run {} ({} benchmarks x {} repeats, preset {}) to {}\n",
+                records[0].run_id,
+                records.len(),
+                opts.repeats,
+                preset.name(),
+                store.path().display(),
+            );
+            for r in &records {
+                report.push_str(&format!(
+                    "  {:<24} median {:>10.3} ms\n",
+                    r.benchmark,
+                    r.median_secs() * 1e3
+                ));
+            }
+            Ok(PerfOutcome {
+                report,
+                gate_failed: false,
+            })
+        }
+        PerfAction::Compare => {
+            let loaded = store.load();
+            let fingerprint = ara_bench::perf::RunManifest::collect(preset.name(), opts.repeats)
+                .host_fingerprint();
+            let runs = group_runs(&loaded.records, &fingerprint);
+            if runs.len() < 2 {
+                return Ok(PerfOutcome {
+                    report: format!(
+                        "{}perf compare: need at least two recorded runs for this host in {} (have {})\n",
+                        warnings_preamble(&loaded.warnings),
+                        store.path().display(),
+                        runs.len(),
+                    ),
+                    gate_failed: false,
+                });
+            }
+            let baseline = &runs[runs.len() - 2].1;
+            let candidate = &runs[runs.len() - 1].1;
+            let comparisons = compare_runs(baseline, candidate, &policy);
+            Ok(PerfOutcome {
+                report: format!(
+                    "{}{}",
+                    warnings_preamble(&loaded.warnings),
+                    render_comparisons(&comparisons, opts.format, &policy)
+                ),
+                gate_failed: false,
+            })
+        }
+        PerfAction::Gate => {
+            let loaded = store.load();
+            let candidate = run_suite(preset, opts.repeats);
+            let fingerprint = candidate[0].manifest.host_fingerprint();
+            let runs = group_runs(&loaded.records, &fingerprint);
+            let Some((_, baseline)) = runs.last() else {
+                store.append(&candidate)?;
+                return Ok(PerfOutcome {
+                    report: format!(
+                        "{}perf gate: no baseline for this host in {}; recorded run {} as the bootstrap baseline (pass)\n",
+                        warnings_preamble(&loaded.warnings),
+                        store.path().display(),
+                        candidate[0].run_id,
+                    ),
+                    gate_failed: false,
+                });
+            };
+            let cand_refs: Vec<&RunRecord> = candidate.iter().collect();
+            let comparisons = compare_runs(baseline, &cand_refs, &policy);
+            let gate_failed = any_regression(&comparisons);
+            let mut report = format!(
+                "{}{}",
+                warnings_preamble(&loaded.warnings),
+                render_comparisons(&comparisons, opts.format, &policy)
+            );
+            if opts.format == PerfFormat::Summary {
+                report.push_str(if gate_failed {
+                    "perf gate: FAIL\n"
+                } else {
+                    "perf gate: PASS\n"
+                });
+            }
+            Ok(PerfOutcome {
+                report,
+                gate_failed,
+            })
+        }
+        PerfAction::Report => {
+            let loaded = store.load();
+            let fingerprint = ara_bench::perf::RunManifest::collect(preset.name(), opts.repeats)
+                .host_fingerprint();
+            let runs = group_runs(&loaded.records, &fingerprint);
+            let body = match opts.format {
+                PerfFormat::Json => {
+                    let mut out = String::from("[");
+                    for (i, (_, records)) in runs.iter().enumerate() {
+                        for (j, r) in records.iter().enumerate() {
+                            if i > 0 || j > 0 {
+                                out.push(',');
+                            }
+                            out.push_str(&r.to_json());
+                        }
+                    }
+                    out.push_str("]\n");
+                    out
+                }
+                _ => render::trajectory(&runs),
+            };
+            Ok(PerfOutcome {
+                report: format!("{}{}", warnings_preamble(&loaded.warnings), body),
+                gate_failed: false,
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -526,6 +701,94 @@ mod tests {
         assert_eq!(trace_level(1), ara_trace::Level::Debug);
         assert_eq!(trace_level(2), ara_trace::Level::Trace);
         assert_eq!(trace_level(9), ara_trace::Level::Trace);
+    }
+
+    fn perf_opts(action: PerfAction, history: &str) -> PerfOpts {
+        PerfOpts {
+            action,
+            small: true,
+            repeats: 3,
+            history: Some(history.to_string()),
+            format: PerfFormat::Summary,
+            // Generous threshold so host noise can never fail the clean
+            // rerun; the injected slowdown below is far larger.
+            threshold_pct: 50.0,
+        }
+    }
+
+    #[test]
+    fn perf_gate_passes_clean_and_fails_injected_slowdown() {
+        // run_suite toggles the global recorder; serialise with the
+        // other tracing tests. The guard also serialises the
+        // ARA_PERF_PERTURB env hook.
+        let _guard = ara_trace::testing::serial_guard();
+        ara_trace::testing::reset();
+        std::env::remove_var("ARA_PERF_PERTURB");
+        let history = tmp("perf-gate-history.jsonl");
+        std::fs::remove_file(&history).ok();
+
+        // 1. Empty history: the gate bootstraps a baseline and passes.
+        let first = run_perf(&perf_opts(PerfAction::Gate, &history)).unwrap();
+        assert!(!first.gate_failed);
+        assert!(first.report.contains("bootstrap baseline"), "{}", first.report);
+
+        // 2. Clean rerun on the same machine: pass.
+        let clean = run_perf(&perf_opts(PerfAction::Gate, &history)).unwrap();
+        assert!(!clean.gate_failed, "clean rerun regressed:\n{}", clean.report);
+        assert!(clean.report.contains("perf gate: PASS"), "{}", clean.report);
+
+        // 3. Injected 20x slowdown via the test hook: fail, naming the
+        //    benchmark and its worst-moving stage.
+        std::env::set_var("ARA_PERF_PERTURB", "20.0");
+        let slow = run_perf(&perf_opts(PerfAction::Gate, &history)).unwrap();
+        std::env::remove_var("ARA_PERF_PERTURB");
+        assert!(slow.gate_failed, "injected slowdown not caught:\n{}", slow.report);
+        assert!(slow.report.contains("REGRESSED"), "{}", slow.report);
+        assert!(slow.report.contains("engine.sequential-cpu"), "{}", slow.report);
+        assert!(slow.report.contains("perf gate: FAIL"), "{}", slow.report);
+        std::fs::remove_file(&history).ok();
+    }
+
+    #[test]
+    fn perf_record_compare_report_round_trip() {
+        let _guard = ara_trace::testing::serial_guard();
+        ara_trace::testing::reset();
+        std::env::remove_var("ARA_PERF_PERTURB");
+        let history = tmp("perf-record-history.jsonl");
+        std::fs::remove_file(&history).ok();
+
+        // Before anything is recorded, compare and report degrade
+        // gracefully.
+        let empty = run_perf(&perf_opts(PerfAction::Report, &history)).unwrap();
+        assert!(empty.report.contains("no runs recorded"), "{}", empty.report);
+        let short = run_perf(&perf_opts(PerfAction::Compare, &history)).unwrap();
+        assert!(short.report.contains("at least two"), "{}", short.report);
+
+        // History accumulates across two recorded runs…
+        run_perf(&perf_opts(PerfAction::Record, &history)).unwrap();
+        run_perf(&perf_opts(PerfAction::Record, &history)).unwrap();
+        let lines = std::fs::read_to_string(&history)
+            .unwrap()
+            .lines()
+            .count();
+        assert_eq!(lines, 10, "5 engines x 2 runs, one line each");
+
+        // …compare diffs the two latest runs, and report renders the
+        // trajectory.
+        let cmp = run_perf(&perf_opts(PerfAction::Compare, &history)).unwrap();
+        assert!(!cmp.gate_failed);
+        assert!(cmp.report.contains("engine.multi-gpu"), "{}", cmp.report);
+        let rep = run_perf(&perf_opts(PerfAction::Report, &history)).unwrap();
+        assert!(rep.report.contains("2 run(s)"), "{}", rep.report);
+        assert!(rep.report.contains("vs prev"), "{}", rep.report);
+
+        // The JSON format round-trips through the in-repo parser.
+        let mut json_opts = perf_opts(PerfAction::Report, &history);
+        json_opts.format = PerfFormat::Json;
+        let js = run_perf(&json_opts).unwrap();
+        let doc = ara_trace::json::parse(js.report.trim()).expect("valid JSON report");
+        assert_eq!(doc.as_array().unwrap().len(), 10);
+        std::fs::remove_file(&history).ok();
     }
 
     #[test]

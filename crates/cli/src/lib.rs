@@ -7,6 +7,7 @@
 //! ara analyse  --input book.ara --engine multi-gpu --devices 4
 //! ara metrics  --input book.ara --layer 0
 //! ara model    --engine multi-gpu --devices 4
+//! ara perf     gate --small
 //! ```
 //!
 //! The argument parser is deliberately tiny and dependency-free; all the
@@ -19,8 +20,11 @@
 pub mod args;
 pub mod commands;
 
-pub use args::{parse_args, ArgError, Command, EngineKind, GenerateOpts, Layout, RunOpts};
+pub use args::{
+    parse_args, ArgError, Command, EngineKind, GenerateOpts, Layout, PerfAction, PerfFormat,
+    PerfOpts, RunOpts,
+};
 pub use commands::{
-    run_analyse, run_generate, run_metrics, run_model, run_seasonal, run_stream, trace_level,
-    CliError,
+    run_analyse, run_generate, run_metrics, run_model, run_perf, run_seasonal, run_stream,
+    trace_level, CliError, PerfOutcome,
 };

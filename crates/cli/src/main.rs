@@ -1,8 +1,8 @@
 //! The `ara` binary: thin shell over [`ara_cli`].
 
 use ara_cli::{
-    parse_args, run_analyse, run_generate, run_metrics, run_model, run_seasonal, run_stream,
-    Command,
+    parse_args, run_analyse, run_generate, run_metrics, run_model, run_perf, run_seasonal,
+    run_stream, Command,
 };
 use std::process::ExitCode;
 
@@ -26,6 +26,22 @@ fn main() -> ExitCode {
         Command::Model(opts) => run_model(&opts),
         Command::Stream(opts) => run_stream(&opts),
         Command::Seasonal(opts) => run_seasonal(&opts),
+        Command::Perf(opts) => {
+            return match run_perf(&opts) {
+                Ok(outcome) => {
+                    print!("{}", outcome.report);
+                    if outcome.gate_failed {
+                        ExitCode::FAILURE
+                    } else {
+                        ExitCode::SUCCESS
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
     };
     match result {
         Ok(report) => {

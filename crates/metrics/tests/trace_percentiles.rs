@@ -1,0 +1,86 @@
+//! Pins the bucketed percentile math in `ara_trace`'s histogram against
+//! the exact sample quantiles in `ara_metrics::stats`.
+//!
+//! The trace histogram uses power-of-two buckets, so its quantile is the
+//! upper bound of the bucket holding the ranked sample — exact at the
+//! extremes and within a factor of two elsewhere. These tests make that
+//! contract explicit so the two implementations cannot drift apart
+//! silently (e.g. a bucketing change that quietly breaks the p99 column
+//! in trace summaries).
+
+use ara_metrics::stats;
+use ara_trace::metrics as trace_metrics;
+use ara_trace::testing::{reset, serial_guard};
+
+/// Record `values` into a fresh named histogram and return its snapshot.
+fn bucketed(name: &'static str, values: &[u64]) -> ara_trace::HistogramSnapshot {
+    let h = trace_metrics().histogram(name);
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+#[test]
+fn bucketed_quantiles_track_exact_quantiles_within_factor_two() {
+    let _g = serial_guard();
+    reset();
+    let values: Vec<u64> = (1..=1000).collect();
+    let exact_input: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+    let snap = bucketed("pin.uniform", &values);
+
+    for &q in &[0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99] {
+        let exact = stats::quantile(&exact_input, q);
+        let approx = snap.quantile(q) as f64;
+        assert!(
+            approx >= exact / 2.0 && approx <= exact * 2.0,
+            "q={q}: bucketed {approx} outside factor-2 band of exact {exact}"
+        );
+    }
+    reset();
+}
+
+#[test]
+fn extremes_are_exact_and_quantiles_are_monotone() {
+    let _g = serial_guard();
+    reset();
+    // Skewed sample: heavy low tail plus a few large outliers.
+    let mut values: Vec<u64> = (1..=100).collect();
+    values.extend([5_000, 60_000, 1_000_000]);
+    let exact_input: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+    let snap = bucketed("pin.skewed", &values);
+
+    // q = 0 and q = 1 are exact by contract, matching the exact stats.
+    assert_eq!(snap.quantile(0.0) as f64, stats::quantile(&exact_input, 0.0));
+    assert_eq!(snap.quantile(1.0) as f64, stats::quantile(&exact_input, 1.0));
+
+    // Both implementations are monotone non-decreasing in q.
+    let grid: Vec<f64> = (0..=20).map(|i| i as f64 / 20.0).collect();
+    for pair in grid.windows(2) {
+        assert!(
+            snap.quantile(pair[0]) <= snap.quantile(pair[1]),
+            "bucketed quantile not monotone at q={}..{}",
+            pair[0],
+            pair[1]
+        );
+        assert!(
+            stats::quantile(&exact_input, pair[0]) <= stats::quantile(&exact_input, pair[1]),
+            "exact quantile not monotone at q={}..{}",
+            pair[0],
+            pair[1]
+        );
+    }
+    reset();
+}
+
+#[test]
+fn single_sample_collapses_both_implementations() {
+    let _g = serial_guard();
+    reset();
+    let snap = bucketed("pin.single", &[42]);
+    for &q in &[0.0, 0.5, 1.0] {
+        assert_eq!(snap.quantile(q), 42);
+        assert_eq!(stats::quantile(&[42.0], q), 42.0);
+    }
+    reset();
+}

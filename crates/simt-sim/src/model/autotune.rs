@@ -127,6 +127,39 @@ impl CacheModel {
     }
 }
 
+/// The host CPU's marketing name, from `/proc/cpuinfo` on Linux;
+/// `"unknown-cpu"` when the file or field is unavailable. Part of the
+/// host fingerprint perf baselines are keyed by, alongside
+/// [`CacheModel::detect`].
+pub fn cpu_model_name() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .as_deref()
+        .and_then(parse_cpuinfo_model)
+        .unwrap_or_else(|| "unknown-cpu".to_string())
+}
+
+/// Extract the first `model name` field of a `/proc/cpuinfo` dump.
+fn parse_cpuinfo_model(text: &str) -> Option<String> {
+    text.lines().find_map(|line| {
+        let (key, value) = line.split_once(':')?;
+        (key.trim() == "model name").then(|| value.trim().to_string())
+    })
+}
+
+impl HostTuning {
+    /// `(knob name, chosen value)` pairs, for trace span fields and run
+    /// manifests.
+    pub fn named(&self) -> [(&'static str, u64); 4] {
+        [
+            ("gather_chunk", self.gather_chunk as u64),
+            ("region_slots", self.region_slots as u64),
+            ("schedule_grain", self.schedule_grain as u64),
+            ("blocks_per_run", self.blocks_per_run as u64),
+        ]
+    }
+}
+
 /// Parse sysfs cache sizes like `48K` or `2M` into bytes.
 fn parse_cache_size(s: &str) -> Option<usize> {
     let s = s.trim();
@@ -397,6 +430,29 @@ mod tests {
     fn detect_returns_positive_sizes() {
         let c = CacheModel::detect();
         assert!(c.l1d_bytes > 0 && c.l2_bytes > 0 && c.llc_bytes >= c.l2_bytes);
+    }
+
+    #[test]
+    fn cpuinfo_model_parsing() {
+        let dump = "processor\t: 0\nvendor_id\t: GenuineIntel\n\
+                    model name\t: Intel(R) Core(TM) i7-2600 CPU @ 3.40GHz\n\
+                    processor\t: 1\nmodel name\t: other\n";
+        assert_eq!(
+            parse_cpuinfo_model(dump).as_deref(),
+            Some("Intel(R) Core(TM) i7-2600 CPU @ 3.40GHz")
+        );
+        assert_eq!(parse_cpuinfo_model("flags : fpu vme"), None);
+        assert_eq!(parse_cpuinfo_model(""), None);
+        // The live path never panics and never returns an empty string.
+        assert!(!cpu_model_name().is_empty());
+    }
+
+    #[test]
+    fn host_tuning_named_round_trips_the_knobs() {
+        let t = tune_host(&CacheModel::FALLBACK, &bench_workload());
+        let named = t.named();
+        assert_eq!(named[0], ("gather_chunk", t.gather_chunk as u64));
+        assert_eq!(named[3], ("blocks_per_run", t.blocks_per_run as u64));
     }
 
     #[test]

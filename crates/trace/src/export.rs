@@ -247,12 +247,13 @@ pub fn to_summary(trace: &Trace) -> String {
         for (name, h) in &trace.metrics.histograms {
             let _ = writeln!(
                 out,
-                "  {name}: count={} mean={:.1} min={} p50={} p95={} max={}",
+                "  {name}: count={} mean={:.1} min={} p50={} p95={} p99={} max={}",
                 h.count,
                 h.mean(),
                 h.min,
                 h.quantile(0.50),
                 h.quantile(0.95),
+                h.quantile(0.99),
                 h.max
             );
         }
@@ -366,6 +367,14 @@ mod tests {
         assert!(out.contains("lookup.probes = 1234"));
         assert!(out.contains("simt.occupancy = 0.5"));
         assert!(out.contains("block.ns"));
+        // The histogram line carries the full percentile ladder.
+        let hist_line = out
+            .lines()
+            .find(|l| l.contains("block.ns"))
+            .expect("histogram summary line");
+        for token in ["p50=", "p95=", "p99="] {
+            assert!(hist_line.contains(token), "missing {token} in {hist_line:?}");
+        }
         // Child is indented deeper than its parent.
         let engine_indent = out
             .lines()

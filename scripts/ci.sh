@@ -1,9 +1,16 @@
 #!/usr/bin/env bash
 # The tier-1 gate: release build, full test suite, and clippy with
-# warnings denied. Run before every push.
+# warnings denied, then the statistical perf gate at smoke scale. Run
+# before every push.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+
+# Perf regression gate: record this build into perf/history.jsonl and
+# compare against the last run on a matching host (the first run on a
+# fresh host records the bootstrap baseline and passes).
+cargo run --release -p ara-cli --bin ara -- perf record --small
+cargo run --release -p ara-cli --bin ara -- perf gate --small

@@ -183,7 +183,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let streamed = PreparedLayer::<f64>::prepare(&inputs, layer)?.with_region_slots(cat as usize);
     let (ylt_scalar, fused_scalar) =
         measure_min(repeats, || analyse_layer_scalar(&prepared, &inputs.yet));
-    let (ylt_batched, fused_batched) = measure_min(repeats, || analyse_layer(&prepared, &inputs.yet));
+    let (ylt_batched, fused_batched) =
+        measure_min(repeats, || analyse_layer(&prepared, &inputs.yet));
     let (ylt_blocked, fused_blocked) =
         measure_min(repeats, || analyse_layer_blocked(&prepared, &inputs.yet));
     let (ylt_streamed, fused_streamed) =

@@ -6,7 +6,10 @@
 //! memory-bandwidth-bound.
 
 use ara_bench::report::{secs, speedup};
-use ara_bench::{bench_inputs, measure_min, repeat_from_args, measured_label, paper_shape, Table, MEASURED_SCALE_NOTE};
+use ara_bench::{
+    bench_inputs, measure_min, measured_label, paper_shape, repeat_from_args, Table,
+    MEASURED_SCALE_NOTE,
+};
 use ara_engine::{Engine, MulticoreEngine, SequentialEngine};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

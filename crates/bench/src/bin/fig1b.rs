@@ -63,11 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             engine.analyse(&inputs).expect("valid inputs")
         });
         let t1 = *t1.get_or_insert(t);
-        measured.row(&[
-            threads.to_string(),
-            secs(t),
-            format!("{:.2}x", t1 / t),
-        ])?;
+        measured.row(&[threads.to_string(), secs(t), format!("{:.2}x", t1 / t)])?;
     }
 
     ara_bench::emit("fig1b", &[&table, &measured])?;

@@ -6,7 +6,10 @@
 //! = 32 warps per SM, while 192–512 reach the full 48 warps.
 
 use ara_bench::report::secs;
-use ara_bench::{measure_min, repeat_from_args, measured_label, paper_shape, small_inputs, Table, MEASURED_SCALE_NOTE};
+use ara_bench::{
+    measure_min, measured_label, paper_shape, repeat_from_args, small_inputs, Table,
+    MEASURED_SCALE_NOTE,
+};
 use ara_engine::{Engine, GpuBasicEngine, PlatformDetail};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -29,7 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             PlatformDetail::Gpu(kt) => kt.occupancy.warps_per_sm.to_string(),
             _ => "-".to_string(),
         };
-        let (_, measured) = measure_min(repeat_from_args(), || engine.analyse(&inputs).expect("valid inputs"));
+        let (_, measured) = measure_min(repeat_from_args(), || {
+            engine.analyse(&inputs).expect("valid inputs")
+        });
         table.row(&[
             block.to_string(),
             secs(m.total_seconds),

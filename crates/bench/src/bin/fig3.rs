@@ -7,7 +7,10 @@
 //! layer terms from 0.11 s to 0.02 s.
 
 use ara_bench::report::{pct, secs, speedup};
-use ara_bench::{bench_inputs, measure_min, repeat_from_args, measured_label, paper_shape, Table, MEASURED_SCALE_NOTE};
+use ara_bench::{
+    bench_inputs, measure_min, measured_label, paper_shape, repeat_from_args, Table,
+    MEASURED_SCALE_NOTE,
+};
 use ara_engine::{Engine, MultiGpuEngine};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -31,7 +34,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let engine = MultiGpuEngine::<f32>::new(n);
         let m = engine.model(&shape);
         let s = one.total_seconds / m.total_seconds;
-        let (_, measured) = measure_min(repeat_from_args(), || engine.analyse(&inputs).expect("valid inputs"));
+        let (_, measured) = measure_min(repeat_from_args(), || {
+            engine.analyse(&inputs).expect("valid inputs")
+        });
         table.row(&[
             n.to_string(),
             secs(m.total_seconds),

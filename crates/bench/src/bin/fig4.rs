@@ -9,7 +9,10 @@
 //! block size the shared memory can use".
 
 use ara_bench::report::secs;
-use ara_bench::{bench_inputs, measure_min, repeat_from_args, measured_label, paper_shape, Table, MEASURED_SCALE_NOTE};
+use ara_bench::{
+    bench_inputs, measure_min, measured_label, paper_shape, repeat_from_args, Table,
+    MEASURED_SCALE_NOTE,
+};
 use ara_engine::{Engine, MultiGpuEngine, PlatformDetail};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -41,7 +44,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             _ => "-".to_string(),
         };
         let measured = if m.feasible {
-            let (_, s) = measure_min(repeat_from_args(), || engine.analyse(&inputs).expect("valid inputs"));
+            let (_, s) = measure_min(repeat_from_args(), || {
+                engine.analyse(&inputs).expect("valid inputs")
+            });
             secs(s)
         } else {
             "-".to_string()

@@ -11,7 +11,10 @@
 //! | optimised 4× GPU (M2090) | 4.35 s | 77.6× |
 
 use ara_bench::report::{secs, speedup};
-use ara_bench::{bench_inputs, measure_min, repeat_from_args, measured_label, paper_shape, Table, MEASURED_SCALE_NOTE};
+use ara_bench::{
+    bench_inputs, measure_min, measured_label, paper_shape, repeat_from_args, Table,
+    MEASURED_SCALE_NOTE,
+};
 use ara_engine::{
     Engine, GpuBasicEngine, GpuOptimizedEngine, MultiGpuEngine, MulticoreEngine, SequentialEngine,
 };
@@ -46,7 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut measured_base = 0.0;
     for (i, (engine, paper)) in engines.iter().enumerate() {
         let m = engine.model(&shape);
-        let (_, measured) = measure_min(repeat_from_args(), || engine.analyse(&inputs).expect("valid inputs"));
+        let (_, measured) = measure_min(repeat_from_args(), || {
+            engine.analyse(&inputs).expect("valid inputs")
+        });
         if i == 0 {
             modeled_base = m.total_seconds;
             measured_base = measured;

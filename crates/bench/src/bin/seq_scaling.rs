@@ -10,7 +10,7 @@
 //! scale) and the modeled i7-2600 time (paper scale base).
 
 use ara_bench::report::secs;
-use ara_bench::{measure_min, repeat_from_args, measured_label, Table};
+use ara_bench::{measure_min, measured_label, repeat_from_args, Table};
 use ara_engine::{Engine, SequentialEngine};
 use ara_workload::{Scenario, ScenarioShape};
 use simt_sim::model::cpu::AraShape;
@@ -36,7 +36,9 @@ fn run(shape: ScenarioShape) -> f64 {
     engine.analyse(&inputs).expect("valid inputs");
     (0..3)
         .map(|_| {
-            let (out, wall) = measure_min(repeat_from_args(), || engine.analyse(&inputs).expect("valid inputs"));
+            let (out, wall) = measure_min(repeat_from_args(), || {
+                engine.analyse(&inputs).expect("valid inputs")
+            });
             wall - out.prepare.as_secs_f64()
         })
         .fold(f64::INFINITY, f64::min)

@@ -10,7 +10,7 @@
 //! pricing) is needed.
 
 use ara_bench::report::secs;
-use ara_bench::{measure_min, repeat_from_args, measured_label, Table};
+use ara_bench::{measure_min, measured_label, repeat_from_args, Table};
 use ara_engine::{Engine, GpuOptimizedEngine};
 use ara_metrics::{aal_ci, pml_ci};
 use ara_workload::{Scenario, ScenarioShape};
@@ -41,7 +41,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .build_unlimited_single_layer()
             .expect("valid scenario");
         let engine = GpuOptimizedEngine::<f32>::new();
-        let (out, elapsed) = measure_min(repeat_from_args(), || engine.analyse(&inputs).expect("valid inputs"));
+        let (out, elapsed) = measure_min(repeat_from_args(), || {
+            engine.analyse(&inputs).expect("valid inputs")
+        });
         let losses = out.portfolio.layer_ylt(0).year_losses().to_vec();
         let aal = aal_ci(&losses, 300, 0.95, 42);
         let pml = pml_ci(&losses, 250.0, 300, 0.95, 42);

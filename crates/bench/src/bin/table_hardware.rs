@@ -110,11 +110,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             || engine.analyse(&inputs).expect("valid inputs"),
         );
         let seq_host = *seq_host.get_or_insert(t);
-        anchor_table.row(&[
-            engine.name().to_string(),
-            secs(t),
-            speedup(seq_host / t),
-        ])?;
+        anchor_table.row(&[engine.name().to_string(), secs(t), speedup(seq_host / t)])?;
     }
 
     ara_bench::emit("table_hardware", &[&table, &anchor_table])?;

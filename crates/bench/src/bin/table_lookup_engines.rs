@@ -9,7 +9,7 @@
 //! structures.
 
 use ara_bench::report::{bytes, secs, speedup};
-use ara_bench::{measure_min, repeat_from_args, measured_label, small_inputs, Table};
+use ara_bench::{measure_min, measured_label, repeat_from_args, small_inputs, Table};
 use ara_core::{
     analyse_layer, BlockDeltaLookup, CuckooHashTable, DirectAccessTable, LossLookup,
     PagedDirectTable, PreparedLayer, Real, SortedLookup, StdHashLookup,
@@ -64,21 +64,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ],
     );
     let mut baseline = 0.0;
-    let mut add = |name: &str,
-                   (secs_v, mem, sum): (f64, usize, f64)|
-     -> Result<(), ara_bench::ReportError> {
-        if baseline == 0.0 {
-            baseline = secs_v;
-        }
-        table.row(&[
-            name.to_string(),
-            secs(secs_v),
-            speedup(secs_v / baseline),
-            bytes(mem),
-            format!("{sum:.6e}"),
-        ])?;
-        Ok(())
-    };
+    let mut add =
+        |name: &str, (secs_v, mem, sum): (f64, usize, f64)| -> Result<(), ara_bench::ReportError> {
+            if baseline == 0.0 {
+                baseline = secs_v;
+            }
+            table.row(&[
+                name.to_string(),
+                secs(secs_v),
+                speedup(secs_v / baseline),
+                bytes(mem),
+                format!("{sum:.6e}"),
+            ])?;
+            Ok(())
+        };
 
     add(
         "direct access (paper's choice)",

@@ -7,7 +7,10 @@
 //! table adds a leave-one-out ablation from the performance model.
 
 use ara_bench::report::{secs, speedup};
-use ara_bench::{bench_inputs, measure_min, repeat_from_args, measured_label, paper_shape, Table, MEASURED_SCALE_NOTE};
+use ara_bench::{
+    bench_inputs, measure_min, measured_label, paper_shape, repeat_from_args, Table,
+    MEASURED_SCALE_NOTE,
+};
 use ara_engine::{Engine, GpuBasicEngine, GpuOptimizedEngine, OptFlags};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -9,7 +9,7 @@
 //! the per-layer direct-table preprocessing).
 
 use ara_bench::report::secs;
-use ara_bench::{measure_min, repeat_from_args, measured_label, Table};
+use ara_bench::{measure_min, measured_label, repeat_from_args, Table};
 use ara_engine::{analyse_portfolio_parallel, Engine, MulticoreEngine, SequentialEngine};
 use ara_workload::{Scenario, ScenarioShape};
 
@@ -44,8 +44,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .analyse(&inputs)
                 .expect("valid inputs")
         });
-        let (_, t_layer) =
-            measure_min(repeat_from_args(), || analyse_portfolio_parallel::<f64>(&inputs, 4).expect("valid inputs"));
+        let (_, t_layer) = measure_min(repeat_from_args(), || {
+            analyse_portfolio_parallel::<f64>(&inputs, 4).expect("valid inputs")
+        });
         table.row(&[
             layers.to_string(),
             secs(t_seq),

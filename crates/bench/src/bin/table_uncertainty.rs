@@ -9,7 +9,10 @@
 //! runs.
 
 use ara_bench::report::{secs, speedup};
-use ara_bench::{measure_min, repeat_from_args, measured_label, paper_shape, small_inputs, Table, MEASURED_SCALE_NOTE};
+use ara_bench::{
+    measure_min, measured_label, paper_shape, repeat_from_args, small_inputs, Table,
+    MEASURED_SCALE_NOTE,
+};
 use ara_engine::{
     analyse_uncertain_gpu, analyse_uncertain_sequential, uncertain_kernel_profile, Engine,
     GpuOptimizedEngine, MultiGpuEngine, UncertainLayerInputs,
@@ -55,10 +58,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .analyse(&point_inputs)
             .expect("valid inputs")
     });
-    let (seq_ylt, t_seq) =
-        measure_min(repeat_from_args(), || analyse_uncertain_sequential::<f64>(&unc).expect("valid inputs"));
-    let (gpu_ylt, t_gpu) =
-        measure_min(repeat_from_args(), || analyse_uncertain_gpu::<f32>(&unc, 4, 32).expect("valid inputs"));
+    let (seq_ylt, t_seq) = measure_min(repeat_from_args(), || {
+        analyse_uncertain_sequential::<f64>(&unc).expect("valid inputs")
+    });
+    let (gpu_ylt, t_gpu) = measure_min(repeat_from_args(), || {
+        analyse_uncertain_gpu::<f32>(&unc, 4, 32).expect("valid inputs")
+    });
 
     let mut measured = Table::new(
         format!("Functional uncertain engines, {}", measured_label()),

@@ -191,23 +191,19 @@ pub fn compare_runs(
 ) -> Vec<Comparison> {
     candidate
         .iter()
-        .map(|cand| {
-            match baseline.iter().find(|b| b.benchmark == cand.benchmark) {
+        .map(
+            |cand| match baseline.iter().find(|b| b.benchmark == cand.benchmark) {
                 Some(base) => compare_records(base, cand, policy),
                 None => Comparison {
                     benchmark: cand.benchmark.clone(),
                     baseline: None,
-                    candidate: median_ci(
-                        &cand.samples_secs,
-                        policy,
-                        seed_for(&cand.benchmark),
-                    ),
+                    candidate: median_ci(&cand.samples_secs, policy, seed_for(&cand.benchmark)),
                     ratio: 1.0,
                     verdict: Verdict::NoBaseline,
                     worst_stage: None,
                 },
-            }
-        })
+            },
+        )
         .collect()
 }
 
@@ -297,11 +293,7 @@ mod tests {
         let base = record("old", &[0.01, 0.01, 0.01], [0.0; 4]);
         let cand_old = record("old", &[0.01, 0.01, 0.01], [0.0; 4]);
         let cand_new = record("new", &[0.02, 0.02, 0.02], [0.0; 4]);
-        let out = compare_runs(
-            &[&base],
-            &[&cand_old, &cand_new],
-            &GatePolicy::default(),
-        );
+        let out = compare_runs(&[&base], &[&cand_old, &cand_new], &GatePolicy::default());
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].verdict, Verdict::Pass);
         assert_eq!(out[1].verdict, Verdict::NoBaseline);

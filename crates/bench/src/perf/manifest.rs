@@ -2,9 +2,7 @@
 //! trust, or distrust) a timing.
 
 use ara_trace::json::{self, Json};
-use simt_sim::model::autotune::{
-    cpu_model_name, tune_host, CacheModel, HostTuning, HostWorkload,
-};
+use simt_sim::model::autotune::{cpu_model_name, tune_host, CacheModel, HostTuning, HostWorkload};
 
 /// Provenance of one benchmark run, embedded in every `BENCH_*.json`
 /// sidecar and every [`super::RunRecord`].

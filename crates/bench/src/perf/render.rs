@@ -261,10 +261,7 @@ mod tests {
     fn trajectory_shows_run_over_run_movement() {
         let r1 = record("engine.multi-gpu", "r1", 10, &[0.010, 0.010]);
         let r2 = record("engine.multi-gpu", "r2", 20, &[0.020, 0.020]);
-        let runs = vec![
-            ("r1".to_string(), vec![&r1]),
-            ("r2".to_string(), vec![&r2]),
-        ];
+        let runs = vec![("r1".to_string(), vec![&r1]), ("r2".to_string(), vec![&r2])];
         let text = trajectory(&runs);
         assert!(text.contains("2 run(s)"));
         assert!(text.contains("x2.000 vs prev"));

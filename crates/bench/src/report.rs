@@ -22,7 +22,10 @@ impl fmt::Display for ReportError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ReportError::WidthMismatch { expected, got } => {
-                write!(f, "row width mismatch: expected {expected} cells, got {got}")
+                write!(
+                    f,
+                    "row width mismatch: expected {expected} cells, got {got}"
+                )
             }
             ReportError::Io(e) => write!(f, "sidecar write failed: {e}"),
         }
@@ -316,7 +319,10 @@ mod tests {
         t.row(&["seq".into(), "4.35".into()]).unwrap();
         t.row(&["multi-gpu".into(), "0.05".into()]).unwrap();
         let doc = ara_trace::json::parse(&t.to_json()).expect("valid json");
-        assert_eq!(doc.get("title").and_then(|v| v.as_str()), Some("speed \"quoted\""));
+        assert_eq!(
+            doc.get("title").and_then(|v| v.as_str()),
+            Some("speed \"quoted\"")
+        );
         let headers = doc.get("headers").and_then(|v| v.as_array()).unwrap();
         assert_eq!(headers.len(), 2);
         let rows = doc.get("rows").and_then(|v| v.as_array()).unwrap();
@@ -345,10 +351,16 @@ mod tests {
         assert_eq!(path.file_name().unwrap(), "BENCH_unit_test.json");
         let body = std::fs::read_to_string(&path).unwrap();
         let doc = ara_trace::json::parse(&body).expect("valid json");
-        assert_eq!(doc.get("benchmark").and_then(|v| v.as_str()), Some("unit_test"));
+        assert_eq!(
+            doc.get("benchmark").and_then(|v| v.as_str()),
+            Some("unit_test")
+        );
         let tables = doc.get("tables").and_then(|v| v.as_array()).unwrap();
         assert_eq!(tables.len(), 2);
-        assert_eq!(tables[1].get("title").and_then(|v| v.as_str()), Some("second"));
+        assert_eq!(
+            tables[1].get("title").and_then(|v| v.as_str()),
+            Some("second")
+        );
         // Provenance: a manifest tagged with the binary name…
         let manifest = doc.get("manifest").expect("sidecar carries a manifest");
         assert_eq!(
@@ -362,7 +374,10 @@ mod tests {
             .iter()
             .find(|m| m.get("label").and_then(|v| v.as_str()) == Some("sidecar.case"))
             .expect("labelled measurement present");
-        assert_eq!(m.get("samples").and_then(|v| v.as_array()).unwrap().len(), 2);
+        assert_eq!(
+            m.get("samples").and_then(|v| v.as_array()).unwrap().len(),
+            2
+        );
         assert!(m.get("min").and_then(|v| v.as_f64()).unwrap() >= 0.0);
         std::fs::remove_dir_all(&dir).ok();
     }

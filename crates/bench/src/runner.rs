@@ -181,9 +181,7 @@ mod tests {
     fn labelled_measurements_retain_every_sample() {
         let _guard = TEST_SAMPLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         drain_samples();
-        let (_, min) = measure_labelled("unit.labelled", 4, || {
-            std::hint::black_box(1 + 1)
-        });
+        let (_, min) = measure_labelled("unit.labelled", 4, || std::hint::black_box(1 + 1));
         let (_, _) = measure_min(2, || 0);
         let drained = drain_samples();
         let (label, samples) = &drained[0];

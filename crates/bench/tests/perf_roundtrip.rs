@@ -59,7 +59,11 @@ fn suite_records_survive_the_store_and_gate_both_ways() {
     store.append(&slowed).unwrap();
 
     let loaded = store.load();
-    assert!(loaded.warnings.is_empty(), "warnings: {:?}", loaded.warnings);
+    assert!(
+        loaded.warnings.is_empty(),
+        "warnings: {:?}",
+        loaded.warnings
+    );
     assert_eq!(loaded.records.len(), 15, "3 runs x 5 engines");
 
     let fp = baseline[0].manifest.host_fingerprint();

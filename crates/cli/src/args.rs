@@ -137,6 +137,9 @@ pub struct RunOpts {
     pub trace_out: Option<String>,
     /// Trace export format (`--trace-format`, default `chrome`).
     pub trace_format: ara_trace::TraceFormat,
+    /// Replay the engine's kernels under simt-check instrumentation
+    /// (`--check`, `analyse` only) and append the hazard report.
+    pub check: bool,
     /// Suppress the per-layer report body (`--quiet`).
     pub quiet: bool,
     /// Recorder verbosity: 0 → Info, 1 (`-v`) → Debug, 2 (`-vv`) → Trace.
@@ -155,6 +158,7 @@ impl Default for RunOpts {
             bins: 12,
             trace_out: None,
             trace_format: ara_trace::TraceFormat::Chrome,
+            check: false,
             quiet: false,
             verbosity: 0,
         }
@@ -293,7 +297,8 @@ USAGE:
                [--records N] [--catalogue N] [--layers N] [--seed N]
   ara analyse  --input <path> [--engine E] [--devices N]
                [--schedule auto|dynamic|static|chunked:N] [--chunk N]
-               [--trace-out <path> [--trace-format F]] [--quiet] [-v|-vv]
+               [--check] [--trace-out <path> [--trace-format F]]
+               [--quiet] [-v|-vv]
   ara metrics  --input <path> [--layer N]
   ara stream   --input <path.stream> [--layer N]
   ara seasonal --input <path> [--layer N] [--bins N]
@@ -311,6 +316,12 @@ TUNING: --schedule picks the multicore trial-loop grain (auto, the
   default, sizes it from the host cache hierarchy); --chunk overrides
   the optimised GPU kernel's events-staged-per-thread.
 
+CHECKING: analyse --check replays the engine's SIMT kernels under
+  simt-check instrumentation after the normal run: shared-memory
+  write/write and read/write hazards, barrier (phase) divergence,
+  out-of-bounds and uninitialized reads, and per-warp lane-utilisation
+  are reported, with a non-zero exit status when any hazard is found.
+
 TRACING: --trace-out enables the recorder and writes the drained trace;
   --trace-format chrome (default, for chrome://tracing / Perfetto) |
   jsonl | summary. -v keeps Debug spans, -vv keeps Trace spans.
@@ -326,7 +337,7 @@ PERF: `record` runs the five-engine suite and appends every repeat
 ";
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["--quiet", "-v", "-vv", "--small"];
+const BOOL_FLAGS: &[&str] = &["--check", "--quiet", "-v", "-vv", "--small"];
 
 struct Flags<'a> {
     pairs: Vec<(&'a str, &'a str)>,
@@ -432,6 +443,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                 "--bins",
                 "--trace-out",
                 "--trace-format",
+                "--check",
                 "--quiet",
                 "-v",
                 "-vv",
@@ -460,6 +472,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                 opts.trace_format = ara_trace::TraceFormat::parse(fmt)
                     .ok_or_else(|| ArgError::BadValue("--trace-format", fmt.to_string()))?;
             }
+            opts.check = flags.has("--check");
             opts.quiet = flags.has("--quiet");
             opts.verbosity = if flags.has("-vv") {
                 2
@@ -494,10 +507,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
             ])?;
             let threshold_pct: f64 = flags.num("--threshold", 25.0)?;
             if !(threshold_pct.is_finite() && threshold_pct >= 0.0) {
-                return Err(ArgError::BadValue(
-                    "--threshold",
-                    threshold_pct.to_string(),
-                ));
+                return Err(ArgError::BadValue("--threshold", threshold_pct.to_string()));
             }
             Ok(Command::Perf(PerfOpts {
                 action,
@@ -637,8 +647,15 @@ mod tests {
     #[test]
     fn parse_tuning_flags() {
         let cmd = parse_args(&v(&[
-            "analyse", "--input", "b.ara", "--engine", "cpu", "--schedule", "chunked:64",
-            "--chunk", "50",
+            "analyse",
+            "--input",
+            "b.ara",
+            "--engine",
+            "cpu",
+            "--schedule",
+            "chunked:64",
+            "--chunk",
+            "50",
         ]))
         .unwrap();
         match cmd {
@@ -721,14 +738,33 @@ mod tests {
             }
         }
         assert!(matches!(
-            parse_args(&v(&[
-                "analyse",
-                "--input",
-                "b",
-                "--trace-format",
-                "xml"
-            ])),
+            parse_args(&v(&["analyse", "--input", "b", "--trace-format", "xml"])),
             Err(ArgError::BadValue("--trace-format", _))
+        ));
+    }
+
+    #[test]
+    fn parse_check_flag() {
+        let cmd = parse_args(&v(&[
+            "analyse", "--input", "b.ara", "--engine", "gpu", "--check",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Analyse(o) => {
+                assert!(o.check);
+                assert_eq!(o.engine, EngineKind::GpuOptimised);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Off by default.
+        match parse_args(&v(&["analyse", "--input", "b.ara"])).unwrap() {
+            Command::Analyse(o) => assert!(!o.check),
+            other => panic!("{other:?}"),
+        }
+        // A bool flag: takes no value.
+        assert!(matches!(
+            parse_args(&v(&["generate", "--out", "x", "--check"])),
+            Err(ArgError::UnknownFlag(_))
         ));
     }
 

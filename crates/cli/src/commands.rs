@@ -5,8 +5,8 @@
 
 use crate::args::{EngineKind, GenerateOpts, Layout, PerfAction, PerfFormat, PerfOpts, RunOpts};
 use ara_bench::perf::{
-    any_regression, compare_runs, group_runs, render, run_suite, BaselineStore, GatePolicy,
-    Preset, RunRecord,
+    any_regression, compare_runs, group_runs, render, run_suite, BaselineStore, GatePolicy, Preset,
+    RunRecord,
 };
 use ara_core::io::SnapshotError;
 use ara_core::Inputs;
@@ -130,15 +130,41 @@ pub fn trace_level(verbosity: u8) -> ara_trace::Level {
     }
 }
 
-/// `ara analyse`: run the selected engine over a snapshot.
+/// The outcome of `ara analyse`: the rendered report plus whether a
+/// `--check` replay found hazards (drives the process exit code).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyseOutcome {
+    /// Rendered report.
+    pub report: String,
+    /// True when `--check` was requested and the replay was not clean.
+    pub check_failed: bool,
+}
+
+/// `ara analyse`: run the selected engine over a snapshot (report only;
+/// see [`run_analyse_outcome`] for the `--check` verdict).
 pub fn run_analyse(opts: &RunOpts) -> Result<String, CliError> {
+    Ok(run_analyse_outcome(opts)?.report)
+}
+
+/// `ara analyse`: run the selected engine over a snapshot. With
+/// `--check` the engine's kernels are replayed under simt-check
+/// instrumentation (bit-identical results, plus a hazard report).
+pub fn run_analyse_outcome(opts: &RunOpts) -> Result<AnalyseOutcome, CliError> {
     let inputs = load(&opts.input)?;
     let engine = build_engine(opts);
     let tracing = opts.trace_out.is_some() || opts.verbosity > 0;
     if tracing {
         ara_trace::recorder().enable(trace_level(opts.verbosity));
     }
-    let result = engine.analyse(&inputs);
+    // The checked replay produces the same portfolio bit-for-bit, so
+    // with --check it *is* the analysis run (no second pass).
+    let result = if opts.check {
+        engine
+            .analyse_checked(&inputs)
+            .map(|(out, check)| (out, Some(check)))
+    } else {
+        engine.analyse(&inputs).map(|out| (out, None))
+    };
     let trace = if tracing {
         let t = ara_trace::recorder().drain();
         ara_trace::recorder().disable();
@@ -146,7 +172,7 @@ pub fn run_analyse(opts: &RunOpts) -> Result<String, CliError> {
     } else {
         None
     };
-    let out = result?;
+    let (out, check) = result?;
     let mut report = format!(
         "{}: analysed {} trials x {} layers in {:.1} ms ({:.1} ms preprocessing)\n",
         engine.name(),
@@ -189,7 +215,17 @@ pub fn run_analyse(opts: &RunOpts) -> Result<String, CliError> {
             None => report.push_str(&ara_trace::to_summary(trace)),
         }
     }
-    Ok(report)
+    let check_failed = match &check {
+        Some(c) => {
+            report.push_str(&c.render());
+            !c.is_clean()
+        }
+        None => false,
+    };
+    Ok(AnalyseOutcome {
+        report,
+        check_failed,
+    })
 }
 
 /// `ara metrics`: the risk metrics of one layer.
@@ -370,10 +406,7 @@ fn render_comparisons(
 }
 
 fn warnings_preamble(warnings: &[String]) -> String {
-    warnings
-        .iter()
-        .map(|w| format!("warning: {w}\n"))
-        .collect()
+    warnings.iter().map(|w| format!("warning: {w}\n")).collect()
 }
 
 /// `ara perf`: record the engine-suite timings, compare or gate against
@@ -730,11 +763,19 @@ mod tests {
         // 1. Empty history: the gate bootstraps a baseline and passes.
         let first = run_perf(&perf_opts(PerfAction::Gate, &history)).unwrap();
         assert!(!first.gate_failed);
-        assert!(first.report.contains("bootstrap baseline"), "{}", first.report);
+        assert!(
+            first.report.contains("bootstrap baseline"),
+            "{}",
+            first.report
+        );
 
         // 2. Clean rerun on the same machine: pass.
         let clean = run_perf(&perf_opts(PerfAction::Gate, &history)).unwrap();
-        assert!(!clean.gate_failed, "clean rerun regressed:\n{}", clean.report);
+        assert!(
+            !clean.gate_failed,
+            "clean rerun regressed:\n{}",
+            clean.report
+        );
         assert!(clean.report.contains("perf gate: PASS"), "{}", clean.report);
 
         // 3. Injected 20x slowdown via the test hook: fail, naming the
@@ -742,9 +783,17 @@ mod tests {
         std::env::set_var("ARA_PERF_PERTURB", "20.0");
         let slow = run_perf(&perf_opts(PerfAction::Gate, &history)).unwrap();
         std::env::remove_var("ARA_PERF_PERTURB");
-        assert!(slow.gate_failed, "injected slowdown not caught:\n{}", slow.report);
+        assert!(
+            slow.gate_failed,
+            "injected slowdown not caught:\n{}",
+            slow.report
+        );
         assert!(slow.report.contains("REGRESSED"), "{}", slow.report);
-        assert!(slow.report.contains("engine.sequential-cpu"), "{}", slow.report);
+        assert!(
+            slow.report.contains("engine.sequential-cpu"),
+            "{}",
+            slow.report
+        );
         assert!(slow.report.contains("perf gate: FAIL"), "{}", slow.report);
         std::fs::remove_file(&history).ok();
     }
@@ -760,17 +809,18 @@ mod tests {
         // Before anything is recorded, compare and report degrade
         // gracefully.
         let empty = run_perf(&perf_opts(PerfAction::Report, &history)).unwrap();
-        assert!(empty.report.contains("no runs recorded"), "{}", empty.report);
+        assert!(
+            empty.report.contains("no runs recorded"),
+            "{}",
+            empty.report
+        );
         let short = run_perf(&perf_opts(PerfAction::Compare, &history)).unwrap();
         assert!(short.report.contains("at least two"), "{}", short.report);
 
         // History accumulates across two recorded runs…
         run_perf(&perf_opts(PerfAction::Record, &history)).unwrap();
         run_perf(&perf_opts(PerfAction::Record, &history)).unwrap();
-        let lines = std::fs::read_to_string(&history)
-            .unwrap()
-            .lines()
-            .count();
+        let lines = std::fs::read_to_string(&history).unwrap().lines().count();
         assert_eq!(lines, 10, "5 engines x 2 runs, one line each");
 
         // …compare diffs the two latest runs, and report renders the
@@ -789,6 +839,42 @@ mod tests {
         let doc = ara_trace::json::parse(js.report.trim()).expect("valid JSON report");
         assert_eq!(doc.as_array().unwrap().len(), 10);
         std::fs::remove_file(&history).ok();
+    }
+
+    #[test]
+    fn analyse_with_check_reports_clean_kernels() {
+        let path = tmp("book-check.ara");
+        run_generate(&small_generate(&path)).unwrap();
+        for engine in [
+            EngineKind::Sequential,
+            EngineKind::GpuBasic,
+            EngineKind::GpuOptimised,
+            EngineKind::MultiGpu,
+        ] {
+            let outcome = run_analyse_outcome(&RunOpts {
+                input: path.clone(),
+                engine,
+                devices: 2,
+                check: true,
+                ..RunOpts::default()
+            })
+            .unwrap();
+            assert!(!outcome.check_failed, "{engine:?}: {}", outcome.report);
+            assert!(
+                outcome.report.contains("simt-check: clean"),
+                "{engine:?}: {}",
+                outcome.report
+            );
+        }
+        // Without --check the report says nothing about checking, and
+        // the plain wrapper still returns the bare string.
+        let plain = run_analyse(&RunOpts {
+            input: path,
+            engine: EngineKind::GpuOptimised,
+            ..RunOpts::default()
+        })
+        .unwrap();
+        assert!(!plain.contains("simt-check"), "{plain}");
     }
 
     #[test]

@@ -25,6 +25,6 @@ pub use args::{
     PerfOpts, RunOpts,
 };
 pub use commands::{
-    run_analyse, run_generate, run_metrics, run_model, run_perf, run_seasonal, run_stream,
-    trace_level, CliError, PerfOutcome,
+    run_analyse, run_analyse_outcome, run_generate, run_metrics, run_model, run_perf, run_seasonal,
+    run_stream, trace_level, AnalyseOutcome, CliError, PerfOutcome,
 };

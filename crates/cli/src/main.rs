@@ -1,7 +1,7 @@
 //! The `ara` binary: thin shell over [`ara_cli`].
 
 use ara_cli::{
-    parse_args, run_analyse, run_generate, run_metrics, run_model, run_perf, run_seasonal,
+    parse_args, run_analyse_outcome, run_generate, run_metrics, run_model, run_perf, run_seasonal,
     run_stream, Command,
 };
 use std::process::ExitCode;
@@ -21,7 +21,22 @@ fn main() -> ExitCode {
             return ExitCode::SUCCESS;
         }
         Command::Generate(opts) => run_generate(&opts),
-        Command::Analyse(opts) => run_analyse(&opts),
+        Command::Analyse(opts) => {
+            return match run_analyse_outcome(&opts) {
+                Ok(outcome) => {
+                    println!("{}", outcome.report);
+                    if outcome.check_failed {
+                        ExitCode::FAILURE
+                    } else {
+                        ExitCode::SUCCESS
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
         Command::Metrics(opts) => run_metrics(&opts),
         Command::Model(opts) => run_model(&opts),
         Command::Stream(opts) => run_stream(&opts),

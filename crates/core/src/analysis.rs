@@ -452,8 +452,7 @@ pub fn analyse_trials_blocked<R: Real>(
             // table streams through the cache once per batch with no
             // plan, pair indirection, or scatter. Chosen by the autotuner
             // on hosts whose caches hold a full table.
-            for (table, &(fx, ret, lim, share)) in
-                prepared.lookups.iter().zip(&prepared.fin_terms)
+            for (table, &(fx, ret, lim, share)) in prepared.lookups.iter().zip(&prepared.fin_terms)
             {
                 let t = table.as_slice();
                 for (c, &e) in ws.combined.iter_mut().zip(events) {
@@ -633,8 +632,7 @@ pub fn analyse_layer_staged<R: Real, L: LossLookup<R>>(
     let n = yet.num_trials();
     let mut year_loss = Vec::with_capacity(n);
     let mut max_occ = Vec::with_capacity(n);
-    let mut ws =
-        StagedWorkspace::with_capacity(yet.max_events_per_trial(), prepared.num_elts());
+    let mut ws = StagedWorkspace::with_capacity(yet.max_events_per_trial(), prepared.num_elts());
     for trial in yet.trials() {
         let r = analyse_trial_staged(prepared, trial, &mut ws);
         year_loss.push(r.year_loss.to_f64());

@@ -635,7 +635,10 @@ impl BlockedGather {
     /// or beyond the catalogue land in a final overflow region; they
     /// gather `R::ZERO` exactly like the scalar path.
     pub fn plan(&mut self, events: &[EventId], catalogue_size: usize, region_slots: usize) {
-        assert!(events.len() <= u32::MAX as usize, "batch exceeds u32 positions");
+        assert!(
+            events.len() <= u32::MAX as usize,
+            "batch exceeds u32 positions"
+        );
         let region_slots = region_slots.max(1);
         self.region_slots = region_slots;
         // One region per full slab, plus the catalogue tail, plus the

@@ -14,12 +14,12 @@ use std::time::Duration;
 pub mod stage {
     /// Fetching events from memory (reading the YET).
     pub use ara_trace::stage_names::FETCH;
-    /// Look-up of loss sets in the direct access table.
-    pub use ara_trace::stage_names::LOOKUP;
     /// Financial-terms computations.
     pub use ara_trace::stage_names::FINANCIAL;
     /// Layer-terms (occurrence + aggregate) computations.
     pub use ara_trace::stage_names::LAYER;
+    /// Look-up of loss sets in the direct access table.
+    pub use ara_trace::stage_names::LOOKUP;
 }
 
 /// Seconds attributed to each activity — Figure 6's categories.
@@ -234,6 +234,26 @@ pub trait Engine: Send + Sync {
 
     /// Run the analysis on `inputs`, producing per-layer YLTs.
     fn analyse(&self, inputs: &Inputs) -> Result<AnalysisOutput, AraError>;
+
+    /// Run the analysis under simt-check instrumentation
+    /// ([`simt_sim::launch_checked`]): same results as
+    /// [`Engine::analyse`] (bit-identical YLTs for well-formed
+    /// kernels), plus a [`simt_sim::CheckReport`] of every
+    /// shared-memory race, barrier-divergence, out-of-bounds or
+    /// uninitialized-read hazard the serialized executor would
+    /// otherwise hide, with per-warp branch-uniformity stats.
+    ///
+    /// Engines that run no SIMT kernels (sequential, multicore) use
+    /// this default: plain analysis plus an empty — trivially clean —
+    /// report. GPU engines override it to replay their kernels under
+    /// instrumentation; checked replays run blocks sequentially, so
+    /// this is a correctness tool, not a benchmark path.
+    fn analyse_checked(
+        &self,
+        inputs: &Inputs,
+    ) -> Result<(AnalysisOutput, simt_sim::CheckReport), AraError> {
+        Ok((self.analyse(inputs)?, simt_sim::CheckReport::default()))
+    }
 
     /// Model the execution time of this engine for a workload of `shape`
     /// on the paper's corresponding hardware platform.

@@ -34,6 +34,26 @@ impl DivergenceStats {
             self.idle_lane_steps as f64 / total as f64
         }
     }
+
+    /// Lane-utilisation *measured* by a simt-check replay
+    /// ([`simt_sim::launch_checked`]), in the same useful/idle
+    /// lane-step form as the analytic model above.
+    ///
+    /// The units differ in granularity: the model counts event-slots
+    /// of the lock-step chunk loop from the YET alone, while the
+    /// measured stats count tracked shared-memory element accesses
+    /// (each lane's gather/combine traffic) per warp-phase. Both are
+    /// zero exactly when every lane of every warp does identical work,
+    /// and both grow with trial-length variance, so they corroborate
+    /// each other directionally — compare `idle_fraction`s, not raw
+    /// step counts.
+    pub fn from_check(report: &simt_sim::CheckReport) -> Self {
+        DivergenceStats {
+            useful_lane_steps: report.warp.useful_lane_steps,
+            idle_lane_steps: report.warp.idle_lane_steps,
+            blocks: report.blocks_checked,
+        }
+    }
 }
 
 /// Compute the divergence of the chunked kernel over `yet` at the given

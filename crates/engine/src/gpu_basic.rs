@@ -131,6 +131,47 @@ impl Engine for GpuBasicEngine {
         })
     }
 
+    fn analyse_checked(
+        &self,
+        inputs: &Inputs,
+    ) -> Result<(AnalysisOutput, simt_sim::CheckReport), AraError> {
+        inputs.validate()?;
+        let n = inputs.yet.num_trials();
+        // Same geometry as analyse() so the replay exercises the exact
+        // arena-reuse sequence of the parallel launcher.
+        let cfg = LaunchConfig::new(n, self.block_dim);
+        let cfg = cfg.with_blocks_per_run(simt_sim::tune_blocks_per_run(
+            cfg.grid_dim(),
+            rayon::current_num_threads(),
+        ));
+        let start = Instant::now();
+        let mut prepare_total = std::time::Duration::ZERO;
+        let mut ids = Vec::with_capacity(inputs.layers.len());
+        let mut ylts = Vec::with_capacity(inputs.layers.len());
+        let mut check = simt_sim::CheckReport::default();
+        for layer in &inputs.layers {
+            let p0 = Instant::now();
+            let prepared = PreparedLayer::<f64>::prepare(inputs, layer)?;
+            prepare_total += p0.elapsed();
+            let kernel = AraBasicKernel::new(&inputs.yet, &prepared, 0);
+            let mut out: Vec<TrialLoss> = vec![(0.0, 0.0); n];
+            let (_stats, report) = simt_sim::launch_checked(cfg, &kernel, &mut out);
+            check.merge(report);
+            let (year, max_occ) = out.into_iter().unzip();
+            ids.push(layer.id);
+            ylts.push(YearLossTable::with_max_occurrence(year, max_occ)?);
+        }
+        Ok((
+            AnalysisOutput {
+                portfolio: Portfolio::from_layer_results(ids, ylts)?,
+                wall: start.elapsed(),
+                prepare: prepare_total,
+                measured: None,
+            },
+            check,
+        ))
+    }
+
     fn model(&self, shape: &AraShape) -> ModeledTiming {
         let profile = basic_kernel_profile(shape);
         // One kernel launch per layer; layers are processed back-to-back.

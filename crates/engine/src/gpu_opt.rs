@@ -134,6 +134,26 @@ impl<R: Real> GpuOptimizedEngine<R> {
         launch(cfg, &kernel, &mut out);
         out
     }
+
+    /// [`GpuOptimizedEngine::run_layer_partition`] under simt-check
+    /// instrumentation (also used by the multi-GPU engine's checked
+    /// path). Blocks replay sequentially on the calling thread.
+    pub(crate) fn run_layer_partition_checked(
+        &self,
+        inputs: &Inputs,
+        prepared: &PreparedLayer<R>,
+        range: std::ops::Range<usize>,
+    ) -> (Vec<TrialLoss>, simt_sim::CheckReport) {
+        let kernel = AraChunkedKernel::new(&inputs.yet, prepared, range.start, self.chunk as usize);
+        let mut out: Vec<TrialLoss> = vec![(0.0, 0.0); range.len()];
+        let cfg = LaunchConfig::new(range.len(), self.block_dim);
+        let cfg = cfg.with_blocks_per_run(simt_sim::tune_blocks_per_run(
+            cfg.grid_dim(),
+            rayon::current_num_threads(),
+        ));
+        let (_stats, report) = simt_sim::launch_checked(cfg, &kernel, &mut out);
+        (out, report)
+    }
 }
 
 impl<R: Real> Default for GpuOptimizedEngine<R> {
@@ -196,6 +216,38 @@ impl<R: Real> Engine for GpuOptimizedEngine<R> {
             prepare: prepare_total,
             measured: tracing.then(|| ActivityBreakdown::from_stage_nanos(&total_stages)),
         })
+    }
+
+    fn analyse_checked(
+        &self,
+        inputs: &Inputs,
+    ) -> Result<(AnalysisOutput, simt_sim::CheckReport), AraError> {
+        inputs.validate()?;
+        let start = Instant::now();
+        let mut prepare_total = std::time::Duration::ZERO;
+        let n = inputs.yet.num_trials();
+        let mut ids = Vec::with_capacity(inputs.layers.len());
+        let mut ylts = Vec::with_capacity(inputs.layers.len());
+        let mut check = simt_sim::CheckReport::default();
+        for layer in &inputs.layers {
+            let p0 = Instant::now();
+            let prepared = PreparedLayer::<R>::prepare(inputs, layer)?;
+            prepare_total += p0.elapsed();
+            let (out, report) = self.run_layer_partition_checked(inputs, &prepared, 0..n);
+            check.merge(report);
+            let (year, max_occ) = out.into_iter().unzip();
+            ids.push(layer.id);
+            ylts.push(YearLossTable::with_max_occurrence(year, max_occ)?);
+        }
+        Ok((
+            AnalysisOutput {
+                portfolio: Portfolio::from_layer_results(ids, ylts)?,
+                wall: start.elapsed(),
+                prepare: prepare_total,
+                measured: None,
+            },
+            check,
+        ))
     }
 
     fn model(&self, shape: &AraShape) -> ModeledTiming {

@@ -19,7 +19,7 @@ use ara_core::{
     apply_aggregate_stepwise, xl_clamp, LossLookup, PreparedLayer, Real, YearEventTable,
 };
 use ara_trace::{AtomicStageNanos, StageNanos};
-use simt_sim::{BlockCtx, Kernel};
+use simt_sim::{BlockCtx, Kernel, TrackedShared};
 
 /// Per-trial kernel output: `(year_loss, max_occurrence_loss)`.
 pub type TrialLoss = (f64, f64);
@@ -27,6 +27,13 @@ pub type TrialLoss = (f64, f64);
 /// Shared memory of one [`AraBasicKernel`] block: the per-event scratch
 /// buffer (`lox_d`), a ground-up loss matrix used only by the
 /// instrumented path, and the block's accumulated stage times.
+///
+/// These buffers model the basic implementation's *global-memory*
+/// per-thread arrays (`lx_d`/`lox_d`), not CUDA shared memory — the
+/// paper's implementation (iii) uses no `__shared__` state at all. They
+/// therefore stay plain `Vec`s, invisible to simt-check: each thread
+/// fully re-initializes them on its serialized turn, which would be a
+/// private copy per thread on the real device.
 #[derive(Debug)]
 pub struct BasicShared<R> {
     /// Per-event combined loss — the stand-in for the basic
@@ -90,9 +97,7 @@ impl<'a, R: Real> AraBasicKernel<'a, R> {
 
             // Stage 3 — financial terms, accumulated in the fused
             // loop's exact order (ELT-outer, occurrence-inner).
-            for (e, &(fx, ret, lim, share)) in
-                self.prepared.financial_terms().iter().enumerate()
-            {
+            for (e, &(fx, ret, lim, share)) in self.prepared.financial_terms().iter().enumerate() {
                 let row = &s.ground[e * len..(e + 1) * len];
                 for (l, &g) in s.lox.iter_mut().zip(row) {
                     *l += share * xl_clamp(g * fx, ret, lim);
@@ -187,22 +192,31 @@ impl<R: Real> Kernel<TrialLoss> for AraBasicKernel<'_, R> {
 }
 
 /// Shared memory of one [`AraChunkedKernel`] block.
+///
+/// The buffers that are genuinely `__shared__` in the paper's
+/// implementation (iv) — the staged event ids and the per-chunk loss
+/// matrices — are [`TrackedShared`], so a checked replay
+/// ([`simt_sim::launch_checked`]) verifies their cross-thread access
+/// pattern is race-free. `staged_len`, `acc` and `max_occ` model
+/// per-thread *registers* (each thread only ever touches its own slot,
+/// indexed by `threadIdx.x`), so they stay plain `Vec`s outside the
+/// race analysis.
 #[derive(Debug)]
 pub struct ChunkShared<R> {
-    /// Staged event ids: `chunk` slots per thread.
-    staged: Vec<ara_core::EventId>,
-    /// Events staged this chunk, per thread.
+    /// Staged event ids: `chunk` slots per thread (`__shared__`).
+    staged: TrackedShared<ara_core::EventId>,
+    /// Events staged this chunk, per thread ("registers").
     staged_len: Vec<u32>,
     /// Running aggregate loss accumulator, per thread ("registers").
     acc: Vec<R>,
     /// Running maximum occurrence loss, per thread ("registers").
     max_occ: Vec<R>,
     /// Ground-up losses of the staged chunk, ELT-major: `chunk` slots
-    /// per thread per ELT (the batch-gather target).
-    ground: Vec<R>,
-    /// Combined per-event losses of the staged chunk (instrumented
-    /// path only): `chunk` slots per thread.
-    combined: Vec<R>,
+    /// per thread per ELT (the batch-gather target, `__shared__`).
+    ground: TrackedShared<R>,
+    /// Combined per-event losses of the staged chunk: `chunk` slots per
+    /// thread (`__shared__`).
+    combined: TrackedShared<R>,
     /// Block-local per-stage nanoseconds, flushed once per block.
     stages: StageNanos,
 }
@@ -257,28 +271,31 @@ impl<'a, R: Real> AraChunkedKernel<'a, R> {
             let slot = t.local as usize * chunk;
             let len = s.staged_len[t.local as usize] as usize;
             // `ground` is laid out [elt][thread × chunk].
-            let n_chunk = s.combined.len();
+            let n_chunk = s.staged.len();
 
             // Stage 2 — loss lookup: batch-gather ground-up losses
             // ELT-major.
             let t1 = ara_trace::now_ns();
             for (e, lookup) in self.prepared.lookups().iter().enumerate() {
                 let base = e * n_chunk + slot;
-                lookup.loss_batch(&s.staged[slot..slot + len], &mut s.ground[base..base + len]);
+                lookup.loss_batch(
+                    s.staged.slice(slot..slot + len),
+                    s.ground.slice_mut(base..base + len),
+                );
             }
             let t2 = ara_trace::now_ns();
 
-            // Stage 3 — financial terms: combine per event in the fused
-            // loop's ELT order.
-            for i in 0..len {
-                let mut combined = R::ZERO;
-                for (e, &(fx, ret, lim, share)) in
-                    self.prepared.financial_terms().iter().enumerate()
-                {
-                    let ground_up = s.ground[e * n_chunk + slot + i];
-                    combined += share * xl_clamp(ground_up * fx, ret, lim);
+            // Stage 3 — financial terms: combine per event, ELT-outer.
+            // Each element accumulates its ELT contributions in the same
+            // ascending-`e` order as the fused loop, so sums are
+            // bit-identical.
+            s.combined.slice_mut(slot..slot + len).fill(R::ZERO);
+            for (e, &(fx, ret, lim, share)) in self.prepared.financial_terms().iter().enumerate() {
+                let base = e * n_chunk + slot;
+                let row = s.ground.slice(base..base + len);
+                for (c, &g) in s.combined.slice_mut(slot..slot + len).iter_mut().zip(row) {
+                    *c += share * xl_clamp(g * fx, ret, lim);
                 }
-                s.combined[slot + i] = combined;
             }
             let t3 = ara_trace::now_ns();
 
@@ -286,7 +303,7 @@ impl<'a, R: Real> AraChunkedKernel<'a, R> {
             // aggregate and max.
             let mut acc = s.acc[t.local as usize];
             let mut max_occ = s.max_occ[t.local as usize];
-            for &combined in &s.combined[slot..slot + len] {
+            for &combined in s.combined.slice(slot..slot + len) {
                 let occ = terms.apply_occurrence(combined);
                 max_occ = max_occ.max(occ);
                 acc += occ;
@@ -307,12 +324,12 @@ impl<R: Real> Kernel<TrialLoss> for AraChunkedKernel<'_, R> {
 
     fn init_shared(&self, _block: u32) -> ChunkShared<R> {
         ChunkShared {
-            staged: Vec::new(),
+            staged: TrackedShared::new("staged"),
             staged_len: Vec::new(),
             acc: Vec::new(),
             max_occ: Vec::new(),
-            ground: Vec::new(),
-            combined: Vec::new(),
+            ground: TrackedShared::new("ground"),
+            combined: TrackedShared::new("combined"),
             stages: StageNanos::ZERO,
         }
     }
@@ -339,10 +356,11 @@ impl<R: Real> Kernel<TrialLoss> for AraChunkedKernel<'_, R> {
             s.max_occ.clear();
             s.max_occ.resize(n, R::ZERO);
             s.ground.clear();
-            s.ground.resize(self.prepared.num_elts() * n * chunk, R::ZERO);
+            s.ground
+                .resize(self.prepared.num_elts() * n * chunk, R::ZERO);
+            s.combined.clear();
+            s.combined.resize(n * chunk, R::ZERO);
             if traced {
-                s.combined.clear();
-                s.combined.resize(n * chunk, R::ZERO);
                 s.stages = StageNanos::ZERO;
             }
         }
@@ -373,7 +391,9 @@ impl<R: Real> Kernel<TrialLoss> for AraChunkedKernel<'_, R> {
                 let lo = start.min(trial.len());
                 let hi = (start + chunk).min(trial.len());
                 let slot = t.local as usize * chunk;
-                s.staged[slot..slot + (hi - lo)].copy_from_slice(&trial.events[lo..hi]);
+                s.staged
+                    .slice_mut(slot..slot + (hi - lo))
+                    .copy_from_slice(&trial.events[lo..hi]);
                 s.staged_len[t.local as usize] = (hi - lo) as u32;
             });
             if traced {
@@ -395,19 +415,28 @@ impl<R: Real> Kernel<TrialLoss> for AraChunkedKernel<'_, R> {
                     let n_chunk = s.staged.len();
                     for (e, lookup) in self.prepared.lookups().iter().enumerate() {
                         let base = e * n_chunk + slot;
-                        lookup
-                            .loss_batch(&s.staged[slot..slot + len], &mut s.ground[base..base + len]);
+                        lookup.loss_batch(
+                            s.staged.slice(slot..slot + len),
+                            s.ground.slice_mut(base..base + len),
+                        );
+                    }
+                    // Combine per event, ELT-outer: each element
+                    // accumulates its ELT contributions in ascending-`e`
+                    // order, exactly like the fused loop, so sums are
+                    // bit-identical.
+                    s.combined.slice_mut(slot..slot + len).fill(R::ZERO);
+                    for (e, &(fx, ret, lim, share)) in
+                        self.prepared.financial_terms().iter().enumerate()
+                    {
+                        let base = e * n_chunk + slot;
+                        let row = s.ground.slice(base..base + len);
+                        for (c, &g) in s.combined.slice_mut(slot..slot + len).iter_mut().zip(row) {
+                            *c += share * xl_clamp(g * fx, ret, lim);
+                        }
                     }
                     let mut acc = s.acc[t.local as usize];
                     let mut max_occ = s.max_occ[t.local as usize];
-                    for i in 0..len {
-                        let mut combined = R::ZERO;
-                        for (e, &(fx, ret, lim, share)) in
-                            self.prepared.financial_terms().iter().enumerate()
-                        {
-                            let ground_up = s.ground[e * n_chunk + slot + i];
-                            combined += share * xl_clamp(ground_up * fx, ret, lim);
-                        }
+                    for &combined in s.combined.slice(slot..slot + len) {
                         let occ = terms.apply_occurrence(combined);
                         max_occ = max_occ.max(occ);
                         acc += occ;

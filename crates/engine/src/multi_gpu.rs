@@ -194,6 +194,58 @@ impl<R: Real> Engine for MultiGpuEngine<R> {
         })
     }
 
+    fn analyse_checked(
+        &self,
+        inputs: &Inputs,
+    ) -> Result<(AnalysisOutput, simt_sim::CheckReport), AraError> {
+        inputs.validate()?;
+        let start = Instant::now();
+        let mut prepare_total = std::time::Duration::ZERO;
+        let n_dev = self.devices.len();
+        // Instrumentation is thread-local, so the device partitions
+        // replay sequentially on this thread (in device order, keeping
+        // the merged report deterministic) instead of on per-device
+        // host threads. Partitioning and kernel geometry are identical
+        // to analyse(), so results still match it bit for bit.
+        let single = self.single_device();
+        let mut ids = Vec::with_capacity(inputs.layers.len());
+        let mut ylts = Vec::with_capacity(inputs.layers.len());
+        let mut check = simt_sim::CheckReport::default();
+        for layer in &inputs.layers {
+            let p0 = Instant::now();
+            let prepared = PreparedLayer::<R>::prepare(inputs, layer)?;
+            prepare_total += p0.elapsed();
+            let partitions = inputs.yet.partition_trials(n_dev);
+            let mut parts: Vec<Vec<TrialLoss>> = Vec::with_capacity(n_dev);
+            for range in partitions {
+                let (out, report) = single.run_layer_partition_checked(inputs, &prepared, range);
+                check.merge(report);
+                parts.push(out);
+            }
+            let ylt = YearLossTable::concat(
+                parts
+                    .into_iter()
+                    .map(|p| {
+                        let (year, max_occ) = p.into_iter().unzip();
+                        YearLossTable::with_max_occurrence(year, max_occ)
+                            .expect("kernel outputs have equal column lengths")
+                    })
+                    .collect(),
+            );
+            ids.push(layer.id);
+            ylts.push(ylt);
+        }
+        Ok((
+            AnalysisOutput {
+                portfolio: Portfolio::from_layer_results(ids, ylts)?,
+                wall: start.elapsed(),
+                prepare: prepare_total,
+                measured: None,
+            },
+            check,
+        ))
+    }
+
     fn model(&self, shape: &AraShape) -> ModeledTiming {
         let mut flags = OptimisationFlags::all();
         flags.reduced_precision = R::BYTES == 4;

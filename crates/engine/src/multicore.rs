@@ -141,7 +141,12 @@ impl<R: Real> MulticoreEngine<R> {
                         let mut year = Vec::with_capacity(hi - lo);
                         let mut occ = Vec::with_capacity(hi - lo);
                         ara_core::analyse_trials_blocked(
-                            prepared, &inputs.yet, lo..hi, ws, &mut year, &mut occ,
+                            prepared,
+                            &inputs.yet,
+                            lo..hi,
+                            ws,
+                            &mut year,
+                            &mut occ,
                         );
                         year.into_iter().zip(occ).collect()
                     })

@@ -19,7 +19,10 @@ fn engines() -> Vec<(&'static str, Box<dyn Engine>)> {
     ]
 }
 
-fn run_traced(engine: &dyn Engine, inputs: &ara_core::Inputs) -> (ara_engine::AnalysisOutput, Trace) {
+fn run_traced(
+    engine: &dyn Engine,
+    inputs: &ara_core::Inputs,
+) -> (ara_engine::AnalysisOutput, Trace) {
     testing::reset();
     recorder().enable(Level::Trace);
     let out = engine.analyse(inputs).unwrap();

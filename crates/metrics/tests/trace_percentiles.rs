@@ -51,8 +51,14 @@ fn extremes_are_exact_and_quantiles_are_monotone() {
     let snap = bucketed("pin.skewed", &values);
 
     // q = 0 and q = 1 are exact by contract, matching the exact stats.
-    assert_eq!(snap.quantile(0.0) as f64, stats::quantile(&exact_input, 0.0));
-    assert_eq!(snap.quantile(1.0) as f64, stats::quantile(&exact_input, 1.0));
+    assert_eq!(
+        snap.quantile(0.0) as f64,
+        stats::quantile(&exact_input, 0.0)
+    );
+    assert_eq!(
+        snap.quantile(1.0) as f64,
+        stats::quantile(&exact_input, 1.0)
+    );
 
     // Both implementations are monotone non-decreasing in q.
     let grid: Vec<f64> = (0..=20).map(|i| i as f64 / 20.0).collect();

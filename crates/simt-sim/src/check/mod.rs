@@ -1,0 +1,121 @@
+//! simt-check: checked (instrumented) replay of SIMT kernels.
+//!
+//! The plain executor runs the threads of a bulk-synchronous phase
+//! *serially in thread-id order* (see [`crate::BlockCtx::for_each_thread`]),
+//! so a kernel that would race, diverge at a barrier, or read stale
+//! shared memory on a real Fermi GPU still produces a correct result
+//! here — the substrate hides the bug. [`launch_checked`] replays any
+//! [`crate::Kernel`] under instrumentation and reports what the
+//! serialization masks:
+//!
+//! - **write/write and read/write hazards**: overlapping same-phase
+//!   accesses to a [`TrackedShared`] buffer from distinct threads;
+//! - **phase divergence**: threads of a block reaching different
+//!   numbers of barriers (see [`crate::BlockCtx::for_each_thread_masked`]);
+//! - **out-of-bounds and uninitialized shared-memory reads**;
+//! - **warp-divergence hotspots**: per-warp lane-uniformity stats in
+//!   the same units as the engine's analytic divergence model.
+//!
+//! Replay runs all blocks sequentially on the calling thread; results
+//! are bit-identical to [`crate::launch`] for well-formed kernels, and
+//! the report is deterministic.
+
+mod report;
+mod session;
+mod tracked;
+
+pub use report::{CheckReport, Hazard, HazardKind, WarpStats, LEADER_THREAD, MAX_HAZARD_ENTRIES};
+pub use tracked::TrackedShared;
+
+pub(crate) use session::{is_active, phase_begin, phase_end, set_current_thread};
+
+use crate::exec::{BlockCtx, Kernel, LaunchConfig, LaunchStats};
+use std::time::Instant;
+
+/// Lanes per warp assumed by the warp-uniformity accounting — 32 on
+/// the paper's Fermi-class Tesla C2075.
+pub const CHECK_WARP_SIZE: u32 = 32;
+
+/// Replay `kernel` under instrumentation: same outputs as
+/// [`crate::launch`], plus a [`CheckReport`] of every hazard the
+/// serialized executor would otherwise hide.
+///
+/// Blocks run sequentially on the calling thread (instrumentation is
+/// thread-local), batched into runs of `cfg.blocks_per_run` with the
+/// same shared-arena init/reset sequence as the parallel launcher, so
+/// kernels see identical arena reuse in both modes.
+///
+/// # Panics
+/// Panics if `out.len() != cfg.num_items` or when called from inside
+/// another checked launch.
+pub fn launch_checked<Out, K>(
+    cfg: LaunchConfig,
+    kernel: &K,
+    out: &mut [Out],
+) -> (LaunchStats, CheckReport)
+where
+    Out: Send,
+    K: Kernel<Out>,
+{
+    assert_eq!(
+        out.len(),
+        cfg.num_items,
+        "output slice must match num_items"
+    );
+    let _span = ara_trace::recorder()
+        .span("simt.launch_checked")
+        .with_field("grid_dim", cfg.grid_dim())
+        .with_field("block_dim", cfg.block_dim)
+        .with_field("num_items", cfg.num_items);
+    let start = Instant::now();
+    let block_dim = cfg.block_dim as usize;
+    let blocks_per_run = cfg.blocks_per_run.max(1) as usize;
+    let guard = session::SessionGuard::begin(CHECK_WARP_SIZE);
+    let mut total_phases = 0u64;
+    if cfg.num_items != 0 {
+        for (run, run_out) in out.chunks_mut(block_dim * blocks_per_run).enumerate() {
+            let first = run * blocks_per_run;
+            let mut shared: Option<K::Shared> = None;
+            for (i, chunk) in run_out.chunks_mut(block_dim).enumerate() {
+                let b = (first + i) as u32;
+                session::block_begin(b, cfg.active_threads(b));
+                match shared.as_mut() {
+                    Some(s) => kernel.reset_shared(b, s),
+                    None => shared = Some(kernel.init_shared(b)),
+                }
+                let arena = shared.as_mut().expect("arena initialized above");
+                let mut ctx = BlockCtx::new(b, cfg, arena);
+                kernel.run_block(&mut ctx, chunk);
+                total_phases += ctx.phase_count() as u64;
+                session::block_end();
+            }
+        }
+    }
+    let report = guard.finish();
+    if ara_trace::recorder().is_enabled() {
+        let m = ara_trace::metrics();
+        m.counter("simt.checked_launches").incr();
+        m.counter("simt.check.hazards")
+            .add(report.hazard_occurrences());
+        let _hazard_span = ara_trace::recorder()
+            .span("simt.check")
+            .with_field("blocks", report.blocks_checked)
+            .with_field("phases", report.phases_checked)
+            .with_field("accesses", report.accesses_recorded)
+            .with_field("hazard_entries", report.hazards.len())
+            .with_field("hazard_occurrences", report.hazard_occurrences())
+            .with_field("divergent_warp_phases", report.warp.divergent_warp_phases)
+            .with_field("warp_idle_fraction", report.warp.idle_fraction())
+            .with_field("clean", report.is_clean());
+    }
+    (
+        LaunchStats {
+            grid_dim: cfg.grid_dim(),
+            block_dim: cfg.block_dim,
+            num_items: cfg.num_items,
+            total_phases,
+            elapsed: start.elapsed(),
+        },
+        report,
+    )
+}

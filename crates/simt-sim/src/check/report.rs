@@ -1,0 +1,335 @@
+//! Hazard report types produced by a checked replay.
+
+use std::fmt;
+
+/// Thread id used to attribute accesses made by block-leader code (code
+/// running via [`crate::BlockCtx::shared`] between phases rather than
+/// inside a `for_each_thread` phase).
+pub const LEADER_THREAD: u32 = u32::MAX;
+
+/// Maximum number of *distinct* hazard entries kept per report. Further
+/// occurrences of an already-reported `(kind, buffer)` pair fold into
+/// that entry's `count`; entirely new pairs past the cap only set the
+/// report's `truncated` flag.
+pub const MAX_HAZARD_ENTRIES: usize = 64;
+
+/// The kind of defect a checked replay detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HazardKind {
+    /// Two distinct threads wrote overlapping shared-memory elements in
+    /// the same bulk-synchronous phase. On a real GPU the surviving
+    /// value depends on warp scheduling.
+    WriteWrite,
+    /// One thread read and another wrote overlapping shared-memory
+    /// elements in the same phase — a missing `__syncthreads()` between
+    /// producer and consumer.
+    ReadWrite,
+    /// An access outside the tracked buffer's current length. The
+    /// checked replay clamps the access and continues (like
+    /// cuda-memcheck), so one report can carry several of these.
+    OutOfBounds,
+    /// A read of a shared-memory element no thread (or leader) has
+    /// written since the buffer was last sized without initialization.
+    UninitRead,
+    /// Threads of one block executed different numbers of phases —
+    /// i.e. a `__syncthreads()` inside a divergent branch, which
+    /// deadlocks or corrupts on real hardware.
+    PhaseDivergence,
+}
+
+impl fmt::Display for HazardKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            HazardKind::WriteWrite => "write/write race",
+            HazardKind::ReadWrite => "read/write race",
+            HazardKind::OutOfBounds => "out-of-bounds access",
+            HazardKind::UninitRead => "uninitialized read",
+            HazardKind::PhaseDivergence => "phase divergence",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One detected hazard, attributed to the first occurrence seen by the
+/// (deterministic, sequential) checked replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hazard {
+    /// What went wrong.
+    pub kind: HazardKind,
+    /// Name of the tracked buffer involved, or `"<barrier>"` for phase
+    /// divergence.
+    pub buffer: String,
+    /// Block in which the first occurrence was observed.
+    pub block: u32,
+    /// 1-based phase number within that block (for [`HazardKind::PhaseDivergence`],
+    /// the total number of phases the block ran).
+    pub phase: u32,
+    /// The two local thread ids involved (lower first). For single-thread
+    /// hazards both sides carry the same id; [`LEADER_THREAD`] marks
+    /// block-leader code.
+    pub threads: (u32, u32),
+    /// Conflicting element range `[start, end)`. For
+    /// [`HazardKind::PhaseDivergence`] this carries the (min, max) phase
+    /// counts observed across the block's threads instead.
+    pub range: (usize, usize),
+    /// Total occurrences folded into this entry across the launch.
+    pub count: u64,
+}
+
+impl fmt::Display for Hazard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn thread_name(t: u32) -> String {
+            if t == LEADER_THREAD {
+                "leader".to_string()
+            } else {
+                t.to_string()
+            }
+        }
+        if self.kind == HazardKind::PhaseDivergence {
+            write!(
+                f,
+                "{} in block {}: thread {} ran {} phase(s), thread {} ran {} (x{})",
+                self.kind,
+                self.block,
+                thread_name(self.threads.0),
+                self.range.0,
+                thread_name(self.threads.1),
+                self.range.1,
+                self.count,
+            )
+        } else {
+            write!(
+                f,
+                "{} on `{}` block {} phase {} threads {}/{} elems [{}, {}) (x{})",
+                self.kind,
+                self.buffer,
+                self.block,
+                self.phase,
+                thread_name(self.threads.0),
+                thread_name(self.threads.1),
+                self.range.0,
+                self.range.1,
+                self.count,
+            )
+        }
+    }
+}
+
+/// Per-warp branch-uniformity statistics gathered during a checked
+/// replay.
+///
+/// For every (warp, phase) pair the session counts the tracked
+/// shared-memory elements each lane touched. A warp-phase where lanes
+/// did unequal work is *divergent*: on lock-step hardware the light
+/// lanes idle while the heaviest lane finishes. `useful_lane_steps` and
+/// `idle_lane_steps` match the units of
+/// `ara_engine::DivergenceStats` (element-steps), so a measured report
+/// can be compared against the modeled chunked-kernel divergence.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarpStats {
+    /// Lanes per warp used for the grouping (32 on Fermi).
+    pub warp_size: u32,
+    /// Warp-phases in which at least one lane touched tracked memory.
+    pub warp_phases: u64,
+    /// Warp-phases whose lanes did unequal amounts of tracked work.
+    pub divergent_warp_phases: u64,
+    /// Element-accesses actually performed by lanes.
+    pub useful_lane_steps: u64,
+    /// Element-steps lanes spent masked off waiting for the heaviest
+    /// lane of their warp.
+    pub idle_lane_steps: u64,
+}
+
+impl WarpStats {
+    /// Fraction of lane-steps wasted to divergence (0 when no tracked
+    /// work was observed).
+    pub fn idle_fraction(&self) -> f64 {
+        let total = self.useful_lane_steps + self.idle_lane_steps;
+        if total == 0 {
+            0.0
+        } else {
+            self.idle_lane_steps as f64 / total as f64
+        }
+    }
+
+    /// Fold another launch's warp stats into this one.
+    pub fn merge(&mut self, other: &WarpStats) {
+        if self.warp_size == 0 {
+            self.warp_size = other.warp_size;
+        }
+        self.warp_phases += other.warp_phases;
+        self.divergent_warp_phases += other.divergent_warp_phases;
+        self.useful_lane_steps += other.useful_lane_steps;
+        self.idle_lane_steps += other.idle_lane_steps;
+    }
+}
+
+/// Deterministic result of a checked replay ([`crate::launch_checked`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CheckReport {
+    /// Distinct hazards, deduplicated by `(kind, buffer)` with
+    /// first-occurrence attribution, sorted by kind then buffer.
+    pub hazards: Vec<Hazard>,
+    /// Warp branch-uniformity statistics.
+    pub warp: WarpStats,
+    /// Blocks replayed under instrumentation.
+    pub blocks_checked: u64,
+    /// Bulk-synchronous phases replayed.
+    pub phases_checked: u64,
+    /// Tracked shared-memory accesses recorded.
+    pub accesses_recorded: u64,
+    /// True when distinct hazards past [`MAX_HAZARD_ENTRIES`] were
+    /// dropped (the report is still a proof of *presence* of hazards,
+    /// no longer an exhaustive list).
+    pub truncated: bool,
+}
+
+impl CheckReport {
+    /// True when the replay saw no hazards at all.
+    pub fn is_clean(&self) -> bool {
+        self.hazards.is_empty() && !self.truncated
+    }
+
+    /// Total hazard occurrences across all entries.
+    pub fn hazard_occurrences(&self) -> u64 {
+        self.hazards.iter().map(|h| h.count).sum()
+    }
+
+    /// Fold another report into this one (used by multi-launch engines:
+    /// one report per layer or per simulated device).
+    pub fn merge(&mut self, other: CheckReport) {
+        for h in other.hazards {
+            match self
+                .hazards
+                .iter_mut()
+                .find(|e| e.kind == h.kind && e.buffer == h.buffer)
+            {
+                Some(e) => e.count += h.count,
+                None => {
+                    if self.hazards.len() < MAX_HAZARD_ENTRIES {
+                        self.hazards.push(h);
+                    } else {
+                        self.truncated = true;
+                    }
+                }
+            }
+        }
+        self.hazards
+            .sort_by(|a, b| a.kind.cmp(&b.kind).then_with(|| a.buffer.cmp(&b.buffer)));
+        self.warp.merge(&other.warp);
+        self.blocks_checked += other.blocks_checked;
+        self.phases_checked += other.phases_checked;
+        self.accesses_recorded += other.accesses_recorded;
+        self.truncated |= other.truncated;
+    }
+
+    /// Multi-line human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.is_clean() {
+            out.push_str(&format!(
+                "simt-check: clean — {} blocks, {} phases, {} tracked accesses, no hazards\n",
+                self.blocks_checked, self.phases_checked, self.accesses_recorded
+            ));
+        } else {
+            out.push_str(&format!(
+                "simt-check: {} hazard occurrence(s) in {} distinct entr{} \
+                 ({} blocks, {} phases, {} tracked accesses{})\n",
+                self.hazard_occurrences(),
+                self.hazards.len(),
+                if self.hazards.len() == 1 { "y" } else { "ies" },
+                self.blocks_checked,
+                self.phases_checked,
+                self.accesses_recorded,
+                if self.truncated {
+                    "; entry list truncated"
+                } else {
+                    ""
+                },
+            ));
+            for h in &self.hazards {
+                out.push_str(&format!("  {h}\n"));
+            }
+        }
+        if self.warp.warp_phases > 0 {
+            out.push_str(&format!(
+                "  warps: {}/{} divergent warp-phases, {:.1}% lane-steps idle\n",
+                self.warp.divergent_warp_phases,
+                self.warp.warp_phases,
+                100.0 * self.warp.idle_fraction(),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hazard(kind: HazardKind, buffer: &str) -> Hazard {
+        Hazard {
+            kind,
+            buffer: buffer.to_string(),
+            block: 1,
+            phase: 2,
+            threads: (0, 3),
+            range: (4, 8),
+            count: 2,
+        }
+    }
+
+    #[test]
+    fn default_report_is_clean() {
+        let r = CheckReport::default();
+        assert!(r.is_clean());
+        assert_eq!(r.hazard_occurrences(), 0);
+        assert!(r.render().contains("clean"));
+    }
+
+    #[test]
+    fn merge_folds_duplicate_entries_and_sorts() {
+        let mut a = CheckReport {
+            hazards: vec![hazard(HazardKind::ReadWrite, "staged")],
+            blocks_checked: 2,
+            ..CheckReport::default()
+        };
+        let b = CheckReport {
+            hazards: vec![
+                hazard(HazardKind::ReadWrite, "staged"),
+                hazard(HazardKind::WriteWrite, "acc"),
+            ],
+            blocks_checked: 3,
+            ..CheckReport::default()
+        };
+        a.merge(b);
+        assert_eq!(a.blocks_checked, 5);
+        assert_eq!(a.hazards.len(), 2);
+        // Sorted by kind: WriteWrite < ReadWrite in declaration order.
+        assert_eq!(a.hazards[0].kind, HazardKind::WriteWrite);
+        assert_eq!(a.hazards[1].count, 4);
+        assert!(!a.is_clean());
+    }
+
+    #[test]
+    fn display_marks_leader_accesses() {
+        let mut h = hazard(HazardKind::UninitRead, "ground");
+        h.threads = (LEADER_THREAD, LEADER_THREAD);
+        let s = h.to_string();
+        assert!(s.contains("leader"), "{s}");
+        assert!(s.contains("uninitialized read"), "{s}");
+    }
+
+    #[test]
+    fn idle_fraction_is_bounded() {
+        let w = WarpStats {
+            warp_size: 32,
+            warp_phases: 4,
+            divergent_warp_phases: 1,
+            useful_lane_steps: 30,
+            idle_lane_steps: 10,
+        };
+        assert!((w.idle_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(WarpStats::default().idle_fraction(), 0.0);
+    }
+}

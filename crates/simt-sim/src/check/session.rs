@@ -1,0 +1,334 @@
+//! Thread-local instrumentation session driving a checked replay.
+//!
+//! [`crate::launch_checked`] installs a session on the calling thread
+//! and then runs every block *sequentially on that thread*, so the
+//! [`crate::TrackedShared`] wrappers and the `BlockCtx` phase hooks can
+//! find the session without any cross-thread synchronization — and the
+//! resulting report is deterministic.
+
+use super::report::{
+    CheckReport, Hazard, HazardKind, WarpStats, LEADER_THREAD, MAX_HAZARD_ENTRIES,
+};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// One shared-memory access recorded during the current phase.
+#[derive(Debug, Clone, Copy)]
+struct Access {
+    buffer: &'static str,
+    thread: u32,
+    start: usize,
+    len: usize,
+    write: bool,
+}
+
+#[derive(Debug)]
+struct SessionState {
+    warp_size: u32,
+    block: u32,
+    phase: u32,
+    current_thread: Option<u32>,
+    /// Accesses of the phase currently executing.
+    accesses: Vec<Access>,
+    /// Tracked element-accesses per local thread, current phase.
+    phase_work: Vec<u64>,
+    /// Which local threads executed the current phase.
+    phase_part: Vec<bool>,
+    /// Phases executed per local thread, current block.
+    participation: Vec<u32>,
+    hazards: Vec<Hazard>,
+    /// `(kind, buffer) -> index into hazards` for deduplication.
+    index: HashMap<(HazardKind, &'static str), usize>,
+    truncated: bool,
+    warp: WarpStats,
+    blocks: u64,
+    phases: u64,
+    total_accesses: u64,
+}
+
+impl SessionState {
+    fn new(warp_size: u32) -> Self {
+        SessionState {
+            warp_size,
+            block: 0,
+            phase: 0,
+            current_thread: None,
+            accesses: Vec::new(),
+            phase_work: Vec::new(),
+            phase_part: Vec::new(),
+            participation: Vec::new(),
+            hazards: Vec::new(),
+            index: HashMap::new(),
+            truncated: false,
+            warp: WarpStats {
+                warp_size,
+                ..WarpStats::default()
+            },
+            blocks: 0,
+            phases: 0,
+            total_accesses: 0,
+        }
+    }
+
+    fn record_hazard(
+        &mut self,
+        kind: HazardKind,
+        buffer: &'static str,
+        threads: (u32, u32),
+        range: (usize, usize),
+    ) {
+        match self.index.get(&(kind, buffer)) {
+            Some(&i) => self.hazards[i].count += 1,
+            None => {
+                if self.hazards.len() < MAX_HAZARD_ENTRIES {
+                    self.index.insert((kind, buffer), self.hazards.len());
+                    self.hazards.push(Hazard {
+                        kind,
+                        buffer: buffer.to_string(),
+                        block: self.block,
+                        phase: self.phase,
+                        threads,
+                        range,
+                        count: 1,
+                    });
+                } else {
+                    self.truncated = true;
+                }
+            }
+        }
+    }
+
+    /// Analyze the just-finished phase: pairwise hazard scan over the
+    /// recorded accesses, then warp-uniformity accounting.
+    fn close_phase(&mut self) {
+        self.phases += 1;
+        self.current_thread = None;
+
+        let mut accesses = std::mem::take(&mut self.accesses);
+        // Sort by (buffer, start); then each access only has to look
+        // ahead while ranges can still overlap.
+        accesses.sort_unstable_by(|a, b| {
+            a.buffer
+                .cmp(b.buffer)
+                .then(a.start.cmp(&b.start))
+                .then(a.thread.cmp(&b.thread))
+        });
+        let mut rest = accesses.as_slice();
+        while let Some((&a, tail)) = rest.split_first() {
+            let a_end = a.start + a.len;
+            for &b in tail {
+                if b.buffer != a.buffer || b.start >= a_end {
+                    break;
+                }
+                if a.thread == b.thread || !(a.write || b.write) {
+                    continue;
+                }
+                let kind = if a.write && b.write {
+                    HazardKind::WriteWrite
+                } else {
+                    HazardKind::ReadWrite
+                };
+                let overlap = (a.start.max(b.start), a_end.min(b.start + b.len));
+                let threads = (a.thread.min(b.thread), a.thread.max(b.thread));
+                self.record_hazard(kind, a.buffer, threads, overlap);
+            }
+            rest = tail;
+        }
+
+        // Warp accounting: lanes of a warp step in lock-step, so each
+        // warp-phase costs every present lane the heaviest lane's work.
+        let ws = self.warp_size.max(1) as usize;
+        for warp in self.phase_work.chunks(ws) {
+            let heaviest = warp.iter().copied().max().unwrap_or(0);
+            if heaviest == 0 {
+                continue;
+            }
+            let useful: u64 = warp.iter().sum();
+            self.warp.warp_phases += 1;
+            self.warp.useful_lane_steps += useful;
+            self.warp.idle_lane_steps += heaviest * warp.len() as u64 - useful;
+            if warp.iter().any(|&w| w != heaviest) {
+                self.warp.divergent_warp_phases += 1;
+            }
+        }
+    }
+
+    /// Phase-count divergence check at the end of a block.
+    fn close_block(&mut self) {
+        self.blocks += 1;
+        if self.participation.is_empty() {
+            return;
+        }
+        let (mut min_t, mut max_t) = (0usize, 0usize);
+        for (t, &p) in self.participation.iter().enumerate() {
+            if p < self.participation[min_t] {
+                min_t = t;
+            }
+            if p > self.participation[max_t] {
+                max_t = t;
+            }
+        }
+        let (lo, hi) = (self.participation[min_t], self.participation[max_t]);
+        if lo != hi {
+            self.record_hazard(
+                HazardKind::PhaseDivergence,
+                "<barrier>",
+                (min_t as u32, max_t as u32),
+                (lo as usize, hi as usize),
+            );
+        }
+    }
+
+    fn into_report(mut self) -> CheckReport {
+        self.hazards
+            .sort_by(|a, b| a.kind.cmp(&b.kind).then_with(|| a.buffer.cmp(&b.buffer)));
+        CheckReport {
+            hazards: self.hazards,
+            warp: self.warp,
+            blocks_checked: self.blocks,
+            phases_checked: self.phases,
+            accesses_recorded: self.total_accesses,
+            truncated: self.truncated,
+        }
+    }
+}
+
+thread_local! {
+    static SESSION: RefCell<Option<SessionState>> = const { RefCell::new(None) };
+}
+
+/// True when a checked replay is instrumenting the current thread. All
+/// tracked-buffer and phase hooks are gated on this, so plain launches
+/// pay one thread-local lookup and nothing else.
+#[inline]
+pub(crate) fn is_active() -> bool {
+    SESSION.with(|s| s.borrow().is_some())
+}
+
+fn with_session(f: impl FnOnce(&mut SessionState)) {
+    SESSION.with(|s| {
+        if let Some(state) = s.borrow_mut().as_mut() {
+            f(state);
+        }
+    });
+}
+
+/// Called by the checked launcher before a block's `run_block`.
+pub(crate) fn block_begin(block: u32, active_threads: u32) {
+    with_session(|s| {
+        s.block = block;
+        s.phase = 0;
+        s.current_thread = None;
+        s.accesses.clear();
+        s.participation.clear();
+        s.participation.resize(active_threads as usize, 0);
+        s.phase_work.clear();
+        s.phase_work.resize(active_threads as usize, 0);
+        s.phase_part.clear();
+        s.phase_part.resize(active_threads as usize, false);
+    });
+}
+
+/// Called by the checked launcher after a block's `run_block`.
+pub(crate) fn block_end() {
+    with_session(SessionState::close_block);
+}
+
+/// Called by `BlockCtx` when a phase starts; `phase` is 1-based.
+pub(crate) fn phase_begin(phase: u32) {
+    with_session(|s| {
+        s.phase = phase;
+        s.accesses.clear();
+        s.phase_work.iter_mut().for_each(|w| *w = 0);
+        s.phase_part.iter_mut().for_each(|p| *p = false);
+    });
+}
+
+/// Called by `BlockCtx` as each thread takes its turn within a phase.
+pub(crate) fn set_current_thread(local: u32) {
+    with_session(|s| {
+        s.current_thread = Some(local);
+        let i = local as usize;
+        if i < s.participation.len() && !s.phase_part[i] {
+            s.phase_part[i] = true;
+            s.participation[i] += 1;
+        }
+    });
+}
+
+/// Called by `BlockCtx` at the barrier ending a phase.
+pub(crate) fn phase_end() {
+    with_session(SessionState::close_phase);
+}
+
+/// Called by `TrackedShared` on every in-bounds access while a session
+/// is active. Leader accesses (outside any phase) are init-checked but
+/// cannot race — phases are the unit of concurrency — so they are not
+/// entered into the conflict scan.
+pub(crate) fn record_access(buffer: &'static str, start: usize, len: usize, write: bool) {
+    with_session(|s| {
+        s.total_accesses += 1;
+        if len == 0 {
+            return;
+        }
+        if let Some(thread) = s.current_thread {
+            s.accesses.push(Access {
+                buffer,
+                thread,
+                start,
+                len,
+                write,
+            });
+            let i = thread as usize;
+            if i < s.phase_work.len() {
+                s.phase_work[i] += len as u64;
+            }
+        }
+    });
+}
+
+/// Called by `TrackedShared` when it detects an out-of-bounds or
+/// uninitialized access.
+pub(crate) fn record_buffer_hazard(kind: HazardKind, buffer: &'static str, range: (usize, usize)) {
+    with_session(|s| {
+        let t = s.current_thread.unwrap_or(LEADER_THREAD);
+        s.record_hazard(kind, buffer, (t, t), range);
+    });
+}
+
+/// RAII session installer: clears the thread-local state even if the
+/// kernel panics mid-replay, so a failed checked launch cannot poison
+/// later launches on the same thread.
+pub(crate) struct SessionGuard {
+    finished: bool,
+}
+
+impl SessionGuard {
+    pub(crate) fn begin(warp_size: u32) -> Self {
+        SESSION.with(|s| {
+            let mut slot = s.borrow_mut();
+            assert!(
+                slot.is_none(),
+                "launch_checked cannot nest inside another checked launch"
+            );
+            *slot = Some(SessionState::new(warp_size));
+        });
+        SessionGuard { finished: false }
+    }
+
+    pub(crate) fn finish(mut self) -> CheckReport {
+        self.finished = true;
+        SESSION
+            .with(|s| s.borrow_mut().take())
+            .map(SessionState::into_report)
+            .expect("checked session active")
+    }
+}
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        if !self.finished {
+            SESSION.with(|s| s.borrow_mut().take());
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Instrumented shared-memory buffer.
+
+use super::report::HazardKind;
+use super::session;
+use std::ops::Range;
+
+/// A shared-memory buffer that records per-thread, per-phase access
+/// sets when a checked replay ([`crate::launch_checked`]) is active.
+///
+/// Outside a checked replay every operation is plain `Vec` behavior
+/// (including panics on out-of-bounds) behind a single thread-local
+/// lookup, so kernels can use `TrackedShared` unconditionally without a
+/// measurable hot-path cost. Under a checked replay:
+///
+/// - every access is recorded against the thread currently executing,
+///   and overlapping same-phase accesses from distinct threads become
+///   write/write or read/write hazards at the phase barrier;
+/// - out-of-bounds accesses are reported and *clamped* (reads of a bad
+///   index return `T::default()`), in the spirit of cuda-memcheck, so
+///   the replay can continue and find further defects;
+/// - reads of elements never written since the buffer was last sized
+///   via [`TrackedShared::resize_uninit`] are reported as
+///   uninitialized reads.
+///
+/// Granularity note: [`TrackedShared::slice_mut`] records a write of
+/// the *whole* requested range, mirroring how a CUDA kernel declares
+/// the region a thread owns; take the narrowest range that covers the
+/// elements actually touched.
+#[derive(Debug, Clone)]
+pub struct TrackedShared<T> {
+    name: &'static str,
+    data: Vec<T>,
+    /// Per-element initialization map, maintained only while a checked
+    /// session is active (empty otherwise). May be shorter than `data`
+    /// when the buffer predates the session; missing entries count as
+    /// initialized.
+    init: Vec<bool>,
+}
+
+impl<T: Copy + Default> TrackedShared<T> {
+    /// New empty buffer. `name` attributes hazards in reports; use the
+    /// field name from the kernel's shared struct.
+    pub fn new(name: &'static str) -> Self {
+        TrackedShared {
+            name,
+            data: Vec::new(),
+            init: Vec::new(),
+        }
+    }
+
+    /// The attribution name given at construction.
+    #[inline]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Current logical length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Drop all elements (keeps capacity, like `Vec::clear`).
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.init.clear();
+    }
+
+    /// Resize to `n` elements, filling new slots with `v`. New slots
+    /// count as initialized (they hold a defined value).
+    pub fn resize(&mut self, n: usize, v: T) {
+        self.data.resize(n, v);
+        self.sync_init(true);
+    }
+
+    /// Resize to `n` elements *without* defined contents — the analog
+    /// of declaring `__shared__ T buf[n]`: the storage exists but reads
+    /// before a write are reported as uninitialized. Outside a checked
+    /// session this is `resize(n, T::default())`.
+    pub fn resize_uninit(&mut self, n: usize) {
+        self.data.resize(n, T::default());
+        self.sync_init(false);
+    }
+
+    fn sync_init(&mut self, grown_init: bool) {
+        if !session::is_active() {
+            self.init.clear();
+            return;
+        }
+        let n = self.data.len();
+        if self.init.len() > n {
+            self.init.truncate(n);
+        }
+        if self.init.len() < n {
+            self.init.resize(n, grown_init);
+        }
+    }
+
+    /// Read `range` as a slice, recording the read.
+    pub fn slice(&self, range: Range<usize>) -> &[T] {
+        if !session::is_active() {
+            return &self.data[range];
+        }
+        let (start, end) = self.checked_range(range);
+        session::record_access(self.name, start, end - start, false);
+        self.check_init(start, end);
+        &self.data[start..end]
+    }
+
+    /// Mutably view `range`, recording a write of the whole range and
+    /// marking it initialized.
+    pub fn slice_mut(&mut self, range: Range<usize>) -> &mut [T] {
+        if !session::is_active() {
+            return &mut self.data[range];
+        }
+        let (start, end) = self.checked_range(range);
+        session::record_access(self.name, start, end - start, true);
+        let init_end = end.min(self.init.len());
+        for slot in self.init.iter_mut().take(init_end).skip(start) {
+            *slot = true;
+        }
+        &mut self.data[start..end]
+    }
+
+    /// Read one element, recording the read. Under a checked session an
+    /// out-of-bounds index is reported and yields `T::default()`.
+    pub fn get(&self, i: usize) -> T {
+        if !session::is_active() {
+            return self.data[i];
+        }
+        if i >= self.data.len() {
+            session::record_buffer_hazard(HazardKind::OutOfBounds, self.name, (i, i + 1));
+            return T::default();
+        }
+        session::record_access(self.name, i, 1, false);
+        self.check_init(i, i + 1);
+        self.data[i]
+    }
+
+    /// Write one element, recording the write. Under a checked session
+    /// an out-of-bounds index is reported and the write is dropped.
+    pub fn set(&mut self, i: usize, v: T) {
+        if !session::is_active() {
+            self.data[i] = v;
+            return;
+        }
+        if i >= self.data.len() {
+            session::record_buffer_hazard(HazardKind::OutOfBounds, self.name, (i, i + 1));
+            return;
+        }
+        session::record_access(self.name, i, 1, true);
+        if i < self.init.len() {
+            self.init[i] = true;
+        }
+        self.data[i] = v;
+    }
+
+    /// Report-and-clamp bounds handling for range views (checked
+    /// sessions only).
+    fn checked_range(&self, range: Range<usize>) -> (usize, usize) {
+        let n = self.data.len();
+        if range.start > range.end || range.end > n {
+            session::record_buffer_hazard(
+                HazardKind::OutOfBounds,
+                self.name,
+                (range.start, range.end),
+            );
+            let start = range.start.min(n);
+            let end = range.end.clamp(start, n);
+            (start, end)
+        } else {
+            (range.start, range.end)
+        }
+    }
+
+    fn check_init(&self, start: usize, end: usize) {
+        let scan_end = end.min(self.init.len());
+        if start >= scan_end {
+            return;
+        }
+        if let Some(off) = self.init[start..scan_end].iter().position(|&b| !b) {
+            session::record_buffer_hazard(HazardKind::UninitRead, self.name, (start + off, end));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behaves_like_a_vec_outside_checked_sessions() {
+        let mut buf = TrackedShared::<u32>::new("buf");
+        assert!(buf.is_empty());
+        buf.resize(4, 7);
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf.get(2), 7);
+        buf.set(2, 9);
+        assert_eq!(buf.slice(1..3), &[7, 9]);
+        buf.slice_mut(0..2).copy_from_slice(&[1, 2]);
+        assert_eq!(buf.slice(0..4), &[1, 2, 9, 7]);
+        buf.resize_uninit(6);
+        assert_eq!(buf.get(5), 0, "uninit defaults outside sessions");
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.name(), "buf");
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_panics_outside_checked_sessions() {
+        let buf = TrackedShared::<u32>::new("buf");
+        let _ = buf.get(0);
+    }
+}

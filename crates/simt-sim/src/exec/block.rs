@@ -9,7 +9,10 @@ use super::kernel::ThreadCtx;
 /// [`BlockCtx::for_each_thread`] call is one bulk-synchronous phase —
 /// equivalent to the code between two `__syncthreads()` barriers in a
 /// CUDA kernel. Within a phase the threads run in thread-id order, so a
-/// phase that writes shared memory is race-free and deterministic.
+/// phase that writes shared memory is race-free and deterministic —
+/// which also means the serialization *hides* races a real GPU would
+/// hit; [`crate::launch_checked`] replays a kernel with these phases
+/// instrumented to surface them.
 #[derive(Debug)]
 pub struct BlockCtx<'a, S> {
     block: u32,
@@ -20,8 +23,8 @@ pub struct BlockCtx<'a, S> {
 
 impl<'a, S> BlockCtx<'a, S> {
     /// Create the context for `block` of launch `cfg` (called by the
-    /// launcher).
-    pub(super) fn new(block: u32, cfg: LaunchConfig, shared: &'a mut S) -> Self {
+    /// plain and checked launchers).
+    pub(crate) fn new(block: u32, cfg: LaunchConfig, shared: &'a mut S) -> Self {
         BlockCtx {
             block,
             cfg,
@@ -66,7 +69,30 @@ impl<'a, S> BlockCtx<'a, S> {
     /// thread, in thread-id order, with mutable access to shared memory.
     /// The return from this call is the barrier.
     pub fn for_each_thread(&mut self, mut f: impl FnMut(ThreadCtx, &mut S)) {
+        self.for_each_thread_masked(|_| true, &mut f);
+    }
+
+    /// Like [`BlockCtx::for_each_thread`], but only threads for which
+    /// `mask` returns true execute the phase body — the analog of a
+    /// barrier inside a divergent branch. Threads that skip the body
+    /// still *reach* the barrier count differently, so a checked replay
+    /// ([`crate::launch_checked`]) reports non-uniform participation as
+    /// a phase-divergence hazard: on real hardware a `__syncthreads()`
+    /// not reached by every thread of the block deadlocks or corrupts.
+    /// Correct kernels should not need this; it exists so the defect is
+    /// expressible and detectable.
+    pub fn for_each_thread_masked(
+        &mut self,
+        mut mask: impl FnMut(ThreadCtx) -> bool,
+        mut f: impl FnMut(ThreadCtx, &mut S),
+    ) {
         self.phases += 1;
+        // One thread-local lookup per phase; zero per-thread cost in
+        // plain (unchecked) launches.
+        let checked = crate::check::is_active();
+        if checked {
+            crate::check::phase_begin(self.phases);
+        }
         let base = self.block as usize * self.cfg.block_dim as usize;
         for local in 0..self.active_threads() {
             let t = ThreadCtx {
@@ -75,7 +101,16 @@ impl<'a, S> BlockCtx<'a, S> {
                 global: base + local as usize,
                 block_dim: self.cfg.block_dim,
             };
+            if !mask(t) {
+                continue;
+            }
+            if checked {
+                crate::check::set_current_thread(local);
+            }
             f(t, self.shared);
+        }
+        if checked {
+            crate::check::phase_end();
         }
     }
 
@@ -112,6 +147,16 @@ mod tests {
         assert_eq!(ctx.block_dim(), 32);
         assert_eq!(ctx.grid_dim(), 4);
         assert_eq!(ctx.active_threads(), 32);
+    }
+
+    #[test]
+    fn masked_phase_skips_threads_but_still_counts_as_one_phase() {
+        let cfg = LaunchConfig::new(4, 4);
+        let mut shared = Vec::<u32>::new();
+        let mut ctx = BlockCtx::new(0, cfg, &mut shared);
+        ctx.for_each_thread_masked(|t| t.local % 2 == 0, |t, s| s.push(t.local));
+        assert_eq!(ctx.phase_count(), 1);
+        assert_eq!(*ctx.shared(), vec![0, 2]);
     }
 
     #[test]

@@ -242,12 +242,14 @@ mod tests {
         type Shared = Vec<u64>;
 
         fn init_shared(&self, _block: u32) -> Vec<u64> {
-            self.inits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.inits
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             Vec::new()
         }
 
         fn reset_shared(&self, _block: u32, shared: &mut Vec<u64>) {
-            self.resets.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.resets
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             shared.clear();
         }
 

@@ -22,14 +22,24 @@
 //! The split mirrors how the paper's numbers decompose: *what* is
 //! computed (identical between our executor and a real GPU) and *how
 //! fast* (a property of the device, reproduced by the model).
+//!
+//! A third piece, [`check`] (simt-check), replays any kernel under
+//! instrumentation ([`launch_checked`]) to prove it would be *legal
+//! CUDA* — free of the shared-memory races, barrier divergence, and
+//! out-of-bounds accesses that the serialized executor hides.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod check;
 pub mod device;
 pub mod exec;
 pub mod model;
 
+pub use check::{
+    launch_checked, CheckReport, Hazard, HazardKind, TrackedShared, WarpStats, CHECK_WARP_SIZE,
+    LEADER_THREAD, MAX_HAZARD_ENTRIES,
+};
 pub use device::{CpuSpec, DeviceSpec};
 pub use exec::{
     launch, launch_in, BlockCtx, Kernel, LaunchConfig, LaunchStats, ThreadCtx,

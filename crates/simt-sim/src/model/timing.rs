@@ -209,9 +209,12 @@ pub fn estimate_kernel(
     let total_seconds = stage_total + sync_seconds + dev.launch_overhead_s;
     if ara_trace::recorder().is_enabled() {
         let m = ara_trace::metrics();
-        m.gauge("simt.model.blocks_per_sm").set(occ.blocks_per_sm as f64);
-        m.gauge("simt.model.warps_per_sm").set(occ.warps_per_sm as f64);
-        m.gauge("simt.model.lane_utilization").set(occ.lane_utilization);
+        m.gauge("simt.model.blocks_per_sm")
+            .set(occ.blocks_per_sm as f64);
+        m.gauge("simt.model.warps_per_sm")
+            .set(occ.warps_per_sm as f64);
+        m.gauge("simt.model.lane_utilization")
+            .set(occ.lane_utilization);
         m.gauge("simt.model.outstanding_txns").set(outstanding);
     }
     KernelTiming {

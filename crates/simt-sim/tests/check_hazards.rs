@@ -1,0 +1,305 @@
+//! Negative-path tests: deliberately defective kernels must be flagged
+//! by `launch_checked` with the right hazard kind and attribution —
+//! and a correctly-barriered version of the same computation must come
+//! back clean with bit-identical output to the plain launcher.
+
+use simt_sim::{launch, launch_checked, BlockCtx, HazardKind, Kernel, LaunchConfig, TrackedShared};
+
+fn tracked(n: usize) -> TrackedShared<u64> {
+    let mut t = TrackedShared::new("buf");
+    t.resize(n, 0);
+    t
+}
+
+/// Every thread of a phase writes slot 0 — the canonical write/write
+/// race (the serialized executor quietly keeps the last writer).
+struct RacyBroadcast;
+
+impl Kernel<u64> for RacyBroadcast {
+    type Shared = TrackedShared<u64>;
+
+    fn init_shared(&self, _block: u32) -> Self::Shared {
+        tracked(1)
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx<'_, Self::Shared>, out: &mut [u64]) {
+        ctx.for_each_thread(|t, s| s.set(0, t.global as u64));
+        ctx.for_each_thread(|t, s| out[t.local as usize] = s.get(0));
+    }
+}
+
+/// The classic missing-barrier bug: stage and neighbour-read collapsed
+/// into ONE phase, so thread `i` reads a slot thread `i+1` writes in
+/// the same phase.
+struct MissingBarrierNeighbourSum;
+
+impl Kernel<u64> for MissingBarrierNeighbourSum {
+    type Shared = TrackedShared<u64>;
+
+    fn init_shared(&self, _block: u32) -> Self::Shared {
+        TrackedShared::new("stage")
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx<'_, Self::Shared>, out: &mut [u64]) {
+        let n = ctx.active_threads() as usize;
+        ctx.shared().clear();
+        ctx.shared().resize(n, 0);
+        ctx.for_each_thread(|t, s| {
+            let me = t.local as usize;
+            s.set(me, t.global as u64);
+            // Reads the neighbour's slot with no barrier after the
+            // writes above — racy on real hardware.
+            out[me] = s.get(me) + s.get((me + 1) % n);
+        });
+    }
+}
+
+/// A `__syncthreads()` inside a divergent branch: only the first half
+/// of each block executes the second phase.
+struct DivergentBarrier;
+
+impl Kernel<u64> for DivergentBarrier {
+    type Shared = TrackedShared<u64>;
+
+    fn init_shared(&self, _block: u32) -> Self::Shared {
+        tracked(64)
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx<'_, Self::Shared>, out: &mut [u64]) {
+        ctx.for_each_thread(|t, s| s.set(t.local as usize, t.global as u64));
+        let half = ctx.active_threads() / 2;
+        ctx.for_each_thread_masked(
+            |t| t.local < half,
+            |t, s| s.set(t.local as usize, 2 * s.get(t.local as usize)),
+        );
+        ctx.for_each_thread(|t, s| out[t.local as usize] = s.get(t.local as usize));
+    }
+}
+
+/// Reads one element past the end of the shared buffer.
+struct OffByOne;
+
+impl Kernel<u64> for OffByOne {
+    type Shared = TrackedShared<u64>;
+
+    fn init_shared(&self, _block: u32) -> Self::Shared {
+        TrackedShared::new("stage")
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx<'_, Self::Shared>, out: &mut [u64]) {
+        let n = ctx.active_threads() as usize;
+        ctx.shared().clear();
+        ctx.shared().resize(n, 0);
+        ctx.for_each_thread(|t, s| s.set(t.local as usize, t.global as u64));
+        // `t.local + 1` runs off the end for the last thread (a correct
+        // kernel would wrap or guard).
+        ctx.for_each_thread(|t, s| out[t.local as usize] = s.get(t.local as usize + 1));
+    }
+}
+
+/// Sizes the staging buffer without initializing it, then reads a slot
+/// nobody wrote.
+struct ReadBeforeWrite;
+
+impl Kernel<u64> for ReadBeforeWrite {
+    type Shared = TrackedShared<u64>;
+
+    fn init_shared(&self, _block: u32) -> Self::Shared {
+        TrackedShared::new("scratch")
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx<'_, Self::Shared>, out: &mut [u64]) {
+        let n = ctx.active_threads() as usize;
+        ctx.shared().clear();
+        ctx.shared().resize_uninit(2 * n);
+        // Threads write only the first half but read the second.
+        ctx.for_each_thread(|t, s| s.set(t.local as usize, t.global as u64));
+        ctx.for_each_thread(|t, s| out[t.local as usize] = s.get(n + t.local as usize));
+    }
+}
+
+/// The *correct* two-phase neighbour sum: a barrier separates stage
+/// from read, slots are disjoint per thread — must be clean.
+struct BarrieredNeighbourSum;
+
+impl Kernel<u64> for BarrieredNeighbourSum {
+    type Shared = TrackedShared<u64>;
+
+    fn init_shared(&self, _block: u32) -> Self::Shared {
+        TrackedShared::new("stage")
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx<'_, Self::Shared>, out: &mut [u64]) {
+        let n = ctx.active_threads() as usize;
+        ctx.shared().clear();
+        ctx.shared().resize(n, 0);
+        ctx.for_each_thread(|t, s| s.set(t.local as usize, t.global as u64));
+        ctx.for_each_thread(|t, s| {
+            let me = t.local as usize;
+            out[me] = s.get(me) + s.get((me + 1) % n);
+        });
+    }
+}
+
+fn run_checked<K: Kernel<u64>>(
+    kernel: &K,
+    n: usize,
+    block: u32,
+) -> (Vec<u64>, simt_sim::CheckReport) {
+    let mut out = vec![0u64; n];
+    let (_stats, report) = launch_checked(LaunchConfig::new(n, block), kernel, &mut out);
+    (out, report)
+}
+
+#[test]
+fn write_write_race_is_flagged_with_attribution() {
+    let (_, report) = run_checked(&RacyBroadcast, 64, 16);
+    assert!(!report.is_clean());
+    let h = report
+        .hazards
+        .iter()
+        .find(|h| h.kind == HazardKind::WriteWrite)
+        .expect("write/write hazard reported");
+    assert_eq!(h.buffer, "buf");
+    // First occurrence: block 0, phase 1, lowest-id thread pair.
+    assert_eq!(h.block, 0);
+    assert_eq!(h.phase, 1);
+    assert_eq!(h.threads, (0, 1));
+    assert_eq!(h.range, (0, 1));
+    assert!(h.count > 1, "every block races repeatedly");
+}
+
+#[test]
+fn missing_barrier_is_a_read_write_race() {
+    let (_, report) = run_checked(&MissingBarrierNeighbourSum, 64, 8);
+    let h = report
+        .hazards
+        .iter()
+        .find(|h| h.kind == HazardKind::ReadWrite)
+        .expect("read/write hazard reported");
+    assert_eq!(h.buffer, "stage");
+    assert_eq!(h.block, 0);
+    assert_eq!(h.phase, 1);
+    // No write/write hazard: slots are disjoint per writer.
+    assert!(report
+        .hazards
+        .iter()
+        .all(|h| h.kind != HazardKind::WriteWrite));
+}
+
+#[test]
+fn barrier_in_divergent_branch_is_flagged() {
+    let (_, report) = run_checked(&DivergentBarrier, 64, 16);
+    let h = report
+        .hazards
+        .iter()
+        .find(|h| h.kind == HazardKind::PhaseDivergence)
+        .expect("phase divergence reported");
+    assert_eq!(h.buffer, "<barrier>");
+    // Masked-out threads ran 2 of the 3 phases; the first half ran 3.
+    assert_eq!(h.range, (2, 3));
+    assert_eq!(h.count, 4, "one divergence per block");
+}
+
+#[test]
+fn out_of_bounds_read_is_flagged_and_clamped() {
+    let (out, report) = run_checked(&OffByOne, 48, 16);
+    let h = report
+        .hazards
+        .iter()
+        .find(|h| h.kind == HazardKind::OutOfBounds)
+        .expect("out-of-bounds reported");
+    assert_eq!(h.buffer, "stage");
+    // The offending thread is the last of the block.
+    assert_eq!(h.threads, (15, 15));
+    assert_eq!(h.range, (16, 17));
+    assert_eq!(h.count, 3, "one overrun per block");
+    // The replay continues: the clamped read yields the default value.
+    assert_eq!(out[15], 0);
+    assert_eq!(out[0], 1, "in-bounds reads are unaffected");
+}
+
+#[test]
+fn uninitialized_read_is_flagged() {
+    let (_, report) = run_checked(&ReadBeforeWrite, 32, 8);
+    let h = report
+        .hazards
+        .iter()
+        .find(|h| h.kind == HazardKind::UninitRead)
+        .expect("uninitialized read reported");
+    assert_eq!(h.buffer, "scratch");
+    assert_eq!(h.block, 0);
+    assert_eq!(h.phase, 2);
+    assert_eq!(h.threads, (0, 0));
+}
+
+#[test]
+fn correct_kernel_is_clean_and_matches_plain_launch() {
+    let cfg = LaunchConfig::new(100, 16);
+    let mut plain = vec![0u64; 100];
+    launch(cfg, &BarrieredNeighbourSum, &mut plain);
+    let (checked, report) = run_checked(&BarrieredNeighbourSum, 100, 16);
+    assert_eq!(checked, plain);
+    assert!(
+        report.is_clean(),
+        "unexpected hazards:\n{}",
+        report.render()
+    );
+    assert!(report.accesses_recorded > 0, "accesses were tracked");
+    assert_eq!(report.blocks_checked, 7);
+}
+
+#[test]
+fn racy_kernels_still_produce_plain_launch_output() {
+    // The checker observes; it must not perturb results (on this
+    // serialized substrate even the racy kernels are deterministic).
+    for n in [16usize, 64, 100] {
+        let cfg = LaunchConfig::new(n, 16);
+        let mut plain = vec![0u64; n];
+        launch(cfg, &MissingBarrierNeighbourSum, &mut plain);
+        let (checked, _) = run_checked(&MissingBarrierNeighbourSum, n, 16);
+        assert_eq!(checked, plain, "n = {n}");
+    }
+}
+
+#[test]
+fn uniform_kernels_report_uniform_warps() {
+    let (_, report) = run_checked(&BarrieredNeighbourSum, 128, 64);
+    assert_eq!(report.warp.divergent_warp_phases, 0);
+    assert_eq!(report.warp.idle_lane_steps, 0);
+    assert!(report.warp.warp_phases > 0);
+    assert!(report.warp.useful_lane_steps > 0);
+}
+
+#[test]
+fn masked_phases_show_up_as_warp_divergence() {
+    let (_, report) = run_checked(&DivergentBarrier, 64, 32);
+    // The half-masked phase leaves lanes 16..32 idle while 0..16 work.
+    assert!(report.warp.divergent_warp_phases > 0);
+    assert!(report.warp.idle_lane_steps > 0);
+    assert!(report.warp.idle_fraction() > 0.0);
+}
+
+#[test]
+fn checked_launch_reports_through_trace_spans() {
+    let _guard = ara_trace::testing::serial_guard();
+    ara_trace::testing::reset();
+    ara_trace::recorder().enable(ara_trace::Level::Info);
+    let mut out = vec![0u64; 64];
+    let (_stats, report) = launch_checked(LaunchConfig::new(64, 16), &RacyBroadcast, &mut out);
+    let trace = ara_trace::recorder().drain();
+    ara_trace::recorder().disable();
+    assert_eq!(trace.spans_named("simt.launch_checked").len(), 1);
+    assert_eq!(trace.spans_named("simt.check").len(), 1);
+    assert_eq!(
+        trace.metrics.counter("simt.check.hazards"),
+        Some(report.hazard_occurrences())
+    );
+}
+
+#[test]
+#[should_panic(expected = "output slice")]
+fn mismatched_output_still_panics() {
+    let mut out = vec![0u64; 10];
+    launch_checked(LaunchConfig::new(11, 4), &RacyBroadcast, &mut out);
+}

@@ -89,13 +89,7 @@ pub fn to_chrome(trace: &Trace) -> String {
         );
         push(event, &mut out);
     }
-    let end_us = trace
-        .spans
-        .iter()
-        .map(|s| s.end_ns)
-        .max()
-        .unwrap_or(0) as f64
-        / 1000.0;
+    let end_us = trace.spans.iter().map(|s| s.end_ns).max().unwrap_or(0) as f64 / 1000.0;
     for (name, value) in &trace.metrics.counters {
         let event = format!(
             "{{\"name\":{},\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":0,\"args\":{{\"value\":{}}}}}",
@@ -224,10 +218,11 @@ pub fn to_summary(trace: &Trace) -> String {
     const MAX_CHILDREN: usize = 12;
     let mut out = String::new();
     let _ = writeln!(out, "trace: {} spans", trace.spans.len());
-    for root in trace.spans.iter().filter(|s| {
-        s.parent.is_none()
-            || !trace.spans.iter().any(|p| Some(p.id) == s.parent)
-    }) {
+    for root in trace
+        .spans
+        .iter()
+        .filter(|s| s.parent.is_none() || !trace.spans.iter().any(|p| Some(p.id) == s.parent))
+    {
         summarise_subtree(trace, root, 1, MAX_CHILDREN, &mut out);
     }
     if !trace.metrics.counters.is_empty() {
@@ -319,7 +314,10 @@ mod tests {
             .expect("counter event present");
         assert_eq!(counter.get("ph").and_then(Json::as_str), Some("C"));
         assert_eq!(
-            counter.get("args").and_then(|a| a.get("value")).and_then(Json::as_f64),
+            counter
+                .get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(Json::as_f64),
             Some(1234.0)
         );
     }
@@ -332,7 +330,9 @@ mod tests {
         };
         let doc = parse(&to_chrome(&trace)).unwrap();
         assert_eq!(
-            doc.get("traceEvents").and_then(Json::as_array).map(<[Json]>::len),
+            doc.get("traceEvents")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
             Some(0)
         );
     }
@@ -373,7 +373,10 @@ mod tests {
             .find(|l| l.contains("block.ns"))
             .expect("histogram summary line");
         for token in ["p50=", "p95=", "p99="] {
-            assert!(hist_line.contains(token), "missing {token} in {hist_line:?}");
+            assert!(
+                hist_line.contains(token),
+                "missing {token} in {hist_line:?}"
+            );
         }
         // Child is indented deeper than its parent.
         let engine_indent = out
@@ -391,7 +394,11 @@ mod tests {
 
     #[test]
     fn format_tokens_round_trip() {
-        for f in [TraceFormat::Summary, TraceFormat::Jsonl, TraceFormat::Chrome] {
+        for f in [
+            TraceFormat::Summary,
+            TraceFormat::Jsonl,
+            TraceFormat::Chrome,
+        ] {
             assert_eq!(TraceFormat::parse(f.name()), Some(f));
         }
         assert_eq!(TraceFormat::parse("bogus"), None);

@@ -82,8 +82,7 @@ impl Histogram {
 
     /// Record one sample.
     pub fn record(&self, value: u64) {
-        self.buckets[Self::bucket_index(value).min(BUCKETS - 1)]
-            .fetch_add(1, Ordering::Relaxed);
+        self.buckets[Self::bucket_index(value).min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.min.fetch_min(value, Ordering::Relaxed);

@@ -94,10 +94,7 @@ impl Recorder {
     /// Turn recording on at `level`, discarding anything previously
     /// buffered so the next [`Recorder::drain`] sees exactly this run.
     pub fn enable(&self, level: Level) {
-        let buffers = self
-            .buffers
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let buffers = self.buffers.lock().unwrap_or_else(PoisonError::into_inner);
         for b in buffers.iter() {
             b.records
                 .lock()
@@ -106,8 +103,7 @@ impl Recorder {
         }
         drop(buffers);
         self.level.store(level as u8, Ordering::Relaxed);
-        self.enabled
-            .store(level != Level::Off, Ordering::Release);
+        self.enabled.store(level != Level::Off, Ordering::Release);
     }
 
     /// Turn recording off. Buffered spans stay available to
@@ -213,10 +209,7 @@ impl Recorder {
     /// which rayon worker recorded what. Buffers are left empty; the
     /// metrics registry is snapshotted (not reset) alongside.
     pub fn drain(&self) -> Trace {
-        let buffers = self
-            .buffers
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let buffers = self.buffers.lock().unwrap_or_else(PoisonError::into_inner);
         let mut spans = Vec::new();
         for b in buffers.iter() {
             spans.append(&mut b.records.lock().unwrap_or_else(PoisonError::into_inner));
@@ -319,10 +312,7 @@ impl Trace {
 
     /// Total nanoseconds across all spans with the given name.
     pub fn total_ns(&self, name: &str) -> u64 {
-        self.spans_named(name)
-            .iter()
-            .map(|s| s.duration_ns())
-            .sum()
+        self.spans_named(name).iter().map(|s| s.duration_ns()).sum()
     }
 
     /// Direct children of `parent`, in timeline order.
@@ -429,9 +419,7 @@ mod tests {
         std::thread::scope(|scope| {
             for w in 0..4u32 {
                 scope.spawn(move || {
-                    let _outer = recorder()
-                        .span("worker")
-                        .with_field("w", w as i64);
+                    let _outer = recorder().span("worker").with_field("w", w as i64);
                     for _ in 0..10 {
                         let _inner = recorder().span("unit");
                     }

@@ -1,13 +1,13 @@
 #!/usr/bin/env bash
-# The tier-1 gate: release build, full test suite, and clippy with
-# warnings denied, then the statistical perf gate at smoke scale. Run
-# before every push.
+# The tier-1 gate: release build, full test suite, and the lint gate
+# (rustfmt + clippy with warnings denied, scripts/lint.sh), then the
+# statistical perf gate at smoke scale. Run before every push.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
-cargo clippy --workspace -- -D warnings
+bash scripts/lint.sh
 
 # Perf regression gate: record this build into perf/history.jsonl and
 # compare against the last run on a matching host (the first run on a

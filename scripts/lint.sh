@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# The workspace lint gate: formatting and clippy (all targets, warnings
+# denied). Kept separate from scripts/ci.sh so it can run fast on its
+# own — it needs no release build and no perf history.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings

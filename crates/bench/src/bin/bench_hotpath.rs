@@ -16,21 +16,31 @@
 //!   region stays cache-resident until the region drains (direct-access
 //!   tables only — the other strategies have no contiguous slab to
 //!   block).
+//! * **simd (portable) / simd (native)** — the batched direct gather
+//!   through the explicit SIMD kernels: the eight-lane portable tier and
+//!   the widest tier this host dispatches to (AVX-512 > AVX2 > portable;
+//!   honours `ARA_SIMD`). The legacy scalar/batched/blocked rows pin
+//!   `SimdTier::Scalar`, so their numbers stay comparable across the
+//!   SIMD change.
 //!
 //! A second table times the fused per-trial paths end to end
-//! (`analyse_layer_scalar` vs `analyse_layer` vs `analyse_layer_blocked`),
-//! whose outputs are bit-identical by construction (asserted here).
+//! (`analyse_layer_scalar` vs `analyse_layer` vs `analyse_layer_blocked`,
+//! plus the streaming blocked path at the portable and native SIMD
+//! tiers), whose outputs are bit-identical by construction (asserted
+//! here).
 //!
 //! Flags: `--repeat N` (timed repeats after one warmup, default 3),
 //! `--small` (2 k-trial workload for CI smoke), `--check` (exit non-zero
-//! if batched direct-access gather throughput falls below scalar).
+//! if batched direct-access gather throughput falls below scalar, or the
+//! native SIMD gather falls clearly below the pinned-scalar batched
+//! loop).
 //!
 //! Writes `BENCH_hotpath.json`.
 
 use ara_bench::{emit, measure_min, repeat_from_args, speedup, Table, MEASURED_SCALE_NOTE};
 use ara_core::{
     analyse_layer, analyse_layer_blocked, analyse_layer_scalar, BlockedGather, CuckooHashTable,
-    DirectAccessTable, EventId, LossLookup, PreparedLayer, SortedLookup, StdHashLookup,
+    DirectAccessTable, EventId, LossLookup, PreparedLayer, SimdTier, SortedLookup, StdHashLookup,
     YearEventTable, DEFAULT_REGION_SLOTS,
 };
 
@@ -57,6 +67,21 @@ fn batched_pass<L: LossLookup<f64>>(lookups: &[L], events: &[EventId], out: &mut
     let mut sink = 0.0;
     for l in lookups {
         l.loss_batch(events, out);
+        sink += out[0];
+    }
+    sink
+}
+
+/// The batched direct gather pinned to an explicit SIMD tier.
+fn batched_pass_tier(
+    tables: &[DirectAccessTable<f64>],
+    tier: SimdTier,
+    events: &[EventId],
+    out: &mut [f64],
+) -> f64 {
+    let mut sink = 0.0;
+    for t in tables {
+        t.loss_batch_tier(tier, events, out);
         sink += out[0];
     }
     sink
@@ -107,12 +132,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect::<Result<_, _>>()?;
 
     let total_lookups = (n * direct.len()) as f64;
+    let native = ara_core::simd::active_tier();
     println!(
         "hotpath: {} events x {} ELTs = {:.1} M lookups/pass, {} timed repeats",
         n,
         direct.len(),
         total_lookups / 1e6,
         repeats
+    );
+    println!(
+        "simd: native dispatch = {} ({} f64 lanes; ARA_SIMD overrides)",
+        native.name(),
+        native.lanes(8)
     );
 
     let mut gather = Table::new(
@@ -133,13 +164,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dir_scalar,
         dir_scalar,
     )?;
-    let (_, dir_batched) = measure_min(repeats, || batched_pass(&direct, events, &mut out));
+    // The batched and blocked rows pin `SimdTier::Scalar` so their
+    // numbers mean the same thing they did before explicit SIMD landed;
+    // the simd rows below isolate the vector kernels' contribution.
+    let (_, dir_batched) = measure_min(repeats, || {
+        batched_pass_tier(&direct, SimdTier::Scalar, events, &mut out)
+    });
     let dir_batched_rate = rate_row(
         &mut gather,
         "direct",
         "batched",
         total_lookups,
         dir_batched,
+        dir_scalar,
+    )?;
+    let (_, dir_portable) = measure_min(repeats, || {
+        batched_pass_tier(&direct, SimdTier::Portable, events, &mut out)
+    });
+    rate_row(
+        &mut gather,
+        "direct",
+        "simd (portable)",
+        total_lookups,
+        dir_portable,
+        dir_scalar,
+    )?;
+    let (_, dir_native) = measure_min(repeats, || {
+        batched_pass_tier(&direct, native, events, &mut out)
+    });
+    let dir_native_rate = rate_row(
+        &mut gather,
+        "direct",
+        "simd (native)",
+        total_lookups,
+        dir_native,
         dir_scalar,
     )?;
     let mut plan = BlockedGather::new();
@@ -150,7 +208,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for batch in events.chunks(BLOCK_BATCH) {
             plan.plan(batch, cat as usize, DEFAULT_REGION_SLOTS);
             let w = &mut wide[..batch.len() * direct.len()];
-            plan.gather(&direct, w);
+            plan.gather_tier(SimdTier::Scalar, &direct, w);
             sink += w[0];
         }
         sink
@@ -179,8 +237,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     rate_row(&mut gather, "cuckoo", "batched", total_lookups, b, s)?;
 
     // Fused per-trial paths, end to end; outputs must stay bit-identical.
-    let prepared = PreparedLayer::<f64>::prepare(&inputs, layer)?;
-    let streamed = PreparedLayer::<f64>::prepare(&inputs, layer)?.with_region_slots(cat as usize);
+    // As above, the legacy rows pin the scalar tier; the simd rows run
+    // the best fused path (blocked streaming) through the vector kernels.
+    let prepared = PreparedLayer::<f64>::prepare(&inputs, layer)?.with_simd_tier(SimdTier::Scalar);
+    let streamed = PreparedLayer::<f64>::prepare(&inputs, layer)?
+        .with_region_slots(cat as usize)
+        .with_simd_tier(SimdTier::Scalar);
+    let portable = PreparedLayer::<f64>::prepare(&inputs, layer)?
+        .with_region_slots(cat as usize)
+        .with_simd_tier(SimdTier::Portable);
+    let vector = PreparedLayer::<f64>::prepare(&inputs, layer)?
+        .with_region_slots(cat as usize)
+        .with_simd_tier(native);
     let (ylt_scalar, fused_scalar) =
         measure_min(repeats, || analyse_layer_scalar(&prepared, &inputs.yet));
     let (ylt_batched, fused_batched) =
@@ -189,6 +257,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         measure_min(repeats, || analyse_layer_blocked(&prepared, &inputs.yet));
     let (ylt_streamed, fused_streamed) =
         measure_min(repeats, || analyse_layer_blocked(&streamed, &inputs.yet));
+    let (ylt_portable, fused_portable) =
+        measure_min(repeats, || analyse_layer_blocked(&portable, &inputs.yet));
+    let (ylt_native, fused_native) =
+        measure_min(repeats, || analyse_layer_blocked(&vector, &inputs.yet));
     assert_eq!(
         ylt_scalar.year_losses(),
         ylt_batched.year_losses(),
@@ -203,6 +275,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ylt_scalar.year_losses(),
         ylt_streamed.year_losses(),
         "streamed fused path diverged from scalar"
+    );
+    assert_eq!(
+        ylt_scalar.year_losses(),
+        ylt_portable.year_losses(),
+        "portable SIMD fused path diverged from scalar"
+    );
+    assert_eq!(
+        ylt_scalar.year_losses(),
+        ylt_native.year_losses(),
+        "native SIMD fused path diverged from scalar"
     );
 
     let mut fused = Table::new(
@@ -225,6 +307,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         format!("{fused_streamed:.3}"),
         speedup(fused_scalar / fused_streamed),
     ])?;
+    fused.row(&[
+        "simd (portable)".into(),
+        format!("{fused_portable:.3}"),
+        speedup(fused_scalar / fused_portable),
+    ])?;
+    fused.row(&[
+        "simd (native)".into(),
+        format!("{fused_native:.3}"),
+        speedup(fused_scalar / fused_native),
+    ])?;
 
     emit("hotpath", &[&gather, &fused])?;
     println!("note: {MEASURED_SCALE_NOTE}");
@@ -239,10 +331,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
             std::process::exit(1);
         }
+        // The native SIMD gather may only tie the scalar-tier batched
+        // loop when the working set is memory-bound (or when pinned to
+        // the scalar kernel via ARA_SIMD=force-scalar), but a clear drop
+        // means the dispatch picked a losing kernel.
+        if dir_native_rate < 0.8 * dir_batched_rate {
+            eprintln!(
+                "FAIL: native SIMD gather ({:.1} M/s) well below batched scalar ({:.1} M/s)",
+                dir_native_rate / 1e6,
+                dir_batched_rate / 1e6
+            );
+            std::process::exit(1);
+        }
         println!(
-            "check ok: batched {:.2}x, blocked {:.2}x vs scalar",
+            "check ok: batched {:.2}x, blocked {:.2}x, simd[{}] {:.2}x vs scalar",
             dir_batched_rate / dir_scalar_rate,
-            dir_blocked_rate / dir_scalar_rate
+            dir_blocked_rate / dir_scalar_rate,
+            native.name(),
+            dir_native_rate / dir_scalar_rate
         );
     }
     Ok(())

@@ -2,7 +2,9 @@
 //! trust, or distrust) a timing.
 
 use ara_trace::json::{self, Json};
-use simt_sim::model::autotune::{cpu_model_name, tune_host, CacheModel, HostTuning, HostWorkload};
+use simt_sim::model::autotune::{
+    cpu_model_name, tune_host, CacheModel, HostTuning, HostWorkload, SimdIsa,
+};
 
 /// Provenance of one benchmark run, embedded in every `BENCH_*.json`
 /// sidecar and every [`super::RunRecord`].
@@ -94,19 +96,24 @@ impl RunManifest {
         )
     }
 
-    /// Stable identity of the *hardware* this run executed on: hash of
-    /// CPU model, thread count, cache hierarchy and OS. Two runs compare
-    /// only when their fingerprints match — timings from different
-    /// machines are incommensurable.
+    /// Stable identity of the *hardware and vector path* this run
+    /// executed on: hash of CPU model, thread count, cache hierarchy,
+    /// OS, and the SIMD ISA + lane width the hot path dispatched to.
+    /// Two runs compare only when their fingerprints match — timings
+    /// from different machines, or from the same machine running
+    /// different vector paths (e.g. under `ARA_SIMD=force-scalar`), are
+    /// incommensurable.
     pub fn host_fingerprint(&self) -> String {
         let key = format!(
-            "{}|{}|{}|{}|{}|{}",
+            "{}|{}|{}|{}|{}|{}|{}|{}",
             self.cpu_model,
             self.threads,
             self.cache.l1d_bytes,
             self.cache.l2_bytes,
             self.cache.llc_bytes,
             self.os,
+            self.tuning.simd_isa.name(),
+            self.tuning.simd_lanes,
         );
         format!("{:016x}", fnv1a(key.as_bytes()))
     }
@@ -116,7 +123,8 @@ impl RunManifest {
         format!(
             "{{\"git_sha\":{},\"rustc\":{},\"os\":{},\"cpu_model\":{},\"threads\":{},\
              \"cache\":{{\"l1d\":{},\"l2\":{},\"llc\":{}}},\
-             \"autotune\":{{\"gather_chunk\":{},\"region_slots\":{},\"schedule_grain\":{},\"blocks_per_run\":{}}},\
+             \"autotune\":{{\"gather_chunk\":{},\"region_slots\":{},\"schedule_grain\":{},\"blocks_per_run\":{},\
+             \"simd_isa\":{},\"simd_lanes\":{}}},\
              \"preset\":{},\"repeats\":{},\"fingerprint\":{}}}",
             json::string(&self.git_sha),
             json::string(&self.rustc),
@@ -130,6 +138,8 @@ impl RunManifest {
             self.tuning.region_slots,
             self.tuning.schedule_grain,
             self.tuning.blocks_per_run,
+            json::string(self.tuning.simd_isa.name()),
+            self.tuning.simd_lanes,
             json::string(&self.preset),
             self.repeats,
             json::string(&self.host_fingerprint()),
@@ -174,6 +184,16 @@ impl RunManifest {
                 region_slots: n(tune, "region_slots")?,
                 schedule_grain: n(tune, "schedule_grain")?,
                 blocks_per_run: n(tune, "blocks_per_run")? as u32,
+                // Manifests written before the SIMD dispatch existed ran
+                // the scalar path; default accordingly so old history
+                // still parses (its fingerprint will not match a SIMD
+                // host's, which is the point).
+                simd_isa: tune
+                    .get("simd_isa")
+                    .and_then(Json::as_str)
+                    .and_then(SimdIsa::from_name)
+                    .unwrap_or(SimdIsa::Scalar),
+                simd_lanes: n(tune, "simd_lanes").unwrap_or(1),
             },
             preset: s("preset")?,
             repeats: n(doc, "repeats")?,
@@ -210,6 +230,58 @@ mod tests {
         b.threads += 1;
         assert_ne!(a.host_fingerprint(), b.host_fingerprint());
         assert_eq!(a.host_fingerprint().len(), 16);
+    }
+
+    #[test]
+    fn fingerprint_is_simd_path_keyed() {
+        let a = RunManifest::collect("small", 3);
+        let mut b = a.clone();
+        // The same hardware running a different vector path must not
+        // compare against SIMD baselines.
+        b.tuning.simd_isa = SimdIsa::Scalar;
+        b.tuning.simd_lanes = 1;
+        if a.tuning.simd_isa != SimdIsa::Scalar {
+            assert_ne!(a.host_fingerprint(), b.host_fingerprint());
+        }
+        let mut c = a.clone();
+        c.tuning.simd_lanes += 1;
+        assert_ne!(a.host_fingerprint(), c.host_fingerprint());
+    }
+
+    #[test]
+    fn manifest_json_records_simd_path() {
+        let m = RunManifest::collect("small", 3);
+        let doc = json::parse(&m.to_json()).unwrap();
+        let tune = doc.get("autotune").unwrap();
+        assert_eq!(
+            tune.get("simd_isa").and_then(Json::as_str),
+            Some(m.tuning.simd_isa.name())
+        );
+        assert_eq!(
+            tune.get("simd_lanes").and_then(Json::as_f64),
+            Some(m.tuning.simd_lanes as f64)
+        );
+    }
+
+    #[test]
+    fn pre_simd_manifests_parse_as_scalar() {
+        let m = RunManifest::collect("small", 3);
+        // Strip the SIMD fields to mimic a manifest written before the
+        // dispatch existed.
+        let legacy = m
+            .to_json()
+            .replace(
+                &format!(
+                    ",\"simd_isa\":\"{}\",\"simd_lanes\":{}",
+                    m.tuning.simd_isa.name(),
+                    m.tuning.simd_lanes
+                ),
+                "",
+            )
+            .replace(&m.host_fingerprint(), "0000000000000000");
+        let back = RunManifest::from_json(&json::parse(&legacy).unwrap()).unwrap();
+        assert_eq!(back.tuning.simd_isa, SimdIsa::Scalar);
+        assert_eq!(back.tuning.simd_lanes, 1);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::event::EventId;
 use crate::layer::{apply_aggregate_stepwise, Layer, LayerTerms};
 use crate::lookup::{BlockedGather, DirectAccessTable, LossLookup, DEFAULT_REGION_SLOTS};
 use crate::real::Real;
+use crate::simd::SimdTier;
 use crate::yet::{TrialView, YearEventTable};
 use crate::ylt::YearLossTable;
 
@@ -92,6 +93,7 @@ pub struct PreparedLayer<R: Real, L: LossLookup<R> = DirectAccessTable<R>> {
     terms: LayerTerms,
     gather_chunk: usize,
     region_slots: usize,
+    simd_tier: SimdTier,
 }
 
 impl<R: Real> PreparedLayer<R, DirectAccessTable<R>> {
@@ -115,6 +117,7 @@ impl<R: Real> PreparedLayer<R, DirectAccessTable<R>> {
             terms: layer.terms,
             gather_chunk: DEFAULT_GATHER_CHUNK,
             region_slots: DEFAULT_REGION_SLOTS,
+            simd_tier: crate::simd::active_tier(),
         })
     }
 }
@@ -139,6 +142,7 @@ impl<R: Real, L: LossLookup<R>> PreparedLayer<R, L> {
             terms,
             gather_chunk: DEFAULT_GATHER_CHUNK,
             region_slots: DEFAULT_REGION_SLOTS,
+            simd_tier: crate::simd::active_tier(),
         }
     }
 
@@ -169,6 +173,22 @@ impl<R: Real, L: LossLookup<R>> PreparedLayer<R, L> {
     #[inline]
     pub fn region_slots(&self) -> usize {
         self.region_slots
+    }
+
+    /// Pin the SIMD tier the fused combine and occurrence kernels run at,
+    /// overriding the process-wide [`crate::simd::active_tier`] default.
+    /// Engines set this from the autotuner; tests and benches use it to
+    /// exercise a specific tier in-process. Purely a performance knob:
+    /// every tier is bit-identical (see [`crate::simd`]).
+    pub fn with_simd_tier(mut self, tier: SimdTier) -> Self {
+        self.simd_tier = tier;
+        self
+    }
+
+    /// The SIMD tier the fused kernels dispatch to.
+    #[inline]
+    pub fn simd_tier(&self) -> SimdTier {
+        self.simd_tier
     }
 
     /// The lookup structures, one per covered ELT.
@@ -250,12 +270,15 @@ pub struct TrialResult<R> {
 /// Steps 3 & 4 shared by every trial path: occurrence terms per combined
 /// event loss, then aggregate terms over the running cumulative loss.
 #[inline]
-fn finish_trial<R: Real>(terms: &LayerTerms, combined: &mut [R]) -> TrialResult<R> {
-    let mut max_occ = R::ZERO;
-    for l in combined.iter_mut() {
-        *l = terms.apply_occurrence(*l);
-        max_occ = max_occ.max(*l);
-    }
+fn finish_trial<R: Real>(tier: SimdTier, terms: &LayerTerms, combined: &mut [R]) -> TrialResult<R> {
+    // Occurrence clamp + running max is data-parallel; the aggregate scan
+    // below is loop-carried and stays scalar at every tier.
+    let max_occ = R::simd_occurrence_clamp_max(
+        tier,
+        combined,
+        R::from_f64(terms.occ_retention),
+        R::from_f64(terms.occ_limit),
+    );
     let year_loss = apply_aggregate_stepwise(terms, combined);
     TrialResult {
         year_loss,
@@ -284,13 +307,11 @@ pub fn analyse_trial<R: Real, L: LossLookup<R>>(
     // ELT order exactly as in the scalar loop.
     for (lookup, &(fx, ret, lim, share)) in prepared.lookups.iter().zip(&prepared.fin_terms) {
         lookup.loss_batch(trial.events, ground);
-        for (c, &g) in combined.iter_mut().zip(ground.iter()) {
-            *c += share * crate::real::xl_clamp(g * fx, ret, lim);
-        }
+        R::simd_accumulate(prepared.simd_tier, combined, ground, fx, ret, lim, share);
     }
 
     // Steps 3 & 4 (lines 15–29).
-    finish_trial(&prepared.terms, combined)
+    finish_trial(prepared.simd_tier, &prepared.terms, combined)
 }
 
 /// The pre-batching scalar hot loop: one [`LossLookup::loss`] call per
@@ -311,7 +332,7 @@ pub fn analyse_trial_scalar<R: Real, L: LossLookup<R>>(
             combined[d] += net;
         }
     }
-    finish_trial(&prepared.terms, combined)
+    finish_trial(SimdTier::Scalar, &prepared.terms, combined)
 }
 
 /// Analyse one trial and attribute the year loss back to the individual
@@ -331,11 +352,9 @@ pub fn analyse_trial_attributed<R: Real, L: LossLookup<R>>(
     let (combined, ground) = workspace.reset(trial.len());
     for (lookup, &(fx, ret, lim, share)) in prepared.lookups.iter().zip(&prepared.fin_terms) {
         lookup.loss_batch(trial.events, ground);
-        for (c, &g) in combined.iter_mut().zip(ground.iter()) {
-            *c += share * crate::real::xl_clamp(g * fx, ret, lim);
-        }
+        R::simd_accumulate(prepared.simd_tier, combined, ground, fx, ret, lim, share);
     }
-    let result = finish_trial(&prepared.terms, combined);
+    let result = finish_trial(prepared.simd_tier, &prepared.terms, combined);
     attribution.extend(
         trial
             .times
@@ -451,35 +470,53 @@ pub fn analyse_trials_blocked<R: Real>(
             // Combine ELT-outer over the batch in original order — each
             // table streams through the cache once per batch with no
             // plan, pair indirection, or scatter. Chosen by the autotuner
-            // on hosts whose caches hold a full table.
+            // on hosts whose caches hold a full table. The fused
+            // gather+combine kernel runs at the prepared SIMD tier.
+            let ids = crate::simd::event_ids_as_u32(events);
             for (table, &(fx, ret, lim, share)) in prepared.lookups.iter().zip(&prepared.fin_terms)
             {
-                let t = table.as_slice();
-                for (c, &e) in ws.combined.iter_mut().zip(events) {
-                    let g = t.get(e.index()).copied().unwrap_or(R::ZERO);
-                    *c += share * crate::real::xl_clamp(g * fx, ret, lim);
-                }
+                R::simd_gather_accumulate(
+                    prepared.simd_tier,
+                    table.as_slice(),
+                    ids,
+                    &mut ws.combined,
+                    fx,
+                    ret,
+                    lim,
+                    share,
+                );
             }
         } else {
             ws.plan.plan(events, cat, prepared.region_slots);
             let chunk = prepared.gather_chunk.max(1);
             ws.acc.clear();
             ws.acc.resize(chunk, R::ZERO);
-            for pairs in ws.plan.pairs().chunks(chunk) {
+            for (pairs, slots) in ws
+                .plan
+                .pairs()
+                .chunks(chunk)
+                .zip(ws.plan.slots().chunks(chunk))
+            {
                 let acc = &mut ws.acc[..pairs.len()];
                 acc.fill(R::ZERO);
                 // ELT-outer over the chunk: the per-element FP order
                 // matches the scalar loop; the chunk's table slots sit in
                 // the current region, whose slabs stay cache-resident
-                // across all ELTs.
+                // across all ELTs. The contiguous slot stream feeds the
+                // fused SIMD kernel directly.
                 for (table, &(fx, ret, lim, share)) in
                     prepared.lookups.iter().zip(&prepared.fin_terms)
                 {
-                    let t = table.as_slice();
-                    for (a, p) in acc.iter_mut().zip(pairs) {
-                        let g = t.get(p.0 as usize).copied().unwrap_or(R::ZERO);
-                        *a += share * crate::real::xl_clamp(g * fx, ret, lim);
-                    }
+                    R::simd_gather_accumulate(
+                        prepared.simd_tier,
+                        table.as_slice(),
+                        slots,
+                        acc,
+                        fx,
+                        ret,
+                        lim,
+                        share,
+                    );
                 }
                 // Scatter each element's finished combined loss home —
                 // the only non-sequential write, one per event.
@@ -492,7 +529,11 @@ pub fn analyse_trials_blocked<R: Real>(
         for i in first..last {
             let lo = offsets[i] as usize - base;
             let hi = offsets[i + 1] as usize - base;
-            let r = finish_trial(&prepared.terms, &mut ws.combined[lo..hi]);
+            let r = finish_trial(
+                prepared.simd_tier,
+                &prepared.terms,
+                &mut ws.combined[lo..hi],
+            );
             year_loss.push(r.year_loss.to_f64());
             max_occ.push(r.max_occ_loss.to_f64());
         }
@@ -593,19 +634,26 @@ pub fn analyse_trial_staged<R: Real, L: LossLookup<R>>(
     workspace.combined.resize(len, R::ZERO);
     for (e, &(fx, ret, lim, share)) in prepared.fin_terms.iter().enumerate() {
         let row = &workspace.ground[e * len..(e + 1) * len];
-        for d in 0..len {
-            workspace.combined[d] += share * crate::real::xl_clamp(row[d] * fx, ret, lim);
-        }
+        R::simd_accumulate(
+            prepared.simd_tier,
+            &mut workspace.combined,
+            row,
+            fx,
+            ret,
+            lim,
+            share,
+        );
     }
     let t3 = ara_trace::now_ns();
 
     // Stage 4 — layer terms: occurrence clamp per event, then aggregate
     // terms over the running cumulative loss.
-    let mut max_occ = R::ZERO;
-    for l in workspace.combined.iter_mut() {
-        *l = prepared.terms.apply_occurrence(*l);
-        max_occ = max_occ.max(*l);
-    }
+    let max_occ = R::simd_occurrence_clamp_max(
+        prepared.simd_tier,
+        &mut workspace.combined,
+        R::from_f64(prepared.terms.occ_retention),
+        R::from_f64(prepared.terms.occ_limit),
+    );
     let year_loss = apply_aggregate_stepwise(&prepared.terms, &mut workspace.combined);
     let t4 = ara_trace::now_ns();
 
@@ -875,6 +923,34 @@ mod tests {
                 scalar.max_occurrence_losses(),
                 blocked.max_occurrence_losses()
             );
+        }
+    }
+
+    #[test]
+    fn every_simd_tier_is_bit_identical_across_paths() {
+        let (inputs, layer) = fixture();
+        let oracle = {
+            let p = PreparedLayer::<f64>::prepare(&inputs, &layer).unwrap();
+            analyse_layer_scalar(&p, &inputs.yet)
+        };
+        for tier in SimdTier::available() {
+            for (chunk, region) in [(1, 1), (2, 3), (1024, 1 << 20)] {
+                let p = PreparedLayer::<f64>::prepare(&inputs, &layer)
+                    .unwrap()
+                    .with_simd_tier(tier)
+                    .with_gather_chunk(chunk)
+                    .with_region_slots(region);
+                assert_eq!(p.simd_tier(), tier);
+                let batched = analyse_layer(&p, &inputs.yet);
+                let blocked = analyse_layer_blocked(&p, &inputs.yet);
+                assert_eq!(oracle.year_losses(), batched.year_losses(), "{tier:?}");
+                assert_eq!(oracle.year_losses(), blocked.year_losses(), "{tier:?}");
+                assert_eq!(
+                    oracle.max_occurrence_losses(),
+                    blocked.max_occurrence_losses(),
+                    "{tier:?}"
+                );
+            }
         }
     }
 

@@ -74,7 +74,10 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `simd` module carries a scoped
+// `allow(unsafe_code)` for `core::arch` intrinsics behind runtime feature
+// detection. Everything else in the crate stays safe Rust.
+#![deny(unsafe_code)]
 
 pub mod analysis;
 pub mod compressed;
@@ -87,6 +90,7 @@ pub mod layer;
 pub mod lookup;
 pub mod portfolio;
 pub mod real;
+pub mod simd;
 pub mod uncertainty;
 pub mod yet;
 pub mod ylt;
@@ -110,6 +114,7 @@ pub use lookup::{
 };
 pub use portfolio::Portfolio;
 pub use real::{xl_clamp, Real};
+pub use simd::{SimdMode, SimdTier};
 pub use uncertainty::{
     analyse_layer_uncertain, analyse_trial_uncertain, draw_u01, normal_quantile,
     UncertainDirectTable, UncertainElt, UncertainEventLoss, UncertainLoss, UncertainPreparedLayer,

@@ -25,6 +25,7 @@ use crate::elt::EventLossTable;
 use crate::error::AraError;
 use crate::event::EventId;
 use crate::real::Real;
+use crate::simd::SimdTier;
 
 /// A read-only map from event id to loss at precision `R`.
 pub trait LossLookup<R: Real>: Send + Sync {
@@ -119,6 +120,28 @@ impl<R: Real> DirectAccessTable<R> {
     pub fn as_slice(&self) -> &[R] {
         &self.losses
     }
+
+    /// [`loss_batch`](LossLookup::loss_batch) at an explicit SIMD tier.
+    ///
+    /// Same contract — bit-identical to per-event [`loss`] at every tier
+    /// (a gather moves bits; no arithmetic is performed) — but the
+    /// kernel family is chosen by the caller instead of the process-wide
+    /// `ARA_SIMD` dispatch. Engines thread the autotuner's choice
+    /// through here; tests pin every available tier against the oracle.
+    ///
+    /// # Panics
+    /// Panics if `events.len() != out.len()`.
+    ///
+    /// [`loss`]: LossLookup::loss
+    pub fn loss_batch_tier(&self, tier: SimdTier, events: &[EventId], out: &mut [R]) {
+        assert_eq!(events.len(), out.len(), "one output slot per event");
+        R::simd_gather(
+            tier,
+            &self.losses,
+            crate::simd::event_ids_as_u32(events),
+            out,
+        );
+    }
 }
 
 impl<R: Real> LossLookup<R> for DirectAccessTable<R> {
@@ -142,27 +165,12 @@ impl<R: Real> LossLookup<R> for DirectAccessTable<R> {
     }
 
     fn loss_batch(&self, events: &[EventId], out: &mut [R]) {
-        assert_eq!(events.len(), out.len(), "one output slot per event");
-        let table = self.losses.as_slice();
-        // Eight independent gathers per iteration: the scalar loop chains
-        // one bounds-checked access per event, while this form lets the
-        // CPU keep eight cache misses in flight (memory-level parallelism)
-        // — the entire win for a pure gather.
-        let mut ev = events.chunks_exact(8);
-        let mut ot = out.chunks_exact_mut(8);
-        for (es, os) in (&mut ev).zip(&mut ot) {
-            os[0] = table.get(es[0].index()).copied().unwrap_or(R::ZERO);
-            os[1] = table.get(es[1].index()).copied().unwrap_or(R::ZERO);
-            os[2] = table.get(es[2].index()).copied().unwrap_or(R::ZERO);
-            os[3] = table.get(es[3].index()).copied().unwrap_or(R::ZERO);
-            os[4] = table.get(es[4].index()).copied().unwrap_or(R::ZERO);
-            os[5] = table.get(es[5].index()).copied().unwrap_or(R::ZERO);
-            os[6] = table.get(es[6].index()).copied().unwrap_or(R::ZERO);
-            os[7] = table.get(es[7].index()).copied().unwrap_or(R::ZERO);
-        }
-        for (o, &e) in ot.into_remainder().iter_mut().zip(ev.remainder()) {
-            *o = table.get(e.index()).copied().unwrap_or(R::ZERO);
-        }
+        // Tier-dispatched gather: hardware gather instructions where the
+        // CPU proves them (AVX2/AVX-512), the eight-wide portable kernel
+        // otherwise, and under `ARA_SIMD=force-scalar` the original
+        // eight-independent-loads loop — whose entire win is keeping
+        // eight cache misses in flight (memory-level parallelism).
+        self.loss_batch_tier(crate::simd::active_tier(), events, out);
     }
 }
 
@@ -619,6 +627,10 @@ pub const DEFAULT_REGION_SLOTS: usize = 8 * 1024;
 pub struct BlockedGather {
     /// `(table slot, original position)` pairs, stably sorted by region.
     pairs: Vec<(u32, u32)>,
+    /// The table slots alone, in the same plan order as `pairs` — a
+    /// contiguous `u32` run the SIMD gather kernels index-load directly
+    /// (the interleaved pairs would force a strided de-interleave first).
+    slots: Vec<u32>,
     /// Counting-sort scratch: running offset per region.
     offsets: Vec<u32>,
     region_slots: usize,
@@ -656,10 +668,13 @@ impl BlockedGather {
         }
         self.pairs.clear();
         self.pairs.resize(events.len(), (0, 0));
+        self.slots.clear();
+        self.slots.resize(events.len(), 0);
         for (pos, &e) in events.iter().enumerate() {
             let r = (e.index() / region_slots).min(last);
             let at = self.offsets[r] as usize;
             self.pairs[at] = (e.0, pos as u32);
+            self.slots[at] = e.0;
             self.offsets[r] += 1;
         }
     }
@@ -668,6 +683,14 @@ impl BlockedGather {
     #[inline]
     pub fn pairs(&self) -> &[(u32, u32)] {
         &self.pairs
+    }
+
+    /// The planned table slots alone, in the same order as
+    /// [`pairs`](BlockedGather::pairs) — the index stream the SIMD
+    /// gather kernels consume.
+    #[inline]
+    pub fn slots(&self) -> &[u32] {
+        &self.slots
     }
 
     /// Events in the current plan.
@@ -715,6 +738,19 @@ impl BlockedGather {
     /// slab for the current region stays cache-resident until the
     /// region's events are exhausted.
     pub fn gather<R: Real>(&self, tables: &[DirectAccessTable<R>], out: &mut [R]) {
+        self.gather_tier(crate::simd::active_tier(), tables, out);
+    }
+
+    /// [`gather`](BlockedGather::gather) at an explicit SIMD tier: each
+    /// region's slot run is a contiguous `u32` stream, so the tiered
+    /// gather kernels consume it directly while the region's table slabs
+    /// stay cache-resident. Bit-identical across tiers.
+    pub fn gather_tier<R: Real>(
+        &self,
+        tier: SimdTier,
+        tables: &[DirectAccessTable<R>],
+        out: &mut [R],
+    ) {
         let n = self.pairs.len();
         assert_eq!(
             out.len(),
@@ -722,21 +758,10 @@ impl BlockedGather {
             "out must be ELT-major over the plan"
         );
         for range in self.regions() {
-            let ps = &self.pairs[range.clone()];
+            let slots = &self.slots[range.clone()];
             for (ti, table) in tables.iter().enumerate() {
-                let t = table.as_slice();
                 let row = &mut out[ti * n + range.start..ti * n + range.end];
-                let mut pr = ps.chunks_exact(4);
-                let mut ot = row.chunks_exact_mut(4);
-                for (pc, os) in (&mut pr).zip(&mut ot) {
-                    os[0] = t.get(pc[0].0 as usize).copied().unwrap_or(R::ZERO);
-                    os[1] = t.get(pc[1].0 as usize).copied().unwrap_or(R::ZERO);
-                    os[2] = t.get(pc[2].0 as usize).copied().unwrap_or(R::ZERO);
-                    os[3] = t.get(pc[3].0 as usize).copied().unwrap_or(R::ZERO);
-                }
-                for (o, p) in ot.into_remainder().iter_mut().zip(pr.remainder()) {
-                    *o = t.get(p.0 as usize).copied().unwrap_or(R::ZERO);
-                }
+                R::simd_gather(tier, table.as_slice(), slots, row);
             }
         }
     }

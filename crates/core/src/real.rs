@@ -5,6 +5,7 @@
 //! first-class, testable code path rather than a copy-pasted kernel, the
 //! analysis pipeline is generic over this small floating-point trait.
 
+use crate::simd::SimdTier;
 use std::fmt::{Debug, Display};
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
@@ -51,6 +52,61 @@ pub trait Real:
     fn abs(self) -> Self;
     /// True if the value is finite (not NaN or infinite).
     fn is_finite(self) -> bool;
+
+    // -- SIMD hot-path hooks -------------------------------------------
+    //
+    // The four data-parallel kernels of the analysis pipeline, dispatched
+    // by [`SimdTier`]. The defaults are the scalar oracle; `f32`/`f64`
+    // override them with the explicit kernels in [`crate::simd`]. Every
+    // override is **bit-identical** to the default at every tier (the
+    // per-lane operation order is the scalar order; see the module docs
+    // of [`crate::simd`]).
+
+    /// Gather `out[i] = table[idx[i]]`, `ZERO` for indices at or beyond
+    /// the table.
+    fn simd_gather(tier: SimdTier, table: &[Self], idx: &[u32], out: &mut [Self]) {
+        let _ = tier;
+        crate::simd::gather_fallback(table, idx, out);
+    }
+
+    /// Fused gather + financial combine:
+    /// `acc[i] += share * min(max(table[idx[i]]*fx - ret, 0), lim)`.
+    #[allow(clippy::too_many_arguments)]
+    fn simd_gather_accumulate(
+        tier: SimdTier,
+        table: &[Self],
+        idx: &[u32],
+        acc: &mut [Self],
+        fx: Self,
+        ret: Self,
+        lim: Self,
+        share: Self,
+    ) {
+        let _ = tier;
+        crate::simd::gather_accumulate_fallback(table, idx, acc, fx, ret, lim, share);
+    }
+
+    /// Financial combine from a pre-gathered ground row:
+    /// `acc[i] += share * min(max(ground[i]*fx - ret, 0), lim)`.
+    fn simd_accumulate(
+        tier: SimdTier,
+        acc: &mut [Self],
+        ground: &[Self],
+        fx: Self,
+        ret: Self,
+        lim: Self,
+        share: Self,
+    ) {
+        let _ = tier;
+        crate::simd::accumulate_fallback(acc, ground, fx, ret, lim, share);
+    }
+
+    /// Occurrence-terms clamp (`min(max(v - ret, 0), lim)` in place) and
+    /// the running maximum of the clamped values, starting from `ZERO`.
+    fn simd_occurrence_clamp_max(tier: SimdTier, vals: &mut [Self], ret: Self, lim: Self) -> Self {
+        let _ = tier;
+        crate::simd::occurrence_clamp_max_fallback(vals, ret, lim)
+    }
 }
 
 impl Real for f32 {
@@ -82,6 +138,39 @@ impl Real for f32 {
     fn is_finite(self) -> bool {
         f32::is_finite(self)
     }
+
+    fn simd_gather(tier: SimdTier, table: &[Self], idx: &[u32], out: &mut [Self]) {
+        crate::simd::gather_f32(tier, table, idx, out);
+    }
+
+    fn simd_gather_accumulate(
+        tier: SimdTier,
+        table: &[Self],
+        idx: &[u32],
+        acc: &mut [Self],
+        fx: Self,
+        ret: Self,
+        lim: Self,
+        share: Self,
+    ) {
+        crate::simd::gather_accumulate_f32(tier, table, idx, acc, fx, ret, lim, share);
+    }
+
+    fn simd_accumulate(
+        tier: SimdTier,
+        acc: &mut [Self],
+        ground: &[Self],
+        fx: Self,
+        ret: Self,
+        lim: Self,
+        share: Self,
+    ) {
+        crate::simd::accumulate_f32(tier, acc, ground, fx, ret, lim, share);
+    }
+
+    fn simd_occurrence_clamp_max(tier: SimdTier, vals: &mut [Self], ret: Self, lim: Self) -> Self {
+        crate::simd::occurrence_clamp_max_dispatch(tier, vals, ret, lim)
+    }
 }
 
 impl Real for f64 {
@@ -112,6 +201,39 @@ impl Real for f64 {
     #[inline(always)]
     fn is_finite(self) -> bool {
         f64::is_finite(self)
+    }
+
+    fn simd_gather(tier: SimdTier, table: &[Self], idx: &[u32], out: &mut [Self]) {
+        crate::simd::gather_f64(tier, table, idx, out);
+    }
+
+    fn simd_gather_accumulate(
+        tier: SimdTier,
+        table: &[Self],
+        idx: &[u32],
+        acc: &mut [Self],
+        fx: Self,
+        ret: Self,
+        lim: Self,
+        share: Self,
+    ) {
+        crate::simd::gather_accumulate_f64(tier, table, idx, acc, fx, ret, lim, share);
+    }
+
+    fn simd_accumulate(
+        tier: SimdTier,
+        acc: &mut [Self],
+        ground: &[Self],
+        fx: Self,
+        ret: Self,
+        lim: Self,
+        share: Self,
+    ) {
+        crate::simd::accumulate_f64(tier, acc, ground, fx, ret, lim, share);
+    }
+
+    fn simd_occurrence_clamp_max(tier: SimdTier, vals: &mut [Self], ret: Self, lim: Self) -> Self {
+        crate::simd::occurrence_clamp_max_dispatch(tier, vals, ret, lim)
     }
 }
 

@@ -1,0 +1,1153 @@
+//! Explicit SIMD kernels for the gather + fused-layer hot path.
+//!
+//! The hot inner loops of aggregate analysis are (a) the direct-access
+//! table gather (`out[i] = table[idx[i]]`, zero beyond the catalogue) and
+//! (b) the fused financial-terms combine
+//! (`acc[i] += share * min(max(g*fx - ret, 0), lim)`). Both are pure
+//! element-wise data parallelism — exactly the shape the paper exploits
+//! with GPU lanes — so this module implements them three ways and picks
+//! the widest proven path at runtime:
+//!
+//! * **Scalar** ([`SimdTier::Scalar`]) — the pre-SIMD Rust loops,
+//!   retained verbatim as the forced fallback (`ARA_SIMD=force-scalar`)
+//!   and the oracle every other tier is property-tested against.
+//! * **Portable** ([`SimdTier::Portable`]) — fixed eight-lane,
+//!   branchless kernels written in plain Rust arrays. No intrinsics, no
+//!   `unsafe`; the autovectoriser reliably lowers them to whatever the
+//!   target offers. This is the widest tier on non-x86 hosts (the
+//!   nightly-only `std::simd` would express the same kernels portably;
+//!   until it stabilises, the array form is the portable spelling).
+//! * **Avx2 / Avx512** — `core::arch::x86_64` intrinsics using hardware
+//!   gather instructions (`vgatherdpd`/`vgatherqpd`) behind
+//!   `is_x86_feature_detected!` runtime dispatch. Out-of-catalogue lanes
+//!   are masked off *before* the gather issues, so they are never
+//!   dereferenced — the mask encodes the scalar path's bounds check.
+//!
+//! ## Correctness contract
+//!
+//! Every tier is **bit-identical** to the scalar oracle, not merely
+//! close: the gather moves bits, and the fused combine keeps the scalar
+//! operation order per element (mul, sub, max, min, mul, add — no FMA
+//! contraction, no horizontal reassociation). The only reduction any
+//! kernel performs is the occurrence-stage running max, and IEEE
+//! max over NaN-free inputs is order-insensitive. The per-trial
+//! aggregate prefix scan stays scalar: it is a loop-carried dependence
+//! that cannot be widened without reassociating.
+//!
+//! ## Dispatch
+//!
+//! [`active_tier`] resolves once per process from `ARA_SIMD`
+//! (`force-scalar | portable | native`, plus `avx2` / `avx512` for
+//! pinning a specific ISA in tests) and CPU feature detection.
+//! [`PreparedLayer`](crate::PreparedLayer) captures the tier at prepare
+//! time (`with_simd_tier` overrides it), so engines and the autotuner
+//! can thread an explicit choice through the blocked kernels.
+//!
+//! This module is the only place in `ara-core` permitted to use
+//! `unsafe`: every unsafe block is a `core::arch` intrinsic call behind
+//! a runtime feature check, or the `repr(transparent)` reinterpretation
+//! of `&[EventId]` as `&[u32]`.
+#![allow(unsafe_code)]
+
+use crate::event::EventId;
+use crate::real::Real;
+
+/// Requested dispatch policy, parsed from the `ARA_SIMD` environment
+/// variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdMode {
+    /// `force-scalar`: the pre-SIMD scalar loops, unconditionally.
+    ForceScalar,
+    /// `portable`: the eight-lane portable kernels, never intrinsics.
+    Portable,
+    /// `native` (and the default when unset): the widest ISA the CPU
+    /// reports, falling back to portable off x86-64.
+    Native,
+    /// `avx2`: pin the AVX2 kernels (portable if unsupported).
+    PinAvx2,
+    /// `avx512`: pin the AVX-512 kernels (portable if unsupported).
+    PinAvx512,
+}
+
+/// The resolved kernel family actually dispatched to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdTier {
+    /// Pre-SIMD scalar Rust loops (the oracle and forced fallback).
+    Scalar,
+    /// Eight-lane branchless portable Rust kernels.
+    Portable,
+    /// 256-bit `core::arch::x86_64` kernels (hardware gather).
+    Avx2,
+    /// 512-bit `core::arch::x86_64` kernels (masked gather, 8×f64/16×f32
+    /// lanes).
+    Avx512,
+}
+
+impl SimdTier {
+    /// Stable lowercase name for manifests, trace spans, and bench rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdTier::Scalar => "scalar",
+            SimdTier::Portable => "portable",
+            SimdTier::Avx2 => "avx2",
+            SimdTier::Avx512 => "avx512",
+        }
+    }
+
+    /// Vector lanes this tier processes per step for a value of
+    /// `value_bytes` bytes (4 for `f32`, 8 for `f64`). Scalar is one
+    /// lane; portable is fixed at eight.
+    pub fn lanes(self, value_bytes: usize) -> usize {
+        match self {
+            SimdTier::Scalar => 1,
+            SimdTier::Portable => PORTABLE_LANES,
+            SimdTier::Avx2 => (32 / value_bytes.max(1)).max(1),
+            SimdTier::Avx512 => (64 / value_bytes.max(1)).max(1),
+        }
+    }
+
+    /// Every tier this host can actually execute, narrowest first.
+    /// Tests iterate this to pin all reachable kernels against the
+    /// scalar oracle.
+    pub fn available() -> Vec<SimdTier> {
+        let mut tiers = vec![SimdTier::Scalar, SimdTier::Portable];
+        if cpu_has_avx2() {
+            tiers.push(SimdTier::Avx2);
+        }
+        if cpu_has_avx512() {
+            tiers.push(SimdTier::Avx512);
+        }
+        tiers
+    }
+}
+
+/// Fixed lane count of the portable kernels: eight covers a full AVX-512
+/// `f64` register and leaves narrower targets to split the array.
+pub const PORTABLE_LANES: usize = 8;
+
+#[inline]
+fn cpu_has_avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+#[inline]
+fn cpu_has_avx512() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx512f")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Parse an `ARA_SIMD` value. Unknown strings resolve to [`SimdMode::Native`]
+/// (the default), so a typo can never silently force the slow path.
+pub fn parse_mode(value: Option<&str>) -> SimdMode {
+    match value.map(str::trim) {
+        Some("force-scalar") | Some("scalar") => SimdMode::ForceScalar,
+        Some("portable") => SimdMode::Portable,
+        Some("avx2") => SimdMode::PinAvx2,
+        Some("avx512") => SimdMode::PinAvx512,
+        _ => SimdMode::Native,
+    }
+}
+
+/// Resolve a requested mode against what the CPU supports. Pinned ISAs
+/// degrade to the portable tier (never to an unsupported intrinsic).
+pub fn resolve(mode: SimdMode) -> SimdTier {
+    match mode {
+        SimdMode::ForceScalar => SimdTier::Scalar,
+        SimdMode::Portable => SimdTier::Portable,
+        SimdMode::PinAvx2 => {
+            if cpu_has_avx2() {
+                SimdTier::Avx2
+            } else {
+                SimdTier::Portable
+            }
+        }
+        SimdMode::PinAvx512 => {
+            if cpu_has_avx512() {
+                SimdTier::Avx512
+            } else {
+                SimdTier::Portable
+            }
+        }
+        SimdMode::Native => {
+            if cpu_has_avx512() {
+                SimdTier::Avx512
+            } else if cpu_has_avx2() {
+                SimdTier::Avx2
+            } else {
+                SimdTier::Portable
+            }
+        }
+    }
+}
+
+/// The process-wide dispatch tier: `ARA_SIMD` (read once) resolved
+/// against CPU features. [`PreparedLayer`](crate::PreparedLayer)
+/// captures this as its default; pass an explicit tier to the `_tier`
+/// entry points to override without touching the environment.
+pub fn active_tier() -> SimdTier {
+    use std::sync::OnceLock;
+    static TIER: OnceLock<SimdTier> = OnceLock::new();
+    *TIER.get_or_init(|| resolve(parse_mode(std::env::var("ARA_SIMD").ok().as_deref())))
+}
+
+/// View a slice of event ids as their raw `u32` values.
+///
+/// Sound because [`EventId`] is `#[repr(transparent)]` over `u32`.
+#[inline]
+pub fn event_ids_as_u32(events: &[EventId]) -> &[u32] {
+    // SAFETY: EventId is #[repr(transparent)] over u32, so the slices
+    // have identical layout, alignment, and validity invariants.
+    unsafe { std::slice::from_raw_parts(events.as_ptr().cast::<u32>(), events.len()) }
+}
+
+/// Hardware-gather index limit: the x86 gather instructions take signed
+/// 32-bit (or zero-extended-to-64) element indices, and the mask compare
+/// broadcasts the table length into the same width. Tables at or beyond
+/// `2^31` slots (8 GiB of `f32`) fall back to the portable tier.
+const MAX_GATHER_TABLE: usize = 1 << 31;
+
+// ---------------------------------------------------------------------------
+// Scalar oracle kernels (tier Scalar — and the semantics contract)
+// ---------------------------------------------------------------------------
+
+/// The excess-of-loss combine applied by every tier, spelled once:
+/// `acc += share * min(max(g*fx - ret, 0), lim)` with exactly this
+/// operation order. All wider kernels replicate it lane-wise.
+#[inline(always)]
+fn combine_one<R: Real>(acc: R, g: R, fx: R, ret: R, lim: R, share: R) -> R {
+    acc + share * crate::real::xl_clamp(g * fx, ret, lim)
+}
+
+fn gather_scalar<R: Real>(table: &[R], idx: &[u32], out: &mut [R]) {
+    // The pre-SIMD batched loop: eight independent bounds-checked loads
+    // per iteration so the CPU keeps eight misses in flight. Kept
+    // verbatim as the `force-scalar` path.
+    let mut ix = idx.chunks_exact(8);
+    let mut ot = out.chunks_exact_mut(8);
+    for (is, os) in (&mut ix).zip(&mut ot) {
+        os[0] = table.get(is[0] as usize).copied().unwrap_or(R::ZERO);
+        os[1] = table.get(is[1] as usize).copied().unwrap_or(R::ZERO);
+        os[2] = table.get(is[2] as usize).copied().unwrap_or(R::ZERO);
+        os[3] = table.get(is[3] as usize).copied().unwrap_or(R::ZERO);
+        os[4] = table.get(is[4] as usize).copied().unwrap_or(R::ZERO);
+        os[5] = table.get(is[5] as usize).copied().unwrap_or(R::ZERO);
+        os[6] = table.get(is[6] as usize).copied().unwrap_or(R::ZERO);
+        os[7] = table.get(is[7] as usize).copied().unwrap_or(R::ZERO);
+    }
+    for (o, &i) in ot.into_remainder().iter_mut().zip(ix.remainder()) {
+        *o = table.get(i as usize).copied().unwrap_or(R::ZERO);
+    }
+}
+
+fn accumulate_scalar<R: Real>(acc: &mut [R], ground: &[R], fx: R, ret: R, lim: R, share: R) {
+    for (a, &g) in acc.iter_mut().zip(ground) {
+        *a = combine_one(*a, g, fx, ret, lim, share);
+    }
+}
+
+fn gather_accumulate_scalar<R: Real>(
+    table: &[R],
+    idx: &[u32],
+    acc: &mut [R],
+    fx: R,
+    ret: R,
+    lim: R,
+    share: R,
+) {
+    for (a, &i) in acc.iter_mut().zip(idx) {
+        let g = table.get(i as usize).copied().unwrap_or(R::ZERO);
+        *a = combine_one(*a, g, fx, ret, lim, share);
+    }
+}
+
+fn occurrence_clamp_max_scalar<R: Real>(vals: &mut [R], ret: R, lim: R) -> R {
+    let mut max_occ = R::ZERO;
+    for v in vals.iter_mut() {
+        *v = crate::real::xl_clamp(*v, ret, lim);
+        max_occ = max_occ.max(*v);
+    }
+    max_occ
+}
+
+// ---------------------------------------------------------------------------
+// Portable eight-lane kernels (tier Portable)
+// ---------------------------------------------------------------------------
+
+fn gather_portable<R: Real>(table: &[R], idx: &[u32], out: &mut [R]) {
+    let len = table.len();
+    let mut ix = idx.chunks_exact(PORTABLE_LANES);
+    let mut ot = out.chunks_exact_mut(PORTABLE_LANES);
+    for (is, os) in (&mut ix).zip(&mut ot) {
+        // Branchless select per lane: clamp the index into bounds, load
+        // unconditionally, then zero the lanes whose real index was out
+        // of range. The loads are independent, so the whole block lowers
+        // to eight parallel loads plus vector selects.
+        let mut lanes = [R::ZERO; PORTABLE_LANES];
+        for l in 0..PORTABLE_LANES {
+            let i = is[l] as usize;
+            let clamped = if i < len { i } else { 0 };
+            let v = if len > 0 { table[clamped] } else { R::ZERO };
+            lanes[l] = if i < len { v } else { R::ZERO };
+        }
+        os.copy_from_slice(&lanes);
+    }
+    gather_scalar(table, ix.remainder(), ot.into_remainder());
+}
+
+fn accumulate_portable<R: Real>(acc: &mut [R], ground: &[R], fx: R, ret: R, lim: R, share: R) {
+    let mut gr = ground.chunks_exact(PORTABLE_LANES);
+    let mut ac = acc.chunks_exact_mut(PORTABLE_LANES);
+    for (gs, az) in (&mut gr).zip(&mut ac) {
+        for l in 0..PORTABLE_LANES {
+            az[l] = combine_one(az[l], gs[l], fx, ret, lim, share);
+        }
+    }
+    accumulate_scalar(ac.into_remainder(), gr.remainder(), fx, ret, lim, share);
+}
+
+fn gather_accumulate_portable<R: Real>(
+    table: &[R],
+    idx: &[u32],
+    acc: &mut [R],
+    fx: R,
+    ret: R,
+    lim: R,
+    share: R,
+) {
+    let len = table.len();
+    let mut ix = idx.chunks_exact(PORTABLE_LANES);
+    let mut ac = acc.chunks_exact_mut(PORTABLE_LANES);
+    for (is, az) in (&mut ix).zip(&mut ac) {
+        let mut lanes = [R::ZERO; PORTABLE_LANES];
+        for l in 0..PORTABLE_LANES {
+            let i = is[l] as usize;
+            let clamped = if i < len { i } else { 0 };
+            let v = if len > 0 { table[clamped] } else { R::ZERO };
+            lanes[l] = if i < len { v } else { R::ZERO };
+        }
+        for l in 0..PORTABLE_LANES {
+            az[l] = combine_one(az[l], lanes[l], fx, ret, lim, share);
+        }
+    }
+    gather_accumulate_scalar(
+        table,
+        ix.remainder(),
+        ac.into_remainder(),
+        fx,
+        ret,
+        lim,
+        share,
+    );
+}
+
+fn occurrence_clamp_max_portable<R: Real>(vals: &mut [R], ret: R, lim: R) -> R {
+    let mut maxes = [R::ZERO; PORTABLE_LANES];
+    let mut ch = vals.chunks_exact_mut(PORTABLE_LANES);
+    for vs in &mut ch {
+        for l in 0..PORTABLE_LANES {
+            vs[l] = crate::real::xl_clamp(vs[l], ret, lim);
+            maxes[l] = maxes[l].max(vs[l]);
+        }
+    }
+    // IEEE max over NaN-free values is associative and commutative, so
+    // the lane-split reduction is bit-identical to the scalar fold.
+    let mut max_occ = occurrence_clamp_max_scalar(ch.into_remainder(), ret, lim);
+    for &m in &maxes {
+        max_occ = max_occ.max(m);
+    }
+    max_occ
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels (x86-64, 256-bit)
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx {
+    //! The `core::arch::x86_64` specialisations. Every function is
+    //! `unsafe fn` + `#[target_feature]`: callers guarantee the feature
+    //! is present (checked once at dispatch resolution).
+    //!
+    //! Bounds handling: lane masks are computed with *unsigned* index
+    //! compares against the table length before any gather issues;
+    //! masked-off lanes are architecturally guaranteed not to be read,
+    //! which reproduces the scalar `get(i).unwrap_or(0)` exactly for any
+    //! `u32` index, including out-of-catalogue ids above `i32::MAX`.
+
+    use core::arch::x86_64::*;
+
+    /// `f64` gather, 4 lanes: `vgatherqpd` over zero-extended indices.
+    ///
+    /// # Safety
+    /// Requires AVX2; `table.len() < 2^31`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gather_f64_avx2(table: &[f64], idx: &[u32], out: &mut [f64]) {
+        let len = table.len();
+        let base = table.as_ptr();
+        let sign = _mm_set1_epi32(i32::MIN);
+        let len_flipped = _mm_set1_epi32((len as i32) ^ i32::MIN);
+        let n = idx.len().min(out.len());
+        let mut i = 0;
+        while i + 4 <= n {
+            let iv = _mm_loadu_si128(idx.as_ptr().add(i).cast());
+            // Unsigned idx < len via sign-flipped signed compare.
+            let m32 = _mm_cmplt_epi32(_mm_xor_si128(iv, sign), len_flipped);
+            let mask = _mm256_castsi256_pd(_mm256_cvtepi32_epi64(m32));
+            let v = _mm256_mask_i32gather_pd::<8>(_mm256_setzero_pd(), base, iv, mask);
+            _mm256_storeu_pd(out.as_mut_ptr().add(i), v);
+            i += 4;
+        }
+        super::gather_scalar(table, &idx[i..n], &mut out[i..n]);
+    }
+
+    /// `f32` gather, 8 lanes.
+    ///
+    /// # Safety
+    /// Requires AVX2; `table.len() < 2^31`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gather_f32_avx2(table: &[f32], idx: &[u32], out: &mut [f32]) {
+        let len = table.len();
+        let base = table.as_ptr();
+        let sign = _mm256_set1_epi32(i32::MIN);
+        let len_flipped = _mm256_set1_epi32((len as i32) ^ i32::MIN);
+        let n = idx.len().min(out.len());
+        let mut i = 0;
+        while i + 8 <= n {
+            let iv = _mm256_loadu_si256(idx.as_ptr().add(i).cast());
+            let m32 = _mm256_cmpgt_epi32(len_flipped, _mm256_xor_si256(iv, sign));
+            let mask = _mm256_castsi256_ps(m32);
+            let v = _mm256_mask_i32gather_ps::<4>(_mm256_setzero_ps(), base, iv, mask);
+            _mm256_storeu_ps(out.as_mut_ptr().add(i), v);
+            i += 8;
+        }
+        super::gather_scalar(table, &idx[i..n], &mut out[i..n]);
+    }
+
+    /// Fused gather + financial combine, `f64`, 4 lanes. Operation order
+    /// per lane matches the scalar oracle: mul, sub, max, min, mul, add
+    /// (no FMA contraction).
+    ///
+    /// # Safety
+    /// Requires AVX2; `table.len() < 2^31`.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn gather_accumulate_f64_avx2(
+        table: &[f64],
+        idx: &[u32],
+        acc: &mut [f64],
+        fx: f64,
+        ret: f64,
+        lim: f64,
+        share: f64,
+    ) {
+        let len = table.len();
+        let base = table.as_ptr();
+        let sign = _mm_set1_epi32(i32::MIN);
+        let len_flipped = _mm_set1_epi32((len as i32) ^ i32::MIN);
+        let (fxv, retv, limv, sharev) = (
+            _mm256_set1_pd(fx),
+            _mm256_set1_pd(ret),
+            _mm256_set1_pd(lim),
+            _mm256_set1_pd(share),
+        );
+        let zero = _mm256_setzero_pd();
+        let n = idx.len().min(acc.len());
+        let mut i = 0;
+        while i + 4 <= n {
+            let iv = _mm_loadu_si128(idx.as_ptr().add(i).cast());
+            let m32 = _mm_cmplt_epi32(_mm_xor_si128(iv, sign), len_flipped);
+            let mask = _mm256_castsi256_pd(_mm256_cvtepi32_epi64(m32));
+            let g = _mm256_mask_i32gather_pd::<8>(zero, base, iv, mask);
+            let x = _mm256_sub_pd(_mm256_mul_pd(g, fxv), retv);
+            let c = _mm256_min_pd(_mm256_max_pd(x, zero), limv);
+            let a = _mm256_loadu_pd(acc.as_ptr().add(i));
+            let s = _mm256_add_pd(a, _mm256_mul_pd(sharev, c));
+            _mm256_storeu_pd(acc.as_mut_ptr().add(i), s);
+            i += 4;
+        }
+        super::gather_accumulate_scalar(table, &idx[i..n], &mut acc[i..n], fx, ret, lim, share);
+    }
+
+    /// Fused gather + financial combine, `f32`, 8 lanes.
+    ///
+    /// # Safety
+    /// Requires AVX2; `table.len() < 2^31`.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn gather_accumulate_f32_avx2(
+        table: &[f32],
+        idx: &[u32],
+        acc: &mut [f32],
+        fx: f32,
+        ret: f32,
+        lim: f32,
+        share: f32,
+    ) {
+        let len = table.len();
+        let base = table.as_ptr();
+        let sign = _mm256_set1_epi32(i32::MIN);
+        let len_flipped = _mm256_set1_epi32((len as i32) ^ i32::MIN);
+        let (fxv, retv, limv, sharev) = (
+            _mm256_set1_ps(fx),
+            _mm256_set1_ps(ret),
+            _mm256_set1_ps(lim),
+            _mm256_set1_ps(share),
+        );
+        let zero = _mm256_setzero_ps();
+        let n = idx.len().min(acc.len());
+        let mut i = 0;
+        while i + 8 <= n {
+            let iv = _mm256_loadu_si256(idx.as_ptr().add(i).cast());
+            let m32 = _mm256_cmpgt_epi32(len_flipped, _mm256_xor_si256(iv, sign));
+            let g = _mm256_mask_i32gather_ps::<4>(zero, base, iv, _mm256_castsi256_ps(m32));
+            let x = _mm256_sub_ps(_mm256_mul_ps(g, fxv), retv);
+            let c = _mm256_min_ps(_mm256_max_ps(x, zero), limv);
+            let a = _mm256_loadu_ps(acc.as_ptr().add(i));
+            let s = _mm256_add_ps(a, _mm256_mul_ps(sharev, c));
+            _mm256_storeu_ps(acc.as_mut_ptr().add(i), s);
+            i += 8;
+        }
+        super::gather_accumulate_scalar(table, &idx[i..n], &mut acc[i..n], fx, ret, lim, share);
+    }
+
+    /// In-register combine from a pre-gathered ground row, `f64`.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn accumulate_f64_avx2(
+        acc: &mut [f64],
+        ground: &[f64],
+        fx: f64,
+        ret: f64,
+        lim: f64,
+        share: f64,
+    ) {
+        let (fxv, retv, limv, sharev) = (
+            _mm256_set1_pd(fx),
+            _mm256_set1_pd(ret),
+            _mm256_set1_pd(lim),
+            _mm256_set1_pd(share),
+        );
+        let zero = _mm256_setzero_pd();
+        let n = acc.len().min(ground.len());
+        let mut i = 0;
+        while i + 4 <= n {
+            let g = _mm256_loadu_pd(ground.as_ptr().add(i));
+            let x = _mm256_sub_pd(_mm256_mul_pd(g, fxv), retv);
+            let c = _mm256_min_pd(_mm256_max_pd(x, zero), limv);
+            let a = _mm256_loadu_pd(acc.as_ptr().add(i));
+            _mm256_storeu_pd(
+                acc.as_mut_ptr().add(i),
+                _mm256_add_pd(a, _mm256_mul_pd(sharev, c)),
+            );
+            i += 4;
+        }
+        super::accumulate_scalar(&mut acc[i..n], &ground[i..n], fx, ret, lim, share);
+    }
+
+    /// In-register combine from a pre-gathered ground row, `f32`.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn accumulate_f32_avx2(
+        acc: &mut [f32],
+        ground: &[f32],
+        fx: f32,
+        ret: f32,
+        lim: f32,
+        share: f32,
+    ) {
+        let (fxv, retv, limv, sharev) = (
+            _mm256_set1_ps(fx),
+            _mm256_set1_ps(ret),
+            _mm256_set1_ps(lim),
+            _mm256_set1_ps(share),
+        );
+        let zero = _mm256_setzero_ps();
+        let n = acc.len().min(ground.len());
+        let mut i = 0;
+        while i + 8 <= n {
+            let g = _mm256_loadu_ps(ground.as_ptr().add(i));
+            let x = _mm256_sub_ps(_mm256_mul_ps(g, fxv), retv);
+            let c = _mm256_min_ps(_mm256_max_ps(x, zero), limv);
+            let a = _mm256_loadu_ps(acc.as_ptr().add(i));
+            _mm256_storeu_ps(
+                acc.as_mut_ptr().add(i),
+                _mm256_add_ps(a, _mm256_mul_ps(sharev, c)),
+            );
+            i += 8;
+        }
+        super::accumulate_scalar(&mut acc[i..n], &ground[i..n], fx, ret, lim, share);
+    }
+
+    // -- AVX-512 ----------------------------------------------------------
+
+    /// `f64` gather, 8 lanes: indices zero-extended to 64 bits so the
+    /// unsigned bounds compare and the gather share one register.
+    ///
+    /// # Safety
+    /// Requires AVX-512F; `table.len() < 2^31`.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn gather_f64_avx512(table: &[f64], idx: &[u32], out: &mut [f64]) {
+        let lenv = _mm512_set1_epi64(table.len() as i64);
+        let base = table.as_ptr();
+        let n = idx.len().min(out.len());
+        let mut i = 0;
+        while i + 8 <= n {
+            let iv = _mm256_loadu_si256(idx.as_ptr().add(i).cast());
+            let idx64 = _mm512_cvtepu32_epi64(iv);
+            let k = _mm512_cmplt_epu64_mask(idx64, lenv);
+            let v = _mm512_mask_i64gather_pd::<8>(_mm512_setzero_pd(), k, idx64, base.cast());
+            _mm512_storeu_pd(out.as_mut_ptr().add(i), v);
+            i += 8;
+        }
+        super::gather_scalar(table, &idx[i..n], &mut out[i..n]);
+    }
+
+    /// `f32` gather, 16 lanes.
+    ///
+    /// # Safety
+    /// Requires AVX-512F; `table.len() < 2^31`.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn gather_f32_avx512(table: &[f32], idx: &[u32], out: &mut [f32]) {
+        let lenv = _mm512_set1_epi32(table.len() as i32);
+        let base = table.as_ptr();
+        let n = idx.len().min(out.len());
+        let mut i = 0;
+        while i + 16 <= n {
+            let iv = _mm512_loadu_si512(idx.as_ptr().add(i).cast());
+            let k = _mm512_cmplt_epu32_mask(iv, lenv);
+            let v = _mm512_mask_i32gather_ps::<4>(_mm512_setzero_ps(), k, iv, base.cast());
+            _mm512_storeu_ps(out.as_mut_ptr().add(i), v);
+            i += 16;
+        }
+        super::gather_scalar(table, &idx[i..n], &mut out[i..n]);
+    }
+
+    /// Fused gather + financial combine, `f64`, 8 lanes.
+    ///
+    /// # Safety
+    /// Requires AVX-512F; `table.len() < 2^31`.
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn gather_accumulate_f64_avx512(
+        table: &[f64],
+        idx: &[u32],
+        acc: &mut [f64],
+        fx: f64,
+        ret: f64,
+        lim: f64,
+        share: f64,
+    ) {
+        let lenv = _mm512_set1_epi64(table.len() as i64);
+        let base = table.as_ptr();
+        let (fxv, retv, limv, sharev) = (
+            _mm512_set1_pd(fx),
+            _mm512_set1_pd(ret),
+            _mm512_set1_pd(lim),
+            _mm512_set1_pd(share),
+        );
+        let zero = _mm512_setzero_pd();
+        let n = idx.len().min(acc.len());
+        let mut i = 0;
+        while i + 8 <= n {
+            let iv = _mm256_loadu_si256(idx.as_ptr().add(i).cast());
+            let idx64 = _mm512_cvtepu32_epi64(iv);
+            let k = _mm512_cmplt_epu64_mask(idx64, lenv);
+            let g = _mm512_mask_i64gather_pd::<8>(zero, k, idx64, base.cast());
+            let x = _mm512_sub_pd(_mm512_mul_pd(g, fxv), retv);
+            let c = _mm512_min_pd(_mm512_max_pd(x, zero), limv);
+            let a = _mm512_loadu_pd(acc.as_ptr().add(i));
+            _mm512_storeu_pd(
+                acc.as_mut_ptr().add(i),
+                _mm512_add_pd(a, _mm512_mul_pd(sharev, c)),
+            );
+            i += 8;
+        }
+        super::gather_accumulate_scalar(table, &idx[i..n], &mut acc[i..n], fx, ret, lim, share);
+    }
+
+    /// Fused gather + financial combine, `f32`, 16 lanes.
+    ///
+    /// # Safety
+    /// Requires AVX-512F; `table.len() < 2^31`.
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn gather_accumulate_f32_avx512(
+        table: &[f32],
+        idx: &[u32],
+        acc: &mut [f32],
+        fx: f32,
+        ret: f32,
+        lim: f32,
+        share: f32,
+    ) {
+        let lenv = _mm512_set1_epi32(table.len() as i32);
+        let base = table.as_ptr();
+        let (fxv, retv, limv, sharev) = (
+            _mm512_set1_ps(fx),
+            _mm512_set1_ps(ret),
+            _mm512_set1_ps(lim),
+            _mm512_set1_ps(share),
+        );
+        let zero = _mm512_setzero_ps();
+        let n = idx.len().min(acc.len());
+        let mut i = 0;
+        while i + 16 <= n {
+            let iv = _mm512_loadu_si512(idx.as_ptr().add(i).cast());
+            let k = _mm512_cmplt_epu32_mask(iv, lenv);
+            let g = _mm512_mask_i32gather_ps::<4>(zero, k, iv, base.cast());
+            let x = _mm512_sub_ps(_mm512_mul_ps(g, fxv), retv);
+            let c = _mm512_min_ps(_mm512_max_ps(x, zero), limv);
+            let a = _mm512_loadu_ps(acc.as_ptr().add(i));
+            _mm512_storeu_ps(
+                acc.as_mut_ptr().add(i),
+                _mm512_add_ps(a, _mm512_mul_ps(sharev, c)),
+            );
+            i += 16;
+        }
+        super::gather_accumulate_scalar(table, &idx[i..n], &mut acc[i..n], fx, ret, lim, share);
+    }
+
+    /// In-register combine from a pre-gathered ground row, `f64`.
+    ///
+    /// # Safety
+    /// Requires AVX-512F.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn accumulate_f64_avx512(
+        acc: &mut [f64],
+        ground: &[f64],
+        fx: f64,
+        ret: f64,
+        lim: f64,
+        share: f64,
+    ) {
+        let (fxv, retv, limv, sharev) = (
+            _mm512_set1_pd(fx),
+            _mm512_set1_pd(ret),
+            _mm512_set1_pd(lim),
+            _mm512_set1_pd(share),
+        );
+        let zero = _mm512_setzero_pd();
+        let n = acc.len().min(ground.len());
+        let mut i = 0;
+        while i + 8 <= n {
+            let g = _mm512_loadu_pd(ground.as_ptr().add(i));
+            let x = _mm512_sub_pd(_mm512_mul_pd(g, fxv), retv);
+            let c = _mm512_min_pd(_mm512_max_pd(x, zero), limv);
+            let a = _mm512_loadu_pd(acc.as_ptr().add(i));
+            _mm512_storeu_pd(
+                acc.as_mut_ptr().add(i),
+                _mm512_add_pd(a, _mm512_mul_pd(sharev, c)),
+            );
+            i += 8;
+        }
+        super::accumulate_scalar(&mut acc[i..n], &ground[i..n], fx, ret, lim, share);
+    }
+
+    /// In-register combine from a pre-gathered ground row, `f32`.
+    ///
+    /// # Safety
+    /// Requires AVX-512F.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn accumulate_f32_avx512(
+        acc: &mut [f32],
+        ground: &[f32],
+        fx: f32,
+        ret: f32,
+        lim: f32,
+        share: f32,
+    ) {
+        let (fxv, retv, limv, sharev) = (
+            _mm512_set1_ps(fx),
+            _mm512_set1_ps(ret),
+            _mm512_set1_ps(lim),
+            _mm512_set1_ps(share),
+        );
+        let zero = _mm512_setzero_ps();
+        let n = acc.len().min(ground.len());
+        let mut i = 0;
+        while i + 16 <= n {
+            let g = _mm512_loadu_ps(ground.as_ptr().add(i));
+            let x = _mm512_sub_ps(_mm512_mul_ps(g, fxv), retv);
+            let c = _mm512_min_ps(_mm512_max_ps(x, zero), limv);
+            let a = _mm512_loadu_ps(acc.as_ptr().add(i));
+            _mm512_storeu_ps(
+                acc.as_mut_ptr().add(i),
+                _mm512_add_ps(a, _mm512_mul_ps(sharev, c)),
+            );
+            i += 16;
+        }
+        super::accumulate_scalar(&mut acc[i..n], &ground[i..n], fx, ret, lim, share);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-precision dispatch
+// ---------------------------------------------------------------------------
+
+macro_rules! dispatch {
+    ($tier:expr, $table:expr, scalar: $scalar:expr, portable: $portable:expr,
+     avx2: $avx2:expr, avx512: $avx512:expr) => {
+        match $tier {
+            SimdTier::Scalar => $scalar,
+            SimdTier::Portable => $portable,
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Avx2 if $table.len() < MAX_GATHER_TABLE => {
+                // SAFETY: this tier is only ever produced by `resolve`
+                // or `SimdTier::available` after `is_x86_feature_detected!`.
+                unsafe { $avx2 }
+            }
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Avx512 if $table.len() < MAX_GATHER_TABLE => {
+                // SAFETY: as above, detection precedes dispatch.
+                unsafe { $avx512 }
+            }
+            #[allow(unreachable_patterns)]
+            _ => $portable,
+        }
+    };
+}
+
+/// `f64` gather at an explicit tier: `out[i] = table[idx[i]]`, zero for
+/// indices at or beyond the table. Bit-identical across tiers.
+pub fn gather_f64(tier: SimdTier, table: &[f64], idx: &[u32], out: &mut [f64]) {
+    dispatch!(tier, table,
+        scalar: gather_scalar(table, idx, out),
+        portable: gather_portable(table, idx, out),
+        avx2: avx::gather_f64_avx2(table, idx, out),
+        avx512: avx::gather_f64_avx512(table, idx, out))
+}
+
+/// `f32` gather at an explicit tier (see [`gather_f64`]).
+pub fn gather_f32(tier: SimdTier, table: &[f32], idx: &[u32], out: &mut [f32]) {
+    dispatch!(tier, table,
+        scalar: gather_scalar(table, idx, out),
+        portable: gather_portable(table, idx, out),
+        avx2: avx::gather_f32_avx2(table, idx, out),
+        avx512: avx::gather_f32_avx512(table, idx, out))
+}
+
+/// Fused gather + financial combine at `f64`:
+/// `acc[i] += share * min(max(table[idx[i]]*fx - ret, 0), lim)`.
+/// Bit-identical across tiers (scalar operation order per lane).
+#[allow(clippy::too_many_arguments)]
+pub fn gather_accumulate_f64(
+    tier: SimdTier,
+    table: &[f64],
+    idx: &[u32],
+    acc: &mut [f64],
+    fx: f64,
+    ret: f64,
+    lim: f64,
+    share: f64,
+) {
+    dispatch!(tier, table,
+        scalar: gather_accumulate_scalar(table, idx, acc, fx, ret, lim, share),
+        portable: gather_accumulate_portable(table, idx, acc, fx, ret, lim, share),
+        avx2: avx::gather_accumulate_f64_avx2(table, idx, acc, fx, ret, lim, share),
+        avx512: avx::gather_accumulate_f64_avx512(table, idx, acc, fx, ret, lim, share))
+}
+
+/// Fused gather + financial combine at `f32` (see
+/// [`gather_accumulate_f64`]).
+#[allow(clippy::too_many_arguments)]
+pub fn gather_accumulate_f32(
+    tier: SimdTier,
+    table: &[f32],
+    idx: &[u32],
+    acc: &mut [f32],
+    fx: f32,
+    ret: f32,
+    lim: f32,
+    share: f32,
+) {
+    dispatch!(tier, table,
+        scalar: gather_accumulate_scalar(table, idx, acc, fx, ret, lim, share),
+        portable: gather_accumulate_portable(table, idx, acc, fx, ret, lim, share),
+        avx2: avx::gather_accumulate_f32_avx2(table, idx, acc, fx, ret, lim, share),
+        avx512: avx::gather_accumulate_f32_avx512(table, idx, acc, fx, ret, lim, share))
+}
+
+/// Financial combine from a pre-gathered ground row at `f64`:
+/// `acc[i] += share * min(max(ground[i]*fx - ret, 0), lim)`.
+pub fn accumulate_f64(
+    tier: SimdTier,
+    acc: &mut [f64],
+    ground: &[f64],
+    fx: f64,
+    ret: f64,
+    lim: f64,
+    share: f64,
+) {
+    dispatch!(tier, ground,
+        scalar: accumulate_scalar(acc, ground, fx, ret, lim, share),
+        portable: accumulate_portable(acc, ground, fx, ret, lim, share),
+        avx2: avx::accumulate_f64_avx2(acc, ground, fx, ret, lim, share),
+        avx512: avx::accumulate_f64_avx512(acc, ground, fx, ret, lim, share))
+}
+
+/// Financial combine from a pre-gathered ground row at `f32`.
+pub fn accumulate_f32(
+    tier: SimdTier,
+    acc: &mut [f32],
+    ground: &[f32],
+    fx: f32,
+    ret: f32,
+    lim: f32,
+    share: f32,
+) {
+    dispatch!(tier, ground,
+        scalar: accumulate_scalar(acc, ground, fx, ret, lim, share),
+        portable: accumulate_portable(acc, ground, fx, ret, lim, share),
+        avx2: avx::accumulate_f32_avx2(acc, ground, fx, ret, lim, share),
+        avx512: avx::accumulate_f32_avx512(acc, ground, fx, ret, lim, share))
+}
+
+// ---------------------------------------------------------------------------
+// Fallback entry points for the `Real` trait's default SIMD hooks
+// ---------------------------------------------------------------------------
+//
+// `Real::simd_*` defaults delegate here so any future precision gets the
+// scalar oracle; `f32`/`f64` override them with the per-precision
+// dispatchers above.
+
+pub(crate) fn gather_fallback<R: Real>(table: &[R], idx: &[u32], out: &mut [R]) {
+    gather_scalar(table, idx, out);
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gather_accumulate_fallback<R: Real>(
+    table: &[R],
+    idx: &[u32],
+    acc: &mut [R],
+    fx: R,
+    ret: R,
+    lim: R,
+    share: R,
+) {
+    gather_accumulate_scalar(table, idx, acc, fx, ret, lim, share);
+}
+
+pub(crate) fn accumulate_fallback<R: Real>(
+    acc: &mut [R],
+    ground: &[R],
+    fx: R,
+    ret: R,
+    lim: R,
+    share: R,
+) {
+    accumulate_scalar(acc, ground, fx, ret, lim, share);
+}
+
+pub(crate) fn occurrence_clamp_max_fallback<R: Real>(vals: &mut [R], ret: R, lim: R) -> R {
+    occurrence_clamp_max_scalar(vals, ret, lim)
+}
+
+/// The occurrence clamp + max kernel is branch-free arithmetic with no
+/// gather, so the portable form already saturates the vector units on
+/// every ISA; only the forced-scalar tier keeps the original loop. The
+/// lane-split max reduction is order-insensitive for NaN-free inputs,
+/// hence bit-identical to the scalar fold.
+pub(crate) fn occurrence_clamp_max_dispatch<R: Real>(
+    tier: SimdTier,
+    vals: &mut [R],
+    ret: R,
+    lim: R,
+) -> R {
+    match tier {
+        SimdTier::Scalar => occurrence_clamp_max_scalar(vals, ret, lim),
+        _ => occurrence_clamp_max_portable(vals, ret, lim),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_f64(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64) * 1.25 + 0.5).collect()
+    }
+
+    fn indices(n: usize, table_len: usize) -> Vec<u32> {
+        // Hits, the boundary, misses just past the table, and far
+        // out-of-catalogue ids including ones above i32::MAX.
+        (0..n)
+            .map(|i| match i % 7 {
+                0 => (i % table_len.max(1)) as u32,
+                1 => table_len.saturating_sub(1) as u32,
+                2 => table_len as u32,
+                3 => (table_len + i) as u32,
+                4 => u32::MAX,
+                5 => i32::MAX as u32 + 1,
+                _ => (i * 13 % table_len.max(1)) as u32,
+            })
+            .collect()
+    }
+
+    /// Every reachable tier must gather bit-identically to the scalar
+    /// oracle at every length — including empty batches and tails not
+    /// divisible by any lane width.
+    #[test]
+    fn gather_all_tiers_match_scalar_all_lengths() {
+        let table = table_f64(100);
+        let table32: Vec<f32> = table.iter().map(|&v| v as f32).collect();
+        for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 100] {
+            let idx = indices(len, table.len());
+            let mut oracle = vec![f64::NAN; len];
+            gather_scalar(&table, &idx, &mut oracle);
+            for tier in SimdTier::available() {
+                let mut out = vec![f64::NAN; len];
+                gather_f64(tier, &table, &idx, &mut out);
+                assert_eq!(out, oracle, "{} len {len}", tier.name());
+
+                let mut oracle32 = vec![f32::NAN; len];
+                gather_scalar(&table32, &idx, &mut oracle32);
+                let mut out32 = vec![f32::NAN; len];
+                gather_f32(tier, &table32, &idx, &mut out32);
+                assert_eq!(out32, oracle32, "{} f32 len {len}", tier.name());
+            }
+        }
+    }
+
+    #[test]
+    fn gather_empty_table_is_all_zero() {
+        let idx: Vec<u32> = vec![0, 1, 5, u32::MAX];
+        for tier in SimdTier::available() {
+            let mut out = vec![f64::NAN; idx.len()];
+            gather_f64(tier, &[], &idx, &mut out);
+            assert!(out.iter().all(|&v| v == 0.0), "{}", tier.name());
+        }
+    }
+
+    #[test]
+    fn gather_accumulate_all_tiers_bit_identical() {
+        let table = table_f64(64);
+        let (fx, ret, lim, share) = (1.1, 12.0, 55.0, 0.7);
+        for len in [0usize, 1, 3, 7, 8, 9, 16, 23, 31, 33, 64] {
+            let idx = indices(len, table.len());
+            let mut oracle = vec![0.25f64; len];
+            gather_accumulate_scalar(&table, &idx, &mut oracle, fx, ret, lim, share);
+            for tier in SimdTier::available() {
+                let mut acc = vec![0.25f64; len];
+                gather_accumulate_f64(tier, &table, &idx, &mut acc, fx, ret, lim, share);
+                assert_eq!(acc, oracle, "{} len {len}", tier.name());
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_all_tiers_bit_identical() {
+        let ground = table_f64(37);
+        let ground32: Vec<f32> = ground.iter().map(|&v| v as f32).collect();
+        let (fx, ret, lim, share) = (0.9, 3.0, 40.0, 0.5);
+        let mut oracle = vec![1.5f64; ground.len()];
+        accumulate_scalar(&mut oracle, &ground, fx, ret, lim, share);
+        let mut oracle32 = vec![1.5f32; ground.len()];
+        accumulate_scalar(&mut oracle32, &ground32, 0.9, 3.0, 40.0, 0.5);
+        for tier in SimdTier::available() {
+            let mut acc = vec![1.5f64; ground.len()];
+            accumulate_f64(tier, &mut acc, &ground, fx, ret, lim, share);
+            assert_eq!(acc, oracle, "{}", tier.name());
+            let mut acc32 = vec![1.5f32; ground.len()];
+            accumulate_f32(tier, &mut acc32, &ground32, 0.9, 3.0, 40.0, 0.5);
+            assert_eq!(acc32, oracle32, "{} f32", tier.name());
+        }
+    }
+
+    #[test]
+    fn occurrence_clamp_max_tiers_agree() {
+        for len in [0usize, 1, 5, 8, 9, 16, 21] {
+            let vals: Vec<f64> = (0..len).map(|i| i as f64 * 3.5).collect();
+            let mut oracle = vals.clone();
+            let m0 = occurrence_clamp_max_scalar(&mut oracle, 4.0, 30.0);
+            let mut wide = vals.clone();
+            let m1 = occurrence_clamp_max_portable(&mut wide, 4.0, 30.0);
+            assert_eq!(wide, oracle, "len {len}");
+            assert_eq!(m0, m1, "len {len}");
+        }
+    }
+
+    #[test]
+    fn infinite_limit_passes_through() {
+        let table = table_f64(16);
+        let idx: Vec<u32> = (0..16).collect();
+        for tier in SimdTier::available() {
+            let mut oracle = vec![0.0f64; 16];
+            gather_accumulate_scalar(&table, &idx, &mut oracle, 1.0, 0.0, f64::INFINITY, 1.0);
+            let mut acc = vec![0.0f64; 16];
+            gather_accumulate_f64(tier, &table, &idx, &mut acc, 1.0, 0.0, f64::INFINITY, 1.0);
+            assert_eq!(acc, oracle, "{}", tier.name());
+        }
+    }
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!(parse_mode(Some("force-scalar")), SimdMode::ForceScalar);
+        assert_eq!(parse_mode(Some("scalar")), SimdMode::ForceScalar);
+        assert_eq!(parse_mode(Some("portable")), SimdMode::Portable);
+        assert_eq!(parse_mode(Some("native")), SimdMode::Native);
+        assert_eq!(parse_mode(Some("avx2")), SimdMode::PinAvx2);
+        assert_eq!(parse_mode(Some("avx512")), SimdMode::PinAvx512);
+        assert_eq!(parse_mode(Some(" portable ")), SimdMode::Portable);
+        assert_eq!(parse_mode(Some("bogus")), SimdMode::Native);
+        assert_eq!(parse_mode(None), SimdMode::Native);
+    }
+
+    #[test]
+    fn resolution_is_monotone_and_supported() {
+        let available = SimdTier::available();
+        assert_eq!(resolve(SimdMode::ForceScalar), SimdTier::Scalar);
+        assert_eq!(resolve(SimdMode::Portable), SimdTier::Portable);
+        for mode in [SimdMode::Native, SimdMode::PinAvx2, SimdMode::PinAvx512] {
+            let tier = resolve(mode);
+            assert!(available.contains(&tier), "{tier:?} not executable here");
+        }
+        // Native is never narrower than portable, and the active tier is
+        // always executable.
+        assert!(resolve(SimdMode::Native) >= SimdTier::Portable);
+        assert!(available.contains(&active_tier()));
+    }
+
+    #[test]
+    fn lanes_and_names() {
+        assert_eq!(SimdTier::Scalar.lanes(8), 1);
+        assert_eq!(SimdTier::Portable.lanes(8), 8);
+        assert_eq!(SimdTier::Avx2.lanes(8), 4);
+        assert_eq!(SimdTier::Avx2.lanes(4), 8);
+        assert_eq!(SimdTier::Avx512.lanes(8), 8);
+        assert_eq!(SimdTier::Avx512.lanes(4), 16);
+        let names: std::collections::HashSet<_> = [
+            SimdTier::Scalar,
+            SimdTier::Portable,
+            SimdTier::Avx2,
+            SimdTier::Avx512,
+        ]
+        .iter()
+        .map(|t| t.name())
+        .collect();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn event_id_slice_view_is_transparent() {
+        let events = [EventId(0), EventId(7), EventId(u32::MAX)];
+        assert_eq!(event_ids_as_u32(&events), &[0, 7, u32::MAX]);
+        assert!(event_ids_as_u32(&[]).is_empty());
+    }
+}

@@ -22,6 +22,20 @@ pub mod stage {
     pub use ara_trace::stage_names::LOOKUP;
 }
 
+/// Map the autotuner's detected vector ISA onto the analysis kernels'
+/// dispatch tier. The two enums are deliberately parallel (`simt-sim`
+/// describes hosts without depending on `ara-core`); this is the one
+/// place they meet, so engines can hand `tune_host`'s choice straight to
+/// [`ara_core::PreparedLayer::with_simd_tier`].
+pub fn simd_tier_for(isa: simt_sim::SimdIsa) -> ara_core::SimdTier {
+    match isa {
+        simt_sim::SimdIsa::Scalar => ara_core::SimdTier::Scalar,
+        simt_sim::SimdIsa::Portable => ara_core::SimdTier::Portable,
+        simt_sim::SimdIsa::Avx2 => ara_core::SimdTier::Avx2,
+        simt_sim::SimdIsa::Avx512 => ara_core::SimdTier::Avx512,
+    }
+}
+
 /// Seconds attributed to each activity — Figure 6's categories.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ActivityBreakdown {

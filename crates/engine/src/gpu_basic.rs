@@ -95,13 +95,21 @@ impl Engine for GpuBasicEngine {
         let mut ylts = Vec::with_capacity(inputs.layers.len());
         let mut total_stages = ara_trace::StageNanos::ZERO;
         for (li, layer) in inputs.layers.iter().enumerate() {
-            let _layer_span = ara_trace::recorder().span("layer").with_field("layer", li);
+            // The host-side batch gathers and combines run at the
+            // detected SIMD tier (the simulated device arithmetic is
+            // unchanged — per-element order is the scalar order).
+            let tier = crate::api::simd_tier_for(simt_sim::detect_simd_isa());
+            let _layer_span = ara_trace::recorder()
+                .span("layer")
+                .with_field("layer", li)
+                .with_field("simd_isa", tier.name())
+                .with_field("simd_lanes", tier.lanes(8));
             let p0 = Instant::now();
             // The preprocessing stage: expand the layer's ELTs into the
             // dense "device global memory" tables.
             let prepared = {
                 let _prepare_span = ara_trace::recorder().span("prepare");
-                PreparedLayer::<f64>::prepare(inputs, layer)?
+                PreparedLayer::<f64>::prepare(inputs, layer)?.with_simd_tier(tier)
             };
             prepare_total += p0.elapsed();
 

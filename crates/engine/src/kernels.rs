@@ -15,9 +15,7 @@
 //! kernel bit-identically; the chunked kernel up to floating-point
 //! reassociation).
 
-use ara_core::{
-    apply_aggregate_stepwise, xl_clamp, LossLookup, PreparedLayer, Real, YearEventTable,
-};
+use ara_core::{apply_aggregate_stepwise, LossLookup, PreparedLayer, Real, YearEventTable};
 use ara_trace::{AtomicStageNanos, StageNanos};
 use simt_sim::{BlockCtx, Kernel, TrackedShared};
 
@@ -96,22 +94,23 @@ impl<'a, R: Real> AraBasicKernel<'a, R> {
             let t2 = ara_trace::now_ns();
 
             // Stage 3 — financial terms, accumulated in the fused
-            // loop's exact order (ELT-outer, occurrence-inner).
+            // loop's exact order (ELT-outer, occurrence-inner) at the
+            // prepared layer's SIMD tier.
+            let tier = self.prepared.simd_tier();
             for (e, &(fx, ret, lim, share)) in self.prepared.financial_terms().iter().enumerate() {
                 let row = &s.ground[e * len..(e + 1) * len];
-                for (l, &g) in s.lox.iter_mut().zip(row) {
-                    *l += share * xl_clamp(g * fx, ret, lim);
-                }
+                R::simd_accumulate(tier, &mut s.lox, row, fx, ret, lim, share);
             }
             let t3 = ara_trace::now_ns();
 
             // Stage 4 — layer terms: occurrence clamp + the literal
             // prefix-sum / clamp / difference / sum passes.
-            let mut max_occ = R::ZERO;
-            for l in s.lox.iter_mut() {
-                *l = terms.apply_occurrence(*l);
-                max_occ = max_occ.max(*l);
-            }
+            let max_occ = R::simd_occurrence_clamp_max(
+                tier,
+                &mut s.lox,
+                R::from_f64(terms.occ_retention),
+                R::from_f64(terms.occ_limit),
+            );
             let year = apply_aggregate_stepwise(&terms, &mut s.lox);
             let t4 = ara_trace::now_ns();
 
@@ -162,8 +161,10 @@ impl<R: Real> Kernel<TrialLoss> for AraBasicKernel<'_, R> {
 
             // Steps 1–2 (ELT-outer, exactly like Algorithm 1): batch-
             // gather the trial's ground-up losses from each ELT, apply
-            // financial terms, accumulate. Per-element combination order
-            // is identical to the scalar loop, so results are bit-equal.
+            // financial terms, accumulate — both at the prepared layer's
+            // SIMD tier. Per-element combination order is identical to
+            // the scalar loop, so results are bit-equal.
+            let tier = self.prepared.simd_tier();
             for (lookup, &(fx, ret, lim, share)) in self
                 .prepared
                 .lookups()
@@ -171,17 +172,16 @@ impl<R: Real> Kernel<TrialLoss> for AraBasicKernel<'_, R> {
                 .zip(self.prepared.financial_terms())
             {
                 lookup.loss_batch(trial.events, &mut s.ground);
-                for (l, &ground_up) in s.lox.iter_mut().zip(s.ground.iter()) {
-                    *l += share * xl_clamp(ground_up * fx, ret, lim);
-                }
+                R::simd_accumulate(tier, &mut s.lox, &s.ground, fx, ret, lim, share);
             }
 
             // Step 3: occurrence terms.
-            let mut max_occ = R::ZERO;
-            for l in s.lox.iter_mut() {
-                *l = terms.apply_occurrence(*l);
-                max_occ = max_occ.max(*l);
-            }
+            let max_occ = R::simd_occurrence_clamp_max(
+                tier,
+                &mut s.lox,
+                R::from_f64(terms.occ_retention),
+                R::from_f64(terms.occ_limit),
+            );
 
             // Step 4: the literal prefix-sum / clamp / difference / sum
             // passes (lines 18–29).
@@ -290,12 +290,19 @@ impl<'a, R: Real> AraChunkedKernel<'a, R> {
             // ascending-`e` order as the fused loop, so sums are
             // bit-identical.
             s.combined.slice_mut(slot..slot + len).fill(R::ZERO);
+            let tier = self.prepared.simd_tier();
             for (e, &(fx, ret, lim, share)) in self.prepared.financial_terms().iter().enumerate() {
                 let base = e * n_chunk + slot;
                 let row = s.ground.slice(base..base + len);
-                for (c, &g) in s.combined.slice_mut(slot..slot + len).iter_mut().zip(row) {
-                    *c += share * xl_clamp(g * fx, ret, lim);
-                }
+                R::simd_accumulate(
+                    tier,
+                    s.combined.slice_mut(slot..slot + len),
+                    row,
+                    fx,
+                    ret,
+                    lim,
+                    share,
+                );
             }
             let t3 = ara_trace::now_ns();
 
@@ -423,16 +430,24 @@ impl<R: Real> Kernel<TrialLoss> for AraChunkedKernel<'_, R> {
                     // Combine per event, ELT-outer: each element
                     // accumulates its ELT contributions in ascending-`e`
                     // order, exactly like the fused loop, so sums are
-                    // bit-identical.
+                    // bit-identical. The combine runs at the prepared
+                    // layer's SIMD tier.
                     s.combined.slice_mut(slot..slot + len).fill(R::ZERO);
+                    let tier = self.prepared.simd_tier();
                     for (e, &(fx, ret, lim, share)) in
                         self.prepared.financial_terms().iter().enumerate()
                     {
                         let base = e * n_chunk + slot;
                         let row = s.ground.slice(base..base + len);
-                        for (c, &g) in s.combined.slice_mut(slot..slot + len).iter_mut().zip(row) {
-                            *c += share * xl_clamp(g * fx, ret, lim);
-                        }
+                        R::simd_accumulate(
+                            tier,
+                            s.combined.slice_mut(slot..slot + len),
+                            row,
+                            fx,
+                            ret,
+                            lim,
+                            share,
+                        );
                     }
                     let mut acc = s.acc[t.local as usize];
                     let mut max_occ = s.max_occ[t.local as usize];

@@ -38,8 +38,8 @@ pub mod seq;
 pub mod uncertain;
 
 pub use api::{
-    modeled_vs_measured, stage, ActivityBreakdown, AnalysisOutput, DriftReport, Engine,
-    ModeledTiming, PlatformDetail, StageDrift,
+    modeled_vs_measured, simd_tier_for, stage, ActivityBreakdown, AnalysisOutput, DriftReport,
+    Engine, ModeledTiming, PlatformDetail, StageDrift,
 };
 pub use divergence::{chunked_kernel_divergence, DivergenceStats};
 pub use gpu_basic::GpuBasicEngine;

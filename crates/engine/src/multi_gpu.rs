@@ -117,14 +117,21 @@ impl<R: Real> Engine for MultiGpuEngine<R> {
         let mut ylts = Vec::with_capacity(inputs.layers.len());
         let mut total_stages = ara_trace::StageNanos::ZERO;
         for (li, layer) in inputs.layers.iter().enumerate() {
-            let _layer_span = ara_trace::recorder().span("layer").with_field("layer", li);
+            // Host-side gathers and combines dispatch at the detected
+            // SIMD tier; results stay bit-identical per element.
+            let tier = crate::api::simd_tier_for(simt_sim::detect_simd_isa());
+            let _layer_span = ara_trace::recorder()
+                .span("layer")
+                .with_field("layer", li)
+                .with_field("simd_isa", tier.name())
+                .with_field("simd_lanes", tier.lanes(R::BYTES));
             let p0 = Instant::now();
             // Preprocessing: each device receives a replica of the dense
             // tables (we build one and share it read-only, as the replica
             // contents are identical).
             let prepared = {
                 let _prepare_span = ara_trace::recorder().span("prepare");
-                PreparedLayer::<R>::prepare(inputs, layer)?
+                PreparedLayer::<R>::prepare(inputs, layer)?.with_simd_tier(tier)
             };
             prepare_total += p0.elapsed();
 

@@ -210,13 +210,16 @@ impl<R: Real> Engine for MulticoreEngine<R> {
                 .with_field("layer", li)
                 .with_field("grain", tuning.schedule_grain)
                 .with_field("region_slots", tuning.region_slots)
-                .with_field("gather_chunk", tuning.gather_chunk);
+                .with_field("gather_chunk", tuning.gather_chunk)
+                .with_field("simd_isa", tuning.simd_isa.name())
+                .with_field("simd_lanes", tuning.simd_lanes);
             let p0 = Instant::now();
             let prepared = {
                 let _prepare_span = ara_trace::recorder().span("prepare");
                 PreparedLayer::<R>::prepare(inputs, layer)?
                     .with_region_slots(tuning.region_slots)
                     .with_gather_chunk(tuning.gather_chunk)
+                    .with_simd_tier(crate::api::simd_tier_for(tuning.simd_isa))
             };
             prepare_total += p0.elapsed();
             ids.push(layer.id);

@@ -46,7 +46,7 @@ pub use exec::{
     DEFAULT_BLOCKS_PER_RUN,
 };
 pub use model::{
-    tune_blocks_per_run, tune_gather_chunk, tune_host, tune_region_slots, tune_schedule_grain,
-    CacheModel, CpuTimingModel, HostTuning, HostWorkload, KernelProfile, KernelTiming, MemSpace,
-    MultiGpuTiming, Occupancy, Precision, TraceOp,
+    detect_simd_isa, tune_blocks_per_run, tune_gather_chunk, tune_host, tune_region_slots,
+    tune_schedule_grain, CacheModel, CpuTimingModel, HostTuning, HostWorkload, KernelProfile,
+    KernelTiming, MemSpace, MultiGpuTiming, Occupancy, Precision, SimdIsa, TraceOp,
 };

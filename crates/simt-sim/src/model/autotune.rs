@@ -127,6 +127,112 @@ impl CacheModel {
     }
 }
 
+/// The vector ISA a host hot path dispatches to, as seen by the tuner.
+///
+/// Mirrors `ara_core::SimdTier` without depending on it (this crate is
+/// the performance model, not the analysis pipeline); engines map one to
+/// the other. Ordered narrowest to widest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdIsa {
+    /// Forced-scalar fallback (unrolled scalar loop).
+    Scalar,
+    /// Portable fixed-width lanes the autovectoriser lowers to whatever
+    /// the target offers.
+    Portable,
+    /// 256-bit AVX2 intrinsics.
+    Avx2,
+    /// 512-bit AVX-512F intrinsics.
+    Avx512,
+}
+
+impl SimdIsa {
+    /// Stable lowercase name, for span fields and run manifests.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdIsa::Scalar => "scalar",
+            SimdIsa::Portable => "portable",
+            SimdIsa::Avx2 => "avx2",
+            SimdIsa::Avx512 => "avx512",
+        }
+    }
+
+    /// Inverse of [`SimdIsa::name`], for re-parsing manifests.
+    pub fn from_name(name: &str) -> Option<SimdIsa> {
+        match name {
+            "scalar" => Some(SimdIsa::Scalar),
+            "portable" => Some(SimdIsa::Portable),
+            "avx2" => Some(SimdIsa::Avx2),
+            "avx512" => Some(SimdIsa::Avx512),
+            _ => None,
+        }
+    }
+
+    /// Vector lanes per operation for `value_bytes`-sized elements (8 for
+    /// the portable kernels' fixed accumulator width regardless of
+    /// element size).
+    pub fn lanes(self, value_bytes: usize) -> usize {
+        match self {
+            SimdIsa::Scalar => 1,
+            SimdIsa::Portable => 8,
+            SimdIsa::Avx2 => 32 / value_bytes.max(1),
+            SimdIsa::Avx512 => 64 / value_bytes.max(1),
+        }
+    }
+}
+
+/// Detect the widest vector ISA the hot path will use, honouring the
+/// same `ARA_SIMD` override the analysis kernels read
+/// (`force-scalar`/`scalar`, `portable`, `avx2`, `avx512`, `native`):
+/// the tuner must describe the path that will actually run.
+pub fn detect_simd_isa() -> SimdIsa {
+    let var = std::env::var("ARA_SIMD").ok();
+    parse_simd_isa(var.as_deref(), host_avx2(), host_avx512())
+}
+
+fn host_avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+fn host_avx512() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx512f")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// [`detect_simd_isa`] with the environment and CPU capabilities made
+/// explicit. The resolution rules match `ara_core::simd::resolve`: a
+/// pinned ISA the host lacks degrades to portable, never to a different
+/// intrinsic family; unknown values mean native.
+fn parse_simd_isa(var: Option<&str>, avx2: bool, avx512: bool) -> SimdIsa {
+    let native = if avx512 {
+        SimdIsa::Avx512
+    } else if avx2 {
+        SimdIsa::Avx2
+    } else {
+        SimdIsa::Portable
+    };
+    match var.map(str::trim) {
+        Some("force-scalar") | Some("scalar") => SimdIsa::Scalar,
+        Some("portable") => SimdIsa::Portable,
+        Some("avx2") if avx2 => SimdIsa::Avx2,
+        Some("avx512") if avx512 => SimdIsa::Avx512,
+        Some("avx2") | Some("avx512") => SimdIsa::Portable,
+        _ => native,
+    }
+}
+
 /// The host CPU's marketing name, from `/proc/cpuinfo` on Linux;
 /// `"unknown-cpu"` when the file or field is unavailable. Part of the
 /// host fingerprint perf baselines are keyed by, alongside
@@ -149,13 +255,15 @@ fn parse_cpuinfo_model(text: &str) -> Option<String> {
 
 impl HostTuning {
     /// `(knob name, chosen value)` pairs, for trace span fields and run
-    /// manifests.
-    pub fn named(&self) -> [(&'static str, u64); 4] {
+    /// manifests. The SIMD ISA itself is a string — see
+    /// [`HostTuning::simd_isa`] / [`SimdIsa::name`].
+    pub fn named(&self) -> [(&'static str, u64); 5] {
         [
             ("gather_chunk", self.gather_chunk as u64),
             ("region_slots", self.region_slots as u64),
             ("schedule_grain", self.schedule_grain as u64),
             ("blocks_per_run", self.blocks_per_run as u64),
+            ("simd_lanes", self.simd_lanes as u64),
         ]
     }
 }
@@ -201,6 +309,11 @@ pub struct HostTuning {
     /// Blocks per worker run for simulated-GPU launches covering
     /// `num_trials` items at the workload's block size.
     pub blocks_per_run: u32,
+    /// The vector ISA the host hot path dispatches to
+    /// ([`detect_simd_isa`]; honours `ARA_SIMD`).
+    pub simd_isa: SimdIsa,
+    /// Vector lanes per operation at the workload's value width.
+    pub simd_lanes: usize,
 }
 
 /// Largest power of two `<= x` (1 for `x == 0`).
@@ -274,11 +387,14 @@ pub fn tune_blocks_per_run(grid_dim: u32, num_threads: usize) -> u32 {
 /// different geometry call [`tune_blocks_per_run`] directly).
 pub fn tune_host(cache: &CacheModel, workload: &HostWorkload) -> HostTuning {
     let grid_dim = (workload.num_trials.div_ceil(256)) as u32;
+    let simd_isa = detect_simd_isa();
     HostTuning {
         gather_chunk: tune_gather_chunk(cache, workload),
         region_slots: tune_region_slots(cache, workload),
         schedule_grain: tune_schedule_grain(workload),
         blocks_per_run: tune_blocks_per_run(grid_dim, workload.num_threads),
+        simd_isa,
+        simd_lanes: simd_isa.lanes(workload.value_bytes),
     }
 }
 
@@ -453,6 +569,51 @@ mod tests {
         let named = t.named();
         assert_eq!(named[0], ("gather_chunk", t.gather_chunk as u64));
         assert_eq!(named[3], ("blocks_per_run", t.blocks_per_run as u64));
+        assert_eq!(named[4], ("simd_lanes", t.simd_lanes as u64));
+        assert_eq!(t.simd_lanes, t.simd_isa.lanes(8));
+    }
+
+    #[test]
+    fn simd_isa_resolution_matches_core_rules() {
+        use SimdIsa::*;
+        // Overrides are absolute; pins degrade to portable when the host
+        // lacks them, never to a different intrinsic family.
+        for (avx2, avx512) in [(false, false), (true, false), (true, true)] {
+            assert_eq!(parse_simd_isa(Some("force-scalar"), avx2, avx512), Scalar);
+            assert_eq!(parse_simd_isa(Some("scalar"), avx2, avx512), Scalar);
+            assert_eq!(parse_simd_isa(Some("portable"), avx2, avx512), Portable);
+        }
+        assert_eq!(parse_simd_isa(Some("avx2"), true, true), Avx2);
+        assert_eq!(parse_simd_isa(Some("avx2"), false, false), Portable);
+        assert_eq!(parse_simd_isa(Some("avx512"), true, true), Avx512);
+        assert_eq!(parse_simd_isa(Some("avx512"), true, false), Portable);
+        // Native picks the widest; unknown strings mean native.
+        assert_eq!(parse_simd_isa(None, true, true), Avx512);
+        assert_eq!(parse_simd_isa(None, true, false), Avx2);
+        assert_eq!(parse_simd_isa(None, false, false), Portable);
+        assert_eq!(parse_simd_isa(Some("typo"), true, true), Avx512);
+        // Whitespace is trimmed like the core parser does.
+        assert_eq!(parse_simd_isa(Some(" portable "), true, true), Portable);
+        // The live path agrees with the explicit one on this host.
+        assert_eq!(
+            detect_simd_isa(),
+            parse_simd_isa(
+                std::env::var("ARA_SIMD").ok().as_deref(),
+                host_avx2(),
+                host_avx512()
+            )
+        );
+    }
+
+    #[test]
+    fn simd_isa_lane_widths() {
+        assert_eq!(SimdIsa::Scalar.lanes(8), 1);
+        assert_eq!(SimdIsa::Portable.lanes(4), 8);
+        assert_eq!(SimdIsa::Avx2.lanes(8), 4);
+        assert_eq!(SimdIsa::Avx2.lanes(4), 8);
+        assert_eq!(SimdIsa::Avx512.lanes(8), 8);
+        assert_eq!(SimdIsa::Avx512.lanes(4), 16);
+        assert_eq!(SimdIsa::Avx512.name(), "avx512");
     }
 
     #[test]

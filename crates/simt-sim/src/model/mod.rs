@@ -33,9 +33,9 @@ pub mod timing;
 pub mod trace;
 
 pub use autotune::{
-    best_block_dim, sweep_block_dims, tune_blocks_per_run, tune_gather_chunk, tune_host,
-    tune_region_slots, tune_schedule_grain, CacheModel, HostTuning, HostWorkload, SweepPoint,
-    DEFAULT_CANDIDATES,
+    best_block_dim, detect_simd_isa, sweep_block_dims, tune_blocks_per_run, tune_gather_chunk,
+    tune_host, tune_region_slots, tune_schedule_grain, CacheModel, HostTuning, HostWorkload,
+    SimdIsa, SweepPoint, DEFAULT_CANDIDATES,
 };
 pub use cpu::{AraShape, CpuActivityBreakdown, CpuTimingModel};
 pub use memory::{transaction_bytes_moved, TrafficSummary};

@@ -260,6 +260,120 @@ fn multicore_schedules_agree_with_scalar_oracle() {
     }
 }
 
+/// The explicit SIMD gather tiers must be bit-identical to the scalar
+/// kernel for every batch length — including empty batches and tails
+/// shorter than a vector register — and for out-of-catalogue events,
+/// which gather zero. The default entry point (whatever `ARA_SIMD`
+/// resolves to — the CI matrix runs this suite under both `force-scalar`
+/// and the native default) must agree too.
+#[test]
+fn simd_gather_tiers_match_scalar_on_tails_and_empty_batches() {
+    use aggregate_risk::core::{DirectAccessTable, EventId, LossLookup, SimdTier};
+
+    let inputs = Scenario::new(ScenarioShape::smoke(), 2024).build().unwrap();
+    let cat = inputs.yet.catalogue_size();
+    let elt = &inputs.elts[0];
+    let table64 = DirectAccessTable::<f64>::from_elt(elt, cat).unwrap();
+    let table32 = DirectAccessTable::<f32>::from_elt(elt, cat).unwrap();
+
+    // Lengths straddle every lane boundary of every tier (1–8 value
+    // lanes), plus the empty batch and a long non-multiple run.
+    for len in (0..=33usize).chain([67]) {
+        let events: Vec<EventId> = (0..len as u32)
+            .map(|i| {
+                // Mix in-catalogue hits with misses beyond the catalogue,
+                // which must gather zero on every tier.
+                EventId(i.wrapping_mul(2_654_435_761).rotate_left(7) % (cat + cat / 4 + 1))
+            })
+            .collect();
+        let mut scalar64 = vec![0.0f64; len];
+        let mut out64 = vec![0.0f64; len];
+        table64.loss_batch_tier(SimdTier::Scalar, &events, &mut scalar64);
+        let mut scalar32 = vec![0.0f32; len];
+        let mut out32 = vec![0.0f32; len];
+        table32.loss_batch_tier(SimdTier::Scalar, &events, &mut scalar32);
+        for tier in SimdTier::available() {
+            out64.fill(-1.0);
+            table64.loss_batch_tier(tier, &events, &mut out64);
+            assert_eq!(out64, scalar64, "f64 len {len} tier {}", tier.name());
+            out32.fill(-1.0);
+            table32.loss_batch_tier(tier, &events, &mut out32);
+            assert_eq!(out32, scalar32, "f32 len {len} tier {}", tier.name());
+        }
+        let mut active = vec![0.0f64; len];
+        table64.loss_batch(&events, &mut active);
+        assert_eq!(active, scalar64, "ARA_SIMD default dispatch, len {len}");
+    }
+}
+
+/// The fused financial-terms pipeline must be bit-identical to the
+/// same-precision scalar oracle at every SIMD tier this host can
+/// execute, through both the per-trial batched path and the blocked
+/// path — for both the year-loss and max-occurrence columns.
+#[test]
+fn fused_pipeline_is_bit_identical_across_simd_tiers() {
+    use aggregate_risk::core::analysis::{
+        analyse_layer, analyse_layer_blocked, analyse_layer_scalar,
+    };
+    use aggregate_risk::core::{PreparedLayer, SimdTier};
+
+    for (name, shape) in shapes() {
+        let inputs = Scenario::new(shape, 4321).build().unwrap();
+        for (li, layer) in inputs.layers.iter().enumerate() {
+            let oracle64 = analyse_layer_scalar(
+                &PreparedLayer::<f64>::prepare(&inputs, layer).unwrap(),
+                &inputs.yet,
+            );
+            let oracle32 = analyse_layer_scalar(
+                &PreparedLayer::<f32>::prepare(&inputs, layer).unwrap(),
+                &inputs.yet,
+            );
+            for tier in SimdTier::available() {
+                let p64 = PreparedLayer::<f64>::prepare(&inputs, layer)
+                    .unwrap()
+                    .with_simd_tier(tier);
+                let p32 = PreparedLayer::<f32>::prepare(&inputs, layer)
+                    .unwrap()
+                    .with_simd_tier(tier);
+                for (path, ylt64, ylt32) in [
+                    (
+                        "batched",
+                        analyse_layer(&p64, &inputs.yet),
+                        analyse_layer(&p32, &inputs.yet),
+                    ),
+                    (
+                        "blocked",
+                        analyse_layer_blocked(&p64, &inputs.yet),
+                        analyse_layer_blocked(&p32, &inputs.yet),
+                    ),
+                ] {
+                    let t = tier.name();
+                    assert_eq!(
+                        ylt64.year_losses(),
+                        oracle64.year_losses(),
+                        "{name}: layer {li} f64 {path} tier {t}"
+                    );
+                    assert_eq!(
+                        ylt64.max_occurrence_losses(),
+                        oracle64.max_occurrence_losses(),
+                        "{name}: layer {li} f64 {path} max-occ tier {t}"
+                    );
+                    assert_eq!(
+                        ylt32.year_losses(),
+                        oracle32.year_losses(),
+                        "{name}: layer {li} f32 {path} tier {t}"
+                    );
+                    assert_eq!(
+                        ylt32.max_occurrence_losses(),
+                        oracle32.max_occurrence_losses(),
+                        "{name}: layer {li} f32 {path} max-occ tier {t}"
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn engine_names_are_distinct() {
     let engines: Vec<Box<dyn Engine>> = vec![

@@ -289,10 +289,10 @@ fn finish_trial<R: Real>(tier: SimdTier, terms: &LayerTerms, combined: &mut [R])
 /// Analyse one trial under a prepared layer — Algorithm 1 lines 4–29,
 /// structured exactly as the paper's four steps.
 ///
-/// The lookup stage runs through [`LossLookup::loss_batch`] (one gather
-/// per ELT over the whole trial); the per-element accumulation keeps the
-/// ELT-outer order, so the result is bit-identical to
-/// [`analyse_trial_scalar`].
+/// The lookup stage runs through [`LossLookup::loss_batch_tier`] at the
+/// prepared layer's SIMD tier (one gather per ELT over the whole trial);
+/// the per-element accumulation keeps the ELT-outer order, so the result
+/// is bit-identical to [`analyse_trial_scalar`].
 pub fn analyse_trial<R: Real, L: LossLookup<R>>(
     prepared: &PreparedLayer<R, L>,
     trial: TrialView<'_>,
@@ -304,9 +304,10 @@ pub fn analyse_trial<R: Real, L: LossLookup<R>>(
     // event's ground-up loss in one batch, apply the ELT's financial
     // terms, and accumulate the net losses across ELTs into a single
     // combined loss per occurrence. Per element, contributions arrive in
-    // ELT order exactly as in the scalar loop.
+    // ELT order exactly as in the scalar loop. Gather and combine both
+    // run at the prepared tier, so `with_simd_tier` pins the whole path.
     for (lookup, &(fx, ret, lim, share)) in prepared.lookups.iter().zip(&prepared.fin_terms) {
-        lookup.loss_batch(trial.events, ground);
+        lookup.loss_batch_tier(prepared.simd_tier, trial.events, ground);
         R::simd_accumulate(prepared.simd_tier, combined, ground, fx, ret, lim, share);
     }
 
@@ -351,7 +352,7 @@ pub fn analyse_trial_attributed<R: Real, L: LossLookup<R>>(
 ) -> TrialResult<R> {
     let (combined, ground) = workspace.reset(trial.len());
     for (lookup, &(fx, ret, lim, share)) in prepared.lookups.iter().zip(&prepared.fin_terms) {
-        lookup.loss_batch(trial.events, ground);
+        lookup.loss_batch_tier(prepared.simd_tier, trial.events, ground);
         R::simd_accumulate(prepared.simd_tier, combined, ground, fx, ret, lim, share);
     }
     let result = finish_trial(prepared.simd_tier, &prepared.terms, combined);
@@ -624,7 +625,7 @@ pub fn analyse_trial_staged<R: Real, L: LossLookup<R>>(
     workspace.ground.resize(prepared.num_elts() * len, R::ZERO);
     for (e, lookup) in prepared.lookups.iter().enumerate() {
         let row = &mut workspace.ground[e * len..(e + 1) * len];
-        lookup.loss_batch(&workspace.events, row);
+        lookup.loss_batch_tier(prepared.simd_tier, &workspace.events, row);
     }
     let t2 = ara_trace::now_ns();
 
@@ -951,6 +952,63 @@ mod tests {
                     "{tier:?}"
                 );
             }
+        }
+    }
+
+    /// `with_simd_tier` must pin the *gather* stage too, not only the
+    /// combine: the batched paths thread the prepared tier through
+    /// `LossLookup::loss_batch_tier`. (Regression: the gather used to
+    /// dispatch at the process-wide active tier regardless of the pin,
+    /// so a scalar-pinned bench row still ran the native gather.)
+    #[test]
+    fn batched_paths_thread_pinned_tier_through_gather() {
+        use std::sync::atomic::{AtomicU8, Ordering};
+
+        #[derive(Debug, Default)]
+        struct TierRecorder(AtomicU8);
+        impl LossLookup<f64> for TierRecorder {
+            fn loss(&self, _: EventId) -> f64 {
+                1.0
+            }
+            fn memory_bytes(&self) -> usize {
+                0
+            }
+            fn strategy_name(&self) -> &'static str {
+                "tier-recorder"
+            }
+            fn accesses_per_lookup(&self) -> f64 {
+                0.0
+            }
+            fn loss_batch_tier(&self, tier: SimdTier, events: &[EventId], out: &mut [f64]) {
+                self.0.store(tier as u8 + 1, Ordering::Relaxed);
+                self.loss_batch(events, out);
+            }
+        }
+
+        let (inputs, layer) = fixture();
+        for tier in SimdTier::available() {
+            let prepared = PreparedLayer::from_parts(
+                vec![TierRecorder::default()],
+                vec![FinancialTerms::identity()],
+                layer.terms,
+            )
+            .with_simd_tier(tier);
+            let mut ws = TrialWorkspace::new();
+            analyse_trial(&prepared, inputs.yet.trial(0), &mut ws);
+            assert_eq!(
+                prepared.lookups[0].0.load(Ordering::Relaxed),
+                tier as u8 + 1,
+                "analyse_trial gathered at the wrong tier for {tier:?}"
+            );
+
+            prepared.lookups[0].0.store(0, Ordering::Relaxed);
+            let mut staged = StagedWorkspace::new();
+            analyse_trial_staged(&prepared, inputs.yet.trial(0), &mut staged);
+            assert_eq!(
+                prepared.lookups[0].0.load(Ordering::Relaxed),
+                tier as u8 + 1,
+                "analyse_trial_staged gathered at the wrong tier for {tier:?}"
+            );
         }
     }
 

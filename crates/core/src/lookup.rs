@@ -65,6 +65,27 @@ pub trait LossLookup<R: Real>: Send + Sync {
             *o = self.loss(e);
         }
     }
+
+    /// [`loss_batch`] at an explicit SIMD tier — same bit-identity
+    /// contract, but the kernel family is the caller's choice instead of
+    /// the process-wide `ARA_SIMD` dispatch. [`PreparedLayer`] threads
+    /// its pinned tier through here so `with_simd_tier` governs the
+    /// *whole* batched path (gather and combine), not just the combine.
+    ///
+    /// The default ignores the tier and forwards to [`loss_batch`]:
+    /// structures without tiered kernels (search, hashing) have nothing
+    /// to dispatch, and ignoring the pin keeps them bit-identical anyway.
+    /// [`DirectAccessTable`] overrides this with the tiered gather.
+    ///
+    /// # Panics
+    /// Panics if `events.len() != out.len()`.
+    ///
+    /// [`loss_batch`]: LossLookup::loss_batch
+    /// [`PreparedLayer`]: crate::PreparedLayer
+    fn loss_batch_tier(&self, tier: SimdTier, events: &[EventId], out: &mut [R]) {
+        let _ = tier;
+        self.loss_batch(events, out);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -121,27 +142,6 @@ impl<R: Real> DirectAccessTable<R> {
         &self.losses
     }
 
-    /// [`loss_batch`](LossLookup::loss_batch) at an explicit SIMD tier.
-    ///
-    /// Same contract — bit-identical to per-event [`loss`] at every tier
-    /// (a gather moves bits; no arithmetic is performed) — but the
-    /// kernel family is chosen by the caller instead of the process-wide
-    /// `ARA_SIMD` dispatch. Engines thread the autotuner's choice
-    /// through here; tests pin every available tier against the oracle.
-    ///
-    /// # Panics
-    /// Panics if `events.len() != out.len()`.
-    ///
-    /// [`loss`]: LossLookup::loss
-    pub fn loss_batch_tier(&self, tier: SimdTier, events: &[EventId], out: &mut [R]) {
-        assert_eq!(events.len(), out.len(), "one output slot per event");
-        R::simd_gather(
-            tier,
-            &self.losses,
-            crate::simd::event_ids_as_u32(events),
-            out,
-        );
-    }
 }
 
 impl<R: Real> LossLookup<R> for DirectAccessTable<R> {
@@ -171,6 +171,22 @@ impl<R: Real> LossLookup<R> for DirectAccessTable<R> {
         // eight-independent-loads loop — whose entire win is keeping
         // eight cache misses in flight (memory-level parallelism).
         self.loss_batch_tier(crate::simd::active_tier(), events, out);
+    }
+
+    /// The tiered gather — bit-identical to per-event [`loss`] at every
+    /// tier (a gather moves bits; no arithmetic is performed). Engines
+    /// thread the autotuner's choice through here; tests pin every
+    /// available tier against the oracle.
+    ///
+    /// [`loss`]: LossLookup::loss
+    fn loss_batch_tier(&self, tier: SimdTier, events: &[EventId], out: &mut [R]) {
+        assert_eq!(events.len(), out.len(), "one output slot per event");
+        R::simd_gather(
+            tier,
+            &self.losses,
+            crate::simd::event_ids_as_u32(events),
+            out,
+        );
     }
 }
 

@@ -43,6 +43,12 @@
 //! time (`with_simd_tier` overrides it), so engines and the autotuner
 //! can thread an explicit choice through the blocked kernels.
 //!
+//! The tiered entry points are safe for **any** tier value, not just the
+//! ones `resolve`/[`SimdTier::available`] hand out: every intrinsic arm
+//! re-checks the CPU feature in its match guard (the detection macro
+//! caches, so the re-check is a relaxed load), and a tier the host
+//! cannot execute degrades to the portable kernels.
+//!
 //! This module is the only place in `ara-core` permitted to use
 //! `unsafe`: every unsafe block is a `core::arch` intrinsic call behind
 //! a runtime feature check, or the `repr(transparent)` reinterpretation
@@ -150,14 +156,27 @@ fn cpu_has_avx512() -> bool {
 }
 
 /// Parse an `ARA_SIMD` value. Unknown strings resolve to [`SimdMode::Native`]
-/// (the default), so a typo can never silently force the slow path.
+/// (the default) so a typo never forces the slow path — but they emit a
+/// one-time stderr warning, because a mis-typed pin (`force_scalar`,
+/// `forcescalar`, …) silently running the full SIMD path would pollute
+/// exactly the forced-scalar baselines the mode exists to separate.
 pub fn parse_mode(value: Option<&str>) -> SimdMode {
     match value.map(str::trim) {
         Some("force-scalar") | Some("scalar") => SimdMode::ForceScalar,
         Some("portable") => SimdMode::Portable,
         Some("avx2") => SimdMode::PinAvx2,
         Some("avx512") => SimdMode::PinAvx512,
-        _ => SimdMode::Native,
+        None | Some("") | Some("native") => SimdMode::Native,
+        Some(other) => {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "warning: unrecognized ARA_SIMD value {other:?}; using native dispatch \
+                     (expected force-scalar|portable|native|avx2|avx512)"
+                );
+            });
+            SimdMode::Native
+        }
     }
 }
 
@@ -808,16 +827,21 @@ macro_rules! dispatch {
             SimdTier::Scalar => $scalar,
             SimdTier::Portable => $portable,
             #[cfg(target_arch = "x86_64")]
-            SimdTier::Avx2 if $table.len() < MAX_GATHER_TABLE => {
-                // SAFETY: this tier is only ever produced by `resolve`
-                // or `SimdTier::available` after `is_x86_feature_detected!`.
+            SimdTier::Avx2 if $table.len() < MAX_GATHER_TABLE && cpu_has_avx2() => {
+                // SAFETY: the guard just re-confirmed AVX2 on this CPU
+                // (`is_x86_feature_detected!` caches, so the re-check is a
+                // relaxed load), so calling the `#[target_feature]` fn is
+                // sound even for a hand-constructed tier.
                 unsafe { $avx2 }
             }
             #[cfg(target_arch = "x86_64")]
-            SimdTier::Avx512 if $table.len() < MAX_GATHER_TABLE => {
-                // SAFETY: as above, detection precedes dispatch.
+            SimdTier::Avx512 if $table.len() < MAX_GATHER_TABLE && cpu_has_avx512() => {
+                // SAFETY: as above — the guard re-confirmed AVX-512F.
                 unsafe { $avx512 }
             }
+            // A tier the host cannot execute (or a table at/beyond the
+            // gather index limit) degrades to portable, matching the
+            // documented pin-degrade rule — never an unsupported intrinsic.
             #[allow(unreachable_patterns)]
             _ => $portable,
         }
@@ -1025,6 +1049,40 @@ mod tests {
         }
     }
 
+    /// The tiered entry points are safe public API for ANY tier value,
+    /// including ISAs this host lacks: the dispatch guards re-check the
+    /// CPU feature, so a hand-constructed `SimdTier::Avx512` on a
+    /// non-AVX-512 box degrades to the portable kernel (bit-identical)
+    /// instead of executing an illegal instruction.
+    #[test]
+    fn unsupported_tiers_degrade_safely() {
+        let table = table_f64(50);
+        let idx = indices(23, table.len());
+        let (fx, ret, lim, share) = (1.3, 5.0, 40.0, 0.8);
+        let mut oracle = vec![f64::NAN; idx.len()];
+        gather_scalar(&table, &idx, &mut oracle);
+        let mut acc_oracle = vec![0.5f64; idx.len()];
+        gather_accumulate_scalar(&table, &idx, &mut acc_oracle, fx, ret, lim, share);
+        let mut comb_oracle = vec![0.5f64; idx.len()];
+        accumulate_scalar(&mut comb_oracle, &oracle, fx, ret, lim, share);
+        for tier in [
+            SimdTier::Scalar,
+            SimdTier::Portable,
+            SimdTier::Avx2,
+            SimdTier::Avx512,
+        ] {
+            let mut out = vec![f64::NAN; idx.len()];
+            gather_f64(tier, &table, &idx, &mut out);
+            assert_eq!(out, oracle, "gather {}", tier.name());
+            let mut acc = vec![0.5f64; idx.len()];
+            gather_accumulate_f64(tier, &table, &idx, &mut acc, fx, ret, lim, share);
+            assert_eq!(acc, acc_oracle, "gather_accumulate {}", tier.name());
+            let mut comb = vec![0.5f64; idx.len()];
+            accumulate_f64(tier, &mut comb, &oracle, fx, ret, lim, share);
+            assert_eq!(comb, comb_oracle, "accumulate {}", tier.name());
+        }
+    }
+
     #[test]
     fn gather_empty_table_is_all_zero() {
         let idx: Vec<u32> = vec![0, 1, 5, u32::MAX];
@@ -1105,7 +1163,10 @@ mod tests {
         assert_eq!(parse_mode(Some("avx2")), SimdMode::PinAvx2);
         assert_eq!(parse_mode(Some("avx512")), SimdMode::PinAvx512);
         assert_eq!(parse_mode(Some(" portable ")), SimdMode::Portable);
+        // Unknown values resolve to Native (with a one-time stderr
+        // warning); an empty/unset variable is Native without a warning.
         assert_eq!(parse_mode(Some("bogus")), SimdMode::Native);
+        assert_eq!(parse_mode(Some("")), SimdMode::Native);
         assert_eq!(parse_mode(None), SimdMode::Native);
     }
 

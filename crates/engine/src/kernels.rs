@@ -85,18 +85,18 @@ impl<'a, R: Real> AraBasicKernel<'a, R> {
             let t1 = ara_trace::now_ns();
 
             // Stage 2 — loss lookup: gather every ground-up loss with the
-            // batch API (one unrolled pass per ELT).
+            // tiered batch API (one pass per ELT, at the prepared layer's
+            // SIMD tier like every other stage).
+            let tier = self.prepared.simd_tier();
             s.ground.clear();
             s.ground.resize(num_elts * len, R::ZERO);
             for (e, lookup) in self.prepared.lookups().iter().enumerate() {
-                lookup.loss_batch(trial.events, &mut s.ground[e * len..(e + 1) * len]);
+                lookup.loss_batch_tier(tier, trial.events, &mut s.ground[e * len..(e + 1) * len]);
             }
             let t2 = ara_trace::now_ns();
 
             // Stage 3 — financial terms, accumulated in the fused
-            // loop's exact order (ELT-outer, occurrence-inner) at the
-            // prepared layer's SIMD tier.
-            let tier = self.prepared.simd_tier();
+            // loop's exact order (ELT-outer, occurrence-inner).
             for (e, &(fx, ret, lim, share)) in self.prepared.financial_terms().iter().enumerate() {
                 let row = &s.ground[e * len..(e + 1) * len];
                 R::simd_accumulate(tier, &mut s.lox, row, fx, ret, lim, share);
@@ -171,7 +171,7 @@ impl<R: Real> Kernel<TrialLoss> for AraBasicKernel<'_, R> {
                 .iter()
                 .zip(self.prepared.financial_terms())
             {
-                lookup.loss_batch(trial.events, &mut s.ground);
+                lookup.loss_batch_tier(tier, trial.events, &mut s.ground);
                 R::simd_accumulate(tier, &mut s.lox, &s.ground, fx, ret, lim, share);
             }
 
@@ -274,11 +274,13 @@ impl<'a, R: Real> AraChunkedKernel<'a, R> {
             let n_chunk = s.staged.len();
 
             // Stage 2 — loss lookup: batch-gather ground-up losses
-            // ELT-major.
+            // ELT-major, at the prepared layer's SIMD tier.
+            let tier = self.prepared.simd_tier();
             let t1 = ara_trace::now_ns();
             for (e, lookup) in self.prepared.lookups().iter().enumerate() {
                 let base = e * n_chunk + slot;
-                lookup.loss_batch(
+                lookup.loss_batch_tier(
+                    tier,
                     s.staged.slice(slot..slot + len),
                     s.ground.slice_mut(base..base + len),
                 );
@@ -290,7 +292,6 @@ impl<'a, R: Real> AraChunkedKernel<'a, R> {
             // ascending-`e` order as the fused loop, so sums are
             // bit-identical.
             s.combined.slice_mut(slot..slot + len).fill(R::ZERO);
-            let tier = self.prepared.simd_tier();
             for (e, &(fx, ret, lim, share)) in self.prepared.financial_terms().iter().enumerate() {
                 let base = e * n_chunk + slot;
                 let row = s.ground.slice(base..base + len);
@@ -420,9 +421,13 @@ impl<R: Real> Kernel<TrialLoss> for AraChunkedKernel<'_, R> {
                     let slot = t.local as usize * chunk;
                     let len = s.staged_len[t.local as usize] as usize;
                     let n_chunk = s.staged.len();
+                    // Gather and combine both run at the prepared layer's
+                    // SIMD tier, so a pinned tier governs the whole pass.
+                    let tier = self.prepared.simd_tier();
                     for (e, lookup) in self.prepared.lookups().iter().enumerate() {
                         let base = e * n_chunk + slot;
-                        lookup.loss_batch(
+                        lookup.loss_batch_tier(
+                            tier,
                             s.staged.slice(slot..slot + len),
                             s.ground.slice_mut(base..base + len),
                         );
@@ -430,10 +435,8 @@ impl<R: Real> Kernel<TrialLoss> for AraChunkedKernel<'_, R> {
                     // Combine per event, ELT-outer: each element
                     // accumulates its ELT contributions in ascending-`e`
                     // order, exactly like the fused loop, so sums are
-                    // bit-identical. The combine runs at the prepared
-                    // layer's SIMD tier.
+                    // bit-identical.
                     s.combined.slice_mut(slot..slot + len).fill(R::ZERO);
-                    let tier = self.prepared.simd_tier();
                     for (e, &(fx, ret, lim, share)) in
                         self.prepared.financial_terms().iter().enumerate()
                     {

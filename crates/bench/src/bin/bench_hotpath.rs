@@ -318,7 +318,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         speedup(fused_scalar / fused_native),
     ])?;
 
-    emit("hotpath", &[&gather, &fused])?;
+    // Hardware-counter attribution: one counter-bracketed staged pass,
+    // separate from the timed repeats so sampling never pollutes the
+    // samples. On denied hosts every cell renders "-" and the sidecar
+    // schema is unchanged.
+    let mut counters = Table::new(
+        "stage hardware counters (single staged pass)",
+        &["stage", "cycles", "instructions", "IPC", "LLC-misses"],
+    );
+    let counters_live = ara_trace::counters::enable();
+    let (_ylt, _stages, stage_counters) =
+        ara_core::analyse_layer_staged(&prepared, &inputs.yet);
+    ara_trace::counters::disable();
+    for (stage, v) in stage_counters.named() {
+        let cell =
+            |x: Option<u64>| x.map(|c| c.to_string()).unwrap_or_else(|| "-".to_string());
+        counters.row(&[
+            stage.to_string(),
+            cell(v.get(ara_trace::CounterKind::Cycles)),
+            cell(v.get(ara_trace::CounterKind::Instructions)),
+            v.ipc()
+                .map(|i| format!("{i:.2}"))
+                .unwrap_or_else(|| "-".to_string()),
+            cell(v.get(ara_trace::CounterKind::LlcMisses)),
+        ])?;
+    }
+    if !counters_live {
+        println!(
+            "counters: unavailable ({})",
+            ara_trace::counters::unavailable_reason()
+                .unwrap_or_else(|| "not supported on this host".to_string())
+        );
+    }
+
+    emit("hotpath", &[&gather, &fused, &counters])?;
     println!("note: {MEASURED_SCALE_NOTE}");
 
     if check {

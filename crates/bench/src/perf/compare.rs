@@ -85,6 +85,31 @@ impl StageDelta {
     }
 }
 
+/// The worst-moving hardware counter of a comparison: the counter kind
+/// whose run total moved by the largest relative factor between the
+/// baseline and candidate traced passes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterDelta {
+    /// Canonical counter name (e.g. `"llc_misses"`).
+    pub counter: &'static str,
+    /// Baseline run total of that counter.
+    pub baseline: u64,
+    /// Candidate run total of that counter.
+    pub candidate: u64,
+}
+
+impl CounterDelta {
+    /// Candidate over baseline (∞-safe: a zero baseline with a non-zero
+    /// candidate reports the candidate count itself as the factor).
+    pub fn ratio(&self) -> f64 {
+        if self.baseline > 0 {
+            self.candidate as f64 / self.baseline as f64
+        } else {
+            self.candidate as f64
+        }
+    }
+}
+
 /// One benchmark's full comparison record.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Comparison {
@@ -101,6 +126,9 @@ pub struct Comparison {
     /// The stage whose absolute time moved the most, when stage data is
     /// present on both sides.
     pub worst_stage: Option<StageDelta>,
+    /// The hardware counter whose run total moved by the largest
+    /// relative factor, when both sides carry counter data.
+    pub worst_counter: Option<CounterDelta>,
 }
 
 /// Deterministic per-benchmark bootstrap seed (FNV-1a of the name), so
@@ -144,6 +172,7 @@ pub fn compare_records(
         Verdict::Pass
     };
     let worst_stage = worst_stage(baseline, candidate);
+    let worst_counter = worst_counter(baseline, candidate);
     Comparison {
         benchmark: candidate.benchmark.clone(),
         baseline: Some(base_ci),
@@ -155,6 +184,7 @@ pub fn compare_records(
         },
         verdict,
         worst_stage,
+        worst_counter,
     }
 }
 
@@ -180,6 +210,38 @@ fn worst_stage(baseline: &RunRecord, candidate: &RunRecord) -> Option<StageDelta
         })
 }
 
+/// The counter kind whose run total moved by the largest relative
+/// factor between two records, `None` unless both sides carry counter
+/// data with at least one kind measured on both.
+fn worst_counter(baseline: &RunRecord, candidate: &RunRecord) -> Option<CounterDelta> {
+    let base = baseline.stage_counters.as_ref()?.total();
+    let cand = candidate.stage_counters.as_ref()?.total();
+    ara_trace::CounterKind::ALL
+        .into_iter()
+        .filter_map(|kind| {
+            let (b, c) = (base.get(kind)?, cand.get(kind)?);
+            Some(CounterDelta {
+                counter: kind.name(),
+                baseline: b,
+                candidate: c,
+            })
+        })
+        .max_by(|a, b| {
+            let movement = |d: &CounterDelta| {
+                let r = d.ratio();
+                // Symmetric: a 4x drop moves as much as a 4x rise.
+                if r > 0.0 && r < 1.0 {
+                    1.0 / r
+                } else {
+                    r
+                }
+            };
+            movement(a)
+                .partial_cmp(&movement(b))
+                .expect("finite counter ratios")
+        })
+}
+
 /// Compare a whole candidate run against a whole baseline run, matched
 /// by benchmark name. Candidate benchmarks absent from the baseline get
 /// [`Verdict::NoBaseline`]; baseline-only benchmarks are dropped (a
@@ -201,6 +263,7 @@ pub fn compare_runs(
                     ratio: 1.0,
                     verdict: Verdict::NoBaseline,
                     worst_stage: None,
+                    worst_counter: None,
                 },
             },
         )
@@ -224,8 +287,18 @@ mod tests {
             recorded_unix: 0,
             samples_secs: samples.to_vec(),
             stage_secs: stages,
+            stage_counters: None,
             manifest: RunManifest::collect("small", samples.len()),
         }
+    }
+
+    fn with_counters(mut r: RunRecord, cycles: u64, llc_misses: u64) -> RunRecord {
+        use ara_trace::{CounterKind, StageCounters};
+        let mut c = StageCounters::ZERO;
+        c.lookup.set(CounterKind::Cycles, cycles);
+        c.lookup.set(CounterKind::LlcMisses, llc_misses);
+        r.stage_counters = Some(c);
+        r
     }
 
     #[test]
@@ -249,6 +322,38 @@ mod tests {
         assert_eq!(stage.stage, ara_trace::stage_names::LOOKUP);
         assert!(stage.delta_secs() > 0.0);
         assert!(any_regression(&[c]));
+    }
+
+    #[test]
+    fn worst_counter_names_the_largest_relative_mover() {
+        let base = with_counters(
+            record("e", &[0.010, 0.011, 0.0105], [0.01, 0.06, 0.02, 0.01]),
+            1_000_000,
+            1_000,
+        );
+        // Cycles doubled; LLC misses grew 9x — misses win.
+        let cand = with_counters(
+            record("e", &[0.021, 0.022, 0.0215], [0.01, 0.17, 0.02, 0.01]),
+            2_000_000,
+            9_000,
+        );
+        let c = compare_records(&base, &cand, &GatePolicy::default());
+        assert_eq!(c.verdict, Verdict::Regressed);
+        let counter = c.worst_counter.as_ref().expect("counter data present");
+        assert_eq!(counter.counter, "llc_misses");
+        assert_eq!((counter.baseline, counter.candidate), (1_000, 9_000));
+        assert!((counter.ratio() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_counters_on_either_side_yield_no_attribution() {
+        let base = record("e", &[0.010, 0.011], [0.0; 4]);
+        let cand = with_counters(record("e", &[0.010, 0.011], [0.0; 4]), 100, 10);
+        let policy = GatePolicy::default();
+        assert!(compare_records(&base, &cand, &policy).worst_counter.is_none());
+        assert!(compare_records(&cand, &base, &policy).worst_counter.is_none());
+        // Both sides counterless: likewise none.
+        assert!(compare_records(&base, &base, &policy).worst_counter.is_none());
     }
 
     #[test]

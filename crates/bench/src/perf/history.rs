@@ -27,6 +27,12 @@ pub struct RunRecord {
     /// span-derived breakdown (summed across workers for parallel
     /// engines), attributing *where* a regression lives.
     pub stage_secs: [f64; 4],
+    /// Per-stage hardware-counter deltas from the traced pass, when the
+    /// host's PMU was readable during recording. `None` on
+    /// counter-denied hosts and in history lines written before counter
+    /// sampling existed — both parse and compare fine, they just carry
+    /// no counter attribution.
+    pub stage_counters: Option<ara_trace::StageCounters>,
     /// Provenance of the run.
     pub manifest: RunManifest,
 }
@@ -50,10 +56,17 @@ impl RunRecord {
             samples.push_str(&json::number(*s));
         }
         samples.push(']');
+        // The counters field is written only when measured, so histories
+        // recorded on counter-denied hosts are byte-identical to
+        // pre-counter histories.
+        let counters = match &self.stage_counters {
+            Some(c) => format!("\"stage_counters\":{},", c.to_json()),
+            None => String::new(),
+        };
         format!(
             "{{\"type\":\"run\",\"run_id\":{},\"benchmark\":{},\"recorded_unix\":{},\
              \"samples_secs\":{},\"stage_secs\":{{\"fetch\":{},\"lookup\":{},\"financial\":{},\"layer\":{}}},\
-             \"manifest\":{}}}",
+             {counters}\"manifest\":{}}}",
             json::string(&self.run_id),
             json::string(&self.benchmark),
             self.recorded_unix,
@@ -105,6 +118,9 @@ impl RunRecord {
                 stage("financial")?,
                 stage("layer")?,
             ],
+            stage_counters: doc
+                .get("stage_counters")
+                .map(ara_trace::StageCounters::from_json),
             manifest: RunManifest::from_json(
                 doc.get("manifest")
                     .ok_or_else(|| "record missing `manifest`".to_string())?,
@@ -217,6 +233,96 @@ pub fn group_runs<'a>(
     runs
 }
 
+/// The fingerprint-relevant manifest fields that differ between the
+/// current host and a recorded one, as `field recorded -> current`
+/// strings (empty when the fingerprints should match).
+fn manifest_diff(current: &RunManifest, recorded: &RunManifest) -> Vec<String> {
+    let mut diffs = Vec::new();
+    let mut field = |name: &str, rec: String, cur: String| {
+        if rec != cur {
+            diffs.push(format!("{name} {rec} -> {cur}"));
+        }
+    };
+    field(
+        "cpu_model",
+        recorded.cpu_model.clone(),
+        current.cpu_model.clone(),
+    );
+    field(
+        "threads",
+        recorded.threads.to_string(),
+        current.threads.to_string(),
+    );
+    field(
+        "l1d_bytes",
+        recorded.cache.l1d_bytes.to_string(),
+        current.cache.l1d_bytes.to_string(),
+    );
+    field(
+        "l2_bytes",
+        recorded.cache.l2_bytes.to_string(),
+        current.cache.l2_bytes.to_string(),
+    );
+    field(
+        "llc_bytes",
+        recorded.cache.llc_bytes.to_string(),
+        current.cache.llc_bytes.to_string(),
+    );
+    field("os", recorded.os.clone(), current.os.clone());
+    field(
+        "simd_isa",
+        recorded.tuning.simd_isa.name().to_string(),
+        current.tuning.simd_isa.name().to_string(),
+    );
+    field(
+        "simd_lanes",
+        recorded.tuning.simd_lanes.to_string(),
+        current.tuning.simd_lanes.to_string(),
+    );
+    diffs
+}
+
+/// Explain a baseline miss: when a non-empty history contains *no*
+/// record matching the current host's fingerprint, render both sides —
+/// the current fingerprint and every distinct recorded one, with the
+/// manifest fields that moved — instead of leaving the user with a bare
+/// "no baseline". Returns `None` when there is nothing to explain (an
+/// empty history, or at least one record does match).
+pub fn baseline_miss_diagnostics(records: &[RunRecord], current: &RunManifest) -> Option<String> {
+    use std::fmt::Write as _;
+    let fingerprint = current.host_fingerprint();
+    if records.is_empty()
+        || records
+            .iter()
+            .any(|r| r.manifest.host_fingerprint() == fingerprint)
+    {
+        return None;
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  history holds {} record(s), none matching this host's fingerprint {fingerprint}:",
+        records.len(),
+    );
+    let mut seen: Vec<String> = Vec::new();
+    for r in records {
+        let fp = r.manifest.host_fingerprint();
+        if seen.contains(&fp) {
+            continue;
+        }
+        let diffs = manifest_diff(current, &r.manifest);
+        let detail = if diffs.is_empty() {
+            "no fingerprint field differs (recorded before a fingerprint format change?)"
+                .to_string()
+        } else {
+            diffs.join(", ")
+        };
+        let _ = writeln!(out, "    recorded fingerprint {fp}: {detail}");
+        seen.push(fp);
+    }
+    Some(out)
+}
+
 /// A fresh run id: unix seconds, pid, and a process-local counter (so
 /// two suite runs within the same second stay distinct runs).
 pub fn new_run_id() -> String {
@@ -241,6 +347,7 @@ mod tests {
             recorded_unix: at,
             samples_secs: samples.to_vec(),
             stage_secs: [0.1, 0.6, 0.2, 0.1],
+            stage_counters: None,
             manifest: RunManifest::collect("small", samples.len()),
         }
     }
@@ -307,6 +414,53 @@ mod tests {
         std::fs::remove_file(store.path()).ok();
         let loaded = store.load();
         assert!(loaded.records.is_empty() && loaded.warnings.is_empty());
+    }
+
+    #[test]
+    fn counter_records_round_trip_and_legacy_lines_parse_as_none() {
+        use ara_trace::{CounterKind, CounterValues, StageCounters};
+        let mut r = record("engine.sequential", "r1", 1000, &[0.011]);
+        // Legacy/denied-host lines carry no field at all.
+        assert!(!r.to_json().contains("stage_counters"));
+        let mut counters = StageCounters::ZERO;
+        counters.lookup.set(CounterKind::Cycles, 12_345);
+        counters.lookup.set(CounterKind::LlcMisses, 678);
+        counters.fetch = CounterValues::ZERO;
+        r.stage_counters = Some(counters);
+        let doc = json::parse(&r.to_json()).expect("valid JSON line");
+        let back = RunRecord::from_json(&doc).expect("record re-parses");
+        assert_eq!(back, r);
+        assert_eq!(
+            back.stage_counters.unwrap().lookup.get(CounterKind::Cycles),
+            Some(12_345)
+        );
+    }
+
+    #[test]
+    fn baseline_miss_diagnostics_name_the_differing_fields() {
+        let mine = RunManifest::collect("small", 3);
+        let mut foreign = record("a", "r1", 10, &[1.0]);
+        foreign.manifest.threads = mine.threads + 3;
+        foreign.manifest.os = "plan9".to_string();
+        // Nothing to explain: empty history, or a matching record.
+        assert!(baseline_miss_diagnostics(&[], &mine).is_none());
+        let matching = record("a", "r0", 5, &[1.0]);
+        assert!(baseline_miss_diagnostics(&[matching, foreign.clone()], &mine).is_none());
+        // All-foreign history: both fingerprints and the moved fields.
+        let text = baseline_miss_diagnostics(&[foreign.clone()], &mine).expect("diagnosed");
+        assert!(text.contains(&mine.host_fingerprint()), "{text}");
+        assert!(
+            text.contains(&foreign.manifest.host_fingerprint()),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!("threads {} -> {}", mine.threads + 3, mine.threads)),
+            "{text}"
+        );
+        assert!(text.contains("os plan9 -> "), "{text}");
+        // Duplicate fingerprints are reported once.
+        let text = baseline_miss_diagnostics(&[foreign.clone(), foreign], &mine).unwrap();
+        assert_eq!(text.matches("recorded fingerprint").count(), 1, "{text}");
     }
 
     #[test]

@@ -28,7 +28,11 @@ pub mod manifest;
 pub mod render;
 pub mod suite;
 
-pub use compare::{any_regression, compare_records, compare_runs, Comparison, GatePolicy, Verdict};
-pub use history::{group_runs, BaselineStore, HistoryLoad, RunRecord};
+pub use compare::{
+    any_regression, compare_records, compare_runs, Comparison, CounterDelta, GatePolicy, Verdict,
+};
+pub use history::{
+    baseline_miss_diagnostics, group_runs, BaselineStore, HistoryLoad, RunRecord,
+};
 pub use manifest::RunManifest;
 pub use suite::{run_suite, Preset};

@@ -66,6 +66,16 @@ pub fn summary(comparisons: &[Comparison], policy: &GatePolicy) -> String {
                     stage.delta_secs() * 1e3,
                 );
             }
+            if let Some(counter) = &c.worst_counter {
+                let _ = writeln!(
+                    out,
+                    "      worst-moving counter: {} ({} -> {}, x{:.2})",
+                    counter.counter,
+                    counter.baseline,
+                    counter.candidate,
+                    counter.ratio(),
+                );
+            }
         }
     }
     let regressed = comparisons
@@ -139,10 +149,19 @@ pub fn json_report(comparisons: &[Comparison]) -> String {
             ),
             None => "null".to_string(),
         };
+        let counter = match &c.worst_counter {
+            Some(w) => format!(
+                "{{\"counter\":{},\"baseline\":{},\"candidate\":{}}}",
+                json::string(w.counter),
+                w.baseline,
+                w.candidate
+            ),
+            None => "null".to_string(),
+        };
         let _ = write!(
             out,
             "{{\"benchmark\":{},\"baseline\":{},\"candidate\":{{\"estimate\":{},\"lo\":{},\"hi\":{}}},\
-             \"ratio\":{},\"verdict\":{},\"worst_stage\":{}}}",
+             \"ratio\":{},\"verdict\":{},\"worst_stage\":{},\"worst_counter\":{}}}",
             json::string(&c.benchmark),
             base,
             json::number(c.candidate.estimate),
@@ -151,6 +170,7 @@ pub fn json_report(comparisons: &[Comparison]) -> String {
             json::number(c.ratio),
             json::string(verdict_tag(c.verdict)),
             stage,
+            counter,
         );
     }
     out.push(']');
@@ -213,14 +233,23 @@ mod tests {
             recorded_unix: at,
             samples_secs: samples.to_vec(),
             stage_secs: [0.001, 0.006, 0.002, 0.001],
+            stage_counters: None,
             manifest: RunManifest::collect("small", samples.len()),
         }
     }
 
+    fn counters(llc_misses: u64) -> ara_trace::StageCounters {
+        let mut c = ara_trace::StageCounters::ZERO;
+        c.lookup.set(ara_trace::CounterKind::LlcMisses, llc_misses);
+        c
+    }
+
     fn regressed_comparison() -> Comparison {
-        let base = record("engine.sequential-cpu", "r1", 10, &[0.010, 0.011, 0.0105]);
+        let mut base = record("engine.sequential-cpu", "r1", 10, &[0.010, 0.011, 0.0105]);
+        base.stage_counters = Some(counters(1_000));
         let mut cand = record("engine.sequential-cpu", "r2", 20, &[0.021, 0.022, 0.0215]);
         cand.stage_secs = [0.001, 0.017, 0.002, 0.001];
+        cand.stage_counters = Some(counters(8_000));
         compare_records(&base, &cand, &GatePolicy::default())
     }
 
@@ -232,6 +261,7 @@ mod tests {
         assert!(text.contains("REGRESSED"));
         assert!(text.contains("worst-moving stage"));
         assert!(text.contains(ara_trace::stage_names::LOOKUP));
+        assert!(text.contains("worst-moving counter: llc_misses (1000 -> 8000"));
         assert!(text.contains("1 regressed"));
     }
 
@@ -255,6 +285,14 @@ mod tests {
             Some("REGRESSED")
         );
         assert!(arr[0].get("worst_stage").unwrap().get("stage").is_some());
+        assert_eq!(
+            arr[0]
+                .get("worst_counter")
+                .unwrap()
+                .get("counter")
+                .and_then(json::Json::as_str),
+            Some("llc_misses")
+        );
     }
 
     #[test]

@@ -140,8 +140,12 @@ pub fn run_suite(preset: Preset, repeats: usize) -> Vec<RunRecord> {
             .collect();
         // One traced pass for stage attribution — separate from the
         // timed repeats so instrumentation never pollutes the samples.
+        // Hardware counters ride the same pass; on denied hosts enable()
+        // is a no-op and the record simply carries no counters.
         ara_trace::recorder().enable(ara_trace::Level::Info);
+        let _counters_live = ara_trace::counters::enable();
         let out = engine.analyse(&inputs).expect("suite inputs are valid");
+        ara_trace::counters::disable();
         let _ = ara_trace::recorder().drain();
         ara_trace::recorder().disable();
         let stage_secs = out
@@ -154,6 +158,7 @@ pub fn run_suite(preset: Preset, repeats: usize) -> Vec<RunRecord> {
             recorded_unix,
             samples_secs: samples,
             stage_secs,
+            stage_counters: out.counters.filter(|c| !c.is_empty()),
             manifest: manifest.clone(),
         });
     }

@@ -104,6 +104,7 @@ fn history_records_round_trip_through_json_and_skip_garbage() {
         recorded_unix: 1_700_000_000,
         samples_secs: vec![0.031, 0.029, 0.030],
         stage_secs: [0.002, 0.021, 0.004, 0.003],
+        stage_counters: None,
         manifest: RunManifest::collect("bench", 3),
     };
 

@@ -140,6 +140,9 @@ pub struct RunOpts {
     /// Replay the engine's kernels under simt-check instrumentation
     /// (`--check`, `analyse` only) and append the hazard report.
     pub check: bool,
+    /// Sample hardware performance counters per Algorithm-1 stage
+    /// (`--counters`, `analyse` only) and append the roofline report.
+    pub counters: bool,
     /// Suppress the per-layer report body (`--quiet`).
     pub quiet: bool,
     /// Recorder verbosity: 0 → Info, 1 (`-v`) → Debug, 2 (`-vv`) → Trace.
@@ -159,6 +162,7 @@ impl Default for RunOpts {
             trace_out: None,
             trace_format: ara_trace::TraceFormat::Chrome,
             check: false,
+            counters: false,
             quiet: false,
             verbosity: 0,
         }
@@ -297,7 +301,8 @@ USAGE:
                [--records N] [--catalogue N] [--layers N] [--seed N]
   ara analyse  --input <path> [--engine E] [--devices N]
                [--schedule auto|dynamic|static|chunked:N] [--chunk N]
-               [--check] [--trace-out <path> [--trace-format F]]
+               [--check] [--counters]
+               [--trace-out <path> [--trace-format F]]
                [--quiet] [-v|-vv]
   ara metrics  --input <path> [--layer N]
   ara stream   --input <path.stream> [--layer N]
@@ -322,6 +327,16 @@ CHECKING: analyse --check replays the engine's SIMT kernels under
   out-of-bounds and uninitialized reads, and per-warp lane-utilisation
   are reported, with a non-zero exit status when any hazard is found.
 
+COUNTERS: analyse --counters samples hardware performance counters
+  (cycles, instructions, LLC misses, dTLB misses, branch misses,
+  stalled backend cycles) per Algorithm-1 stage via perf_event_open and
+  appends a roofline report: per-stage IPC, LLC-miss/lookup, estimated
+  DRAM GB/s, and a compute/latency/bandwidth bottleneck classification,
+  plus a modeled-vs-measured memory-traffic drift table. On hosts where
+  counters are unavailable (permissions, no PMU) a one-line notice goes
+  to stderr and the analysis output is unchanged. ARA_COUNTERS=off
+  forces counters off.
+
 TRACING: --trace-out enables the recorder and writes the drained trace;
   --trace-format chrome (default, for chrome://tracing / Perfetto) |
   jsonl | summary. -v keeps Debug spans, -vv keeps Trace spans.
@@ -337,7 +352,7 @@ PERF: `record` runs the five-engine suite and appends every repeat
 ";
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["--check", "--quiet", "-v", "-vv", "--small"];
+const BOOL_FLAGS: &[&str] = &["--check", "--counters", "--quiet", "-v", "-vv", "--small"];
 
 struct Flags<'a> {
     pairs: Vec<(&'a str, &'a str)>,
@@ -444,6 +459,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                 "--trace-out",
                 "--trace-format",
                 "--check",
+                "--counters",
                 "--quiet",
                 "-v",
                 "-vv",
@@ -473,6 +489,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                     .ok_or_else(|| ArgError::BadValue("--trace-format", fmt.to_string()))?;
             }
             opts.check = flags.has("--check");
+            opts.counters = flags.has("--counters");
             opts.quiet = flags.has("--quiet");
             opts.verbosity = if flags.has("-vv") {
                 2
@@ -764,6 +781,25 @@ mod tests {
         // A bool flag: takes no value.
         assert!(matches!(
             parse_args(&v(&["generate", "--out", "x", "--check"])),
+            Err(ArgError::UnknownFlag(_))
+        ));
+    }
+
+    #[test]
+    fn parse_counters_flag() {
+        let cmd = parse_args(&v(&["analyse", "--input", "b.ara", "--counters"])).unwrap();
+        match cmd {
+            Command::Analyse(o) => assert!(o.counters),
+            other => panic!("{other:?}"),
+        }
+        // Off by default.
+        match parse_args(&v(&["analyse", "--input", "b.ara"])).unwrap() {
+            Command::Analyse(o) => assert!(!o.counters),
+            other => panic!("{other:?}"),
+        }
+        // A bool flag scoped to the analyse family.
+        assert!(matches!(
+            parse_args(&v(&["generate", "--out", "x", "--counters"])),
             Err(ArgError::UnknownFlag(_))
         ));
     }

@@ -138,6 +138,11 @@ pub struct AnalyseOutcome {
     pub report: String,
     /// True when `--check` was requested and the replay was not clean.
     pub check_failed: bool,
+    /// The one-line notice when `--counters` was requested but the host
+    /// can't sample (permissions, no PMU, `ARA_COUNTERS=off`). Printed
+    /// to stderr by the binary so stdout stays byte-identical to a run
+    /// without the flag.
+    pub counters_notice: Option<String>,
 }
 
 /// `ara analyse`: run the selected engine over a snapshot (report only;
@@ -153,7 +158,22 @@ pub fn run_analyse_outcome(opts: &RunOpts) -> Result<AnalyseOutcome, CliError> {
     let inputs = load(&opts.input)?;
     let engine = build_engine(opts);
     let tracing = opts.trace_out.is_some() || opts.verbosity > 0;
-    if tracing {
+    // Counters ride the traced path: when sampling actually comes up,
+    // the recorder is enabled too (stage attribution needs the same
+    // bracketing). When it can't — permissions, no PMU, ARA_COUNTERS=off
+    // — the run proceeds exactly as if --counters was absent, with one
+    // notice for stderr.
+    let counters_live = opts.counters && ara_trace::counters::enable();
+    let counters_notice = if opts.counters && !counters_live {
+        Some(format!(
+            "counters unavailable: {}",
+            ara_trace::counters::unavailable_reason()
+                .unwrap_or_else(|| "hardware counters not supported on this host".to_string()),
+        ))
+    } else {
+        None
+    };
+    if tracing || counters_live {
         ara_trace::recorder().enable(trace_level(opts.verbosity));
     }
     // The checked replay produces the same portfolio bit-for-bit, so
@@ -165,10 +185,15 @@ pub fn run_analyse_outcome(opts: &RunOpts) -> Result<AnalyseOutcome, CliError> {
     } else {
         engine.analyse(&inputs).map(|out| (out, None))
     };
-    let trace = if tracing {
+    if counters_live {
+        ara_trace::counters::disable();
+    }
+    let trace = if tracing || counters_live {
         let t = ara_trace::recorder().drain();
         ara_trace::recorder().disable();
-        Some(t)
+        // Counters-only runs drain purely to reset recorder state; the
+        // trace itself is rendered only when tracing was asked for.
+        tracing.then_some(t)
     } else {
         None
     };
@@ -199,6 +224,25 @@ pub fn run_analyse_outcome(opts: &RunOpts) -> Result<AnalyseOutcome, CliError> {
             ));
         }
     }
+    // The roofline section: per-stage counter rates with a bottleneck
+    // classification, plus the modeled-vs-measured memory-traffic drift.
+    if let (Some(counters), Some(measured)) = (&out.counters, &out.measured) {
+        if !counters.is_empty() {
+            let report_table = ara_engine::CounterReport::build(
+                counters,
+                measured,
+                inputs.total_lookups(),
+                ara_engine::working_set_bytes(&inputs, 8),
+                simt_sim::model::autotune::CacheModel::detect().llc_bytes as u64,
+            );
+            report.push_str("hardware counters (per Algorithm-1 stage):\n");
+            report.push_str(&report_table.render());
+            if let Some(drift) = ara_engine::memory_drift(counters, &inputs, 25.0) {
+                report.push_str("memory traffic, modeled vs measured DRAM shares:\n");
+                report.push_str(&drift.render());
+            }
+        }
+    }
     if let Some(trace) = &trace {
         match &opts.trace_out {
             Some(path) => {
@@ -225,6 +269,7 @@ pub fn run_analyse_outcome(opts: &RunOpts) -> Result<AnalyseOutcome, CliError> {
     Ok(AnalyseOutcome {
         report,
         check_failed,
+        counters_notice,
     })
 }
 
@@ -445,13 +490,15 @@ pub fn run_perf(opts: &PerfOpts) -> Result<PerfOutcome, CliError> {
         }
         PerfAction::Compare => {
             let loaded = store.load();
-            let fingerprint = ara_bench::perf::RunManifest::collect(preset.name(), opts.repeats)
-                .host_fingerprint();
-            let runs = group_runs(&loaded.records, &fingerprint);
+            let manifest = ara_bench::perf::RunManifest::collect(preset.name(), opts.repeats);
+            let runs = group_runs(&loaded.records, &manifest.host_fingerprint());
             if runs.len() < 2 {
+                let diagnostics =
+                    ara_bench::perf::baseline_miss_diagnostics(&loaded.records, &manifest)
+                        .unwrap_or_default();
                 return Ok(PerfOutcome {
                     report: format!(
-                        "{}perf compare: need at least two recorded runs for this host in {} (have {})\n",
+                        "{}perf compare: need at least two recorded runs for this host in {} (have {})\n{diagnostics}",
                         warnings_preamble(&loaded.warnings),
                         store.path().display(),
                         runs.len(),
@@ -477,10 +524,15 @@ pub fn run_perf(opts: &PerfOpts) -> Result<PerfOutcome, CliError> {
             let fingerprint = candidate[0].manifest.host_fingerprint();
             let runs = group_runs(&loaded.records, &fingerprint);
             let Some((_, baseline)) = runs.last() else {
+                let diagnostics = ara_bench::perf::baseline_miss_diagnostics(
+                    &loaded.records,
+                    &candidate[0].manifest,
+                )
+                .unwrap_or_default();
                 store.append(&candidate)?;
                 return Ok(PerfOutcome {
                     report: format!(
-                        "{}perf gate: no baseline for this host in {}; recorded run {} as the bootstrap baseline (pass)\n",
+                        "{}perf gate: no baseline for this host in {}; recorded run {} as the bootstrap baseline (pass)\n{diagnostics}",
                         warnings_preamble(&loaded.warnings),
                         store.path().display(),
                         candidate[0].run_id,
@@ -875,6 +927,127 @@ mod tests {
         })
         .unwrap();
         assert!(!plain.contains("simt-check"), "{plain}");
+    }
+
+    #[test]
+    fn counters_off_leaves_analysis_output_identical() {
+        // The degradation contract: with ARA_COUNTERS=off (and equally
+        // on denied hosts), --counters changes nothing but the stderr
+        // notice — same report bytes, same check verdict.
+        let _guard = ara_trace::testing::serial_guard();
+        ara_trace::testing::reset();
+        let book = tmp("book-counters-off.ara");
+        run_generate(&small_generate(&book)).unwrap();
+        let plain = run_analyse_outcome(&RunOpts {
+            input: book.clone(),
+            ..RunOpts::default()
+        })
+        .unwrap();
+        assert!(plain.counters_notice.is_none());
+
+        std::env::set_var("ARA_COUNTERS", "off");
+        let with_flag = run_analyse_outcome(&RunOpts {
+            input: book.clone(),
+            counters: true,
+            ..RunOpts::default()
+        })
+        .unwrap();
+        std::env::remove_var("ARA_COUNTERS");
+        // The header line carries wall-clock ms (nondeterministic);
+        // everything after it must match byte for byte.
+        let body = |r: &str| r.split_once('\n').map(|(_, b)| b.to_string()).unwrap();
+        assert_eq!(body(&with_flag.report), body(&plain.report), "stdout must not move");
+        assert_eq!(
+            with_flag.report.split(" in ").next(),
+            plain.report.split(" in ").next(),
+            "header prefix must not move"
+        );
+        assert_eq!(with_flag.check_failed, plain.check_failed);
+        let notice = with_flag.counters_notice.expect("one notice");
+        assert!(notice.contains("counters unavailable"), "{notice}");
+        assert!(!ara_trace::counters::sampling_enabled());
+        assert!(!ara_trace::recorder().is_enabled(), "recorder left off");
+    }
+
+    #[test]
+    fn counters_live_append_the_roofline_section() {
+        // On hosts that can sample, --counters appends the per-stage
+        // table; everything before it (the layer lines) is unchanged.
+        let _guard = ara_trace::testing::serial_guard();
+        ara_trace::testing::reset();
+        std::env::remove_var("ARA_COUNTERS");
+        let book = tmp("book-counters-on.ara");
+        run_generate(&small_generate(&book)).unwrap();
+        let plain = run_analyse_outcome(&RunOpts {
+            input: book.clone(),
+            ..RunOpts::default()
+        })
+        .unwrap();
+        let probe = ara_trace::counters::enable();
+        ara_trace::counters::disable();
+        let outcome = run_analyse_outcome(&RunOpts {
+            input: book,
+            counters: true,
+            ..RunOpts::default()
+        })
+        .unwrap();
+        if probe {
+            assert!(outcome.counters_notice.is_none());
+            assert!(
+                outcome.report.contains("hardware counters"),
+                "{}",
+                outcome.report
+            );
+            assert!(outcome.report.contains("bottleneck"), "{}", outcome.report);
+            assert!(
+                outcome.report.starts_with(plain.report.lines().next().unwrap().split(" in ").next().unwrap()),
+                "prefix moved: {}",
+                outcome.report
+            );
+        } else {
+            // Denied host: behaves exactly like the forced-off test.
+            // (Compare past the header line, whose timings jitter.)
+            assert!(outcome.counters_notice.is_some());
+            let body = |r: &str| r.split_once('\n').map(|(_, b)| b.to_string()).unwrap();
+            assert_eq!(body(&outcome.report), body(&plain.report));
+        }
+        assert!(!ara_trace::counters::sampling_enabled());
+    }
+
+    #[test]
+    fn perf_baseline_miss_is_diagnosed_not_bare() {
+        let _guard = ara_trace::testing::serial_guard();
+        ara_trace::testing::reset();
+        std::env::remove_var("ARA_PERF_PERTURB");
+        let history = tmp("perf-foreign-history.jsonl");
+        std::fs::remove_file(&history).ok();
+
+        // Record one real run, then rewrite its lines as a foreign host
+        // (different thread count) so the fingerprint can't match.
+        run_perf(&perf_opts(PerfAction::Record, &history)).unwrap();
+        let text = std::fs::read_to_string(&history).unwrap();
+        let threads = std::thread::available_parallelism().unwrap().get();
+        let foreign = text.replace(
+            &format!("\"threads\":{threads}"),
+            &format!("\"threads\":{}", threads + 7),
+        );
+        assert_ne!(foreign, text, "thread count must appear in manifests");
+        std::fs::write(&history, foreign).unwrap();
+
+        let cmp = run_perf(&perf_opts(PerfAction::Compare, &history)).unwrap();
+        assert!(cmp.report.contains("at least two"), "{}", cmp.report);
+        assert!(
+            cmp.report.contains("none matching this host's fingerprint"),
+            "{}",
+            cmp.report
+        );
+        assert!(
+            cmp.report
+                .contains(&format!("threads {} -> {threads}", threads + 7)),
+            "{}",
+            cmp.report
+        );
+        std::fs::remove_file(&history).ok();
     }
 
     #[test]

@@ -24,6 +24,9 @@ fn main() -> ExitCode {
         Command::Analyse(opts) => {
             return match run_analyse_outcome(&opts) {
                 Ok(outcome) => {
+                    if let Some(notice) = &outcome.counters_notice {
+                        eprintln!("{notice}");
+                    }
                     println!("{}", outcome.report);
                     if outcome.check_failed {
                         ExitCode::FAILURE

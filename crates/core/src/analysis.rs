@@ -417,6 +417,14 @@ pub struct BlockedWorkspace<R> {
     plan: BlockedGather,
     acc: Vec<R>,
     combined: Vec<R>,
+    /// Per-stage nanoseconds for the blocked loop, accumulated only
+    /// while counter sampling is enabled — the untraced hot path takes
+    /// zero instrumentation. The fused gather+combine is attributed to
+    /// the lookup stage (the financial stage shows zero here).
+    pub stages: ara_trace::StageNanos,
+    /// Per-stage hardware-counter deltas, mirroring
+    /// [`BlockedWorkspace::stages`].
+    pub counters: ara_trace::StageCounters,
 }
 
 impl<R: Real> BlockedWorkspace<R> {
@@ -446,6 +454,13 @@ pub fn analyse_trials_blocked<R: Real>(
     year_loss: &mut Vec<f64>,
     max_occ: &mut Vec<f64>,
 ) {
+    // Stage attribution for the blocked loop is per batch and only
+    // while counter sampling is on, so the production hot path stays
+    // instrumentation-free. Batch setup counts as fetch, the fused
+    // gather+combine as lookup, the per-trial epilogue as layer terms.
+    let sampling = ara_trace::counters::sampling_enabled();
+    let mut lap = ara_trace::LapTimer::start();
+    let mut t_prev = if sampling { ara_trace::now_ns() } else { 0 };
     let offsets = yet.offsets();
     let mut first = range.start;
     while first < range.end {
@@ -464,6 +479,12 @@ pub fn analyse_trials_blocked<R: Real>(
         let cat = yet.catalogue_size() as usize;
         ws.combined.clear();
         ws.combined.resize(events.len(), R::ZERO);
+        if sampling {
+            let t = ara_trace::now_ns();
+            ws.stages.fetch += t - t_prev;
+            t_prev = t;
+            ws.counters.fetch.merge(&lap.lap());
+        }
 
         if prepared.region_slots >= cat {
             // Streaming fast path: one region covers the whole catalogue,
@@ -526,6 +547,12 @@ pub fn analyse_trials_blocked<R: Real>(
                 }
             }
         }
+        if sampling {
+            let t = ara_trace::now_ns();
+            ws.stages.lookup += t - t_prev;
+            t_prev = t;
+            ws.counters.lookup.merge(&lap.lap());
+        }
 
         for i in first..last {
             let lo = offsets[i] as usize - base;
@@ -537,6 +564,12 @@ pub fn analyse_trials_blocked<R: Real>(
             );
             year_loss.push(r.year_loss.to_f64());
             max_occ.push(r.max_occ_loss.to_f64());
+        }
+        if sampling {
+            let t = ara_trace::now_ns();
+            ws.stages.layer += t - t_prev;
+            t_prev = t;
+            ws.counters.layer.merge(&lap.lap());
         }
         first = last;
     }
@@ -571,6 +604,9 @@ pub struct StagedWorkspace<R> {
     ground: Vec<R>,
     /// Per-stage nanoseconds accumulated across trials.
     pub stages: ara_trace::StageNanos,
+    /// Per-stage hardware-counter deltas accumulated across trials
+    /// (empty unless [`ara_trace::counters::enable`] succeeded).
+    pub counters: ara_trace::StageCounters,
 }
 
 impl<R: Real> StagedWorkspace<R> {
@@ -581,6 +617,7 @@ impl<R: Real> StagedWorkspace<R> {
             events: Vec::new(),
             ground: Vec::new(),
             stages: ara_trace::StageNanos::ZERO,
+            counters: ara_trace::StageCounters::ZERO,
         }
     }
 
@@ -592,6 +629,7 @@ impl<R: Real> StagedWorkspace<R> {
             events: Vec::with_capacity(max_events),
             ground: Vec::with_capacity(max_events * num_elts),
             stages: ara_trace::StageNanos::ZERO,
+            counters: ara_trace::StageCounters::ZERO,
         }
     }
 }
@@ -610,6 +648,7 @@ pub fn analyse_trial_staged<R: Real, L: LossLookup<R>>(
     trial: TrialView<'_>,
     workspace: &mut StagedWorkspace<R>,
 ) -> TrialResult<R> {
+    let mut lap = ara_trace::LapTimer::start();
     let t0 = ara_trace::now_ns();
 
     // Stage 1 — fetch events: read the trial's occurrences out of the
@@ -618,6 +657,7 @@ pub fn analyse_trial_staged<R: Real, L: LossLookup<R>>(
     workspace.events.extend_from_slice(trial.events);
     let len = workspace.events.len();
     let t1 = ara_trace::now_ns();
+    workspace.counters.fetch.merge(&lap.lap());
 
     // Stage 2 — loss lookup: gather every ground-up loss from each
     // covered ELT in one batch call (the hot random-access stage).
@@ -628,6 +668,7 @@ pub fn analyse_trial_staged<R: Real, L: LossLookup<R>>(
         lookup.loss_batch_tier(prepared.simd_tier, &workspace.events, row);
     }
     let t2 = ara_trace::now_ns();
+    workspace.counters.lookup.merge(&lap.lap());
 
     // Stage 3 — financial terms: apply each ELT's terms and accumulate
     // across ELTs, in the same order as the fused loop.
@@ -646,6 +687,7 @@ pub fn analyse_trial_staged<R: Real, L: LossLookup<R>>(
         );
     }
     let t3 = ara_trace::now_ns();
+    workspace.counters.financial.merge(&lap.lap());
 
     // Stage 4 — layer terms: occurrence clamp per event, then aggregate
     // terms over the running cumulative loss.
@@ -657,6 +699,7 @@ pub fn analyse_trial_staged<R: Real, L: LossLookup<R>>(
     );
     let year_loss = apply_aggregate_stepwise(&prepared.terms, &mut workspace.combined);
     let t4 = ara_trace::now_ns();
+    workspace.counters.layer.merge(&lap.lap());
 
     workspace.stages.fetch += t1 - t0;
     workspace.stages.lookup += t2 - t1;
@@ -671,13 +714,14 @@ pub fn analyse_trial_staged<R: Real, L: LossLookup<R>>(
 
 /// Analyse every trial of `yet` under a prepared layer with per-stage
 /// timing. Returns the YLT (bit-identical to [`analyse_layer`]) together
-/// with the accumulated per-stage nanoseconds, and bumps the
-/// `lookup.probes` / `trials.analysed` counters when the global recorder
-/// is enabled.
+/// with the accumulated per-stage nanoseconds and hardware-counter
+/// deltas (the latter empty unless counter sampling is enabled), and
+/// bumps the `lookup.probes` / `trials.analysed` counters when the
+/// global recorder is enabled.
 pub fn analyse_layer_staged<R: Real, L: LossLookup<R>>(
     prepared: &PreparedLayer<R, L>,
     yet: &YearEventTable,
-) -> (YearLossTable, ara_trace::StageNanos) {
+) -> (YearLossTable, ara_trace::StageNanos, ara_trace::StageCounters) {
     let n = yet.num_trials();
     let mut year_loss = Vec::with_capacity(n);
     let mut max_occ = Vec::with_capacity(n);
@@ -696,7 +740,7 @@ pub fn analyse_layer_staged<R: Real, L: LossLookup<R>>(
     }
     let ylt = YearLossTable::with_max_occurrence(year_loss, max_occ)
         .expect("columns built together have equal length");
-    (ylt, ws.stages)
+    (ylt, ws.stages, ws.counters)
 }
 
 /// Analyse a single trial given raw occurrence data — convenience for
@@ -1030,7 +1074,7 @@ mod tests {
         let (inputs, layer) = fixture();
         let prepared = PreparedLayer::<f64>::prepare(&inputs, &layer).unwrap();
         let plain = analyse_layer(&prepared, &inputs.yet);
-        let (staged, stages) = analyse_layer_staged(&prepared, &inputs.yet);
+        let (staged, stages, counters) = analyse_layer_staged(&prepared, &inputs.yet);
         assert_eq!(plain.year_losses(), staged.year_losses());
         assert_eq!(
             plain.max_occurrence_losses(),
@@ -1038,6 +1082,52 @@ mod tests {
         );
         // Two trials, four clock brackets each: some time must register.
         assert!(stages.total() > 0);
+        // Counter sampling was never enabled: the deltas stay empty, so
+        // the counters can never change what the analysis computes.
+        assert!(counters.is_empty());
+    }
+
+    #[test]
+    fn counter_sampling_never_changes_results() {
+        // The degradation contract: with counters off the deltas stay
+        // empty, with counters on (host-permitting) they accrue into
+        // the stage buckets — and the analysed numbers are identical
+        // either way, on both the staged and the blocked path.
+        let _g = ara_trace::testing::serial_guard();
+        let (inputs, layer) = fixture();
+        let prepared = PreparedLayer::<f64>::prepare(&inputs, &layer).unwrap();
+        std::env::remove_var("ARA_COUNTERS");
+        ara_trace::counters::disable();
+        let (plain, _, off_counters) = analyse_layer_staged(&prepared, &inputs.yet);
+        assert!(off_counters.is_empty());
+
+        let live = ara_trace::counters::enable();
+        let (sampled, _, on_counters) = analyse_layer_staged(&prepared, &inputs.yet);
+        let mut ws = BlockedWorkspace::new();
+        let n = inputs.yet.num_trials();
+        let (mut year, mut occ) = (Vec::new(), Vec::new());
+        analyse_trials_blocked(&prepared, &inputs.yet, 0..n, &mut ws, &mut year, &mut occ);
+        ara_trace::counters::disable();
+
+        assert_eq!(plain.year_losses(), sampled.year_losses());
+        assert_eq!(plain.year_losses(), &year[..]);
+        if live {
+            // Counters accrue only inside the stage brackets, so each
+            // measured stage's share lands in its own bucket and the
+            // totals are non-zero.
+            use ara_trace::CounterKind;
+            assert!(on_counters.total().get(CounterKind::Cycles).unwrap_or(0) > 0);
+            assert!(ws.counters.total().get(CounterKind::Cycles).unwrap_or(0) > 0);
+            assert!(ws.stages.total() > 0, "blocked stage time accrued");
+            // The blocked path fuses gather+combine into the lookup
+            // stage; financial must stay untouched.
+            assert!(ws.counters.financial.is_empty());
+            assert_eq!(ws.stages.financial, 0);
+        } else {
+            assert!(on_counters.is_empty(), "denied host: no deltas");
+            assert!(ws.counters.is_empty());
+            assert_eq!(ws.stages.total(), 0);
+        }
     }
 
     #[test]
@@ -1227,12 +1317,12 @@ mod tests {
                 let (inputs, layer) = build(&s);
                 let p64 = PreparedLayer::<f64>::prepare(&inputs, &layer).unwrap();
                 let plain64 = analyse_layer(&p64, &inputs.yet);
-                let (staged64, _) = analyse_layer_staged(&p64, &inputs.yet);
+                let (staged64, _, _) = analyse_layer_staged(&p64, &inputs.yet);
                 prop_assert_eq!(plain64.year_losses(), staged64.year_losses());
 
                 let p32 = PreparedLayer::<f32>::prepare(&inputs, &layer).unwrap();
                 let plain32 = analyse_layer(&p32, &inputs.yet);
-                let (staged32, _) = analyse_layer_staged(&p32, &inputs.yet);
+                let (staged32, _, _) = analyse_layer_staged(&p32, &inputs.yet);
                 prop_assert_eq!(plain32.year_losses(), staged32.year_losses());
                 prop_assert_eq!(
                     plain32.max_occurrence_losses(),

@@ -239,6 +239,13 @@ pub struct AnalysisOutput {
     /// Diffable against the engine's modeled breakdown via
     /// [`modeled_vs_measured`].
     pub measured: Option<ActivityBreakdown>,
+    /// Hardware-counter deltas per Algorithm-1 stage, populated when
+    /// counter sampling ([`ara_trace::counters::enable`]) was live
+    /// during a traced run. `None` on untraced runs and empty on hosts
+    /// where `perf_event_open` is unavailable — consumers must treat
+    /// both as "no counter evidence". For parallel engines the deltas
+    /// are summed across workers, like [`AnalysisOutput::measured`].
+    pub counters: Option<ara_trace::StageCounters>,
 }
 
 /// One of the five implementation variants.

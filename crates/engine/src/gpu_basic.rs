@@ -94,6 +94,7 @@ impl Engine for GpuBasicEngine {
         let mut ids = Vec::with_capacity(inputs.layers.len());
         let mut ylts = Vec::with_capacity(inputs.layers.len());
         let mut total_stages = ara_trace::StageNanos::ZERO;
+        let mut total_counters = ara_trace::StageCounters::ZERO;
         for (li, layer) in inputs.layers.iter().enumerate() {
             // The host-side batch gathers and combines run at the
             // detected SIMD tier (the simulated device arithmetic is
@@ -114,9 +115,12 @@ impl Engine for GpuBasicEngine {
             prepare_total += p0.elapsed();
 
             let acc = ara_trace::AtomicStageNanos::new();
+            let counter_acc = ara_trace::AtomicStageCounters::new();
             let mut kernel = AraBasicKernel::new(&inputs.yet, &prepared, 0);
             if tracing {
-                kernel = kernel.with_stage_accumulator(&acc);
+                kernel = kernel
+                    .with_stage_accumulator(&acc)
+                    .with_counter_accumulator(&counter_acc);
             }
             let mut out: Vec<TrialLoss> = vec![(0.0, 0.0); n];
             let stages_t0 = ara_trace::now_ns();
@@ -125,6 +129,7 @@ impl Engine for GpuBasicEngine {
                 let stages = acc.load();
                 stages.emit_spans(stages_t0);
                 total_stages.merge(&stages);
+                total_counters.merge(&counter_acc.load());
             }
 
             let (year, max_occ) = out.into_iter().unzip();
@@ -136,6 +141,7 @@ impl Engine for GpuBasicEngine {
             wall: start.elapsed(),
             prepare: prepare_total,
             measured: tracing.then(|| ActivityBreakdown::from_stage_nanos(&total_stages)),
+            counters: tracing.then_some(total_counters),
         })
     }
 
@@ -175,6 +181,7 @@ impl Engine for GpuBasicEngine {
                 wall: start.elapsed(),
                 prepare: prepare_total,
                 measured: None,
+                counters: None,
             },
             check,
         ))

@@ -112,18 +112,22 @@ impl<R: Real> GpuOptimizedEngine<R> {
     /// Run the chunked kernel for one prepared layer over trials
     /// `range` (used directly by the multi-GPU engine). When `stages`
     /// is set the kernel runs instrumented and accumulates per-stage
-    /// time into it.
+    /// time into it, with hardware-counter deltas into `counters`.
     pub(crate) fn run_layer_partition(
         &self,
         inputs: &Inputs,
         prepared: &PreparedLayer<R>,
         range: std::ops::Range<usize>,
         stages: Option<&ara_trace::AtomicStageNanos>,
+        counters: Option<&ara_trace::AtomicStageCounters>,
     ) -> Vec<TrialLoss> {
         let mut kernel =
             AraChunkedKernel::new(&inputs.yet, prepared, range.start, self.chunk as usize);
         if let Some(acc) = stages {
             kernel = kernel.with_stage_accumulator(acc);
+        }
+        if let Some(acc) = counters {
+            kernel = kernel.with_counter_accumulator(acc);
         }
         let mut out: Vec<TrialLoss> = vec![(0.0, 0.0); range.len()];
         let cfg = LaunchConfig::new(range.len(), self.block_dim);
@@ -189,6 +193,7 @@ impl<R: Real> Engine for GpuOptimizedEngine<R> {
         let mut ids = Vec::with_capacity(inputs.layers.len());
         let mut ylts = Vec::with_capacity(inputs.layers.len());
         let mut total_stages = ara_trace::StageNanos::ZERO;
+        let mut total_counters = ara_trace::StageCounters::ZERO;
         for (li, layer) in inputs.layers.iter().enumerate() {
             // Host-side gathers and combines dispatch at the detected
             // SIMD tier; results stay bit-identical per element.
@@ -206,12 +211,20 @@ impl<R: Real> Engine for GpuOptimizedEngine<R> {
             prepare_total += p0.elapsed();
 
             let acc = ara_trace::AtomicStageNanos::new();
+            let counter_acc = ara_trace::AtomicStageCounters::new();
             let stages_t0 = ara_trace::now_ns();
-            let out = self.run_layer_partition(inputs, &prepared, 0..n, tracing.then_some(&acc));
+            let out = self.run_layer_partition(
+                inputs,
+                &prepared,
+                0..n,
+                tracing.then_some(&acc),
+                tracing.then_some(&counter_acc),
+            );
             if tracing {
                 let stages = acc.load();
                 stages.emit_spans(stages_t0);
                 total_stages.merge(&stages);
+                total_counters.merge(&counter_acc.load());
             }
             let (year, max_occ) = out.into_iter().unzip();
             ids.push(layer.id);
@@ -222,6 +235,7 @@ impl<R: Real> Engine for GpuOptimizedEngine<R> {
             wall: start.elapsed(),
             prepare: prepare_total,
             measured: tracing.then(|| ActivityBreakdown::from_stage_nanos(&total_stages)),
+            counters: tracing.then_some(total_counters),
         })
     }
 
@@ -252,6 +266,7 @@ impl<R: Real> Engine for GpuOptimizedEngine<R> {
                 wall: start.elapsed(),
                 prepare: prepare_total,
                 measured: None,
+                counters: None,
             },
             check,
         ))

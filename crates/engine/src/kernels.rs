@@ -16,7 +16,7 @@
 //! reassociation).
 
 use ara_core::{apply_aggregate_stepwise, LossLookup, PreparedLayer, Real, YearEventTable};
-use ara_trace::{AtomicStageNanos, StageNanos};
+use ara_trace::{AtomicStageCounters, AtomicStageNanos, LapTimer, StageCounters, StageNanos};
 use simt_sim::{BlockCtx, Kernel, TrackedShared};
 
 /// Per-trial kernel output: `(year_loss, max_occurrence_loss)`.
@@ -42,6 +42,9 @@ pub struct BasicShared<R> {
     ground: Vec<R>,
     /// Block-local per-stage nanoseconds, flushed once per block.
     stages: StageNanos,
+    /// Block-local hardware-counter deltas, flushed once per block.
+    /// Stays empty unless counter sampling is live.
+    counters: StageCounters,
 }
 
 /// The basic one-thread-per-trial kernel (implementation iii).
@@ -51,6 +54,7 @@ pub struct AraBasicKernel<'a, R: Real> {
     /// First trial this launch covers (multi-device partitioning).
     base_trial: usize,
     stages: Option<&'a AtomicStageNanos>,
+    counters: Option<&'a AtomicStageCounters>,
 }
 
 impl<'a, R: Real> AraBasicKernel<'a, R> {
@@ -61,6 +65,7 @@ impl<'a, R: Real> AraBasicKernel<'a, R> {
             prepared,
             base_trial,
             stages: None,
+            counters: None,
         }
     }
 
@@ -72,17 +77,30 @@ impl<'a, R: Real> AraBasicKernel<'a, R> {
         self
     }
 
+    /// Accumulate per-stage hardware-counter deltas into `acc`. Only
+    /// meaningful alongside [`Self::with_stage_accumulator`] (the fused
+    /// path has no stage brackets); deltas stay zero unless counter
+    /// sampling ([`ara_trace::counters::enable`]) is live.
+    pub fn with_counter_accumulator(mut self, acc: &'a AtomicStageCounters) -> Self {
+        self.counters = Some(acc);
+        self
+    }
+
     fn run_block_traced(&self, ctx: &mut BlockCtx<'_, BasicShared<R>>, out: &mut [TrialLoss]) {
         let terms = *self.prepared.terms();
         let num_elts = self.prepared.num_elts();
         ctx.for_each_thread(|t, s| {
-            // Stage 1 — fetch events from the YET.
+            // Stage 1 — fetch events from the YET. The lap timer reads
+            // the thread's perf-counter group at each stage boundary
+            // (a single relaxed load when sampling is off).
+            let mut lap = LapTimer::start();
             let t0 = ara_trace::now_ns();
             let trial = self.yet.trial(self.base_trial + t.global);
             let len = trial.len();
             s.lox.clear();
             s.lox.resize(len, R::ZERO);
             let t1 = ara_trace::now_ns();
+            s.counters.fetch.merge(&lap.lap());
 
             // Stage 2 — loss lookup: gather every ground-up loss with the
             // tiered batch API (one pass per ELT, at the prepared layer's
@@ -94,6 +112,7 @@ impl<'a, R: Real> AraBasicKernel<'a, R> {
                 lookup.loss_batch_tier(tier, trial.events, &mut s.ground[e * len..(e + 1) * len]);
             }
             let t2 = ara_trace::now_ns();
+            s.counters.lookup.merge(&lap.lap());
 
             // Stage 3 — financial terms, accumulated in the fused
             // loop's exact order (ELT-outer, occurrence-inner).
@@ -102,6 +121,7 @@ impl<'a, R: Real> AraBasicKernel<'a, R> {
                 R::simd_accumulate(tier, &mut s.lox, row, fx, ret, lim, share);
             }
             let t3 = ara_trace::now_ns();
+            s.counters.financial.merge(&lap.lap());
 
             // Stage 4 — layer terms: occurrence clamp + the literal
             // prefix-sum / clamp / difference / sum passes.
@@ -113,6 +133,7 @@ impl<'a, R: Real> AraBasicKernel<'a, R> {
             );
             let year = apply_aggregate_stepwise(&terms, &mut s.lox);
             let t4 = ara_trace::now_ns();
+            s.counters.layer.merge(&lap.lap());
 
             s.stages.fetch += t1 - t0;
             s.stages.lookup += t2 - t1;
@@ -131,6 +152,7 @@ impl<R: Real> Kernel<TrialLoss> for AraBasicKernel<'_, R> {
             lox: Vec::new(),
             ground: Vec::new(),
             stages: StageNanos::ZERO,
+            counters: StageCounters::ZERO,
         }
     }
 
@@ -139,6 +161,7 @@ impl<R: Real> Kernel<TrialLoss> for AraBasicKernel<'_, R> {
         // per thread in run_block, so recycling is allocation-free once
         // the first block of a run has grown them.
         shared.stages = StageNanos::ZERO;
+        shared.counters = StageCounters::ZERO;
     }
 
     fn run_block(&self, ctx: &mut BlockCtx<'_, BasicShared<R>>, out: &mut [TrialLoss]) {
@@ -147,6 +170,10 @@ impl<R: Real> Kernel<TrialLoss> for AraBasicKernel<'_, R> {
             if let Some(acc) = self.stages {
                 acc.add(&ctx.shared().stages);
                 ctx.shared().stages = StageNanos::ZERO;
+            }
+            if let Some(acc) = self.counters {
+                acc.add(&ctx.shared().counters);
+                ctx.shared().counters = StageCounters::ZERO;
             }
             return;
         }
@@ -219,6 +246,9 @@ pub struct ChunkShared<R> {
     combined: TrackedShared<R>,
     /// Block-local per-stage nanoseconds, flushed once per block.
     stages: StageNanos,
+    /// Block-local hardware-counter deltas, flushed once per block.
+    /// Stays empty unless counter sampling is live.
+    counters: StageCounters,
 }
 
 /// The optimised chunked kernel (implementation iv).
@@ -228,6 +258,7 @@ pub struct AraChunkedKernel<'a, R: Real> {
     base_trial: usize,
     chunk: usize,
     stages: Option<&'a AtomicStageNanos>,
+    counters: Option<&'a AtomicStageCounters>,
 }
 
 impl<'a, R: Real> AraChunkedKernel<'a, R> {
@@ -249,6 +280,7 @@ impl<'a, R: Real> AraChunkedKernel<'a, R> {
             base_trial,
             chunk,
             stages: None,
+            counters: None,
         }
     }
 
@@ -257,6 +289,15 @@ impl<'a, R: Real> AraChunkedKernel<'a, R> {
     /// to the fused phase B).
     pub fn with_stage_accumulator(mut self, acc: &'a AtomicStageNanos) -> Self {
         self.stages = Some(acc);
+        self
+    }
+
+    /// Accumulate per-stage hardware-counter deltas into `acc`. Only
+    /// meaningful alongside [`Self::with_stage_accumulator`] (the fused
+    /// path has no stage brackets); deltas stay zero unless counter
+    /// sampling ([`ara_trace::counters::enable`]) is live.
+    pub fn with_counter_accumulator(mut self, acc: &'a AtomicStageCounters) -> Self {
+        self.counters = Some(acc);
         self
     }
 
@@ -276,6 +317,7 @@ impl<'a, R: Real> AraChunkedKernel<'a, R> {
             // Stage 2 — loss lookup: batch-gather ground-up losses
             // ELT-major, at the prepared layer's SIMD tier.
             let tier = self.prepared.simd_tier();
+            let mut lap = LapTimer::start();
             let t1 = ara_trace::now_ns();
             for (e, lookup) in self.prepared.lookups().iter().enumerate() {
                 let base = e * n_chunk + slot;
@@ -286,6 +328,7 @@ impl<'a, R: Real> AraChunkedKernel<'a, R> {
                 );
             }
             let t2 = ara_trace::now_ns();
+            s.counters.lookup.merge(&lap.lap());
 
             // Stage 3 — financial terms: combine per event, ELT-outer.
             // Each element accumulates its ELT contributions in the same
@@ -306,6 +349,7 @@ impl<'a, R: Real> AraChunkedKernel<'a, R> {
                 );
             }
             let t3 = ara_trace::now_ns();
+            s.counters.financial.merge(&lap.lap());
 
             // Stage 4 — layer terms: occurrence clamp into the running
             // aggregate and max.
@@ -319,6 +363,7 @@ impl<'a, R: Real> AraChunkedKernel<'a, R> {
             s.acc[t.local as usize] = acc;
             s.max_occ[t.local as usize] = max_occ;
             let t4 = ara_trace::now_ns();
+            s.counters.layer.merge(&lap.lap());
 
             s.stages.lookup += t2 - t1;
             s.stages.financial += t3 - t2;
@@ -339,6 +384,7 @@ impl<R: Real> Kernel<TrialLoss> for AraChunkedKernel<'_, R> {
             ground: TrackedShared::new("ground"),
             combined: TrackedShared::new("combined"),
             stages: StageNanos::ZERO,
+            counters: StageCounters::ZERO,
         }
     }
 
@@ -346,6 +392,7 @@ impl<R: Real> Kernel<TrialLoss> for AraChunkedKernel<'_, R> {
         // Keep the arena's capacity: run_block clears and resizes every
         // buffer, so blocks after the first in a run allocate nothing.
         shared.stages = StageNanos::ZERO;
+        shared.counters = StageCounters::ZERO;
     }
 
     fn run_block(&self, ctx: &mut BlockCtx<'_, ChunkShared<R>>, out: &mut [TrialLoss]) {
@@ -370,6 +417,7 @@ impl<R: Real> Kernel<TrialLoss> for AraChunkedKernel<'_, R> {
             s.combined.resize(n * chunk, R::ZERO);
             if traced {
                 s.stages = StageNanos::ZERO;
+                s.counters = StageCounters::ZERO;
             }
         }
 
@@ -392,6 +440,7 @@ impl<R: Real> Kernel<TrialLoss> for AraChunkedKernel<'_, R> {
             // from the YET (coalesced read) into shared memory. Under
             // instrumentation this is the fetch-events stage.
             let a0 = if traced { ara_trace::now_ns() } else { 0 };
+            let mut lap = traced.then(LapTimer::start);
             ctx.for_each_thread(|t, s| {
                 let trial = self.yet.trial(base + t.global);
                 // A thread whose trial is already exhausted stages
@@ -405,7 +454,11 @@ impl<R: Real> Kernel<TrialLoss> for AraChunkedKernel<'_, R> {
                 s.staged_len[t.local as usize] = (hi - lo) as u32;
             });
             if traced {
-                ctx.shared().stages.fetch += ara_trace::now_ns() - a0;
+                let s = ctx.shared();
+                s.stages.fetch += ara_trace::now_ns() - a0;
+                if let Some(lap) = lap.as_mut() {
+                    s.counters.fetch.merge(&lap.lap());
+                }
             }
 
             // Phase B: each thread batch-gathers its staged events from
@@ -471,6 +524,7 @@ impl<R: Real> Kernel<TrialLoss> for AraChunkedKernel<'_, R> {
         // accumulated total (telescoping identity of Algorithm 1's
         // lines 18–29). Counted as layer-terms time when instrumented.
         let e0 = if traced { ara_trace::now_ns() } else { 0 };
+        let mut lap = traced.then(LapTimer::start);
         ctx.for_each_thread(|t, s| {
             let year = terms.apply_aggregate(s.acc[t.local as usize]);
             out[t.local as usize] = (year.to_f64(), s.max_occ[t.local as usize].to_f64());
@@ -478,8 +532,15 @@ impl<R: Real> Kernel<TrialLoss> for AraChunkedKernel<'_, R> {
         if let Some(acc) = self.stages {
             let s = ctx.shared();
             s.stages.layer += ara_trace::now_ns() - e0;
+            if let Some(lap) = lap.as_mut() {
+                s.counters.layer.merge(&lap.lap());
+            }
             acc.add(&s.stages);
             s.stages = StageNanos::ZERO;
+            if let Some(cacc) = self.counters {
+                cacc.add(&s.counters);
+            }
+            s.counters = StageCounters::ZERO;
         }
     }
 }

@@ -34,6 +34,7 @@ pub mod kernels;
 pub mod multi_gpu;
 pub mod multicore;
 pub mod profiles;
+pub mod roofline;
 pub mod seq;
 pub mod uncertain;
 
@@ -48,6 +49,7 @@ pub use kernels::{AraBasicKernel, AraChunkedKernel, TrialLoss};
 pub use multi_gpu::MultiGpuEngine;
 pub use multicore::{analyse_portfolio_parallel, MulticoreEngine, Schedule};
 pub use profiles::{basic_kernel_profile, optimised_kernel_profile, shape_of_inputs};
+pub use roofline::{memory_drift, working_set_bytes, Bottleneck, CounterReport, StageRoofline};
 pub use seq::SequentialEngine;
 pub use uncertain::{
     analyse_uncertain_gpu, analyse_uncertain_multicore, analyse_uncertain_sequential,

@@ -116,6 +116,7 @@ impl<R: Real> Engine for MultiGpuEngine<R> {
         let mut ids = Vec::with_capacity(inputs.layers.len());
         let mut ylts = Vec::with_capacity(inputs.layers.len());
         let mut total_stages = ara_trace::StageNanos::ZERO;
+        let mut total_counters = ara_trace::StageCounters::ZERO;
         for (li, layer) in inputs.layers.iter().enumerate() {
             // Host-side gathers and combines dispatch at the detected
             // SIMD tier; results stay bit-identical per element.
@@ -138,6 +139,7 @@ impl<R: Real> Engine for MultiGpuEngine<R> {
             let partitions = inputs.yet.partition_trials(n_dev);
             // One stage accumulator shared by all device host threads.
             let acc = ara_trace::AtomicStageNanos::new();
+            let counter_acc = ara_trace::AtomicStageCounters::new();
             let stages_t0 = ara_trace::now_ns();
             // One CPU thread invokes and manages each device.
             let mut parts: Vec<Vec<TrialLoss>> = Vec::with_capacity(n_dev);
@@ -152,11 +154,14 @@ impl<R: Real> Engine for MultiGpuEngine<R> {
                         let block_dim = self.block_dim;
                         let chunk = self.chunk as usize;
                         let acc = &acc;
+                        let counter_acc = &counter_acc;
                         scope.spawn(move |_| {
                             let mut kernel =
                                 AraChunkedKernel::new(yet, prepared, range.start, chunk);
                             if tracing {
-                                kernel = kernel.with_stage_accumulator(acc);
+                                kernel = kernel
+                                    .with_stage_accumulator(acc)
+                                    .with_counter_accumulator(counter_acc);
                             }
                             let mut out: Vec<TrialLoss> = vec![(0.0, 0.0); range.len()];
                             let cfg = LaunchConfig::new(range.len(), block_dim);
@@ -178,6 +183,7 @@ impl<R: Real> Engine for MultiGpuEngine<R> {
                 let stages = acc.load();
                 stages.emit_spans(stages_t0);
                 total_stages.merge(&stages);
+                total_counters.merge(&counter_acc.load());
             }
 
             let ylt = YearLossTable::concat(
@@ -198,6 +204,7 @@ impl<R: Real> Engine for MultiGpuEngine<R> {
             wall: start.elapsed(),
             prepare: prepare_total,
             measured: tracing.then(|| ActivityBreakdown::from_stage_nanos(&total_stages)),
+            counters: tracing.then_some(total_counters),
         })
     }
 
@@ -248,6 +255,7 @@ impl<R: Real> Engine for MultiGpuEngine<R> {
                 wall: start.elapsed(),
                 prepare: prepare_total,
                 measured: None,
+                counters: None,
             },
             check,
         ))

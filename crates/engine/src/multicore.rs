@@ -94,7 +94,7 @@ impl<R: Real> MulticoreEngine<R> {
         inputs: &Inputs,
         prepared: &PreparedLayer<R>,
         tuned_grain: usize,
-    ) -> (YearLossTable, ara_trace::StageNanos) {
+    ) -> (YearLossTable, ara_trace::StageNanos, ara_trace::StageCounters) {
         let n = inputs.yet.num_trials();
         let grain = match self.schedule {
             Schedule::Auto => tuned_grain.max(1),
@@ -104,6 +104,7 @@ impl<R: Real> MulticoreEngine<R> {
         };
         let tracing = ara_trace::recorder().is_enabled();
         let stage_acc = ara_trace::AtomicStageNanos::new();
+        let counter_acc = ara_trace::AtomicStageCounters::new();
         let results: Vec<(f64, f64)> = pool.install(|| {
             if tracing {
                 // The instrumented path: each worker times the four
@@ -116,12 +117,14 @@ impl<R: Real> MulticoreEngine<R> {
                     .with_min_len(grain)
                     .map_init(ara_core::StagedWorkspace::<R>::new, |ws, i| {
                         ws.stages = ara_trace::StageNanos::ZERO;
+                        ws.counters = ara_trace::StageCounters::ZERO;
                         let r = ara_core::analysis::analyse_trial_staged(
                             prepared,
                             inputs.yet.trial(i),
                             ws,
                         );
                         stage_acc.add(&ws.stages);
+                        counter_acc.add(&ws.counters);
                         (r.year_loss.to_f64(), r.max_occ_loss.to_f64())
                     })
                     .collect()
@@ -164,7 +167,7 @@ impl<R: Real> MulticoreEngine<R> {
         let (year, max_occ): (Vec<f64>, Vec<f64>) = results.into_iter().unzip();
         let ylt = YearLossTable::with_max_occurrence(year, max_occ)
             .expect("parallel columns have equal length");
-        (ylt, stage_acc.load())
+        (ylt, stage_acc.load(), counter_acc.load())
     }
 }
 
@@ -191,6 +194,7 @@ impl<R: Real> Engine for MulticoreEngine<R> {
         let mut ids = Vec::with_capacity(inputs.layers.len());
         let mut ylts = Vec::with_capacity(inputs.layers.len());
         let mut total_stages = ara_trace::StageNanos::ZERO;
+        let mut total_counters = ara_trace::StageCounters::ZERO;
         for (li, layer) in inputs.layers.iter().enumerate() {
             let tuning = simt_sim::tune_host(
                 &cache,
@@ -224,11 +228,12 @@ impl<R: Real> Engine for MulticoreEngine<R> {
             prepare_total += p0.elapsed();
             ids.push(layer.id);
             let stages_t0 = ara_trace::now_ns();
-            let (ylt, stages) =
+            let (ylt, stages, counters) =
                 self.analyse_layer_parallel(&pool, inputs, &prepared, tuning.schedule_grain);
             if tracing {
                 stages.emit_spans(stages_t0);
                 total_stages.merge(&stages);
+                total_counters.merge(&counters);
             }
             ylts.push(ylt);
         }
@@ -237,6 +242,7 @@ impl<R: Real> Engine for MulticoreEngine<R> {
             wall: start.elapsed(),
             prepare: prepare_total,
             measured: tracing.then(|| ActivityBreakdown::from_stage_nanos(&total_stages)),
+            counters: tracing.then_some(total_counters),
         })
     }
 

@@ -1,0 +1,413 @@
+//! Roofline-style bottleneck attribution from hardware counters.
+//!
+//! PR 1 gave every engine a span-derived *time* breakdown over the four
+//! Algorithm-1 stages; this module answers the follow-up question —
+//! *why* does a stage take the time it takes? From the per-stage
+//! hardware-counter deltas ([`ara_trace::StageCounters`]) it derives
+//! IPC, LLC-miss rates and an estimated DRAM bandwidth, classifies each
+//! stage against a simple host roofline (compute-bound, latency-bound
+//! on outstanding misses, or bandwidth-bound), and diffs the measured
+//! memory traffic against simt-sim's analytic memory model the same way
+//! the activity breakdown is diffed in [`crate::modeled_vs_measured`].
+//!
+//! The classification rule (thresholds documented in DESIGN.md):
+//!
+//! 1. no cycle/instruction counts → **unknown** (counters unavailable);
+//! 2. IPC ≥ 1.0 → **compute-bound** (the core retires, it doesn't wait);
+//! 3. < 1 LLC miss per 1000 instructions → **compute-bound** (slow, but
+//!    not on memory);
+//! 4. otherwise memory-bound: with the working set larger than the LLC
+//!    and fewer than ~30 stalled-backend cycles per miss the misses
+//!    overlap and DRAM throughput is the wall → **bandwidth-bound**;
+//!    else each miss serialises (pointer-chasing / low memory-level
+//!    parallelism) → **latency-bound**.
+
+use crate::api::{modeled_vs_measured, stage, ActivityBreakdown, DriftReport};
+use crate::profiles::{basic_kernel_profile, shape_of_inputs};
+use ara_core::Inputs;
+use ara_trace::{CounterKind, CounterValues, StageCounters};
+use simt_sim::model::memory::TrafficSummary;
+
+/// Host cacheline size in bytes — the payload of one LLC miss, the
+/// conversion factor between miss counts and DRAM traffic.
+pub const CACHELINE_BYTES: u64 = 64;
+
+/// IPC at or above which a stage is compute-bound outright.
+pub const IPC_COMPUTE_BOUND: f64 = 1.0;
+
+/// LLC misses per 1000 instructions below which a slow stage is still
+/// compute-bound (its stalls are not memory stalls).
+pub const MISSES_PER_KINST_MEMORY: f64 = 1.0;
+
+/// Stalled-backend cycles per LLC miss at or above which misses are
+/// treated as serialised (latency-bound) rather than overlapped
+/// (bandwidth-bound).
+pub const STALLS_PER_MISS_LATENCY: f64 = 30.0;
+
+/// What limits a stage, per the host roofline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bottleneck {
+    /// Retiring instructions is the wall: high IPC or a miss rate too
+    /// low for memory to matter.
+    Compute,
+    /// Serialised cache misses are the wall — low memory-level
+    /// parallelism, each miss paying full latency (the gather's
+    /// failure mode on out-of-cache catalogues).
+    Latency,
+    /// Overlapped misses saturating DRAM throughput are the wall.
+    Bandwidth,
+    /// Not enough counter evidence to classify.
+    Unknown,
+}
+
+impl Bottleneck {
+    /// Human-readable label used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Bottleneck::Compute => "compute-bound",
+            Bottleneck::Latency => "latency-bound (MLP)",
+            Bottleneck::Bandwidth => "bandwidth-bound",
+            Bottleneck::Unknown => "unknown",
+        }
+    }
+}
+
+/// Classify one stage's counter deltas against the host roofline.
+///
+/// `working_set_bytes` is the resident data the stage walks (the direct
+/// access tables plus the YET — see [`working_set_bytes`]) and
+/// `llc_bytes` the last-level cache size from the detected
+/// [`simt_sim::CacheModel`]; a working set that fits in LLC cannot be
+/// DRAM-bandwidth-bound, however many L2-to-LLC misses it takes.
+pub fn classify(v: &CounterValues, working_set_bytes: u64, llc_bytes: u64) -> Bottleneck {
+    let (Some(cycles), Some(instructions)) = (
+        v.get(CounterKind::Cycles),
+        v.get(CounterKind::Instructions),
+    ) else {
+        return Bottleneck::Unknown;
+    };
+    if cycles == 0 || instructions == 0 {
+        return Bottleneck::Unknown;
+    }
+    let ipc = instructions as f64 / cycles as f64;
+    if ipc >= IPC_COMPUTE_BOUND {
+        return Bottleneck::Compute;
+    }
+    let Some(misses) = v.get(CounterKind::LlcMisses) else {
+        // Low IPC but no miss evidence: call it compute-bound rather
+        // than invent a memory story.
+        return Bottleneck::Compute;
+    };
+    let misses_per_kinst = misses as f64 * 1000.0 / instructions as f64;
+    if misses_per_kinst < MISSES_PER_KINST_MEMORY {
+        return Bottleneck::Compute;
+    }
+    let stalls_per_miss = v
+        .get(CounterKind::StalledBackend)
+        .map(|s| s as f64 / misses.max(1) as f64);
+    match stalls_per_miss {
+        Some(spm) if spm < STALLS_PER_MISS_LATENCY && working_set_bytes > llc_bytes => {
+            Bottleneck::Bandwidth
+        }
+        _ => Bottleneck::Latency,
+    }
+}
+
+/// One row of the counter report: a stage's wall time, derived rates
+/// and classification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageRoofline {
+    /// Canonical stage name.
+    pub stage: &'static str,
+    /// Measured wall (or summed CPU) seconds of the stage.
+    pub wall_secs: f64,
+    /// Instructions per cycle, when both counters were measured.
+    pub ipc: Option<f64>,
+    /// LLC misses per ELT lookup of the whole analysis — the paper's
+    /// natural unit of work (most meaningful for the lookup stage;
+    /// other stages share the same denominator for comparability).
+    pub llc_miss_per_lookup: Option<f64>,
+    /// Estimated DRAM traffic in GB/s: `LLC misses × 64 B / wall`.
+    pub est_gbps: Option<f64>,
+    /// The stage's roofline classification.
+    pub bottleneck: Bottleneck,
+}
+
+/// The per-stage counter/roofline report of one analysis run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterReport {
+    /// One row per Algorithm-1 stage, in pipeline order.
+    pub stages: Vec<StageRoofline>,
+}
+
+impl CounterReport {
+    /// Build the report from the per-stage counter deltas and the
+    /// span-derived wall breakdown of the same run.
+    pub fn build(
+        counters: &StageCounters,
+        wall: &ActivityBreakdown,
+        total_lookups: u128,
+        working_set_bytes: u64,
+        llc_bytes: u64,
+    ) -> Self {
+        let rows = [
+            (stage::FETCH, &counters.fetch, wall.fetch),
+            (stage::LOOKUP, &counters.lookup, wall.lookup),
+            (stage::FINANCIAL, &counters.financial, wall.financial),
+            (stage::LAYER, &counters.layer, wall.layer),
+        ];
+        let stages = rows
+            .into_iter()
+            .map(|(name, v, wall_secs)| {
+                let misses = v.get(CounterKind::LlcMisses);
+                StageRoofline {
+                    stage: name,
+                    wall_secs,
+                    ipc: v.ipc(),
+                    llc_miss_per_lookup: misses
+                        .filter(|_| total_lookups > 0)
+                        .map(|m| m as f64 / total_lookups as f64),
+                    est_gbps: misses.filter(|_| wall_secs > 0.0).map(|m| {
+                        (m * CACHELINE_BYTES) as f64 / wall_secs / 1e9
+                    }),
+                    bottleneck: classify(v, working_set_bytes, llc_bytes),
+                }
+            })
+            .collect();
+        CounterReport { stages }
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<16} {:>9} {:>6} {:>16} {:>9}  {}",
+            "stage", "wall", "IPC", "LLC-miss/lookup", "est GB/s", "bottleneck"
+        );
+        for s in &self.stages {
+            let fmt_opt = |v: Option<f64>, prec: usize| match v {
+                Some(x) => format!("{x:.prec$}"),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{:<16} {:>8.1}ms {:>6} {:>16} {:>9}  {}",
+                s.stage,
+                s.wall_secs * 1e3,
+                fmt_opt(s.ipc, 2),
+                fmt_opt(s.llc_miss_per_lookup, 4),
+                fmt_opt(s.est_gbps, 2),
+                s.bottleneck.name()
+            );
+        }
+        out
+    }
+}
+
+/// Size of the data the analysis walks: the dense direct-access tables
+/// of every layer (at `value_bytes` per loss) plus the YET's event
+/// stream — the quantity compared against the LLC in [`classify`].
+pub fn working_set_bytes(inputs: &Inputs, value_bytes: usize) -> u64 {
+    let catalogue = inputs.yet.catalogue_size() as u64;
+    let tables: u64 = inputs
+        .layers
+        .iter()
+        .map(|l| l.num_elts() as u64 * catalogue * value_bytes as u64)
+        .sum();
+    let yet = inputs.yet.total_events() as u64 * 8;
+    tables + yet
+}
+
+/// Modeled-vs-measured per-stage *memory traffic* shares, mirroring the
+/// activity-breakdown drift report of PR 1.
+///
+/// Modeled bytes come from simt-sim's analytic memory model
+/// ([`TrafficSummary::of_stage`]) over the basic kernel's profile,
+/// re-parameterised for the host: one scattered access moves one 64-byte
+/// cacheline, the granularity of the LLC misses we measure. Measured
+/// bytes are `LLC misses × 64` per stage. Both sides are compared as
+/// shares of their totals (the absolute scales differ — the model counts
+/// per-thread traffic, the counters whole-machine misses), so a flagged
+/// stage means the *distribution* of traffic disagrees with the model.
+///
+/// Returns `None` when no stage has measured LLC misses (counters off
+/// or unavailable).
+pub fn memory_drift(
+    counters: &StageCounters,
+    inputs: &Inputs,
+    threshold_pct: f64,
+) -> Option<DriftReport> {
+    let measured_bytes = |v: &CounterValues| {
+        v.get(CounterKind::LlcMisses)
+            .map(|m| (m * CACHELINE_BYTES) as f64)
+    };
+    let measured = ActivityBreakdown {
+        fetch: measured_bytes(&counters.fetch)?,
+        lookup: measured_bytes(&counters.lookup)?,
+        financial: measured_bytes(&counters.financial)?,
+        layer: measured_bytes(&counters.layer)?,
+    };
+    if measured.total() == 0.0 {
+        return None;
+    }
+
+    // Host analog of the device: the only TrafficSummary input that
+    // matters is the transaction granularity, one cacheline.
+    let mut host = simt_sim::DeviceSpec::tesla_c2075();
+    host.transaction_bytes = CACHELINE_BYTES as u32;
+    let profile = basic_kernel_profile(&shape_of_inputs(inputs));
+    let modeled_stage = |name: &str| {
+        profile
+            .stages
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| TrafficSummary::of_stage(&host, s).dram_bytes())
+            .unwrap_or(0.0)
+    };
+    let modeled = ActivityBreakdown {
+        fetch: modeled_stage(stage::FETCH),
+        lookup: modeled_stage(stage::LOOKUP),
+        financial: modeled_stage(stage::FINANCIAL),
+        layer: modeled_stage(stage::LAYER),
+    };
+    Some(modeled_vs_measured(&modeled, &measured, threshold_pct))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn values(
+        cycles: u64,
+        instructions: u64,
+        llc_misses: Option<u64>,
+        stalled: Option<u64>,
+    ) -> CounterValues {
+        let mut v = CounterValues::ZERO;
+        v.set(CounterKind::Cycles, cycles);
+        v.set(CounterKind::Instructions, instructions);
+        if let Some(m) = llc_misses {
+            v.set(CounterKind::LlcMisses, m);
+        }
+        if let Some(s) = stalled {
+            v.set(CounterKind::StalledBackend, s);
+        }
+        v
+    }
+
+    const GIB: u64 = 1 << 30;
+    const LLC: u64 = 8 << 20;
+
+    #[test]
+    fn high_ipc_is_compute_bound() {
+        let v = values(1_000, 2_500, Some(500), Some(100));
+        assert_eq!(classify(&v, GIB, LLC), Bottleneck::Compute);
+    }
+
+    #[test]
+    fn low_miss_rate_is_compute_bound_even_at_low_ipc() {
+        // IPC 0.5 but only 0.1 misses per kinst: stalls aren't memory.
+        let v = values(2_000, 1_000, Some(0), Some(1_500));
+        assert_eq!(classify(&v, GIB, LLC), Bottleneck::Compute);
+    }
+
+    #[test]
+    fn serialised_misses_are_latency_bound() {
+        // 10 misses/kinst, 100 stalled cycles per miss: pointer-chase.
+        let v = values(4_000, 1_000, Some(10), Some(1_000));
+        assert_eq!(classify(&v, GIB, LLC), Bottleneck::Latency);
+    }
+
+    #[test]
+    fn overlapped_misses_on_big_working_set_are_bandwidth_bound() {
+        // 100 misses/kinst but only 5 stalls per miss: overlapped.
+        let v = values(4_000, 1_000, Some(100), Some(500));
+        assert_eq!(classify(&v, GIB, LLC), Bottleneck::Bandwidth);
+        // Same counters, cache-resident working set: cannot be DRAM
+        // bandwidth; falls back to latency.
+        assert_eq!(classify(&v, LLC / 2, LLC), Bottleneck::Latency);
+    }
+
+    #[test]
+    fn missing_counters_are_unknown() {
+        assert_eq!(
+            classify(&CounterValues::ZERO, GIB, LLC),
+            Bottleneck::Unknown
+        );
+        let v = values(0, 0, None, None);
+        assert_eq!(classify(&v, GIB, LLC), Bottleneck::Unknown);
+    }
+
+    #[test]
+    fn report_rows_follow_pipeline_order_and_derive_rates() {
+        let mut counters = StageCounters::ZERO;
+        counters.lookup = values(4_000, 1_000, Some(1_000), Some(100_000));
+        counters.layer = values(1_000, 2_000, Some(0), Some(0));
+        let wall = ActivityBreakdown {
+            fetch: 0.0,
+            lookup: 0.5,
+            financial: 0.0,
+            layer: 0.25,
+            // fetch/financial unmeasured: no counters, zero wall.
+        };
+        let report = CounterReport::build(&counters, &wall, 10_000, GIB, LLC);
+        assert_eq!(report.stages.len(), 4);
+        assert_eq!(report.stages[1].stage, stage::LOOKUP);
+        assert_eq!(report.stages[1].ipc, Some(0.25));
+        assert_eq!(report.stages[1].llc_miss_per_lookup, Some(0.1));
+        // 1000 misses × 64 B / 0.5 s = 128 KB/s.
+        let gbps = report.stages[1].est_gbps.unwrap();
+        assert!((gbps - 64_000.0 / 0.5 / 1e9).abs() < 1e-12);
+        assert_eq!(report.stages[1].bottleneck, Bottleneck::Latency);
+        assert_eq!(report.stages[3].bottleneck, Bottleneck::Compute);
+        assert_eq!(report.stages[0].bottleneck, Bottleneck::Unknown);
+        let text = report.render();
+        assert!(text.contains("LLC-miss/lookup"));
+        assert!(text.contains("latency-bound (MLP)"));
+        assert!(text.contains('-'), "unmeasured cells render as dashes");
+    }
+
+    #[test]
+    fn memory_drift_needs_measured_misses() {
+        use ara_workload::{Scenario, ScenarioShape};
+        let inputs = Scenario::new(ScenarioShape::smoke(), 7).build().unwrap();
+        assert!(memory_drift(&StageCounters::ZERO, &inputs, 10.0).is_none());
+
+        // A measurement that funnels essentially all misses into the
+        // lookup stage diverges from the model's spread-out traffic, so
+        // the report flags the lookup row.
+        let mut counters = StageCounters::ZERO;
+        counters.fetch = values(100, 100, Some(60), None);
+        counters.lookup = values(100, 100, Some(100_000), None);
+        counters.financial = values(100, 100, Some(10), None);
+        counters.layer = values(100, 100, Some(30), None);
+        let report = memory_drift(&counters, &inputs, 10.0).unwrap();
+        assert_eq!(report.stages.len(), 4);
+        let lookup = &report.stages[1];
+        assert_eq!(lookup.stage, stage::LOOKUP);
+        assert!(
+            lookup.measured_pct > 90.0,
+            "measured lookup share {:.1}",
+            lookup.measured_pct
+        );
+        // The basic-kernel model spreads traffic across all four
+        // stages (every stage touches DRAM), so a 99% lookup skew
+        // must exceed a 10pp threshold somewhere.
+        assert!(lookup.modeled_pct > 0.0);
+        assert!(report.exceeds_threshold());
+    }
+
+    #[test]
+    fn working_set_counts_tables_and_yet() {
+        use ara_workload::{Scenario, ScenarioShape};
+        let inputs = Scenario::new(ScenarioShape::smoke(), 7).build().unwrap();
+        let ws = working_set_bytes(&inputs, 8);
+        let yet_bytes = inputs.yet.total_events() as u64 * 8;
+        assert!(ws > yet_bytes);
+        // Halving the value width halves only the table part.
+        let ws4 = working_set_bytes(&inputs, 4);
+        assert_eq!(ws4 - yet_bytes, (ws - yet_bytes) / 2);
+    }
+}

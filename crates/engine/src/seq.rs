@@ -56,6 +56,7 @@ impl<R: Real> Engine for SequentialEngine<R> {
         let mut ids = Vec::with_capacity(inputs.layers.len());
         let mut ylts = Vec::with_capacity(inputs.layers.len());
         let mut total_stages = ara_trace::StageNanos::ZERO;
+        let mut total_counters = ara_trace::StageCounters::ZERO;
         for (li, layer) in inputs.layers.iter().enumerate() {
             // Tune the blocked-gather knobs for this layer's table set
             // before preparing (the shape is known from the layer alone).
@@ -91,10 +92,11 @@ impl<R: Real> Engine for SequentialEngine<R> {
             ids.push(layer.id);
             if tracing {
                 let stages_t0 = ara_trace::now_ns();
-                let (ylt, stages) =
+                let (ylt, stages, counters) =
                     ara_core::analysis::analyse_layer_staged(&prepared, &inputs.yet);
                 stages.emit_spans(stages_t0);
                 total_stages.merge(&stages);
+                total_counters.merge(&counters);
                 ylts.push(ylt);
             } else {
                 // The cache-blocked batch path — bit-identical to the
@@ -111,6 +113,7 @@ impl<R: Real> Engine for SequentialEngine<R> {
             wall: start.elapsed(),
             prepare: prepare_total,
             measured: tracing.then(|| ActivityBreakdown::from_stage_nanos(&total_stages)),
+            counters: tracing.then_some(total_counters),
         })
     }
 

@@ -1,0 +1,951 @@
+//! Hardware performance counters for the Algorithm-1 stages.
+//!
+//! A zero-dependency Linux `perf_event_open(2)` reader: two counter
+//! groups (cycles/instructions/branch-misses/stalled-backend and
+//! LLC-loads/LLC-misses/dTLB-misses) opened per thread, read at the same
+//! bracket points as the existing [`crate::StageNanos`] nanosecond
+//! accumulators, so every stage reports IPC and cache behaviour
+//! alongside wall time.
+//!
+//! The layer degrades gracefully by contract: when `perf_event_open` is
+//! denied (`perf_event_paranoid`, seccomp, containers), unsupported
+//! (non-Linux, exotic arch), or forced off (`ARA_COUNTERS=off`),
+//! [`enable`] returns `false` with a one-line reason from
+//! [`unavailable_reason`], every [`LapTimer`] lap returns an empty
+//! [`CounterValues`], and nothing else in the pipeline changes — results
+//! and exit codes are byte-identical with counters on or off.
+//!
+//! Raw syscalls are used instead of `libc` (the workspace is
+//! dependency-free); the `unsafe` is confined to the `sys` submodule.
+
+use crate::json::{self, Json};
+use crate::stage_names;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// The hardware events the reader samples, in fixed slot order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterKind {
+    /// CPU cycles (group-A leader).
+    Cycles,
+    /// Retired instructions.
+    Instructions,
+    /// Mispredicted branches.
+    BranchMisses,
+    /// Cycles in which the backend was stalled (issue starved by
+    /// memory or long-latency ops). Not populated on every CPU.
+    StalledBackend,
+    /// Last-level-cache load accesses (group-B leader).
+    LlcLoads,
+    /// Last-level-cache load misses — each one is a DRAM round trip.
+    LlcMisses,
+    /// dTLB load misses.
+    DtlbMisses,
+}
+
+impl CounterKind {
+    /// Every kind, in slot order.
+    pub const ALL: [CounterKind; 7] = [
+        CounterKind::Cycles,
+        CounterKind::Instructions,
+        CounterKind::BranchMisses,
+        CounterKind::StalledBackend,
+        CounterKind::LlcLoads,
+        CounterKind::LlcMisses,
+        CounterKind::DtlbMisses,
+    ];
+
+    /// Slot index in [`CounterValues::values`].
+    pub fn index(self) -> usize {
+        match self {
+            CounterKind::Cycles => 0,
+            CounterKind::Instructions => 1,
+            CounterKind::BranchMisses => 2,
+            CounterKind::StalledBackend => 3,
+            CounterKind::LlcLoads => 4,
+            CounterKind::LlcMisses => 5,
+            CounterKind::DtlbMisses => 6,
+        }
+    }
+
+    /// Canonical (JSON field) name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CounterKind::Cycles => "cycles",
+            CounterKind::Instructions => "instructions",
+            CounterKind::BranchMisses => "branch_misses",
+            CounterKind::StalledBackend => "stalled_backend",
+            CounterKind::LlcLoads => "llc_loads",
+            CounterKind::LlcMisses => "llc_misses",
+            CounterKind::DtlbMisses => "dtlb_misses",
+        }
+    }
+
+    /// Inverse of [`CounterKind::name`].
+    pub fn from_name(name: &str) -> Option<CounterKind> {
+        CounterKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// One sample (or delta) of the counter set. `mask` records which kinds
+/// were actually measured — a zero bit means the event could not be
+/// opened or read on this host, and its value slot is meaningless.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterValues {
+    /// Raw counts, indexed by [`CounterKind::index`].
+    pub values: [u64; 7],
+    /// Bit `CounterKind::index(k)` set ⇔ kind `k` was measured.
+    pub mask: u8,
+}
+
+impl CounterValues {
+    /// No measurements at all (the identity of [`CounterValues::merge`]).
+    pub const ZERO: CounterValues = CounterValues {
+        values: [0; 7],
+        mask: 0,
+    };
+
+    /// True when nothing was measured.
+    pub fn is_empty(&self) -> bool {
+        self.mask == 0
+    }
+
+    /// The measured value of `kind`, `None` when unmeasured.
+    pub fn get(&self, kind: CounterKind) -> Option<u64> {
+        (self.mask & (1 << kind.index()) != 0).then(|| self.values[kind.index()])
+    }
+
+    /// Record a measurement for `kind`.
+    pub fn set(&mut self, kind: CounterKind, value: u64) {
+        self.values[kind.index()] = value;
+        self.mask |= 1 << kind.index();
+    }
+
+    /// Accumulate another delta into this one. Masks union: every real
+    /// delta in a process shares one availability mask, and `ZERO` must
+    /// be the identity.
+    pub fn merge(&mut self, other: &CounterValues) {
+        for i in 0..7 {
+            self.values[i] += other.values[i];
+        }
+        self.mask |= other.mask;
+    }
+
+    /// The change from `earlier` to `self`. Masks intersect: a delta is
+    /// only meaningful for kinds measured on both sides. Saturating, so
+    /// a counter wrap or multiplexing wobble never underflows.
+    pub fn delta(&self, earlier: &CounterValues) -> CounterValues {
+        let mut out = CounterValues::ZERO;
+        out.mask = self.mask & earlier.mask;
+        for i in 0..7 {
+            if out.mask & (1 << i) != 0 {
+                out.values[i] = self.values[i].saturating_sub(earlier.values[i]);
+            }
+        }
+        out
+    }
+
+    /// `a / b` when both are measured and `b` is non-zero.
+    pub fn ratio(&self, a: CounterKind, b: CounterKind) -> Option<f64> {
+        let num = self.get(a)? as f64;
+        let den = self.get(b)? as f64;
+        (den > 0.0).then(|| num / den)
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> Option<f64> {
+        self.ratio(CounterKind::Instructions, CounterKind::Cycles)
+    }
+
+    /// Serialise the measured kinds as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let mut first = true;
+        for kind in CounterKind::ALL {
+            if let Some(v) = self.get(kind) {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!("{}:{v}", json::string(kind.name())));
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Re-parse from a [`Json`] object; unknown fields are ignored and
+    /// absent kinds stay unmasked.
+    pub fn from_json(doc: &Json) -> CounterValues {
+        let mut out = CounterValues::ZERO;
+        for kind in CounterKind::ALL {
+            if let Some(v) = doc.get(kind.name()).and_then(Json::as_f64) {
+                out.set(kind, v as u64);
+            }
+        }
+        out
+    }
+}
+
+/// Per-stage counter deltas for the four Algorithm-1 stages, the
+/// counter-space mirror of [`crate::StageNanos`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageCounters {
+    /// Fetching events from memory (reading the YET).
+    pub fetch: CounterValues,
+    /// Loss-set look-up in the direct access table.
+    pub lookup: CounterValues,
+    /// Financial-terms computations.
+    pub financial: CounterValues,
+    /// Layer-terms (occurrence + aggregate) computations.
+    pub layer: CounterValues,
+}
+
+impl StageCounters {
+    /// All-empty totals.
+    pub const ZERO: StageCounters = StageCounters {
+        fetch: CounterValues::ZERO,
+        lookup: CounterValues::ZERO,
+        financial: CounterValues::ZERO,
+        layer: CounterValues::ZERO,
+    };
+
+    /// True when no stage measured anything.
+    pub fn is_empty(&self) -> bool {
+        self.fetch.is_empty()
+            && self.lookup.is_empty()
+            && self.financial.is_empty()
+            && self.layer.is_empty()
+    }
+
+    /// Add another accumulator's deltas into this one.
+    pub fn merge(&mut self, other: &StageCounters) {
+        self.fetch.merge(&other.fetch);
+        self.lookup.merge(&other.lookup);
+        self.financial.merge(&other.financial);
+        self.layer.merge(&other.layer);
+    }
+
+    /// Whole-run totals across the four stages.
+    pub fn total(&self) -> CounterValues {
+        let mut t = self.fetch;
+        t.merge(&self.lookup);
+        t.merge(&self.financial);
+        t.merge(&self.layer);
+        t
+    }
+
+    /// `(canonical stage name, values)` in pipeline order.
+    pub fn named(&self) -> [(&'static str, CounterValues); 4] {
+        [
+            (stage_names::FETCH, self.fetch),
+            (stage_names::LOOKUP, self.lookup),
+            (stage_names::FINANCIAL, self.financial),
+            (stage_names::LAYER, self.layer),
+        ]
+    }
+
+    /// Serialise as a JSON object keyed by stage.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"fetch\":{},\"lookup\":{},\"financial\":{},\"layer\":{}}}",
+            self.fetch.to_json(),
+            self.lookup.to_json(),
+            self.financial.to_json(),
+            self.layer.to_json(),
+        )
+    }
+
+    /// Re-parse from a [`Json`] object; absent stages stay empty.
+    pub fn from_json(doc: &Json) -> StageCounters {
+        let stage = |key: &str| doc.get(key).map(CounterValues::from_json).unwrap_or_default();
+        StageCounters {
+            fetch: stage("fetch"),
+            lookup: stage("lookup"),
+            financial: stage("financial"),
+            layer: stage("layer"),
+        }
+    }
+}
+
+/// Thread-safe per-stage counter totals shared by parallel workers, the
+/// counter-space mirror of [`crate::AtomicStageNanos`].
+#[derive(Debug, Default)]
+pub struct AtomicStageCounters {
+    values: [[AtomicU64; 7]; 4],
+    masks: [AtomicU8; 4],
+}
+
+impl AtomicStageCounters {
+    /// A zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold a worker's plain deltas in.
+    pub fn add(&self, local: &StageCounters) {
+        for (stage, cv) in [local.fetch, local.lookup, local.financial, local.layer]
+            .iter()
+            .enumerate()
+        {
+            for i in 0..7 {
+                self.values[stage][i].fetch_add(cv.values[i], Ordering::Relaxed);
+            }
+            self.masks[stage].fetch_or(cv.mask, Ordering::Relaxed);
+        }
+    }
+
+    /// Read the current totals.
+    pub fn load(&self) -> StageCounters {
+        let stage = |s: usize| {
+            let mut cv = CounterValues::ZERO;
+            for i in 0..7 {
+                cv.values[i] = self.values[s][i].load(Ordering::Relaxed);
+            }
+            cv.mask = self.masks[s].load(Ordering::Relaxed);
+            cv
+        };
+        StageCounters {
+            fetch: stage(0),
+            lookup: stage(1),
+            financial: stage(2),
+            layer: stage(3),
+        }
+    }
+}
+
+/// A source of counter samples. The production implementation is the
+/// per-thread perf reader behind [`LapTimer::start`]; tests substitute
+/// scripted mocks via [`LapTimer::start_with`].
+pub trait CounterReader {
+    /// One cumulative sample, `None` when the counters cannot be read.
+    fn read(&mut self) -> Option<CounterValues>;
+}
+
+/// Raw Linux syscalls, no libc. Each wrapper returns `-errno` failures
+/// as `Err(errno)`. Non-Linux / non-{x86_64,aarch64} targets get a stub
+/// that always reports `ENOSYS`, which the layers above surface as
+/// "unsupported platform".
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+#[allow(unsafe_code)]
+mod sys {
+    /// `perf_event_attr`, the 64-byte `PERF_ATTR_SIZE_VER0` prefix. The
+    /// kernel accepts any size it knows; VER0 covers everything the
+    /// counting (non-sampling) API needs. The `flags` word is the
+    /// bitfield starting at byte 40 (`disabled` is bit 0,
+    /// `exclude_kernel` bit 5, `exclude_hv` bit 6).
+    #[repr(C)]
+    struct PerfEventAttr {
+        type_: u32,
+        size: u32,
+        config: u64,
+        sample_period: u64,
+        sample_type: u64,
+        read_format: u64,
+        flags: u64,
+        wakeup_events: u32,
+        bp_type: u32,
+        bp_addr: u64,
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    const SYS_READ: u64 = 0;
+    #[cfg(target_arch = "x86_64")]
+    const SYS_CLOSE: u64 = 3;
+    #[cfg(target_arch = "x86_64")]
+    const SYS_PERF_EVENT_OPEN: u64 = 298;
+
+    #[cfg(target_arch = "aarch64")]
+    const SYS_READ: u64 = 63;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_CLOSE: u64 = 57;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_PERF_EVENT_OPEN: u64 = 241;
+
+    /// Five-argument syscall. SAFETY: callers pass only valid
+    /// descriptors and pointers to live memory of the stated length;
+    /// the asm constraints cover every register the `syscall`/`svc`
+    /// instruction clobbers.
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall5(nr: u64, a1: u64, a2: u64, a3: u64, a4: u64, a5: u64) -> i64 {
+        let ret: i64;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") nr as i64 => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+        ret
+    }
+
+    /// See the x86_64 variant for the safety contract.
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall5(nr: u64, a1: u64, a2: u64, a3: u64, a4: u64, a5: u64) -> i64 {
+        let ret: i64;
+        core::arch::asm!(
+            "svc #0",
+            in("x8") nr,
+            inlateout("x0") a1 as i64 => ret,
+            in("x1") a2,
+            in("x2") a3,
+            in("x3") a4,
+            in("x4") a5,
+            options(nostack)
+        );
+        ret
+    }
+
+    /// `perf_event_open(attr, pid=0, cpu=-1, group_fd, flags=0)`:
+    /// count this thread on any CPU.
+    pub fn perf_event_open(
+        type_: u32,
+        config: u64,
+        read_format: u64,
+        flag_bits: u64,
+        group_fd: i32,
+    ) -> Result<i32, i64> {
+        let attr = PerfEventAttr {
+            type_,
+            size: core::mem::size_of::<PerfEventAttr>() as u32,
+            config,
+            sample_period: 0,
+            sample_type: 0,
+            read_format,
+            flags: flag_bits,
+            wakeup_events: 0,
+            bp_type: 0,
+            bp_addr: 0,
+        };
+        // SAFETY: `attr` is a live, correctly-sized perf_event_attr for
+        // the duration of the call; the kernel only reads it.
+        let ret = unsafe {
+            syscall5(
+                SYS_PERF_EVENT_OPEN,
+                &attr as *const PerfEventAttr as u64,
+                0,
+                -1i64 as u64,
+                group_fd as i64 as u64,
+                0,
+            )
+        };
+        if ret < 0 {
+            Err(-ret)
+        } else {
+            Ok(ret as i32)
+        }
+    }
+
+    /// `read(fd, buf)` into a u64 buffer; returns bytes read.
+    pub fn read_u64s(fd: i32, buf: &mut [u64]) -> Result<usize, i64> {
+        // SAFETY: `buf` is live writable memory of exactly the length
+        // passed; the kernel writes at most that many bytes.
+        let ret = unsafe {
+            syscall5(
+                SYS_READ,
+                fd as u64,
+                buf.as_mut_ptr() as u64,
+                core::mem::size_of_val(buf) as u64,
+                0,
+                0,
+            )
+        };
+        if ret < 0 {
+            Err(-ret)
+        } else {
+            Ok(ret as usize)
+        }
+    }
+
+    /// `close(fd)`, errors ignored (nothing to do about them).
+    pub fn close(fd: i32) {
+        // SAFETY: closing an owned descriptor exactly once.
+        let _ = unsafe { syscall5(SYS_CLOSE, fd as u64, 0, 0, 0, 0) };
+    }
+}
+
+#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+mod sys {
+    /// `ENOSYS` stand-in: counters are unsupported on this platform.
+    pub fn perf_event_open(
+        _type: u32,
+        _config: u64,
+        _read_format: u64,
+        _flag_bits: u64,
+        _group_fd: i32,
+    ) -> Result<i32, i64> {
+        Err(38)
+    }
+
+    /// Unreachable (no descriptor can exist), kept for API parity.
+    pub fn read_u64s(_fd: i32, _buf: &mut [u64]) -> Result<usize, i64> {
+        Err(38)
+    }
+
+    /// Unreachable, kept for API parity.
+    pub fn close(_fd: i32) {}
+}
+
+const PERF_TYPE_HARDWARE: u32 = 0;
+const PERF_TYPE_HW_CACHE: u32 = 3;
+/// `PERF_FORMAT_TOTAL_TIME_ENABLED | _RUNNING | _GROUP`.
+const READ_FORMAT: u64 = 1 | 2 | 8;
+/// `exclude_kernel | exclude_hv` — lets the counters open under
+/// `perf_event_paranoid = 2` (the common container/default setting).
+/// `disabled` stays 0: counting starts at open, and only deltas are
+/// ever used.
+const EXCLUDE_BITS: u64 = (1 << 5) | (1 << 6);
+
+/// `(kind, perf type, perf config)` per group; the first entry is the
+/// group leader.
+const GROUP_A: [(CounterKind, u32, u64); 4] = [
+    (CounterKind::Cycles, PERF_TYPE_HARDWARE, 0),
+    (CounterKind::Instructions, PERF_TYPE_HARDWARE, 1),
+    (CounterKind::BranchMisses, PERF_TYPE_HARDWARE, 5),
+    (CounterKind::StalledBackend, PERF_TYPE_HARDWARE, 8),
+];
+/// HW-cache config is `id | (op << 8) | (result << 16)`: LL=2, dTLB=3,
+/// op READ=0, result ACCESS=0 / MISS=1.
+const GROUP_B: [(CounterKind, u32, u64); 3] = [
+    (CounterKind::LlcLoads, PERF_TYPE_HW_CACHE, 0x2),
+    (CounterKind::LlcMisses, PERF_TYPE_HW_CACHE, 0x1_0002),
+    (CounterKind::DtlbMisses, PERF_TYPE_HW_CACHE, 0x1_0003),
+];
+
+/// One opened counter group: the fds (leader first) and which kind each
+/// value slot in a group read corresponds to (members that failed to
+/// open are simply absent).
+#[derive(Debug)]
+struct Group {
+    fds: Vec<i32>,
+    layout: Vec<CounterKind>,
+}
+
+impl Group {
+    fn open(spec: &[(CounterKind, u32, u64)]) -> Result<Group, i64> {
+        let mut fds: Vec<i32> = Vec::with_capacity(spec.len());
+        let mut layout = Vec::with_capacity(spec.len());
+        for (i, &(kind, ty, config)) in spec.iter().enumerate() {
+            let group_fd = if i == 0 { -1 } else { fds[0] };
+            match sys::perf_event_open(ty, config, READ_FORMAT, EXCLUDE_BITS, group_fd) {
+                Ok(fd) => {
+                    fds.push(fd);
+                    layout.push(kind);
+                }
+                Err(e) if i == 0 => return Err(e),
+                // A missing member (e.g. no stalled-backend event on
+                // this CPU) just leaves its mask bit clear.
+                Err(_) => {}
+            }
+        }
+        Ok(Group { fds, layout })
+    }
+
+    /// Read the group and fold scaled values into `out`. Returns false
+    /// when the read fails or the group never ran (multiplexed out).
+    fn read_into(&self, out: &mut CounterValues) -> bool {
+        let mut buf = [0u64; 3 + 8];
+        let slots = 3 + self.layout.len();
+        let want_bytes = slots * 8;
+        match sys::read_u64s(self.fds[0], &mut buf[..slots]) {
+            Ok(n) if n >= want_bytes => {}
+            _ => return false,
+        }
+        if buf[0] as usize != self.layout.len() {
+            return false;
+        }
+        let (enabled, running) = (buf[1], buf[2]);
+        if running == 0 {
+            return false;
+        }
+        for (slot, &kind) in self.layout.iter().enumerate() {
+            let raw = buf[3 + slot];
+            // Scale for multiplexing: estimate = raw × enabled/running.
+            let scaled = if running >= enabled {
+                raw
+            } else {
+                ((raw as u128 * enabled as u128) / running as u128) as u64
+            };
+            out.set(kind, scaled);
+        }
+        true
+    }
+}
+
+impl Drop for Group {
+    fn drop(&mut self) {
+        for &fd in &self.fds {
+            sys::close(fd);
+        }
+    }
+}
+
+/// The production [`CounterReader`]: two perf groups counting the
+/// calling thread in user space. Group A (cycles leader) must open for
+/// the reader to exist; group B (LLC leader) is best-effort.
+#[derive(Debug)]
+pub struct PerfCounters {
+    group_a: Group,
+    group_b: Option<Group>,
+}
+
+impl PerfCounters {
+    /// Open the counter groups for the calling thread, or a one-line
+    /// reason why this host cannot.
+    pub fn open() -> Result<PerfCounters, String> {
+        let group_a = Group::open(&GROUP_A).map_err(|errno| match errno {
+            1 | 13 => "perf_event_open denied (perf_event_paranoid or container policy)".to_string(),
+            38 => "perf_event_open unsupported on this platform".to_string(),
+            2 | 19 | 95 => "no hardware PMU events on this host (virtualised?)".to_string(),
+            e => format!("perf_event_open failed (errno {e})"),
+        })?;
+        let group_b = Group::open(&GROUP_B).ok();
+        Ok(PerfCounters { group_a, group_b })
+    }
+}
+
+impl CounterReader for PerfCounters {
+    fn read(&mut self) -> Option<CounterValues> {
+        let mut v = CounterValues::ZERO;
+        if !self.group_a.read_into(&mut v) {
+            return None;
+        }
+        if let Some(b) = &self.group_b {
+            b.read_into(&mut v);
+        }
+        Some(v)
+    }
+}
+
+/// Global sampling gate: when false (the default), every lap is a
+/// single relaxed load returning [`CounterValues::ZERO`].
+static SAMPLING: AtomicBool = AtomicBool::new(false);
+/// The reason counters are unavailable, set by a failed [`enable`].
+static UNAVAILABLE: Mutex<Option<String>> = Mutex::new(None);
+
+/// Try to turn counter sampling on. Probes `perf_event_open` on the
+/// calling thread first (honouring `ARA_COUNTERS=off|0|false`); on
+/// failure sampling stays off, [`unavailable_reason`] explains why, and
+/// `false` is returned.
+pub fn enable() -> bool {
+    if let Ok(v) = std::env::var("ARA_COUNTERS") {
+        let v = v.to_ascii_lowercase();
+        if v == "off" || v == "0" || v == "false" {
+            *UNAVAILABLE.lock().unwrap_or_else(|e| e.into_inner()) =
+                Some("disabled by ARA_COUNTERS".to_string());
+            SAMPLING.store(false, Ordering::Relaxed);
+            return false;
+        }
+    }
+    match PerfCounters::open() {
+        Ok(probe) => {
+            drop(probe);
+            *UNAVAILABLE.lock().unwrap_or_else(|e| e.into_inner()) = None;
+            SAMPLING.store(true, Ordering::Relaxed);
+            true
+        }
+        Err(reason) => {
+            *UNAVAILABLE.lock().unwrap_or_else(|e| e.into_inner()) = Some(reason);
+            SAMPLING.store(false, Ordering::Relaxed);
+            false
+        }
+    }
+}
+
+/// Turn counter sampling off.
+pub fn disable() {
+    SAMPLING.store(false, Ordering::Relaxed);
+}
+
+/// True when [`enable`] succeeded and counters are being sampled.
+pub fn sampling_enabled() -> bool {
+    SAMPLING.load(Ordering::Relaxed)
+}
+
+/// Why the last [`enable`] failed, `None` after a successful one.
+pub fn unavailable_reason() -> Option<String> {
+    UNAVAILABLE
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
+}
+
+enum TlState {
+    Untried,
+    Unavailable,
+    Ready(PerfCounters),
+}
+
+thread_local! {
+    /// Per-thread lazy reader: perf fds count the opening thread, so
+    /// every rayon worker / device thread opens its own group set on
+    /// first lap.
+    static TL_READER: std::cell::RefCell<TlState> = const { std::cell::RefCell::new(TlState::Untried) };
+}
+
+/// One cumulative sample from the calling thread's reader, `None` when
+/// sampling is off or this thread's counters could not open.
+fn read_thread_counters() -> Option<CounterValues> {
+    if !sampling_enabled() {
+        return None;
+    }
+    TL_READER.with(|cell| {
+        let mut st = cell.borrow_mut();
+        if matches!(*st, TlState::Untried) {
+            *st = match PerfCounters::open() {
+                Ok(r) => TlState::Ready(r),
+                Err(_) => TlState::Unavailable,
+            };
+        }
+        match &mut *st {
+            TlState::Ready(r) => r.read(),
+            _ => None,
+        }
+    })
+}
+
+/// Bracketed counter sampling, the counter-space mirror of pairing two
+/// [`crate::now_ns`] reads: [`LapTimer::start`] takes a baseline and
+/// each [`LapTimer::lap`] returns the delta since the previous read.
+/// When sampling is off every lap is [`CounterValues::ZERO`].
+#[derive(Debug, Default)]
+pub struct LapTimer {
+    last: Option<CounterValues>,
+}
+
+impl LapTimer {
+    /// Baseline against the calling thread's perf reader.
+    pub fn start() -> LapTimer {
+        LapTimer {
+            last: read_thread_counters(),
+        }
+    }
+
+    /// Delta since the previous `start`/`lap`, advancing the baseline.
+    pub fn lap(&mut self) -> CounterValues {
+        let now = read_thread_counters();
+        let out = match (&self.last, &now) {
+            (Some(a), Some(b)) => b.delta(a),
+            _ => CounterValues::ZERO,
+        };
+        self.last = now;
+        out
+    }
+
+    /// Baseline against an explicit reader (tests use scripted mocks).
+    pub fn start_with(reader: &mut dyn CounterReader) -> LapTimer {
+        LapTimer {
+            last: reader.read(),
+        }
+    }
+
+    /// [`LapTimer::lap`] against an explicit reader.
+    pub fn lap_with(&mut self, reader: &mut dyn CounterReader) -> CounterValues {
+        let now = reader.read();
+        let out = match (&self.last, &now) {
+            (Some(a), Some(b)) => b.delta(a),
+            _ => CounterValues::ZERO,
+        };
+        self.last = now;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scripted reader: yields the queued samples in order, then `None`.
+    pub struct MockReader {
+        samples: std::collections::VecDeque<Option<CounterValues>>,
+    }
+
+    impl MockReader {
+        pub fn new(samples: Vec<Option<CounterValues>>) -> MockReader {
+            MockReader {
+                samples: samples.into_iter().collect(),
+            }
+        }
+    }
+
+    impl CounterReader for MockReader {
+        fn read(&mut self) -> Option<CounterValues> {
+            self.samples.pop_front().unwrap_or(None)
+        }
+    }
+
+    fn sample(cycles: u64, instructions: u64, llc_misses: u64) -> CounterValues {
+        let mut v = CounterValues::ZERO;
+        v.set(CounterKind::Cycles, cycles);
+        v.set(CounterKind::Instructions, instructions);
+        v.set(CounterKind::LlcMisses, llc_misses);
+        v
+    }
+
+    #[test]
+    fn merge_unions_masks_and_zero_is_identity() {
+        let mut a = sample(100, 200, 5);
+        a.merge(&CounterValues::ZERO);
+        assert_eq!(a, sample(100, 200, 5));
+        let mut b = CounterValues::ZERO;
+        b.set(CounterKind::DtlbMisses, 7);
+        a.merge(&b);
+        assert_eq!(a.get(CounterKind::DtlbMisses), Some(7));
+        assert_eq!(a.get(CounterKind::Cycles), Some(100));
+        assert_eq!(a.get(CounterKind::BranchMisses), None);
+    }
+
+    #[test]
+    fn delta_intersects_masks_and_saturates() {
+        let early = sample(100, 200, 5);
+        let mut late = sample(150, 290, 3); // llc went "backwards"
+        late.set(CounterKind::DtlbMisses, 9); // only on the late side
+        let d = late.delta(&early);
+        assert_eq!(d.get(CounterKind::Cycles), Some(50));
+        assert_eq!(d.get(CounterKind::Instructions), Some(90));
+        assert_eq!(d.get(CounterKind::LlcMisses), Some(0), "saturating");
+        assert_eq!(d.get(CounterKind::DtlbMisses), None, "mask intersect");
+    }
+
+    #[test]
+    fn ratios_and_ipc() {
+        let v = sample(100, 250, 5);
+        assert_eq!(v.ipc(), Some(2.5));
+        assert_eq!(
+            v.ratio(CounterKind::LlcMisses, CounterKind::Cycles),
+            Some(0.05)
+        );
+        assert_eq!(
+            v.ratio(CounterKind::BranchMisses, CounterKind::Cycles),
+            None
+        );
+        assert_eq!(CounterValues::ZERO.ipc(), None);
+    }
+
+    #[test]
+    fn counter_values_json_round_trip() {
+        let v = sample(123, 456, 7);
+        let doc = json::parse(&v.to_json()).expect("valid JSON");
+        assert_eq!(CounterValues::from_json(&doc), v);
+        // Empty serialises to an empty object and parses back empty.
+        let empty = json::parse(&CounterValues::ZERO.to_json()).unwrap();
+        assert!(CounterValues::from_json(&empty).is_empty());
+    }
+
+    #[test]
+    fn stage_counters_json_round_trip_and_total() {
+        let mut sc = StageCounters::ZERO;
+        sc.fetch = sample(10, 20, 1);
+        sc.lookup = sample(100, 50, 40);
+        let doc = json::parse(&sc.to_json()).expect("valid JSON");
+        assert_eq!(StageCounters::from_json(&doc), sc);
+        let total = sc.total();
+        assert_eq!(total.get(CounterKind::Cycles), Some(110));
+        assert_eq!(total.get(CounterKind::LlcMisses), Some(41));
+        assert!(!sc.is_empty());
+        assert!(StageCounters::ZERO.is_empty());
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in CounterKind::ALL {
+            assert_eq!(CounterKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(CounterKind::from_name("flops"), None);
+    }
+
+    #[test]
+    fn atomic_stage_counters_accumulate_from_threads() {
+        let acc = AtomicStageCounters::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let mut sc = StageCounters::ZERO;
+                    sc.lookup = sample(10, 20, 3);
+                    acc.add(&sc);
+                });
+            }
+        });
+        let total = acc.load();
+        assert_eq!(total.lookup.get(CounterKind::Cycles), Some(40));
+        assert_eq!(total.lookup.get(CounterKind::LlcMisses), Some(12));
+        assert!(total.fetch.is_empty());
+    }
+
+    #[test]
+    fn lap_timer_with_scripted_reader() {
+        let mut mock = MockReader::new(vec![
+            Some(sample(100, 200, 5)),
+            Some(sample(160, 290, 9)),
+            None, // reader fails mid-run
+            Some(sample(300, 500, 20)),
+        ]);
+        let mut lap = LapTimer::start_with(&mut mock);
+        let d1 = lap.lap_with(&mut mock);
+        assert_eq!(d1.get(CounterKind::Cycles), Some(60));
+        assert_eq!(d1.get(CounterKind::LlcMisses), Some(4));
+        // A failed read yields ZERO and resets the baseline…
+        assert_eq!(lap.lap_with(&mut mock), CounterValues::ZERO);
+        // …so the next lap has no baseline either.
+        assert_eq!(lap.lap_with(&mut mock), CounterValues::ZERO);
+    }
+
+    #[test]
+    fn laps_are_zero_when_sampling_is_off() {
+        let _g = crate::testing::serial_guard();
+        disable();
+        let mut lap = LapTimer::start();
+        assert_eq!(lap.lap(), CounterValues::ZERO);
+    }
+
+    #[test]
+    fn ara_counters_off_forces_unavailability() {
+        let _g = crate::testing::serial_guard();
+        std::env::set_var("ARA_COUNTERS", "off");
+        assert!(!enable());
+        assert!(!sampling_enabled());
+        assert_eq!(
+            unavailable_reason().as_deref(),
+            Some("disabled by ARA_COUNTERS")
+        );
+        std::env::remove_var("ARA_COUNTERS");
+        disable();
+    }
+
+    #[test]
+    fn enable_probes_the_host_and_reports_or_samples() {
+        let _g = crate::testing::serial_guard();
+        std::env::remove_var("ARA_COUNTERS");
+        if enable() {
+            // Counters are live on this host: cycles must be measured
+            // and move forward between laps with work in between.
+            assert!(sampling_enabled());
+            assert!(unavailable_reason().is_none());
+            let mut lap = LapTimer::start();
+            let mut spin = 0u64;
+            for i in 0..200_000u64 {
+                spin = spin.wrapping_add(i * i);
+            }
+            std::hint::black_box(spin);
+            let d = lap.lap();
+            assert!(
+                d.get(CounterKind::Cycles).unwrap_or(0) > 0,
+                "cycles advanced: {d:?}"
+            );
+            assert!(d.get(CounterKind::Instructions).unwrap_or(0) > 0);
+        } else {
+            // Denied host: the degradation contract applies.
+            assert!(!sampling_enabled());
+            let reason = unavailable_reason().expect("reason recorded");
+            assert!(!reason.is_empty());
+            let mut lap = LapTimer::start();
+            assert_eq!(lap.lap(), CounterValues::ZERO);
+        }
+        disable();
+    }
+}

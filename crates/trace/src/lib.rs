@@ -36,9 +36,14 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the perf_event_open syscall shims in
+// `counters::sys` can carry a scoped, safety-commented allowance —
+// the same pattern as ara-core's SIMD intrinsics. Everything else in
+// the crate remains unsafe-free.
+#![deny(unsafe_code)]
 
 pub mod clock;
+pub mod counters;
 pub mod export;
 pub mod json;
 pub mod metrics;
@@ -47,6 +52,9 @@ pub mod span;
 pub mod stage;
 
 pub use clock::now_ns;
+pub use counters::{
+    AtomicStageCounters, CounterKind, CounterReader, CounterValues, LapTimer, StageCounters,
+};
 pub use export::{to_chrome, to_jsonl, to_summary, TraceFormat};
 pub use metrics::{
     metrics, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,

@@ -6,8 +6,8 @@
 //! ```
 
 use aggregate_risk::engine::{
-    modeled_vs_measured, shape_of_inputs, Engine, GpuBasicEngine, GpuOptimizedEngine,
-    MultiGpuEngine, MulticoreEngine, SequentialEngine,
+    memory_drift, modeled_vs_measured, shape_of_inputs, working_set_bytes, CounterReport, Engine,
+    GpuBasicEngine, GpuOptimizedEngine, MultiGpuEngine, MulticoreEngine, SequentialEngine,
 };
 use aggregate_risk::prelude::*;
 use aggregate_risk::simt::model::cpu::AraShape;
@@ -71,7 +71,9 @@ fn main() {
         .expect("valid scenario");
     let engine = SequentialEngine::<f64>::new();
     aggregate_risk::trace::recorder().enable(aggregate_risk::trace::Level::Info);
+    let counters_live = aggregate_risk::trace::counters::enable();
     let out = engine.analyse(&traced_inputs).expect("valid inputs");
+    aggregate_risk::trace::counters::disable();
     aggregate_risk::trace::recorder().disable();
     aggregate_risk::trace::recorder().drain();
 
@@ -85,4 +87,35 @@ fn main() {
         "{}",
         modeled_vs_measured(&modeled, &measured, 25.0).render()
     );
+
+    // Counter-derived bottleneck classification next to the span-derived
+    // breakdown: IPC, LLC-miss/lookup, estimated DRAM bandwidth, and the
+    // compute/latency/bandwidth verdict per stage.
+    println!();
+    match out.counters.filter(|c| !c.is_empty()) {
+        Some(counters) if counters_live => {
+            let cache = aggregate_risk::simt::model::autotune::CacheModel::detect();
+            println!("hardware counters (sequential engine, bench scale):");
+            print!(
+                "{}",
+                CounterReport::build(
+                    &counters,
+                    &measured,
+                    traced_inputs.total_lookups(),
+                    working_set_bytes(&traced_inputs, 8),
+                    cache.llc_bytes as u64,
+                )
+                .render()
+            );
+            if let Some(drift) = memory_drift(&counters, &traced_inputs, 25.0) {
+                println!("memory traffic, modeled vs measured DRAM shares:");
+                print!("{}", drift.render());
+            }
+        }
+        _ => println!(
+            "hardware counters unavailable: {}",
+            aggregate_risk::trace::counters::unavailable_reason()
+                .unwrap_or_else(|| "not supported on this host".to_string())
+        ),
+    }
 }

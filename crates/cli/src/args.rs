@@ -140,6 +140,10 @@ pub struct RunOpts {
     /// Replay the engine's kernels under simt-check instrumentation
     /// (`--check`, `analyse` only) and append the hazard report.
     pub check: bool,
+    /// Statically verify the engine's kernel access patterns over the
+    /// full launch space (`--verify`, `analyse` only) and append the
+    /// simt-verify report.
+    pub verify: bool,
     /// Sample hardware performance counters per Algorithm-1 stage
     /// (`--counters`, `analyse` only) and append the roofline report.
     pub counters: bool,
@@ -162,6 +166,7 @@ impl Default for RunOpts {
             trace_out: None,
             trace_format: ara_trace::TraceFormat::Chrome,
             check: false,
+            verify: false,
             counters: false,
             quiet: false,
             verbosity: 0,
@@ -301,7 +306,7 @@ USAGE:
                [--records N] [--catalogue N] [--layers N] [--seed N]
   ara analyse  --input <path> [--engine E] [--devices N]
                [--schedule auto|dynamic|static|chunked:N] [--chunk N]
-               [--check] [--counters]
+               [--check] [--verify] [--counters]
                [--trace-out <path> [--trace-format F]]
                [--quiet] [-v|-vv]
   ara metrics  --input <path> [--layer N]
@@ -326,6 +331,14 @@ CHECKING: analyse --check replays the engine's SIMT kernels under
   write/write and read/write hazards, barrier (phase) divergence,
   out-of-bounds and uninitialized reads, and per-warp lane-utilisation
   are reported, with a non-zero exit status when any hazard is found.
+
+VERIFYING: analyse --verify statically proves (or refutes) the same
+  properties for *every* launch geometry at once: the engine's kernels
+  are described as affine per-thread index maps and simt-verify checks
+  cross-thread disjointness, bounds and barrier balance symbolically,
+  reporting per-stage verdicts (proven-safe | needs-dynamic-check |
+  proven-hazard) plus static bank-conflict and coalescing estimates.
+  Exit status is non-zero when a hazard is proven.
 
 COUNTERS: analyse --counters samples hardware performance counters
   (cycles, instructions, LLC misses, dTLB misses, branch misses,
@@ -352,7 +365,15 @@ PERF: `record` runs the five-engine suite and appends every repeat
 ";
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["--check", "--counters", "--quiet", "-v", "-vv", "--small"];
+const BOOL_FLAGS: &[&str] = &[
+    "--check",
+    "--verify",
+    "--counters",
+    "--quiet",
+    "-v",
+    "-vv",
+    "--small",
+];
 
 struct Flags<'a> {
     pairs: Vec<(&'a str, &'a str)>,
@@ -459,6 +480,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                 "--trace-out",
                 "--trace-format",
                 "--check",
+                "--verify",
                 "--counters",
                 "--quiet",
                 "-v",
@@ -489,6 +511,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                     .ok_or_else(|| ArgError::BadValue("--trace-format", fmt.to_string()))?;
             }
             opts.check = flags.has("--check");
+            opts.verify = flags.has("--verify");
             opts.counters = flags.has("--counters");
             opts.quiet = flags.has("--quiet");
             opts.verbosity = if flags.has("-vv") {
@@ -781,6 +804,36 @@ mod tests {
         // A bool flag: takes no value.
         assert!(matches!(
             parse_args(&v(&["generate", "--out", "x", "--check"])),
+            Err(ArgError::UnknownFlag(_))
+        ));
+    }
+
+    #[test]
+    fn parse_verify_flag() {
+        let cmd = parse_args(&v(&[
+            "analyse",
+            "--input",
+            "b.ara",
+            "--engine",
+            "multi-gpu",
+            "--verify",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Analyse(o) => {
+                assert!(o.verify);
+                assert!(!o.check);
+                assert_eq!(o.engine, EngineKind::MultiGpu);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Off by default, and rejected outside the analyse family.
+        match parse_args(&v(&["analyse", "--input", "b.ara"])).unwrap() {
+            Command::Analyse(o) => assert!(!o.verify),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse_args(&v(&["generate", "--out", "x", "--verify"])),
             Err(ArgError::UnknownFlag(_))
         ));
     }

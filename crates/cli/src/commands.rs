@@ -138,6 +138,9 @@ pub struct AnalyseOutcome {
     pub report: String,
     /// True when `--check` was requested and the replay was not clean.
     pub check_failed: bool,
+    /// True when `--verify` was requested and the static verifier
+    /// proved a hazard (a concrete counterexample geometry exists).
+    pub verify_failed: bool,
     /// The one-line notice when `--counters` was requested but the host
     /// can't sample (permissions, no PMU, `ARA_COUNTERS=off`). Printed
     /// to stderr by the binary so stdout stays byte-identical to a run
@@ -266,9 +269,19 @@ pub fn run_analyse_outcome(opts: &RunOpts) -> Result<AnalyseOutcome, CliError> {
         }
         None => false,
     };
+    // Static verification is input-independent; it appends the symbolic
+    // verdict for every launch geometry after the dynamic sections.
+    let verify_failed = if opts.verify {
+        let summary = engine.verify();
+        report.push_str(&summary.render());
+        summary.proven_hazard()
+    } else {
+        false
+    };
     Ok(AnalyseOutcome {
         report,
         check_failed,
+        verify_failed,
         counters_notice,
     })
 }
@@ -930,6 +943,54 @@ mod tests {
     }
 
     #[test]
+    fn analyse_with_verify_proves_all_engines_safe() {
+        let path = tmp("book-verify.ara");
+        run_generate(&small_generate(&path)).unwrap();
+        for engine in [
+            EngineKind::Sequential,
+            EngineKind::Multicore,
+            EngineKind::GpuBasic,
+            EngineKind::GpuOptimised,
+            EngineKind::MultiGpu,
+        ] {
+            let outcome = run_analyse_outcome(&RunOpts {
+                input: path.clone(),
+                engine,
+                devices: 2,
+                verify: true,
+                ..RunOpts::default()
+            })
+            .unwrap();
+            assert!(!outcome.verify_failed, "{engine:?}: {}", outcome.report);
+            assert!(
+                outcome.report.contains("simt-verify:"),
+                "{engine:?}: {}",
+                outcome.report
+            );
+            // GPU engines carry real kernel proofs; CPU engines report
+            // the trivial no-kernel verdict. Both must read proven-safe.
+            let expect = match engine {
+                EngineKind::Sequential | EngineKind::Multicore => "no SIMT kernels",
+                _ => "proven-safe for all launch geometries",
+            };
+            assert!(
+                outcome.report.contains(expect),
+                "{engine:?}: {}",
+                outcome.report
+            );
+        }
+        // Without --verify the report says nothing about verification.
+        let plain = run_analyse(&RunOpts {
+            input: path,
+            engine: EngineKind::GpuOptimised,
+            ..RunOpts::default()
+        })
+        .unwrap();
+        assert!(!plain.contains("simt-verify"), "{plain}");
+        std::fs::remove_file(tmp("book-verify.ara")).ok();
+    }
+
+    #[test]
     fn counters_off_leaves_analysis_output_identical() {
         // The degradation contract: with ARA_COUNTERS=off (and equally
         // on denied hosts), --counters changes nothing but the stderr
@@ -956,7 +1017,11 @@ mod tests {
         // The header line carries wall-clock ms (nondeterministic);
         // everything after it must match byte for byte.
         let body = |r: &str| r.split_once('\n').map(|(_, b)| b.to_string()).unwrap();
-        assert_eq!(body(&with_flag.report), body(&plain.report), "stdout must not move");
+        assert_eq!(
+            body(&with_flag.report),
+            body(&plain.report),
+            "stdout must not move"
+        );
         assert_eq!(
             with_flag.report.split(" in ").next(),
             plain.report.split(" in ").next(),
@@ -1000,7 +1065,16 @@ mod tests {
             );
             assert!(outcome.report.contains("bottleneck"), "{}", outcome.report);
             assert!(
-                outcome.report.starts_with(plain.report.lines().next().unwrap().split(" in ").next().unwrap()),
+                outcome.report.starts_with(
+                    plain
+                        .report
+                        .lines()
+                        .next()
+                        .unwrap()
+                        .split(" in ")
+                        .next()
+                        .unwrap()
+                ),
                 "prefix moved: {}",
                 outcome.report
             );

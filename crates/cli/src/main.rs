@@ -28,7 +28,7 @@ fn main() -> ExitCode {
                         eprintln!("{notice}");
                     }
                     println!("{}", outcome.report);
-                    if outcome.check_failed {
+                    if outcome.check_failed || outcome.verify_failed {
                         ExitCode::FAILURE
                     } else {
                         ExitCode::SUCCESS

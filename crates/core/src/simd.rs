@@ -118,10 +118,10 @@ impl SimdTier {
     pub fn available() -> Vec<SimdTier> {
         let mut tiers = vec![SimdTier::Scalar, SimdTier::Portable];
         if cpu_has_avx2() {
-            tiers.push(SimdTier::Avx2);
+            tiers.push(SimdTier::Avx2); // lint: allow(push) — one-shot ISA probe
         }
         if cpu_has_avx512() {
-            tiers.push(SimdTier::Avx512);
+            tiers.push(SimdTier::Avx512); // lint: allow(push) — one-shot ISA probe
         }
         tiers
     }

@@ -276,6 +276,32 @@ pub trait Engine: Send + Sync {
         Ok((self.analyse(inputs)?, simt_sim::CheckReport::default()))
     }
 
+    /// Statically verify the shared-memory access patterns of every
+    /// SIMT kernel this engine launches, over the *entire* launch
+    /// space — all block counts, active-thread counts, chunk sizes and
+    /// ELT counts at once ([`simt_sim::verify`]). Unlike
+    /// [`Engine::analyse_checked`], no kernel runs and no inputs are
+    /// needed: the proof is symbolic.
+    ///
+    /// Engines that run no SIMT kernels (sequential, multicore) use
+    /// this default: an empty, trivially proven-safe summary. GPU
+    /// engines override it with their kernels' specs from
+    /// [`crate::verify`].
+    fn verify(&self) -> simt_sim::VerifySummary {
+        simt_sim::VerifySummary::no_kernels(self.name())
+    }
+
+    /// Run the analysis and statically verify the kernels it used:
+    /// [`Engine::analyse`] plus [`Engine::verify`]. The verification
+    /// half is input-independent; it is bundled here so callers (the
+    /// CLI's `--verify` flag) get results and proofs in one call.
+    fn analyse_verified(
+        &self,
+        inputs: &Inputs,
+    ) -> Result<(AnalysisOutput, simt_sim::VerifySummary), AraError> {
+        Ok((self.analyse(inputs)?, self.verify()))
+    }
+
     /// Model the execution time of this engine for a workload of `shape`
     /// on the paper's corresponding hardware platform.
     fn model(&self, shape: &AraShape) -> ModeledTiming;

@@ -145,6 +145,13 @@ impl Engine for GpuBasicEngine {
         })
     }
 
+    fn verify(&self) -> simt_sim::VerifySummary {
+        simt_sim::verify_kernels(
+            self.name(),
+            &[crate::verify::basic_kernel_spec(self.block_dim)],
+        )
+    }
+
     fn analyse_checked(
         &self,
         inputs: &Inputs,

@@ -239,6 +239,16 @@ impl<R: Real> Engine for GpuOptimizedEngine<R> {
         })
     }
 
+    fn verify(&self) -> simt_sim::VerifySummary {
+        simt_sim::verify_kernels(
+            self.name(),
+            &[crate::verify::chunked_kernel_spec(
+                self.block_dim,
+                self.chunk,
+            )],
+        )
+    }
+
     fn analyse_checked(
         &self,
         inputs: &Inputs,

@@ -37,6 +37,7 @@ pub mod profiles;
 pub mod roofline;
 pub mod seq;
 pub mod uncertain;
+pub mod verify;
 
 pub use api::{
     modeled_vs_measured, simd_tier_for, stage, ActivityBreakdown, AnalysisOutput, DriftReport,
@@ -55,3 +56,4 @@ pub use uncertain::{
     analyse_uncertain_gpu, analyse_uncertain_multicore, analyse_uncertain_sequential,
     uncertain_kernel_profile, AraUncertainKernel, UncertainLayerInputs,
 };
+pub use verify::{basic_kernel_spec, chunked_kernel_spec, uncertain_kernel_spec};

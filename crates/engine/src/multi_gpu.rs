@@ -208,6 +208,19 @@ impl<R: Real> Engine for MultiGpuEngine<R> {
         })
     }
 
+    fn verify(&self) -> simt_sim::VerifySummary {
+        // Every device runs the same chunked kernel with the same
+        // geometry; one proof covers all of them (and every partition
+        // size, since the spec quantifies over active threads).
+        simt_sim::verify_kernels(
+            self.name(),
+            &[crate::verify::chunked_kernel_spec(
+                self.block_dim,
+                self.chunk,
+            )],
+        )
+    }
+
     fn analyse_checked(
         &self,
         inputs: &Inputs,

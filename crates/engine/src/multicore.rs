@@ -94,7 +94,11 @@ impl<R: Real> MulticoreEngine<R> {
         inputs: &Inputs,
         prepared: &PreparedLayer<R>,
         tuned_grain: usize,
-    ) -> (YearLossTable, ara_trace::StageNanos, ara_trace::StageCounters) {
+    ) -> (
+        YearLossTable,
+        ara_trace::StageNanos,
+        ara_trace::StageCounters,
+    ) {
         let n = inputs.yet.num_trials();
         let grain = match self.schedule {
             Schedule::Auto => tuned_grain.max(1),

@@ -80,10 +80,9 @@ impl Bottleneck {
 /// [`simt_sim::CacheModel`]; a working set that fits in LLC cannot be
 /// DRAM-bandwidth-bound, however many L2-to-LLC misses it takes.
 pub fn classify(v: &CounterValues, working_set_bytes: u64, llc_bytes: u64) -> Bottleneck {
-    let (Some(cycles), Some(instructions)) = (
-        v.get(CounterKind::Cycles),
-        v.get(CounterKind::Instructions),
-    ) else {
+    let (Some(cycles), Some(instructions)) =
+        (v.get(CounterKind::Cycles), v.get(CounterKind::Instructions))
+    else {
         return Bottleneck::Unknown;
     };
     if cycles == 0 || instructions == 0 {
@@ -167,9 +166,9 @@ impl CounterReport {
                     llc_miss_per_lookup: misses
                         .filter(|_| total_lookups > 0)
                         .map(|m| m as f64 / total_lookups as f64),
-                    est_gbps: misses.filter(|_| wall_secs > 0.0).map(|m| {
-                        (m * CACHELINE_BYTES) as f64 / wall_secs / 1e9
-                    }),
+                    est_gbps: misses
+                        .filter(|_| wall_secs > 0.0)
+                        .map(|m| (m * CACHELINE_BYTES) as f64 / wall_secs / 1e9),
                     bottleneck: classify(v, working_set_bytes, llc_bytes),
                 }
             })

@@ -1,0 +1,169 @@
+//! Static access-pattern specifications for the engines' SIMT kernels.
+//!
+//! Each GPU engine describes its kernels' shared-memory behaviour as a
+//! [`KernelSpec`] — affine per-thread index maps over the launch
+//! parameters — and `simt-verify` proves race-freedom, barrier balance
+//! and bounds for *every* launch geometry at once ([`Engine::verify`]),
+//! complementing the per-launch dynamic replay of `simt-check`.
+//!
+//! The specs here are hand-written against [`crate::kernels`]; the
+//! differential property test in `tests/verify_differential.rs` keeps
+//! them honest by asserting that geometries the verifier proves safe
+//! are never flagged by the dynamic checker.
+//!
+//! [`Engine::verify`]: crate::api::Engine::verify
+
+use simt_sim::verify::{AccessSpec, BufferSpec, KernelSpec, ParamSpec, Pattern, Poly, StageSpec};
+
+/// Representative ELT count used as the `elts` parameter default (the
+/// proofs hold for all `elts >= 1`; the default only seeds the static
+/// bank-conflict / coalescing statistics).
+const DEFAULT_ELTS: i64 = 5;
+
+/// Symbolic spec of [`crate::kernels::AraChunkedKernel`] — the
+/// optimised chunked kernel (implementation iv, and per-device for v).
+///
+/// Parameters: `threads` (active threads in the block, covers tail
+/// blocks), `chunk` (events staged per thread per pass), `elts` (ELT
+/// count). Buffers mirror the kernel's [`simt_sim::TrackedShared`]
+/// allocations in `run_block`:
+///
+/// * `staged` — `threads * chunk` event ids, one `chunk`-wide slot per
+///   thread.
+/// * `ground` — `elts * threads * chunk` ground-up losses, ELT-major:
+///   row `e` starts at `e * threads * chunk`.
+/// * `combined` — `threads * chunk` combined per-event losses.
+///
+/// Thread `t` owns slot `t * chunk` in every row, so all maps share
+/// `thread_stride = chunk` with `extent <= chunk` — the partition that
+/// makes the kernel race-free by construction, and exactly what the
+/// verifier proves (`thread_stride - extent = chunk - chunk = 0 >= 0`).
+/// Extents are upper bounds (a thread whose trial is exhausted stages
+/// fewer than `chunk` events), so the specs are conservative
+/// (`inexact`): safety proofs are sound, hazard witnesses are not
+/// claimed.
+pub fn chunked_kernel_spec(block_dim: u32, chunk: u32) -> KernelSpec {
+    let t = Poly::var("threads");
+    let c = Poly::var("chunk");
+    let e = Poly::var("elts");
+    let zero = Poly::zero();
+
+    // One `chunk`-wide slot per thread: base 0, stride `chunk`.
+    let slot = |buffer: &'static str, write: bool| {
+        AccessSpec::strided(buffer, write, zero.clone(), c.clone(), c.clone()).inexact()
+    };
+    // The ground matrix walk: for each ELT `e`, the thread's slot within
+    // row `e` at `e * threads * chunk + t * chunk`.
+    let ground = |write: bool| {
+        Pattern::Affine(AccessSpec {
+            buffer: "ground",
+            write,
+            base: Poly::zero(),
+            thread_stride: c.clone(),
+            iter_stride: t.mul(&c),
+            iter_count: e.clone(),
+            extent: c.clone(),
+            exact: false,
+        })
+    };
+
+    KernelSpec {
+        name: "ara-chunked",
+        threads: ParamSpec::new("threads", 1, i64::from(block_dim)),
+        params: vec![
+            ParamSpec::new("chunk", 1, i64::from(chunk)),
+            ParamSpec::new("elts", 1, DEFAULT_ELTS),
+        ],
+        buffers: vec![
+            BufferSpec {
+                name: "staged",
+                len: t.mul(&c),
+            },
+            BufferSpec {
+                name: "ground",
+                len: e.mul(&t).mul(&c),
+            },
+            BufferSpec {
+                name: "combined",
+                len: t.mul(&c),
+            },
+        ],
+        stages: vec![
+            // Phase A: each thread copies its next chunk of event ids
+            // from its YET trial into its `staged` slot.
+            StageSpec::uniform("stage-events", vec![Pattern::Affine(slot("staged", true))]),
+            // Phase B: batch-gather staged events into the thread's row
+            // slots of `ground`, combine into `combined`, fold the
+            // occurrence clamp into per-thread registers. (Traced runs
+            // split this into three phases with the same index maps;
+            // one stage per phase *shape* covers both.)
+            StageSpec::uniform(
+                "fuse-lookup",
+                vec![
+                    Pattern::Affine(slot("staged", false)),
+                    ground(true),
+                    ground(false),
+                    Pattern::Affine(slot("combined", true)),
+                    Pattern::Affine(slot("combined", false)),
+                ],
+            ),
+            // Epilogue: the aggregate clamp reads only the per-thread
+            // `acc`/`max_occ` registers — no tracked shared memory.
+            StageSpec::uniform("epilogue", Vec::new()),
+        ],
+    }
+}
+
+/// Symbolic spec of [`crate::kernels::AraBasicKernel`] — the basic
+/// kernel (implementation iii).
+///
+/// Its `BasicShared` arrays stand in for *global* per-thread scratch
+/// (the paper's `lx_d`/`lox_d`), are plain `Vec`s rather than
+/// [`simt_sim::TrackedShared`], and are re-initialised per thread — so
+/// the kernel touches no tracked shared memory at all and is trivially
+/// race-free for every geometry.
+pub fn basic_kernel_spec(block_dim: u32) -> KernelSpec {
+    KernelSpec::trivially_safe("ara-basic", block_dim)
+}
+
+/// Symbolic spec of [`crate::uncertain::AraUncertainKernel`] — the
+/// uncertain-ELT sampling kernel. `Shared = ()`: every thread works in
+/// private state and writes only its own `out` element.
+pub fn uncertain_kernel_spec(block_dim: u32) -> KernelSpec {
+    KernelSpec::trivially_safe("ara-uncertain", block_dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_sim::verify::{verify_kernel, Verdict};
+
+    #[test]
+    fn chunked_spec_is_proven_safe_for_all_geometries() {
+        let report = verify_kernel(&chunked_kernel_spec(32, 86));
+        assert_eq!(report.verdict, Verdict::ProvenSafe, "{report:?}");
+        assert_eq!(report.stages.len(), 3);
+    }
+
+    #[test]
+    fn chunked_spec_buffers_match_kernel_allocations() {
+        // run_block resizes staged to n*chunk, ground to
+        // elts*n*chunk, combined to n*chunk; the spec must agree or
+        // its bounds proofs are about the wrong buffers.
+        let spec = chunked_kernel_spec(32, 4);
+        let env = [("threads", 7i64), ("chunk", 4), ("elts", 3)]
+            .into_iter()
+            .collect();
+        assert_eq!(spec.buffer_len("staged").unwrap().eval(&env), 28);
+        assert_eq!(spec.buffer_len("ground").unwrap().eval(&env), 84);
+        assert_eq!(spec.buffer_len("combined").unwrap().eval(&env), 28);
+    }
+
+    #[test]
+    fn trivial_kernels_are_proven_safe() {
+        for spec in [basic_kernel_spec(256), uncertain_kernel_spec(128)] {
+            let report = verify_kernel(&spec);
+            assert_eq!(report.verdict, Verdict::ProvenSafe);
+        }
+    }
+}

@@ -1,0 +1,498 @@
+//! # ara-lint — the workspace's zero-dependency source lint
+//!
+//! Three rules that `rustc`/`clippy` cannot express, enforced by plain
+//! line scanning so the pass needs no compilation and no third-party
+//! crates (it runs early in CI and inside `scripts/lint.sh`):
+//!
+//! 1. **SAFETY comments** ([`RULE_SAFETY`]): every `unsafe` block,
+//!    function or impl must be preceded by (or carry) a comment
+//!    containing `SAFETY:` stating the proof obligation being
+//!    discharged; `unsafe fn` declarations may instead document the
+//!    caller contract with the standard `# Safety` doc section.
+//! 2. **Hot-path bans** ([`RULE_HOT_PATH`]): the per-trial kernel
+//!    modules ([`HOT_PATH_FILES`]) must not allocate or abort on the
+//!    hot path — `.push(`, `Box::new(`, `format!(`, `panic!(` and
+//!    `.unwrap()` are banned outside `#[cfg(test)]` regions. Audited
+//!    exceptions (e.g. a `push` into a pre-reserved vector) carry a
+//!    `// lint: allow(<ban>)` pragma on the same or preceding line.
+//! 3. **forbid coverage** ([`RULE_FORBID`]): a crate whose sources
+//!    contain no `unsafe` at all must say so in its crate root with
+//!    `#![forbid(unsafe_code)]`, so new unsafe cannot creep in without
+//!    an explicit policy change.
+//!
+//! The lint crate excludes its own sources from scanning: they embed
+//! the needles it searches for as string data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Rule id: `unsafe` without a `SAFETY:` comment.
+pub const RULE_SAFETY: &str = "safety-comment";
+/// Rule id: banned construct in a hot-path module.
+pub const RULE_HOT_PATH: &str = "hot-path-ban";
+/// Rule id: zero-unsafe crate without `#![forbid(unsafe_code)]`.
+pub const RULE_FORBID: &str = "forbid-unsafe";
+
+/// Files (workspace-relative, `/`-separated) holding per-trial kernel
+/// code, where an allocation or panic runs millions of times per
+/// analysis.
+pub const HOT_PATH_FILES: &[&str] = &[
+    "crates/core/src/simd.rs",
+    "crates/core/src/analysis.rs",
+    "crates/engine/src/kernels.rs",
+];
+
+/// Banned hot-path constructs as `(pragma name, needle)`. Needles
+/// match exact call syntax, so `.push_str(` or `.unwrap_or(` do not
+/// trip the `.push(` / `.unwrap()` bans.
+const HOT_PATH_BANS: &[(&str, &str)] = &[
+    ("push", ".push("),
+    ("box-new", "Box::new("),
+    ("format", "format!("),
+    ("panic", "panic!("),
+    ("unwrap", ".unwrap()"),
+];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule id ([`RULE_SAFETY`], [`RULE_HOT_PATH`] or [`RULE_FORBID`]).
+    pub rule: &'static str,
+    /// What went wrong and how to fix it.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The result of a workspace scan.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// All findings, in (file, line) order.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// True when no rule fired.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// True when `line` is (the start of) a comment.
+fn is_comment(line: &str) -> bool {
+    line.trim_start().starts_with("//")
+}
+
+/// True when `line` is an attribute (outer or inner).
+fn is_attribute(line: &str) -> bool {
+    let t = line.trim_start();
+    t.starts_with("#[") || t.starts_with("#![")
+}
+
+/// Byte offsets at which `needle` occurs in `line` as real code —
+/// occurrences inside `//` comments are ignored (string literals are
+/// not parsed; none of the scanned crates embed needles in strings,
+/// and the lint crate itself is excluded for exactly that reason).
+fn code_matches(line: &str, needle: &str) -> Vec<usize> {
+    let code = match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    };
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(i) = code[from..].find(needle) {
+        out.push(from + i);
+        from += i + needle.len();
+    }
+    out
+}
+
+/// True when `line` contains the keyword `unsafe` as real code (not in
+/// a comment, not as part of a longer identifier like `unsafe_code`).
+fn has_unsafe_keyword(line: &str) -> bool {
+    code_matches(line, "unsafe").into_iter().any(|i| {
+        let before_ok = i == 0
+            || !line[..i]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = line[i + "unsafe".len()..].chars().next();
+        let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        before_ok && after_ok
+    })
+}
+
+/// Per-line mask of `#[cfg(test)]`-gated regions, by brace counting
+/// from the attribute to the close of the item it gates. Assumes
+/// rustfmt-style layout (the attribute on its own line, braces not
+/// hidden in strings) — true for this workspace, which CI keeps
+/// formatted.
+fn test_region_mask(lines: &[&str]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].trim() == "#[cfg(test)]" {
+            let mut depth = 0i32;
+            let mut opened = false;
+            let mut j = i;
+            while j < lines.len() {
+                mask[j] = true;
+                for c in lines[j].chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// Rule 1: every `unsafe` keyword must have a `SAFETY:` comment on the
+/// same line or in the contiguous run of comments/attributes/blank
+/// lines above it. `unsafe fn` declarations may instead carry the
+/// standard-library convention: a `# Safety` doc-comment section
+/// stating the caller's obligations (what `clippy::missing_safety_doc`
+/// checks for public functions — this rule extends it to private ones).
+fn check_safety_comments(file: &str, lines: &[&str], findings: &mut Vec<Finding>) {
+    for (idx, line) in lines.iter().enumerate() {
+        if !has_unsafe_keyword(line) {
+            continue;
+        }
+        if line.contains("SAFETY:") {
+            continue;
+        }
+        let mut covered = false;
+        for above in lines[..idx].iter().rev() {
+            if is_comment(above) {
+                if above.contains("SAFETY:") || above.contains("# Safety") {
+                    covered = true;
+                    break;
+                }
+            } else if !(is_attribute(above) || above.trim().is_empty()) {
+                break;
+            }
+        }
+        if !covered {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: idx + 1,
+                rule: RULE_SAFETY,
+                message: "`unsafe` without a `// SAFETY:` comment stating the proof obligation"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Rule 2: banned constructs in hot-path files, outside `#[cfg(test)]`
+/// and without an audited `lint: allow(...)` pragma.
+fn check_hot_path(file: &str, lines: &[&str], findings: &mut Vec<Finding>) {
+    let mask = test_region_mask(lines);
+    for (idx, line) in lines.iter().enumerate() {
+        if mask[idx] || is_comment(line) {
+            continue;
+        }
+        for &(name, needle) in HOT_PATH_BANS {
+            if code_matches(line, needle).is_empty() {
+                continue;
+            }
+            let pragma = format!("lint: allow({name})");
+            let excused = line.contains(&pragma)
+                || idx > 0 && is_comment(lines[idx - 1]) && lines[idx - 1].contains(&pragma);
+            if !excused {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: idx + 1,
+                    rule: RULE_HOT_PATH,
+                    message: format!(
+                        "`{needle}` on the hot path; hoist it out of the kernel or audit it \
+                         with `// lint: allow({name})`"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for
+/// deterministic reports.
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_sources(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The source roots of one crate: its name and every `.rs` file under
+/// its directory (`src/`, `tests/`, `benches/`).
+struct CrateSources {
+    /// Directory name, e.g. `crates/engine`.
+    dir: String,
+    /// Crate-root file (`src/lib.rs` or `src/main.rs`).
+    root_file: Option<PathBuf>,
+    /// All `.rs` files.
+    files: Vec<PathBuf>,
+}
+
+fn crate_sources(workspace: &Path) -> io::Result<Vec<CrateSources>> {
+    let mut out = Vec::new();
+    let crates_dir = workspace.join("crates");
+    let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    members.sort();
+    // The root facade package (src/ at the workspace root).
+    members.push(workspace.to_path_buf());
+    for member in members {
+        // The lint crate's own sources embed the needles as data.
+        if member.file_name().is_some_and(|n| n == "lint") {
+            continue;
+        }
+        let src = member.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        rust_sources(&src, &mut files)?;
+        for extra in ["tests", "benches"] {
+            let dir = member.join(extra);
+            if dir.is_dir() {
+                rust_sources(&dir, &mut files)?;
+            }
+        }
+        let root_file = [src.join("lib.rs"), src.join("main.rs")]
+            .into_iter()
+            .find(|p| p.is_file());
+        let dir = member
+            .strip_prefix(workspace)
+            .unwrap_or(&member)
+            .to_string_lossy()
+            .replace('\\', "/");
+        out.push(CrateSources {
+            dir: if dir.is_empty() { ".".to_string() } else { dir },
+            root_file,
+            files,
+        });
+    }
+    Ok(out)
+}
+
+fn relative<'a>(workspace: &Path, path: &'a Path) -> String {
+    path.strip_prefix(workspace)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Scan the workspace rooted at `workspace` and apply all three rules.
+pub fn lint_workspace(workspace: &Path) -> io::Result<LintReport> {
+    let mut report = LintReport::default();
+    for krate in crate_sources(workspace)? {
+        let mut crate_has_unsafe = false;
+        for path in &krate.files {
+            let rel = relative(workspace, path);
+            let text = fs::read_to_string(path)?;
+            let lines: Vec<&str> = text.lines().collect();
+            report.files_scanned += 1;
+            let in_src = !rel
+                .strip_prefix(&format!("{}/", krate.dir))
+                .unwrap_or(&rel)
+                .starts_with("tests/");
+            if in_src && lines.iter().any(|l| has_unsafe_keyword(l)) {
+                crate_has_unsafe = true;
+            }
+            check_safety_comments(&rel, &lines, &mut report.findings);
+            if HOT_PATH_FILES.contains(&rel.as_str()) {
+                check_hot_path(&rel, &lines, &mut report.findings);
+            }
+        }
+        // Rule 3 applies to the crate root of zero-unsafe crates.
+        if !crate_has_unsafe {
+            if let Some(root_file) = &krate.root_file {
+                let text = fs::read_to_string(root_file)?;
+                if !text.contains("#![forbid(unsafe_code)]") {
+                    report.findings.push(Finding {
+                        file: relative(workspace, root_file),
+                        line: 1,
+                        rule: RULE_FORBID,
+                        message: format!(
+                            "crate `{}` uses no unsafe; declare `#![forbid(unsafe_code)]` \
+                             in its crate root",
+                            krate.dir
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(text: &str) -> Vec<&str> {
+        text.lines().collect()
+    }
+
+    #[test]
+    fn unsafe_keyword_detection_ignores_identifiers_and_comments() {
+        assert!(has_unsafe_keyword("    let p = unsafe { ptr.read() };"));
+        assert!(has_unsafe_keyword("unsafe fn syscall5() {"));
+        assert!(!has_unsafe_keyword("#![allow(unsafe_code)]"));
+        assert!(!has_unsafe_keyword("// unsafe is discussed here"));
+        assert!(!has_unsafe_keyword("let my_unsafe_flag = true;"));
+    }
+
+    #[test]
+    fn safety_rule_accepts_comment_above_and_inline() {
+        let ok = lines(
+            "// SAFETY: pointer is valid for len elements.\n\
+             #[inline]\n\
+             let v = unsafe { read(p) };",
+        );
+        let mut findings = Vec::new();
+        check_safety_comments("a.rs", &ok, &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+
+        let inline = lines("let v = unsafe { read(p) }; // SAFETY: valid");
+        check_safety_comments("a.rs", &inline, &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+
+        // The std convention for unsafe fns: a `# Safety` doc section.
+        let doc = lines(
+            "/// Gather, 4 lanes.\n\
+             ///\n\
+             /// # Safety\n\
+             /// Requires AVX2.\n\
+             #[target_feature(enable = \"avx2\")]\n\
+             pub unsafe fn gather(t: &[f64]) {}",
+        );
+        check_safety_comments("a.rs", &doc, &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn safety_rule_flags_bare_unsafe() {
+        let bad = lines(
+            "// reads the pointer\n\
+             fn f() {\n\
+             let v = unsafe { read(p) };\n\
+             }",
+        );
+        let mut findings = Vec::new();
+        check_safety_comments("a.rs", &bad, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 3);
+        assert_eq!(findings[0].rule, RULE_SAFETY);
+        // The interposed code line (`fn f() {`) breaks the comment run:
+        // a far-away SAFETY comment does not cover this block.
+    }
+
+    #[test]
+    fn hot_path_rule_flags_bans_outside_tests() {
+        let text = lines(
+            "fn kernel(out: &mut Vec<f32>) {\n\
+             out.push(1.0);\n\
+             let b = Box::new(3);\n\
+             }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+             fn t() { v.push(9); s.unwrap(); panic!(\"x\"); }\n\
+             }",
+        );
+        let mut findings = Vec::new();
+        check_hot_path("k.rs", &text, &mut findings);
+        let rules: Vec<_> = findings.iter().map(|f| f.line).collect();
+        assert_eq!(rules, vec![2, 3], "{findings:?}");
+    }
+
+    #[test]
+    fn hot_path_rule_honours_allow_pragma_and_exact_tokens() {
+        let text = lines(
+            "// lint: allow(push) — pre-reserved in new()\n\
+             out.push(x);\n\
+             acc.push_str(\"t\"); // not Vec::push\n\
+             let v = x.unwrap_or(0);\n\
+             ids.push(y); // lint: allow(push)",
+        );
+        let mut findings = Vec::new();
+        check_hot_path("k.rs", &text, &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn test_region_mask_covers_the_whole_mod() {
+        let text = lines(
+            "fn a() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+             fn b() {}\n\
+             }\n\
+             fn c() {}",
+        );
+        let mask = test_region_mask(&text);
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn workspace_scan_runs_clean_on_this_repo() {
+        // The repo itself is the fixture: the workspace must stay clean
+        // under its own lint. CARGO_MANIFEST_DIR = crates/lint.
+        let workspace = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap();
+        let report = lint_workspace(workspace).unwrap();
+        assert!(report.files_scanned > 20, "{}", report.files_scanned);
+        let rendered: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+        assert!(report.is_clean(), "{rendered:#?}");
+    }
+}

@@ -1,0 +1,32 @@
+//! `ara-lint` binary: scan the workspace and exit non-zero on findings.
+//!
+//! Usage: `cargo run -p ara-lint [workspace-root]` (default `.`).
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    match ara_lint::lint_workspace(Path::new(&root)) {
+        Ok(report) => {
+            if report.is_clean() {
+                println!("ara-lint: clean ({} files scanned)", report.files_scanned);
+                ExitCode::SUCCESS
+            } else {
+                for finding in &report.findings {
+                    println!("{finding}");
+                }
+                println!(
+                    "ara-lint: {} finding(s) in {} files",
+                    report.findings.len(),
+                    report.files_scanned
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("ara-lint: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -76,6 +76,24 @@ pub struct Hazard {
     pub count: u64,
 }
 
+impl Hazard {
+    /// Total ordering key used to render reports byte-stably:
+    /// `(kind, buffer, block, thread pair, phase, address range)`. The
+    /// dedup key is only `(kind, buffer)`, so the attribution fields of
+    /// first-occurrence entries depend on replay order; sorting on
+    /// every field keeps merged multi-launch reports deterministic.
+    pub fn sort_key(&self) -> (HazardKind, &str, u32, (u32, u32), u32, (usize, usize)) {
+        (
+            self.kind,
+            &self.buffer,
+            self.block,
+            self.threads,
+            self.phase,
+            self.range,
+        )
+    }
+}
+
 impl fmt::Display for Hazard {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fn thread_name(t: u32) -> String {
@@ -168,7 +186,9 @@ impl WarpStats {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CheckReport {
     /// Distinct hazards, deduplicated by `(kind, buffer)` with
-    /// first-occurrence attribution, sorted by kind then buffer.
+    /// first-occurrence attribution, sorted by the full
+    /// [`Hazard::sort_key`] so rendering is byte-stable across runs
+    /// and merge orders.
     pub hazards: Vec<Hazard>,
     /// Warp branch-uniformity statistics.
     pub warp: WarpStats,
@@ -214,8 +234,7 @@ impl CheckReport {
                 }
             }
         }
-        self.hazards
-            .sort_by(|a, b| a.kind.cmp(&b.kind).then_with(|| a.buffer.cmp(&b.buffer)));
+        self.hazards.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
         self.warp.merge(&other.warp);
         self.blocks_checked += other.blocks_checked;
         self.phases_checked += other.phases_checked;
@@ -309,6 +328,39 @@ mod tests {
         assert_eq!(a.hazards[0].kind, HazardKind::WriteWrite);
         assert_eq!(a.hazards[1].count, 4);
         assert!(!a.is_clean());
+    }
+
+    #[test]
+    fn merge_order_is_total_and_byte_stable() {
+        // Entries share (kind, buffer-prefix) shape but differ in
+        // attribution; the full sort key must order them identically
+        // however the merges are sequenced.
+        let mut h1 = hazard(HazardKind::OutOfBounds, "ground");
+        h1.block = 7;
+        let mut h2 = hazard(HazardKind::OutOfBounds, "combined");
+        h2.block = 1;
+        let mut h3 = hazard(HazardKind::WriteWrite, "staged");
+        h3.threads = (2, 5);
+        let parts = [h1, h2, h3];
+        let mut forward = CheckReport::default();
+        for h in &parts {
+            forward.merge(CheckReport {
+                hazards: vec![h.clone()],
+                ..CheckReport::default()
+            });
+        }
+        let mut reverse = CheckReport::default();
+        for h in parts.iter().rev() {
+            reverse.merge(CheckReport {
+                hazards: vec![h.clone()],
+                ..CheckReport::default()
+            });
+        }
+        assert_eq!(forward.render(), reverse.render());
+        let keys: Vec<_> = forward.hazards.iter().map(Hazard::sort_key).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
     }
 
     #[test]

@@ -180,8 +180,7 @@ impl SessionState {
     }
 
     fn into_report(mut self) -> CheckReport {
-        self.hazards
-            .sort_by(|a, b| a.kind.cmp(&b.kind).then_with(|| a.buffer.cmp(&b.buffer)));
+        self.hazards.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
         CheckReport {
             hazards: self.hazards,
             warp: self.warp,

@@ -26,7 +26,10 @@
 //! A third piece, [`check`] (simt-check), replays any kernel under
 //! instrumentation ([`launch_checked`]) to prove it would be *legal
 //! CUDA* — free of the shared-memory races, barrier divergence, and
-//! out-of-bounds accesses that the serialized executor hides.
+//! out-of-bounds accesses that the serialized executor hides. Its
+//! static complement, [`verify`] (simt-verify), proves the same
+//! properties symbolically for *every* launch geometry from an affine
+//! description of the kernel's access patterns.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -35,6 +38,7 @@ pub mod check;
 pub mod device;
 pub mod exec;
 pub mod model;
+pub mod verify;
 
 pub use check::{
     launch_checked, CheckReport, Hazard, HazardKind, TrackedShared, WarpStats, CHECK_WARP_SIZE,
@@ -49,4 +53,8 @@ pub use model::{
     detect_simd_isa, tune_blocks_per_run, tune_gather_chunk, tune_host, tune_region_slots,
     tune_schedule_grain, CacheModel, CpuTimingModel, HostTuning, HostWorkload, KernelProfile,
     KernelTiming, MemSpace, MultiGpuTiming, Occupancy, Precision, SimdIsa, TraceOp,
+};
+pub use verify::{
+    verify_kernel, verify_kernels, AccessSpec, BufferSpec, KernelSpec, ParamSpec, Pattern, Poly,
+    Rounds, StageSpec, Verdict, VerifyReport, VerifySummary,
 };

@@ -1,0 +1,251 @@
+//! Symbolic integer polynomials over named launch parameters.
+//!
+//! The static verifier reasons about shared-memory addresses as
+//! multivariate polynomials with integer coefficients over parameters
+//! like `threads`, `chunk` or `elts`. Everything the verifier proves
+//! reduces to showing a polynomial is non-negative over the whole
+//! parameter box `v >= min_v` — see [`Poly::provably_nonneg`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A multivariate polynomial with `i64` coefficients.
+///
+/// Keys are monomials: sorted lists of variable names with
+/// multiplicity (`["chunk", "threads"]` is `chunk * threads`, the
+/// empty list is the constant term). Zero-coefficient terms are never
+/// stored, so structural equality is semantic equality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Poly {
+    terms: BTreeMap<Vec<&'static str>, i64>,
+}
+
+// The inherent `add`/`sub`/`mul` names are deliberate: reference-taking
+// methods chain (`a.add(&b).mul(&c)`) where the by-value operator
+// traits would force clones at every step.
+#[allow(clippy::should_implement_trait)]
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly {
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: i64) -> Self {
+        let mut terms = BTreeMap::new();
+        if c != 0 {
+            terms.insert(Vec::new(), c);
+        }
+        Poly { terms }
+    }
+
+    /// The polynomial `name` (a single variable).
+    pub fn var(name: &'static str) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(vec![name], 1);
+        Poly { terms }
+    }
+
+    /// True when this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The constant value when this polynomial has no variables.
+    pub fn as_constant(&self) -> Option<i64> {
+        match self.terms.len() {
+            0 => Some(0),
+            1 => self.terms.get(&Vec::new()).copied(),
+            _ => None,
+        }
+    }
+
+    fn insert(&mut self, vars: Vec<&'static str>, coeff: i64) {
+        if coeff == 0 {
+            return;
+        }
+        use std::collections::btree_map::Entry;
+        match self.terms.entry(vars) {
+            Entry::Occupied(mut e) => {
+                *e.get_mut() += coeff;
+                if *e.get() == 0 {
+                    e.remove();
+                }
+            }
+            Entry::Vacant(e) => {
+                e.insert(coeff);
+            }
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Poly) -> Poly {
+        let mut out = self.clone();
+        for (vars, &coeff) in &other.terms {
+            out.insert(vars.clone(), coeff);
+        }
+        out
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &Poly) -> Poly {
+        let mut out = self.clone();
+        for (vars, &coeff) in &other.terms {
+            out.insert(vars.clone(), -coeff);
+        }
+        out
+    }
+
+    /// `self * other`.
+    pub fn mul(&self, other: &Poly) -> Poly {
+        let mut out = Poly::zero();
+        for (va, &ca) in &self.terms {
+            for (vb, &cb) in &other.terms {
+                let mut vars = va.clone();
+                vars.extend_from_slice(vb);
+                vars.sort_unstable();
+                out.insert(vars, ca * cb);
+            }
+        }
+        out
+    }
+
+    /// Evaluate at a concrete assignment. `env` maps every variable
+    /// appearing in the polynomial to its value; evaluation saturates
+    /// rather than overflowing.
+    ///
+    /// # Panics
+    /// Panics if a variable has no binding in `env` — that is a spec
+    /// construction bug, not a runtime condition.
+    pub fn eval(&self, env: &BTreeMap<&'static str, i64>) -> i64 {
+        let mut total: i64 = 0;
+        for (vars, &coeff) in &self.terms {
+            let mut term = coeff;
+            for v in vars {
+                let value = *env
+                    .get(v)
+                    .unwrap_or_else(|| panic!("no binding for parameter `{v}`"));
+                term = term.saturating_mul(value);
+            }
+            total = total.saturating_add(term);
+        }
+        total
+    }
+
+    /// Prove `self >= 0` over the box `{v >= min_v}` given by `mins`.
+    ///
+    /// Substitutes `v = min_v + v̂` with `v̂ >= 0` and expands; if every
+    /// coefficient of the shifted polynomial is non-negative the
+    /// original is non-negative everywhere on the box. This is sound
+    /// and exact for the affine-with-products forms the access specs
+    /// produce (conservative in general: a `false` answer only means
+    /// "not proven").
+    ///
+    /// # Panics
+    /// Panics if the polynomial mentions a variable absent from
+    /// `mins` — a spec construction bug.
+    pub fn provably_nonneg(&self, mins: &BTreeMap<&'static str, i64>) -> bool {
+        let mut shifted = Poly::zero();
+        for (vars, &coeff) in &self.terms {
+            let mut acc = Poly::constant(coeff);
+            for v in vars {
+                let min = *mins
+                    .get(v)
+                    .unwrap_or_else(|| panic!("no lower bound for parameter `{v}`"));
+                acc = acc.mul(&Poly::constant(min).add(&Poly::var(v)));
+            }
+            shifted = shifted.add(&acc);
+        }
+        shifted.terms.values().all(|&c| c >= 0)
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return f.write_str("0");
+        }
+        let mut first = true;
+        for (vars, &coeff) in &self.terms {
+            if first {
+                if coeff < 0 {
+                    f.write_str("-")?;
+                }
+                first = false;
+            } else if coeff < 0 {
+                f.write_str(" - ")?;
+            } else {
+                f.write_str(" + ")?;
+            }
+            let mag = coeff.unsigned_abs();
+            if vars.is_empty() {
+                write!(f, "{mag}")?;
+            } else {
+                if mag != 1 {
+                    write!(f, "{mag}*")?;
+                }
+                for (i, v) in vars.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str("*")?;
+                    }
+                    f.write_str(v)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(pairs: &[(&'static str, i64)]) -> BTreeMap<&'static str, i64> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn arithmetic_and_eval_agree() {
+        let t = Poly::var("threads");
+        let c = Poly::var("chunk");
+        // threads*chunk - (threads-1)*chunk - chunk == 0
+        let p = t.mul(&c).sub(&t.sub(&Poly::constant(1)).mul(&c)).sub(&c);
+        assert!(p.is_zero());
+        let q = t.mul(&c).add(&Poly::constant(3));
+        assert_eq!(q.eval(&env(&[("threads", 4), ("chunk", 5)])), 23);
+    }
+
+    #[test]
+    fn nonneg_via_shift() {
+        let mins = env(&[("threads", 1), ("chunk", 1)]);
+        let t = Poly::var("threads");
+        let c = Poly::var("chunk");
+        // threads*chunk - chunk >= 0 when threads >= 1.
+        assert!(t.mul(&c).sub(&c).provably_nonneg(&mins));
+        // chunk - threads is NOT provable (and indeed false at t=2,c=1).
+        assert!(!c.sub(&t).provably_nonneg(&mins));
+        // threads - 2 is not provable with min 1...
+        assert!(!t.sub(&Poly::constant(2)).provably_nonneg(&mins));
+        // ...but is with min 2.
+        let mins2 = env(&[("threads", 2)]);
+        assert!(t.sub(&Poly::constant(2)).provably_nonneg(&mins2));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = Poly::var("threads")
+            .mul(&Poly::var("chunk"))
+            .sub(&Poly::constant(3));
+        assert_eq!(p.to_string(), "-3 + chunk*threads");
+        assert_eq!(Poly::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn as_constant_detects_constants() {
+        assert_eq!(Poly::constant(7).as_constant(), Some(7));
+        assert_eq!(Poly::zero().as_constant(), Some(0));
+        assert_eq!(Poly::var("threads").as_constant(), None);
+    }
+}

@@ -1,0 +1,793 @@
+//! # simt-verify — static kernel verification over the full launch space
+//!
+//! The dynamic checker ([`crate::launch_checked`], "simt-check")
+//! proves a kernel race-free *for the geometries it replays*. This
+//! module is the static complement: kernels describe their per-thread
+//! shared-memory accesses as affine index maps over the launch
+//! parameters ([`KernelSpec`]), and the verifier proves — for **every**
+//! geometry and parameter assignment in the declared domain — that
+//!
+//! * no two threads write overlapping elements in one bulk-synchronous
+//!   phase (write/write disjointness),
+//! * no thread reads elements another thread writes in the same phase
+//!   (read/write disjointness),
+//! * every access stays inside its buffer's symbolic length (bounds),
+//! * every thread reaches every barrier (phase balance).
+//!
+//! ## The affine model
+//!
+//! Thread `t` of a stage touches
+//! `{ base + t*TS + j*IS + k : j < iter_count, k < extent }`
+//! where `base`, `TS` (thread stride), `IS` (iteration stride),
+//! `iter_count` and `extent` are polynomials ([`Poly`]) over launch
+//! parameters (`threads`, `chunk`, `elts`, …), each bounded below by
+//! its [`ParamSpec::min`]. Every proof obligation reduces to the
+//! non-negativity of a polynomial over that box, decided soundly by
+//! substituting `v = min_v + v̂` and checking all coefficients of the
+//! shifted polynomial are non-negative ([`Poly::provably_nonneg`]).
+//!
+//! The two disjointness lemmas:
+//!
+//! * **Single spec, cross-thread** — threads are pairwise disjoint if
+//!   `TS - extent >= 0` (threads within one iteration cannot collide)
+//!   and, when `iter_count > 1`,
+//!   `IS - (threads-1)*TS - extent >= 0` (one iteration's span across
+//!   all threads ends before the next iteration begins).
+//! * **Two specs on one buffer** — if both share the same
+//!   `(base, TS, IS, iter_count)` cell map and each satisfies the
+//!   single-spec conditions, each thread stays inside its own cells,
+//!   so cross-thread overlap is impossible (same-thread overlap — a
+//!   thread reading what it just wrote — is not a hazard). Otherwise
+//!   the verifier falls back to whole-footprint disjointness.
+//!
+//! ## The verdict lattice
+//!
+//! Proof succeeds → [`Verdict::ProvenSafe`] (for the *entire* space).
+//! Proof fails → the verifier searches a small concrete grid of
+//! geometries for a counterexample; a witness on an `exact` spec →
+//! [`Verdict::ProvenHazard`] with the witness in the finding. No
+//! witness, or a conservative spec → [`Verdict::NeedsDynamicCheck`]:
+//! the honest "replay it under `launch_checked`" answer. Non-affine
+//! ([`Pattern::Opaque`]) accesses always land there.
+//!
+//! The verifier also reports per-stage *static* memory statistics at
+//! the engine's default parameters: shared-memory bank-conflict degree
+//! (`gcd(thread stride, 32)` banks) and warp coalescing efficiency
+//! (useful elements per 32-element transaction window).
+
+mod expr;
+mod report;
+mod spec;
+
+pub use expr::Poly;
+pub use report::{
+    Finding, FindingKind, StageReport, StageStats, Verdict, VerifyReport, VerifySummary,
+};
+pub use spec::{AccessSpec, BufferSpec, KernelSpec, ParamSpec, Pattern, Rounds, StageSpec};
+
+use std::collections::BTreeMap;
+
+/// Values tried per parameter in the concrete counterexample search.
+const WITNESS_VALUES_PER_PARAM: i64 = 4;
+/// Cap on parameter assignments enumerated per search.
+const WITNESS_MAX_ENVS: usize = 256;
+/// Cap on `threads * iter_count` per enumerated assignment.
+const WITNESS_MAX_INTERVALS: i64 = 1 << 12;
+
+/// The parameter box a kernel is verified over.
+struct Domain {
+    mins: BTreeMap<&'static str, i64>,
+    defaults: BTreeMap<&'static str, i64>,
+    order: Vec<(&'static str, i64)>,
+}
+
+impl Domain {
+    fn new(spec: &KernelSpec) -> Self {
+        let mut mins = BTreeMap::new();
+        let mut defaults = BTreeMap::new();
+        let mut order = Vec::new();
+        for p in std::iter::once(&spec.threads).chain(spec.params.iter()) {
+            mins.insert(p.name, p.min);
+            defaults.insert(p.name, p.default);
+            order.push((p.name, p.min));
+        }
+        Domain {
+            mins,
+            defaults,
+            order,
+        }
+    }
+
+    fn describe(&self, spec: &KernelSpec) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for (i, p) in std::iter::once(&spec.threads)
+            .chain(spec.params.iter())
+            .enumerate()
+        {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{}>={}", p.name, p.min);
+        }
+        s.push_str("; defaults ");
+        for (i, p) in std::iter::once(&spec.threads)
+            .chain(spec.params.iter())
+            .enumerate()
+        {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{}={}", p.name, p.default);
+        }
+        s
+    }
+
+    /// Deterministic enumeration of small concrete assignments: each
+    /// parameter sweeps `min .. min + WITNESS_VALUES_PER_PARAM`.
+    fn witness_envs(&self) -> Vec<BTreeMap<&'static str, i64>> {
+        let mut envs = vec![BTreeMap::new()];
+        for &(name, min) in &self.order {
+            let mut next = Vec::new();
+            for env in &envs {
+                for value in min..min + WITNESS_VALUES_PER_PARAM {
+                    let mut e = env.clone();
+                    e.insert(name, value);
+                    next.push(e);
+                    if next.len() >= WITNESS_MAX_ENVS {
+                        break;
+                    }
+                }
+                if next.len() >= WITNESS_MAX_ENVS {
+                    break;
+                }
+            }
+            envs = next;
+        }
+        envs
+    }
+}
+
+/// A concrete per-(thread, iteration) element interval.
+struct Interval {
+    thread: i64,
+    lo: i64,
+    hi: i64,
+}
+
+fn concrete_intervals(
+    spec: &AccessSpec,
+    env: &BTreeMap<&'static str, i64>,
+) -> Option<Vec<Interval>> {
+    let threads = *env.get("threads")?;
+    let count = spec.iter_count.eval(env);
+    if threads <= 0 || count <= 0 || threads.saturating_mul(count) > WITNESS_MAX_INTERVALS {
+        return None;
+    }
+    let base = spec.base.eval(env);
+    let ts = spec.thread_stride.eval(env);
+    let is = spec.iter_stride.eval(env);
+    let extent = spec.extent.eval(env);
+    if extent <= 0 {
+        return Some(Vec::new());
+    }
+    let mut out = Vec::with_capacity((threads * count) as usize);
+    for t in 0..threads {
+        for j in 0..count {
+            let lo = base + t * ts + j * is;
+            out.push(Interval {
+                thread: t,
+                lo,
+                hi: lo + extent,
+            });
+        }
+    }
+    Some(out)
+}
+
+/// A concrete counterexample found by the grid search.
+struct Witness {
+    env: BTreeMap<&'static str, i64>,
+    threads: (i64, i64),
+    range: (i64, i64),
+}
+
+impl Witness {
+    fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("witness ");
+        for (i, (name, value)) in self.env.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{name}={value}");
+        }
+        let _ = write!(
+            s,
+            ": threads {}/{} at elems [{}, {})",
+            self.threads.0, self.threads.1, self.range.0, self.range.1
+        );
+        s
+    }
+}
+
+/// Search the small geometry grid for a cross-thread overlap between
+/// two access specs (pass the same spec twice for the single-spec
+/// case).
+fn find_cross_thread_overlap(
+    a: &AccessSpec,
+    b: &AccessSpec,
+    same_spec: bool,
+    domain: &Domain,
+) -> Option<Witness> {
+    for env in domain.witness_envs() {
+        let (Some(ia), Some(ib)) = (concrete_intervals(a, &env), concrete_intervals(b, &env))
+        else {
+            continue;
+        };
+        for va in &ia {
+            for vb in &ib {
+                if va.thread == vb.thread {
+                    continue;
+                }
+                if same_spec && va.thread > vb.thread {
+                    continue;
+                }
+                let lo = va.lo.max(vb.lo);
+                let hi = va.hi.min(vb.hi);
+                if lo < hi {
+                    return Some(Witness {
+                        env,
+                        threads: (va.thread.min(vb.thread), va.thread.max(vb.thread)),
+                        range: (lo, hi),
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Search the grid for an access outside `len`.
+fn find_oob(spec: &AccessSpec, len: &Poly, domain: &Domain) -> Option<Witness> {
+    for env in domain.witness_envs() {
+        let Some(intervals) = concrete_intervals(spec, &env) else {
+            continue;
+        };
+        let limit = len.eval(&env);
+        for v in &intervals {
+            if v.lo < 0 || v.hi > limit {
+                return Some(Witness {
+                    env,
+                    threads: (v.thread, v.thread),
+                    range: (v.lo, v.hi),
+                });
+            }
+        }
+    }
+    None
+}
+
+/// The single-spec cross-thread disjointness lemma.
+fn cross_thread_disjoint(
+    spec: &AccessSpec,
+    threads: &Poly,
+    mins: &BTreeMap<&'static str, i64>,
+) -> bool {
+    let one = Poly::constant(1);
+    if !spec.thread_stride.sub(&spec.extent).provably_nonneg(mins) {
+        return false;
+    }
+    if spec.iter_count == one {
+        return true;
+    }
+    spec.iter_stride
+        .sub(&threads.sub(&one).mul(&spec.thread_stride))
+        .sub(&spec.extent)
+        .provably_nonneg(mins)
+}
+
+/// True when two specs share the same cell decomposition (same base,
+/// thread stride, iteration stride and count) — extents may differ.
+fn same_cell_map(a: &AccessSpec, b: &AccessSpec) -> bool {
+    a.base == b.base
+        && a.thread_stride == b.thread_stride
+        && a.iter_stride == b.iter_stride
+        && a.iter_count == b.iter_count
+}
+
+/// Well-formedness obligations of the affine model itself: all strides,
+/// base and extent non-negative and at least one iteration. Returns the
+/// description of the first failed obligation.
+fn model_obligation_failure(
+    spec: &AccessSpec,
+    mins: &BTreeMap<&'static str, i64>,
+) -> Option<String> {
+    let one = Poly::constant(1);
+    let obligations: [(&str, Poly); 5] = [
+        ("base >= 0", spec.base.clone()),
+        ("thread_stride >= 0", spec.thread_stride.clone()),
+        ("iter_stride >= 0", spec.iter_stride.clone()),
+        ("extent >= 0", spec.extent.clone()),
+        ("iter_count >= 1", spec.iter_count.sub(&one)),
+    ];
+    for (name, poly) in obligations {
+        if !poly.provably_nonneg(mins) {
+            return Some(format!("cannot prove {name} (have `{poly}`)"));
+        }
+    }
+    None
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Static memory statistics for one affine access at the default
+/// parameter values.
+fn access_stats(spec: &AccessSpec, defaults: &BTreeMap<&'static str, i64>) -> (u32, f64) {
+    let stride = spec.thread_stride.eval(defaults).unsigned_abs();
+    if stride == 0 {
+        // Broadcast: one bank, one transaction, served in a single step.
+        return (1, 100.0);
+    }
+    let degree = gcd(stride, 32) as u32;
+    let span = 31u64.saturating_mul(stride) + 1;
+    let coalescing = 100.0 * 32.0 / span as f64;
+    (degree, coalescing.min(100.0))
+}
+
+/// Verify one kernel spec; see the [module docs](self) for the model
+/// and proof rules.
+pub fn verify_kernel(spec: &KernelSpec) -> VerifyReport {
+    let domain = Domain::new(spec);
+    let threads = Poly::var(spec.threads.name);
+    let mins = &domain.mins;
+    let mut stages = Vec::with_capacity(spec.stages.len());
+
+    for (idx, stage) in spec.stages.iter().enumerate() {
+        let phase = (idx + 1) as u32;
+        let mut findings: Vec<Finding> = Vec::new();
+        let mut push = |kind, verdict, buffer, detail: String| {
+            findings.push(Finding {
+                kind,
+                verdict,
+                stage: stage.name,
+                phase,
+                buffer,
+                detail,
+            });
+        };
+
+        if stage.rounds == Rounds::PerThread {
+            push(
+                FindingKind::BarrierImbalance,
+                Verdict::ProvenHazard,
+                "<barrier>",
+                "threads execute differing numbers of barrier-terminated phases \
+                 (barrier under divergent control flow)"
+                    .to_string(),
+            );
+        }
+
+        let mut affine: Vec<&AccessSpec> = Vec::new();
+        for access in &stage.accesses {
+            match access {
+                Pattern::Affine(a) => affine.push(a),
+                Pattern::Opaque {
+                    buffer,
+                    write,
+                    note,
+                } => {
+                    push(
+                        FindingKind::NonAffine,
+                        Verdict::NeedsDynamicCheck,
+                        buffer,
+                        format!(
+                            "{} pattern escapes the affine model: {note}",
+                            if *write { "write" } else { "read" }
+                        ),
+                    );
+                }
+            }
+        }
+
+        // Per-spec obligations: model well-formedness, then bounds.
+        let mut sound: Vec<bool> = Vec::with_capacity(affine.len());
+        for a in &affine {
+            if let Some(failure) = model_obligation_failure(a, mins) {
+                push(
+                    FindingKind::OutOfBounds,
+                    Verdict::NeedsDynamicCheck,
+                    a.buffer,
+                    failure,
+                );
+                sound.push(false);
+                continue;
+            }
+            sound.push(true);
+            let Some(len) = spec.buffer_len(a.buffer) else {
+                push(
+                    FindingKind::OutOfBounds,
+                    Verdict::NeedsDynamicCheck,
+                    a.buffer,
+                    "buffer has no declared length".to_string(),
+                );
+                continue;
+            };
+            let slack = len.sub(&a.footprint_end(&threads));
+            if !slack.provably_nonneg(mins) {
+                match find_oob(a, len, &domain) {
+                    Some(w) if a.exact => push(
+                        FindingKind::OutOfBounds,
+                        Verdict::ProvenHazard,
+                        a.buffer,
+                        w.describe(),
+                    ),
+                    _ => push(
+                        FindingKind::OutOfBounds,
+                        Verdict::NeedsDynamicCheck,
+                        a.buffer,
+                        format!("cannot prove len - footprint >= 0 (have `{slack}`)"),
+                    ),
+                }
+            }
+        }
+
+        // Cross-thread disjointness: every write spec against itself.
+        for (i, a) in affine.iter().enumerate() {
+            if !a.write || !sound[i] {
+                continue;
+            }
+            if cross_thread_disjoint(a, &threads, mins) {
+                continue;
+            }
+            match find_cross_thread_overlap(a, a, true, &domain) {
+                Some(w) if a.exact => push(
+                    FindingKind::WriteWrite,
+                    Verdict::ProvenHazard,
+                    a.buffer,
+                    w.describe(),
+                ),
+                _ => push(
+                    FindingKind::WriteWrite,
+                    Verdict::NeedsDynamicCheck,
+                    a.buffer,
+                    "cannot prove cross-thread write disjointness".to_string(),
+                ),
+            }
+        }
+
+        // Pairwise: every (write, any) pair of distinct specs on one
+        // buffer must be provably cross-thread disjoint.
+        for i in 0..affine.len() {
+            for j in i + 1..affine.len() {
+                let (a, b) = (affine[i], affine[j]);
+                if a.buffer != b.buffer || (!a.write && !b.write) {
+                    continue;
+                }
+                if !sound[i] || !sound[j] {
+                    continue;
+                }
+                let safe = if same_cell_map(a, b) {
+                    cross_thread_disjoint(a, &threads, mins)
+                        && cross_thread_disjoint(b, &threads, mins)
+                } else {
+                    b.base.sub(&a.footprint_end(&threads)).provably_nonneg(mins)
+                        || a.base.sub(&b.footprint_end(&threads)).provably_nonneg(mins)
+                };
+                if safe {
+                    continue;
+                }
+                let kind = if a.write && b.write {
+                    FindingKind::WriteWrite
+                } else {
+                    FindingKind::ReadWrite
+                };
+                match find_cross_thread_overlap(a, b, false, &domain) {
+                    Some(w) if a.exact && b.exact => {
+                        push(kind, Verdict::ProvenHazard, a.buffer, w.describe())
+                    }
+                    _ => push(
+                        kind,
+                        Verdict::NeedsDynamicCheck,
+                        a.buffer,
+                        "cannot prove cross-thread disjointness of access pair".to_string(),
+                    ),
+                }
+            }
+        }
+
+        let stats = if affine.is_empty() {
+            None
+        } else {
+            let mut degree = 1u32;
+            let mut coalescing = 100.0f64;
+            for a in &affine {
+                let (d, c) = access_stats(a, &domain.defaults);
+                degree = degree.max(d);
+                coalescing = coalescing.min(c);
+            }
+            Some(StageStats {
+                bank_conflict_degree: degree,
+                coalescing_pct: coalescing,
+            })
+        };
+
+        let verdict = findings
+            .iter()
+            .map(|f| f.verdict)
+            .max()
+            .unwrap_or(Verdict::ProvenSafe);
+        stages.push(StageReport {
+            name: stage.name,
+            phase,
+            verdict,
+            findings,
+            stats,
+        });
+    }
+
+    let verdict = stages
+        .iter()
+        .map(|s| s.verdict)
+        .max()
+        .unwrap_or(Verdict::ProvenSafe);
+    VerifyReport {
+        kernel: spec.name,
+        domain: domain.describe(spec),
+        verdict,
+        stages,
+    }
+}
+
+/// Verify a set of kernel specs into an engine-level summary.
+pub fn verify_kernels(engine: &'static str, specs: &[KernelSpec]) -> VerifySummary {
+    VerifySummary {
+        engine,
+        kernels: specs.iter().map(verify_kernel).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Poly {
+        Poly::var("threads")
+    }
+    fn c() -> Poly {
+        Poly::var("chunk")
+    }
+
+    /// A miniature of the real chunked kernel: staged writes at
+    /// `t*chunk`, extent `chunk`, buffer length `threads*chunk`.
+    fn staged_write() -> AccessSpec {
+        AccessSpec::strided("staged", true, Poly::zero(), c(), c())
+    }
+
+    fn kernel(stages: Vec<StageSpec>) -> KernelSpec {
+        KernelSpec {
+            name: "test-kernel",
+            threads: ParamSpec::new("threads", 1, 32),
+            params: vec![ParamSpec::new("chunk", 1, 8)],
+            buffers: vec![BufferSpec {
+                name: "staged",
+                len: t().mul(&c()),
+            }],
+            stages,
+        }
+    }
+
+    #[test]
+    fn chunk_partition_is_proven_safe_for_all_geometries() {
+        let spec = kernel(vec![StageSpec::uniform(
+            "stage-events",
+            vec![Pattern::Affine(staged_write())],
+        )]);
+        let report = verify_kernel(&spec);
+        assert_eq!(report.verdict, Verdict::ProvenSafe);
+        assert!(report.stages[0].findings.is_empty());
+    }
+
+    #[test]
+    fn broadcast_write_is_a_proven_race_with_witness() {
+        let mut access = staged_write();
+        access.thread_stride = Poly::zero();
+        access.extent = Poly::constant(1);
+        let spec = kernel(vec![StageSpec::uniform(
+            "broadcast",
+            vec![Pattern::Affine(access)],
+        )]);
+        let report = verify_kernel(&spec);
+        assert_eq!(report.verdict, Verdict::ProvenHazard);
+        let f = report.findings().next().unwrap();
+        assert_eq!(f.kind, FindingKind::WriteWrite);
+        assert_eq!(f.phase, 1);
+        assert_eq!(f.stage, "broadcast");
+        assert!(f.detail.contains("threads=2"), "{}", f.detail);
+    }
+
+    #[test]
+    fn inexact_spec_degrades_to_dynamic_check_not_hazard() {
+        let mut access = staged_write();
+        access.thread_stride = Poly::zero();
+        access.extent = Poly::constant(1);
+        let spec = kernel(vec![StageSpec::uniform(
+            "broadcast",
+            vec![Pattern::Affine(access.inexact())],
+        )]);
+        let report = verify_kernel(&spec);
+        assert_eq!(report.verdict, Verdict::NeedsDynamicCheck);
+    }
+
+    #[test]
+    fn out_of_bounds_read_is_proven_with_witness() {
+        // Reads `t .. t+2` out of a `threads`-element buffer: thread
+        // threads-1 reads one past the end. Reads alone cannot race,
+        // so the only finding is the bounds one.
+        let access = AccessSpec::strided(
+            "staged",
+            false,
+            Poly::zero(),
+            Poly::constant(1),
+            Poly::constant(2),
+        );
+        let mut spec = kernel(vec![StageSpec::uniform(
+            "neighbour-read",
+            vec![Pattern::Affine(access)],
+        )]);
+        spec.buffers[0].len = t();
+        let report = verify_kernel(&spec);
+        assert_eq!(report.verdict, Verdict::ProvenHazard);
+        let f = report.findings().next().unwrap();
+        assert_eq!(f.kind, FindingKind::OutOfBounds);
+        assert_eq!(f.buffer, "staged");
+    }
+
+    #[test]
+    fn divergent_barrier_is_a_proven_barrier_hazard() {
+        let spec = kernel(vec![StageSpec {
+            name: "half-barrier",
+            rounds: Rounds::PerThread,
+            accesses: vec![],
+        }]);
+        let report = verify_kernel(&spec);
+        assert_eq!(report.verdict, Verdict::ProvenHazard);
+        let f = report.findings().next().unwrap();
+        assert_eq!(f.kind, FindingKind::BarrierImbalance);
+        assert_eq!(f.buffer, "<barrier>");
+    }
+
+    #[test]
+    fn opaque_access_needs_dynamic_check() {
+        let spec = kernel(vec![StageSpec::uniform(
+            "histogram",
+            vec![Pattern::Opaque {
+                buffer: "staged",
+                write: true,
+                note: "data-dependent bin index",
+            }],
+        )]);
+        let report = verify_kernel(&spec);
+        assert_eq!(report.verdict, Verdict::NeedsDynamicCheck);
+        assert_eq!(
+            report.findings().next().unwrap().kind,
+            FindingKind::NonAffine
+        );
+    }
+
+    #[test]
+    fn missing_barrier_between_producer_and_consumer_is_flagged() {
+        // Write `t`, read `t+1` in the SAME phase: classic missing
+        // `__syncthreads()`. Thread t's read overlaps thread t+1's
+        // write.
+        let write = AccessSpec::strided(
+            "staged",
+            true,
+            Poly::zero(),
+            Poly::constant(1),
+            Poly::constant(1),
+        );
+        let read = AccessSpec::strided(
+            "staged",
+            false,
+            Poly::constant(1),
+            Poly::constant(1),
+            Poly::constant(1),
+        );
+        let mut spec = kernel(vec![StageSpec::uniform(
+            "fused-neighbour-sum",
+            vec![Pattern::Affine(write), Pattern::Affine(read)],
+        )]);
+        spec.buffers[0].len = t().add(&Poly::constant(1));
+        let report = verify_kernel(&spec);
+        assert_eq!(report.verdict, Verdict::ProvenHazard);
+        let kinds: Vec<_> = report.findings().map(|f| f.kind).collect();
+        assert!(kinds.contains(&FindingKind::ReadWrite), "{kinds:?}");
+    }
+
+    #[test]
+    fn iterated_specs_prove_via_iteration_separation() {
+        // The ground matrix shape: base 0, TS=chunk, IS=threads*chunk,
+        // count=elts, extent=chunk, len = elts*threads*chunk.
+        let e = Poly::var("elts");
+        let access = AccessSpec {
+            buffer: "ground",
+            write: true,
+            base: Poly::zero(),
+            thread_stride: c(),
+            iter_stride: t().mul(&c()),
+            iter_count: e.clone(),
+            extent: c(),
+            exact: true,
+        };
+        let spec = KernelSpec {
+            name: "ground-kernel",
+            threads: ParamSpec::new("threads", 1, 32),
+            params: vec![ParamSpec::new("chunk", 1, 8), ParamSpec::new("elts", 1, 3)],
+            buffers: vec![BufferSpec {
+                name: "ground",
+                len: e.mul(&t()).mul(&c()),
+            }],
+            stages: vec![StageSpec::uniform("gather", vec![Pattern::Affine(access)])],
+        };
+        let report = verify_kernel(&spec);
+        assert_eq!(report.verdict, Verdict::ProvenSafe);
+    }
+
+    #[test]
+    fn same_cell_write_and_read_specs_are_safe() {
+        let write = staged_write();
+        let mut read = staged_write();
+        read.write = false;
+        let spec = kernel(vec![StageSpec::uniform(
+            "combine",
+            vec![Pattern::Affine(write), Pattern::Affine(read)],
+        )]);
+        let report = verify_kernel(&spec);
+        assert_eq!(report.verdict, Verdict::ProvenSafe);
+    }
+
+    #[test]
+    fn stats_report_bank_conflicts_and_coalescing() {
+        let spec = kernel(vec![StageSpec::uniform(
+            "stage-events",
+            vec![Pattern::Affine(staged_write())],
+        )]);
+        let report = verify_kernel(&spec);
+        let stats = report.stages[0].stats.unwrap();
+        // Default chunk 8: stride 8 -> gcd(8, 32) = 8-way conflicts,
+        // span 31*8+1 = 249 -> 32/249 coalescing.
+        assert_eq!(stats.bank_conflict_degree, 8);
+        assert!((stats.coalescing_pct - 100.0 * 32.0 / 249.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trivially_safe_kernel_and_summary() {
+        let spec = KernelSpec::trivially_safe("ara-basic", 256);
+        let report = verify_kernel(&spec);
+        assert_eq!(report.verdict, Verdict::ProvenSafe);
+        let summary = verify_kernels("gpu-basic", std::slice::from_ref(&spec));
+        assert!(!summary.proven_hazard());
+        assert!(summary.render().contains("ara-basic"));
+    }
+
+    #[test]
+    fn verify_output_is_deterministic() {
+        let mut access = staged_write();
+        access.thread_stride = Poly::zero();
+        let spec = kernel(vec![StageSpec::uniform(
+            "broadcast",
+            vec![Pattern::Affine(access)],
+        )]);
+        let a = verify_kernels("gpu-optimised", std::slice::from_ref(&spec)).render();
+        let b = verify_kernels("gpu-optimised", std::slice::from_ref(&spec)).render();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,259 @@
+//! Static-verification verdicts and reports.
+
+use std::fmt;
+
+/// The verdict lattice, ordered from best to worst.
+///
+/// * [`Verdict::ProvenSafe`] — a symbolic proof holds for *every*
+///   launch geometry and parameter assignment in the declared domain.
+/// * [`Verdict::NeedsDynamicCheck`] — the affine model could not
+///   decide; run the kernel under [`crate::launch_checked`].
+/// * [`Verdict::ProvenHazard`] — a concrete witness geometry exhibits
+///   the hazard (exact specs only, so the witness is real).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verdict {
+    /// Safe for the entire geometry/parameter space.
+    ProvenSafe,
+    /// Undecided statically; requires a checked replay.
+    NeedsDynamicCheck,
+    /// A concrete counterexample geometry exists.
+    ProvenHazard,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Verdict::ProvenSafe => "proven-safe",
+            Verdict::NeedsDynamicCheck => "needs-dynamic-check",
+            Verdict::ProvenHazard => "proven-hazard",
+        })
+    }
+}
+
+/// What a static finding is about — mirrors the dynamic
+/// [`crate::HazardKind`] taxonomy where the two overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FindingKind {
+    /// Two distinct threads may write overlapping elements in one phase.
+    WriteWrite,
+    /// A write and a read by distinct threads may overlap in one phase.
+    ReadWrite,
+    /// An access may fall outside the buffer's symbolic length.
+    OutOfBounds,
+    /// Threads execute different numbers of barrier-terminated phases.
+    BarrierImbalance,
+    /// The access pattern escapes the affine model.
+    NonAffine,
+}
+
+impl fmt::Display for FindingKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FindingKind::WriteWrite => "write/write race",
+            FindingKind::ReadWrite => "read/write race",
+            FindingKind::OutOfBounds => "out-of-bounds access",
+            FindingKind::BarrierImbalance => "barrier imbalance",
+            FindingKind::NonAffine => "non-affine access",
+        })
+    }
+}
+
+/// One static finding, attributed to its kernel stage.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// What kind of problem.
+    pub kind: FindingKind,
+    /// Severity on the verdict lattice ([`Verdict::ProvenHazard`] or
+    /// [`Verdict::NeedsDynamicCheck`]; safe stages carry no findings).
+    pub verdict: Verdict,
+    /// Stage name the finding is attributed to.
+    pub stage: &'static str,
+    /// 1-based stage index within the kernel spec.
+    pub phase: u32,
+    /// Buffer involved (`"<barrier>"` for barrier imbalance).
+    pub buffer: &'static str,
+    /// Human-readable detail: the failed bound or the concrete witness.
+    pub detail: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] on `{}` stage {} ({}): {}",
+            self.kind, self.verdict, self.buffer, self.phase, self.stage, self.detail
+        )
+    }
+}
+
+/// Static memory-performance statistics for one stage, evaluated at
+/// the kernel's default parameter values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageStats {
+    /// Worst shared-memory bank-conflict degree across the stage's
+    /// accesses: the maximum number of threads of a 32-lane warp that
+    /// hit the same bank in one access step (1 = conflict-free).
+    pub bank_conflict_degree: u32,
+    /// Worst-case coalescing efficiency across the stage's accesses:
+    /// useful elements per 32-element transaction window when a warp
+    /// issues one access step, in percent (100 = perfectly coalesced).
+    pub coalescing_pct: f64,
+}
+
+/// Verification result for one stage.
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    /// Stage name.
+    pub name: &'static str,
+    /// 1-based stage index.
+    pub phase: u32,
+    /// Worst verdict among the stage's findings (or proven-safe).
+    pub verdict: Verdict,
+    /// Findings attributed to this stage.
+    pub findings: Vec<Finding>,
+    /// Memory statistics; `None` when the stage performs no tracked
+    /// affine accesses.
+    pub stats: Option<StageStats>,
+}
+
+/// Verification result for one kernel.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Kernel name from the spec.
+    pub kernel: &'static str,
+    /// Domain description, e.g. `threads>=1, chunk>=1, elts>=1`.
+    pub domain: String,
+    /// Worst stage verdict.
+    pub verdict: Verdict,
+    /// Per-stage results in execution order.
+    pub stages: Vec<StageReport>,
+}
+
+impl VerifyReport {
+    /// All findings across stages.
+    pub fn findings(&self) -> impl Iterator<Item = &Finding> {
+        self.stages.iter().flat_map(|s| s.findings.iter())
+    }
+}
+
+/// Verification summary for an engine: one report per kernel it
+/// launches. Engines that run no SIMT kernels produce an empty — and
+/// therefore trivially proven-safe — summary.
+#[derive(Debug, Clone)]
+pub struct VerifySummary {
+    /// Engine name.
+    pub engine: &'static str,
+    /// One report per kernel.
+    pub kernels: Vec<VerifyReport>,
+}
+
+impl VerifySummary {
+    /// A summary for an engine with no SIMT kernels to verify.
+    pub fn no_kernels(engine: &'static str) -> Self {
+        VerifySummary {
+            engine,
+            kernels: Vec::new(),
+        }
+    }
+
+    /// Worst verdict across all kernels ([`Verdict::ProvenSafe`] when
+    /// there are none).
+    pub fn verdict(&self) -> Verdict {
+        self.kernels
+            .iter()
+            .map(|k| k.verdict)
+            .max()
+            .unwrap_or(Verdict::ProvenSafe)
+    }
+
+    /// True when any kernel has a proven hazard — the CLI's non-zero
+    /// exit condition.
+    pub fn proven_hazard(&self) -> bool {
+        self.verdict() == Verdict::ProvenHazard
+    }
+
+    /// Multi-line human-readable summary.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.kernels.is_empty() {
+            let _ = writeln!(
+                out,
+                "simt-verify: {} — no SIMT kernels (trivially safe)",
+                self.engine
+            );
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "simt-verify: {} — {} for all launch geometries",
+            self.engine,
+            self.verdict()
+        );
+        for k in &self.kernels {
+            let _ = writeln!(out, "  kernel {} ({}): {}", k.kernel, k.domain, k.verdict);
+            for s in &k.stages {
+                let stats = match &s.stats {
+                    Some(st) => format!(
+                        "bank-conflict x{}, coalescing {:.1}%",
+                        st.bank_conflict_degree, st.coalescing_pct
+                    ),
+                    None => "no tracked accesses".to_string(),
+                };
+                // `Display` for `Verdict` ignores width, so pad the
+                // rendered string instead.
+                let verdict = s.verdict.to_string();
+                let _ = writeln!(
+                    out,
+                    "    stage {} {:<16} {verdict:<19} {}",
+                    s.phase, s.name, stats
+                );
+                for finding in &s.findings {
+                    let _ = writeln!(out, "      {finding}");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_lattice_orders_worst_last() {
+        assert!(Verdict::ProvenSafe < Verdict::NeedsDynamicCheck);
+        assert!(Verdict::NeedsDynamicCheck < Verdict::ProvenHazard);
+    }
+
+    #[test]
+    fn empty_summary_is_trivially_safe() {
+        let s = VerifySummary::no_kernels("sequential");
+        assert_eq!(s.verdict(), Verdict::ProvenSafe);
+        assert!(!s.proven_hazard());
+        assert!(s.render().contains("no SIMT kernels"));
+    }
+
+    #[test]
+    fn summary_verdict_is_worst_kernel() {
+        let safe = VerifyReport {
+            kernel: "a",
+            domain: "threads>=1".into(),
+            verdict: Verdict::ProvenSafe,
+            stages: Vec::new(),
+        };
+        let hazard = VerifyReport {
+            kernel: "b",
+            domain: "threads>=1".into(),
+            verdict: Verdict::ProvenHazard,
+            stages: Vec::new(),
+        };
+        let s = VerifySummary {
+            engine: "gpu-optimised",
+            kernels: vec![safe, hazard],
+        };
+        assert!(s.proven_hazard());
+        assert!(s.render().contains("proven-hazard"));
+    }
+}

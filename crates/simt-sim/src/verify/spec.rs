@@ -1,0 +1,221 @@
+//! Kernel access-pattern specifications.
+//!
+//! A [`KernelSpec`] is a symbolic description of what a kernel's
+//! bulk-synchronous phases do to tracked shared memory, written as
+//! affine index maps over the launch parameters. The verifier
+//! ([`super::verify_kernel`]) consumes it; the GPU engines construct
+//! one per kernel they launch.
+//!
+//! Conventions:
+//!
+//! * The thread-count parameter is [`KernelSpec::threads`] — the
+//!   number of *active* threads in a block (tail blocks run fewer than
+//!   `block_dim`, so proofs quantified over `threads >= 1` cover every
+//!   block of every launch).
+//! * Block-leader code running between phases (via `BlockCtx::shared`,
+//!   e.g. buffer resizes) is not specified: phases are the unit of
+//!   concurrency, so leader code cannot race by construction — exactly
+//!   the rule the dynamic checker applies.
+//! * A stage models one `for_each_thread` phase *shape*. A phase
+//!   executed repeatedly with the same index maps (e.g. once per chunk
+//!   of a loop) is one stage: the maps, and therefore the proofs, are
+//!   identical for every repetition.
+
+use super::expr::Poly;
+
+/// A launch parameter with its domain floor and a representative
+/// concrete value (used for the bank-conflict / coalescing statistics,
+/// which are evaluated at the defaults).
+#[derive(Debug, Clone)]
+pub struct ParamSpec {
+    /// Variable name as used in the [`Poly`] index maps.
+    pub name: &'static str,
+    /// Smallest value the parameter can take (proofs hold for all
+    /// values `>= min`).
+    pub min: i64,
+    /// The engine's configured/default value.
+    pub default: i64,
+}
+
+impl ParamSpec {
+    /// Convenience constructor.
+    pub fn new(name: &'static str, min: i64, default: i64) -> Self {
+        ParamSpec { name, min, default }
+    }
+}
+
+/// A tracked shared-memory buffer and its symbolic length.
+#[derive(Debug, Clone)]
+pub struct BufferSpec {
+    /// Buffer name — must match the [`crate::TrackedShared`] name so
+    /// static findings and dynamic hazards attribute identically.
+    pub name: &'static str,
+    /// Symbolic element count the kernel sizes the buffer to.
+    pub len: Poly,
+}
+
+/// One affine per-thread access pattern within a stage.
+///
+/// Thread `t` (for `t` in `0..threads`) touches the element set
+///
+/// ```text
+/// { base + t*thread_stride + j*iter_stride + k
+///       : 0 <= j < iter_count, 0 <= k < extent }
+/// ```
+///
+/// `extent` is an upper bound on the contiguous run each `(t, j)`
+/// touches; a conservative (non-`exact`) spec may over-approximate it,
+/// which keeps safety proofs sound but disables hazard *witnesses*.
+#[derive(Debug, Clone)]
+pub struct AccessSpec {
+    /// Tracked buffer this access targets.
+    pub buffer: &'static str,
+    /// True for writes, false for reads.
+    pub write: bool,
+    /// Thread-independent offset.
+    pub base: Poly,
+    /// Address increment per thread index.
+    pub thread_stride: Poly,
+    /// Address increment per inner iteration `j`.
+    pub iter_stride: Poly,
+    /// Number of inner iterations (must be `>= 1` over the parameter
+    /// box; a pattern that can degenerate to zero iterations should be
+    /// modelled with `extent` bounds instead).
+    pub iter_count: Poly,
+    /// Contiguous elements per `(thread, iteration)`.
+    pub extent: Poly,
+    /// True when the footprint is covered exactly (every described
+    /// element is really touched for every parameter assignment). Only
+    /// exact specs can produce `ProvenHazard` verdicts; conservative
+    /// ones degrade to `NeedsDynamicCheck` on proof failure.
+    pub exact: bool,
+}
+
+impl AccessSpec {
+    /// A simple single-run access: `base + t*stride`, `extent` wide,
+    /// no inner iteration.
+    pub fn strided(
+        buffer: &'static str,
+        write: bool,
+        base: Poly,
+        thread_stride: Poly,
+        extent: Poly,
+    ) -> Self {
+        AccessSpec {
+            buffer,
+            write,
+            base,
+            thread_stride,
+            iter_stride: Poly::zero(),
+            iter_count: Poly::constant(1),
+            extent,
+            exact: true,
+        }
+    }
+
+    /// Mark the spec as a conservative over-approximation.
+    pub fn inexact(mut self) -> Self {
+        self.exact = false;
+        self
+    }
+
+    /// Symbolic exclusive upper bound of the whole footprint across
+    /// all threads and iterations:
+    /// `base + (iter_count-1)*iter_stride + (threads-1)*thread_stride + extent`.
+    pub fn footprint_end(&self, threads: &Poly) -> Poly {
+        let one = Poly::constant(1);
+        self.base
+            .add(&self.iter_count.sub(&one).mul(&self.iter_stride))
+            .add(&threads.sub(&one).mul(&self.thread_stride))
+            .add(&self.extent)
+    }
+}
+
+/// How a stage's accesses map to shared memory.
+#[derive(Debug, Clone)]
+pub enum Pattern {
+    /// An affine per-thread index map the verifier can reason about
+    /// symbolically.
+    Affine(AccessSpec),
+    /// An access whose addresses are data-dependent or otherwise
+    /// beyond the affine model. Always verdicts `NeedsDynamicCheck` —
+    /// the honest answer is "replay it" ([`crate::launch_checked`]).
+    Opaque {
+        /// Tracked buffer touched.
+        buffer: &'static str,
+        /// True when the opaque access may write.
+        write: bool,
+        /// Human-readable reason the access escapes the affine model.
+        note: &'static str,
+    },
+}
+
+/// Whether every thread of a block executes a stage the same number of
+/// times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rounds {
+    /// All threads run the stage's phase(s) in lock-step — each phase
+    /// ends at a barrier every thread reaches. The safe shape.
+    Uniform,
+    /// The number of barrier-terminated phases depends on the thread —
+    /// a `__syncthreads()` under divergent control flow. Statically a
+    /// proven barrier hazard ([`super::FindingKind::BarrierImbalance`]).
+    PerThread,
+}
+
+/// One bulk-synchronous phase shape of a kernel.
+#[derive(Debug, Clone)]
+pub struct StageSpec {
+    /// Stage name (used in reports and findings).
+    pub name: &'static str,
+    /// Barrier-participation shape.
+    pub rounds: Rounds,
+    /// All tracked shared-memory accesses the stage performs.
+    pub accesses: Vec<Pattern>,
+}
+
+impl StageSpec {
+    /// A uniform stage over the given accesses.
+    pub fn uniform(name: &'static str, accesses: Vec<Pattern>) -> Self {
+        StageSpec {
+            name,
+            rounds: Rounds::Uniform,
+            accesses,
+        }
+    }
+}
+
+/// A kernel's complete symbolic access specification.
+#[derive(Debug, Clone)]
+pub struct KernelSpec {
+    /// Kernel name (e.g. `"ara-chunked"`).
+    pub name: &'static str,
+    /// The active-thread-count parameter (conventionally named
+    /// `"threads"`, `min` 1, `default` the engine's block dimension).
+    pub threads: ParamSpec,
+    /// All other launch parameters the index maps mention.
+    pub params: Vec<ParamSpec>,
+    /// Tracked buffers and their symbolic lengths.
+    pub buffers: Vec<BufferSpec>,
+    /// Phase shapes in execution order.
+    pub stages: Vec<StageSpec>,
+}
+
+impl KernelSpec {
+    /// A kernel that touches no tracked shared memory (all state is
+    /// per-thread private) — trivially race-free for every geometry.
+    pub fn trivially_safe(name: &'static str, block_dim: u32) -> Self {
+        KernelSpec {
+            name,
+            threads: ParamSpec::new("threads", 1, i64::from(block_dim)),
+            params: Vec::new(),
+            buffers: Vec::new(),
+            stages: Vec::new(),
+        }
+    }
+
+    /// Buffer length lookup by name.
+    pub fn buffer_len(&self, name: &str) -> Option<&Poly> {
+        self.buffers.iter().find(|b| b.name == name).map(|b| &b.len)
+    }
+}

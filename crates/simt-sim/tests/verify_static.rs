@@ -1,0 +1,182 @@
+//! Seeded-defect specs for simt-verify: each known-bad kernel shape
+//! must be flagged statically, with the finding attributed to the
+//! exact stage and phase that contains the defect — the property that
+//! makes the verifier's reports actionable.
+
+use simt_sim::verify::{
+    verify_kernel, AccessSpec, BufferSpec, FindingKind, KernelSpec, ParamSpec, Pattern, Poly,
+    Rounds, StageSpec, Verdict,
+};
+
+/// A two-stage kernel skeleton: a safe partitioned stage followed by a
+/// stage holding the seeded defect, so attribution has to pick the
+/// right one.
+fn seeded(defect: StageSpec) -> KernelSpec {
+    let c = Poly::var("chunk");
+    let t = Poly::var("threads");
+    KernelSpec {
+        name: "seeded",
+        threads: ParamSpec::new("threads", 1, 32),
+        params: vec![ParamSpec::new("chunk", 1, 8)],
+        buffers: vec![BufferSpec {
+            name: "buf",
+            len: t.mul(&c),
+        }],
+        stages: vec![
+            StageSpec::uniform(
+                "safe-partition",
+                vec![Pattern::Affine(AccessSpec::strided(
+                    "buf",
+                    true,
+                    Poly::zero(),
+                    c.clone(),
+                    c.clone(),
+                ))],
+            ),
+            defect,
+        ],
+    }
+}
+
+/// The single finding of a seeded kernel, asserted to sit in stage 2.
+fn sole_finding(spec: &KernelSpec) -> simt_sim::verify::Finding {
+    let report = verify_kernel(spec);
+    let findings: Vec<_> = report.findings().cloned().collect();
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    // Stage 1 is the clean control: it must stay proven-safe.
+    assert_eq!(report.stages[0].verdict, Verdict::ProvenSafe);
+    assert_eq!(findings[0].phase, 2, "{findings:?}");
+    findings[0].clone()
+}
+
+#[test]
+fn seeded_write_write_race_is_attributed_to_its_stage() {
+    // Every thread writes element 0: stride 0, extent 1 — a textbook
+    // broadcast race, exact, so the verdict must be a proven hazard
+    // with a concrete witness geometry.
+    let spec = seeded(StageSpec::uniform(
+        "broadcast-write",
+        vec![Pattern::Affine(AccessSpec::strided(
+            "buf",
+            true,
+            Poly::zero(),
+            Poly::zero(),
+            Poly::constant(1),
+        ))],
+    ));
+    let f = sole_finding(&spec);
+    assert_eq!(f.kind, FindingKind::WriteWrite);
+    assert_eq!(f.verdict, Verdict::ProvenHazard);
+    assert_eq!(f.stage, "broadcast-write");
+    assert_eq!(f.buffer, "buf");
+    assert!(f.detail.contains("witness"), "{}", f.detail);
+}
+
+#[test]
+fn seeded_read_write_overlap_is_attributed_to_its_stage() {
+    // Thread t writes its own slot, but every thread also reads
+    // element 0 in the same phase — thread 0's write races the other
+    // threads' reads (a missing-barrier shape).
+    let c = Poly::var("chunk");
+    let spec = seeded(StageSpec::uniform(
+        "unsynced-broadcast-read",
+        vec![
+            Pattern::Affine(AccessSpec::strided(
+                "buf",
+                true,
+                Poly::zero(),
+                c.clone(),
+                c.clone(),
+            )),
+            Pattern::Affine(AccessSpec::strided(
+                "buf",
+                false,
+                Poly::zero(),
+                Poly::zero(),
+                Poly::constant(1),
+            )),
+        ],
+    ));
+    let f = sole_finding(&spec);
+    assert_eq!(f.kind, FindingKind::ReadWrite);
+    assert_eq!(f.stage, "unsynced-broadcast-read");
+    assert_eq!(f.verdict, Verdict::ProvenHazard);
+}
+
+#[test]
+fn seeded_out_of_bounds_is_attributed_to_its_stage() {
+    // Off-by-one: base 1 pushes the last thread's slot past the end.
+    let c = Poly::var("chunk");
+    let spec = seeded(StageSpec::uniform(
+        "off-by-one",
+        vec![Pattern::Affine(AccessSpec::strided(
+            "buf",
+            false,
+            Poly::constant(1),
+            c.clone(),
+            c.clone(),
+        ))],
+    ));
+    let f = sole_finding(&spec);
+    assert_eq!(f.kind, FindingKind::OutOfBounds);
+    assert_eq!(f.verdict, Verdict::ProvenHazard);
+    assert_eq!(f.stage, "off-by-one");
+}
+
+#[test]
+fn seeded_unbalanced_barrier_is_attributed_to_its_stage() {
+    // A barrier under divergent control flow: threads run different
+    // phase counts. No access needed — the shape itself is the defect.
+    let spec = seeded(StageSpec {
+        name: "divergent-barrier",
+        rounds: Rounds::PerThread,
+        accesses: Vec::new(),
+    });
+    let f = sole_finding(&spec);
+    assert_eq!(f.kind, FindingKind::BarrierImbalance);
+    assert_eq!(f.verdict, Verdict::ProvenHazard);
+    assert_eq!(f.stage, "divergent-barrier");
+    assert_eq!(f.buffer, "<barrier>");
+}
+
+#[test]
+fn seeded_non_affine_escape_degrades_to_dynamic_check() {
+    // A data-dependent address (e.g. an indirection through event ids)
+    // escapes the affine model: the honest verdict is "replay it",
+    // never "safe" and never a fabricated hazard.
+    let spec = seeded(StageSpec::uniform(
+        "indirect-scatter",
+        vec![Pattern::Opaque {
+            buffer: "buf",
+            write: true,
+            note: "address is data-dependent (indexed by event id)",
+        }],
+    ));
+    let f = sole_finding(&spec);
+    assert_eq!(f.kind, FindingKind::NonAffine);
+    assert_eq!(f.verdict, Verdict::NeedsDynamicCheck);
+    assert_eq!(f.stage, "indirect-scatter");
+    assert!(f.detail.contains("data-dependent"), "{}", f.detail);
+
+    let report = verify_kernel(&spec);
+    assert_eq!(report.verdict, Verdict::NeedsDynamicCheck);
+}
+
+#[test]
+fn defect_free_skeleton_is_proven_safe() {
+    // The control: the same skeleton with a second clean stage.
+    let c = Poly::var("chunk");
+    let spec = seeded(StageSpec::uniform(
+        "also-safe",
+        vec![Pattern::Affine(AccessSpec::strided(
+            "buf",
+            false,
+            Poly::zero(),
+            c.clone(),
+            c,
+        ))],
+    ));
+    let report = verify_kernel(&spec);
+    assert_eq!(report.verdict, Verdict::ProvenSafe, "{report:?}");
+    assert_eq!(report.findings().count(), 0);
+}

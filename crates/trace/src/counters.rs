@@ -258,7 +258,11 @@ impl StageCounters {
 
     /// Re-parse from a [`Json`] object; absent stages stay empty.
     pub fn from_json(doc: &Json) -> StageCounters {
-        let stage = |key: &str| doc.get(key).map(CounterValues::from_json).unwrap_or_default();
+        let stage = |key: &str| {
+            doc.get(key)
+                .map(CounterValues::from_json)
+                .unwrap_or_default()
+        };
         StageCounters {
             fetch: stage("fetch"),
             lookup: stage("lookup"),
@@ -326,7 +330,10 @@ pub trait CounterReader {
 /// as `Err(errno)`. Non-Linux / non-{x86_64,aarch64} targets get a stub
 /// that always reports `ENOSYS`, which the layers above surface as
 /// "unsupported platform".
-#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
 #[allow(unsafe_code)]
 mod sys {
     /// `perf_event_attr`, the 64-byte `PERF_ATTR_SIZE_VER0` prefix. The
@@ -384,7 +391,11 @@ mod sys {
         ret
     }
 
-    /// See the x86_64 variant for the safety contract.
+    /// Five-argument syscall, `svc` flavour. SAFETY: same contract as
+    /// the x86_64 variant — callers pass only valid descriptors and
+    /// pointers to live memory of the stated length; the asm
+    /// constraints cover every register `svc #0` clobbers (`x8` and
+    /// `x0`–`x4` are inputs, `x0` is the only output).
     #[cfg(target_arch = "aarch64")]
     unsafe fn syscall5(nr: u64, a1: u64, a2: u64, a3: u64, a4: u64, a5: u64) -> i64 {
         let ret: i64;
@@ -469,7 +480,10 @@ mod sys {
     }
 }
 
-#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
 mod sys {
     /// `ENOSYS` stand-in: counters are unsupported on this platform.
     pub fn perf_event_open(
@@ -599,7 +613,9 @@ impl PerfCounters {
     /// reason why this host cannot.
     pub fn open() -> Result<PerfCounters, String> {
         let group_a = Group::open(&GROUP_A).map_err(|errno| match errno {
-            1 | 13 => "perf_event_open denied (perf_event_paranoid or container policy)".to_string(),
+            1 | 13 => {
+                "perf_event_open denied (perf_event_paranoid or container policy)".to_string()
+            }
             38 => "perf_event_open unsupported on this platform".to_string(),
             2 | 19 | 95 => "no hardware PMU events on this host (virtualised?)".to_string(),
             e => format!("perf_event_open failed (errno {e})"),

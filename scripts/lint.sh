@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# The workspace lint gate: formatting and clippy (all targets, warnings
-# denied). Kept separate from scripts/ci.sh so it can run fast on its
-# own — it needs no release build and no perf history.
+# The workspace lint gate: formatting, clippy (all targets, warnings
+# denied), then the in-repo source lint (SAFETY comments, hot-path
+# allocation bans, forbid(unsafe_code) coverage). Kept separate from
+# scripts/ci.sh so it can run fast on its own — it needs no release
+# build and no perf history.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
+cargo run -p ara-lint

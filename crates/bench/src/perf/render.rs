@@ -220,6 +220,95 @@ pub fn trajectory(runs: &[(String, Vec<&RunRecord>)]) -> String {
     out
 }
 
+/// The Algorithm-1 stage whose share of the run moved the most between
+/// two records, as `(stage, delta in percentage points)`. `None` when
+/// either record carries no stage attribution (untraced history lines).
+fn worst_stage_drift(first: &RunRecord, last: &RunRecord) -> Option<(&'static str, f64)> {
+    let tf: f64 = first.stage_secs.iter().sum();
+    let tl: f64 = last.stage_secs.iter().sum();
+    if tf <= 0.0 || tl <= 0.0 {
+        return None;
+    }
+    ara_trace::stage_names::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            (
+                *s,
+                100.0 * last.stage_secs[i] / tl - 100.0 * first.stage_secs[i] / tf,
+            )
+        })
+        .max_by(|a, b| {
+            a.1.abs()
+                .partial_cmp(&b.1.abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+}
+
+/// Longitudinal drift across the whole recorded history: for each
+/// benchmark, the first and latest run medians, the drift factor, and
+/// the Algorithm-1 stage whose share of the run moved the most — the
+/// slow-creep view that per-run gates can't see.
+pub fn trend(runs: &[(String, Vec<&RunRecord>)]) -> String {
+    let mut out = String::new();
+    if runs.len() < 2 {
+        let _ = writeln!(
+            out,
+            "perf trend: need at least two recorded runs for this host (have {})",
+            runs.len()
+        );
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "perf trend: {} runs on this host ({} -> {})",
+        runs.len(),
+        runs[0].0,
+        runs[runs.len() - 1].0
+    );
+    // (benchmark, first record, latest record, runs seen) in first-seen
+    // order, scanning runs oldest-first.
+    let mut benches: Vec<(&str, &RunRecord, &RunRecord, usize)> = Vec::new();
+    for (_, records) in runs {
+        for r in records {
+            match benches.iter_mut().find(|(name, ..)| *name == r.benchmark) {
+                Some((_, _, last, n)) => {
+                    *last = r;
+                    *n += 1;
+                }
+                None => benches.push((r.benchmark.as_str(), r, r, 1)),
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  {:<24} {:>10} {:>10} {:>8}  worst-moving stage",
+        "benchmark", "first", "latest", "drift"
+    );
+    for (name, first, last, n) in benches {
+        let f = first.median_secs();
+        let l = last.median_secs();
+        let drift = if f > 0.0 {
+            format!("x{:.3}", l / f)
+        } else {
+            "-".to_string()
+        };
+        let stage = match worst_stage_drift(first, last) {
+            Some((s, pp)) => format!("{s} ({pp:+.1}pp share)"),
+            None => "-".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>10} {:>10} {:>8}  {stage}  [{n} run(s)]",
+            name,
+            fmt_secs(f),
+            fmt_secs(l),
+            drift,
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,6 +393,30 @@ mod tests {
         assert!(text.contains("2 run(s)"));
         assert!(text.contains("x2.000 vs prev"));
         assert!(trajectory(&[]).contains("no runs recorded"));
+    }
+
+    #[test]
+    fn trend_shows_first_to_latest_drift_with_stage_attribution() {
+        let r1 = record("engine.multi-gpu", "r1", 10, &[0.010, 0.010]);
+        let mut r2 = record("engine.multi-gpu", "r2", 20, &[0.015, 0.015]);
+        r2.stage_secs = [0.001, 0.006, 0.002, 0.001];
+        let mut r3 = record("engine.multi-gpu", "r3", 30, &[0.030, 0.030]);
+        // Lookup's share grows from 60% to ~77%: the worst mover.
+        r3.stage_secs = [0.001, 0.020, 0.004, 0.001];
+        let runs = vec![
+            ("r1".to_string(), vec![&r1]),
+            ("r2".to_string(), vec![&r2]),
+            ("r3".to_string(), vec![&r3]),
+        ];
+        let text = trend(&runs);
+        assert!(text.contains("3 runs on this host (r1 -> r3)"), "{text}");
+        assert!(text.contains("engine.multi-gpu"), "{text}");
+        assert!(text.contains("x3.000"), "{text}");
+        assert!(text.contains(ara_trace::stage_names::LOOKUP), "{text}");
+        assert!(text.contains("[3 run(s)]"), "{text}");
+        // Degrades gracefully with too little history.
+        assert!(trend(&runs[..1]).contains("at least two"));
+        assert!(trend(&[]).contains("at least two"));
     }
 
     #[test]

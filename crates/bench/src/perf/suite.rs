@@ -152,6 +152,18 @@ pub fn run_suite(preset: Preset, repeats: usize) -> Vec<RunRecord> {
             .measured
             .map(|m| [m.fetch, m.lookup, m.financial, m.layer])
             .unwrap_or([0.0; 4]);
+        // Registry adoption: the same samples that go into the history
+        // record land in the per-engine labelled histogram, so an
+        // `ara obs report` straight after a suite run shows the
+        // distribution the gate judged. (Benchmark names are runtime
+        // strings; the engine name is the static label.)
+        let labels = ara_engine::engine_labels(engine.name());
+        let m = ara_trace::metrics();
+        m.counter_with("bench.runs", labels).incr();
+        for s in &samples {
+            m.histogram_with("bench.sample_ns", labels)
+                .record((s * 1e9) as u64);
+        }
         records.push(RunRecord {
             run_id: run_id.clone(),
             benchmark,

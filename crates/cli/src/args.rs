@@ -186,6 +186,9 @@ pub enum PerfAction {
     Gate,
     /// Render the recorded history trajectory for this host.
     Report,
+    /// Longitudinal first-vs-latest drift per benchmark, with the
+    /// worst-moving Algorithm-1 stage.
+    Trend,
 }
 
 impl PerfAction {
@@ -196,6 +199,7 @@ impl PerfAction {
             "compare" => Ok(PerfAction::Compare),
             "gate" => Ok(PerfAction::Gate),
             "report" => Ok(PerfAction::Report),
+            "trend" => Ok(PerfAction::Trend),
             other => Err(ArgError::BadValue("perf action", other.to_string())),
         }
     }
@@ -244,6 +248,54 @@ pub struct PerfOpts {
     pub threshold_pct: f64,
 }
 
+/// What `ara obs` should do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsAction {
+    /// Run an analysis and dump the flight recorder as JSONL.
+    Dump,
+    /// Run an analysis and render the unified metrics registry.
+    Report,
+}
+
+/// Output format for `ara obs report` (`--format`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ObsFormat {
+    /// Human-readable text (the default).
+    #[default]
+    Text,
+    /// Prometheus-style exposition text.
+    Prometheus,
+    /// JSON snapshot mirroring the exposition.
+    Json,
+}
+
+impl ObsFormat {
+    /// Parse the `--format` value.
+    pub fn parse(s: &str) -> Result<Self, ArgError> {
+        match s {
+            "text" | "summary" => Ok(ObsFormat::Text),
+            "prometheus" | "prom" => Ok(ObsFormat::Prometheus),
+            "json" => Ok(ObsFormat::Json),
+            other => Err(ArgError::BadValue("--format", other.to_string())),
+        }
+    }
+}
+
+/// Options of `ara obs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsOpts {
+    /// Which obs operation to run.
+    pub action: ObsAction,
+    /// The analysis run that populates the recorder and registry
+    /// (snapshot, engine and tuning flags — the analyse subset).
+    pub run: RunOpts,
+    /// Flight-dump output path (`--out`, `dump` only; default
+    /// `flight-dump.jsonl`).
+    pub out: String,
+    /// Report format (`--format`, `report` only).
+    pub format: ObsFormat,
+}
+
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -261,6 +313,8 @@ pub enum Command {
     Seasonal(RunOpts),
     /// `ara perf …` — record, compare, gate, or report perf history.
     Perf(PerfOpts),
+    /// `ara obs …` — flight-recorder dump / metrics exposition.
+    Obs(ObsOpts),
     /// `ara help`.
     Help,
 }
@@ -313,9 +367,11 @@ USAGE:
   ara stream   --input <path.stream> [--layer N]
   ara seasonal --input <path> [--layer N] [--bins N]
   ara model    [--engine E] [--devices N]
-  ara perf     record|compare|gate|report [--small] [--repeat N]
+  ara perf     record|compare|gate|report|trend [--small] [--repeat N]
                [--history <path>] [--format summary|json|markdown]
                [--threshold PCT]
+  ara obs      dump|report --input <path> [--engine E] [--devices N]
+               [--out <path>] [--format text|prometheus|json]
   ara help
 
 LAYOUTS (generate --layout): columnar (default) | interleaved (streamable)
@@ -360,8 +416,19 @@ PERF: `record` runs the five-engine suite and appends every repeat
   suite and fails only when a bootstrap CI on the medians excludes the
   allowed regression (--threshold, default 25%) beyond the noise floor,
   naming the worst-moving stage; `compare` diffs the last two recorded
-  runs; `report` renders the host's trajectory. Baselines are keyed by
-  host fingerprint. --history overrides perf/history.jsonl.
+  runs; `report` renders the host's trajectory; `trend` summarises the
+  first-vs-latest drift per benchmark across the whole history, naming
+  the Algorithm-1 stage whose share moved the most. Baselines are keyed
+  by host fingerprint. --history overrides perf/history.jsonl.
+
+OBS: the flight recorder is an always-on, bounded in-process ring of
+  recent spans, autotune metadata and anomaly markers (ARA_FLIGHT=off
+  disables; ARA_FLIGHT_CAP sizes it). `obs dump` runs an analysis and
+  writes the ring as JSONL; `obs report` runs an analysis and renders
+  the unified metrics registry (counters/gauges/histograms with engine
+  labels) as text, Prometheus exposition, or JSON. Per-stage latency
+  baselines flag anomalous stages mid-run and auto-dump the ring
+  (ARA_ANOMALY=off disables; ARA_FLIGHT_DUMP overrides the dump path).
 ";
 
 /// Flags that take no value.
@@ -532,9 +599,59 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                 _ => Command::Model(opts),
             })
         }
+        "obs" => {
+            let Some(action) = rest.first() else {
+                return Err(ArgError::MissingFlag("dump|report"));
+            };
+            let action = match action.as_str() {
+                "dump" => ObsAction::Dump,
+                "report" => ObsAction::Report,
+                other => return Err(ArgError::BadValue("obs action", other.to_string())),
+            };
+            let flags = Flags::parse(&rest[1..])?;
+            flags.ensure_known(&[
+                "--input",
+                "--engine",
+                "--devices",
+                "--schedule",
+                "--chunk",
+                "--out",
+                "--format",
+            ])?;
+            let mut run = RunOpts::default();
+            run.input = flags
+                .get("--input")
+                .ok_or(ArgError::MissingFlag("--input"))?
+                .to_string();
+            if let Some(e) = flags.get("--engine") {
+                run.engine = EngineKind::parse(e)?;
+            }
+            run.devices = flags.num("--devices", run.devices)?;
+            if let Some(s) = flags.get("--schedule") {
+                run.schedule = ScheduleOpt::parse(s)?;
+            }
+            if flags.has("--chunk") {
+                run.chunk = Some(flags.num("--chunk", 0u32)?);
+                if run.chunk == Some(0) {
+                    return Err(ArgError::BadValue("--chunk", "0".to_string()));
+                }
+            }
+            Ok(Command::Obs(ObsOpts {
+                action,
+                run,
+                out: flags
+                    .get("--out")
+                    .unwrap_or("flight-dump.jsonl")
+                    .to_string(),
+                format: match flags.get("--format") {
+                    None => ObsFormat::Text,
+                    Some(v) => ObsFormat::parse(v)?,
+                },
+            }))
+        }
         "perf" => {
             let Some(action) = rest.first() else {
-                return Err(ArgError::MissingFlag("record|compare|gate|report"));
+                return Err(ArgError::MissingFlag("record|compare|gate|report|trend"));
             };
             let action = PerfAction::parse(action)?;
             let flags = Flags::parse(&rest[1..])?;
@@ -940,6 +1057,82 @@ mod tests {
             Command::Perf(p) => assert_eq!(p.repeats, 1),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_perf_trend() {
+        match parse_args(&v(&["perf", "trend", "--history", "h.jsonl"])).unwrap() {
+            Command::Perf(p) => {
+                assert_eq!(p.action, PerfAction::Trend);
+                assert_eq!(p.history.as_deref(), Some("h.jsonl"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_obs_subcommands() {
+        match parse_args(&v(&[
+            "obs",
+            "report",
+            "--input",
+            "b.ara",
+            "--format",
+            "prometheus",
+        ]))
+        .unwrap()
+        {
+            Command::Obs(o) => {
+                assert_eq!(o.action, ObsAction::Report);
+                assert_eq!(o.format, ObsFormat::Prometheus);
+                assert_eq!(o.run.input, "b.ara");
+                assert_eq!(o.run.engine, EngineKind::Sequential);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&v(&[
+            "obs", "dump", "--input", "b.ara", "--engine", "gpu", "--out", "f.jsonl",
+        ]))
+        .unwrap()
+        {
+            Command::Obs(o) => {
+                assert_eq!(o.action, ObsAction::Dump);
+                assert_eq!(o.out, "f.jsonl");
+                assert_eq!(o.run.engine, EngineKind::GpuOptimised);
+                // Text is the default report format even for dump opts.
+                assert_eq!(o.format, ObsFormat::Text);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Dump default output path.
+        match parse_args(&v(&["obs", "dump", "--input", "b.ara"])).unwrap() {
+            Command::Obs(o) => assert_eq!(o.out, "flight-dump.jsonl"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn obs_rejects_bad_input() {
+        assert!(matches!(
+            parse_args(&v(&["obs"])),
+            Err(ArgError::MissingFlag("dump|report"))
+        ));
+        assert!(matches!(
+            parse_args(&v(&["obs", "scrape"])),
+            Err(ArgError::BadValue("obs action", _))
+        ));
+        assert!(matches!(
+            parse_args(&v(&["obs", "report"])),
+            Err(ArgError::MissingFlag("--input"))
+        ));
+        assert!(matches!(
+            parse_args(&v(&["obs", "report", "--input", "b", "--format", "xml"])),
+            Err(ArgError::BadValue("--format", _))
+        ));
+        assert!(matches!(
+            parse_args(&v(&["obs", "report", "--input", "b", "--check"])),
+            Err(ArgError::UnknownFlag(_))
+        ));
     }
 
     #[test]

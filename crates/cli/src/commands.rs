@@ -3,7 +3,10 @@
 //! Each command returns its report as a `String` so the binary stays a
 //! thin printing shell and the behaviour is unit-testable.
 
-use crate::args::{EngineKind, GenerateOpts, Layout, PerfAction, PerfFormat, PerfOpts, RunOpts};
+use crate::args::{
+    EngineKind, GenerateOpts, Layout, ObsAction, ObsFormat, ObsOpts, PerfAction, PerfFormat,
+    PerfOpts, RunOpts,
+};
 use ara_bench::perf::{
     any_regression, compare_runs, group_runs, render, run_suite, BaselineStore, GatePolicy, Preset,
     RunRecord,
@@ -463,8 +466,30 @@ fn render_comparisons(
     }
 }
 
+/// Render loader warnings, collapsing the per-line malformed-history
+/// warnings to the first occurrence plus a suppressed count — one
+/// corrupted file must not flood every perf command. The library keeps
+/// the full per-line list ([`ara_bench::perf::HistoryLoad`]); only this
+/// print layer deduplicates.
 fn warnings_preamble(warnings: &[String]) -> String {
-    warnings.iter().map(|w| format!("warning: {w}\n")).collect()
+    let mut out = String::new();
+    let mut malformed = 0usize;
+    for w in warnings {
+        if w.contains("skipped malformed history line") {
+            malformed += 1;
+            if malformed > 1 {
+                continue;
+            }
+        }
+        out.push_str(&format!("warning: {w}\n"));
+    }
+    if malformed > 1 {
+        out.push_str(&format!(
+            "warning: {} more malformed history line(s) suppressed\n",
+            malformed - 1
+        ));
+    }
+    out
 }
 
 /// `ara perf`: record the engine-suite timings, compare or gate against
@@ -573,6 +598,20 @@ pub fn run_perf(opts: &PerfOpts) -> Result<PerfOutcome, CliError> {
                 gate_failed,
             })
         }
+        PerfAction::Trend => {
+            let loaded = store.load();
+            let fingerprint = ara_bench::perf::RunManifest::collect(preset.name(), opts.repeats)
+                .host_fingerprint();
+            let runs = group_runs(&loaded.records, &fingerprint);
+            Ok(PerfOutcome {
+                report: format!(
+                    "{}{}",
+                    warnings_preamble(&loaded.warnings),
+                    render::trend(&runs)
+                ),
+                gate_failed: false,
+            })
+        }
         PerfAction::Report => {
             let loaded = store.load();
             let fingerprint = ara_bench::perf::RunManifest::collect(preset.name(), opts.repeats)
@@ -597,6 +636,118 @@ pub fn run_perf(opts: &PerfOpts) -> Result<PerfOutcome, CliError> {
             Ok(PerfOutcome {
                 report: format!("{}{}", warnings_preamble(&loaded.warnings), body),
                 gate_failed: false,
+            })
+        }
+    }
+}
+
+/// Text rendering of the registry snapshot plus flight/anomaly state —
+/// the `ara obs report` default. The counter/gauge/histogram values are
+/// the same [`ara_trace::MetricsSnapshot`] the Prometheus and JSON
+/// formats render, so the three surfaces can never disagree.
+fn obs_text(engine: &str, wall: std::time::Duration, snap: &ara_trace::MetricsSnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut text = format!(
+        "observability report ({engine}, analysed in {:.1} ms)\n",
+        wall.as_secs_f64() * 1e3
+    );
+    if !snap.counters.is_empty() {
+        text.push_str("counters:\n");
+        for (id, v) in &snap.counters {
+            let _ = writeln!(text, "  {:<44} {v}", id.full());
+        }
+    }
+    if !snap.gauges.is_empty() {
+        text.push_str("gauges:\n");
+        for (id, v) in &snap.gauges {
+            let _ = writeln!(text, "  {:<44} {v}", id.full());
+        }
+    }
+    if !snap.histograms.is_empty() {
+        text.push_str("histograms:\n");
+        for (id, h) in &snap.histograms {
+            let _ = writeln!(
+                text,
+                "  {:<44} count {} p50 {} p95 {} max {}",
+                id.full(),
+                h.count,
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.max,
+            );
+        }
+    }
+    let f = ara_trace::flight().snapshot();
+    let _ = writeln!(
+        text,
+        "flight recorder: {} event(s) in ring ({} recorded, {} dropped, {} thread(s), cap {})",
+        f.events.len(),
+        f.recorded,
+        f.dropped,
+        f.threads,
+        ara_trace::flight().capacity(),
+    );
+    let a = ara_trace::anomaly().report();
+    match &a.last {
+        Some(flag) => {
+            let _ = writeln!(
+                text,
+                "anomalies: {} flag(s); last: stage {} at {:.3} ms vs {:.3} ms baseline{}",
+                a.flags,
+                flag.stage,
+                flag.observed_ns as f64 / 1e6,
+                flag.baseline_ns as f64 / 1e6,
+                match &a.dumped_to {
+                    Some(p) => format!(" (flight dump: {})", p.display()),
+                    None => String::new(),
+                },
+            );
+        }
+        None => {
+            let _ = writeln!(text, "anomalies: none flagged");
+        }
+    }
+    text
+}
+
+/// `ara obs`: run an analysis with observability live, then either dump
+/// the flight recorder as JSONL (`dump`) or render the unified metrics
+/// registry (`report`).
+pub fn run_obs(opts: &ObsOpts) -> Result<String, CliError> {
+    let inputs = load(&opts.run.input)?;
+    let engine = build_engine(&opts.run);
+    // Give the anomaly detector a dump target unless the env already
+    // chose one; `--out` doubles as the anomaly-dump path.
+    if std::env::var_os("ARA_FLIGHT_DUMP").is_none() {
+        ara_trace::anomaly().set_dump_path(Some(std::path::PathBuf::from(&opts.out)));
+    }
+    // Traced at Info so the per-stage spans land in the flight ring and
+    // the anomaly baselines observe the run.
+    ara_trace::recorder().enable(trace_level(0));
+    let result = engine.analyse(&inputs);
+    let _ = ara_trace::recorder().drain();
+    ara_trace::recorder().disable();
+    let out = result?;
+    match opts.action {
+        ObsAction::Dump => {
+            let snap = ara_trace::flight().snapshot();
+            let trace = snap.to_trace();
+            std::fs::write(&opts.out, ara_trace::to_jsonl(&trace))?;
+            Ok(format!(
+                "flight recorder: {} event(s) ({} recorded, {} dropped, {} thread(s)) written to {}\n",
+                trace.spans.len(),
+                snap.recorded,
+                snap.dropped,
+                snap.threads,
+                opts.out,
+            ))
+        }
+        ObsAction::Report => {
+            let snap = ara_trace::metrics().snapshot();
+            Ok(match opts.format {
+                ObsFormat::Prometheus => ara_trace::to_prometheus(&snap),
+                ObsFormat::Json => ara_trace::to_metrics_json(&snap),
+                ObsFormat::Text => obs_text(engine.name(), out.wall, &snap),
             })
         }
     }
@@ -1142,5 +1293,138 @@ mod tests {
             ..RunOpts::default()
         });
         assert!(matches!(err, Err(CliError::Snapshot(_))));
+    }
+
+    #[test]
+    fn obs_dump_writes_flight_jsonl() {
+        let _guard = ara_trace::testing::serial_guard();
+        ara_trace::testing::reset();
+        let book = tmp("book-obs-dump.ara");
+        run_generate(&small_generate(&book)).unwrap();
+        let out = tmp("obs-dump.jsonl");
+        let msg = run_obs(&ObsOpts {
+            action: ObsAction::Dump,
+            run: RunOpts {
+                input: book,
+                ..RunOpts::default()
+            },
+            out: out.clone(),
+            format: ObsFormat::default(),
+        })
+        .unwrap();
+        assert!(msg.contains("written to"), "{msg}");
+        let dump = std::fs::read_to_string(&out).unwrap();
+        assert!(
+            dump.lines().any(|l| l.contains("\"name\"")),
+            "dump carries span events:\n{dump}"
+        );
+        // The Algorithm-1 stage spans made it into the ring.
+        assert!(dump.contains("analyse"), "{dump}");
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn obs_report_formats_render_the_same_registry() {
+        let _guard = ara_trace::testing::serial_guard();
+        ara_trace::testing::reset();
+        let book = tmp("book-obs-report.ara");
+        run_generate(&small_generate(&book)).unwrap();
+        let opts = |format| ObsOpts {
+            action: ObsAction::Report,
+            run: RunOpts {
+                input: book.clone(),
+                ..RunOpts::default()
+            },
+            out: tmp("obs-report-dump.jsonl"),
+            format,
+        };
+        let text = run_obs(&opts(ObsFormat::Text)).unwrap();
+        assert!(text.contains("observability report"), "{text}");
+        assert!(text.contains("ara.analyses"), "{text}");
+        assert!(text.contains("flight recorder:"), "{text}");
+        // The other two formats render the *same* registry the text
+        // report drew from — the analysis counter keeps its value.
+        let snap = ara_trace::metrics().snapshot();
+        let (id, count) = snap
+            .counters
+            .iter()
+            .find(|(id, _)| id.name == "ara.analyses")
+            .expect("analysis counter registered");
+        assert_eq!(*count, 1, "{}", id.full());
+        let prom = ara_trace::to_prometheus(&snap);
+        assert!(
+            prom.contains(&format!(
+                "ara_analyses{{engine=\"sequential-cpu\"}} {count}"
+            )),
+            "{prom}"
+        );
+        let json = ara_trace::to_metrics_json(&snap);
+        assert!(json.contains("\"ara.analyses\""), "{json}");
+        assert!(json.contains("sequential-cpu"), "{json}");
+    }
+
+    #[test]
+    fn flight_recorder_off_leaves_analysis_output_identical() {
+        // Disabled-path contract: turning the always-on flight recorder
+        // off must not move a single stdout byte past the wall-clock
+        // header — observability is a pure side channel.
+        let _guard = ara_trace::testing::serial_guard();
+        ara_trace::testing::reset();
+        let book = tmp("book-flight-off.ara");
+        run_generate(&small_generate(&book)).unwrap();
+        let on = run_analyse_outcome(&RunOpts {
+            input: book.clone(),
+            ..RunOpts::default()
+        })
+        .unwrap();
+        assert!(
+            ara_trace::flight().snapshot().recorded > 0,
+            "flight recorder captures untraced runs by default"
+        );
+        ara_trace::flight().set_enabled(false);
+        let off = run_analyse_outcome(&RunOpts {
+            input: book,
+            ..RunOpts::default()
+        })
+        .unwrap();
+        ara_trace::flight().set_enabled(true);
+        let body = |r: &str| r.split_once('\n').map(|(_, b)| b.to_string()).unwrap();
+        assert_eq!(body(&on.report), body(&off.report), "stdout must not move");
+        assert_eq!(on.check_failed, off.check_failed);
+    }
+
+    #[test]
+    fn pmu_less_mock_reader_degrades_without_touching_flight() {
+        // A PMU-less host: every counter read fails. The bracketing
+        // path degrades to ZERO deltas while the flight recorder keeps
+        // capturing, and the analysis report stays byte-identical.
+        let _guard = ara_trace::testing::serial_guard();
+        ara_trace::testing::reset();
+        let mut mock = ara_trace::MockReader::new(vec![]);
+        let mut lap = ara_trace::LapTimer::start_with(&mut mock);
+        assert_eq!(
+            lap.lap_with(&mut mock),
+            ara_trace::CounterValues::ZERO,
+            "denied reads yield ZERO, never garbage"
+        );
+        let book = tmp("book-mock-pmu.ara");
+        run_generate(&small_generate(&book)).unwrap();
+        let plain = run_analyse_outcome(&RunOpts {
+            input: book.clone(),
+            ..RunOpts::default()
+        })
+        .unwrap();
+        let recorded_before = ara_trace::flight().snapshot().recorded;
+        let again = run_analyse_outcome(&RunOpts {
+            input: book,
+            ..RunOpts::default()
+        })
+        .unwrap();
+        let body = |r: &str| r.split_once('\n').map(|(_, b)| b.to_string()).unwrap();
+        assert_eq!(body(&plain.report), body(&again.report));
+        assert!(
+            ara_trace::flight().snapshot().recorded > recorded_before,
+            "flight recorder kept running through the denied-counter path"
+        );
     }
 }

@@ -21,10 +21,13 @@ pub mod args;
 pub mod commands;
 
 pub use args::{
-    parse_args, ArgError, Command, EngineKind, GenerateOpts, Layout, PerfAction, PerfFormat,
-    PerfOpts, RunOpts,
+    parse_args, ArgError, Command, EngineKind, GenerateOpts, Layout, ObsAction, ObsFormat, ObsOpts,
+    PerfAction, PerfFormat, PerfOpts, RunOpts,
 };
 pub use commands::{
-    run_analyse, run_analyse_outcome, run_generate, run_metrics, run_model, run_perf, run_seasonal,
-    run_stream, trace_level, AnalyseOutcome, CliError, PerfOutcome,
+    run_analyse, run_analyse_outcome, run_generate, run_metrics, run_model, run_obs, run_perf,
+    run_seasonal, run_stream, trace_level, AnalyseOutcome, CliError, PerfOutcome,
 };
+// Re-exported so the binary can deduplicate its stderr notices through
+// the same once-per-process latch the library layers use.
+pub use ara_trace::warn_once;

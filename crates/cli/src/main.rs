@@ -1,8 +1,8 @@
 //! The `ara` binary: thin shell over [`ara_cli`].
 
 use ara_cli::{
-    parse_args, run_analyse_outcome, run_generate, run_metrics, run_model, run_perf, run_seasonal,
-    run_stream, Command,
+    parse_args, run_analyse_outcome, run_generate, run_metrics, run_model, run_obs, run_perf,
+    run_seasonal, run_stream, warn_once, Command,
 };
 use std::process::ExitCode;
 
@@ -24,8 +24,13 @@ fn main() -> ExitCode {
         Command::Analyse(opts) => {
             return match run_analyse_outcome(&opts) {
                 Ok(outcome) => {
+                    // The notice explains *why* counters are missing; one
+                    // explanation per process is enough even when several
+                    // analyses run back to back.
                     if let Some(notice) = &outcome.counters_notice {
-                        eprintln!("{notice}");
+                        if warn_once("counters-notice") {
+                            eprintln!("{notice}");
+                        }
                     }
                     println!("{}", outcome.report);
                     if outcome.check_failed || outcome.verify_failed {
@@ -44,6 +49,18 @@ fn main() -> ExitCode {
         Command::Model(opts) => run_model(&opts),
         Command::Stream(opts) => run_stream(&opts),
         Command::Seasonal(opts) => run_seasonal(&opts),
+        Command::Obs(opts) => {
+            return match run_obs(&opts) {
+                Ok(report) => {
+                    print!("{report}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
         Command::Perf(opts) => {
             return match run_perf(&opts) {
                 Ok(outcome) => {

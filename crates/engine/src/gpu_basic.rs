@@ -83,6 +83,7 @@ impl Engine for GpuBasicEngine {
             cfg.grid_dim(),
             rayon::current_num_threads(),
         ));
+        crate::obs::note_launch(self.name(), self.block_dim, cfg.blocks_per_run);
         let _engine_span = ara_trace::recorder()
             .span("engine.analyse")
             .with_field("engine", self.name())
@@ -130,15 +131,18 @@ impl Engine for GpuBasicEngine {
                 stages.emit_spans(stages_t0);
                 total_stages.merge(&stages);
                 total_counters.merge(&counter_acc.load());
+                crate::obs::observe_layer(&stages);
             }
 
             let (year, max_occ) = out.into_iter().unzip();
             ids.push(layer.id);
             ylts.push(YearLossTable::with_max_occurrence(year, max_occ)?);
         }
+        let wall = start.elapsed();
+        crate::obs::record_analysis(self.name(), wall, inputs.layers.len());
         Ok(AnalysisOutput {
             portfolio: Portfolio::from_layer_results(ids, ylts)?,
-            wall: start.elapsed(),
+            wall,
             prepare: prepare_total,
             measured: tracing.then(|| ActivityBreakdown::from_stage_nanos(&total_stages)),
             counters: tracing.then_some(total_counters),

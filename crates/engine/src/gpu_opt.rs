@@ -174,18 +174,17 @@ impl<R: Real> Engine for GpuOptimizedEngine<R> {
     fn analyse(&self, inputs: &Inputs) -> Result<AnalysisOutput, AraError> {
         inputs.validate()?;
         let tracing = ara_trace::recorder().is_enabled();
+        let blocks_per_run = simt_sim::tune_blocks_per_run(
+            LaunchConfig::new(inputs.yet.num_trials(), self.block_dim).grid_dim(),
+            rayon::current_num_threads(),
+        );
+        crate::obs::note_launch(self.name(), self.block_dim, blocks_per_run);
         let _engine_span = ara_trace::recorder()
             .span("engine.analyse")
             .with_field("engine", self.name())
             .with_field("block_dim", self.block_dim)
             .with_field("chunk", self.chunk)
-            .with_field(
-                "blocks_per_run",
-                simt_sim::tune_blocks_per_run(
-                    LaunchConfig::new(inputs.yet.num_trials(), self.block_dim).grid_dim(),
-                    rayon::current_num_threads(),
-                ),
-            )
+            .with_field("blocks_per_run", blocks_per_run)
             .with_field("layers", inputs.layers.len());
         let start = Instant::now();
         let mut prepare_total = std::time::Duration::ZERO;
@@ -225,14 +224,17 @@ impl<R: Real> Engine for GpuOptimizedEngine<R> {
                 stages.emit_spans(stages_t0);
                 total_stages.merge(&stages);
                 total_counters.merge(&counter_acc.load());
+                crate::obs::observe_layer(&stages);
             }
             let (year, max_occ) = out.into_iter().unzip();
             ids.push(layer.id);
             ylts.push(YearLossTable::with_max_occurrence(year, max_occ)?);
         }
+        let wall = start.elapsed();
+        crate::obs::record_analysis(self.name(), wall, inputs.layers.len());
         Ok(AnalysisOutput {
             portfolio: Portfolio::from_layer_results(ids, ylts)?,
-            wall: start.elapsed(),
+            wall,
             prepare: prepare_total,
             measured: tracing.then(|| ActivityBreakdown::from_stage_nanos(&total_stages)),
             counters: tracing.then_some(total_counters),

@@ -33,6 +33,7 @@ pub mod gpu_opt;
 pub mod kernels;
 pub mod multi_gpu;
 pub mod multicore;
+pub mod obs;
 pub mod profiles;
 pub mod roofline;
 pub mod seq;
@@ -49,6 +50,7 @@ pub use gpu_opt::{GpuOptimizedEngine, OptFlags};
 pub use kernels::{AraBasicKernel, AraChunkedKernel, TrialLoss};
 pub use multi_gpu::MultiGpuEngine;
 pub use multicore::{analyse_portfolio_parallel, MulticoreEngine, Schedule};
+pub use obs::engine_labels;
 pub use profiles::{basic_kernel_profile, optimised_kernel_profile, shape_of_inputs};
 pub use roofline::{memory_drift, working_set_bytes, Bottleneck, CounterReport, StageRoofline};
 pub use seq::SequentialEngine;

@@ -89,6 +89,7 @@ impl<R: Real> Engine for MultiGpuEngine<R> {
     fn analyse(&self, inputs: &Inputs) -> Result<AnalysisOutput, AraError> {
         inputs.validate()?;
         let tracing = ara_trace::recorder().is_enabled();
+        crate::obs::note_launch(self.name(), self.block_dim, 0);
         let _engine_span = ara_trace::recorder()
             .span("engine.analyse")
             .with_field("engine", self.name())
@@ -184,6 +185,7 @@ impl<R: Real> Engine for MultiGpuEngine<R> {
                 stages.emit_spans(stages_t0);
                 total_stages.merge(&stages);
                 total_counters.merge(&counter_acc.load());
+                crate::obs::observe_layer(&stages);
             }
 
             let ylt = YearLossTable::concat(
@@ -199,9 +201,11 @@ impl<R: Real> Engine for MultiGpuEngine<R> {
             ids.push(layer.id);
             ylts.push(ylt);
         }
+        let wall = start.elapsed();
+        crate::obs::record_analysis(self.name(), wall, inputs.layers.len());
         Ok(AnalysisOutput {
             portfolio: Portfolio::from_layer_results(ids, ylts)?,
-            wall: start.elapsed(),
+            wall,
             prepare: prepare_total,
             measured: tracing.then(|| ActivityBreakdown::from_stage_nanos(&total_stages)),
             counters: tracing.then_some(total_counters),

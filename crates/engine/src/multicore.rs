@@ -213,6 +213,7 @@ impl<R: Real> Engine for MulticoreEngine<R> {
                     num_threads: self.threads,
                 },
             );
+            crate::obs::note_tuning(self.name(), &tuning);
             let _layer_span = ara_trace::recorder()
                 .span("layer")
                 .with_field("layer", li)
@@ -238,12 +239,15 @@ impl<R: Real> Engine for MulticoreEngine<R> {
                 stages.emit_spans(stages_t0);
                 total_stages.merge(&stages);
                 total_counters.merge(&counters);
+                crate::obs::observe_layer(&stages);
             }
             ylts.push(ylt);
         }
+        let wall = start.elapsed();
+        crate::obs::record_analysis(self.name(), wall, inputs.layers.len());
         Ok(AnalysisOutput {
             portfolio: Portfolio::from_layer_results(ids, ylts)?,
-            wall: start.elapsed(),
+            wall,
             prepare: prepare_total,
             measured: tracing.then(|| ActivityBreakdown::from_stage_nanos(&total_stages)),
             counters: tracing.then_some(total_counters),

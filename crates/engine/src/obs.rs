@@ -1,0 +1,126 @@
+//! Engine-side observability adoption: the one place where the five
+//! implementations meet the [`ara_trace`] metrics registry, flight
+//! recorder and anomaly detector.
+//!
+//! Every engine calls [`record_analysis`] once per `analyse()` and
+//! [`observe_layer`] once per traced layer; the autotuned engines also
+//! stamp their chosen knobs into the flight ring via [`note_tuning`] /
+//! [`note_launch`]. Centralising the calls keeps the metric family
+//! names and label sets identical across engines, so the exposition
+//! renders one labelled family per quantity instead of five ad-hoc
+//! names.
+
+use std::time::Duration;
+
+/// The static `{engine="…"}` label set for an engine name.
+///
+/// Labels must be `'static` slices (they key the registry's BTreeMap
+/// without allocating on the record path), so the five known names map
+/// onto const slices; anything else falls back to a catch-all label
+/// rather than panicking.
+pub fn engine_labels(name: &str) -> ara_trace::StaticLabels {
+    match name {
+        "sequential-cpu" => &[("engine", "sequential-cpu")],
+        "multicore-cpu" => &[("engine", "multicore-cpu")],
+        "gpu-basic" => &[("engine", "gpu-basic")],
+        "gpu-optimised" => &[("engine", "gpu-optimised")],
+        "multi-gpu" => &[("engine", "multi-gpu")],
+        _ => &[("engine", "other")],
+    }
+}
+
+/// Per-analysis hook: count the run and record its wall clock into the
+/// per-engine duration histogram, and stamp the run into the flight
+/// ring so a dump shows which engines ran recently.
+pub(crate) fn record_analysis(name: &'static str, wall: Duration, layers: usize) {
+    let labels = engine_labels(name);
+    let m = ara_trace::metrics();
+    m.counter_with("ara.analyses", labels).incr();
+    m.histogram_with("ara.analyse_ns", labels)
+        .record(wall.as_nanos() as u64);
+    ara_trace::flight().meta("engine.analyse", name, layers as i64);
+}
+
+/// Per-layer hook on traced runs: feed the measured Algorithm-1 stage
+/// breakdown to the streaming anomaly detector, which flags stages
+/// whose latency breaks from their rolling median/MAD baseline and
+/// dumps the flight recorder on the first flag.
+pub(crate) fn observe_layer(stages: &ara_trace::StageNanos) {
+    ara_trace::anomaly().observe_stages(stages);
+}
+
+/// Stamp the host autotuner's choices for one layer into the flight
+/// ring (CPU engines).
+pub(crate) fn note_tuning(engine: &'static str, tuning: &simt_sim::HostTuning) {
+    let f = ara_trace::flight();
+    f.meta("autotune.region_slots", engine, tuning.region_slots as i64);
+    f.meta("autotune.gather_chunk", engine, tuning.gather_chunk as i64);
+    f.meta(
+        "autotune.simd_lanes",
+        tuning.simd_isa.name(),
+        tuning.simd_lanes as i64,
+    );
+}
+
+/// Stamp a simulated-GPU launch geometry into the flight ring
+/// (GPU engines). `blocks_per_run == 0` means the value is tuned
+/// per device at launch time (multi-GPU) and is omitted.
+pub(crate) fn note_launch(engine: &'static str, block_dim: u32, blocks_per_run: u32) {
+    let f = ara_trace::flight();
+    f.meta("launch.block_dim", engine, i64::from(block_dim));
+    if blocks_per_run > 0 {
+        f.meta("launch.blocks_per_run", engine, i64::from(blocks_per_run));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_engine_name_gets_a_distinct_label() {
+        let names = [
+            "sequential-cpu",
+            "multicore-cpu",
+            "gpu-basic",
+            "gpu-optimised",
+            "multi-gpu",
+        ];
+        for name in names {
+            let labels = engine_labels(name);
+            assert_eq!(labels, &[("engine", name)]);
+        }
+        assert_eq!(engine_labels("mystery"), &[("engine", "other")]);
+    }
+
+    #[test]
+    fn record_analysis_populates_labelled_families() {
+        let _g = ara_trace::testing::serial_guard();
+        ara_trace::testing::reset();
+        record_analysis("sequential-cpu", Duration::from_millis(5), 2);
+        record_analysis("multi-gpu", Duration::from_millis(3), 2);
+        let snap = ara_trace::metrics().snapshot();
+        let analyses: Vec<_> = snap
+            .counters
+            .iter()
+            .filter(|(id, _)| id.name == "ara.analyses")
+            .collect();
+        assert_eq!(analyses.len(), 2, "one series per engine label");
+        for (_, count) in analyses {
+            assert_eq!(*count, 1);
+        }
+        let hist: Vec<_> = snap
+            .histograms
+            .iter()
+            .filter(|(id, _)| id.name == "ara.analyse_ns")
+            .collect();
+        assert_eq!(hist.len(), 2);
+        // The flight ring carries the engine metadata stamps.
+        let flights = ara_trace::flight().snapshot();
+        let metas = flights.of_kind(ara_trace::FlightKind::Meta);
+        assert!(metas
+            .iter()
+            .any(|e| e.name == "engine.analyse" && e.label == "multi-gpu"));
+        ara_trace::testing::reset();
+    }
+}

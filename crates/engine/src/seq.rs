@@ -73,6 +73,7 @@ impl<R: Real> Engine for SequentialEngine<R> {
                     num_threads: 1,
                 },
             );
+            crate::obs::note_tuning(self.name(), &tuning);
             let _layer_span = ara_trace::recorder()
                 .span("layer")
                 .with_field("layer", li)
@@ -97,6 +98,7 @@ impl<R: Real> Engine for SequentialEngine<R> {
                 stages.emit_spans(stages_t0);
                 total_stages.merge(&stages);
                 total_counters.merge(&counters);
+                crate::obs::observe_layer(&stages);
                 ylts.push(ylt);
             } else {
                 // The cache-blocked batch path — bit-identical to the
@@ -108,9 +110,11 @@ impl<R: Real> Engine for SequentialEngine<R> {
                 ));
             }
         }
+        let wall = start.elapsed();
+        crate::obs::record_analysis(self.name(), wall, inputs.layers.len());
         Ok(AnalysisOutput {
             portfolio: Portfolio::from_layer_results(ids, ylts)?,
-            wall: start.elapsed(),
+            wall,
             prepare: prepare_total,
             measured: tracing.then(|| ActivityBreakdown::from_stage_nanos(&total_stages)),
             counters: tracing.then_some(total_counters),

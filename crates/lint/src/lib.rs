@@ -45,6 +45,7 @@ pub const HOT_PATH_FILES: &[&str] = &[
     "crates/core/src/simd.rs",
     "crates/core/src/analysis.rs",
     "crates/engine/src/kernels.rs",
+    "crates/trace/src/flight.rs",
 ];
 
 /// Banned hot-path constructs as `(pragma name, needle)`. Needles

@@ -99,18 +99,22 @@ where
             })
             .sum()
     };
-    if ara_trace::recorder().is_enabled() {
-        let m = ara_trace::metrics();
-        m.counter("simt.launches").incr();
-        m.counter("simt.blocks").add(cfg.grid_dim() as u64);
-        m.counter("simt.phases").add(total_phases);
-    }
+    let elapsed = start.elapsed();
+    // Always-on registry adoption: striped atomic adds, cheap enough to
+    // keep outside the recorder gate so `ara obs report` sees launch
+    // activity on untraced runs too.
+    let m = ara_trace::metrics();
+    m.counter("simt.launches").incr();
+    m.counter("simt.blocks").add(cfg.grid_dim() as u64);
+    m.counter("simt.phases").add(total_phases);
+    m.histogram("simt.launch_ns")
+        .record(elapsed.as_nanos() as u64);
     LaunchStats {
         grid_dim: cfg.grid_dim(),
         block_dim: cfg.block_dim,
         num_items: cfg.num_items,
         total_phases,
-        elapsed: start.elapsed(),
+        elapsed,
     }
 }
 

@@ -1,0 +1,455 @@
+//! Anomaly-triggered diagnostics: streaming robust per-stage latency
+//! baselines over the four Algorithm-1 stages.
+//!
+//! Every engine feeds its per-layer [`StageNanos`] into the global
+//! [`AnomalyDetector`] (traced path only — the detector needs stage
+//! splits, which exist only there). Each stage keeps a rolling window
+//! of recent samples; once warm (≥ [`MIN_SAMPLES`]), an observation
+//! beyond `median + 5 · max(MAD, noise floor)` is flagged *mid-run*:
+//!
+//! 1. an [`FlightKind::Anomaly`](crate::flight::FlightKind) marker is
+//!    written into the flight ring with the stage name and the
+//!    observed/baseline nanoseconds (Algorithm-1 stage attribution),
+//! 2. if a dump path is configured ([`AnomalyDetector::set_dump_path`],
+//!    defaulted from `ARA_FLIGHT_DUMP`; `ara obs` always sets one), the
+//!    flight recorder is dumped once per process as JSONL,
+//! 3. a one-line deduplicated stderr notice names the stage.
+//!
+//! Flagged samples are kept *out* of the window so one runaway layer
+//! does not poison the baseline it was judged against. The
+//! `ARA_ANOMALY_PERTURB="<stage>:<factor>"` hook inflates *warm*
+//! (judged) observations of one stage before judgement — warm-up
+//! samples pass through untouched so the baseline stays honest — and
+//! the seeded-anomaly CI smoke uses it to prove the attribution end to
+//! end.
+
+use crate::stage::StageNanos;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// Rolling window length per stage.
+pub const WINDOW: usize = 64;
+/// Samples needed before a stage baseline starts judging.
+pub const MIN_SAMPLES: usize = 8;
+/// Threshold multiplier over the MAD.
+pub const K_MAD: f64 = 5.0;
+/// Absolute noise floor (ns) so near-zero-MAD stages aren't flagged on
+/// scheduler jitter.
+pub const FLOOR_NS: u64 = 20_000;
+
+#[derive(Debug, Clone, Copy)]
+struct StageWindow {
+    samples: [u64; WINDOW],
+    len: usize,
+    next: usize,
+}
+
+impl StageWindow {
+    const EMPTY: StageWindow = StageWindow {
+        samples: [0; WINDOW],
+        len: 0,
+        next: 0,
+    };
+
+    fn record(&mut self, v: u64) {
+        self.samples[self.next] = v;
+        self.next = (self.next + 1) % WINDOW;
+        self.len = (self.len + 1).min(WINDOW);
+    }
+
+    /// `(median, MAD)` of the window, once warm.
+    fn baseline(&self) -> Option<(u64, u64)> {
+        if self.len < MIN_SAMPLES {
+            return None;
+        }
+        let mut buf = [0u64; WINDOW];
+        buf[..self.len].copy_from_slice(&self.samples[..self.len]);
+        let window = &mut buf[..self.len];
+        window.sort_unstable();
+        let median = window[self.len / 2];
+        let mut dev = [0u64; WINDOW];
+        for (d, &s) in dev[..self.len].iter_mut().zip(window.iter()) {
+            *d = s.abs_diff(median);
+        }
+        let dev = &mut dev[..self.len];
+        dev.sort_unstable();
+        Some((median, dev[self.len / 2]))
+    }
+}
+
+/// One flagged outlier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnomalyFlag {
+    /// Canonical Algorithm-1 stage name ([`crate::stage_names`]).
+    pub stage: &'static str,
+    /// Observed stage nanoseconds.
+    pub observed_ns: u64,
+    /// Rolling median at judgement time.
+    pub baseline_ns: u64,
+    /// Rolling MAD at judgement time.
+    pub mad_ns: u64,
+}
+
+/// Summary of the detector's state ([`AnomalyDetector::report`]).
+#[derive(Debug, Clone)]
+pub struct AnomalyReport {
+    /// Total flags raised since the last reset.
+    pub flags: u64,
+    /// Per-stage observation counts currently in the windows.
+    pub window_len: [usize; 4],
+    /// The most recent flag, if any.
+    pub last: Option<AnomalyFlag>,
+    /// Where the automatic dump went, if one was written.
+    pub dumped_to: Option<PathBuf>,
+}
+
+/// The global streaming anomaly detector. Obtain it via [`anomaly`].
+#[derive(Debug)]
+pub struct AnomalyDetector {
+    enabled: AtomicBool,
+    windows: Mutex<[StageWindow; 4]>,
+    flags: AtomicU64,
+    last: Mutex<Option<AnomalyFlag>>,
+    dump_path: Mutex<Option<PathBuf>>,
+    dumped_to: Mutex<Option<PathBuf>>,
+}
+
+static DETECTOR: OnceLock<AnomalyDetector> = OnceLock::new();
+
+/// The process-wide detector. On by default; `ARA_ANOMALY=off|0|false`
+/// disables it.
+pub fn anomaly() -> &'static AnomalyDetector {
+    DETECTOR.get_or_init(|| AnomalyDetector {
+        enabled: AtomicBool::new(env_enabled()),
+        windows: Mutex::new([StageWindow::EMPTY; 4]),
+        flags: AtomicU64::new(0),
+        last: Mutex::new(None),
+        dump_path: Mutex::new(std::env::var("ARA_FLIGHT_DUMP").ok().map(PathBuf::from)),
+        dumped_to: Mutex::new(None),
+    })
+}
+
+fn env_enabled() -> bool {
+    match std::env::var("ARA_ANOMALY") {
+        Ok(v) => !matches!(v.as_str(), "off" | "0" | "false"),
+        Err(_) => true,
+    }
+}
+
+/// `ARA_ANOMALY_PERTURB="<stage>:<factor>"`, parsed once.
+fn perturb() -> Option<&'static (String, f64)> {
+    static PERTURB: OnceLock<Option<(String, f64)>> = OnceLock::new();
+    PERTURB
+        .get_or_init(|| {
+            let raw = std::env::var("ARA_ANOMALY_PERTURB").ok()?;
+            let (stage, factor) = raw.split_once(':')?;
+            let factor: f64 = factor.parse().ok()?;
+            if !crate::stage_names::ALL.contains(&stage) || !(factor > 0.0) {
+                return None;
+            }
+            Some((stage.to_string(), factor))
+        })
+        .as_ref()
+}
+
+impl AnomalyDetector {
+    /// Whether observations are being judged.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn judgement on or off (windows are kept).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Release);
+    }
+
+    /// Configure where an automatic flight dump lands on the first
+    /// flag. `None` disables file dumps (flags still mark the ring).
+    pub fn set_dump_path(&self, path: Option<PathBuf>) {
+        *self
+            .dump_path
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = path;
+    }
+
+    /// Feed one layer's per-stage totals through the detector.
+    pub fn observe_stages(&self, stages: &StageNanos) {
+        if !self.is_enabled() {
+            return;
+        }
+        for (idx, (name, ns)) in stages.named().iter().enumerate() {
+            if *ns == 0 {
+                continue;
+            }
+            self.observe_one(idx, name, *ns);
+        }
+    }
+
+    fn observe_one(&self, idx: usize, stage: &'static str, ns: u64) {
+        let verdict = {
+            let mut windows = self.windows.lock().unwrap_or_else(PoisonError::into_inner);
+            let w = &mut windows[idx];
+            // The seeded-perturb hook inflates only *judged* (warm)
+            // observations: warm-up samples pass through untouched, so
+            // the baseline stays honest and a run of MIN_SAMPLES+1
+            // layers reliably flags. (Inflating every sample would
+            // scale median and MAD together and never trip.)
+            let ns = match perturb() {
+                Some((s, factor)) if s == stage && w.len >= MIN_SAMPLES => {
+                    (ns as f64 * factor) as u64
+                }
+                _ => ns,
+            };
+            let flagged = w.baseline().and_then(|(median, mad)| {
+                let spread = mad.max(median / 8).max(FLOOR_NS);
+                let threshold = median.saturating_add((K_MAD * spread as f64) as u64);
+                (ns > threshold).then_some((ns, median, mad))
+            });
+            if flagged.is_none() {
+                w.record(ns);
+            }
+            flagged
+        };
+        if let Some((observed_ns, median, mad)) = verdict {
+            self.flag(AnomalyFlag {
+                stage,
+                observed_ns,
+                baseline_ns: median,
+                mad_ns: mad,
+            });
+        }
+    }
+
+    fn flag(&self, flag: AnomalyFlag) {
+        self.flags.fetch_add(1, Ordering::Relaxed);
+        crate::flight::flight().anomaly(flag.stage, flag.observed_ns, flag.baseline_ns);
+        self.maybe_dump(&flag);
+        if crate::warn_once("anomaly-notice") {
+            eprintln!(
+                "anomaly: stage {} took {:.3}ms against a rolling baseline of {:.3}ms \
+                 (flight recorder marked; see `ara obs dump`)",
+                flag.stage,
+                flag.observed_ns as f64 / 1e6,
+                flag.baseline_ns as f64 / 1e6,
+            );
+        }
+        *self.last.lock().unwrap_or_else(PoisonError::into_inner) = Some(flag);
+    }
+
+    /// Dump the flight recorder to the configured path, once per
+    /// process (first flag wins; later flags only mark the ring).
+    fn maybe_dump(&self, flag: &AnomalyFlag) {
+        let path = {
+            let p = self
+                .dump_path
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            match p.as_ref() {
+                Some(p) => p.clone(),
+                None => return,
+            }
+        };
+        {
+            let mut dumped = self
+                .dumped_to
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if dumped.is_some() {
+                return;
+            }
+            *dumped = Some(path.clone());
+        }
+        let trace = crate::flight::flight().snapshot().to_trace();
+        let body = crate::export::to_jsonl(&trace);
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!(
+                "anomaly: failed to write flight dump for stage {} to {}: {e}",
+                flag.stage,
+                path.display()
+            );
+        }
+    }
+
+    /// Current detector state.
+    pub fn report(&self) -> AnomalyReport {
+        let windows = self.windows.lock().unwrap_or_else(PoisonError::into_inner);
+        let window_len = [
+            windows[0].len,
+            windows[1].len,
+            windows[2].len,
+            windows[3].len,
+        ];
+        drop(windows);
+        AnomalyReport {
+            flags: self.flags.load(Ordering::Relaxed),
+            window_len,
+            last: self
+                .last
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone(),
+            dumped_to: self
+                .dumped_to
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone(),
+        }
+    }
+
+    /// Forget all baselines, flags and the dumped-once latch; re-read
+    /// the env default for enablement. Used by [`crate::testing::reset`].
+    pub fn reset(&self) {
+        *self.windows.lock().unwrap_or_else(PoisonError::into_inner) = [StageWindow::EMPTY; 4];
+        self.flags.store(0, Ordering::Relaxed);
+        *self.last.lock().unwrap_or_else(PoisonError::into_inner) = None;
+        *self
+            .dumped_to
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = None;
+        self.set_enabled(env_enabled());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage_names;
+    use crate::testing::serial_guard;
+
+    fn steady(ns: u64) -> StageNanos {
+        StageNanos {
+            fetch: ns,
+            lookup: ns,
+            financial: ns,
+            layer: ns,
+        }
+    }
+
+    #[test]
+    fn steady_observations_never_flag() {
+        let _g = serial_guard();
+        crate::testing::reset();
+        let det = anomaly();
+        det.set_enabled(true);
+        for i in 0..50u64 {
+            det.observe_stages(&steady(1_000_000 + (i % 7) * 10_000));
+        }
+        let report = det.report();
+        assert_eq!(report.flags, 0);
+        assert_eq!(report.window_len, [50, 50, 50, 50]);
+        crate::testing::reset();
+    }
+
+    #[test]
+    fn outlier_is_flagged_with_stage_attribution() {
+        let _g = serial_guard();
+        crate::testing::reset();
+        crate::flight::flight().set_enabled(true);
+        let det = anomaly();
+        det.set_enabled(true);
+        for _ in 0..MIN_SAMPLES + 4 {
+            det.observe_stages(&steady(1_000_000));
+        }
+        // One layer where only lookup blows up 20x.
+        det.observe_stages(&StageNanos {
+            fetch: 1_000_000,
+            lookup: 20_000_000,
+            financial: 1_000_000,
+            layer: 1_000_000,
+        });
+        let report = det.report();
+        assert_eq!(report.flags, 1);
+        let flag = report.last.expect("flag recorded");
+        assert_eq!(flag.stage, stage_names::LOOKUP);
+        assert_eq!(flag.observed_ns, 20_000_000);
+        assert!(flag.baseline_ns >= 900_000 && flag.baseline_ns <= 1_100_000);
+        // The flight ring carries the anomaly marker.
+        let snap = crate::flight::flight().snapshot();
+        let marks = snap.of_kind(crate::flight::FlightKind::Anomaly);
+        assert_eq!(marks.len(), 1);
+        assert_eq!(marks[0].name, stage_names::LOOKUP);
+        crate::testing::reset();
+    }
+
+    #[test]
+    fn flagged_samples_stay_out_of_the_baseline() {
+        let _g = serial_guard();
+        crate::testing::reset();
+        let det = anomaly();
+        det.set_enabled(true);
+        for _ in 0..MIN_SAMPLES + 2 {
+            det.observe_stages(&StageNanos {
+                lookup: 1_000_000,
+                ..StageNanos::ZERO
+            });
+        }
+        // The same runaway observed repeatedly keeps flagging because
+        // the window never absorbs it.
+        for _ in 0..3 {
+            det.observe_stages(&StageNanos {
+                lookup: 50_000_000,
+                ..StageNanos::ZERO
+            });
+        }
+        assert_eq!(det.report().flags, 3);
+        crate::testing::reset();
+    }
+
+    #[test]
+    fn first_flag_dumps_the_flight_recorder_once() {
+        let _g = serial_guard();
+        crate::testing::reset();
+        crate::flight::flight().set_enabled(true);
+        let dir = std::env::temp_dir().join("ara-anomaly-dump-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flight.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let det = anomaly();
+        det.set_enabled(true);
+        det.set_dump_path(Some(path.clone()));
+        for _ in 0..MIN_SAMPLES + 2 {
+            det.observe_stages(&StageNanos {
+                layer: 2_000_000,
+                ..StageNanos::ZERO
+            });
+        }
+        det.observe_stages(&StageNanos {
+            layer: 80_000_000,
+            ..StageNanos::ZERO
+        });
+        let report = det.report();
+        assert_eq!(report.flags, 1);
+        assert_eq!(report.dumped_to.as_deref(), Some(path.as_path()));
+        let body = std::fs::read_to_string(&path).expect("dump written");
+        assert!(body.contains("\"anomaly\""));
+        assert!(body.contains(stage_names::LAYER));
+        assert!(body.contains("\"observed_ns\":80000000"));
+        // A second flag does not rewrite the dump.
+        std::fs::remove_file(&path).unwrap();
+        det.observe_stages(&StageNanos {
+            layer: 80_000_000,
+            ..StageNanos::ZERO
+        });
+        assert_eq!(det.report().flags, 2);
+        assert!(!path.exists(), "dump must be once per process");
+        det.set_dump_path(None);
+        crate::testing::reset();
+    }
+
+    #[test]
+    fn disabled_detector_ignores_everything() {
+        let _g = serial_guard();
+        crate::testing::reset();
+        let det = anomaly();
+        det.set_enabled(false);
+        for _ in 0..MIN_SAMPLES + 2 {
+            det.observe_stages(&steady(1_000_000));
+        }
+        det.observe_stages(&steady(900_000_000));
+        let report = det.report();
+        assert_eq!(report.flags, 0);
+        assert_eq!(report.window_len, [0, 0, 0, 0]);
+        crate::testing::reset();
+    }
+}

@@ -326,6 +326,30 @@ pub trait CounterReader {
     fn read(&mut self) -> Option<CounterValues>;
 }
 
+/// A scripted [`CounterReader`]: yields the queued samples in order,
+/// then `None`. Public so downstream crates can test their counter
+/// paths on PMU-less hosts (a `None` script simulates exactly the
+/// denied-host behaviour of the perf reader).
+#[derive(Debug, Default)]
+pub struct MockReader {
+    samples: std::collections::VecDeque<Option<CounterValues>>,
+}
+
+impl MockReader {
+    /// A reader that replays `samples`, then fails every read.
+    pub fn new(samples: Vec<Option<CounterValues>>) -> MockReader {
+        MockReader {
+            samples: samples.into_iter().collect(),
+        }
+    }
+}
+
+impl CounterReader for MockReader {
+    fn read(&mut self) -> Option<CounterValues> {
+        self.samples.pop_front().unwrap_or(None)
+    }
+}
+
 /// Raw Linux syscalls, no libc. Each wrapper returns `-errno` failures
 /// as `Err(errno)`. Non-Linux / non-{x86_64,aarch64} targets get a stub
 /// that always reports `ENOSYS`, which the layers above surface as
@@ -775,25 +799,6 @@ impl LapTimer {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    /// A scripted reader: yields the queued samples in order, then `None`.
-    pub struct MockReader {
-        samples: std::collections::VecDeque<Option<CounterValues>>,
-    }
-
-    impl MockReader {
-        pub fn new(samples: Vec<Option<CounterValues>>) -> MockReader {
-            MockReader {
-                samples: samples.into_iter().collect(),
-            }
-        }
-    }
-
-    impl CounterReader for MockReader {
-        fn read(&mut self) -> Option<CounterValues> {
-            self.samples.pop_front().unwrap_or(None)
-        }
-    }
 
     fn sample(cycles: u64, instructions: u64, llc_misses: u64) -> CounterValues {
         let mut v = CounterValues::ZERO;

@@ -90,19 +90,19 @@ pub fn to_chrome(trace: &Trace) -> String {
         push(event, &mut out);
     }
     let end_us = trace.spans.iter().map(|s| s.end_ns).max().unwrap_or(0) as f64 / 1000.0;
-    for (name, value) in &trace.metrics.counters {
+    for (id, value) in &trace.metrics.counters {
         let event = format!(
             "{{\"name\":{},\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":0,\"args\":{{\"value\":{}}}}}",
-            json::string(name),
+            json::string(&id.full()),
             json::number(end_us),
             value,
         );
         push(event, &mut out);
     }
-    for (name, value) in &trace.metrics.gauges {
+    for (id, value) in &trace.metrics.gauges {
         let event = format!(
             "{{\"name\":{},\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":0,\"args\":{{\"value\":{}}}}}",
-            json::string(name),
+            json::string(&id.full()),
             json::number(end_us),
             json::number(*value),
         );
@@ -134,27 +134,27 @@ pub fn to_jsonl(trace: &Trace) -> String {
             span_args_json(span),
         );
     }
-    for (name, value) in &trace.metrics.counters {
+    for (id, value) in &trace.metrics.counters {
         let _ = writeln!(
             out,
             "{{\"type\":\"counter\",\"name\":{},\"value\":{}}}",
-            json::string(name),
+            json::string(&id.full()),
             value
         );
     }
-    for (name, value) in &trace.metrics.gauges {
+    for (id, value) in &trace.metrics.gauges {
         let _ = writeln!(
             out,
             "{{\"type\":\"gauge\",\"name\":{},\"value\":{}}}",
-            json::string(name),
+            json::string(&id.full()),
             json::number(*value)
         );
     }
-    for (name, h) in &trace.metrics.histograms {
+    for (id, h) in &trace.metrics.histograms {
         let _ = writeln!(
             out,
             "{{\"type\":\"histogram\",\"name\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
-            json::string(name),
+            json::string(&id.full()),
             h.count,
             h.sum,
             h.min,
@@ -227,22 +227,23 @@ pub fn to_summary(trace: &Trace) -> String {
     }
     if !trace.metrics.counters.is_empty() {
         let _ = writeln!(out, "counters:");
-        for (name, value) in &trace.metrics.counters {
-            let _ = writeln!(out, "  {name} = {value}");
+        for (id, value) in &trace.metrics.counters {
+            let _ = writeln!(out, "  {} = {value}", id.full());
         }
     }
     if !trace.metrics.gauges.is_empty() {
         let _ = writeln!(out, "gauges:");
-        for (name, value) in &trace.metrics.gauges {
-            let _ = writeln!(out, "  {name} = {value}");
+        for (id, value) in &trace.metrics.gauges {
+            let _ = writeln!(out, "  {} = {value}", id.full());
         }
     }
     if !trace.metrics.histograms.is_empty() {
         let _ = writeln!(out, "histograms:");
-        for (name, h) in &trace.metrics.histograms {
+        for (id, h) in &trace.metrics.histograms {
             let _ = writeln!(
                 out,
-                "  {name}: count={} mean={:.1} min={} p50={} p95={} p99={} max={}",
+                "  {}: count={} mean={:.1} min={} p50={} p95={} p99={} max={}",
+                id.full(),
                 h.count,
                 h.mean(),
                 h.min,

@@ -1,0 +1,328 @@
+//! Metrics exposition: a Prometheus-style text writer and a JSON
+//! snapshot, rendered from one [`MetricsSnapshot`] so both surfaces
+//! always agree (round-trip tested below).
+//!
+//! This is the scrape surface a resident `ara-serve` will mount; today
+//! `ara obs report` renders it on demand. Metric names are sanitised to
+//! the Prometheus grammar (`.`/`-` → `_`); histograms expose cumulative
+//! power-of-two `_bucket{le="…"}` series plus `_sum`/`_count`, matching
+//! the buckets of [`crate::Histogram`].
+
+use crate::json;
+use crate::metrics::{Histogram, HistogramSnapshot, MetricId, MetricsSnapshot};
+use std::fmt::Write as _;
+
+/// Map a metric name onto the Prometheus grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character becomes `_`.
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+            continue;
+        }
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+fn label_block(id: &MetricId) -> String {
+    if id.labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in id.labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}=\"{v}\"", sanitize(k));
+    }
+    out.push('}');
+    out
+}
+
+/// Labels plus one extra pair (for histogram `le` buckets).
+fn label_block_with(id: &MetricId, extra_key: &str, extra_val: &str) -> String {
+    let mut out = String::from("{");
+    for (k, v) in id.labels.iter() {
+        let _ = write!(out, "{}=\"{v}\",", sanitize(k));
+    }
+    let _ = write!(out, "{extra_key}=\"{extra_val}\"");
+    out.push('}');
+    out
+}
+
+fn type_line(out: &mut String, last_family: &mut String, name: &str, kind: &str) {
+    if last_family.as_str() != name {
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        last_family.clear();
+        last_family.push_str(name);
+    }
+}
+
+/// Render the snapshot as Prometheus-style exposition text.
+pub fn to_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut family = String::new();
+    for (id, value) in &snap.counters {
+        let name = sanitize(id.name);
+        type_line(&mut out, &mut family, &name, "counter");
+        let _ = writeln!(out, "{name}{} {value}", label_block(id));
+    }
+    for (id, value) in &snap.gauges {
+        let name = sanitize(id.name);
+        type_line(&mut out, &mut family, &name, "gauge");
+        let _ = writeln!(out, "{name}{} {}", label_block(id), json::number(*value));
+    }
+    for (id, h) in &snap.histograms {
+        let name = sanitize(id.name);
+        type_line(&mut out, &mut family, &name, "histogram");
+        let mut cumulative = 0u64;
+        for (i, &c) in h.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cumulative += c;
+            let upper = Histogram::bucket_upper(i).to_string();
+            let _ = writeln!(
+                out,
+                "{name}_bucket{} {cumulative}",
+                label_block_with(id, "le", &upper)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {}",
+            label_block_with(id, "le", "+Inf"),
+            h.count
+        );
+        let _ = writeln!(out, "{name}_sum{} {}", label_block(id), h.sum);
+        let _ = writeln!(out, "{name}_count{} {}", label_block(id), h.count);
+    }
+    out
+}
+
+fn labels_json(id: &MetricId) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in id.labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", json::string(k), json::string(v));
+    }
+    out.push('}');
+    out
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> String {
+    let mut buckets = String::from("[");
+    let mut first = true;
+    for (i, &c) in h.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if !first {
+            buckets.push(',');
+        }
+        first = false;
+        let _ = write!(buckets, "[{},{c}]", Histogram::bucket_upper(i));
+    }
+    buckets.push(']');
+    format!(
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":{buckets}}}",
+        h.count,
+        h.sum,
+        h.min,
+        h.max,
+        h.quantile(0.50),
+        h.quantile(0.95),
+        h.quantile(0.99),
+    )
+}
+
+/// Render the snapshot as one JSON document mirroring the exposition:
+/// `{"counters":[{name,labels,value}…],"gauges":…,"histograms":…}`.
+pub fn to_metrics_json(snap: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\"counters\":[");
+    for (i, (id, value)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"labels\":{},\"value\":{value}}}",
+            json::string(id.name),
+            labels_json(id)
+        );
+    }
+    out.push_str("],\"gauges\":[");
+    for (i, (id, value)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"labels\":{},\"value\":{}}}",
+            json::string(id.name),
+            labels_json(id),
+            json::number(*value)
+        );
+    }
+    out.push_str("],\"histograms\":[");
+    for (i, (id, h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"labels\":{},\"histogram\":{}}}",
+            json::string(id.name),
+            labels_json(id),
+            histogram_json(h)
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+    use crate::metrics::{metrics, StaticLabels};
+    use crate::testing::serial_guard;
+
+    const SEQ: StaticLabels = &[("engine", "sequential-cpu")];
+    const MC: StaticLabels = &[("engine", "multicore-cpu")];
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        crate::testing::reset();
+        metrics().counter_with("t.analyses", SEQ).add(3);
+        metrics().counter_with("t.analyses", MC).add(5);
+        metrics().counter("lookup.probes").add(1234);
+        metrics().gauge("simt.occupancy").set(0.5);
+        let h = metrics().histogram_with("t.layer-ns", SEQ);
+        for v in [100u64, 200, 400, 100_000] {
+            h.record(v);
+        }
+        let snap = metrics().snapshot();
+        crate::testing::reset();
+        snap
+    }
+
+    /// Parse `name{labels} value` exposition lines into (series, value).
+    fn parse_prometheus(text: &str) -> Vec<(String, f64)> {
+        text.lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .map(|l| {
+                let (series, value) = l.rsplit_once(' ').expect("series and value");
+                (series.to_string(), value.parse::<f64>().expect("numeric"))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prometheus_and_json_agree_on_every_value() {
+        let _g = serial_guard();
+        let snap = sample_snapshot();
+        let prom = parse_prometheus(&to_prometheus(&snap));
+        let doc = parse(&to_metrics_json(&snap)).expect("metrics json parses");
+
+        // Every JSON counter/gauge value appears verbatim in the
+        // exposition under the sanitised series name.
+        for section in ["counters", "gauges"] {
+            for entry in doc.get(section).and_then(Json::as_array).unwrap() {
+                let name = entry.get("name").and_then(Json::as_str).unwrap();
+                let value = entry.get("value").and_then(Json::as_f64).unwrap();
+                let labels = entry.get("labels").unwrap();
+                let engine = labels.get("engine").and_then(Json::as_str);
+                let series = match engine {
+                    Some(e) => format!("{}{{engine=\"{e}\"}}", sanitize(name)),
+                    None => sanitize(name),
+                };
+                let got = prom
+                    .iter()
+                    .find(|(s, _)| *s == series)
+                    .unwrap_or_else(|| panic!("series {series} missing from exposition"));
+                assert_eq!(got.1, value, "value mismatch for {series}");
+            }
+        }
+
+        // Histogram count/sum agree between the two renderings.
+        for entry in doc.get("histograms").and_then(Json::as_array).unwrap() {
+            let name = sanitize(entry.get("name").and_then(Json::as_str).unwrap());
+            let h = entry.get("histogram").unwrap();
+            let count = h.get("count").and_then(Json::as_f64).unwrap();
+            let sum = h.get("sum").and_then(Json::as_f64).unwrap();
+            let count_series = format!("{name}_count{{engine=\"sequential-cpu\"}}");
+            let sum_series = format!("{name}_sum{{engine=\"sequential-cpu\"}}");
+            assert_eq!(
+                prom.iter().find(|(s, _)| *s == count_series).unwrap().1,
+                count
+            );
+            assert_eq!(prom.iter().find(|(s, _)| *s == sum_series).unwrap().1, sum);
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let _g = serial_guard();
+        let snap = sample_snapshot();
+        let text = to_prometheus(&snap);
+        let bucket_lines: Vec<_> = text
+            .lines()
+            .filter(|l| l.starts_with("t_layer_ns_bucket"))
+            .collect();
+        assert!(bucket_lines.len() >= 2);
+        let counts: Vec<f64> = bucket_lines
+            .iter()
+            .map(|l| l.rsplit_once(' ').unwrap().1.parse().unwrap())
+            .collect();
+        for pair in counts.windows(2) {
+            assert!(pair[0] <= pair[1], "buckets must be cumulative");
+        }
+        let last = bucket_lines.last().unwrap();
+        assert!(last.contains("le=\"+Inf\""));
+        assert!(last.ends_with(" 4"));
+        // Bucket lines keep the series labels alongside `le`.
+        assert!(bucket_lines[0].contains("engine=\"sequential-cpu\""));
+    }
+
+    #[test]
+    fn type_lines_cover_each_family_once() {
+        let _g = serial_guard();
+        let snap = sample_snapshot();
+        let text = to_prometheus(&snap);
+        assert_eq!(
+            text.matches("# TYPE t_analyses counter").count(),
+            1,
+            "one TYPE line for the two-series family"
+        );
+        assert!(text.contains("# TYPE lookup_probes counter"));
+        assert!(text.contains("# TYPE simt_occupancy gauge"));
+        assert!(text.contains("# TYPE t_layer_ns histogram"));
+    }
+
+    #[test]
+    fn sanitize_maps_to_prometheus_grammar() {
+        assert_eq!(sanitize("lookup.probes"), "lookup_probes");
+        assert_eq!(sanitize("t.layer-ns"), "t_layer_ns");
+        assert_eq!(sanitize("ok_name:x"), "ok_name:x");
+        assert_eq!(sanitize("9lives"), "_9lives");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty_documents() {
+        let snap = MetricsSnapshot::default();
+        assert_eq!(to_prometheus(&snap), "");
+        let doc = parse(&to_metrics_json(&snap)).unwrap();
+        for section in ["counters", "gauges", "histograms"] {
+            assert_eq!(
+                doc.get(section).and_then(Json::as_array).map(<[Json]>::len),
+                Some(0)
+            );
+        }
+    }
+}

@@ -1,0 +1,504 @@
+//! The always-on flight recorder: a bounded, thread-sharded ring of
+//! recent observability events.
+//!
+//! The span recorder ([`crate::recorder`]) is opt-in: unless a run was
+//! explicitly traced, a slow or anomalous analysis leaves nothing
+//! behind. The flight recorder is the complementary *black box* — on by
+//! default, bounded in memory, and cheap enough (<1% on the engine
+//! paths, asserted by `crates/engine/tests/overhead.rs`) to never turn
+//! off. It captures three event kinds:
+//!
+//! * **Span** — open/close of every coarse ([`crate::Level::Info`])
+//!   span, mirrored both from flight-only guards (recorder disabled)
+//!   and from fully recorded spans, plus the synthetic per-stage totals
+//!   engines emit. Only the `(name, start, end)` triple is kept.
+//! * **Meta** — engine/autotune metadata points ([`FlightRecorder::meta`]):
+//!   a static name/label pair and one integer value.
+//! * **Anomaly** — markers written by [`crate::anomaly`] when a stage
+//!   blows past its rolling baseline, carrying the observed and
+//!   baseline nanoseconds.
+//!
+//! Each thread owns one fixed-capacity ring (default
+//! [`DEFAULT_CAPACITY`] events, `ARA_FLIGHT_CAP` to resize,
+//! `ARA_FLIGHT=off` to disable); the steady-state record path is one
+//! relaxed load, one uncontended mutex, two array stores — no
+//! allocation, enforced by the `ara-lint` hot-path bans. A
+//! [`FlightRecorder::snapshot`] merges every ring into one
+//! time-ordered [`FlightSnapshot`], which [`FlightSnapshot::to_trace`]
+//! converts into a regular [`Trace`] so the existing JSONL / Chrome /
+//! summary exporters render dumps unchanged.
+
+use crate::recorder::{Level, Trace};
+use crate::span::{SpanRecord, Value};
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// Default per-thread ring capacity, in events.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// What a [`FlightEvent`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightKind {
+    /// A closed span: `name` + `start_ns..end_ns`.
+    Span,
+    /// A metadata point: `name`/`label` + `value`, stamped at `start_ns`.
+    Meta,
+    /// An anomaly marker: `name` is the flagged stage, `value` the
+    /// observed nanoseconds, `aux` the rolling baseline (median).
+    Anomaly,
+}
+
+/// One fixed-size entry in a flight ring. `Copy` and built entirely
+/// from `&'static str`s so recording never allocates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlightEvent {
+    /// Event kind.
+    pub kind: FlightKind,
+    /// Static event name (span name, metadata key, or stage name).
+    pub name: &'static str,
+    /// Static secondary label (metadata only; `""` otherwise).
+    pub label: &'static str,
+    /// Start (or stamp) time, nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// End time (equals `start_ns` for point events).
+    pub end_ns: u64,
+    /// Primary integer payload (metadata value / observed ns).
+    pub value: i64,
+    /// Secondary integer payload (anomaly baseline ns).
+    pub aux: i64,
+}
+
+impl FlightEvent {
+    const EMPTY: FlightEvent = FlightEvent {
+        kind: FlightKind::Span,
+        name: "",
+        label: "",
+        start_ns: 0,
+        end_ns: 0,
+        value: 0,
+        aux: 0,
+    };
+}
+
+#[derive(Debug)]
+struct RingBuf {
+    buf: Vec<FlightEvent>,
+    /// Monotone write count; the next slot is `head % buf.len()`.
+    head: u64,
+}
+
+#[derive(Debug)]
+struct Ring {
+    thread: u64,
+    inner: Mutex<RingBuf>,
+}
+
+thread_local! {
+    static RING: RefCell<Option<Arc<Ring>>> = const { RefCell::new(None) };
+}
+
+/// The process-wide flight recorder. Obtain it via [`flight`].
+#[derive(Debug)]
+pub struct FlightRecorder {
+    enabled: AtomicBool,
+    default_enabled: bool,
+    capacity: usize,
+    threads: AtomicU64,
+    rings: Mutex<Vec<Arc<Ring>>>,
+}
+
+static FLIGHT: OnceLock<FlightRecorder> = OnceLock::new();
+
+/// The global flight recorder. On by default; `ARA_FLIGHT=off|0|false`
+/// disables it for the process.
+pub fn flight() -> &'static FlightRecorder {
+    FLIGHT.get_or_init(|| {
+        let default_enabled = env_enabled();
+        FlightRecorder {
+            enabled: AtomicBool::new(default_enabled),
+            default_enabled,
+            capacity: env_capacity(),
+            threads: AtomicU64::new(0),
+            rings: Mutex::new(Vec::new()),
+        }
+    })
+}
+
+fn env_enabled() -> bool {
+    match std::env::var("ARA_FLIGHT") {
+        Ok(v) => !matches!(v.as_str(), "off" | "0" | "false"),
+        Err(_) => true,
+    }
+}
+
+fn env_capacity() -> usize {
+    std::env::var("ARA_FLIGHT_CAP")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|c| c.clamp(64, 1 << 20))
+        .unwrap_or(DEFAULT_CAPACITY)
+}
+
+impl FlightRecorder {
+    /// The single-branch hot-path check.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn capture on or off (the rings keep their contents).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Release);
+    }
+
+    /// Per-thread ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Record a closed span. No-op when disabled.
+    #[inline]
+    pub fn record_span(&self, name: &'static str, start_ns: u64, end_ns: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.record(FlightEvent {
+            kind: FlightKind::Span,
+            name,
+            label: "",
+            start_ns,
+            end_ns,
+            value: 0,
+            aux: 0,
+        });
+    }
+
+    /// Record a metadata point (engine/autotune knobs, device counts…).
+    #[inline]
+    pub fn meta(&self, name: &'static str, label: &'static str, value: i64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let now = crate::clock::now_ns();
+        self.record(FlightEvent {
+            kind: FlightKind::Meta,
+            name,
+            label,
+            start_ns: now,
+            end_ns: now,
+            value,
+            aux: 0,
+        });
+    }
+
+    /// Record an anomaly marker (written by [`crate::anomaly`]).
+    pub fn anomaly(&self, stage: &'static str, observed_ns: u64, baseline_ns: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let now = crate::clock::now_ns();
+        self.record(FlightEvent {
+            kind: FlightKind::Anomaly,
+            name: stage,
+            label: "",
+            start_ns: now,
+            end_ns: now,
+            value: i64::try_from(observed_ns).unwrap_or(i64::MAX),
+            aux: i64::try_from(baseline_ns).unwrap_or(i64::MAX),
+        });
+    }
+
+    fn record(&self, ev: FlightEvent) {
+        RING.with(|cell| {
+            let mut cell = cell.borrow_mut();
+            let ring = match cell.as_ref() {
+                Some(r) => Arc::clone(r),
+                None => {
+                    let r = self.register_ring();
+                    *cell = Some(Arc::clone(&r));
+                    r
+                }
+            };
+            let mut inner = ring.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            let cap = inner.buf.len() as u64;
+            let idx = (inner.head % cap) as usize;
+            inner.buf[idx] = ev;
+            inner.head += 1;
+        });
+    }
+
+    /// Cold path: first event on a thread allocates and registers its
+    /// ring; every later record on the thread is allocation-free.
+    fn register_ring(&self) -> Arc<Ring> {
+        let ring = Arc::new(Ring {
+            thread: self.threads.fetch_add(1, Ordering::Relaxed),
+            inner: Mutex::new(RingBuf {
+                buf: vec![FlightEvent::EMPTY; self.capacity],
+                head: 0,
+            }),
+        });
+        let mut rings = self.rings.lock().unwrap_or_else(PoisonError::into_inner);
+        // One-time per-thread ring registration, not the steady-state
+        // record path. lint: allow(push)
+        rings.push(Arc::clone(&ring));
+        ring
+    }
+
+    /// Empty every ring (capacity is kept; nothing is deallocated).
+    pub fn clear(&self) {
+        let rings = self.rings.lock().unwrap_or_else(PoisonError::into_inner);
+        for ring in rings.iter() {
+            ring.inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .head = 0;
+        }
+    }
+
+    /// Restore the process default (env-derived enablement) and empty
+    /// the rings. Used by [`crate::testing::reset`].
+    pub fn reset(&self) {
+        self.clear();
+        self.set_enabled(self.default_enabled);
+    }
+
+    /// Merge every thread's ring into one time-ordered snapshot.
+    pub fn snapshot(&self) -> FlightSnapshot {
+        let rings = self.rings.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut events: Vec<(u64, FlightEvent)> = Vec::new();
+        let mut recorded = 0u64;
+        let mut dropped = 0u64;
+        let mut threads = 0usize;
+        for ring in rings.iter() {
+            let inner = ring.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            let cap = inner.buf.len() as u64;
+            let kept = inner.head.min(cap) as usize;
+            if kept > 0 {
+                threads += 1;
+            }
+            // Oldest-first: a wrapped ring starts at `head % cap`.
+            let first = if inner.head > cap {
+                (inner.head % cap) as usize
+            } else {
+                0
+            };
+            events.extend((0..kept).map(|i| (ring.thread, inner.buf[(first + i) % cap as usize])));
+            recorded += inner.head;
+            dropped += inner.head.saturating_sub(cap);
+        }
+        drop(rings);
+        events.sort_by_key(|(thread, e)| (e.start_ns, e.end_ns, *thread));
+        FlightSnapshot {
+            events,
+            recorded,
+            dropped,
+            threads,
+        }
+    }
+}
+
+/// A merged, time-ordered copy of every flight ring.
+#[derive(Debug, Clone)]
+pub struct FlightSnapshot {
+    /// `(thread, event)` pairs sorted by `(start_ns, end_ns, thread)`.
+    pub events: Vec<(u64, FlightEvent)>,
+    /// Total events ever recorded (including overwritten ones).
+    pub recorded: u64,
+    /// Events lost to ring overwrites.
+    pub dropped: u64,
+    /// Threads that contributed at least one event.
+    pub threads: usize,
+}
+
+impl FlightSnapshot {
+    /// Events of one kind, in snapshot order.
+    pub fn of_kind(&self, kind: FlightKind) -> Vec<&FlightEvent> {
+        self.events
+            .iter()
+            .filter(|(_, e)| e.kind == kind)
+            .map(|(_, e)| e)
+            .collect()
+    }
+
+    /// Convert into a [`Trace`] (synthetic ids, flat — no parents) so
+    /// the standard exporters render a dump: spans become spans, meta
+    /// points become zero-duration spans with `label`/`value` fields,
+    /// anomalies become `"anomaly"` spans carrying
+    /// `stage`/`observed_ns`/`baseline_ns` attribution. The current
+    /// metrics snapshot rides along.
+    pub fn to_trace(&self) -> Trace {
+        let spans = self
+            .events
+            .iter()
+            .enumerate()
+            .map(|(i, (thread, ev))| {
+                let fields: Vec<(Cow<'static, str>, Value)> = match ev.kind {
+                    FlightKind::Span => Vec::new(),
+                    FlightKind::Meta => vec![
+                        (Cow::Borrowed("label"), Value::Str(ev.label.to_string())),
+                        (Cow::Borrowed("value"), Value::Int(ev.value)),
+                    ],
+                    FlightKind::Anomaly => vec![
+                        (Cow::Borrowed("stage"), Value::Str(ev.name.to_string())),
+                        (Cow::Borrowed("observed_ns"), Value::Int(ev.value)),
+                        (Cow::Borrowed("baseline_ns"), Value::Int(ev.aux)),
+                    ],
+                };
+                let name = match ev.kind {
+                    FlightKind::Anomaly => "anomaly",
+                    _ => ev.name,
+                };
+                SpanRecord {
+                    id: i as u64 + 1,
+                    parent: None,
+                    name: Cow::Borrowed(name),
+                    start_ns: ev.start_ns,
+                    end_ns: ev.end_ns,
+                    thread: *thread,
+                    level: Level::Info,
+                    fields,
+                }
+            })
+            .collect();
+        Trace {
+            spans,
+            metrics: crate::metrics().snapshot(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::serial_guard;
+
+    #[test]
+    fn spans_are_captured_without_the_recorder() {
+        let _g = serial_guard();
+        crate::testing::reset();
+        flight().set_enabled(true);
+        {
+            let _s = crate::recorder().span("flight-only");
+        }
+        let snap = flight().snapshot();
+        assert!(snap
+            .events
+            .iter()
+            .any(|(_, e)| e.kind == FlightKind::Span && e.name == "flight-only"));
+        // Nothing reached the (disabled) span recorder.
+        assert!(crate::recorder().drain().spans.is_empty());
+        crate::testing::reset();
+    }
+
+    #[test]
+    fn traced_spans_are_mirrored_into_the_ring() {
+        let _g = serial_guard();
+        crate::testing::reset();
+        flight().set_enabled(true);
+        crate::recorder().enable(Level::Info);
+        {
+            let _s = crate::recorder().span("mirrored").with_field("k", 1i64);
+        }
+        let trace = crate::recorder().drain();
+        crate::recorder().disable();
+        assert_eq!(trace.spans_named("mirrored").len(), 1);
+        let snap = flight().snapshot();
+        assert!(snap.events.iter().any(|(_, e)| e.name == "mirrored"));
+        crate::testing::reset();
+    }
+
+    #[test]
+    fn disabled_flight_records_nothing() {
+        let _g = serial_guard();
+        crate::testing::reset();
+        flight().set_enabled(false);
+        {
+            let _s = crate::recorder().span("dropped");
+        }
+        flight().meta("engine", "sequential-cpu", 1);
+        assert!(flight().snapshot().events.is_empty());
+        crate::testing::reset();
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_the_newest_events() {
+        let _g = serial_guard();
+        crate::testing::reset();
+        let f = flight();
+        f.set_enabled(true);
+        let cap = f.capacity() as u64;
+        for i in 0..cap + 10 {
+            f.record_span("wrap", i, i + 1);
+        }
+        let snap = f.snapshot();
+        let wraps: Vec<_> = snap
+            .events
+            .iter()
+            .filter(|(_, e)| e.name == "wrap")
+            .collect();
+        assert_eq!(wraps.len(), cap as usize);
+        assert!(snap.dropped >= 10);
+        // Oldest surviving event is the 10th write; the first 10 were
+        // overwritten.
+        assert_eq!(wraps[0].1.start_ns, 10);
+        assert_eq!(wraps.last().unwrap().1.start_ns, cap + 9);
+        crate::testing::reset();
+    }
+
+    #[test]
+    fn snapshot_merges_threads_in_time_order() {
+        let _g = serial_guard();
+        crate::testing::reset();
+        flight().set_enabled(true);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..10 {
+                        let _s = crate::recorder().span("unit");
+                    }
+                });
+            }
+        });
+        let snap = flight().snapshot();
+        let units: Vec<_> = snap
+            .events
+            .iter()
+            .filter(|(_, e)| e.name == "unit")
+            .collect();
+        assert_eq!(units.len(), 40);
+        assert!(snap.threads >= 4);
+        for pair in snap.events.windows(2) {
+            assert!(
+                pair[0].1.start_ns <= pair[1].1.start_ns,
+                "unsorted snapshot"
+            );
+        }
+        crate::testing::reset();
+    }
+
+    #[test]
+    fn to_trace_renders_through_the_standard_exporters() {
+        let _g = serial_guard();
+        crate::testing::reset();
+        let f = flight();
+        f.set_enabled(true);
+        f.record_span("layer", 100, 200);
+        f.meta("engine", "sequential-cpu", 2);
+        f.anomaly(crate::stage_names::LOOKUP, 5_000_000, 1_000_000);
+        let trace = f.snapshot().to_trace();
+        assert_eq!(trace.spans.len(), 3);
+        let jsonl = crate::to_jsonl(&trace);
+        assert!(jsonl.contains("\"layer\""));
+        assert!(jsonl.contains("\"anomaly\""));
+        assert!(jsonl.contains("loss-lookup"));
+        let anomaly = trace.spans_named("anomaly")[0];
+        assert_eq!(
+            anomaly.field("stage"),
+            Some(&Value::Str(crate::stage_names::LOOKUP.to_string()))
+        );
+        assert_eq!(anomaly.field("observed_ns"), Some(&Value::Int(5_000_000)));
+        crate::testing::reset();
+    }
+}

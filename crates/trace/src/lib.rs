@@ -42,26 +42,48 @@
 // the crate remains unsafe-free.
 #![deny(unsafe_code)]
 
+pub mod anomaly;
 pub mod clock;
 pub mod counters;
 pub mod export;
+pub mod expose;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
 pub mod span;
 pub mod stage;
 
+pub use anomaly::{anomaly, AnomalyDetector, AnomalyFlag, AnomalyReport};
 pub use clock::now_ns;
 pub use counters::{
-    AtomicStageCounters, CounterKind, CounterReader, CounterValues, LapTimer, StageCounters,
+    AtomicStageCounters, CounterKind, CounterReader, CounterValues, LapTimer, MockReader,
+    StageCounters,
 };
 pub use export::{to_chrome, to_jsonl, to_summary, TraceFormat};
+pub use expose::{to_metrics_json, to_prometheus};
+pub use flight::{flight, FlightEvent, FlightKind, FlightRecorder, FlightSnapshot};
 pub use metrics::{
-    metrics, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    metrics, Counter, Gauge, Histogram, HistogramSnapshot, MetricId, MetricsRegistry,
+    MetricsSnapshot, StaticLabels,
 };
 pub use recorder::{recorder, Level, Recorder, Trace};
 pub use span::{SpanGuard, SpanRecord, Value};
 pub use stage::{AtomicStageNanos, StageNanos};
+
+/// Per-process warning dedup: returns `true` exactly once per distinct
+/// `key`. Callers gate repeatable stderr notices (the PMU-unavailable
+/// notice, malformed perf-history lines, anomaly flags) through this so
+/// each prints at most once per process.
+pub fn warn_once(key: &str) -> bool {
+    use std::collections::BTreeSet;
+    use std::sync::{Mutex, OnceLock, PoisonError};
+    static SEEN: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
+    SEEN.get_or_init(|| Mutex::new(BTreeSet::new()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .insert(key.to_string())
+}
 
 /// Canonical span names of the four Algorithm-1 activity stages — the
 /// categories of the paper's Figure 6. Engine code and exporters must
@@ -95,10 +117,14 @@ pub mod testing {
         SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Reset recorder and metrics to a pristine state (disabled, empty).
+    /// Reset recorder, metrics, flight recorder and anomaly detector to
+    /// a pristine state (recorder disabled and empty; flight/anomaly
+    /// back to their env-derived defaults with empty rings/windows).
     pub fn reset() {
         crate::recorder().disable();
         crate::recorder().drain();
         crate::metrics().reset();
+        crate::flight().reset();
+        crate::anomaly().reset();
     }
 }

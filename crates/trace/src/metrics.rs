@@ -1,23 +1,97 @@
-//! Named counters, gauges and histograms.
+//! Named, optionally labelled counters, gauges and histograms.
 //!
 //! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc`s
 //! around atomics: look one up once outside a hot loop, then update it
 //! lock-free. The registry itself is only locked on first lookup of a
 //! name and on [`MetricsRegistry::snapshot`].
+//!
+//! A metric is identified by a [`MetricId`]: a static name plus a
+//! (possibly empty) set of static labels, so one family can carry one
+//! series per engine (`ara.analyses{engine="sequential-cpu"}`) without
+//! any runtime string formatting. Counters are striped across a small
+//! set of cache-line-padded shards indexed by a thread-local slot —
+//! concurrent `add`s from rayon workers touch different cache lines and
+//! the stripes are summed only at scrape time.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
-/// A monotonically increasing counter (e.g. `lookup.probes`).
+/// Static label set: `&[("engine", "sequential-cpu")]`. Must be
+/// `'static` so metric identity never allocates.
+pub type StaticLabels = &'static [(&'static str, &'static str)];
+
+/// A metric's identity: static name + static labels. Ordered by
+/// `(name, labels)`, so a snapshot lists a family's series together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricId {
+    /// Family name, e.g. `"lookup.probes"`.
+    pub name: &'static str,
+    /// Label pairs (empty for a plain named metric).
+    pub labels: StaticLabels,
+}
+
+impl MetricId {
+    /// An unlabelled id.
+    pub const fn plain(name: &'static str) -> MetricId {
+        MetricId { name, labels: &[] }
+    }
+
+    /// Render as `name` or `name{k="v",…}`.
+    pub fn full(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.to_string();
+        }
+        let mut out = String::from(self.name);
+        out.push('{');
+        for (i, (k, v)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{k}=\"{v}\"");
+        }
+        out.push('}');
+        out
+    }
+
+    /// Whether `query` names this metric: the bare family name always
+    /// matches; a labelled query must match the full rendering.
+    pub fn matches(&self, query: &str) -> bool {
+        self.name == query || (!self.labels.is_empty() && self.full() == query)
+    }
+}
+
+/// Number of per-counter stripes. Small: the goal is to keep rayon
+/// workers off each other's cache lines, not one stripe per thread.
+const STRIPES: usize = 8;
+
+static STRIPE_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Each thread picks one stripe for life, round-robin.
+    static STRIPE: usize = STRIPE_SEQ.fetch_add(1, Ordering::Relaxed) % STRIPES;
+}
+
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct Stripe(AtomicU64);
+
+/// A monotonically increasing counter (e.g. `lookup.probes`), striped
+/// across cache-line-padded shards merged at read time.
 #[derive(Debug, Clone)]
-pub struct Counter(Arc<AtomicU64>);
+pub struct Counter(Arc<[Stripe; STRIPES]>);
 
 impl Counter {
-    /// Add `n` to the counter.
+    fn new() -> Counter {
+        Counter(Arc::new(std::array::from_fn(|_| Stripe::default())))
+    }
+
+    /// Add `n` to the calling thread's stripe.
     #[inline]
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        let i = STRIPE.with(|s| *s);
+        self.0[i].0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Increment by one.
@@ -26,9 +100,15 @@ impl Counter {
         self.add(1);
     }
 
-    /// Current value.
+    /// Current value (sum over stripes).
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+
+    fn reset(&self) {
+        for s in self.0.iter() {
+            s.0.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -78,6 +158,17 @@ impl Histogram {
 
     fn bucket_index(value: u64) -> usize {
         (64 - value.leading_zeros()) as usize
+    }
+
+    /// Upper bound of bucket `i` (`2^i - 1`; bucket 0 holds only 0).
+    pub fn bucket_upper(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
     }
 
     /// Record one sample.
@@ -163,10 +254,7 @@ impl HistogramSnapshot {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                // Upper bound of bucket i is 2^i - 1 (bucket 0 holds
-                // only the value 0).
-                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
-                return upper.clamp(self.min, self.max);
+                return Histogram::bucket_upper(i).clamp(self.min, self.max);
             }
         }
         self.max
@@ -181,7 +269,7 @@ enum Metric {
 
 /// The process-wide named-metrics registry.
 pub struct MetricsRegistry {
-    metrics: Mutex<BTreeMap<&'static str, Metric>>,
+    metrics: Mutex<BTreeMap<MetricId, Metric>>,
 }
 
 static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
@@ -194,41 +282,61 @@ pub fn metrics() -> &'static MetricsRegistry {
 }
 
 impl MetricsRegistry {
-    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<&'static str, Metric>> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<MetricId, Metric>> {
         self.metrics.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Look up (registering on first use) the counter named `name`.
     /// A name registered as a different metric kind is replaced.
     pub fn counter(&self, name: &'static str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// Look up (registering on first use) the counter series
+    /// `name{labels}`.
+    pub fn counter_with(&self, name: &'static str, labels: StaticLabels) -> Counter {
+        let id = MetricId { name, labels };
         let mut map = self.lock();
-        if let Some(Metric::Counter(c)) = map.get(name) {
+        if let Some(Metric::Counter(c)) = map.get(&id) {
             return c.clone();
         }
-        let c = Counter(Arc::new(AtomicU64::new(0)));
-        map.insert(name, Metric::Counter(c.clone()));
+        let c = Counter::new();
+        map.insert(id, Metric::Counter(c.clone()));
         c
     }
 
     /// Look up (registering on first use) the gauge named `name`.
     pub fn gauge(&self, name: &'static str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// Look up (registering on first use) the gauge series `name{labels}`.
+    pub fn gauge_with(&self, name: &'static str, labels: StaticLabels) -> Gauge {
+        let id = MetricId { name, labels };
         let mut map = self.lock();
-        if let Some(Metric::Gauge(g)) = map.get(name) {
+        if let Some(Metric::Gauge(g)) = map.get(&id) {
             return g.clone();
         }
         let g = Gauge(Arc::new(AtomicU64::new(0f64.to_bits())));
-        map.insert(name, Metric::Gauge(g.clone()));
+        map.insert(id, Metric::Gauge(g.clone()));
         g
     }
 
     /// Look up (registering on first use) the histogram named `name`.
     pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        self.histogram_with(name, &[])
+    }
+
+    /// Look up (registering on first use) the histogram series
+    /// `name{labels}`.
+    pub fn histogram_with(&self, name: &'static str, labels: StaticLabels) -> Arc<Histogram> {
+        let id = MetricId { name, labels };
         let mut map = self.lock();
-        if let Some(Metric::Histogram(h)) = map.get(name) {
+        if let Some(Metric::Histogram(h)) = map.get(&id) {
             return Arc::clone(h);
         }
         let h = Arc::new(Histogram::new());
-        map.insert(name, Metric::Histogram(Arc::clone(&h)));
+        map.insert(id, Metric::Histogram(Arc::clone(&h)));
         h
     }
 
@@ -238,11 +346,11 @@ impl MetricsRegistry {
         let mut counters = Vec::new();
         let mut gauges = Vec::new();
         let mut histograms = Vec::new();
-        for (&name, metric) in map.iter() {
+        for (&id, metric) in map.iter() {
             match metric {
-                Metric::Counter(c) => counters.push((name, c.get())),
-                Metric::Gauge(g) => gauges.push((name, g.get())),
-                Metric::Histogram(h) => histograms.push((name, h.snapshot())),
+                Metric::Counter(c) => counters.push((id, c.get())),
+                Metric::Gauge(g) => gauges.push((id, g.get())),
+                Metric::Histogram(h) => histograms.push((id, h.snapshot())),
             }
         }
         MetricsSnapshot {
@@ -257,7 +365,7 @@ impl MetricsRegistry {
         let mut map = self.lock();
         for metric in map.values() {
             match metric {
-                Metric::Counter(c) => c.0.store(0, Ordering::Relaxed),
+                Metric::Counter(c) => c.reset(),
                 Metric::Gauge(g) => g.0.store(0f64.to_bits(), Ordering::Relaxed),
                 Metric::Histogram(h) => h.reset(),
             }
@@ -266,40 +374,42 @@ impl MetricsRegistry {
     }
 }
 
-/// All metrics at snapshot time, each list sorted by name (the registry
-/// is a `BTreeMap`).
+/// All metrics at snapshot time, each list sorted by `(name, labels)`
+/// (the registry is a `BTreeMap`).
 #[derive(Debug, Clone, Default)]
 pub struct MetricsSnapshot {
-    /// `(name, value)` for every counter.
-    pub counters: Vec<(&'static str, u64)>,
-    /// `(name, value)` for every gauge.
-    pub gauges: Vec<(&'static str, f64)>,
-    /// `(name, snapshot)` for every histogram.
-    pub histograms: Vec<(&'static str, HistogramSnapshot)>,
+    /// `(id, value)` for every counter.
+    pub counters: Vec<(MetricId, u64)>,
+    /// `(id, value)` for every gauge.
+    pub gauges: Vec<(MetricId, f64)>,
+    /// `(id, snapshot)` for every histogram.
+    pub histograms: Vec<(MetricId, HistogramSnapshot)>,
 }
 
 impl MetricsSnapshot {
-    /// Counter value by name, if registered.
+    /// Counter value by name (or full `name{labels}` rendering), if
+    /// registered. With several series in a family, the first matching
+    /// series wins — query the full rendering to disambiguate.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters
             .iter()
-            .find(|(n, _)| *n == name)
+            .find(|(id, _)| id.matches(name))
             .map(|(_, v)| *v)
     }
 
-    /// Gauge value by name, if registered.
+    /// Gauge value by name (or full rendering), if registered.
     pub fn gauge(&self, name: &str) -> Option<f64> {
         self.gauges
             .iter()
-            .find(|(n, _)| *n == name)
+            .find(|(id, _)| id.matches(name))
             .map(|(_, v)| *v)
     }
 
-    /// Histogram snapshot by name, if registered.
+    /// Histogram snapshot by name (or full rendering), if registered.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms
             .iter()
-            .find(|(n, _)| *n == name)
+            .find(|(id, _)| id.matches(name))
             .map(|(_, h)| h)
     }
 
@@ -344,6 +454,62 @@ mod tests {
         });
         assert_eq!(metrics().counter("t.shared").get(), 4000);
         crate::testing::reset();
+    }
+
+    #[test]
+    fn labelled_series_are_distinct_within_a_family() {
+        let _g = serial_guard();
+        crate::testing::reset();
+        const SEQ: StaticLabels = &[("engine", "sequential-cpu")];
+        const MC: StaticLabels = &[("engine", "multicore-cpu")];
+        metrics().counter_with("t.analyses", SEQ).add(3);
+        metrics().counter_with("t.analyses", MC).add(5);
+        let snap = metrics().snapshot();
+        // Bare-name lookup hits the first series; full renderings pick
+        // each one exactly.
+        assert_eq!(
+            snap.counter("t.analyses{engine=\"multicore-cpu\"}"),
+            Some(5)
+        );
+        assert_eq!(
+            snap.counter("t.analyses{engine=\"sequential-cpu\"}"),
+            Some(3)
+        );
+        let family: Vec<_> = snap
+            .counters
+            .iter()
+            .filter(|(id, _)| id.name == "t.analyses")
+            .collect();
+        assert_eq!(family.len(), 2);
+        crate::testing::reset();
+    }
+
+    #[test]
+    fn metric_id_full_renders_labels() {
+        assert_eq!(MetricId::plain("a.b").full(), "a.b");
+        let id = MetricId {
+            name: "a.b",
+            labels: &[("engine", "seq"), ("isa", "avx2")],
+        };
+        assert_eq!(id.full(), "a.b{engine=\"seq\",isa=\"avx2\"}");
+        assert!(id.matches("a.b"));
+        assert!(id.matches("a.b{engine=\"seq\",isa=\"avx2\"}"));
+        assert!(!id.matches("a.c"));
+    }
+
+    #[test]
+    fn striped_counter_sums_across_stripes() {
+        let c = Counter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..16 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        c.add(2);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 3200);
     }
 
     #[test]

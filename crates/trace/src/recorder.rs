@@ -137,13 +137,19 @@ impl Recorder {
         self.span_at(Level::Info, name)
     }
 
-    /// Open a span at an explicit level.
+    /// Open a span at an explicit level. With the recorder disabled but
+    /// the always-on [`crate::flight`] recorder capturing, coarse
+    /// ([`Level::Info`]) spans still land in the flight ring — just the
+    /// `(name, start, end)` triple, no fields, no id allocation.
     #[inline]
     pub fn span_at(&self, level: Level, name: &'static str) -> SpanGuard {
-        if !self.enabled_at(level) {
-            return SpanGuard::INERT;
+        if self.enabled_at(level) {
+            return self.open_span(level, Cow::Borrowed(name));
         }
-        self.open_span(level, Cow::Borrowed(name))
+        if level <= Level::Info && crate::flight::flight().is_enabled() {
+            return SpanGuard::flight_only(name, crate::clock::now_ns());
+        }
+        SpanGuard::INERT
     }
 
     /// Open a span with an owned (runtime-built) name.
@@ -171,6 +177,7 @@ impl Recorder {
                 level,
                 fields: Vec::new(),
             }),
+            flight: None,
         }
     }
 
@@ -187,6 +194,10 @@ impl Recorder {
         if !self.is_enabled() {
             return;
         }
+        // Mirror the synthetic stage totals into the flight recorder so
+        // a dump taken from a traced run still carries the per-stage
+        // attribution the anomaly report needs.
+        crate::flight::flight().record_span(name, start_ns, end_ns);
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (parent, thread) = TLS.with(|tls| {
             let tls = tls.borrow();
@@ -241,6 +252,15 @@ fn thread_index_of(tls: &ThreadState) -> u64 {
 /// push the record into this thread's buffer.
 pub(crate) fn finish_span(open: OpenSpan) {
     let end_ns = crate::clock::now_ns();
+    // Coarse spans also feed the always-on flight ring, so the black
+    // box holds the recent past whether or not a full trace was asked
+    // for. Owned (runtime-built) names are skipped: the ring stores
+    // only `&'static str` to stay allocation-free.
+    if open.level <= Level::Info {
+        if let Cow::Borrowed(name) = &open.name {
+            crate::flight::flight().record_span(name, open.start_ns, end_ns);
+        }
+    }
     TLS.with(|tls| {
         let mut tls = tls.borrow_mut();
         // Guards normally drop LIFO; tolerate out-of-order drops by

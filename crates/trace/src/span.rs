@@ -114,18 +114,41 @@ pub(crate) struct OpenSpan {
     pub fields: Vec<(Cow<'static, str>, Value)>,
 }
 
+/// A span mirrored only into the flight recorder ring (recorder
+/// disabled, flight recorder on): just the static name and the open
+/// timestamp — no id, no fields, no TLS stack entry.
+#[derive(Debug)]
+pub(crate) struct FlightOpen {
+    pub name: &'static str,
+    pub start_ns: u64,
+}
+
 /// RAII guard returned by [`crate::Recorder::span`]: the span covers the
 /// guard's lifetime and is recorded on drop. With the recorder disabled
-/// the guard is inert (a `None` and no further work).
+/// the guard is inert (a `None` and no further work) unless the
+/// always-on flight recorder is capturing, in which case only the
+/// `(name, start, end)` triple lands in its bounded ring.
 #[derive(Debug)]
 #[must_use = "a span guard records when dropped; binding it to `_` ends the span immediately"]
 pub struct SpanGuard {
     pub(crate) open: Option<OpenSpan>,
+    pub(crate) flight: Option<FlightOpen>,
 }
 
 impl SpanGuard {
     /// An inert guard (disabled recorder).
-    pub(crate) const INERT: SpanGuard = SpanGuard { open: None };
+    pub(crate) const INERT: SpanGuard = SpanGuard {
+        open: None,
+        flight: None,
+    };
+
+    /// A guard that records only into the flight recorder ring.
+    pub(crate) fn flight_only(name: &'static str, start_ns: u64) -> SpanGuard {
+        SpanGuard {
+            open: None,
+            flight: Some(FlightOpen { name, start_ns }),
+        }
+    }
 
     /// Whether this guard will record anything.
     pub fn is_recording(&self) -> bool {
@@ -150,6 +173,8 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(open) = self.open.take() {
             crate::recorder::finish_span(open);
+        } else if let Some(f) = self.flight.take() {
+            crate::flight::flight().record_span(f.name, f.start_ns, crate::clock::now_ns());
         }
     }
 }

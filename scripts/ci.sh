@@ -14,3 +14,14 @@ bash scripts/lint.sh
 # fresh host records the bootstrap baseline and passes).
 cargo run --release -p ara-cli --bin ara -- perf record --small
 cargo run --release -p ara-cli --bin ara -- perf gate --small
+
+# Observability smoke: a run with the always-on flight recorder must
+# render the unified metrics registry in all three formats.
+obs_book=$(mktemp -u /tmp/ci-obs-book.XXXXXX.ara)
+cargo run --release -q -p ara-cli --bin ara -- generate --out "$obs_book" \
+  --trials 500 --events 10 --elts 3 --records 100 --catalogue 2000
+cargo run --release -q -p ara-cli --bin ara -- obs report --input "$obs_book" \
+  | grep -q "flight recorder:"
+cargo run --release -q -p ara-cli --bin ara -- obs report --input "$obs_book" \
+  --format prometheus | grep -q "^ara_analyses"
+rm -f "$obs_book"
